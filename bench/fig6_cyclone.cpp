@@ -1,0 +1,116 @@
+// Reproduces paper Fig. 6: tropical-cyclone track and intensity forecasts
+// at decreasing lead times (the Hurricane Laura case study). The strongest
+// storm in the test segment of the synthetic reanalysis is identified with
+// the pressure-minimum tracker; AERIS ensembles and the IFS-ENS-like
+// physics ensemble are launched 7, 5 and 3 days before its peak, and
+// track / intensity errors versus the truth track are reported.
+#include <algorithm>
+#include <cstdio>
+
+#include "aeris/experiments/domain.hpp"
+#include "aeris/metrics/tracker.hpp"
+
+using namespace aeris;
+using namespace aeris::experiments;
+
+int main() {
+  DomainConfig cfg;
+  Domain d = build_domain_cached(cfg, "aeris_cache");
+  auto model = train_or_load_model(d, core::Objective::kTrigFlow,
+                                   "aeris_cache");
+
+  // Find the deepest pressure minimum in the test period (the "Laura").
+  metrics::TrackerConfig trk;
+  std::int64_t peak_t = -1;
+  metrics::StormFix peak_fix;
+  peak_fix.min_pressure = 1e9;
+  for (std::int64_t t = d.ds.test_begin() + 7; t + 3 < d.ds.size(); ++t) {
+    for (const auto& fix : metrics::detect_centers(d.ds.state(t), trk, 0)) {
+      if (fix.min_pressure < peak_fix.min_pressure) {
+        peak_fix = fix;
+        peak_t = t;
+      }
+    }
+  }
+  if (peak_t < 0) {
+    std::printf("No storm found in the test period — rerun with a longer "
+                "record (cfg.samples).\n");
+    return 0;
+  }
+  std::printf("== Fig. 6: storm case study ==\n");
+  std::printf("peak at day %lld: min MSLP %.1f hPa, max wind %.1f at "
+              "(%.0f, %.0f)\n\n",
+              static_cast<long long>(peak_t), peak_fix.min_pressure,
+              peak_fix.max_wind, peak_fix.row, peak_fix.col);
+
+  const std::int64_t members = 4;
+  for (const std::int64_t lead : {7, 5, 3}) {
+    const std::int64_t start = peak_t - lead;
+    const std::int64_t steps =
+        std::min<std::int64_t>(lead + 2, d.ds.size() - 1 - start);
+    auto truth = truth_sequence(d, start, steps);
+
+    // The truth track, seeded from the analysis-time detection nearest to
+    // where the storm is at `start`.
+    const auto init_fixes = metrics::detect_centers(d.ds.state(start), trk, 0);
+    double row0 = peak_fix.row, col0 = peak_fix.col;
+    double best = 1e18;
+    for (const auto& f : init_fixes) {
+      const double dr = f.row - peak_fix.row;
+      const double dc = f.col - peak_fix.col;
+      const double dist = dr * dr + dc * dc;
+      if (dist < best) {
+        best = dist;
+        row0 = f.row;
+        col0 = f.col;
+      }
+    }
+    const auto truth_track = metrics::track_storm(truth, trk, row0, col0);
+
+    auto ens = forecast_ensemble(*model, core::Objective::kTrigFlow, d, start,
+                                 steps, members);
+    auto ifs = ifs_ens_forecast(d, start, steps, members);
+
+    auto ensemble_errors = [&](const std::vector<std::vector<Tensor>>& e,
+                               const char* name) {
+      double terr = 0.0, ierr = 0.0;
+      int found = 0;
+      for (const auto& member : e) {
+        const auto track = metrics::track_storm(member, trk, row0, col0);
+        if (track && truth_track) {
+          const double te =
+              metrics::track_error(*track, *truth_track, cfg.grid);
+          if (te < 1e17) {
+            terr += te;
+            ierr += metrics::intensity_error(*track, *truth_track);
+            ++found;
+          }
+        }
+      }
+      if (found == 0) {
+        std::printf("  %-14s no member held a trackable storm\n", name);
+      } else {
+        std::printf("  %-14s mean track error %.2f cells, intensity error "
+                    "%.2f (over %d/%lld members)\n",
+                    name, terr / found, ierr / found, found,
+                    static_cast<long long>(e.size()));
+      }
+    };
+
+    std::printf("lead %lld days (init day %lld, %lld-step forecast):\n",
+                static_cast<long long>(lead), static_cast<long long>(start),
+                static_cast<long long>(steps));
+    if (truth_track) {
+      std::printf("  truth track: %zu fixes, final wind %.1f\n",
+                  truth_track->size(), truth_track->back().max_wind);
+    } else {
+      std::printf("  (storm not yet trackable at this lead)\n");
+    }
+    ensemble_errors(ens, "AERIS");
+    ensemble_errors(ifs, "IFS-ENS-like");
+  }
+  std::printf("\nPaper shape: track errors shrink as lead decreases; the\n"
+              "probabilistic system keeps the vortex and its intensification\n"
+              "(Laura: minimal track error at 7-day lead, RI captured at 5).\n");
+  return 0;
+}

@@ -1,0 +1,145 @@
+// Kernel-level microbenchmarks (google-benchmark): the compute and
+// communication primitives underlying every experiment.
+#include <benchmark/benchmark.h>
+
+#include <numeric>
+
+#include "aeris/core/model.hpp"
+#include "aeris/core/sampler.hpp"
+#include "aeris/core/window.hpp"
+#include "aeris/nn/attention.hpp"
+#include "aeris/physics/qg.hpp"
+#include "aeris/swipe/comm.hpp"
+#include "aeris/swipe/window_layout.hpp"
+#include "aeris/tensor/gemm.hpp"
+
+namespace {
+
+using namespace aeris;
+
+void BM_Gemm(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  Tensor a({n, n}), b({n, n});
+  Philox rng(1);
+  rng.fill_normal(a, 1, 0);
+  rng.fill_normal(b, 1, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(matmul(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_Gemm)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_GemmBf16(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  Tensor a({n, n}), b({n, n});
+  Philox rng(1);
+  rng.fill_normal(a, 1, 0);
+  rng.fill_normal(b, 1, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(matmul(a, b, false, false, GemmPrecision::kBF16));
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_GemmBf16)->Arg(128);
+
+void BM_WindowAttentionForward(benchmark::State& state) {
+  nn::WindowAttention attn("a", 32, 4, 8, 8);
+  Philox rng(2);
+  attn.init(rng, 0);
+  Tensor x({16, 64, 32});
+  rng.fill_normal(x, 1, 0);
+  for (auto _ : state) benchmark::DoNotOptimize(attn.forward(x));
+}
+BENCHMARK(BM_WindowAttentionForward);
+
+void BM_WindowPartitionRoundTrip(benchmark::State& state) {
+  Philox rng(3);
+  Tensor x({32, 32, 32});
+  rng.fill_normal(x, 1, 0);
+  for (auto _ : state) {
+    Tensor wins = core::window_partition(x, 8, 8, 4);
+    benchmark::DoNotOptimize(core::window_reverse(wins, 32, 32, 8, 8, 4));
+  }
+}
+BENCHMARK(BM_WindowPartitionRoundTrip);
+
+void BM_ModelForward(benchmark::State& state) {
+  core::ModelConfig mc;
+  mc.h = 32;
+  mc.w = 32;
+  mc.in_channels = 23;
+  mc.out_channels = 10;
+  mc.dim = 32;
+  mc.depth = 2;
+  mc.heads = 4;
+  mc.ffn_hidden = 64;
+  mc.win_h = 8;
+  mc.win_w = 8;
+  mc.cond_dim = 32;
+  core::AerisModel model(mc, 1);
+  Philox rng(4);
+  Tensor x({1, 32, 32, 23});
+  rng.fill_normal(x, 1, 0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.forward(x, Tensor({1}, 0.5f)));
+  }
+}
+BENCHMARK(BM_ModelForward);
+
+void BM_ReshardPlan(benchmark::State& state) {
+  swipe::WindowLayout from(32, 32, 8, 8, 2, 2, 2, 0);
+  swipe::WindowLayout to(32, 32, 8, 8, 2, 2, 2, 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(swipe::make_reshard_plan(from, to, 0, 0));
+  }
+}
+BENCHMARK(BM_ReshardPlan);
+
+void BM_Alltoall(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  swipe::World world(n);
+  for (auto _ : state) {
+    world.run([&](int rank) {
+      std::vector<int> members(static_cast<std::size_t>(n));
+      std::iota(members.begin(), members.end(), 0);
+      swipe::Communicator comm(world, members, rank, 1);
+      std::vector<std::vector<float>> bufs(static_cast<std::size_t>(n),
+                                           std::vector<float>(1024));
+      benchmark::DoNotOptimize(comm.alltoall(std::move(bufs)));
+    });
+  }
+}
+BENCHMARK(BM_Alltoall)->Arg(4)->Arg(8);
+
+void BM_QgStep(benchmark::State& state) {
+  physics::QgParams p;
+  p.h = 32;
+  p.w = 32;
+  p.lx = 2 * M_PI;
+  physics::TwoLayerQg qg(p);
+  qg.init_random(Philox(5), 0, 3e-2);
+  qg.run(200);
+  for (auto _ : state) qg.step();
+}
+BENCHMARK(BM_QgStep);
+
+void BM_TrigflowSamplerStep(benchmark::State& state) {
+  core::TrigFlow tf(core::TrigFlowConfig{});
+  core::DenoiserFn velocity = [](const Tensor& x, float) {
+    return Tensor(x.shape());
+  };
+  core::TrigSamplerConfig cfg;
+  cfg.steps = 6;
+  Philox rng(6);
+  std::uint64_t member = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::sample_trigflow(velocity, {32, 32, 10}, tf, cfg, rng, member++));
+  }
+}
+BENCHMARK(BM_TrigflowSamplerStep);
+
+}  // namespace
+
+BENCHMARK_MAIN();

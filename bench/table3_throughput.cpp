@@ -1,0 +1,51 @@
+// Reproduces paper Table III: sustained/peak training throughput per
+// configuration from the analytic performance model (the paper's own
+// measurement methodology is FLOP counting + timing, §VI-D), with the
+// paper's reported values side by side. Also prints the Table I machine
+// constants the model uses.
+#include <cstdio>
+
+#include "aeris/perf/paper_configs.hpp"
+
+int main() {
+  using namespace aeris::perf;
+  const Machine a = aurora(), l = lumi();
+  std::printf("== Table I: machine configurations used by the model ==\n");
+  std::printf("%-24s %10s %10s\n", "", "Aurora", "LUMI");
+  std::printf("%-24s %10d %10d\n", "GPU tiles / node", a.tiles_per_node,
+              l.tiles_per_node);
+  std::printf("%-24s %10.1f %10.1f\n", "BF16 peak / tile (TF)",
+              a.peak_tflops_tile, l.peak_tflops_tile);
+  std::printf("%-24s %10.0f %10.0f\n", "Scale-up BW (GB/s)", a.scale_up_gbs,
+              l.scale_up_gbs);
+  std::printf("%-24s %10.0f %10.0f\n", "Scale-out BW (GB/s)", a.scale_out_gbs,
+              l.scale_out_gbs);
+  std::printf("%-24s %10d %10d\n", "NICs / node", a.nics_per_node,
+              l.nics_per_node);
+
+  std::printf("\n== Table III: sustained & peak training throughput ==\n");
+  std::printf("%-7s %6s %3s %5s | %6s %7s %7s %7s | %6s %6s %6s %6s\n",
+              "Config", "Nodes", "DP", "GBS", "img/s", "TF/T", "MFU%",
+              "EF(S)", "pTF/T", "pMFU", "pEF(S)", "pEF(P)");
+  for (const PaperConfig& c : paper_configs()) {
+    const Throughput t = evaluate(c.job());
+    std::printf(
+        "%-7s %6d %3d %5d | %6.1f %7.1f %7.1f %7.2f | %6.1f %6.1f %6.2f %6.2f\n",
+        c.name.c_str(), c.nodes, c.dp, c.gbs, t.images_per_s,
+        t.tflops_per_tile, t.mfu * 100.0, t.sustained_eflops,
+        c.paper_tf_per_tile, c.paper_mfu_pct, c.paper_ef_sustained,
+        c.paper_ef_peak);
+  }
+
+  const Throughput t40 = evaluate(flagship_40b().job());
+  std::printf("\nFlagship 40B step-time breakdown (s): compute %.1f, "
+              "alltoall %.1f, p2p %.1f, bubble %.1f, grad-sync %.1f, "
+              "optimizer %.1f\n",
+              t40.step.compute_s, t40.step.alltoall_s, t40.step.p2p_s,
+              t40.step.bubble_s, t40.step.grad_sync_s, t40.step.optimizer_s);
+  std::printf("Peak EF (pipeline-only) %.2f vs sustained %.2f; 3M samples at "
+              "%.1f img/s = %.1f hours (paper: ~15h at 50 img/s).\n",
+              t40.peak_eflops, t40.sustained_eflops, t40.images_per_s,
+              3e6 / t40.images_per_s / 3600.0);
+  return 0;
+}

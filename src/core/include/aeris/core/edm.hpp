@@ -1,0 +1,53 @@
+#pragma once
+
+#include <cstdint>
+
+#include "aeris/tensor/rng.hpp"
+#include "aeris/tensor/tensor.hpp"
+
+namespace aeris::core {
+
+/// EDM diffusion parameterization (Karras et al. 2022) — the scheme behind
+/// GenCast, implemented here as the paper's diffusion *baseline* so
+/// TrigFlow-vs-EDM comparisons isolate AERIS's parameterization choice.
+///
+///   x_sigma = x0 + sigma * n,  n ~ N(0, I)
+///   D(x; sigma) = c_skip x + c_out F(c_in x, c_noise(sigma))
+/// with the standard preconditioners
+///   c_in   = 1 / sqrt(sigma^2 + sigma_d^2)
+///   c_skip = sigma_d^2 / (sigma^2 + sigma_d^2)
+///   c_out  = sigma sigma_d / sqrt(sigma^2 + sigma_d^2)
+///   c_noise= ln(sigma) / 4
+/// and loss weight lambda = (sigma^2 + sigma_d^2) / (sigma sigma_d)^2.
+struct EdmConfig {
+  float sigma_d = 1.0f;
+  float p_mean = -1.2f;  ///< log-normal noise prior mean
+  float p_std = 1.2f;    ///< log-normal noise prior std
+  float sigma_min = 0.02f;
+  float sigma_max = 80.0f;
+  float rho = 7.0f;  ///< Karras schedule exponent
+};
+
+class Edm {
+ public:
+  explicit Edm(const EdmConfig& cfg) : cfg_(cfg) {}
+
+  const EdmConfig& config() const { return cfg_; }
+
+  /// sigma drawn from the log-normal training prior (counter RNG).
+  float sample_sigma(const Philox& rng, std::uint64_t sample_index) const;
+
+  float c_in(float sigma) const;
+  float c_skip(float sigma) const;
+  float c_out(float sigma) const;
+  float c_noise(float sigma) const;
+  float loss_weight(float sigma) const;
+
+  /// Karras sigma schedule of n+1 points from sigma_max down to 0.
+  std::vector<float> schedule(int n) const;
+
+ private:
+  EdmConfig cfg_;
+};
+
+}  // namespace aeris::core

@@ -1,0 +1,44 @@
+#pragma once
+
+#include "aeris/tensor/tensor.hpp"
+
+namespace aeris::core {
+
+/// Physically weighted loss (paper Eq. 2): a latitude weight alpha(s)
+/// accounting for the non-uniform area of the re-gridded sphere, and a
+/// per-variable weight kappa(v) emphasizing near-surface variables and
+/// weighting atmospheric variables by pressure level.
+struct LossWeights {
+  Tensor lat;  ///< [H], mean 1
+  Tensor var;  ///< [V], mean 1
+
+  /// Combined weight for (row, variable).
+  float at(std::int64_t row, std::int64_t v) const {
+    return lat[row] * var[v];
+  }
+};
+
+/// cos(latitude) weights for an H-row grid with poles removed: row r sits
+/// at latitude theta_r = -90 + (r + 0.5) * 180 / H degrees. Normalized to
+/// mean 1 (the WeatherBench 2 convention).
+Tensor latitude_weights(std::int64_t h);
+
+/// Pressure-proportional weights for a set of levels (hPa), normalized to
+/// mean 1 — near-surface levels get the largest weight, as in GraphCast /
+/// Stormer-style recipes the paper cites for Eq. 2.
+Tensor pressure_level_weights(std::span<const double> levels_hpa);
+
+/// Uniform weights (mean 1) of length n.
+Tensor uniform_weights(std::int64_t n);
+
+/// Weighted MSE over token fields [B, H, W, V]:
+///   L = mean_{b,h,w,v} lat[h] * var[v] * (pred - target)^2
+/// If `grad` is non-null it receives dL/dpred.
+float weighted_mse(const Tensor& pred, const Tensor& target,
+                   const LossWeights& w, Tensor* grad = nullptr);
+
+/// Plain latitude-weighted MSE (var weights uniform).
+float lat_weighted_mse(const Tensor& pred, const Tensor& target,
+                       const Tensor& lat_weights);
+
+}  // namespace aeris::core

@@ -1,0 +1,85 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "aeris/core/swin_block.hpp"
+#include "aeris/core/window.hpp"
+#include "aeris/nn/embedding.hpp"
+#include "aeris/nn/linear.hpp"
+
+namespace aeris::core {
+
+/// Architecture hyper-parameters of an AERIS network (paper Table II uses
+/// Dim/Heads/FFN; the grid and window size come from the data resolution —
+/// 720x1440 with 30x30 or 60x60 windows at full scale).
+struct ModelConfig {
+  std::int64_t h = 32;            ///< token rows (pixel rows; patch size 1x1)
+  std::int64_t w = 64;            ///< token cols
+  std::int64_t in_channels = 8;   ///< x_t + initial condition + forcings
+  std::int64_t out_channels = 4;  ///< predicted variables
+  std::int64_t dim = 64;          ///< hidden dimension
+  std::int64_t depth = 4;         ///< number of Swin layers
+  std::int64_t heads = 4;
+  std::int64_t ffn_hidden = 128;
+  std::int64_t win_h = 8;
+  std::int64_t win_w = 8;
+  std::int64_t cond_dim = 64;        ///< time-conditioning width
+  std::int64_t time_features = 32;   ///< sinusoidal feature count
+
+  std::int64_t tokens_per_window() const { return win_h * win_w; }
+  std::int64_t windows() const { return window_count(h, w, win_h, win_w); }
+  /// Shift applied by layer `l` (alternating 0 / win/2, paper Fig. 2a).
+  std::int64_t shift_for_layer(std::int64_t l) const {
+    return (l % 2 == 1) ? win_h / 2 : 0;
+  }
+};
+
+/// The AERIS backbone: pixel-level embed -> N Swin blocks with alternating
+/// shifted windows and AdaLN time conditioning -> norm -> pixel decode
+/// (paper Fig. 3). Works on batches of token maps.
+///
+/// This class is the *single-rank reference implementation*; the SWiPe
+/// runtime executes the same blocks sharded across window / sequence /
+/// pipeline ranks and is tested for equivalence against this path.
+class AerisModel {
+ public:
+  explicit AerisModel(const ModelConfig& cfg, std::uint64_t seed = 0);
+
+  /// x: [B, H, W, Cin], t: [B] diffusion times. Returns [B, H, W, Cout].
+  Tensor forward(const Tensor& x, const Tensor& t);
+
+  /// dy: [B, H, W, Cout]. Returns dL/dx and accumulates parameter grads.
+  Tensor backward(const Tensor& dy);
+
+  const nn::ParamList& params() { return params_; }
+  const ModelConfig& config() const { return cfg_; }
+  std::int64_t param_count() const;
+
+  /// Analytic parameter count for a config (validated in tests against a
+  /// constructed model; used by the perf model for Table II).
+  static std::int64_t analytic_param_count(const ModelConfig& cfg);
+
+  /// Blocks are exposed so the pipeline-parallel runtime can host one
+  /// stage's worth of layers without duplicating construction logic.
+  SwinBlock& block(std::int64_t i) { return *blocks_[static_cast<std::size_t>(i)]; }
+  nn::TimeEmbedding& time_embedding() { return time_embed_; }
+
+ private:
+  Tensor partition_batch(const Tensor& x, std::int64_t shift) const;
+  Tensor reverse_batch(const Tensor& windows, std::int64_t batch,
+                       std::int64_t shift) const;
+
+  ModelConfig cfg_;
+  Tensor posenc_;  // [H, W]
+  nn::Linear embed_;
+  nn::TimeEmbedding time_embed_;
+  std::vector<std::unique_ptr<SwinBlock>> blocks_;
+  nn::RMSNorm final_norm_;
+  nn::Linear head_;
+  nn::ParamList params_;
+
+  std::int64_t batch_ = 0;
+};
+
+}  // namespace aeris::core

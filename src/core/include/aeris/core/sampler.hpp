@@ -1,0 +1,49 @@
+#pragma once
+
+#include <functional>
+
+#include "aeris/core/edm.hpp"
+#include "aeris/core/trigflow.hpp"
+
+namespace aeris::core {
+
+/// Network evaluation closed over the conditioning (previous state and
+/// forcings): for TrigFlow it returns the *velocity* sigma_d * F(x/sigma_d, t);
+/// for EDM it returns the raw network output F(x_in, c_noise).
+using DenoiserFn = std::function<Tensor(const Tensor& x, float t)>;
+
+/// TrigFlow probability-flow ODE sampler (paper §VI-B "Inference"):
+/// a second-order, two-stage (midpoint, DPMSolver++(2S)-class) solver with
+/// a log-uniform schedule in t matching the training prior, plus a
+/// trigonometric Langevin-like churn that temporarily re-noises the state
+/// to improve sample quality and ensemble spread.
+struct TrigSamplerConfig {
+  int steps = 10;          ///< ODE steps (paper: 10)
+  float churn = 0.0f;      ///< fraction of each step re-noised (0 = plain ODE)
+  float sigma_min = 0.02f; ///< inference schedule bounds (tan t range)
+  float sigma_max = 80.0f;
+};
+
+/// Integrates the PF-ODE from pure noise to a sample. `member` selects the
+/// ensemble member: all stochastic draws are keyed by (member, step) in
+/// the counter RNG, so ensembles are reproducible and members independent.
+Tensor sample_trigflow(const DenoiserFn& velocity, const Shape& shape,
+                       const TrigFlow& tf, const TrigSamplerConfig& cfg,
+                       const Philox& rng, std::uint64_t member);
+
+/// EDM / GenCast-style sampler: Karras schedule + Heun's second order
+/// method over the denoised estimate D(x; sigma).
+struct EdmSamplerConfig {
+  int steps = 10;
+};
+
+Tensor sample_edm(const DenoiserFn& network, const Shape& shape,
+                  const Edm& edm, const EdmSamplerConfig& cfg,
+                  const Philox& rng, std::uint64_t member);
+
+/// The t (or sigma) schedule used by sample_trigflow, exposed for tests
+/// and diagnostics: steps+1 values, strictly decreasing, last element 0.
+std::vector<float> trigflow_schedule(const TrigFlow& tf,
+                                     const TrigSamplerConfig& cfg);
+
+}  // namespace aeris::core

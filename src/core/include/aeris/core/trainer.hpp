@@ -1,0 +1,73 @@
+#pragma once
+
+#include <span>
+
+#include "aeris/core/edm.hpp"
+#include "aeris/core/loss_weights.hpp"
+#include "aeris/core/model.hpp"
+#include "aeris/core/trigflow.hpp"
+#include "aeris/nn/optimizer.hpp"
+
+namespace aeris::core {
+
+/// Training objective selector: AERIS's TrigFlow diffusion, the EDM
+/// (GenCast-like) diffusion baseline, or the deterministic MSE baseline.
+enum class Objective { kTrigFlow, kEdm, kDeterministic };
+
+/// One supervised pair: previous state, next state, and forcings at the
+/// previous time, all in standardized token layout.
+struct TrainExample {
+  Tensor prev;      ///< [H, W, V]
+  Tensor target;    ///< [H, W, V]
+  Tensor forcings;  ///< [H, W, F]
+};
+
+struct TrainerConfig {
+  Objective objective = Objective::kTrigFlow;
+  TrigFlowConfig trigflow{};
+  EdmConfig edm{};
+  LossWeights weights{};          ///< lat/var weights (defaulted if empty)
+  nn::LRSchedule schedule{};
+  nn::AdamW::Options adam{};
+  float ema_half_life = 100'000.0f;  ///< images (paper §VI-B)
+  float grad_clip = 0.0f;            ///< 0 disables clipping
+  std::uint64_t seed = 0;
+};
+
+/// Single-rank reference training loop for an AerisModel. The SWiPe
+/// runtime implements the same step distributed across ranks; the
+/// equivalence tests compare both against each other.
+class Trainer {
+ public:
+  Trainer(AerisModel& model, const TrainerConfig& cfg);
+
+  /// One optimizer step over a batch. Computes the objective, runs the
+  /// explicit backward pass, averages gradients over the batch, applies
+  /// AdamW with the scheduled LR, and updates the EMA. Returns the loss.
+  float train_step(std::span<const TrainExample> batch);
+
+  /// Loss only (no grads, no step) — for validation curves.
+  float eval_loss(std::span<const TrainExample> batch);
+
+  std::int64_t images_seen() const { return images_seen_; }
+  nn::AdamW& optimizer() { return opt_; }
+  nn::EMA& ema() { return ema_; }
+  const TrainerConfig& config() const { return cfg_; }
+
+  /// Loads EMA weights into the model for inference (paper: "using only
+  /// these weights during inference").
+  void use_ema_weights() { ema_.copy_to(model_.params()); }
+
+ private:
+  float objective_forward_backward(std::span<const TrainExample> batch,
+                                   bool compute_grads);
+
+  AerisModel& model_;
+  TrainerConfig cfg_;
+  nn::AdamW opt_;
+  nn::EMA ema_;
+  Philox rng_;
+  std::int64_t images_seen_ = 0;
+};
+
+}  // namespace aeris::core

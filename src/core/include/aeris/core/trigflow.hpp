@@ -1,0 +1,60 @@
+#pragma once
+
+#include <cstdint>
+
+#include "aeris/tensor/rng.hpp"
+#include "aeris/tensor/tensor.hpp"
+
+namespace aeris::core {
+
+/// TrigFlow diffusion parameterization (paper §VI-B, following Lu & Song
+/// 2024), which unifies EDM and flow matching under a v-prediction target:
+///
+///   x_t = cos(t) x_0 + sin(t) z,      z ~ N(0, sigma_d^2 I)
+///   v_t = cos(t) z   - sin(t) x_0
+///   t   = arctan(e^tau / sigma_d),    tau ~ LogUniform[sigma_min, sigma_max]
+///
+/// The model f_theta(x_t, t) = F_theta(x_t / sigma_d, t) is trained to
+/// regress v_t; the learned probability-flow ODE is
+/// dx/dt = sigma_d F_theta(x/sigma_d, t).
+struct TrigFlowConfig {
+  float sigma_d = 1.0f;     ///< data standard deviation (z-scored data)
+  float sigma_min = 0.2f;   ///< training prior lower bound (paper value)
+  float sigma_max = 500.0f; ///< training prior upper bound (paper value)
+};
+
+class TrigFlow {
+ public:
+  explicit TrigFlow(const TrigFlowConfig& cfg) : cfg_(cfg) {}
+
+  const TrigFlowConfig& config() const { return cfg_; }
+
+  /// Diffusion time for training sample `sample_index`, drawn from the
+  /// log-uniform prior. Uses the counter-based RNG so that *every rank in
+  /// a model-parallel group regenerates the same t for the same sample*
+  /// (the shared-seed requirement of §VI-B) while data-parallel replicas,
+  /// which see different sample indices, get independent draws.
+  float sample_time(const Philox& rng, std::uint64_t sample_index) const;
+
+  /// Diffusion time from a uniform u in [0,1] (deterministic form).
+  float time_from_uniform(float u) const;
+
+  /// x_t = cos(t) x0 + sin(t) z.
+  Tensor interpolate(const Tensor& x0, const Tensor& z, float t) const;
+
+  /// v_t = cos(t) z - sin(t) x0 (the regression target).
+  Tensor velocity_target(const Tensor& x0, const Tensor& z, float t) const;
+
+  /// Given the network output F (already scaled by the caller's forward of
+  /// x_t / sigma_d) computes the elementwise residual sigma_d*F - v_t used
+  /// by the loss.
+  Tensor residual(const Tensor& f, const Tensor& v_t) const;
+
+  float t_min() const;  ///< arctan(sigma_min / sigma_d)
+  float t_max() const;  ///< arctan(sigma_max / sigma_d)
+
+ private:
+  TrigFlowConfig cfg_;
+};
+
+}  // namespace aeris::core

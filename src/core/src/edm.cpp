@@ -1,0 +1,46 @@
+#include "aeris/core/edm.hpp"
+
+#include <cmath>
+
+namespace aeris::core {
+
+float Edm::sample_sigma(const Philox& rng, std::uint64_t sample_index) const {
+  const float n = rng.normal(rng_stream::kDiffusionTime, sample_index, 1);
+  return std::exp(cfg_.p_mean + cfg_.p_std * n);
+}
+
+float Edm::c_in(float sigma) const {
+  return 1.0f / std::sqrt(sigma * sigma + cfg_.sigma_d * cfg_.sigma_d);
+}
+
+float Edm::c_skip(float sigma) const {
+  const float s2 = cfg_.sigma_d * cfg_.sigma_d;
+  return s2 / (sigma * sigma + s2);
+}
+
+float Edm::c_out(float sigma) const {
+  return sigma * cfg_.sigma_d /
+         std::sqrt(sigma * sigma + cfg_.sigma_d * cfg_.sigma_d);
+}
+
+float Edm::c_noise(float sigma) const { return 0.25f * std::log(sigma); }
+
+float Edm::loss_weight(float sigma) const {
+  const float so = sigma * cfg_.sigma_d;
+  return (sigma * sigma + cfg_.sigma_d * cfg_.sigma_d) / (so * so);
+}
+
+std::vector<float> Edm::schedule(int n) const {
+  std::vector<float> out(static_cast<std::size_t>(n) + 1);
+  const float inv_rho = 1.0f / cfg_.rho;
+  const float a = std::pow(cfg_.sigma_max, inv_rho);
+  const float b = std::pow(cfg_.sigma_min, inv_rho);
+  for (int i = 0; i < n; ++i) {
+    const float frac = static_cast<float>(i) / static_cast<float>(n - 1);
+    out[static_cast<std::size_t>(i)] = std::pow(a + frac * (b - a), cfg_.rho);
+  }
+  out[static_cast<std::size_t>(n)] = 0.0f;
+  return out;
+}
+
+}  // namespace aeris::core

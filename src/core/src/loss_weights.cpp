@@ -1,0 +1,78 @@
+#include "aeris/core/loss_weights.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace aeris::core {
+
+Tensor latitude_weights(std::int64_t h) {
+  Tensor w({h});
+  double total = 0.0;
+  for (std::int64_t r = 0; r < h; ++r) {
+    const double lat_deg = -90.0 + (static_cast<double>(r) + 0.5) * 180.0 /
+                                       static_cast<double>(h);
+    const double c = std::cos(lat_deg * M_PI / 180.0);
+    w[r] = static_cast<float>(c);
+    total += c;
+  }
+  const float norm = static_cast<float>(static_cast<double>(h) / total);
+  for (std::int64_t r = 0; r < h; ++r) w[r] *= norm;
+  return w;
+}
+
+Tensor pressure_level_weights(std::span<const double> levels_hpa) {
+  const std::int64_t n = static_cast<std::int64_t>(levels_hpa.size());
+  if (n == 0) throw std::invalid_argument("pressure_level_weights: empty");
+  Tensor w({n});
+  double total = 0.0;
+  for (std::int64_t i = 0; i < n; ++i) {
+    total += levels_hpa[static_cast<std::size_t>(i)];
+  }
+  for (std::int64_t i = 0; i < n; ++i) {
+    w[i] = static_cast<float>(levels_hpa[static_cast<std::size_t>(i)] *
+                              static_cast<double>(n) / total);
+  }
+  return w;
+}
+
+Tensor uniform_weights(std::int64_t n) { return Tensor({n}, 1.0f); }
+
+float weighted_mse(const Tensor& pred, const Tensor& target,
+                   const LossWeights& w, Tensor* grad) {
+  if (pred.shape() != target.shape() || pred.ndim() != 4) {
+    throw std::invalid_argument("weighted_mse: expected matching [B,H,W,V]");
+  }
+  const std::int64_t b = pred.dim(0), h = pred.dim(1), ww = pred.dim(2),
+                     v = pred.dim(3);
+  if (w.lat.numel() != h || w.var.numel() != v) {
+    throw std::invalid_argument("weighted_mse: weight dims mismatch");
+  }
+  if (grad != nullptr) *grad = Tensor(pred.shape());
+  const float inv_n = 1.0f / static_cast<float>(pred.numel());
+  double loss = 0.0;
+  for (std::int64_t bb = 0; bb < b; ++bb) {
+    for (std::int64_t r = 0; r < h; ++r) {
+      const float wl = w.lat[r];
+      for (std::int64_t c = 0; c < ww; ++c) {
+        const std::int64_t off = ((bb * h + r) * ww + c) * v;
+        for (std::int64_t vv = 0; vv < v; ++vv) {
+          const float wt = wl * w.var[vv];
+          const float d = pred[off + vv] - target[off + vv];
+          loss += static_cast<double>(wt) * d * d;
+          if (grad != nullptr) (*grad)[off + vv] = 2.0f * wt * d * inv_n;
+        }
+      }
+    }
+  }
+  return static_cast<float>(loss * inv_n);
+}
+
+float lat_weighted_mse(const Tensor& pred, const Tensor& target,
+                       const Tensor& lat_weights) {
+  LossWeights w;
+  w.lat = lat_weights;
+  w.var = uniform_weights(pred.dim(-1));
+  return weighted_mse(pred, target, w, nullptr);
+}
+
+}  // namespace aeris::core

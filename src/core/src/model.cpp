@@ -1,0 +1,159 @@
+#include "aeris/core/model.hpp"
+
+#include <stdexcept>
+
+#include "aeris/tensor/ops.hpp"
+
+namespace aeris::core {
+
+AerisModel::AerisModel(const ModelConfig& cfg, std::uint64_t seed)
+    : cfg_(cfg),
+      posenc_(nn::sinusoidal_posenc_2d(cfg.h, cfg.w)),
+      embed_("embed", cfg.in_channels, cfg.dim),
+      time_embed_("time", cfg.time_features, cfg.cond_dim),
+      final_norm_("final_norm", cfg.dim),
+      head_("head", cfg.dim, cfg.out_channels) {
+  if (cfg.h % cfg.win_h != 0 || cfg.w % cfg.win_w != 0) {
+    throw std::invalid_argument("AerisModel: windows must tile the grid");
+  }
+  if (cfg.win_h % 2 != 0) {
+    throw std::invalid_argument("AerisModel: window size must be even (shift)");
+  }
+  SwinBlock::Config bc;
+  bc.dim = cfg.dim;
+  bc.heads = cfg.heads;
+  bc.ffn_hidden = cfg.ffn_hidden;
+  bc.win_h = cfg.win_h;
+  bc.win_w = cfg.win_w;
+  bc.cond_dim = cfg.cond_dim;
+  blocks_.reserve(static_cast<std::size_t>(cfg.depth));
+  for (std::int64_t l = 0; l < cfg.depth; ++l) {
+    blocks_.push_back(
+        std::make_unique<SwinBlock>("block" + std::to_string(l), bc));
+  }
+
+  const Philox rng(seed);
+  embed_.init(rng, 1);
+  time_embed_.init(rng, 2);
+  for (std::int64_t l = 0; l < cfg.depth; ++l) {
+    blocks_[static_cast<std::size_t>(l)]->init(rng, 16 + static_cast<std::uint64_t>(l));
+  }
+  head_.init_zero();  // start as an identity residual model
+
+  embed_.collect_params(params_);
+  time_embed_.collect_params(params_);
+  for (auto& b : blocks_) b->collect_params(params_);
+  final_norm_.collect_params(params_);
+  head_.collect_params(params_);
+}
+
+std::int64_t AerisModel::param_count() const {
+  return nn::param_count(params_);
+}
+
+std::int64_t AerisModel::analytic_param_count(const ModelConfig& c) {
+  const std::int64_t d = c.dim;
+  // Embed / head / time trunk.
+  std::int64_t n = (c.in_channels + 1) * d;          // embed (w + b)
+  n += (c.time_features + 1) * c.cond_dim;           // shared time linear
+  n += d;                                            // final norm gain
+  n += (d + 1) * c.out_channels;                     // head
+  // Per block: qkv, proj, 2 adaLN heads, swiglu.
+  std::int64_t per = (d + 1) * 3 * d;                // qkv
+  per += (d + 1) * d;                                // proj
+  per += 2 * (c.cond_dim + 1) * 3 * d;               // adaLN heads
+  per += 3 * d * c.ffn_hidden;                       // swiglu (no bias)
+  return n + c.depth * per;
+}
+
+Tensor AerisModel::partition_batch(const Tensor& x, std::int64_t shift) const {
+  const std::int64_t b = x.dim(0);
+  const std::int64_t nwin = cfg_.windows();
+  Tensor out({b * nwin, cfg_.tokens_per_window(), x.dim(3)});
+  for (std::int64_t i = 0; i < b; ++i) {
+    Tensor sample = slice(x, 0, i, i + 1)
+                        .reshaped({x.dim(1), x.dim(2), x.dim(3)});
+    Tensor wins = window_partition(sample, cfg_.win_h, cfg_.win_w, shift);
+    std::copy_n(wins.data(), wins.numel(), out.data() + i * wins.numel());
+  }
+  return out;
+}
+
+Tensor AerisModel::reverse_batch(const Tensor& windows, std::int64_t batch,
+                                 std::int64_t shift) const {
+  const std::int64_t nwin = cfg_.windows();
+  const std::int64_t c = windows.dim(2);
+  Tensor out({batch, cfg_.h, cfg_.w, c});
+  const std::int64_t per = nwin * cfg_.tokens_per_window() * c;
+  for (std::int64_t i = 0; i < batch; ++i) {
+    Tensor wins({nwin, cfg_.tokens_per_window(), c});
+    std::copy_n(windows.data() + i * per, per, wins.data());
+    Tensor img = window_reverse(wins, cfg_.h, cfg_.w, cfg_.win_h, cfg_.win_w,
+                                shift);
+    std::copy_n(img.data(), img.numel(), out.data() + i * img.numel());
+  }
+  return out;
+}
+
+Tensor AerisModel::forward(const Tensor& x, const Tensor& t) {
+  if (x.ndim() != 4 || x.dim(1) != cfg_.h || x.dim(2) != cfg_.w ||
+      x.dim(3) != cfg_.in_channels) {
+    throw std::invalid_argument("AerisModel: expected [B,H,W,Cin], got " +
+                                shape_to_string(x.shape()));
+  }
+  if (t.ndim() != 1 || t.dim(0) != x.dim(0)) {
+    throw std::invalid_argument("AerisModel: t must be [B]");
+  }
+  batch_ = x.dim(0);
+  const std::int64_t nwin = cfg_.windows();
+
+  // Add the fixed 2D sinusoidal positional field to every channel.
+  Tensor xin = x;
+  for (std::int64_t b = 0; b < batch_; ++b) {
+    for (std::int64_t r = 0; r < cfg_.h; ++r) {
+      for (std::int64_t cc = 0; cc < cfg_.w; ++cc) {
+        const float pe = posenc_.at2(r, cc);
+        float* p = xin.data() +
+                   ((b * cfg_.h + r) * cfg_.w + cc) * cfg_.in_channels;
+        for (std::int64_t ch = 0; ch < cfg_.in_channels; ++ch) p[ch] += pe;
+      }
+    }
+  }
+
+  Tensor cond = time_embed_.forward(t);  // [B, cond_dim]
+  Tensor tokens = embed_.forward(xin);   // [B, H, W, dim]
+
+  for (std::int64_t l = 0; l < cfg_.depth; ++l) {
+    const std::int64_t shift = cfg_.shift_for_layer(l);
+    Tensor wins = partition_batch(tokens, shift);
+    Tensor out = blocks_[static_cast<std::size_t>(l)]->forward(wins, cond, nwin);
+    tokens = reverse_batch(out, batch_, shift);
+  }
+
+  Tensor normed = final_norm_.forward(tokens);
+  return head_.forward(normed);
+}
+
+Tensor AerisModel::backward(const Tensor& dy) {
+  if (batch_ == 0) throw std::logic_error("AerisModel: backward before forward");
+  const std::int64_t nwin = cfg_.windows();
+
+  Tensor dtokens = final_norm_.backward(head_.backward(dy));
+  Tensor dcond({batch_, cfg_.cond_dim});
+
+  for (std::int64_t l = cfg_.depth - 1; l >= 0; --l) {
+    const std::int64_t shift = cfg_.shift_for_layer(l);
+    // partition/reverse are permutations: the adjoint of reverse is
+    // partition with the same shift, and vice versa.
+    Tensor dwins = partition_batch(dtokens, shift);
+    Tensor dx = blocks_[static_cast<std::size_t>(l)]->backward(dwins, dcond);
+    dtokens = reverse_batch(dx, batch_, shift);
+  }
+
+  Tensor dxin = embed_.backward(dtokens);
+  time_embed_.backward(dcond);
+  // The positional field is an additive constant: gradient passes through.
+  return dxin;
+}
+
+}  // namespace aeris::core

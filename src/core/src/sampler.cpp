@@ -1,0 +1,114 @@
+#include "aeris/core/sampler.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "aeris/tensor/ops.hpp"
+
+namespace aeris::core {
+
+std::vector<float> trigflow_schedule(const TrigFlow& tf,
+                                     const TrigSamplerConfig& cfg) {
+  if (cfg.steps < 1) throw std::invalid_argument("sampler: steps < 1");
+  std::vector<float> ts(static_cast<std::size_t>(cfg.steps) + 1);
+  const float lmax = std::log(cfg.sigma_max);
+  const float lmin = std::log(cfg.sigma_min);
+  const float sd = tf.config().sigma_d;
+  for (int i = 0; i < cfg.steps; ++i) {
+    const float frac = cfg.steps == 1
+                           ? 0.0f
+                           : static_cast<float>(i) /
+                                 static_cast<float>(cfg.steps - 1);
+    const float sigma = std::exp(lmax + frac * (lmin - lmax));
+    ts[static_cast<std::size_t>(i)] = std::atan(sigma / sd);
+  }
+  ts[static_cast<std::size_t>(cfg.steps)] = 0.0f;
+  return ts;
+}
+
+Tensor sample_trigflow(const DenoiserFn& velocity, const Shape& shape,
+                       const TrigFlow& tf, const TrigSamplerConfig& cfg,
+                       const Philox& rng, std::uint64_t member) {
+  const float sd = tf.config().sigma_d;
+  const std::vector<float> ts = trigflow_schedule(tf, cfg);
+
+  // Start from pure noise at t_0: x = sigma_d * z.
+  Tensor x(shape);
+  rng.fill_normal(x, rng_stream::kSamplerNoise, member * 1024);
+  scale_(x, sd);
+
+  constexpr float kHalfPi = 1.5707963267948966f;
+  for (std::size_t i = 0; i + 1 < ts.size(); ++i) {
+    float t = ts[i];
+    const float t_next = ts[i + 1];
+
+    // Trigonometric Langevin-like churn: rotate partially back toward the
+    // noise sphere with *fresh* noise, increasing t before the ODE step.
+    if (cfg.churn > 0.0f && i + 1 < ts.size() - 1) {
+      const float delta =
+          std::min(cfg.churn * (t - t_next), kHalfPi - t - 1e-4f);
+      if (delta > 0.0f) {
+        Tensor z(shape);
+        rng.fill_normal(z, rng_stream::kChurn,
+                        member * 1024 + static_cast<std::uint64_t>(i) + 1);
+        Tensor xr = scale(x, std::cos(delta));
+        axpy_(xr, sd * std::sin(delta), z);
+        x = xr;
+        t += delta;
+      }
+    }
+
+    // Midpoint (two-stage second order) step of dx/dt = v(x, t).
+    const float t_mid = 0.5f * (t + t_next);
+    Tensor k1 = velocity(x, t);
+    Tensor x_mid = x;
+    axpy_(x_mid, t_mid - t, k1);
+    Tensor k2 = velocity(x_mid, t_mid);
+    axpy_(x, t_next - t, k2);
+  }
+  return x;
+}
+
+Tensor sample_edm(const DenoiserFn& network, const Shape& shape,
+                  const Edm& edm, const EdmSamplerConfig& cfg,
+                  const Philox& rng, std::uint64_t member) {
+  const std::vector<float> sigmas = edm.schedule(cfg.steps);
+
+  Tensor x(shape);
+  rng.fill_normal(x, rng_stream::kSamplerNoise, member * 1024 + 512);
+  scale_(x, sigmas[0]);
+
+  auto denoise = [&](const Tensor& xx, float sigma) {
+    Tensor xin = scale(xx, edm.c_in(sigma));
+    Tensor f = network(xin, edm.c_noise(sigma));
+    Tensor d = scale(xx, edm.c_skip(sigma));
+    axpy_(d, edm.c_out(sigma), f);
+    return d;
+  };
+
+  for (std::size_t i = 0; i + 1 < sigmas.size(); ++i) {
+    const float s = sigmas[i];
+    const float s_next = sigmas[i + 1];
+    Tensor d0 = denoise(x, s);
+    // d = (x - D) / sigma
+    Tensor slope = x;
+    sub_(slope, d0);
+    scale_(slope, 1.0f / s);
+    Tensor x_euler = x;
+    axpy_(x_euler, s_next - s, slope);
+    if (s_next > 0.0f) {
+      Tensor d1 = denoise(x_euler, s_next);
+      Tensor slope2 = x_euler;
+      sub_(slope2, d1);
+      scale_(slope2, 1.0f / s_next);
+      axpy_(slope, 1.0f, slope2);
+      scale_(slope, 0.5f);
+      x_euler = x;
+      axpy_(x_euler, s_next - s, slope);
+    }
+    x = x_euler;
+  }
+  return x;
+}
+
+}  // namespace aeris::core

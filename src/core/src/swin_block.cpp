@@ -1,0 +1,76 @@
+#include "aeris/core/swin_block.hpp"
+
+#include "aeris/tensor/ops.hpp"
+
+namespace aeris::core {
+
+SwinBlock::SwinBlock(std::string name, const Config& cfg)
+    : cfg_(cfg),
+      adaln_attn_(name + ".attn", cfg.cond_dim, cfg.dim),
+      adaln_ffn_(name + ".ffn", cfg.cond_dim, cfg.dim),
+      norm1_(name + ".norm1", cfg.dim, /*elementwise_affine=*/false),
+      norm2_(name + ".norm2", cfg.dim, /*elementwise_affine=*/false),
+      attn_(name + ".attn", cfg.dim, cfg.heads, cfg.win_h, cfg.win_w),
+      ffn_(name + ".ffn", cfg.dim, cfg.ffn_hidden) {}
+
+void SwinBlock::init(const Philox& rng, std::uint64_t index) {
+  attn_.init(rng, index * 8 + 0);
+  ffn_.init(rng, index * 8 + 1);
+  // AdaLN heads stay zero-initialized (identity blocks at start).
+}
+
+Tensor SwinBlock::forward(const Tensor& x, const Tensor& cond,
+                          std::int64_t windows_per_sample) {
+  wps_ = windows_per_sample;
+  x_ = x;
+  mod_a_ = adaln_attn_.forward(cond);
+  mod_f_ = adaln_ffn_.forward(cond);
+
+  norm1_out_ = norm1_.forward(x);
+  Tensor h_mod = nn::modulate(norm1_out_, mod_a_, wps_);
+  attn_out_ = attn_.forward(h_mod);
+  h_ = nn::apply_gate(x, attn_out_, mod_a_.gate, wps_);
+
+  norm2_out_ = norm2_.forward(h_);
+  Tensor f_mod = nn::modulate(norm2_out_, mod_f_, wps_);
+  ffn_out_ = ffn_.forward(f_mod);
+  return nn::apply_gate(h_, ffn_out_, mod_f_.gate, wps_);
+}
+
+Tensor SwinBlock::backward(const Tensor& dy, Tensor& dcond) {
+  // ---- FFN sublayer ----
+  Tensor dffn_out, dgate_f;
+  nn::apply_gate_backward(ffn_out_, mod_f_.gate, dy, dffn_out, dgate_f, wps_);
+  Tensor dh = dy;  // residual path
+
+  Tensor df_mod = ffn_.backward(dffn_out);
+  nn::AdaLNHead::Mod dmod_f;
+  Tensor dnorm2 = nn::modulate_backward(norm2_out_, mod_f_, df_mod, dmod_f, wps_);
+  dmod_f.gate = dgate_f;
+  add_(dcond, adaln_ffn_.backward(dmod_f));
+  add_(dh, norm2_.backward(dnorm2));
+
+  // ---- attention sublayer ----
+  Tensor dattn_out, dgate_a;
+  nn::apply_gate_backward(attn_out_, mod_a_.gate, dh, dattn_out, dgate_a, wps_);
+  Tensor dx = dh;  // residual path
+
+  Tensor dh_mod = attn_.backward(dattn_out);
+  nn::AdaLNHead::Mod dmod_a;
+  Tensor dnorm1 = nn::modulate_backward(norm1_out_, mod_a_, dh_mod, dmod_a, wps_);
+  dmod_a.gate = dgate_a;
+  add_(dcond, adaln_attn_.backward(dmod_a));
+  add_(dx, norm1_.backward(dnorm1));
+  return dx;
+}
+
+void SwinBlock::collect_params(nn::ParamList& out) {
+  adaln_attn_.collect_params(out);
+  adaln_ffn_.collect_params(out);
+  norm1_.collect_params(out);
+  norm2_.collect_params(out);
+  attn_.collect_params(out);
+  ffn_.collect_params(out);
+}
+
+}  // namespace aeris::core

@@ -1,0 +1,166 @@
+#include "aeris/core/trainer.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "aeris/tensor/ops.hpp"
+
+namespace aeris::core {
+namespace {
+
+TrainerConfig with_default_weights(TrainerConfig cfg, const ModelConfig& mc) {
+  if (cfg.weights.lat.empty()) cfg.weights.lat = latitude_weights(mc.h);
+  if (cfg.weights.var.empty()) {
+    cfg.weights.var = uniform_weights(mc.out_channels);
+  }
+  return cfg;
+}
+
+}  // namespace
+
+Trainer::Trainer(AerisModel& model, const TrainerConfig& cfg)
+    : model_(model),
+      cfg_(with_default_weights(cfg, model.config())),
+      opt_(model.params(), cfg.adam),
+      ema_(model.params(), cfg.ema_half_life),
+      rng_(cfg.seed) {}
+
+float Trainer::objective_forward_backward(std::span<const TrainExample> batch,
+                                          bool compute_grads) {
+  const ModelConfig& mc = model_.config();
+  const std::int64_t b = static_cast<std::int64_t>(batch.size());
+  if (b == 0) throw std::invalid_argument("train_step: empty batch");
+  const std::int64_t v = mc.out_channels;
+  const std::int64_t per_state = mc.h * mc.w * v;
+
+  Tensor input({b, mc.h, mc.w, mc.in_channels});
+  Tensor t_vec({b});
+  // Per-sample scalar applied to both the residual and its gradient
+  // (EDM's lambda * c_out; 1 otherwise).
+  std::vector<float> grad_scale(static_cast<std::size_t>(b), 1.0f);
+  // The regression target in network-output space.
+  Tensor target({b, mc.h, mc.w, v});
+  // For EDM we also need c_skip*x_t to assemble D(x); store the offset
+  // (c_skip * x_t - x0) folded into `target` directly instead.
+
+  const TrigFlow tf(cfg_.trigflow);
+  const Edm edm(cfg_.edm);
+
+  for (std::int64_t i = 0; i < b; ++i) {
+    const TrainExample& ex = batch[i];
+    if (ex.prev.ndim() != 3 || ex.prev.dim(2) != v) {
+      throw std::invalid_argument("train_step: prev must be [H,W,V]");
+    }
+    // Residual target x0 = x_i - x_{i-1} (paper §VI-B).
+    Tensor x0 = ex.target;
+    sub_(x0, ex.prev);
+
+    const std::uint64_t sample_index =
+        static_cast<std::uint64_t>(images_seen_ + i);
+
+    Tensor state_channels;  // first channel group of the network input
+    if (cfg_.objective == Objective::kTrigFlow) {
+      const float t = tf.sample_time(rng_, sample_index);
+      Tensor z(x0.shape());
+      rng_.fill_normal(z, rng_stream::kDiffusionNoise, sample_index);
+      scale_(z, cfg_.trigflow.sigma_d);
+      Tensor x_t = tf.interpolate(x0, z, t);
+      // Network sees x_t / sigma_d; regresses v_t / sigma_d (so that
+      // sigma_d * F = v_t at optimum, Eq. 1).
+      state_channels = scale(x_t, 1.0f / cfg_.trigflow.sigma_d);
+      Tensor v_t = tf.velocity_target(x0, z, t);
+      scale_(v_t, 1.0f / cfg_.trigflow.sigma_d);
+      std::copy_n(v_t.data(), per_state, target.data() + i * per_state);
+      t_vec[i] = t;
+      grad_scale[static_cast<std::size_t>(i)] = cfg_.trigflow.sigma_d;
+    } else if (cfg_.objective == Objective::kEdm) {
+      const float sigma = edm.sample_sigma(rng_, sample_index);
+      Tensor n(x0.shape());
+      rng_.fill_normal(n, rng_stream::kDiffusionNoise, sample_index);
+      Tensor x_sigma = x0;
+      axpy_(x_sigma, sigma, n);
+      state_channels = scale(x_sigma, edm.c_in(sigma));
+      // D = c_skip x_sigma + c_out F must match x0, so F must match
+      // (x0 - c_skip x_sigma) / c_out; the lambda c_out^2 weight makes the
+      // effective loss the standard EDM weighting.
+      Tensor f_target = x0;
+      axpy_(f_target, -edm.c_skip(sigma), x_sigma);
+      scale_(f_target, 1.0f / edm.c_out(sigma));
+      std::copy_n(f_target.data(), per_state, target.data() + i * per_state);
+      t_vec[i] = edm.c_noise(sigma);
+      grad_scale[static_cast<std::size_t>(i)] = std::sqrt(
+          edm.loss_weight(sigma) * edm.c_out(sigma) * edm.c_out(sigma));
+    } else {
+      // Deterministic: predict the residual directly; no noise channels.
+      state_channels = Tensor();  // no state group
+      std::copy_n(x0.data(), per_state, target.data() + i * per_state);
+      t_vec[i] = 0.0f;
+    }
+
+    // Assemble input channels: [state?, prev, forcings].
+    Tensor cat;
+    if (state_channels.empty()) {
+      cat = concat(ex.prev, ex.forcings, 2);
+    } else {
+      const Tensor* parts[] = {&state_channels, &ex.prev, &ex.forcings};
+      cat = concat(std::span<const Tensor* const>(parts, 3), 2);
+    }
+    if (cat.dim(2) != mc.in_channels) {
+      throw std::invalid_argument(
+          "train_step: model in_channels does not match objective inputs");
+    }
+    std::copy_n(cat.data(), cat.numel(), input.data() + i * cat.numel());
+  }
+
+  Tensor f = model_.forward(input, t_vec);
+
+  // Apply the per-sample scale to pred & target so weighted_mse computes
+  // sum w * (scale*(F - target))^2 — equal to the parameterization's loss.
+  Tensor pred_scaled = f;
+  Tensor target_scaled = target;
+  for (std::int64_t i = 0; i < b; ++i) {
+    const float s = grad_scale[static_cast<std::size_t>(i)];
+    if (s != 1.0f) {
+      float* pp = pred_scaled.data() + i * per_state;
+      float* pt = target_scaled.data() + i * per_state;
+      for (std::int64_t j = 0; j < per_state; ++j) {
+        pp[j] *= s;
+        pt[j] *= s;
+      }
+    }
+  }
+
+  Tensor grad;
+  const float loss = weighted_mse(pred_scaled, target_scaled, cfg_.weights,
+                                  compute_grads ? &grad : nullptr);
+  if (compute_grads) {
+    for (std::int64_t i = 0; i < b; ++i) {
+      const float s = grad_scale[static_cast<std::size_t>(i)];
+      if (s != 1.0f) {
+        float* pg = grad.data() + i * per_state;
+        for (std::int64_t j = 0; j < per_state; ++j) pg[j] *= s;
+      }
+    }
+    model_.backward(grad);
+  }
+  return loss;
+}
+
+float Trainer::train_step(std::span<const TrainExample> batch) {
+  nn::zero_grads(model_.params());
+  const float loss = objective_forward_backward(batch, /*compute_grads=*/true);
+  if (cfg_.grad_clip > 0.0f) {
+    nn::clip_grad_norm(model_.params(), cfg_.grad_clip);
+  }
+  const float lr = cfg_.schedule.at(images_seen_);
+  opt_.step(lr);
+  images_seen_ += static_cast<std::int64_t>(batch.size());
+  ema_.update(model_.params(), static_cast<std::int64_t>(batch.size()));
+  return loss;
+}
+
+float Trainer::eval_loss(std::span<const TrainExample> batch) {
+  return objective_forward_backward(batch, /*compute_grads=*/false);
+}
+
+}  // namespace aeris::core

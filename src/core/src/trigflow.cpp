@@ -1,0 +1,43 @@
+#include "aeris/core/trigflow.hpp"
+
+#include <cmath>
+
+#include "aeris/tensor/ops.hpp"
+
+namespace aeris::core {
+
+float TrigFlow::time_from_uniform(float u) const {
+  const float log_tau = (1.0f - u) * std::log(cfg_.sigma_min) +
+                        u * std::log(cfg_.sigma_max);
+  return std::atan(std::exp(log_tau) / cfg_.sigma_d);
+}
+
+float TrigFlow::sample_time(const Philox& rng,
+                            std::uint64_t sample_index) const {
+  const float u = rng.uniform(rng_stream::kDiffusionTime, sample_index, 0);
+  return time_from_uniform(u);
+}
+
+Tensor TrigFlow::interpolate(const Tensor& x0, const Tensor& z, float t) const {
+  Tensor out = scale(x0, std::cos(t));
+  axpy_(out, std::sin(t), z);
+  return out;
+}
+
+Tensor TrigFlow::velocity_target(const Tensor& x0, const Tensor& z,
+                                 float t) const {
+  Tensor out = scale(z, std::cos(t));
+  axpy_(out, -std::sin(t), x0);
+  return out;
+}
+
+Tensor TrigFlow::residual(const Tensor& f, const Tensor& v_t) const {
+  Tensor out = scale(f, cfg_.sigma_d);
+  sub_(out, v_t);
+  return out;
+}
+
+float TrigFlow::t_min() const { return std::atan(cfg_.sigma_min / cfg_.sigma_d); }
+float TrigFlow::t_max() const { return std::atan(cfg_.sigma_max / cfg_.sigma_d); }
+
+}  // namespace aeris::core

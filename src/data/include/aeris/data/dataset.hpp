@@ -1,0 +1,89 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "aeris/core/trainer.hpp"
+#include "aeris/tensor/tensor.hpp"
+
+namespace aeris::data {
+
+/// Per-variable normalization statistics (paper §VI-B: "data are z-score
+/// standardized with per-variable training statistics").
+struct Normalization {
+  std::vector<float> mean;  ///< one per variable
+  std::vector<float> std;   ///< one per variable (>= epsilon)
+};
+
+/// Time-ordered weather dataset in [V, H, W] sample layout with
+/// train/validation/test splits by time (the paper splits 1979-2018 /
+/// 2019 / 2020) and *windowed slicing*: spatial sub-reads are served
+/// without touching the rest of the sample, with every read accounted —
+/// the stand-in for the paper's HDF5 spatial-slice loading (§V-A "Data
+/// loading"). Forcings are stored alongside each state.
+class WeatherDataset {
+ public:
+  WeatherDataset(std::int64_t vars, std::int64_t h, std::int64_t w,
+                 std::int64_t forcing_channels,
+                 std::vector<std::string> var_names = {});
+
+  void append(const Tensor& state, const Tensor& forcings);
+
+  std::int64_t size() const { return static_cast<std::int64_t>(states_.size()); }
+  std::int64_t vars() const { return v_; }
+  std::int64_t height() const { return h_; }
+  std::int64_t width() const { return w_; }
+  std::int64_t forcing_channels() const { return f_; }
+  const std::vector<std::string>& var_names() const { return names_; }
+
+  /// Splits: [0, train_end) train, [train_end, val_end) val, rest test.
+  void set_splits(std::int64_t train_end, std::int64_t val_end);
+  std::int64_t train_size() const { return train_end_ - 1; }
+  std::int64_t test_begin() const { return val_end_; }
+
+  /// Computes per-variable mean/std over the training split only.
+  void compute_normalization();
+  const Normalization& normalization() const { return norm_; }
+
+  /// Full-sample access (unstandardized, [V, H, W]).
+  const Tensor& state(std::int64_t t) const { return states_[static_cast<std::size_t>(t)]; }
+  const Tensor& forcings_at(std::int64_t t) const {
+    return forcings_[static_cast<std::size_t>(t)];
+  }
+
+  /// Windowed read of one variable: [wh, ww] block at (r0, c0), counted
+  /// by the I/O accounting. This is the path WP input stages use.
+  Tensor read_window(std::int64_t t, std::int64_t var, std::int64_t r0,
+                     std::int64_t c0, std::int64_t wh, std::int64_t ww) const;
+  std::int64_t values_read() const { return values_read_; }
+  void reset_io_counter() { values_read_ = 0; }
+
+  /// Standardized token-layout views used by training/inference.
+  Tensor standardized_tokens(std::int64_t t) const;   ///< [H, W, V]
+  Tensor forcing_tokens(std::int64_t t) const;        ///< [H, W, F]
+  /// Inverse of standardized_tokens: tokens [H, W, V] -> field [V, H, W].
+  Tensor unstandardize(const Tensor& tokens) const;
+
+  /// Supervised pair (prev = t, target = t + 1) in standardized tokens.
+  core::TrainExample example(std::int64_t t) const;
+
+  /// Shuffled training-example indices for an epoch (counter RNG).
+  std::vector<std::int64_t> train_indices(const Philox& rng,
+                                          std::uint64_t epoch) const;
+
+  /// Binary round trip (simple chunked format; HDF5 stand-in).
+  void save(const std::string& path) const;
+  static WeatherDataset load(const std::string& path);
+
+ private:
+  std::int64_t v_, h_, w_, f_;
+  std::vector<std::string> names_;
+  std::vector<Tensor> states_;
+  std::vector<Tensor> forcings_;
+  std::int64_t train_end_ = 0;
+  std::int64_t val_end_ = 0;
+  Normalization norm_;
+  mutable std::int64_t values_read_ = 0;
+};
+
+}  // namespace aeris::data

@@ -1,0 +1,20 @@
+#pragma once
+
+#include "aeris/data/dataset.hpp"
+#include "aeris/physics/era5like.hpp"
+
+namespace aeris::data {
+
+/// Builds a WeatherDataset from the physics-generated reanalysis with the
+/// WeatherBench-2-style fractional time splits (train / val / test by
+/// contiguous time ranges, mirroring the paper's 1979-2018 / 2019 / 2020).
+WeatherDataset dataset_from_reanalysis(const physics::Reanalysis& re,
+                                       double train_frac = 0.8,
+                                       double val_frac = 0.1);
+
+/// End-to-end convenience: generate + split + normalize.
+WeatherDataset make_synthetic_era5(const physics::ReanalysisConfig& cfg,
+                                   double train_frac = 0.8,
+                                   double val_frac = 0.1);
+
+}  // namespace aeris::data

@@ -1,0 +1,204 @@
+#include "aeris/data/dataset.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <fstream>
+#include <stdexcept>
+
+#include "aeris/core/window.hpp"
+
+namespace aeris::data {
+
+WeatherDataset::WeatherDataset(std::int64_t vars, std::int64_t h,
+                               std::int64_t w, std::int64_t forcing_channels,
+                               std::vector<std::string> var_names)
+    : v_(vars), h_(h), w_(w), f_(forcing_channels),
+      names_(std::move(var_names)) {
+  if (!names_.empty() && static_cast<std::int64_t>(names_.size()) != vars) {
+    throw std::invalid_argument("WeatherDataset: names/vars mismatch");
+  }
+}
+
+void WeatherDataset::append(const Tensor& state, const Tensor& forcings) {
+  if (state.shape() != Shape{v_, h_, w_}) {
+    throw std::invalid_argument("append: bad state shape " +
+                                shape_to_string(state.shape()));
+  }
+  if (forcings.shape() != Shape{f_, h_, w_}) {
+    throw std::invalid_argument("append: bad forcing shape");
+  }
+  states_.push_back(state);
+  forcings_.push_back(forcings);
+}
+
+void WeatherDataset::set_splits(std::int64_t train_end, std::int64_t val_end) {
+  if (train_end < 2 || val_end < train_end || val_end > size()) {
+    throw std::invalid_argument("set_splits: bad boundaries");
+  }
+  train_end_ = train_end;
+  val_end_ = val_end;
+}
+
+void WeatherDataset::compute_normalization() {
+  if (train_end_ == 0) throw std::logic_error("compute_normalization: set splits first");
+  norm_.mean.assign(static_cast<std::size_t>(v_), 0.0f);
+  norm_.std.assign(static_cast<std::size_t>(v_), 1.0f);
+  const std::int64_t per = h_ * w_;
+  for (std::int64_t var = 0; var < v_; ++var) {
+    double sum = 0.0, sumsq = 0.0;
+    std::int64_t n = 0;
+    for (std::int64_t t = 0; t < train_end_; ++t) {
+      const float* p = states_[static_cast<std::size_t>(t)].data() + var * per;
+      for (std::int64_t i = 0; i < per; ++i) {
+        sum += p[i];
+        sumsq += static_cast<double>(p[i]) * p[i];
+        ++n;
+      }
+    }
+    const double mean = sum / static_cast<double>(n);
+    const double var_est = std::max(1e-8, sumsq / static_cast<double>(n) - mean * mean);
+    norm_.mean[static_cast<std::size_t>(var)] = static_cast<float>(mean);
+    norm_.std[static_cast<std::size_t>(var)] =
+        static_cast<float>(std::sqrt(var_est));
+  }
+}
+
+Tensor WeatherDataset::read_window(std::int64_t t, std::int64_t var,
+                                   std::int64_t r0, std::int64_t c0,
+                                   std::int64_t wh, std::int64_t ww) const {
+  if (t < 0 || t >= size() || var < 0 || var >= v_ || r0 < 0 || c0 < 0 ||
+      r0 + wh > h_ || c0 + ww > w_) {
+    throw std::invalid_argument("read_window: out of bounds");
+  }
+  Tensor out({wh, ww});
+  const float* base = states_[static_cast<std::size_t>(t)].data() + var * h_ * w_;
+  for (std::int64_t r = 0; r < wh; ++r) {
+    std::copy_n(base + (r0 + r) * w_ + c0, ww, out.data() + r * ww);
+  }
+  values_read_ += wh * ww;
+  return out;
+}
+
+Tensor WeatherDataset::standardized_tokens(std::int64_t t) const {
+  if (norm_.mean.empty()) throw std::logic_error("normalization not computed");
+  Tensor tokens = core::field_to_tokens(states_[static_cast<std::size_t>(t)]);
+  for (std::int64_t i = 0; i < h_ * w_; ++i) {
+    float* p = tokens.data() + i * v_;
+    for (std::int64_t var = 0; var < v_; ++var) {
+      p[var] = (p[var] - norm_.mean[static_cast<std::size_t>(var)]) /
+               norm_.std[static_cast<std::size_t>(var)];
+    }
+  }
+  return tokens;
+}
+
+Tensor WeatherDataset::forcing_tokens(std::int64_t t) const {
+  return core::field_to_tokens(forcings_[static_cast<std::size_t>(t)]);
+}
+
+Tensor WeatherDataset::unstandardize(const Tensor& tokens) const {
+  if (tokens.shape() != Shape{h_, w_, v_}) {
+    throw std::invalid_argument("unstandardize: bad token shape");
+  }
+  Tensor scaled = tokens;
+  for (std::int64_t i = 0; i < h_ * w_; ++i) {
+    float* p = scaled.data() + i * v_;
+    for (std::int64_t var = 0; var < v_; ++var) {
+      p[var] = p[var] * norm_.std[static_cast<std::size_t>(var)] +
+               norm_.mean[static_cast<std::size_t>(var)];
+    }
+  }
+  return core::tokens_to_field(scaled);
+}
+
+core::TrainExample WeatherDataset::example(std::int64_t t) const {
+  if (t + 1 >= size()) throw std::invalid_argument("example: t+1 out of range");
+  core::TrainExample ex;
+  ex.prev = standardized_tokens(t);
+  ex.target = standardized_tokens(t + 1);
+  ex.forcings = forcing_tokens(t);
+  return ex;
+}
+
+std::vector<std::int64_t> WeatherDataset::train_indices(
+    const Philox& rng, std::uint64_t epoch) const {
+  std::vector<std::int64_t> idx(static_cast<std::size_t>(train_size()));
+  for (std::int64_t i = 0; i < train_size(); ++i) {
+    idx[static_cast<std::size_t>(i)] = i;
+  }
+  // Fisher-Yates with counter-RNG draws.
+  for (std::int64_t i = train_size() - 1; i > 0; --i) {
+    const std::uint64_t u = static_cast<std::uint64_t>(
+        rng.uniform(rng_stream::kDataShuffle, epoch,
+                    static_cast<std::uint64_t>(i)) *
+        static_cast<float>(i + 1));
+    std::swap(idx[static_cast<std::size_t>(i)],
+              idx[static_cast<std::size_t>(std::min<std::uint64_t>(
+                  u, static_cast<std::uint64_t>(i)))]);
+  }
+  return idx;
+}
+
+namespace {
+constexpr std::uint64_t kMagic = 0x41455249534453ULL;  // "AERISDS"
+
+void write_i64(std::ofstream& os, std::int64_t v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+std::int64_t read_i64(std::ifstream& is) {
+  std::int64_t v = 0;
+  is.read(reinterpret_cast<char*>(&v), sizeof(v));
+  return v;
+}
+}  // namespace
+
+void WeatherDataset::save(const std::string& path) const {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) throw std::runtime_error("save: cannot open " + path);
+  write_i64(os, static_cast<std::int64_t>(kMagic));
+  write_i64(os, v_);
+  write_i64(os, h_);
+  write_i64(os, w_);
+  write_i64(os, f_);
+  write_i64(os, size());
+  write_i64(os, train_end_);
+  write_i64(os, val_end_);
+  for (std::int64_t t = 0; t < size(); ++t) {
+    const auto& s = states_[static_cast<std::size_t>(t)];
+    os.write(reinterpret_cast<const char*>(s.data()),
+             static_cast<std::streamsize>(s.numel() * sizeof(float)));
+    const auto& f = forcings_[static_cast<std::size_t>(t)];
+    os.write(reinterpret_cast<const char*>(f.data()),
+             static_cast<std::streamsize>(f.numel() * sizeof(float)));
+  }
+}
+
+WeatherDataset WeatherDataset::load(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw std::runtime_error("load: cannot open " + path);
+  if (read_i64(is) != static_cast<std::int64_t>(kMagic)) {
+    throw std::runtime_error("load: bad magic");
+  }
+  const std::int64_t v = read_i64(is), h = read_i64(is), w = read_i64(is),
+                     f = read_i64(is), n = read_i64(is);
+  const std::int64_t train_end = read_i64(is), val_end = read_i64(is);
+  WeatherDataset ds(v, h, w, f);
+  for (std::int64_t t = 0; t < n; ++t) {
+    Tensor state({v, h, w});
+    is.read(reinterpret_cast<char*>(state.data()),
+            static_cast<std::streamsize>(state.numel() * sizeof(float)));
+    Tensor forc({f, h, w});
+    is.read(reinterpret_cast<char*>(forc.data()),
+            static_cast<std::streamsize>(forc.numel() * sizeof(float)));
+    ds.append(state, forc);
+  }
+  if (!is) throw std::runtime_error("load: truncated file");
+  if (train_end > 0) {
+    ds.set_splits(train_end, val_end);
+    ds.compute_normalization();
+  }
+  return ds;
+}
+
+}  // namespace aeris::data

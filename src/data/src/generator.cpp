@@ -1,0 +1,36 @@
+#include "aeris/data/generator.hpp"
+
+#include <stdexcept>
+
+namespace aeris::data {
+
+WeatherDataset dataset_from_reanalysis(const physics::Reanalysis& re,
+                                       double train_frac, double val_frac) {
+  if (re.states.empty()) throw std::invalid_argument("empty reanalysis");
+  const Shape& s = re.states[0].shape();
+  std::vector<std::string> names;
+  for (std::int64_t v = 0; v < physics::kNumVars; ++v) {
+    names.emplace_back(physics::var_name(static_cast<physics::Var>(v)));
+  }
+  WeatherDataset ds(s[0], s[1], s[2], re.forcings[0].dim(0), std::move(names));
+  for (std::size_t i = 0; i < re.states.size(); ++i) {
+    ds.append(re.states[i], re.forcings[i]);
+  }
+  const std::int64_t n = ds.size();
+  const std::int64_t train_end =
+      std::max<std::int64_t>(2, static_cast<std::int64_t>(train_frac * static_cast<double>(n)));
+  const std::int64_t val_end = std::min<std::int64_t>(
+      n, train_end + std::max<std::int64_t>(
+                         1, static_cast<std::int64_t>(val_frac * static_cast<double>(n))));
+  ds.set_splits(train_end, val_end);
+  ds.compute_normalization();
+  return ds;
+}
+
+WeatherDataset make_synthetic_era5(const physics::ReanalysisConfig& cfg,
+                                   double train_frac, double val_frac) {
+  return dataset_from_reanalysis(physics::generate_reanalysis(cfg), train_frac,
+                                 val_frac);
+}
+
+}  // namespace aeris::data

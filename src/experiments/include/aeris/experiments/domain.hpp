@@ -1,0 +1,119 @@
+#pragma once
+
+#include <memory>
+
+#include "aeris/core/forecaster.hpp"
+#include "aeris/core/trainer.hpp"
+#include "aeris/data/generator.hpp"
+#include "aeris/physics/era5like.hpp"
+
+namespace aeris::experiments {
+
+/// Shared configuration for the domain experiments (Fig. 5/6/7 benches and
+/// the example applications): one synthetic reanalysis, one model recipe,
+/// one set of baselines. The defaults are sized for a single CPU core;
+/// every knob scales up transparently.
+struct DomainConfig {
+  // Synthetic-ERA5 world and record.
+  std::int64_t grid = 32;            ///< H = W (power of two)
+  std::int64_t samples = 430;        ///< daily samples (~1.5 idealized years)
+  std::int64_t spin_up_steps = 6000;
+  double interval_hours = 24.0;      ///< the "24h model" cadence
+  std::uint64_t seed = 17;
+
+  // AERIS-small architecture.
+  std::int64_t dim = 32;
+  std::int64_t depth = 2;
+  std::int64_t heads = 4;
+  std::int64_t ffn = 64;
+  std::int64_t window = 8;
+
+  // Training recipe.
+  std::int64_t train_steps = 450;
+  std::int64_t batch = 4;
+  float peak_lr = 3e-3f;
+
+  // Diffusion settings (inference prior narrower than training, as in the
+  // paper's DPMSolver schedule).
+  core::TrigFlowConfig trigflow{1.0f, 0.05f, 200.0f};
+  core::TrigSamplerConfig sampler{6, 0.3f, 0.05f, 80.0f};
+  core::EdmConfig edm{};
+  core::EdmSamplerConfig edm_sampler{6};
+
+  // IFS-ENS-like baseline: imperfect physics + perturbed ICs.
+  double ifs_param_error = 0.25;
+  double ifs_ic_perturbation = 6e-3;
+};
+
+/// A built experiment domain: the dataset (with splits/normalization) and
+/// the truth-world parameters for physics-based baselines & case studies.
+struct Domain {
+  DomainConfig cfg;  ///< with trigflow/edm sigma_d calibrated (see below)
+  data::WeatherDataset ds;
+  physics::Reanalysis reanalysis;  ///< truth record (nino, storms, times)
+  Tensor lat_w;                    ///< [H] latitude weights
+};
+
+/// Builds the domain. Also calibrates cfg.trigflow.sigma_d (and the EDM
+/// sigma_d) to the standard deviation of the *one-step residual* on the
+/// training split: the diffusion models predict x_i - x_{i-1} (paper
+/// §VI-B), whose scale in standardized units is well below 1 at daily
+/// cadence, and TrigFlow's spherical interpolation assumes sigma_d matches
+/// the data scale.
+Domain build_domain(const DomainConfig& cfg);
+
+/// Std of the one-step residual in standardized units over the train set.
+float residual_std(const data::WeatherDataset& ds);
+
+/// Model configuration for an objective on this domain.
+core::ModelConfig model_config(const DomainConfig& cfg, core::Objective obj);
+
+/// Trains an AERIS-small model with the given objective; returns the model
+/// with EMA weights loaded (paper §VI-B) and optionally the loss curve.
+std::unique_ptr<core::AerisModel> train_model(
+    const Domain& domain, core::Objective obj,
+    std::vector<float>* loss_curve = nullptr);
+
+/// Ensemble forecast with a trained diffusion model from test index t0:
+/// result[m][s] is the *unstandardized* [V, H, W] field of member m after
+/// (s+1) steps. Forcings are taken from the dataset (exogenous).
+std::vector<std::vector<Tensor>> forecast_ensemble(core::AerisModel& model,
+                                                   core::Objective obj,
+                                                   const Domain& domain,
+                                                   std::int64_t t0,
+                                                   std::int64_t steps,
+                                                   std::int64_t members);
+
+/// Deterministic baseline forecast (single trajectory).
+std::vector<Tensor> forecast_deterministic(core::AerisModel& model,
+                                           const Domain& domain,
+                                           std::int64_t t0,
+                                           std::int64_t steps);
+
+/// IFS-ENS-like baseline: an ensemble of *imperfect* physics models
+/// (perturbed parameters), each initialized by assimilating the analysis
+/// at t0 plus an initial-condition perturbation, with cyclones re-seeded
+/// from detected pressure minima (see DESIGN.md substitutions).
+std::vector<std::vector<Tensor>> ifs_ens_forecast(const Domain& domain,
+                                                  std::int64_t t0,
+                                                  std::int64_t steps,
+                                                  std::int64_t members);
+
+/// Truth fields for lead steps 1..steps from t0 (dataset states).
+std::vector<Tensor> truth_sequence(const Domain& domain, std::int64_t t0,
+                                   std::int64_t steps);
+
+/// Disk-cached variants so the per-figure benches share one dataset and
+/// one set of trained models (the cache directory is created on demand;
+/// delete it to force regeneration). The cached Domain's `reanalysis`
+/// holds only the states/forcings implied by the dataset — derived truth
+/// series (Nino index, storm tracks) are recomputed by the benches from
+/// the fields via aeris::metrics.
+Domain build_domain_cached(const DomainConfig& cfg, const std::string& dir);
+
+/// Trains (or loads) a model for `obj`, caching the weights on disk.
+std::unique_ptr<core::AerisModel> train_or_load_model(const Domain& domain,
+                                                      core::Objective obj,
+                                                      const std::string& dir);
+
+}  // namespace aeris::experiments

@@ -1,0 +1,287 @@
+#include "aeris/experiments/domain.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+
+#include "aeris/core/loss_weights.hpp"
+#include "aeris/metrics/tracker.hpp"
+#include "aeris/tensor/ops.hpp"
+
+namespace aeris::experiments {
+
+Domain build_domain(const DomainConfig& cfg) {
+  physics::ReanalysisConfig rc;
+  rc.params.qg.h = cfg.grid;
+  rc.params.qg.w = cfg.grid;
+  rc.params.qg.ly = 2.0 * M_PI;
+  rc.params.qg.lx = 2.0 * M_PI;
+  rc.params.seed = cfg.seed;
+  rc.spin_up_steps = cfg.spin_up_steps;
+  rc.samples = cfg.samples;
+  rc.interval_hours = cfg.interval_hours;
+
+  Domain d{cfg, data::WeatherDataset(1, 1, 1, 1), {}, {}};
+  d.reanalysis = physics::generate_reanalysis(rc);
+  d.ds = data::dataset_from_reanalysis(d.reanalysis, 0.8, 0.08);
+  d.lat_w = core::latitude_weights(cfg.grid);
+  const float sd = residual_std(d.ds);
+  d.cfg.trigflow.sigma_d = sd;
+  d.cfg.edm.sigma_d = sd;
+  return d;
+}
+
+float residual_std(const data::WeatherDataset& ds) {
+  double sumsq = 0.0;
+  std::int64_t n = 0;
+  const std::int64_t stride = std::max<std::int64_t>(1, ds.train_size() / 32);
+  for (std::int64_t t = 0; t + 1 < ds.train_size(); t += stride) {
+    Tensor r = ds.standardized_tokens(t + 1);
+    sub_(r, ds.standardized_tokens(t));
+    sumsq += static_cast<double>(mean_sq(r)) * static_cast<double>(r.numel());
+    n += r.numel();
+  }
+  return n > 0 ? static_cast<float>(std::sqrt(sumsq / static_cast<double>(n)))
+               : 1.0f;
+}
+
+core::ModelConfig model_config(const DomainConfig& cfg, core::Objective obj) {
+  core::ModelConfig m;
+  m.h = cfg.grid;
+  m.w = cfg.grid;
+  m.out_channels = physics::kNumVars;
+  const std::int64_t state_groups =
+      obj == core::Objective::kDeterministic ? 1 : 2;
+  m.in_channels = state_groups * physics::kNumVars + physics::kNumForcings;
+  m.dim = cfg.dim;
+  m.depth = cfg.depth;
+  m.heads = cfg.heads;
+  m.ffn_hidden = cfg.ffn;
+  m.win_h = cfg.window;
+  m.win_w = cfg.window;
+  m.cond_dim = cfg.dim;
+  m.time_features = 16;
+  return m;
+}
+
+std::unique_ptr<core::AerisModel> train_model(const Domain& domain,
+                                              core::Objective obj,
+                                              std::vector<float>* loss_curve) {
+  const DomainConfig& cfg = domain.cfg;
+  auto model =
+      std::make_unique<core::AerisModel>(model_config(cfg, obj), cfg.seed);
+
+  core::TrainerConfig tc;
+  tc.objective = obj;
+  tc.trigflow = cfg.trigflow;
+  tc.edm = cfg.edm;
+  tc.schedule.peak = cfg.peak_lr;
+  tc.schedule.warmup = 8 * cfg.batch;
+  tc.schedule.total = 100'000'000;
+  tc.schedule.decay = 1;
+  tc.ema_half_life =
+      static_cast<float>(cfg.train_steps * cfg.batch) / 4.0f;
+  tc.grad_clip = 1.0f;
+  tc.seed = cfg.seed + 1;
+  core::Trainer trainer(*model, tc);
+
+  const Philox shuffle_rng(cfg.seed + 2);
+  std::vector<std::int64_t> order;
+  std::uint64_t epoch = 0;
+  for (std::int64_t step = 0; step < cfg.train_steps; ++step) {
+    std::vector<core::TrainExample> batch;
+    for (std::int64_t b = 0; b < cfg.batch; ++b) {
+      if (order.empty()) {
+        order = domain.ds.train_indices(shuffle_rng, epoch++);
+      }
+      batch.push_back(domain.ds.example(order.back()));
+      order.pop_back();
+    }
+    const float loss = trainer.train_step(batch);
+    if (loss_curve != nullptr) loss_curve->push_back(loss);
+  }
+  trainer.use_ema_weights();
+  return model;
+}
+
+std::vector<std::vector<Tensor>> forecast_ensemble(core::AerisModel& model,
+                                                   core::Objective obj,
+                                                   const Domain& domain,
+                                                   std::int64_t t0,
+                                                   std::int64_t steps,
+                                                   std::int64_t members) {
+  const DomainConfig& cfg = domain.cfg;
+  if (t0 + steps >= domain.ds.size()) {
+    throw std::invalid_argument("forecast_ensemble: range exceeds dataset");
+  }
+  std::unique_ptr<core::DiffusionForecaster> fc;
+  if (obj == core::Objective::kTrigFlow) {
+    fc = std::make_unique<core::DiffusionForecaster>(
+        model, cfg.trigflow, cfg.sampler, cfg.seed + 7 + static_cast<std::uint64_t>(t0));
+  } else if (obj == core::Objective::kEdm) {
+    fc = std::make_unique<core::DiffusionForecaster>(
+        model, cfg.edm, cfg.edm_sampler, cfg.seed + 7 + static_cast<std::uint64_t>(t0));
+  } else {
+    throw std::invalid_argument("forecast_ensemble: use forecast_deterministic");
+  }
+
+  const Tensor init = domain.ds.standardized_tokens(t0);
+  core::ForcingFn forcings = [&](std::int64_t s) {
+    return domain.ds.forcing_tokens(t0 + s);
+  };
+  auto tokens = fc->ensemble_rollout(init, forcings, steps, members);
+  std::vector<std::vector<Tensor>> out(tokens.size());
+  for (std::size_t m = 0; m < tokens.size(); ++m) {
+    out[m].reserve(tokens[m].size());
+    for (const Tensor& t : tokens[m]) {
+      out[m].push_back(domain.ds.unstandardize(t));
+    }
+  }
+  return out;
+}
+
+std::vector<Tensor> forecast_deterministic(core::AerisModel& model,
+                                           const Domain& domain,
+                                           std::int64_t t0,
+                                           std::int64_t steps) {
+  core::DeterministicForecaster fc(model);
+  const Tensor init = domain.ds.standardized_tokens(t0);
+  core::ForcingFn forcings = [&](std::int64_t s) {
+    return domain.ds.forcing_tokens(t0 + s);
+  };
+  auto tokens = fc.rollout(init, forcings, steps);
+  std::vector<Tensor> out;
+  out.reserve(tokens.size());
+  for (const Tensor& t : tokens) out.push_back(domain.ds.unstandardize(t));
+  return out;
+}
+
+std::vector<std::vector<Tensor>> ifs_ens_forecast(const Domain& domain,
+                                                  std::int64_t t0,
+                                                  std::int64_t steps,
+                                                  std::int64_t members) {
+  const DomainConfig& cfg = domain.cfg;
+  const Tensor analysis = domain.ds.state(t0);
+  const double analysis_hours = domain.reanalysis.time_hours[
+      static_cast<std::size_t>(t0)];
+
+  // Cyclone "bogussing": detect vortices in the analysis so the physics
+  // members carry them (operational NWP does the same for TCs).
+  metrics::TrackerConfig trk;
+  const auto detections = metrics::detect_centers(analysis, trk, 0);
+
+  std::vector<std::vector<Tensor>> out(static_cast<std::size_t>(members));
+  for (std::int64_t m = 0; m < members; ++m) {
+    physics::EarthSystemParams p;
+    p.qg.h = cfg.grid;
+    p.qg.w = cfg.grid;
+    p.qg.ly = 2.0 * M_PI;
+    p.qg.lx = 2.0 * M_PI;
+    // The imperfect forecast model: perturbed physics per member.
+    p.seed = cfg.seed + 9000 + static_cast<std::uint64_t>(m);
+    p.param_perturbation = cfg.ifs_param_error;
+    physics::EarthSystem member(p);
+    member.set_time_hours(analysis_hours);
+    member.assimilate(analysis);
+    // ENSO phase from the SST snapshot (history is unobservable).
+    member.ocean().set_enso_index(member.ocean().infer_enso_index(
+        member.ocean().sst(), member.season()));
+    for (const auto& fix : detections) {
+      const double x = (fix.col + 0.5) / static_cast<double>(cfg.grid) *
+                       member.qg().grid().lx();
+      const double y = (fix.row + 0.5) / static_cast<double>(cfg.grid) *
+                       member.qg().grid().ly();
+      member.cyclones().seed_storm(x, y, fix.max_wind);
+    }
+    // Every member carries analysis error: operationally IFS ENS starts
+    // from its *own* analysis, not the ERA5-like truth it is verified
+    // against (a known evaluation asymmetry favoring ML models trained on
+    // the verifying analysis; see EXPERIMENTS.md).
+    member.perturb(Philox(cfg.seed + 31), static_cast<std::uint64_t>(m) + 1,
+                   cfg.ifs_ic_perturbation);
+    auto& states = out[static_cast<std::size_t>(m)];
+    states.reserve(static_cast<std::size_t>(steps));
+    for (std::int64_t s = 0; s < steps; ++s) {
+      member.advance_hours(cfg.interval_hours);
+      states.push_back(member.snapshot());
+    }
+  }
+  return out;
+}
+
+namespace {
+
+std::string domain_key(const DomainConfig& cfg) {
+  return "g" + std::to_string(cfg.grid) + "_n" + std::to_string(cfg.samples) +
+         "_s" + std::to_string(cfg.seed);
+}
+
+}  // namespace
+
+Domain build_domain_cached(const DomainConfig& cfg, const std::string& dir) {
+  std::filesystem::create_directories(dir);
+  const std::string path = dir + "/domain_" + domain_key(cfg) + ".bin";
+  if (std::filesystem::exists(path)) {
+    Domain d{cfg, data::WeatherDataset::load(path), {}, {}};
+    d.lat_w = core::latitude_weights(cfg.grid);
+    const float sd = residual_std(d.ds);
+    d.cfg.trigflow.sigma_d = sd;
+    d.cfg.edm.sigma_d = sd;
+    for (std::int64_t t = 0; t < d.ds.size(); ++t) {
+      d.reanalysis.states.push_back(d.ds.state(t));
+      d.reanalysis.forcings.push_back(d.ds.forcings_at(t));
+      d.reanalysis.time_hours.push_back(static_cast<double>(t) *
+                                        cfg.interval_hours);
+    }
+    std::fprintf(stderr, "[domain] loaded cached dataset %s\n", path.c_str());
+    return d;
+  }
+  Domain d = build_domain(cfg);
+  d.ds.save(path);
+  return d;
+}
+
+std::unique_ptr<core::AerisModel> train_or_load_model(const Domain& domain,
+                                                      core::Objective obj,
+                                                      const std::string& dir) {
+  std::filesystem::create_directories(dir);
+  const DomainConfig& cfg = domain.cfg;
+  const std::string path =
+      dir + "/model_" + domain_key(cfg) + "_o" +
+      std::to_string(static_cast<int>(obj)) + "_d" + std::to_string(cfg.dim) +
+      "_t" + std::to_string(cfg.train_steps) + ".bin";
+  auto model =
+      std::make_unique<core::AerisModel>(model_config(cfg, obj), cfg.seed);
+  if (std::filesystem::exists(path)) {
+    std::ifstream is(path, std::ios::binary);
+    std::vector<float> flat(
+        static_cast<std::size_t>(model->param_count()));
+    is.read(reinterpret_cast<char*>(flat.data()),
+            static_cast<std::streamsize>(flat.size() * sizeof(float)));
+    if (is) {
+      nn::unflatten_values(model->params(), flat);
+      std::fprintf(stderr, "[domain] loaded cached model %s\n", path.c_str());
+      return model;
+    }
+  }
+  model = train_model(domain, obj, nullptr);
+  const auto flat = nn::flatten_values(model->params());
+  std::ofstream os(path, std::ios::binary);
+  os.write(reinterpret_cast<const char*>(flat.data()),
+           static_cast<std::streamsize>(flat.size() * sizeof(float)));
+  return model;
+}
+
+std::vector<Tensor> truth_sequence(const Domain& domain, std::int64_t t0,
+                                   std::int64_t steps) {
+  std::vector<Tensor> out;
+  out.reserve(static_cast<std::size_t>(steps));
+  for (std::int64_t s = 1; s <= steps; ++s) {
+    out.push_back(domain.ds.state(t0 + s));
+  }
+  return out;
+}
+
+}  // namespace aeris::experiments

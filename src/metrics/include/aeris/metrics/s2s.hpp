@@ -1,0 +1,43 @@
+#pragma once
+
+#include <vector>
+
+#include "aeris/tensor/tensor.hpp"
+
+namespace aeris::metrics {
+
+/// Subseasonal-to-seasonal diagnostics (paper Fig. 7).
+
+/// Nino-3.4-analogue index: mean SST over a fixed equatorial box.
+struct NinoBox {
+  std::int64_t sst_var = 4;
+  std::int64_t r0 = 0, r1 = 0;  ///< latitude rows of the box
+  std::int64_t c0 = 0, c1 = 0;  ///< longitude cols of the box
+};
+
+/// Default box matching physics::OceanParams' ENSO pattern on an [h, w]
+/// grid (center band, eastern-Pacific-like longitudes).
+NinoBox default_nino_box(std::int64_t h, std::int64_t w);
+
+double nino_index(const Tensor& field, const NinoBox& box);
+
+/// Hovmöller matrix (Fig. 7c): variable `var` averaged over rows
+/// [r0, r1) at every time -> [T, W] tensor (time-longitude diagram).
+Tensor hovmoller(std::span<const Tensor> sequence, std::int64_t var,
+                 std::int64_t r0, std::int64_t r1);
+
+/// Anomaly pattern correlation between two Hovmöller diagrams over their
+/// common shape (each has its own mean removed).
+double hovmoller_correlation(const Tensor& a, const Tensor& b);
+
+/// Mean zonal phase speed of a Hovmöller diagram (cells per step) via the
+/// lag-1 cross-correlation peak — positive = eastward propagation.
+double hovmoller_phase_speed(const Tensor& hov);
+
+/// Field-stability diagnostic for 90-day rollouts (Fig. 7b): ratio of a
+/// forecast's spatial standard deviation to the truth climatology's, per
+/// variable. Drifting/collapsing rollouts diverge from 1.
+double field_std_ratio(const Tensor& forecast, const Tensor& reference,
+                       std::int64_t var);
+
+}  // namespace aeris::metrics

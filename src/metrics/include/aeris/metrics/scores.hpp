@@ -1,0 +1,54 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "aeris/tensor/tensor.hpp"
+
+namespace aeris::metrics {
+
+/// Ensemble forecast verification scores in the WeatherBench-2 style the
+/// paper evaluates with (§VI-B, Fig. 5): latitude-weighted RMSE of the
+/// ensemble mean, the Continuous Ranked Probability Score, and the
+/// spread/skill ratio. All fields are [V, H, W]; `var` selects a single
+/// variable; `lat_w` is the [H] cos-latitude weight (mean 1).
+
+/// Mean over members, elementwise.
+Tensor ensemble_mean(std::span<const Tensor> members);
+
+/// Latitude-weighted RMSE between two fields for one variable.
+double lat_rmse(const Tensor& a, const Tensor& b, std::int64_t var,
+                const Tensor& lat_w);
+
+/// Latitude-weighted RMSE of the ensemble mean (the deterministic-skill
+/// headline metric).
+double ensemble_mean_rmse(std::span<const Tensor> members, const Tensor& truth,
+                          std::int64_t var, const Tensor& lat_w);
+
+/// Fair (PWM) CRPS estimator for a finite ensemble, averaged over the
+/// grid with latitude weights:
+///   CRPS = E|X - y| - (1 / (2 M (M-1))) sum_{i,j} |X_i - X_j|
+double crps(std::span<const Tensor> members, const Tensor& truth,
+            std::int64_t var, const Tensor& lat_w);
+
+/// Latitude-weighted ensemble spread: sqrt of the mean member variance
+/// (unbiased over members).
+double ensemble_spread(std::span<const Tensor> members, std::int64_t var,
+                       const Tensor& lat_w);
+
+/// Spread/skill ratio with the sqrt((M+1)/M) finite-ensemble correction;
+/// a calibrated ensemble has SSR ~= 1, under-dispersive < 1 (the paper
+/// reports AERIS is under-dispersive, §VII-B).
+double spread_skill_ratio(std::span<const Tensor> members, const Tensor& truth,
+                          std::int64_t var, const Tensor& lat_w);
+
+/// Anomaly correlation coefficient vs a climatology field.
+double acc(const Tensor& forecast, const Tensor& truth,
+           const Tensor& climatology, std::int64_t var, const Tensor& lat_w);
+
+/// Area-mean of one variable over a [r0, r1) x [c0, c1) box (heatwave and
+/// Nino-box building block).
+double box_mean(const Tensor& field, std::int64_t var, std::int64_t r0,
+                std::int64_t r1, std::int64_t c0, std::int64_t c1);
+
+}  // namespace aeris::metrics

@@ -1,0 +1,22 @@
+#pragma once
+
+#include <vector>
+
+#include "aeris/tensor/tensor.hpp"
+
+namespace aeris::metrics {
+
+/// Zonal (along-longitude) power spectrum of one variable, averaged over
+/// latitude rows: bin k holds the mean squared amplitude of zonal
+/// wavenumber k. Used for the blur / spectral-bias diagnostics (§IV-A:
+/// deterministic models produce "blurred" forecasts losing small-scale
+/// power; Fig. 7b: diffusion keeps "correct power-spectra even at the
+/// smallest scales"). W must be a power of two.
+std::vector<double> zonal_power_spectrum(const Tensor& field, std::int64_t var);
+
+/// Ratio of high-wavenumber power (top half of bins) between a forecast
+/// and the truth: << 1 means the forecast is blurred.
+double small_scale_power_ratio(const Tensor& forecast, const Tensor& truth,
+                               std::int64_t var);
+
+}  // namespace aeris::metrics

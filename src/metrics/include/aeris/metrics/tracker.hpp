@@ -1,0 +1,55 @@
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "aeris/tensor/tensor.hpp"
+
+namespace aeris::metrics {
+
+/// Cyclone position/intensity fix at one time.
+struct StormFix {
+  std::int64_t time = 0;   ///< forecast step index
+  double row = 0.0;        ///< grid row of the pressure minimum
+  double col = 0.0;        ///< grid col
+  double min_pressure = 0.0;
+  double max_wind = 0.0;   ///< peak 10m wind near the center
+};
+
+using Track = std::vector<StormFix>;
+
+struct TrackerConfig {
+  std::int64_t mslp_var = 3;   ///< variable index of MSLP
+  std::int64_t u_var = 1;      ///< U10
+  std::int64_t v_var = 2;      ///< V10
+  double pressure_threshold = 1005.0;  ///< candidate minima must be below
+  double max_step_distance = 6.0;      ///< gating radius for linking (cells)
+  std::int64_t wind_radius = 3;        ///< window for the max-wind search
+};
+
+/// Detects candidate cyclone centers in one [V, H, W] field: local MSLP
+/// minima under the threshold, with peak wind diagnosed nearby. This is
+/// the standard pressure-minimum TC tracker used for Fig. 6 tracks.
+std::vector<StormFix> detect_centers(const Tensor& field,
+                                     const TrackerConfig& cfg,
+                                     std::int64_t time);
+
+/// Links per-time detections into tracks by nearest-neighbor gating
+/// (periodic in longitude).
+std::vector<Track> link_tracks(const std::vector<std::vector<StormFix>>& fixes,
+                               const TrackerConfig& cfg, std::int64_t width);
+
+/// Convenience: track the strongest storm through a forecast sequence,
+/// starting from the detection nearest to (row0, col0).
+std::optional<Track> track_storm(std::span<const Tensor> sequence,
+                                 const TrackerConfig& cfg, double row0,
+                                 double col0);
+
+/// Great-circle-free track error: mean distance (grid cells, periodic in
+/// longitude) between matched fixes of two tracks over their overlap.
+double track_error(const Track& a, const Track& b, std::int64_t width);
+
+/// Mean absolute intensity (max wind) error over the overlap.
+double intensity_error(const Track& a, const Track& b);
+
+}  // namespace aeris::metrics

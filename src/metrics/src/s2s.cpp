@@ -1,0 +1,110 @@
+#include "aeris/metrics/s2s.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "aeris/metrics/scores.hpp"
+
+namespace aeris::metrics {
+
+NinoBox default_nino_box(std::int64_t h, std::int64_t w) {
+  // Mirror physics::OceanParams pattern: centered at y = 0.5, x = 0.65
+  // with widths ~0.08 / 0.20 — box where the pattern weight > ~0.3.
+  NinoBox box;
+  box.r0 = static_cast<std::int64_t>(0.40 * static_cast<double>(h));
+  box.r1 = static_cast<std::int64_t>(0.60 * static_cast<double>(h));
+  box.c0 = static_cast<std::int64_t>(0.50 * static_cast<double>(w));
+  box.c1 = static_cast<std::int64_t>(0.80 * static_cast<double>(w));
+  return box;
+}
+
+double nino_index(const Tensor& field, const NinoBox& box) {
+  return box_mean(field, box.sst_var, box.r0, box.r1, box.c0, box.c1);
+}
+
+Tensor hovmoller(std::span<const Tensor> sequence, std::int64_t var,
+                 std::int64_t r0, std::int64_t r1) {
+  if (sequence.empty()) throw std::invalid_argument("hovmoller: empty");
+  const std::int64_t w = sequence[0].dim(2);
+  Tensor out({static_cast<std::int64_t>(sequence.size()), w});
+  for (std::size_t t = 0; t < sequence.size(); ++t) {
+    for (std::int64_t c = 0; c < w; ++c) {
+      double acc = 0.0;
+      for (std::int64_t r = r0; r < r1; ++r) {
+        acc += sequence[t].at3(var, r, c);
+      }
+      out.at2(static_cast<std::int64_t>(t), c) =
+          static_cast<float>(acc / static_cast<double>(r1 - r0));
+    }
+  }
+  return out;
+}
+
+double hovmoller_correlation(const Tensor& a, const Tensor& b) {
+  if (a.shape() != b.shape()) {
+    throw std::invalid_argument("hovmoller_correlation: shapes");
+  }
+  double ma = 0.0, mb = 0.0;
+  for (std::int64_t i = 0; i < a.numel(); ++i) {
+    ma += a[i];
+    mb += b[i];
+  }
+  ma /= static_cast<double>(a.numel());
+  mb /= static_cast<double>(b.numel());
+  double saa = 0.0, sbb = 0.0, sab = 0.0;
+  for (std::int64_t i = 0; i < a.numel(); ++i) {
+    const double da = a[i] - ma;
+    const double db = b[i] - mb;
+    saa += da * da;
+    sbb += db * db;
+    sab += da * db;
+  }
+  const double denom = std::sqrt(saa * sbb);
+  return denom > 0.0 ? sab / denom : 0.0;
+}
+
+double hovmoller_phase_speed(const Tensor& hov) {
+  const std::int64_t t = hov.dim(0), w = hov.dim(1);
+  if (t < 2) return 0.0;
+  // For each lag, correlation between row i and row i+1 shifted by lag.
+  double best_corr = -2.0;
+  std::int64_t best_lag = 0;
+  for (std::int64_t lag = -w / 4; lag <= w / 4; ++lag) {
+    double corr = 0.0;
+    for (std::int64_t i = 0; i + 1 < t; ++i) {
+      for (std::int64_t c = 0; c < w; ++c) {
+        const std::int64_t cc = ((c + lag) % w + w) % w;
+        corr += hov.at2(i, c) * hov.at2(i + 1, cc);
+      }
+    }
+    if (corr > best_corr) {
+      best_corr = corr;
+      best_lag = lag;
+    }
+  }
+  return static_cast<double>(best_lag);
+}
+
+double field_std_ratio(const Tensor& forecast, const Tensor& reference,
+                       std::int64_t var) {
+  auto spatial_std = [&](const Tensor& f) {
+    const std::int64_t h = f.dim(1), w = f.dim(2);
+    double mu = 0.0;
+    for (std::int64_t r = 0; r < h; ++r) {
+      for (std::int64_t c = 0; c < w; ++c) mu += f.at3(var, r, c);
+    }
+    mu /= static_cast<double>(h * w);
+    double ss = 0.0;
+    for (std::int64_t r = 0; r < h; ++r) {
+      for (std::int64_t c = 0; c < w; ++c) {
+        const double d = f.at3(var, r, c) - mu;
+        ss += d * d;
+      }
+    }
+    return std::sqrt(ss / static_cast<double>(h * w));
+  };
+  const double ref = spatial_std(reference);
+  return ref > 0.0 ? spatial_std(forecast) / ref : 0.0;
+}
+
+}  // namespace aeris::metrics

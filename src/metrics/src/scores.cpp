@@ -1,0 +1,144 @@
+#include "aeris/metrics/scores.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "aeris/tensor/ops.hpp"
+
+namespace aeris::metrics {
+namespace {
+
+void check_field(const Tensor& f, std::int64_t var, const Tensor& lat_w) {
+  if (f.ndim() != 3) throw std::invalid_argument("metrics: field must be [V,H,W]");
+  if (var < 0 || var >= f.dim(0)) throw std::invalid_argument("metrics: bad var");
+  if (lat_w.numel() != f.dim(1)) throw std::invalid_argument("metrics: lat_w");
+}
+
+}  // namespace
+
+Tensor ensemble_mean(std::span<const Tensor> members) {
+  if (members.empty()) throw std::invalid_argument("ensemble_mean: empty");
+  Tensor out = members[0];
+  for (std::size_t m = 1; m < members.size(); ++m) add_(out, members[m]);
+  scale_(out, 1.0f / static_cast<float>(members.size()));
+  return out;
+}
+
+double lat_rmse(const Tensor& a, const Tensor& b, std::int64_t var,
+                const Tensor& lat_w) {
+  check_field(a, var, lat_w);
+  if (a.shape() != b.shape()) throw std::invalid_argument("lat_rmse: shapes");
+  const std::int64_t h = a.dim(1), w = a.dim(2);
+  double acc_err = 0.0;
+  for (std::int64_t r = 0; r < h; ++r) {
+    const double lw = lat_w[r];
+    for (std::int64_t c = 0; c < w; ++c) {
+      const double d = a.at3(var, r, c) - b.at3(var, r, c);
+      acc_err += lw * d * d;
+    }
+  }
+  return std::sqrt(acc_err / static_cast<double>(h * w));
+}
+
+double ensemble_mean_rmse(std::span<const Tensor> members, const Tensor& truth,
+                          std::int64_t var, const Tensor& lat_w) {
+  return lat_rmse(ensemble_mean(members), truth, var, lat_w);
+}
+
+double crps(std::span<const Tensor> members, const Tensor& truth,
+            std::int64_t var, const Tensor& lat_w) {
+  if (members.empty()) throw std::invalid_argument("crps: empty ensemble");
+  check_field(truth, var, lat_w);
+  const std::int64_t h = truth.dim(1), w = truth.dim(2);
+  const std::size_t m = members.size();
+  double total = 0.0;
+  std::vector<double> x(m);
+  for (std::int64_t r = 0; r < h; ++r) {
+    const double lw = lat_w[r];
+    for (std::int64_t c = 0; c < w; ++c) {
+      for (std::size_t i = 0; i < m; ++i) {
+        x[i] = members[i].at3(var, r, c);
+      }
+      const double y = truth.at3(var, r, c);
+      double e_xy = 0.0;
+      for (std::size_t i = 0; i < m; ++i) e_xy += std::fabs(x[i] - y);
+      e_xy /= static_cast<double>(m);
+      double e_xx = 0.0;
+      if (m > 1) {
+        for (std::size_t i = 0; i < m; ++i) {
+          for (std::size_t j = i + 1; j < m; ++j) e_xx += std::fabs(x[i] - x[j]);
+        }
+        // Fair estimator: 2x the upper triangle over M(M-1).
+        e_xx = e_xx * 2.0 / (static_cast<double>(m) * static_cast<double>(m - 1));
+      }
+      total += lw * (e_xy - 0.5 * e_xx);
+    }
+  }
+  return total / static_cast<double>(h * w);
+}
+
+double ensemble_spread(std::span<const Tensor> members, std::int64_t var,
+                       const Tensor& lat_w) {
+  if (members.size() < 2) return 0.0;
+  check_field(members[0], var, lat_w);
+  const std::int64_t h = members[0].dim(1), w = members[0].dim(2);
+  const double m = static_cast<double>(members.size());
+  double total = 0.0;
+  for (std::int64_t r = 0; r < h; ++r) {
+    const double lw = lat_w[r];
+    for (std::int64_t c = 0; c < w; ++c) {
+      double mu = 0.0, ss = 0.0;
+      for (const Tensor& t : members) mu += t.at3(var, r, c);
+      mu /= m;
+      for (const Tensor& t : members) {
+        const double d = t.at3(var, r, c) - mu;
+        ss += d * d;
+      }
+      total += lw * ss / (m - 1.0);
+    }
+  }
+  return std::sqrt(total / static_cast<double>(h * w));
+}
+
+double spread_skill_ratio(std::span<const Tensor> members, const Tensor& truth,
+                          std::int64_t var, const Tensor& lat_w) {
+  const double skill = ensemble_mean_rmse(members, truth, var, lat_w);
+  const double spread = ensemble_spread(members, var, lat_w);
+  const double m = static_cast<double>(members.size());
+  if (skill <= 0.0) return 0.0;
+  return std::sqrt((m + 1.0) / m) * spread / skill;
+}
+
+double acc(const Tensor& forecast, const Tensor& truth,
+           const Tensor& climatology, std::int64_t var, const Tensor& lat_w) {
+  check_field(forecast, var, lat_w);
+  const std::int64_t h = forecast.dim(1), w = forecast.dim(2);
+  double ff = 0.0, tt = 0.0, ft = 0.0;
+  for (std::int64_t r = 0; r < h; ++r) {
+    const double lw = lat_w[r];
+    for (std::int64_t c = 0; c < w; ++c) {
+      const double fa = forecast.at3(var, r, c) - climatology.at3(var, r, c);
+      const double ta = truth.at3(var, r, c) - climatology.at3(var, r, c);
+      ff += lw * fa * fa;
+      tt += lw * ta * ta;
+      ft += lw * fa * ta;
+    }
+  }
+  const double denom = std::sqrt(ff * tt);
+  return denom > 0.0 ? ft / denom : 0.0;
+}
+
+double box_mean(const Tensor& field, std::int64_t var, std::int64_t r0,
+                std::int64_t r1, std::int64_t c0, std::int64_t c1) {
+  if (field.ndim() != 3 || r0 < 0 || r1 > field.dim(1) || c0 < 0 ||
+      c1 > field.dim(2) || r0 >= r1 || c0 >= c1) {
+    throw std::invalid_argument("box_mean: bad box");
+  }
+  double acc_v = 0.0;
+  for (std::int64_t r = r0; r < r1; ++r) {
+    for (std::int64_t c = c0; c < c1; ++c) acc_v += field.at3(var, r, c);
+  }
+  return acc_v / static_cast<double>((r1 - r0) * (c1 - c0));
+}
+
+}  // namespace aeris::metrics

@@ -1,0 +1,46 @@
+#include "aeris/metrics/spectra.hpp"
+
+#include <stdexcept>
+
+#include "aeris/physics/fft.hpp"
+
+namespace aeris::metrics {
+
+std::vector<double> zonal_power_spectrum(const Tensor& field,
+                                         std::int64_t var) {
+  if (field.ndim() != 3) throw std::invalid_argument("spectrum: [V,H,W]");
+  const std::int64_t h = field.dim(1), w = field.dim(2);
+  if (!physics::is_pow2(w)) {
+    throw std::invalid_argument("spectrum: W must be a power of two");
+  }
+  std::vector<double> bins(static_cast<std::size_t>(w / 2 + 1), 0.0);
+  std::vector<physics::cplx> row(static_cast<std::size_t>(w));
+  for (std::int64_t r = 0; r < h; ++r) {
+    for (std::int64_t c = 0; c < w; ++c) {
+      row[static_cast<std::size_t>(c)] =
+          physics::cplx(field.at3(var, r, c), 0.0);
+    }
+    physics::fft_inplace(row, /*inverse=*/false);
+    for (std::int64_t k = 0; k <= w / 2; ++k) {
+      const double amp =
+          std::norm(row[static_cast<std::size_t>(k)]) /
+          (static_cast<double>(w) * static_cast<double>(w));
+      bins[static_cast<std::size_t>(k)] += amp / static_cast<double>(h);
+    }
+  }
+  return bins;
+}
+
+double small_scale_power_ratio(const Tensor& forecast, const Tensor& truth,
+                               std::int64_t var) {
+  const auto pf = zonal_power_spectrum(forecast, var);
+  const auto pt = zonal_power_spectrum(truth, var);
+  double f = 0.0, t = 0.0;
+  for (std::size_t k = pf.size() / 2; k < pf.size(); ++k) {
+    f += pf[k];
+    t += pt[k];
+  }
+  return t > 0.0 ? f / t : 0.0;
+}
+
+}  // namespace aeris::metrics

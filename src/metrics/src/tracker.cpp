@@ -1,0 +1,165 @@
+#include "aeris/metrics/tracker.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace aeris::metrics {
+namespace {
+
+double wrap_dc(double dc, std::int64_t width) {
+  const double w = static_cast<double>(width);
+  while (dc > w / 2) dc -= w;
+  while (dc < -w / 2) dc += w;
+  return dc;
+}
+
+double fix_distance(const StormFix& a, const StormFix& b, std::int64_t width) {
+  const double dr = a.row - b.row;
+  const double dc = wrap_dc(a.col - b.col, width);
+  return std::sqrt(dr * dr + dc * dc);
+}
+
+}  // namespace
+
+std::vector<StormFix> detect_centers(const Tensor& field,
+                                     const TrackerConfig& cfg,
+                                     std::int64_t time) {
+  if (field.ndim() != 3) throw std::invalid_argument("tracker: [V,H,W]");
+  const std::int64_t h = field.dim(1), w = field.dim(2);
+  std::vector<StormFix> out;
+  for (std::int64_t r = 1; r < h - 1; ++r) {
+    for (std::int64_t c = 0; c < w; ++c) {
+      const double p = field.at3(cfg.mslp_var, r, c);
+      if (p >= cfg.pressure_threshold) continue;
+      bool is_min = true;
+      for (std::int64_t dr = -1; dr <= 1 && is_min; ++dr) {
+        for (std::int64_t dc = -1; dc <= 1; ++dc) {
+          if (dr == 0 && dc == 0) continue;
+          const std::int64_t cc = ((c + dc) % w + w) % w;
+          if (field.at3(cfg.mslp_var, r + dr, cc) < p) {
+            is_min = false;
+            break;
+          }
+        }
+      }
+      if (!is_min) continue;
+      StormFix fix;
+      fix.time = time;
+      fix.row = static_cast<double>(r);
+      fix.col = static_cast<double>(c);
+      fix.min_pressure = p;
+      double wind = 0.0;
+      for (std::int64_t dr = -cfg.wind_radius; dr <= cfg.wind_radius; ++dr) {
+        const std::int64_t rr = r + dr;
+        if (rr < 0 || rr >= h) continue;
+        for (std::int64_t dc = -cfg.wind_radius; dc <= cfg.wind_radius; ++dc) {
+          const std::int64_t cc = ((c + dc) % w + w) % w;
+          const double u = field.at3(cfg.u_var, rr, cc);
+          const double v = field.at3(cfg.v_var, rr, cc);
+          wind = std::max(wind, std::sqrt(u * u + v * v));
+        }
+      }
+      fix.max_wind = wind;
+      out.push_back(fix);
+    }
+  }
+  return out;
+}
+
+std::vector<Track> link_tracks(const std::vector<std::vector<StormFix>>& fixes,
+                               const TrackerConfig& cfg, std::int64_t width) {
+  std::vector<Track> tracks;
+  std::vector<bool> active;
+  for (const auto& frame : fixes) {
+    std::vector<bool> used(frame.size(), false);
+    // Extend active tracks with the nearest unclaimed detection.
+    for (std::size_t t = 0; t < tracks.size(); ++t) {
+      if (!active[t]) continue;
+      const StormFix& last = tracks[t].back();
+      double best = cfg.max_step_distance;
+      std::ptrdiff_t best_i = -1;
+      for (std::size_t i = 0; i < frame.size(); ++i) {
+        if (used[i]) continue;
+        const double d = fix_distance(last, frame[i], width);
+        if (d < best) {
+          best = d;
+          best_i = static_cast<std::ptrdiff_t>(i);
+        }
+      }
+      if (best_i >= 0) {
+        tracks[t].push_back(frame[static_cast<std::size_t>(best_i)]);
+        used[static_cast<std::size_t>(best_i)] = true;
+      } else {
+        active[t] = false;
+      }
+    }
+    // New tracks for unclaimed detections.
+    for (std::size_t i = 0; i < frame.size(); ++i) {
+      if (!used[i]) {
+        tracks.push_back({frame[i]});
+        active.push_back(true);
+      }
+    }
+  }
+  return tracks;
+}
+
+std::optional<Track> track_storm(std::span<const Tensor> sequence,
+                                 const TrackerConfig& cfg, double row0,
+                                 double col0) {
+  if (sequence.empty()) return std::nullopt;
+  std::vector<std::vector<StormFix>> fixes;
+  fixes.reserve(sequence.size());
+  for (std::size_t t = 0; t < sequence.size(); ++t) {
+    fixes.push_back(detect_centers(sequence[t], cfg,
+                                   static_cast<std::int64_t>(t)));
+  }
+  const std::int64_t width = sequence[0].dim(2);
+  const auto tracks = link_tracks(fixes, cfg, width);
+  const Track* best = nullptr;
+  double best_d = 1e18;
+  StormFix seed;
+  seed.row = row0;
+  seed.col = col0;
+  for (const Track& t : tracks) {
+    if (t.front().time != 0) continue;  // must start at the first frame
+    const double d = fix_distance(t.front(), seed, width);
+    if (d < best_d) {
+      best_d = d;
+      best = &t;
+    }
+  }
+  if (best == nullptr) return std::nullopt;
+  return *best;
+}
+
+double track_error(const Track& a, const Track& b, std::int64_t width) {
+  double total = 0.0;
+  std::int64_t n = 0;
+  for (const StormFix& fa : a) {
+    for (const StormFix& fb : b) {
+      if (fa.time == fb.time) {
+        total += fix_distance(fa, fb, width);
+        ++n;
+      }
+    }
+  }
+  return n > 0 ? total / static_cast<double>(n) : 1e18;
+}
+
+double intensity_error(const Track& a, const Track& b) {
+  double total = 0.0;
+  std::int64_t n = 0;
+  for (const StormFix& fa : a) {
+    for (const StormFix& fb : b) {
+      if (fa.time == fb.time) {
+        total += std::fabs(fa.max_wind - fb.max_wind);
+        ++n;
+      }
+    }
+  }
+  return n > 0 ? total / static_cast<double>(n) : 1e18;
+}
+
+}  // namespace aeris::metrics

@@ -1,0 +1,46 @@
+#pragma once
+
+#include "aeris/nn/linear.hpp"
+#include "aeris/tensor/tensor.hpp"
+
+namespace aeris::nn {
+
+/// Fixed 2D sinusoidal positional field (paper §V-B: "adding a 2D
+/// sinusoidal positional encoding to each channel of our input to serve
+/// as a proxy of locality"). Returns an [H, W] map combining several
+/// row/column frequencies; the model adds the same map to every channel.
+Tensor sinusoidal_posenc_2d(std::int64_t h, std::int64_t w,
+                            std::int64_t num_freqs = 4, float amplitude = 0.1f);
+
+/// Sinusoidal features of a scalar (the diffusion time step t): pairs
+/// (sin(t w_i), cos(t w_i)) over geometrically spaced frequencies.
+/// Output: [dim] for a scalar, assembled per sample by callers.
+Tensor sinusoidal_features(float t, std::int64_t dim, float max_period = 1e4f);
+
+/// Diffusion-time conditioning trunk (paper §V-B: "the time embedding for
+/// the diffusion timestep is projected through a shared linear layer, and
+/// then further broadcasted to all the layers"). Maps t in [0, pi/2] to a
+/// conditioning vector [B, cond_dim] consumed by per-layer AdaLN heads.
+class TimeEmbedding {
+ public:
+  TimeEmbedding(std::string name, std::int64_t feature_dim,
+                std::int64_t cond_dim);
+
+  void init(const Philox& rng, std::uint64_t index);
+
+  /// t: [B] diffusion times. Returns [B, cond_dim].
+  Tensor forward(const Tensor& t);
+  /// Consumes dL/dcond; t itself needs no gradient.
+  void backward(const Tensor& dcond);
+
+  void collect_params(ParamList& out);
+
+  std::int64_t cond_dim() const { return shared_.out_features(); }
+
+ private:
+  std::int64_t feature_dim_;
+  Linear shared_;
+  Tensor cached_pre_;  // pre-activation of the shared layer
+};
+
+}  // namespace aeris::nn

@@ -1,0 +1,93 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "aeris/nn/param.hpp"
+
+namespace aeris::nn {
+
+/// Learning-rate schedule from the paper (§VI-B "Training"): linear warmup
+/// over `warmup` images to `peak`, constant, then linear decay to zero over
+/// the final `decay` of `total` images. Positions are in *images seen*, so
+/// the schedule is invariant to batch size / parallel layout.
+struct LRSchedule {
+  float peak = 5e-4f;
+  std::int64_t warmup = 50'000;
+  std::int64_t decay = 100'000;
+  std::int64_t total = 3'000'000;
+
+  float at(std::int64_t images_seen) const;
+};
+
+/// AdamW with decoupled weight decay, FP32 states, and the paper's
+/// hyper-parameters as defaults (beta = [0.85, 0.9], eps = 1e-8,
+/// weight decay 0.01). Optimizer state is kept per parameter in
+/// registration order — the same flat layout the ZeRO-1 distributed
+/// optimizer shards across data-parallel ranks.
+class AdamW {
+ public:
+  struct Options {
+    float beta1 = 0.85f;
+    float beta2 = 0.9f;
+    float eps = 1e-8f;
+    float weight_decay = 0.01f;
+  };
+
+  explicit AdamW(ParamList params) : AdamW(std::move(params), Options()) {}
+  AdamW(ParamList params, Options opts);
+
+  /// Applies one update with the given learning rate. Gradients are
+  /// consumed as-is (callers average over the global batch first).
+  void step(float lr);
+
+  /// Update a contiguous sub-range [begin, end) of parameters (ZeRO-1
+  /// shard update; the owner applies its shard, then values are
+  /// re-broadcast).
+  void step_range(float lr, std::size_t begin, std::size_t end);
+
+  /// Advances the step clock and updates only [begin, end): the ZeRO-1
+  /// owner's view of one optimizer step.
+  void step_shard(float lr, std::size_t begin, std::size_t end) {
+    ++t_;
+    step_range(lr, begin, end);
+  }
+
+  std::int64_t steps_taken() const { return t_; }
+  const ParamList& params() const { return params_; }
+  const Options& options() const { return opts_; }
+
+  /// First/second moment for tests and checkpointing.
+  const Tensor& moment1(std::size_t i) const { return m_[i]; }
+  const Tensor& moment2(std::size_t i) const { return v_[i]; }
+
+ private:
+  ParamList params_;
+  Options opts_;
+  std::vector<Tensor> m_;
+  std::vector<Tensor> v_;
+  std::int64_t t_ = 0;
+};
+
+/// Exponential moving average of parameters with a half-life measured in
+/// images (paper: "EMA of model parameters with a 100k image half-life,
+/// using only these weights during inference").
+class EMA {
+ public:
+  EMA(const ParamList& params, float half_life_images);
+
+  /// Folds in the current parameter values after a step that consumed
+  /// `images_in_step` images.
+  void update(const ParamList& params, std::int64_t images_in_step);
+
+  /// Writes the averaged values into the parameters (for inference).
+  void copy_to(const ParamList& params) const;
+
+  const std::vector<Tensor>& shadow() const { return shadow_; }
+
+ private:
+  float half_life_;
+  std::vector<Tensor> shadow_;
+};
+
+}  // namespace aeris::nn

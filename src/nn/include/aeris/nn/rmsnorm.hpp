@@ -1,0 +1,35 @@
+#pragma once
+
+#include "aeris/nn/param.hpp"
+#include "aeris/tensor/tensor.hpp"
+
+namespace aeris::nn {
+
+/// Pre-RMSNorm (paper §V-B: AERIS replaces LayerNorm with RMSNorm as in
+/// the Llama-3 family): y = x / rms(x) * g, rms over the last dimension.
+///
+/// `elementwise_affine = false` gives the plain normalization used inside
+/// adaLN blocks where scale/shift come from the conditioning network.
+class RMSNorm {
+ public:
+  RMSNorm(std::string name, std::int64_t dim, bool elementwise_affine = true,
+          float eps = 1e-6f);
+
+  Tensor forward(const Tensor& x);
+  Tensor backward(const Tensor& dy);
+  Tensor apply(const Tensor& x) const;
+
+  void collect_params(ParamList& out);
+
+  Param& gain() { return g_; }
+
+ private:
+  std::int64_t dim_ = 0;
+  bool affine_ = true;
+  float eps_ = 1e-6f;
+  Param g_;  // [dim]
+  Tensor cached_x_;
+  Tensor cached_inv_rms_;  // [rows]
+};
+
+}  // namespace aeris::nn

@@ -1,0 +1,35 @@
+#pragma once
+
+#include "aeris/nn/linear.hpp"
+
+namespace aeris::nn {
+
+/// SiLU activation and its derivative (used by SwiGLU).
+float silu(float x);
+float silu_grad(float x);
+
+/// SwiGLU feed-forward block (paper §V-B, replacing the single linear of
+/// the classic transformer MLP, as in Llama 3):
+///   y = W_down( silu(W_gate x) ⊙ (W_up x) )
+///
+/// `hidden` is the FFN width from Table II (e.g. 9216 for the 1.3B model).
+class SwiGLU {
+ public:
+  SwiGLU(std::string name, std::int64_t dim, std::int64_t hidden);
+
+  void init(const Philox& rng, std::uint64_t index);
+
+  Tensor forward(const Tensor& x);
+  Tensor backward(const Tensor& dy);
+
+  void collect_params(ParamList& out);
+
+ private:
+  Linear gate_;
+  Linear up_;
+  Linear down_;
+  Tensor cached_gate_pre_;  // W_gate x (pre-activation)
+  Tensor cached_up_;        // W_up x
+};
+
+}  // namespace aeris::nn

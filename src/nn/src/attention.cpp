@@ -1,0 +1,143 @@
+#include "aeris/nn/attention.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "aeris/tensor/gemm.hpp"
+#include "aeris/tensor/ops.hpp"
+
+namespace aeris::nn {
+
+Tensor attention_core_forward(const Tensor& q, const Tensor& k,
+                              const Tensor& v, std::int64_t heads,
+                              Tensor* probs_out) {
+  if (q.ndim() != 3 || q.shape() != k.shape() || q.shape() != v.shape()) {
+    throw std::invalid_argument("attention_core: q/k/v must match [B,T,C]");
+  }
+  const std::int64_t b = q.dim(0), t = q.dim(1), c = q.dim(2);
+  if (c % heads != 0) throw std::invalid_argument("attention_core: C % H != 0");
+  const std::int64_t dh = c / heads;
+  const float scale = 1.0f / std::sqrt(static_cast<float>(dh));
+  const GemmPrecision prec = default_gemm_precision();
+
+  if (probs_out != nullptr) *probs_out = Tensor({b, heads, t, t});
+  Tensor out({b, t, c});
+  Tensor scores({t, t});
+  for (std::int64_t bb = 0; bb < b; ++bb) {
+    for (std::int64_t h = 0; h < heads; ++h) {
+      const float* qp = q.data() + bb * t * c + h * dh;
+      const float* kp = k.data() + bb * t * c + h * dh;
+      const float* vp = v.data() + bb * t * c + h * dh;
+      gemm(false, true, t, t, dh, scale, qp, c, kp, c, 0.0f, scores.data(), t,
+           prec);
+      Tensor probs = softmax_lastdim(scores);
+      if (probs_out != nullptr) {
+        std::copy_n(probs.data(), t * t,
+                    probs_out->data() + (bb * heads + h) * t * t);
+      }
+      gemm(false, false, t, dh, t, 1.0f, probs.data(), t, vp, c, 0.0f,
+           out.data() + bb * t * c + h * dh, c, prec);
+    }
+  }
+  return out;
+}
+
+void attention_core_backward(const Tensor& q, const Tensor& k, const Tensor& v,
+                             const Tensor& probs, const Tensor& dout,
+                             std::int64_t heads, Tensor& dq, Tensor& dk,
+                             Tensor& dv) {
+  const std::int64_t b = q.dim(0), t = q.dim(1), c = q.dim(2);
+  const std::int64_t dh = c / heads;
+  const float scale = 1.0f / std::sqrt(static_cast<float>(dh));
+  const GemmPrecision prec = default_gemm_precision();
+
+  dq = Tensor(q.shape());
+  dk = Tensor(k.shape());
+  dv = Tensor(v.shape());
+  Tensor dprobs({t, t});
+  for (std::int64_t bb = 0; bb < b; ++bb) {
+    for (std::int64_t h = 0; h < heads; ++h) {
+      const float* qp = q.data() + bb * t * c + h * dh;
+      const float* kp = k.data() + bb * t * c + h * dh;
+      const float* vp = v.data() + bb * t * c + h * dh;
+      const float* dop = dout.data() + bb * t * c + h * dh;
+      Tensor p({t, t});
+      std::copy_n(probs.data() + (bb * heads + h) * t * t, t * t, p.data());
+      gemm(false, true, t, t, dh, 1.0f, dop, c, vp, c, 0.0f, dprobs.data(), t,
+           prec);
+      gemm(true, false, t, dh, t, 1.0f, p.data(), t, dop, c, 0.0f,
+           dv.data() + bb * t * c + h * dh, c, prec);
+      Tensor dscores = softmax_lastdim_backward(p, dprobs);
+      gemm(false, false, t, dh, t, scale, dscores.data(), t, kp, c, 0.0f,
+           dq.data() + bb * t * c + h * dh, c, prec);
+      gemm(true, false, t, dh, t, scale, dscores.data(), t, qp, c, 0.0f,
+           dk.data() + bb * t * c + h * dh, c, prec);
+    }
+  }
+}
+
+WindowAttention::WindowAttention(std::string name, std::int64_t dim,
+                                 std::int64_t num_heads, std::int64_t win_h,
+                                 std::int64_t win_w, float rope_base)
+    : dim_(dim),
+      heads_(num_heads),
+      win_h_(win_h),
+      win_w_(win_w),
+      qkv_(name + ".qkv", dim, 3 * dim, /*bias=*/true),
+      proj_(name + ".proj", dim, dim, /*bias=*/true),
+      rope_(dim / num_heads, rope_base),
+      coords_(window_coords(0, 0, win_h, win_w, win_h, win_w)) {
+  if (dim % num_heads != 0) {
+    throw std::invalid_argument("WindowAttention: dim % heads != 0");
+  }
+}
+
+void WindowAttention::init(const Philox& rng, std::uint64_t index) {
+  qkv_.init(rng, index * 4 + 0);
+  proj_.init(rng, index * 4 + 1);
+}
+
+Tensor WindowAttention::forward(const Tensor& x) {
+  const std::int64_t t = tokens();
+  if (x.ndim() != 3 || x.dim(1) != t || x.dim(2) != dim_) {
+    throw std::invalid_argument("WindowAttention: expected [B," +
+                                std::to_string(t) + "," + std::to_string(dim_) +
+                                "], got " + shape_to_string(x.shape()));
+  }
+  Tensor qkv = qkv_.forward(x);  // [B, T, 3C]
+  cached_q_ = slice(qkv, 2, 0, dim_);
+  cached_k_ = slice(qkv, 2, dim_, 2 * dim_);
+  cached_v_ = slice(qkv, 2, 2 * dim_, 3 * dim_);
+  rope_.apply(cached_q_, heads_, coords_);
+  rope_.apply(cached_k_, heads_, coords_);
+
+  Tensor attn_out = attention_core_forward(cached_q_, cached_k_, cached_v_,
+                                           heads_, &cached_probs_);
+  return proj_.forward(attn_out);
+}
+
+Tensor WindowAttention::backward(const Tensor& dy) {
+  if (cached_q_.empty()) {
+    throw std::logic_error("WindowAttention: backward before forward");
+  }
+  Tensor dattn = proj_.backward(dy);  // [B, T, C]
+
+  Tensor dq, dk, dv;
+  attention_core_backward(cached_q_, cached_k_, cached_v_, cached_probs_,
+                          dattn, heads_, dq, dk, dv);
+
+  // Undo the rotation: RoPE is orthogonal, gradient = inverse rotation.
+  rope_.apply(dq, heads_, coords_, /*inverse=*/true);
+  rope_.apply(dk, heads_, coords_, /*inverse=*/true);
+
+  const Tensor* parts[] = {&dq, &dk, &dv};
+  Tensor dqkv = concat(std::span<const Tensor* const>(parts, 3), 2);
+  return qkv_.backward(dqkv);
+}
+
+void WindowAttention::collect_params(ParamList& out) {
+  qkv_.collect_params(out);
+  proj_.collect_params(out);
+}
+
+}  // namespace aeris::nn

@@ -1,0 +1,91 @@
+#include "aeris/nn/linear.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace aeris::nn {
+namespace {
+
+Shape with_last(const Shape& s, std::int64_t last) {
+  Shape out = s;
+  out.back() = last;
+  return out;
+}
+
+}  // namespace
+
+Linear::Linear(std::string name, std::int64_t in_features,
+               std::int64_t out_features, bool bias)
+    : in_(in_features),
+      out_(out_features),
+      has_bias_(bias),
+      w_(name + ".weight", {out_features, in_features}),
+      b_(bias ? Param(name + ".bias", {out_features}) : Param()) {}
+
+void Linear::init(const Philox& rng, std::uint64_t index) {
+  init_normal(w_, rng, index, 1.0f / std::sqrt(static_cast<float>(in_)));
+  if (has_bias_) b_.value.fill(0.0f);
+}
+
+void Linear::init_zero() {
+  w_.value.fill(0.0f);
+  if (has_bias_) b_.value.fill(0.0f);
+}
+
+Tensor Linear::apply(const Tensor& x) const {
+  if (x.dim(-1) != in_) {
+    throw std::invalid_argument(w_.name + ": expected last dim " +
+                                std::to_string(in_) + ", got " +
+                                shape_to_string(x.shape()));
+  }
+  const std::int64_t rows = x.numel() / in_;
+  Tensor y(with_last(x.shape(), out_));
+  // y = x @ W^T in the configured mixed precision.
+  gemm(false, true, rows, out_, in_, 1.0f, x.data(), in_, w_.value.data(), in_,
+       0.0f, y.data(), out_, default_gemm_precision());
+  if (has_bias_) {
+    float* py = y.data();
+    const float* pb = b_.value.data();
+    for (std::int64_t r = 0; r < rows; ++r) {
+      for (std::int64_t c = 0; c < out_; ++c) py[r * out_ + c] += pb[c];
+    }
+  }
+  return y;
+}
+
+Tensor Linear::forward(const Tensor& x) {
+  cached_x_ = x;
+  return apply(x);
+}
+
+Tensor Linear::backward(const Tensor& dy) {
+  if (cached_x_.empty()) {
+    throw std::logic_error(w_.name + ": backward before forward");
+  }
+  const std::int64_t rows = cached_x_.numel() / in_;
+  if (dy.numel() != rows * out_) {
+    throw std::invalid_argument(w_.name + ": backward shape mismatch");
+  }
+  // dW += dY^T @ X   (FP32 accumulation into master grads)
+  gemm(true, false, out_, in_, rows, 1.0f, dy.data(), out_, cached_x_.data(),
+       in_, 1.0f, w_.grad.data(), in_, default_gemm_precision());
+  if (has_bias_) {
+    const float* pdy = dy.data();
+    float* pdb = b_.grad.data();
+    for (std::int64_t r = 0; r < rows; ++r) {
+      for (std::int64_t c = 0; c < out_; ++c) pdb[c] += pdy[r * out_ + c];
+    }
+  }
+  // dX = dY @ W
+  Tensor dx(cached_x_.shape());
+  gemm(false, false, rows, in_, out_, 1.0f, dy.data(), out_, w_.value.data(),
+       in_, 0.0f, dx.data(), in_, default_gemm_precision());
+  return dx;
+}
+
+void Linear::collect_params(ParamList& out) {
+  out.push_back(&w_);
+  if (has_bias_) out.push_back(&b_);
+}
+
+}  // namespace aeris::nn

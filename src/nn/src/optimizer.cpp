@@ -1,0 +1,95 @@
+#include "aeris/nn/optimizer.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace aeris::nn {
+
+float LRSchedule::at(std::int64_t images_seen) const {
+  if (images_seen < 0) return 0.0f;
+  if (images_seen < warmup) {
+    return peak * static_cast<float>(images_seen) / static_cast<float>(warmup);
+  }
+  const std::int64_t decay_start = total - decay;
+  if (images_seen >= total) return 0.0f;
+  if (images_seen > decay_start) {
+    return peak * static_cast<float>(total - images_seen) /
+           static_cast<float>(decay);
+  }
+  return peak;
+}
+
+AdamW::AdamW(ParamList params, Options opts)
+    : params_(std::move(params)), opts_(opts) {
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (const Param* p : params_) {
+    m_.emplace_back(p->value.shape());
+    v_.emplace_back(p->value.shape());
+  }
+}
+
+void AdamW::step(float lr) {
+  ++t_;
+  step_range(lr, 0, params_.size());
+}
+
+void AdamW::step_range(float lr, std::size_t begin, std::size_t end) {
+  if (end > params_.size() || begin > end) {
+    throw std::invalid_argument("AdamW::step_range: bad range");
+  }
+  // step() advances t_; direct step_range callers (ZeRO shards) advance it
+  // themselves via step() on exactly one "clock" — here we just read it.
+  const float t = static_cast<float>(t_ > 0 ? t_ : 1);
+  const float bias1 = 1.0f - std::pow(opts_.beta1, t);
+  const float bias2 = 1.0f - std::pow(opts_.beta2, t);
+  for (std::size_t i = begin; i < end; ++i) {
+    Param& p = *params_[i];
+    Tensor& m = m_[i];
+    Tensor& v = v_[i];
+    const std::int64_t n = p.numel();
+    for (std::int64_t j = 0; j < n; ++j) {
+      const float g = p.grad[j];
+      m[j] = opts_.beta1 * m[j] + (1.0f - opts_.beta1) * g;
+      v[j] = opts_.beta2 * v[j] + (1.0f - opts_.beta2) * g * g;
+      const float mhat = m[j] / bias1;
+      const float vhat = v[j] / bias2;
+      // Decoupled weight decay (AdamW), applied with the same lr.
+      p.value[j] -= lr * (mhat / (std::sqrt(vhat) + opts_.eps) +
+                          opts_.weight_decay * p.value[j]);
+    }
+  }
+}
+
+EMA::EMA(const ParamList& params, float half_life_images)
+    : half_life_(half_life_images) {
+  shadow_.reserve(params.size());
+  for (const Param* p : params) shadow_.push_back(p->value);
+}
+
+void EMA::update(const ParamList& params, std::int64_t images_in_step) {
+  if (params.size() != shadow_.size()) {
+    throw std::invalid_argument("EMA: parameter list changed");
+  }
+  const float decay =
+      std::exp2(-static_cast<float>(images_in_step) / half_life_);
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    Tensor& s = shadow_[i];
+    const Tensor& v = params[i]->value;
+    const std::int64_t n = s.numel();
+    for (std::int64_t j = 0; j < n; ++j) {
+      s[j] = decay * s[j] + (1.0f - decay) * v[j];
+    }
+  }
+}
+
+void EMA::copy_to(const ParamList& params) const {
+  if (params.size() != shadow_.size()) {
+    throw std::invalid_argument("EMA: parameter list changed");
+  }
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    params[i]->value = shadow_[i];
+  }
+}
+
+}  // namespace aeris::nn

@@ -1,0 +1,73 @@
+#include "aeris/nn/param.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "aeris/tensor/ops.hpp"
+
+namespace aeris::nn {
+
+std::int64_t param_count(const ParamList& params) {
+  std::int64_t n = 0;
+  for (const Param* p : params) n += p->numel();
+  return n;
+}
+
+void zero_grads(const ParamList& params) {
+  for (Param* p : params) p->zero_grad();
+}
+
+float grad_norm(const ParamList& params) {
+  double acc = 0.0;
+  for (const Param* p : params) {
+    const float n = l2_norm(p->grad);
+    acc += static_cast<double>(n) * n;
+  }
+  return static_cast<float>(std::sqrt(acc));
+}
+
+float clip_grad_norm(const ParamList& params, float max_norm) {
+  const float norm = grad_norm(params);
+  if (norm > max_norm && norm > 0.0f) {
+    const float s = max_norm / norm;
+    for (Param* p : params) scale_(p->grad, s);
+  }
+  return norm;
+}
+
+void init_normal(Param& p, const Philox& rng, std::uint64_t index, float std) {
+  rng.fill_normal(p.value, rng_stream::kInitWeights, index);
+  scale_(p.value, std);
+}
+
+std::vector<float> flatten_values(const ParamList& params) {
+  std::vector<float> out;
+  out.reserve(static_cast<std::size_t>(param_count(params)));
+  for (const Param* p : params) {
+    out.insert(out.end(), p->value.flat().begin(), p->value.flat().end());
+  }
+  return out;
+}
+
+void unflatten_values(const ParamList& params, std::span<const float> flat) {
+  if (static_cast<std::int64_t>(flat.size()) != param_count(params)) {
+    throw std::invalid_argument("unflatten_values: size mismatch");
+  }
+  std::size_t off = 0;
+  for (Param* p : params) {
+    std::copy_n(flat.begin() + static_cast<std::ptrdiff_t>(off),
+                static_cast<std::size_t>(p->numel()), p->value.flat().begin());
+    off += static_cast<std::size_t>(p->numel());
+  }
+}
+
+std::vector<float> flatten_grads(const ParamList& params) {
+  std::vector<float> out;
+  out.reserve(static_cast<std::size_t>(param_count(params)));
+  for (const Param* p : params) {
+    out.insert(out.end(), p->grad.flat().begin(), p->grad.flat().end());
+  }
+  return out;
+}
+
+}  // namespace aeris::nn

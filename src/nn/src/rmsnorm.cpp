@@ -1,0 +1,86 @@
+#include "aeris/nn/rmsnorm.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace aeris::nn {
+
+RMSNorm::RMSNorm(std::string name, std::int64_t dim, bool elementwise_affine,
+                 float eps)
+    : dim_(dim),
+      affine_(elementwise_affine),
+      eps_(eps),
+      g_(affine_ ? Param(name + ".gain", {dim}) : Param()) {
+  if (affine_) g_.value.fill(1.0f);
+}
+
+Tensor RMSNorm::apply(const Tensor& x) const {
+  if (x.dim(-1) != dim_) throw std::invalid_argument("RMSNorm: bad last dim");
+  const std::int64_t rows = x.numel() / dim_;
+  Tensor y(x.shape());
+  for (std::int64_t r = 0; r < rows; ++r) {
+    const float* px = x.data() + r * dim_;
+    float* py = y.data() + r * dim_;
+    double ss = 0.0;
+    for (std::int64_t c = 0; c < dim_; ++c) ss += static_cast<double>(px[c]) * px[c];
+    const float inv = 1.0f / std::sqrt(static_cast<float>(ss / dim_) + eps_);
+    for (std::int64_t c = 0; c < dim_; ++c) {
+      py[c] = px[c] * inv * (affine_ ? g_.value[c] : 1.0f);
+    }
+  }
+  return y;
+}
+
+Tensor RMSNorm::forward(const Tensor& x) {
+  if (x.dim(-1) != dim_) throw std::invalid_argument("RMSNorm: bad last dim");
+  const std::int64_t rows = x.numel() / dim_;
+  cached_x_ = x;
+  cached_inv_rms_ = Tensor({rows});
+  Tensor y(x.shape());
+  for (std::int64_t r = 0; r < rows; ++r) {
+    const float* px = x.data() + r * dim_;
+    float* py = y.data() + r * dim_;
+    double ss = 0.0;
+    for (std::int64_t c = 0; c < dim_; ++c) ss += static_cast<double>(px[c]) * px[c];
+    const float inv = 1.0f / std::sqrt(static_cast<float>(ss / dim_) + eps_);
+    cached_inv_rms_[r] = inv;
+    for (std::int64_t c = 0; c < dim_; ++c) {
+      py[c] = px[c] * inv * (affine_ ? g_.value[c] : 1.0f);
+    }
+  }
+  return y;
+}
+
+Tensor RMSNorm::backward(const Tensor& dy) {
+  if (cached_x_.empty()) throw std::logic_error("RMSNorm: backward before forward");
+  const std::int64_t rows = cached_x_.numel() / dim_;
+  Tensor dx(cached_x_.shape());
+  for (std::int64_t r = 0; r < rows; ++r) {
+    const float* px = cached_x_.data() + r * dim_;
+    const float* pdy = dy.data() + r * dim_;
+    float* pdx = dx.data() + r * dim_;
+    const float inv = cached_inv_rms_[r];
+    // With u = x * inv_rms and y = u * g:
+    //   dL/du_c = dy_c * g_c
+    //   dL/dx  = inv * (du - u * mean(du ⊙ u))
+    double du_dot_u = 0.0;
+    for (std::int64_t c = 0; c < dim_; ++c) {
+      const float du = pdy[c] * (affine_ ? g_.value[c] : 1.0f);
+      du_dot_u += static_cast<double>(du) * (px[c] * inv);
+    }
+    const float mean_du_u = static_cast<float>(du_dot_u / dim_);
+    for (std::int64_t c = 0; c < dim_; ++c) {
+      const float du = pdy[c] * (affine_ ? g_.value[c] : 1.0f);
+      const float u = px[c] * inv;
+      pdx[c] = inv * (du - u * mean_du_u);
+      if (affine_) g_.grad[c] += pdy[c] * u;
+    }
+  }
+  return dx;
+}
+
+void RMSNorm::collect_params(ParamList& out) {
+  if (affine_) out.push_back(&g_);
+}
+
+}  // namespace aeris::nn

@@ -1,0 +1,58 @@
+#include "aeris/nn/swiglu.hpp"
+
+#include <cmath>
+
+#include "aeris/tensor/ops.hpp"
+
+namespace aeris::nn {
+
+float silu(float x) { return x / (1.0f + std::exp(-x)); }
+
+float silu_grad(float x) {
+  const float s = 1.0f / (1.0f + std::exp(-x));
+  return s * (1.0f + x * (1.0f - s));
+}
+
+SwiGLU::SwiGLU(std::string name, std::int64_t dim, std::int64_t hidden)
+    : gate_(name + ".gate", dim, hidden, /*bias=*/false),
+      up_(name + ".up", dim, hidden, /*bias=*/false),
+      down_(name + ".down", hidden, dim, /*bias=*/false) {}
+
+void SwiGLU::init(const Philox& rng, std::uint64_t index) {
+  gate_.init(rng, index * 4 + 0);
+  up_.init(rng, index * 4 + 1);
+  down_.init(rng, index * 4 + 2);
+}
+
+Tensor SwiGLU::forward(const Tensor& x) {
+  cached_gate_pre_ = gate_.forward(x);
+  cached_up_ = up_.forward(x);
+  Tensor h(cached_gate_pre_.shape());
+  const std::int64_t n = h.numel();
+  for (std::int64_t i = 0; i < n; ++i) {
+    h[i] = silu(cached_gate_pre_[i]) * cached_up_[i];
+  }
+  return down_.forward(h);
+}
+
+Tensor SwiGLU::backward(const Tensor& dy) {
+  Tensor dh = down_.backward(dy);
+  Tensor dgate(cached_gate_pre_.shape());
+  Tensor dup(cached_up_.shape());
+  const std::int64_t n = dh.numel();
+  for (std::int64_t i = 0; i < n; ++i) {
+    dgate[i] = dh[i] * cached_up_[i] * silu_grad(cached_gate_pre_[i]);
+    dup[i] = dh[i] * silu(cached_gate_pre_[i]);
+  }
+  Tensor dx = gate_.backward(dgate);
+  add_(dx, up_.backward(dup));
+  return dx;
+}
+
+void SwiGLU::collect_params(ParamList& out) {
+  gate_.collect_params(out);
+  up_.collect_params(out);
+  down_.collect_params(out);
+}
+
+}  // namespace aeris::nn

@@ -1,0 +1,45 @@
+#pragma once
+
+#include <cstdint>
+
+namespace aeris::perf {
+
+/// Architecture shape of an AERIS network at production scale.
+///
+/// A pipeline has PP = L + 2 stages: separated input/output edge stages
+/// plus L "Swin layers". Each Swin layer is "composed of multiple
+/// transformer layers" (paper §V-B); two transformer blocks per Swin
+/// layer — a plain-window and a shifted-window block — reconciles the
+/// parameter counts of Table II (e.g. 1.3B: dim 1536, FFN 9216, PP 12 ->
+/// 10 Swin layers x 2 blocks x ~66M ≈ 1.32B), and is validated in tests.
+struct ArchShape {
+  std::int64_t dim = 1536;
+  std::int64_t heads = 12;
+  std::int64_t ffn = 9216;
+  std::int64_t swin_layers = 10;       ///< pipeline block stages (PP - 2)
+  std::int64_t blocks_per_layer = 2;   ///< transformer blocks per stage
+  std::int64_t h = 720;                ///< ERA5 0.25 degree grid
+  std::int64_t w = 1440;
+  std::int64_t window = 60;            ///< 60x60 for the 24h model
+  std::int64_t in_channels = 143;      ///< x_t(70) + prev(70) + forcings(3)
+  std::int64_t out_channels = 70;      ///< 5 surface + 5x13 atmospheric
+  std::int64_t cond_dim = 1536;        ///< == dim (adaLN trunk width)
+
+  std::int64_t tokens() const { return h * w; }
+  std::int64_t blocks() const { return swin_layers * blocks_per_layer; }
+};
+
+/// Total learnable parameters (matches core::AerisModel::analytic_param_count
+/// for the equivalent small configuration; validated in tests).
+std::int64_t arch_params(const ArchShape& a);
+
+/// Forward FLOPs for one sample (2 * MACs), dominated by GEMMs and the
+/// windowed attention. Backward costs 2x forward; a training step costs
+/// 3x forward (§VI-D's analytical FLOP model).
+double forward_flops_per_sample(const ArchShape& a);
+double train_flops_per_sample(const ArchShape& a);
+
+/// FLOPs executed by one block stage (one Swin layer) per sample.
+double stage_forward_flops(const ArchShape& a);
+
+}  // namespace aeris::perf

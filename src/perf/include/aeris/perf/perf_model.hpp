@@ -1,0 +1,71 @@
+#pragma once
+
+#include "aeris/perf/arch.hpp"
+#include "aeris/perf/machine.hpp"
+
+namespace aeris::perf {
+
+/// One training job: a model instance spans WP x PP nodes (SP tiles per
+/// node); DP replicates it. GBS = DP * GAS at microbatch size 1.
+struct JobConfig {
+  ArchShape arch;
+  Machine machine;
+  int wp = 4;
+  int pp = 12;   ///< pipeline stages (swin_layers + 2)
+  int dp = 1;
+  int gas = 60;  ///< microbatches per replica per optimizer step
+
+  int sp() const { return machine.tiles_per_node; }
+  int nodes_per_instance() const { return wp * pp; }
+  int nodes() const { return nodes_per_instance() * dp; }
+  std::int64_t tiles() const {
+    return static_cast<std::int64_t>(nodes()) * machine.tiles_per_node;
+  }
+  std::int64_t global_batch() const {
+    return static_cast<std::int64_t>(dp) * gas;
+  }
+};
+
+/// Analytic step-time decomposition (§VI-D "performance modeling"):
+/// compute, SP/WP alltoall, PP send/recv (partially overlapped), the 1F1B
+/// bubble, and the end-of-step gradient reduction + optimizer — the two
+/// components the paper excludes from *peak* FLOPS.
+struct StepTime {
+  double compute_s = 0;     ///< pipeline-full compute (all microbatches)
+  double alltoall_s = 0;    ///< Ulysses/WP alltoall (intra-node)
+  double p2p_s = 0;         ///< exposed pipeline send/recv
+  double bubble_s = 0;      ///< 1F1B idle time
+  double grad_sync_s = 0;   ///< gradient allreduce (inter-node)
+  double optimizer_s = 0;   ///< AdamW + ZeRO allgather
+
+  double pipeline_s() const { return compute_s + alltoall_s + p2p_s + bubble_s; }
+  double total_s() const { return pipeline_s() + grad_sync_s + optimizer_s; }
+};
+
+/// Throughput summary in the units of paper Table III / Fig. 4.
+struct Throughput {
+  double images_per_s = 0;
+  double tflops_per_tile = 0;
+  double mfu = 0;                 ///< fraction of peak
+  double sustained_eflops = 0;    ///< whole-application
+  double peak_eflops = 0;         ///< pipeline-only (§VI-D)
+  StepTime step;
+};
+
+/// Evaluates the analytic model for a job.
+Throughput evaluate(const JobConfig& job);
+
+/// Activation floats resident per tile for one microbatch (the §V-A
+/// activation-memory claim: divided by WP on top of SP).
+double activation_floats_per_tile(const JobConfig& job);
+
+/// Per-tile communication volumes per microbatch (bytes), for the
+/// ablation bench that checks the M = b*s*h/SP/WP message-size law.
+struct CommVolumes {
+  double alltoall_bytes = 0;  ///< per block stage, per tile
+  double p2p_bytes = 0;       ///< per stage boundary, per tile
+  double allreduce_bytes = 0; ///< per step, per tile (grad sync)
+};
+CommVolumes comm_volumes(const JobConfig& job);
+
+}  // namespace aeris::perf

@@ -1,0 +1,52 @@
+#include "aeris/perf/arch.hpp"
+
+namespace aeris::perf {
+
+std::int64_t arch_params(const ArchShape& a) {
+  const std::int64_t d = a.dim;
+  // Edge stages: pixel embed + time trunk + final norm + decode head.
+  std::int64_t n = (a.in_channels + 1) * d;
+  n += (a.cond_dim + 1) * a.cond_dim;  // shared time linear (features ~ cond)
+  n += d;
+  n += (d + 1) * a.out_channels;
+  // Per transformer block: qkv, proj, two adaLN heads, SwiGLU.
+  std::int64_t per = (d + 1) * 3 * d;          // qkv
+  per += (d + 1) * d;                          // proj
+  per += 2 * (a.cond_dim + 1) * 3 * d;         // adaLN (2 heads x 3 fields)
+  per += 3 * d * a.ffn;                        // SwiGLU gate/up/down
+  return n + a.blocks() * per;
+}
+
+double forward_flops_per_sample(const ArchShape& a) {
+  const double d = static_cast<double>(a.dim);
+  const double t = static_cast<double>(a.tokens());
+  const double win_tokens = static_cast<double>(a.window * a.window);
+  // Per token per block (2 * MACs):
+  double per_tok = 2.0 * d * 3.0 * d;       // qkv
+  per_tok += 2.0 * 2.0 * win_tokens * d;    // scores + apply over the window
+  per_tok += 2.0 * d * d;                   // output projection
+  per_tok += 2.0 * 3.0 * d * static_cast<double>(a.ffn);  // SwiGLU
+  double flops = per_tok * t * static_cast<double>(a.blocks());
+  // adaLN heads (per sample, not per token): negligible but counted.
+  flops += 2.0 * static_cast<double>(a.blocks()) * 2.0 *
+           static_cast<double>(a.cond_dim) * 3.0 * d;
+  // Edge stages per token.
+  flops += 2.0 * static_cast<double>(a.in_channels) * d * t;
+  flops += 2.0 * d * static_cast<double>(a.out_channels) * t;
+  return flops;
+}
+
+double train_flops_per_sample(const ArchShape& a) {
+  return 3.0 * forward_flops_per_sample(a);
+}
+
+double stage_forward_flops(const ArchShape& a) {
+  const double d = static_cast<double>(a.dim);
+  const double t = static_cast<double>(a.tokens());
+  const double win_tokens = static_cast<double>(a.window * a.window);
+  double per_tok = 2.0 * d * 3.0 * d + 2.0 * 2.0 * win_tokens * d +
+                   2.0 * d * d + 2.0 * 3.0 * d * static_cast<double>(a.ffn);
+  return per_tok * t * static_cast<double>(a.blocks_per_layer);
+}
+
+}  // namespace aeris::perf

@@ -1,0 +1,29 @@
+#include "aeris/perf/machine.hpp"
+
+namespace aeris::perf {
+
+Machine aurora() {
+  Machine m;
+  m.name = "Aurora";
+  m.tiles_per_node = 12;
+  // Intel Max 1550: 458 TFLOPS BF16 per GPU -> 229 per tile (§VI-A).
+  m.peak_tflops_tile = 229.0;
+  m.scale_up_gbs = 28.0;
+  m.scale_out_gbs = 200.0;
+  m.nics_per_node = 8;
+  return m;
+}
+
+Machine lumi() {
+  Machine m;
+  m.name = "LUMI";
+  m.tiles_per_node = 8;
+  // MI250X: 383 TFLOPS BF16 per GPU -> 191.5 per GCD (§VI-A).
+  m.peak_tflops_tile = 191.5;
+  m.scale_up_gbs = 50.0;
+  m.scale_out_gbs = 100.0;
+  m.nics_per_node = 4;
+  return m;
+}
+
+}  // namespace aeris::perf

@@ -1,0 +1,129 @@
+#include "aeris/perf/paper_configs.hpp"
+
+namespace aeris::perf {
+namespace {
+
+ArchShape make_arch(std::int64_t dim, std::int64_t heads, std::int64_t ffn,
+                    int pp) {
+  ArchShape a;
+  a.dim = dim;
+  a.heads = heads;
+  a.ffn = ffn;
+  a.swin_layers = pp - 2;
+  a.cond_dim = dim;
+  return a;
+}
+
+}  // namespace
+
+JobConfig PaperConfig::job() const {
+  JobConfig j;
+  j.arch = arch;
+  j.machine = on_lumi ? lumi() : aurora();
+  j.wp = wp;
+  j.pp = pp;
+  j.dp = dp > 0 ? dp : 1;
+  j.gas = gas;
+  return j;
+}
+
+std::vector<PaperConfig> paper_configs() {
+  std::vector<PaperConfig> out;
+
+  PaperConfig c13;  // 1.3B
+  c13.name = "1.3B";
+  c13.nominal_params = 1.3e9;
+  c13.wp = 4;
+  c13.wp_a = 2;
+  c13.wp_b = 2;
+  c13.pp = 12;
+  c13.gas = 60;
+  c13.arch = make_arch(1536, 12, 9216, 12);
+  c13.nodes = 1920;
+  c13.dp = 40;
+  c13.gbs = 2400;
+  c13.paper_tf_per_tile = 47.6;
+  c13.paper_mfu_pct = 21.6;
+  c13.paper_ef_sustained = 1.1;
+  c13.paper_ef_peak = 1.2;
+  out.push_back(c13);
+
+  PaperConfig c130;  // 13B
+  c130.name = "13B";
+  c130.nominal_params = 13e9;
+  c130.wp = 16;
+  c130.wp_a = 4;
+  c130.wp_b = 4;
+  c130.pp = 16;
+  c130.gas = 48;
+  c130.arch = make_arch(4608, 36, 25600, 16);
+  c130.nodes = 7680;
+  c130.dp = 30;
+  c130.gbs = 1440;
+  c130.paper_tf_per_tile = 63.3;
+  c130.paper_mfu_pct = 28.8;
+  c130.paper_ef_sustained = 5.8;
+  c130.paper_ef_peak = 6.4;
+  out.push_back(c130);
+
+  PaperConfig c40;  // 40B, the flagship
+  c40.name = "40B";
+  c40.nominal_params = 40e9;
+  c40.wp = 36;  // running text; Table II's "16" is inconsistent with Nodes
+  c40.wp_a = 6;
+  c40.wp_b = 6;
+  c40.pp = 20;
+  c40.gas = 140;
+  c40.arch = make_arch(6144, 48, 40960, 20);
+  c40.nodes = 10080;
+  c40.dp = 14;
+  c40.gbs = 1960;
+  c40.paper_tf_per_tile = 84.4;
+  c40.paper_mfu_pct = 38.4;
+  c40.paper_ef_sustained = 10.21;
+  c40.paper_ef_peak = 11.21;
+  out.push_back(c40);
+
+  PaperConfig c80;  // 80B extreme case
+  c80.name = "80B";
+  c80.nominal_params = 80e9;
+  c80.wp = 64;  // running text: "WP=64 ... 8320 nodes" (64 x 26 x 5 = 8320)
+  c80.wp_a = 8;
+  c80.wp_b = 8;
+  c80.pp = 26;
+  c80.gas = 52;
+  c80.arch = make_arch(7680, 60, 46080, 26);
+  c80.nodes = 8320;
+  c80.dp = 5;
+  c80.gbs = 260;
+  c80.paper_tf_per_tile = 52.8;
+  c80.paper_mfu_pct = 24.0;
+  c80.paper_ef_sustained = 5.27;
+  c80.paper_ef_peak = 6.1;
+  out.push_back(c80);
+
+  PaperConfig c26;  // 26B on LUMI
+  c26.name = "26B(L)";
+  c26.nominal_params = 26e9;
+  c26.wp = 36;
+  c26.wp_a = 6;
+  c26.wp_b = 6;
+  c26.pp = 14;
+  c26.gas = 70;
+  c26.arch = make_arch(6144, 48, 32768, 14);
+  c26.on_lumi = true;
+  c26.nodes = 1008;
+  c26.dp = 2;
+  c26.gbs = 140;
+  c26.paper_tf_per_tile = 66.5;
+  c26.paper_mfu_pct = 34.8;
+  c26.paper_ef_sustained = 0.54;
+  c26.paper_ef_peak = 0.62;
+  out.push_back(c26);
+
+  return out;
+}
+
+PaperConfig flagship_40b() { return paper_configs()[2]; }
+
+}  // namespace aeris::perf

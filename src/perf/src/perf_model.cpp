@@ -1,0 +1,126 @@
+#include "aeris/perf/perf_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "aeris/swipe/pipeline.hpp"
+
+namespace aeris::perf {
+namespace {
+
+constexpr double kBf16Bytes = 2.0;
+constexpr double kFp32Bytes = 4.0;
+
+double tokens_per_tile(const JobConfig& j) {
+  return static_cast<double>(j.arch.tokens()) /
+         (static_cast<double>(j.wp) * j.sp());
+}
+
+/// Effective compute rate per tile (TFLOPS): peak, derated by the kernel
+/// efficiency cap and a saturation curve in the per-tile work size.
+double effective_tflops(const JobConfig& j) {
+  const double tok = tokens_per_tile(j);
+  const double sat = tok / (tok + j.machine.saturation_tokens);
+  const double d = static_cast<double>(j.arch.dim);
+  const double shape = d / (d + j.machine.gemm_dim_half);
+  return j.machine.peak_tflops_tile * j.machine.kernel_efficiency * sat * shape;
+}
+
+}  // namespace
+
+double activation_floats_per_tile(const JobConfig& j) {
+  return tokens_per_tile(j) * static_cast<double>(j.arch.dim);
+}
+
+CommVolumes comm_volumes(const JobConfig& j) {
+  CommVolumes v;
+  const double tok = tokens_per_tile(j);
+  const double d = static_cast<double>(j.arch.dim);
+  const double sp = static_cast<double>(j.sp());
+  // Ulysses: q,k,v out + attention output back, both directions of the
+  // step (fw + 2x bw), off-rank fraction (sp-1)/sp. M = b*s*h/SP/WP.
+  v.alltoall_bytes = 3.0 * (3.0 + 1.0) * tok * d * kBf16Bytes * (sp - 1.0) / sp;
+  // Pipeline boundary: activations fw + gradients bw.
+  v.p2p_bytes = (1.0 + 2.0) * tok * d * kBf16Bytes / 3.0 * 2.0;  // fw + bw
+  // Gradient ring allreduce: 2 * params bytes per rank, independent of WP.
+  const double stage_params =
+      static_cast<double>(arch_params(j.arch)) /
+      static_cast<double>(j.arch.swin_layers);
+  v.allreduce_bytes = 2.0 * stage_params * kFp32Bytes;
+  return v;
+}
+
+Throughput evaluate(const JobConfig& j) {
+  if (j.pp != j.arch.swin_layers + 2) {
+    throw std::invalid_argument("perf: pp must equal swin_layers + 2");
+  }
+  const Machine& m = j.machine;
+  const double rate_tile = effective_tflops(j) * 1e12;
+
+  // --- per-microbatch stage times (block stages dominate) ---
+  const double stage_flops = stage_forward_flops(j.arch);
+  const double tiles_per_stage = static_cast<double>(j.wp) * j.sp();
+  const double t_fw = stage_flops / (tiles_per_stage * rate_tile);
+  const double t_bw = 2.0 * t_fw;
+  const double slot = t_fw + t_bw;
+
+  // Ulysses alltoall per microbatch per stage (intra-node, overlappable
+  // only partially; charged fully for conservatism).
+  const double tok = tokens_per_tile(j);
+  const double d = static_cast<double>(j.arch.dim);
+  const double a2a_bytes = 3.0 * (3.0 + 1.0) * tok * d * kBf16Bytes *
+                           (j.sp() - 1.0) / j.sp() *
+                           static_cast<double>(j.arch.blocks_per_layer);
+  const double t_a2a = a2a_bytes / (m.scale_up_gbs * 1e9);
+
+  // Pipeline p2p per microbatch: a node ships its token shard (BF16)
+  // forward and its gradient backward; mostly hidden under compute.
+  const double node_tokens = static_cast<double>(j.arch.tokens()) / j.wp;
+  const double p2p_bytes = 3.0 * node_tokens * d * kBf16Bytes;
+  const double t_p2p =
+      (p2p_bytes / (m.scale_out_gbs * 1e9) + m.net_latency_us * 1e-6) *
+      (1.0 - m.p2p_overlap);
+
+  const double slot_full = slot + t_a2a + t_p2p;
+
+  // --- 1F1B pipeline over GAS microbatches ---
+  const double bubble = swipe::bubble_fraction(j.pp, j.gas);
+  const double t_busy = static_cast<double>(j.gas) * slot_full;
+  const double t_pipe = t_busy / (1.0 - bubble);
+
+  // --- end-of-step gradient sync + ZeRO-1 optimizer ---
+  const double stage_params = static_cast<double>(arch_params(j.arch)) /
+                              static_cast<double>(j.arch.swin_layers);
+  const double group = static_cast<double>(j.dp) * j.wp * j.sp();
+  const double bw_tile = m.scale_out_gbs * 1e9 / m.tiles_per_node;
+  const double t_sync = 2.0 * stage_params * kFp32Bytes / bw_tile +
+                        2.0 * group * m.net_latency_us * 1e-6;
+  // AdamW touches ~5 FP32 arrays per element of the local shard; HBM-bound.
+  const double hbm_bs = 2.0e12;  // Table I: ~2 TB/s
+  const double shard = stage_params / group;
+  const double t_opt = 10.0 * shard * kFp32Bytes / hbm_bs +
+                       2.0 * stage_params * kFp32Bytes / bw_tile;  // allgather
+
+  StepTime st;
+  st.compute_s = t_busy * slot / slot_full;
+  st.alltoall_s = t_busy * t_a2a / slot_full;
+  st.p2p_s = t_busy * t_p2p / slot_full;
+  st.bubble_s = t_pipe - t_busy;
+  st.grad_sync_s = t_sync;
+  st.optimizer_s = t_opt;
+
+  Throughput out;
+  out.step = st;
+  const double samples = static_cast<double>(j.global_batch());
+  out.images_per_s = samples / st.total_s();
+  const double step_flops = samples * train_flops_per_sample(j.arch);
+  out.sustained_eflops = step_flops / st.total_s() / 1e18;
+  out.peak_eflops = step_flops / st.pipeline_s() / 1e18;
+  out.tflops_per_tile =
+      step_flops / st.total_s() / static_cast<double>(j.tiles()) / 1e12;
+  out.mfu = out.tflops_per_tile / m.peak_tflops_tile;
+  return out;
+}
+
+}  // namespace aeris::perf

@@ -1,0 +1,75 @@
+#pragma once
+
+#include <vector>
+
+#include "aeris/physics/spectral.hpp"
+#include "aeris/tensor/rng.hpp"
+
+namespace aeris::physics {
+
+/// Parameterized warm-core tropical cyclones riding on the QG flow —
+/// the synthetic stand-in for Hurricane-Laura-class events (paper Fig. 6).
+///
+/// Storms spawn stochastically over warm tropical ocean, intensify
+/// logistically while SST exceeds a threshold (rapid intensification over
+/// very warm water), decay over land or cold water, are advected by the
+/// large-scale steering flow plus a poleward-westward beta drift, and
+/// imprint a Rankine-like vortex (wind, pressure dip, warm core, moisture
+/// spiral) onto the output fields.
+struct CycloneParams {
+  double spawn_rate = 0.25;       ///< expected spawns per model time unit
+  double sst_threshold = 26.0;    ///< genesis/intensification SST (deg C)
+  double intens_rate = 0.5;       ///< logistic growth rate
+  double v_max = 60.0;            ///< intensity cap (m/s-like units)
+  double decay_rate = 0.8;        ///< decay over land / cold water
+  double core_radius = 0.35;      ///< vortex radius (grid-physical units)
+  double beta_drift_u = -0.05;    ///< westward drift
+  double beta_drift_v = 0.03;     ///< poleward drift (sign of hemisphere)
+  double steering_gain = 1.0;     ///< coupling to the QG steering flow
+  double tropics_band = 0.18;     ///< spawn |y|/Ly band around the equator
+  double death_intensity = 3.0;   ///< storms below this are removed
+};
+
+struct Storm {
+  double x = 0.0;       ///< physical position in [0, Lx)
+  double y = 0.0;       ///< physical position in [0, Ly)
+  double intensity = 0; ///< peak wind
+  std::int64_t id = 0;
+  std::int64_t age_steps = 0;
+};
+
+class CycloneField {
+ public:
+  CycloneField(const SpectralGrid& grid, const CycloneParams& p,
+               std::uint64_t seed);
+
+  /// Advances storms by dt: spawning (Poisson via counter RNG keyed by
+  /// step index), advection by (u, v) steering fields, intensity dynamics
+  /// against SST and the land mask.
+  void step(const std::vector<double>& u_steer,
+            const std::vector<double>& v_steer,
+            const std::vector<double>& sst,
+            const std::vector<double>& land_mask, double dt);
+
+  /// Deterministically seeds one storm (the Fig. 6 case-study hook).
+  void seed_storm(double x, double y, double intensity);
+
+  const std::vector<Storm>& storms() const { return storms_; }
+
+  /// Adds the vortex signatures onto grid fields (all [h*w], row-major).
+  void imprint(std::vector<double>& u10, std::vector<double>& v10,
+               std::vector<double>& mslp, std::vector<double>& t2m,
+               std::vector<double>& q) const;
+
+ private:
+  double bilinear(const std::vector<double>& f, double x, double y) const;
+
+  const SpectralGrid& grid_;
+  CycloneParams p_;
+  Philox rng_;
+  std::vector<Storm> storms_;
+  std::int64_t step_index_ = 0;
+  std::int64_t next_id_ = 1;
+};
+
+}  // namespace aeris::physics

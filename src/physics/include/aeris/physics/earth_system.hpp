@@ -1,0 +1,118 @@
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "aeris/physics/cyclone.hpp"
+#include "aeris/physics/ocean.hpp"
+#include "aeris/physics/qg.hpp"
+#include "aeris/physics/thermo.hpp"
+#include "aeris/tensor/tensor.hpp"
+
+namespace aeris::physics {
+
+/// Output variables of the Earth system model, mirroring the paper's set
+/// (§VI-B): five surface variables plus atmospheric variables at pressure
+/// levels (here a 2-layer subset of the 13 ERA5 levels).
+enum class Var : int {
+  kT2m = 0,
+  kU10,
+  kV10,
+  kMslp,
+  kSst,
+  kZ500,   ///< geopotential (upper-layer streamfunction)
+  kT850,   ///< lower-troposphere temperature
+  kQ700,   ///< specific humidity
+  kU850,
+  kV850,
+  kCount,
+};
+inline constexpr std::int64_t kNumVars = static_cast<std::int64_t>(Var::kCount);
+
+const char* var_name(Var v);
+
+/// Forcing channels supplied as model inputs (§VI-B: "we also force the
+/// model with top-of-atmosphere solar radiation, surface geopotential,
+/// and land-sea mask").
+inline constexpr std::int64_t kNumForcings = 3;  // solar, orography, land-sea
+
+/// Hours of simulated time per model time unit (calibration constant that
+/// labels snapshots as "6-hourly").
+inline constexpr double kHoursPerTimeUnit = 24.0;
+inline constexpr double kHoursPerYear = 360.0 * 24.0;  ///< idealized year
+
+struct EarthSystemParams {
+  QgParams qg{};
+  ThermoParams thermo{};
+  OceanParams ocean{};
+  CycloneParams cyclone{};
+  std::uint64_t seed = 0;
+  /// Multiplicative perturbation applied to the physics parameters —
+  /// nonzero values create the *imperfect-model* ensemble members that
+  /// play the role of IFS ENS (DESIGN.md substitutions).
+  double param_perturbation = 0.0;
+};
+
+/// The full coupled system: two-layer QG atmosphere, thermodynamic
+/// tracers, slab ocean with an ENSO mode, parameterized tropical
+/// cyclones, seasonal solar forcing, orography and a land-sea mask.
+class EarthSystem {
+ public:
+  explicit EarthSystem(const EarthSystemParams& p);
+
+  /// Spin up from random initial conditions for `steps` model steps
+  /// (ensemble member `member` controls all stochastic seeds).
+  void spin_up(std::int64_t steps, std::uint64_t member = 0);
+
+  /// Advances by one QG step (params().qg.dt time units).
+  void step();
+  /// Advances by `hours` of simulated time.
+  void advance_hours(double hours);
+
+  double time_hours() const { return time_hours_; }
+  /// Aligns the internal clock (season, solar cycle) with an analysis
+  /// time when initializing forecast members.
+  void set_time_hours(double t) { time_hours_ = t; }
+  /// Fraction of the idealized year in [0, 1).
+  double season() const;
+
+  /// Current state as a [V, H, W] tensor in the Var order.
+  Tensor snapshot() const;
+  /// Forcing channels at the current time: [F, H, W] (solar, orography,
+  /// land-sea mask).
+  Tensor forcings() const;
+
+  /// Perturbs the prognostic state with small-amplitude noise — the
+  /// initial-condition perturbation used by the IFS-ENS-like ensemble.
+  void perturb(const Philox& rng, std::uint64_t stream, double amplitude);
+
+  /// Overwrites the prognostic state from a snapshot (approximate inverse
+  /// of snapshot(); used to initialize physics-model forecasts from
+  /// "analysis" fields). Unobserved scales keep their current values.
+  void assimilate(const Tensor& state);
+
+  const TwoLayerQg& qg() const { return qg_; }
+  TwoLayerQg& qg() { return qg_; }
+  const SlabOcean& ocean() const { return *ocean_; }
+  SlabOcean& ocean() { return *ocean_; }
+  const Thermo& thermo() const { return *thermo_; }
+  CycloneField& cyclones() { return *cyclones_; }
+  const CycloneField& cyclones() const { return *cyclones_; }
+  const std::vector<double>& land_mask() const { return land_mask_; }
+  const EarthSystemParams& params() const { return p_; }
+
+  /// Steps per 6h snapshot interval.
+  std::int64_t steps_per_6h() const;
+
+ private:
+  EarthSystemParams p_;
+  TwoLayerQg qg_;
+  std::unique_ptr<Thermo> thermo_;
+  std::unique_ptr<SlabOcean> ocean_;
+  std::unique_ptr<CycloneField> cyclones_;
+  std::vector<double> land_mask_;
+  std::vector<double> orography_;
+  double time_hours_ = 0.0;
+};
+
+}  // namespace aeris::physics

@@ -1,0 +1,38 @@
+#pragma once
+
+#include <vector>
+
+#include "aeris/physics/earth_system.hpp"
+
+namespace aeris::physics {
+
+/// Configuration for generating an ERA5-like reanalysis record: spin the
+/// coupled system up to statistical equilibrium, then sample every
+/// `interval_hours` (the paper's 6-hourly cadence).
+struct ReanalysisConfig {
+  EarthSystemParams params{};
+  std::int64_t spin_up_steps = 2000;
+  std::int64_t samples = 400;
+  double interval_hours = 6.0;
+  std::uint64_t member = 0;  ///< initial-condition stream
+};
+
+/// An in-memory reanalysis record (the data module persists/slices it).
+struct Reanalysis {
+  std::vector<Tensor> states;    ///< [V, H, W] per sample
+  std::vector<Tensor> forcings;  ///< [F, H, W] per sample
+  std::vector<double> time_hours;
+  std::vector<double> nino;      ///< truth ENSO-box SST mean per sample
+  std::vector<std::vector<Storm>> storms;  ///< truth cyclone records
+};
+
+Reanalysis generate_reanalysis(const ReanalysisConfig& cfg);
+
+/// Records `samples` snapshots from an existing (already spun-up) world,
+/// advancing it by interval_hours between samples. The world is left at
+/// the time of the *next* would-be sample, so case studies can keep
+/// integrating the same trajectory (Fig. 6 seeded-cyclone study).
+Reanalysis record(EarthSystem& world, std::int64_t samples,
+                  double interval_hours);
+
+}  // namespace aeris::physics

@@ -1,0 +1,32 @@
+#pragma once
+
+#include <complex>
+#include <cstdint>
+#include <vector>
+
+namespace aeris::physics {
+
+using cplx = std::complex<double>;
+
+/// Iterative radix-2 Cooley-Tukey FFT, in place. n must be a power of 2.
+void fft_inplace(std::vector<cplx>& a, bool inverse);
+
+/// Returns true if n is a power of two (and > 0).
+bool is_pow2(std::int64_t n);
+
+/// 2D FFT of a row-major [h, w] complex field, in place (h, w powers of 2).
+/// Forward: no normalization; inverse: divides by h*w.
+void fft2_inplace(std::vector<cplx>& field, std::int64_t h, std::int64_t w,
+                  bool inverse);
+
+/// Real [h, w] grid -> full complex spectrum (convenience; the spectral
+/// core keeps full complex spectra with Hermitian symmetry maintained by
+/// construction from real fields).
+std::vector<cplx> fft2_real(const std::vector<double>& grid, std::int64_t h,
+                            std::int64_t w);
+
+/// Inverse of fft2_real; imaginary residue (roundoff) is dropped.
+std::vector<double> ifft2_real(std::vector<cplx> spec, std::int64_t h,
+                               std::int64_t w);
+
+}  // namespace aeris::physics

@@ -1,0 +1,73 @@
+#pragma once
+
+#include <deque>
+
+#include "aeris/physics/spectral.hpp"
+
+namespace aeris::physics {
+
+/// Slab ocean: SST relaxes to a seasonal meridional profile, diffuses,
+/// and carries an ENSO-like mode — a delayed-oscillator index imprinted
+/// on an equatorial-Pacific-like SST pattern. The slow (multi-month)
+/// oscillation is what gives the learned model S2S-range skill in the
+/// Nino-3.4 diagnostic (paper Fig. 7a).
+struct OceanParams {
+  double sst_pole = 2.0;
+  double sst_equator = 29.0;
+  double seasonal_amp = 3.0;
+  double tau_relax = 60.0;    ///< slow slab relaxation (model time units)
+  double kappa = 1e-3;        ///< SST diffusivity
+
+  // Delayed oscillator dE/dt = a E - b E(t - tau_delay) - c E^3.
+  double enso_a = 0.9;
+  double enso_b = 1.3;
+  double enso_c = 0.4;
+  double enso_delay = 12.0;   ///< delay in model time units
+  double enso_amp = 2.2;      ///< SST amplitude of the mode (deg C)
+
+  // Pattern location (fractions of the domain).
+  double patt_center_x = 0.65;
+  double patt_width_x = 0.20;
+  double patt_width_y = 0.08;
+};
+
+class SlabOcean {
+ public:
+  SlabOcean(const SpectralGrid& grid, const OceanParams& p, double dt,
+            double enso_init = 0.5);
+
+  /// Advances one dt; season in [0, 1).
+  void step(double season);
+
+  const std::vector<double>& sst() const { return sst_; }
+  std::vector<double>& sst() { return sst_; }
+
+  /// The ENSO mode index E(t).
+  double enso_index() const { return enso_; }
+  void set_enso_index(double e);
+
+  /// Area-mean SST anomaly over the ENSO pattern box — the Nino-3.4
+  /// analogue computed exactly the way metrics::nino_index does on model
+  /// output.
+  double nino_box_mean() const;
+
+  /// Least-squares estimate of the ENSO index from an SST field given the
+  /// season (used when initializing forecast members from an analysis —
+  /// the delayed history is unobservable from a single snapshot, which is
+  /// a genuine predictability limit shared by all forecast systems here).
+  double infer_enso_index(const std::vector<double>& sst, double season) const;
+
+  double sst_equilibrium(std::int64_t row, double season) const;
+  /// ENSO pattern weight at (row, col) in [0, 1].
+  double pattern(std::int64_t row, std::int64_t col) const;
+
+ private:
+  const SpectralGrid& grid_;
+  OceanParams p_;
+  double dt_;
+  std::vector<double> sst_;
+  double enso_;
+  std::deque<double> history_;  ///< E(t - delay) buffer
+};
+
+}  // namespace aeris::physics

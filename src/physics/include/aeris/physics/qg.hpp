@@ -1,0 +1,86 @@
+#pragma once
+
+#include "aeris/physics/spectral.hpp"
+#include "aeris/tensor/rng.hpp"
+#include "aeris/tensor/tensor.hpp"
+
+namespace aeris::physics {
+
+/// Two-layer quasi-geostrophic (QG) model on a doubly periodic beta-plane,
+/// pseudo-spectral with RK4 time stepping — the dynamical core of the
+/// synthetic "reanalysis" (DESIGN.md: ERA5 substitute). A background
+/// vertical shear (U1 = +U, U2 = -U) makes the channel baroclinically
+/// unstable, producing midlatitude storm tracks; beta supports Rossby
+/// waves whose westward/eastward propagation drives the Hovmöller
+/// diagnostics of Fig. 7c.
+///
+///   q_i = lap(psi_i) + (kd^2/2)(psi_j - psi_i)
+///   dq_i/dt = -J(psi_i, q_i) - U_i dq_i/dx - (beta + kd^2 U_i) dpsi_i/dx
+///             - delta_{i2} r lap(psi_2) - nu lap^4 q_i
+struct QgParams {
+  std::int64_t h = 32;      ///< meridional grid points (power of 2)
+  std::int64_t w = 64;      ///< zonal grid points (power of 2)
+  double ly = 2.0 * M_PI;
+  double lx = 4.0 * M_PI;
+  // Supercritical Phillips configuration: instability requires
+  // u_shear > beta / kd^2 (here 0.08 > 1.5/64 ≈ 0.023).
+  double kd = 8.0;          ///< deformation wavenumber
+  double beta = 1.5;
+  double u_shear = 0.06;    ///< half the layer velocity difference
+  double r_bot = 0.3;       ///< bottom (Ekman) friction on layer 2
+  double lambda_q = 0.02;   ///< weak Newtonian PV damping (thermal damping
+                            ///< proxy); keeps the undamped large-scale
+                            ///< baroclinic mode from accumulating energy
+  double nu_hyper = 1e-11;  ///< lap^4 hyperviscosity
+  double dt = 0.02;
+};
+
+class TwoLayerQg {
+ public:
+  explicit TwoLayerQg(const QgParams& p);
+
+  const QgParams& params() const { return p_; }
+  const SpectralGrid& grid() const { return grid_; }
+
+  /// Random small-amplitude initialization (counter RNG; `stream` allows
+  /// independent ensemble members from one seed).
+  void init_random(const Philox& rng, std::uint64_t stream,
+                   double amplitude = 1e-3);
+
+  /// One RK4 step of dt.
+  void step();
+  void run(std::int64_t nsteps);
+
+  double time() const { return t_; }
+
+  // --- real-space diagnostics (grid [h, w], row-major) ---
+  std::vector<double> psi(int layer) const;   ///< streamfunction
+  std::vector<double> u(int layer) const;     ///< zonal velocity (-dpsi/dy)
+  std::vector<double> v(int layer) const;     ///< meridional velocity
+  std::vector<double> vorticity(int layer) const;  ///< lap(psi)
+  /// Total (kinetic + available potential) energy; bounded in a healthy
+  /// run — the stability test watches this.
+  double total_energy() const;
+  /// Max |u|,|v| based CFL number for the configured dt.
+  double cfl() const;
+
+  /// Direct spectral access (for spectra diagnostics and perturbations).
+  const std::vector<cplx>& q_spec(int layer) const;
+  std::vector<cplx>& q_spec(int layer);
+  /// Recompute psi from q (after external modification of q).
+  void invert();
+
+ private:
+  void rhs(const std::array<std::vector<cplx>, 2>& q,
+           std::array<std::vector<cplx>, 2>& out) const;
+  void invert_q(const std::array<std::vector<cplx>, 2>& q,
+                std::array<std::vector<cplx>, 2>& psi) const;
+
+  QgParams p_;
+  SpectralGrid grid_;
+  std::array<std::vector<cplx>, 2> q_;
+  std::array<std::vector<cplx>, 2> psi_;
+  double t_ = 0.0;
+};
+
+}  // namespace aeris::physics

@@ -1,0 +1,61 @@
+#pragma once
+
+#include "aeris/physics/fft.hpp"
+
+namespace aeris::physics {
+
+/// Spectral operators on a doubly periodic [h, w] grid of physical size
+/// (Ly, Lx). Fields are stored as full complex spectra (row-major, FFT
+/// ordering); real fields round-trip through fft2_real/ifft2_real.
+///
+/// This is the numerics substrate of the two-layer QG core. A doubly
+/// periodic channel is the standard idealization for beta-plane turbulence
+/// studies; the meridional periodicity is compensated by latitude-dependent
+/// forcing in the Earth-system wrapper (see DESIGN.md substitutions).
+class SpectralGrid {
+ public:
+  SpectralGrid(std::int64_t h, std::int64_t w, double ly, double lx);
+
+  std::int64_t h() const { return h_; }
+  std::int64_t w() const { return w_; }
+  std::int64_t size() const { return h_ * w_; }
+  double lx() const { return lx_; }
+  double ly() const { return ly_; }
+
+  /// Signed wavenumbers for spectral index (r, c).
+  double ky(std::int64_t r) const { return ky_[static_cast<std::size_t>(r)]; }
+  double kx(std::int64_t c) const { return kx_[static_cast<std::size_t>(c)]; }
+  /// |k|^2 at (r, c).
+  double k2(std::int64_t r, std::int64_t c) const {
+    return ky(r) * ky(r) + kx(c) * kx(c);
+  }
+
+  // Spectral-space operators (elementwise on spectra).
+  void ddx(const std::vector<cplx>& in, std::vector<cplx>& out) const;
+  void ddy(const std::vector<cplx>& in, std::vector<cplx>& out) const;
+  void laplacian(const std::vector<cplx>& in, std::vector<cplx>& out) const;
+  /// Solves lap(psi) = q (zero-mean gauge: k=0 mode set to 0).
+  void inverse_laplacian(const std::vector<cplx>& in,
+                         std::vector<cplx>& out) const;
+
+  /// 2/3-rule dealiasing mask applied in place.
+  void dealias(std::vector<cplx>& spec) const;
+
+  /// Jacobian J(a, b) = a_x b_y - a_y b_x computed pseudo-spectrally from
+  /// spectra; result is a dealiased spectrum.
+  std::vector<cplx> jacobian(const std::vector<cplx>& a,
+                             const std::vector<cplx>& b) const;
+
+  /// Isotropic (annular) power spectrum of a spectral field: returns
+  /// energy per wavenumber bin (bin k covers |k| in [k, k+1) in units of
+  /// the fundamental). Used by the Fig. 7 spectra diagnostics.
+  std::vector<double> isotropic_spectrum(const std::vector<cplx>& spec) const;
+
+ private:
+  std::int64_t h_, w_;
+  double ly_, lx_;
+  std::vector<double> ky_, kx_;
+  std::vector<bool> dealias_mask_;
+};
+
+}  // namespace aeris::physics

@@ -1,0 +1,59 @@
+#pragma once
+
+#include "aeris/physics/spectral.hpp"
+
+namespace aeris::physics {
+
+/// Thermodynamic tracers advected by the QG flow: temperature with
+/// radiative relaxation to a seasonally varying equilibrium, and specific
+/// humidity with surface evaporation and super-saturation condensation
+/// (Clausius-Clapeyron qsat), whose latent heat feeds back on temperature.
+/// Condensation gives the heavy-tailed precipitation statistics the
+/// paper's noise prior is designed around (§VI-B).
+struct ThermoParams {
+  double t_eq_pole = -20.0;   ///< equilibrium T at channel edge (deg C)
+  double t_eq_equator = 28.0; ///< equilibrium T at channel center
+  double seasonal_amp = 6.0;  ///< seasonal swing of the equilibrium profile
+  double tau_rad = 8.0;       ///< radiative relaxation time (model units)
+  double kappa = 2e-3;        ///< tracer diffusivity
+  double evap_rate = 0.4;     ///< surface evaporation coefficient
+  double tau_cond = 0.25;     ///< condensation timescale
+  double latent_heat = 4.0;   ///< warming per unit condensed moisture
+  double q0 = 4.0;            ///< qsat reference (g/kg)
+  double cc_rate = 0.06;      ///< Clausius-Clapeyron exponent (per deg C)
+};
+
+class Thermo {
+ public:
+  Thermo(const SpectralGrid& grid, const ThermoParams& p);
+
+  /// Advances T and Q by dt: advection by the spectral streamfunction
+  /// `psi`, relaxation toward the seasonal equilibrium (sst provides the
+  /// surface boundary), evaporation limited to ocean points (mask == 0),
+  /// condensation and latent heating. `season` in [0, 1) is the fraction
+  /// of the year.
+  void step(const std::vector<cplx>& psi, const std::vector<double>& sst,
+            const std::vector<double>& land_mask, double season, double dt);
+
+  const std::vector<double>& temperature() const { return t_; }
+  const std::vector<double>& humidity() const { return q_; }
+  /// Precipitation rate diagnosed at the last step.
+  const std::vector<double>& precip() const { return precip_; }
+
+  /// Saturation humidity at temperature t (deg C).
+  double qsat(double t) const;
+  /// Equilibrium temperature profile at row r for a given season.
+  double t_equilibrium(std::int64_t row, double season) const;
+
+  void set_temperature(std::vector<double> t) { t_ = std::move(t); }
+  void set_humidity(std::vector<double> q) { q_ = std::move(q); }
+
+ private:
+  const SpectralGrid& grid_;
+  ThermoParams p_;
+  std::vector<double> t_;
+  std::vector<double> q_;
+  std::vector<double> precip_;
+};
+
+}  // namespace aeris::physics

@@ -1,0 +1,130 @@
+#include "aeris/physics/cyclone.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace aeris::physics {
+
+CycloneField::CycloneField(const SpectralGrid& grid, const CycloneParams& p,
+                           std::uint64_t seed)
+    : grid_(grid), p_(p), rng_(seed) {}
+
+double CycloneField::bilinear(const std::vector<double>& f, double x,
+                              double y) const {
+  const double gx = x / grid_.lx() * static_cast<double>(grid_.w());
+  const double gy = y / grid_.ly() * static_cast<double>(grid_.h());
+  const std::int64_t c0 = static_cast<std::int64_t>(std::floor(gx));
+  const std::int64_t r0 = static_cast<std::int64_t>(std::floor(gy));
+  const double fx = gx - static_cast<double>(c0);
+  const double fy = gy - static_cast<double>(r0);
+  auto at = [&](std::int64_t r, std::int64_t c) {
+    r = ((r % grid_.h()) + grid_.h()) % grid_.h();
+    c = ((c % grid_.w()) + grid_.w()) % grid_.w();
+    return f[static_cast<std::size_t>(r * grid_.w() + c)];
+  };
+  return (1 - fy) * ((1 - fx) * at(r0, c0) + fx * at(r0, c0 + 1)) +
+         fy * ((1 - fx) * at(r0 + 1, c0) + fx * at(r0 + 1, c0 + 1));
+}
+
+void CycloneField::seed_storm(double x, double y, double intensity) {
+  Storm s;
+  s.x = x;
+  s.y = y;
+  s.intensity = intensity;
+  s.id = next_id_++;
+  storms_.push_back(s);
+}
+
+void CycloneField::step(const std::vector<double>& u_steer,
+                        const std::vector<double>& v_steer,
+                        const std::vector<double>& sst,
+                        const std::vector<double>& land_mask, double dt) {
+  ++step_index_;
+
+  // Stochastic genesis over warm tropical ocean (counter RNG keyed by the
+  // step index so different seeds give independent storm histories).
+  const float u = rng_.uniform(rng_stream::kPhysicsForcing,
+                               static_cast<std::uint64_t>(step_index_), 0, 3);
+  if (static_cast<double>(u) < p_.spawn_rate * dt) {
+    const double sx =
+        grid_.lx() * rng_.uniform(rng_stream::kPhysicsForcing,
+                                  static_cast<std::uint64_t>(step_index_), 1);
+    const double off = (rng_.uniform(rng_stream::kPhysicsForcing,
+                                     static_cast<std::uint64_t>(step_index_), 2) -
+                        0.5) *
+                       2.0 * p_.tropics_band;
+    const double sy = grid_.ly() * (0.5 + off);
+    const double local_sst = bilinear(sst, sx, sy);
+    const double on_land = bilinear(land_mask, sx, sy);
+    if (local_sst > p_.sst_threshold && on_land < 0.5) {
+      seed_storm(sx, sy, p_.death_intensity * 1.5);
+    }
+  }
+
+  for (Storm& s : storms_) {
+    // Steering flow + beta drift (drift flips with hemisphere).
+    const double us =
+        p_.steering_gain * bilinear(u_steer, s.x, s.y) + p_.beta_drift_u;
+    const double hemi = s.y > grid_.ly() * 0.5 ? 1.0 : -1.0;
+    const double vs =
+        p_.steering_gain * bilinear(v_steer, s.x, s.y) + hemi * p_.beta_drift_v;
+    s.x = std::fmod(s.x + us * dt + grid_.lx(), grid_.lx());
+    s.y = std::fmod(s.y + vs * dt + grid_.ly(), grid_.ly());
+
+    // Intensity: logistic growth over warm ocean, decay otherwise.
+    const double local_sst = bilinear(sst, s.x, s.y);
+    const double on_land = bilinear(land_mask, s.x, s.y);
+    if (on_land < 0.5 && local_sst > p_.sst_threshold) {
+      const double drive = (local_sst - p_.sst_threshold);
+      s.intensity += dt * p_.intens_rate * drive * s.intensity *
+                     (1.0 - s.intensity / p_.v_max);
+    } else {
+      s.intensity -= dt * p_.decay_rate * s.intensity;
+    }
+    ++s.age_steps;
+  }
+
+  storms_.erase(std::remove_if(storms_.begin(), storms_.end(),
+                               [&](const Storm& s) {
+                                 return s.intensity < p_.death_intensity;
+                               }),
+                storms_.end());
+}
+
+void CycloneField::imprint(std::vector<double>& u10, std::vector<double>& v10,
+                           std::vector<double>& mslp, std::vector<double>& t2m,
+                           std::vector<double>& q) const {
+  const double rm = p_.core_radius;
+  for (const Storm& s : storms_) {
+    for (std::int64_t r = 0; r < grid_.h(); ++r) {
+      for (std::int64_t c = 0; c < grid_.w(); ++c) {
+        const double px = (static_cast<double>(c) + 0.5) /
+                          static_cast<double>(grid_.w()) * grid_.lx();
+        const double py = (static_cast<double>(r) + 0.5) /
+                          static_cast<double>(grid_.h()) * grid_.ly();
+        // Periodic displacement.
+        double dx = px - s.x;
+        double dy = py - s.y;
+        if (dx > grid_.lx() / 2) dx -= grid_.lx();
+        if (dx < -grid_.lx() / 2) dx += grid_.lx();
+        if (dy > grid_.ly() / 2) dy -= grid_.ly();
+        if (dy < -grid_.ly() / 2) dy += grid_.ly();
+        const double rr = std::sqrt(dx * dx + dy * dy);
+        if (rr > 6.0 * rm) continue;
+        // Rankine-like tangential wind profile.
+        const double vt =
+            s.intensity * (rr / rm) * std::exp(1.0 - rr / rm);
+        const double inv = rr > 1e-9 ? 1.0 / rr : 0.0;
+        const std::size_t i = static_cast<std::size_t>(r * grid_.w() + c);
+        u10[i] += -vt * dy * inv;
+        v10[i] += vt * dx * inv;
+        const double shape = std::exp(-0.5 * rr * rr / (rm * rm * 4.0));
+        mslp[i] -= 0.8 * s.intensity * shape;     // pressure dip
+        t2m[i] += 0.05 * s.intensity * shape;     // warm core
+        q[i] += 0.04 * s.intensity * shape;       // moist envelope
+      }
+    }
+  }
+}
+
+}  // namespace aeris::physics

@@ -1,0 +1,245 @@
+#include "aeris/physics/earth_system.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace aeris::physics {
+namespace {
+
+QgParams perturbed(QgParams q, double eps, const Philox& rng) {
+  if (eps != 0.0) {
+    auto tweak = [&](double v, std::uint64_t i) {
+      return v * (1.0 + eps * rng.normal(rng_stream::kEnsemblePerturbation, 0, i));
+    };
+    q.beta = tweak(q.beta, 1);
+    q.u_shear = tweak(q.u_shear, 2);
+    q.r_bot = std::fabs(tweak(q.r_bot, 3));
+    q.kd = std::fabs(tweak(q.kd, 4));
+  }
+  return q;
+}
+
+}  // namespace
+
+const char* var_name(Var v) {
+  switch (v) {
+    case Var::kT2m: return "T2m";
+    case Var::kU10: return "U10";
+    case Var::kV10: return "V10";
+    case Var::kMslp: return "MSLP";
+    case Var::kSst: return "SST";
+    case Var::kZ500: return "Z500";
+    case Var::kT850: return "T850";
+    case Var::kQ700: return "Q700";
+    case Var::kU850: return "U850";
+    case Var::kV850: return "V850";
+    default: return "?";
+  }
+}
+
+EarthSystem::EarthSystem(const EarthSystemParams& p)
+    : p_(p), qg_(perturbed(p.qg, p.param_perturbation, Philox(p.seed))) {
+  const SpectralGrid& g = qg_.grid();
+  thermo_ = std::make_unique<Thermo>(g, p.thermo);
+  ocean_ = std::make_unique<SlabOcean>(g, p.ocean, p.qg.dt);
+  cyclones_ = std::make_unique<CycloneField>(g, p.cyclone, p.seed);
+
+  // Static fields: two idealized continents and smooth orography bumps.
+  const std::int64_t h = g.h(), w = g.w();
+  land_mask_.assign(static_cast<std::size_t>(h * w), 0.0);
+  orography_.assign(static_cast<std::size_t>(h * w), 0.0);
+  for (std::int64_t r = 0; r < h; ++r) {
+    const double y = (static_cast<double>(r) + 0.5) / static_cast<double>(h);
+    for (std::int64_t c = 0; c < w; ++c) {
+      const double x = (static_cast<double>(c) + 0.5) / static_cast<double>(w);
+      const bool continent_a = x > 0.05 && x < 0.30 && y > 0.25 && y < 0.85;
+      const bool continent_b = x > 0.45 && x < 0.58 && y > 0.15 && y < 0.70;
+      const std::size_t i = static_cast<std::size_t>(r * w + c);
+      if (continent_a || continent_b) land_mask_[i] = 1.0;
+      // Mountain ridge on continent A; gentle highlands on B.
+      orography_[i] =
+          (continent_a
+               ? 1.2 * std::exp(-80.0 * (x - 0.12) * (x - 0.12)) *
+                     std::exp(-8.0 * (y - 0.55) * (y - 0.55))
+               : 0.0) +
+          (continent_b ? 0.4 * std::exp(-40.0 * (x - 0.52) * (x - 0.52)) : 0.0);
+    }
+  }
+}
+
+std::int64_t EarthSystem::steps_per_6h() const {
+  return std::max<std::int64_t>(
+      1, static_cast<std::int64_t>(
+             std::llround(6.0 / (kHoursPerTimeUnit * p_.qg.dt))));
+}
+
+double EarthSystem::season() const {
+  return std::fmod(time_hours_ / kHoursPerYear, 1.0);
+}
+
+void EarthSystem::spin_up(std::int64_t steps, std::uint64_t member) {
+  // Seed at finite amplitude so the baroclinic instability saturates
+  // within the spin-up window rather than after it.
+  qg_.init_random(Philox(p_.seed), member, 3e-2);
+  for (std::int64_t i = 0; i < steps; ++i) step();
+}
+
+void EarthSystem::step() {
+  const double dt = p_.qg.dt;
+  qg_.step();
+  // Tracers ride the upper-layer flow; re-derive the spectral psi.
+  const std::vector<double> psi1 = qg_.psi(0);
+  std::vector<cplx> psi_spec =
+      fft2_real(psi1, qg_.grid().h(), qg_.grid().w());
+  thermo_->step(psi_spec, ocean_->sst(), land_mask_, season(), dt);
+  ocean_->step(season());
+  cyclones_->step(qg_.u(1), qg_.v(1), ocean_->sst(), land_mask_, dt);
+  time_hours_ += dt * kHoursPerTimeUnit;
+}
+
+void EarthSystem::advance_hours(double hours) {
+  const std::int64_t steps = std::max<std::int64_t>(
+      1, static_cast<std::int64_t>(
+             std::llround(hours / (kHoursPerTimeUnit * p_.qg.dt))));
+  for (std::int64_t i = 0; i < steps; ++i) step();
+}
+
+Tensor EarthSystem::snapshot() const {
+  const std::int64_t h = qg_.grid().h(), w = qg_.grid().w();
+  Tensor out({kNumVars, h, w});
+
+  const std::vector<double> u1 = qg_.u(0);
+  const std::vector<double> v1 = qg_.v(0);
+  const std::vector<double> u2 = qg_.u(1);
+  const std::vector<double> v2 = qg_.v(1);
+  const std::vector<double> psi1 = qg_.psi(0);
+  const std::vector<double> psi2 = qg_.psi(1);
+  const std::vector<double>& t = thermo_->temperature();
+  const std::vector<double>& q = thermo_->humidity();
+  const std::vector<double>& sst = ocean_->sst();
+
+  // Surface-like fields, scaled to physically plausible magnitudes.
+  std::vector<double> u10(u2), v10(v2), mslp(psi2), t2m(t), qv(q);
+  const double wind_scale = 120.0;   // QG units -> m/s-like
+  const double press_scale = 500.0;  // psi -> hPa anomaly
+  for (auto& x : u10) x *= wind_scale;
+  for (auto& x : v10) x *= wind_scale;
+  for (std::size_t i = 0; i < mslp.size(); ++i) {
+    mslp[i] = 1013.0 - press_scale * psi2[i] - 2.0 * orography_[i];
+  }
+  // 2m temperature couples to the surface (SST over ocean).
+  for (std::size_t i = 0; i < t2m.size(); ++i) {
+    t2m[i] = land_mask_[i] > 0.5 ? t[i] - 3.0 * orography_[i]
+                                 : 0.5 * (t[i] + sst[i]);
+  }
+  cyclones_->imprint(u10, v10, mslp, t2m, qv);
+
+  auto write = [&](Var v, const std::vector<double>& f, double scale,
+                   double offset) {
+    float* dst = out.data() + static_cast<std::int64_t>(v) * h * w;
+    for (std::size_t i = 0; i < f.size(); ++i) {
+      dst[i] = static_cast<float>(offset + scale * f[i]);
+    }
+  };
+  write(Var::kT2m, t2m, 1.0, 0.0);
+  write(Var::kU10, u10, 1.0, 0.0);
+  write(Var::kV10, v10, 1.0, 0.0);
+  write(Var::kMslp, mslp, 1.0, 0.0);
+  write(Var::kSst, sst, 1.0, 0.0);
+  write(Var::kZ500, psi1, 980.0, 5500.0);  // streamfunction as geopotential
+  write(Var::kT850, t, 0.9, -2.0);
+  write(Var::kQ700, qv, 1.0, 0.0);
+  write(Var::kU850, u2, wind_scale * 0.8, 0.0);
+  write(Var::kV850, v2, wind_scale * 0.8, 0.0);
+  return out;
+}
+
+Tensor EarthSystem::forcings() const {
+  const std::int64_t h = qg_.grid().h(), w = qg_.grid().w();
+  Tensor out({kNumForcings, h, w});
+  const double s = season();
+  const double hour = std::fmod(time_hours_, 24.0) / 24.0;
+  for (std::int64_t r = 0; r < h; ++r) {
+    const double y = (static_cast<double>(r) + 0.5) / static_cast<double>(h) -
+                     0.5;  // [-0.5, 0.5]
+    // Daily-mean insolation by "latitude" with a solstice tilt.
+    const double decl = 0.41 * std::sin(2.0 * M_PI * s);
+    for (std::int64_t c = 0; c < w; ++c) {
+      const double x = (static_cast<double>(c) + 0.5) / static_cast<double>(w);
+      const double coslat = std::cos(y * M_PI);
+      const double diurnal =
+          std::max(0.0, std::cos(2.0 * M_PI * (x - hour)));
+      const double toa =
+          std::max(0.0, coslat * (1.0 + decl * std::sin(y * M_PI))) * diurnal;
+      const std::size_t i = static_cast<std::size_t>(r * w + c);
+      out[0 * h * w + static_cast<std::int64_t>(i)] =
+          static_cast<float>(toa);
+      out[1 * h * w + static_cast<std::int64_t>(i)] =
+          static_cast<float>(orography_[i]);
+      out[2 * h * w + static_cast<std::int64_t>(i)] =
+          static_cast<float>(land_mask_[i]);
+    }
+  }
+  return out;
+}
+
+void EarthSystem::perturb(const Philox& rng, std::uint64_t stream,
+                          double amplitude) {
+  const SpectralGrid& g = qg_.grid();
+  std::vector<double> noise(static_cast<std::size_t>(g.size()));
+  for (int layer = 0; layer < 2; ++layer) {
+    for (std::int64_t i = 0; i < g.size(); ++i) {
+      noise[static_cast<std::size_t>(i)] =
+          amplitude * rng.normal(rng_stream::kEnsemblePerturbation,
+                                 stream * 2 + static_cast<std::uint64_t>(layer),
+                                 static_cast<std::uint64_t>(i));
+    }
+    std::vector<cplx> spec = fft2_real(noise, g.h(), g.w());
+    g.dealias(spec);
+    auto& q = qg_.q_spec(layer);
+    for (std::size_t i = 0; i < q.size(); ++i) q[i] += spec[i];
+  }
+  qg_.invert();
+}
+
+void EarthSystem::assimilate(const Tensor& state) {
+  const SpectralGrid& g = qg_.grid();
+  const std::int64_t h = g.h(), w = g.w();
+  if (state.shape() != Shape{kNumVars, h, w}) {
+    throw std::invalid_argument("assimilate: bad state shape");
+  }
+  auto read = [&](Var v, double scale, double offset) {
+    std::vector<double> f(static_cast<std::size_t>(h * w));
+    const float* src = state.data() + static_cast<std::int64_t>(v) * h * w;
+    for (std::size_t i = 0; i < f.size(); ++i) {
+      f[i] = (static_cast<double>(src[i]) - offset) / scale;
+    }
+    return f;
+  };
+  // Invert the Z500 / MSLP mappings back to streamfunctions, then to PV.
+  const std::vector<double> psi1 = read(Var::kZ500, 980.0, 5500.0);
+  std::vector<double> psi2(static_cast<std::size_t>(h * w));
+  const std::vector<double> mslp = read(Var::kMslp, 1.0, 0.0);
+  for (std::size_t i = 0; i < psi2.size(); ++i) {
+    psi2[i] = (1013.0 - mslp[i] - 2.0 * orography_[i]) / 500.0;
+  }
+  std::vector<cplx> p1 = fft2_real(psi1, h, w);
+  std::vector<cplx> p2 = fft2_real(psi2, h, w);
+  const double b = 0.5 * qg_.params().kd * qg_.params().kd;
+  for (std::int64_t r = 0; r < h; ++r) {
+    for (std::int64_t c = 0; c < w; ++c) {
+      const std::size_t i = static_cast<std::size_t>(r * w + c);
+      const double kk = g.k2(r, c);
+      qg_.q_spec(0)[i] = -kk * p1[i] + b * (p2[i] - p1[i]);
+      qg_.q_spec(1)[i] = -kk * p2[i] + b * (p1[i] - p2[i]);
+    }
+  }
+  qg_.invert();
+  thermo_->set_temperature(read(Var::kT850, 0.9, -2.0));
+  thermo_->set_humidity(read(Var::kQ700, 1.0, 0.0));
+  std::vector<double>& sst = ocean_->sst();
+  const std::vector<double> new_sst = read(Var::kSst, 1.0, 0.0);
+  sst = new_sst;
+}
+
+}  // namespace aeris::physics

@@ -1,0 +1,27 @@
+#include "aeris/physics/era5like.hpp"
+
+namespace aeris::physics {
+
+Reanalysis record(EarthSystem& world, std::int64_t samples,
+                  double interval_hours) {
+  Reanalysis out;
+  out.states.reserve(static_cast<std::size_t>(samples));
+  out.forcings.reserve(static_cast<std::size_t>(samples));
+  for (std::int64_t i = 0; i < samples; ++i) {
+    out.states.push_back(world.snapshot());
+    out.forcings.push_back(world.forcings());
+    out.time_hours.push_back(world.time_hours());
+    out.nino.push_back(world.ocean().nino_box_mean());
+    out.storms.push_back(world.cyclones().storms());
+    world.advance_hours(interval_hours);
+  }
+  return out;
+}
+
+Reanalysis generate_reanalysis(const ReanalysisConfig& cfg) {
+  EarthSystem world(cfg.params);
+  world.spin_up(cfg.spin_up_steps, cfg.member);
+  return record(world, cfg.samples, cfg.interval_hours);
+}
+
+}  // namespace aeris::physics

@@ -1,0 +1,77 @@
+#include "aeris/physics/fft.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace aeris::physics {
+
+bool is_pow2(std::int64_t n) { return n > 0 && (n & (n - 1)) == 0; }
+
+void fft_inplace(std::vector<cplx>& a, bool inverse) {
+  const std::size_t n = a.size();
+  if (!is_pow2(static_cast<std::int64_t>(n))) {
+    throw std::invalid_argument("fft: size must be a power of 2");
+  }
+  // Bit-reversal permutation.
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(a[i], a[j]);
+  }
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double ang = (inverse ? 2.0 : -2.0) * M_PI / static_cast<double>(len);
+    const cplx wlen(std::cos(ang), std::sin(ang));
+    for (std::size_t i = 0; i < n; i += len) {
+      cplx w(1.0, 0.0);
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const cplx u = a[i + k];
+        const cplx v = a[i + k + len / 2] * w;
+        a[i + k] = u + v;
+        a[i + k + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+  if (inverse) {
+    for (auto& x : a) x /= static_cast<double>(n);
+  }
+}
+
+void fft2_inplace(std::vector<cplx>& field, std::int64_t h, std::int64_t w,
+                  bool inverse) {
+  if (static_cast<std::int64_t>(field.size()) != h * w) {
+    throw std::invalid_argument("fft2: size mismatch");
+  }
+  std::vector<cplx> row(static_cast<std::size_t>(w));
+  for (std::int64_t r = 0; r < h; ++r) {
+    std::copy_n(field.begin() + r * w, w, row.begin());
+    fft_inplace(row, inverse);
+    std::copy_n(row.begin(), w, field.begin() + r * w);
+  }
+  std::vector<cplx> col(static_cast<std::size_t>(h));
+  for (std::int64_t c = 0; c < w; ++c) {
+    for (std::int64_t r = 0; r < h; ++r) col[static_cast<std::size_t>(r)] = field[static_cast<std::size_t>(r * w + c)];
+    fft_inplace(col, inverse);
+    for (std::int64_t r = 0; r < h; ++r) field[static_cast<std::size_t>(r * w + c)] = col[static_cast<std::size_t>(r)];
+  }
+}
+
+std::vector<cplx> fft2_real(const std::vector<double>& grid, std::int64_t h,
+                            std::int64_t w) {
+  std::vector<cplx> spec(grid.size());
+  for (std::size_t i = 0; i < grid.size(); ++i) spec[i] = cplx(grid[i], 0.0);
+  fft2_inplace(spec, h, w, /*inverse=*/false);
+  return spec;
+}
+
+std::vector<double> ifft2_real(std::vector<cplx> spec, std::int64_t h,
+                               std::int64_t w) {
+  fft2_inplace(spec, h, w, /*inverse=*/true);
+  std::vector<double> out(spec.size());
+  for (std::size_t i = 0; i < spec.size(); ++i) out[i] = spec[i].real();
+  return out;
+}
+
+}  // namespace aeris::physics

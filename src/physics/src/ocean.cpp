@@ -1,0 +1,104 @@
+#include "aeris/physics/ocean.hpp"
+
+#include <cmath>
+
+namespace aeris::physics {
+
+SlabOcean::SlabOcean(const SpectralGrid& grid, const OceanParams& p, double dt,
+                     double enso_init)
+    : grid_(grid), p_(p), dt_(dt), enso_(enso_init) {
+  const std::size_t delay_steps =
+      static_cast<std::size_t>(std::max(1.0, p.enso_delay / dt));
+  history_.assign(delay_steps, enso_init);
+  sst_.resize(static_cast<std::size_t>(grid.size()));
+  for (std::int64_t r = 0; r < grid_.h(); ++r) {
+    for (std::int64_t c = 0; c < grid_.w(); ++c) {
+      sst_[static_cast<std::size_t>(r * grid_.w() + c)] =
+          sst_equilibrium(r, 0.25) + p_.enso_amp * enso_ * pattern(r, c);
+    }
+  }
+}
+
+double SlabOcean::sst_equilibrium(std::int64_t row, double season) const {
+  const double y = (static_cast<double>(row) + 0.5) /
+                       static_cast<double>(grid_.h()) -
+                   0.5;
+  const double base =
+      p_.sst_equator + (p_.sst_pole - p_.sst_equator) * (2.0 * std::fabs(y));
+  const double seasonal =
+      p_.seasonal_amp * std::sin(2.0 * M_PI * season) * (y > 0 ? 1.0 : -1.0);
+  return base + seasonal;
+}
+
+double SlabOcean::pattern(std::int64_t row, std::int64_t col) const {
+  const double y = (static_cast<double>(row) + 0.5) /
+                       static_cast<double>(grid_.h()) -
+                   0.5;
+  const double x = (static_cast<double>(col) + 0.5) /
+                   static_cast<double>(grid_.w());
+  const double gy = std::exp(-0.5 * y * y / (p_.patt_width_y * p_.patt_width_y));
+  const double dx = x - p_.patt_center_x;
+  const double gx = std::exp(-0.5 * dx * dx / (p_.patt_width_x * p_.patt_width_x));
+  return gx * gy;
+}
+
+void SlabOcean::set_enso_index(double e) {
+  enso_ = e;
+  for (auto& h : history_) h = e;
+}
+
+void SlabOcean::step(double season) {
+  // Delayed oscillator for the ENSO index.
+  const double delayed = history_.front();
+  history_.pop_front();
+  history_.push_back(enso_);
+  enso_ += dt_ * (p_.enso_a * enso_ - p_.enso_b * delayed -
+                  p_.enso_c * enso_ * enso_ * enso_);
+
+  // SST: relax to (seasonal profile + ENSO pattern) and diffuse.
+  std::vector<cplx> spec = fft2_real(sst_, grid_.h(), grid_.w());
+  std::vector<cplx> lap;
+  grid_.laplacian(spec, lap);
+  const std::vector<double> diff = ifft2_real(lap, grid_.h(), grid_.w());
+  for (std::int64_t r = 0; r < grid_.h(); ++r) {
+    for (std::int64_t c = 0; c < grid_.w(); ++c) {
+      const std::size_t i = static_cast<std::size_t>(r * grid_.w() + c);
+      const double target = sst_equilibrium(r, season) +
+                            p_.enso_amp * enso_ * pattern(r, c);
+      sst_[i] += dt_ * ((target - sst_[i]) / p_.tau_relax + p_.kappa * diff[i]);
+    }
+  }
+}
+
+double SlabOcean::infer_enso_index(const std::vector<double>& sst,
+                                   double season) const {
+  double num = 0.0, den = 0.0;
+  for (std::int64_t r = 0; r < grid_.h(); ++r) {
+    for (std::int64_t c = 0; c < grid_.w(); ++c) {
+      const double w = pattern(r, c);
+      if (w <= 0.05) continue;
+      const double anom =
+          sst[static_cast<std::size_t>(r * grid_.w() + c)] -
+          sst_equilibrium(r, season);
+      num += w * anom;
+      den += w * w * p_.enso_amp;
+    }
+  }
+  return den > 0.0 ? num / den : 0.0;
+}
+
+double SlabOcean::nino_box_mean() const {
+  double num = 0.0, den = 0.0;
+  for (std::int64_t r = 0; r < grid_.h(); ++r) {
+    for (std::int64_t c = 0; c < grid_.w(); ++c) {
+      const double w = pattern(r, c);
+      if (w > 0.3) {
+        num += sst_[static_cast<std::size_t>(r * grid_.w() + c)];
+        den += 1.0;
+      }
+    }
+  }
+  return den > 0 ? num / den : 0.0;
+}
+
+}  // namespace aeris::physics

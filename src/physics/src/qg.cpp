@@ -1,0 +1,207 @@
+#include "aeris/physics/qg.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace aeris::physics {
+
+TwoLayerQg::TwoLayerQg(const QgParams& p)
+    : p_(p), grid_(p.h, p.w, p.ly, p.lx) {
+  for (auto& q : q_) q.assign(static_cast<std::size_t>(grid_.size()), cplx());
+  for (auto& s : psi_) s.assign(static_cast<std::size_t>(grid_.size()), cplx());
+}
+
+void TwoLayerQg::init_random(const Philox& rng, std::uint64_t stream,
+                             double amplitude) {
+  // Band-limited random vorticity, Hermitian by construction from a real
+  // grid field.
+  std::vector<double> field(static_cast<std::size_t>(grid_.size()));
+  for (int layer = 0; layer < 2; ++layer) {
+    for (std::int64_t i = 0; i < grid_.size(); ++i) {
+      field[static_cast<std::size_t>(i)] =
+          amplitude *
+          static_cast<double>(rng.normal(rng_stream::kPhysicsForcing,
+                                         stream * 2 + static_cast<std::uint64_t>(layer),
+                                         static_cast<std::uint64_t>(i)));
+    }
+    q_[static_cast<std::size_t>(layer)] = fft2_real(field, p_.h, p_.w);
+    // Keep only large scales so the instability grows organically.
+    for (std::int64_t r = 0; r < p_.h; ++r) {
+      const std::int64_t mr = r <= p_.h / 2 ? r : p_.h - r;
+      for (std::int64_t c = 0; c < p_.w; ++c) {
+        const std::int64_t mc = c <= p_.w / 2 ? c : p_.w - c;
+        if (mr > 6 || mc > 6) {
+          q_[static_cast<std::size_t>(layer)]
+            [static_cast<std::size_t>(r * p_.w + c)] = cplx();
+        }
+      }
+    }
+  }
+  invert();
+  t_ = 0.0;
+}
+
+void TwoLayerQg::invert_q(const std::array<std::vector<cplx>, 2>& q,
+                          std::array<std::vector<cplx>, 2>& psi) const {
+  const double b = 0.5 * p_.kd * p_.kd;
+  for (auto& s : psi) s.resize(static_cast<std::size_t>(grid_.size()));
+  for (std::int64_t r = 0; r < p_.h; ++r) {
+    for (std::int64_t c = 0; c < p_.w; ++c) {
+      const std::size_t i = static_cast<std::size_t>(r * p_.w + c);
+      const double kk = grid_.k2(r, c);
+      if (kk == 0.0) {
+        psi[0][i] = psi[1][i] = cplx();
+        continue;
+      }
+      const double a = -(kk + b);
+      const double det = a * a - b * b;
+      psi[0][i] = (a * q[0][i] - b * q[1][i]) / det;
+      psi[1][i] = (a * q[1][i] - b * q[0][i]) / det;
+    }
+  }
+}
+
+void TwoLayerQg::invert() { invert_q(q_, psi_); }
+
+void TwoLayerQg::rhs(const std::array<std::vector<cplx>, 2>& q,
+                     std::array<std::vector<cplx>, 2>& out) const {
+  std::array<std::vector<cplx>, 2> psi;
+  invert_q(q, psi);
+  const double kd2 = p_.kd * p_.kd;
+  for (int layer = 0; layer < 2; ++layer) {
+    const double u_mean = layer == 0 ? p_.u_shear : -p_.u_shear;
+    // Mean-PV gradient: beta + d/dy of the shear-induced PV.
+    const double beta_eff = p_.beta + (layer == 0 ? 1.0 : -1.0) * kd2 * p_.u_shear;
+    const auto& qs = q[static_cast<std::size_t>(layer)];
+    const auto& ps = psi[static_cast<std::size_t>(layer)];
+
+    std::vector<cplx> jac = grid_.jacobian(ps, qs);
+    std::vector<cplx> qx, px;
+    grid_.ddx(qs, qx);
+    grid_.ddx(ps, px);
+
+    auto& o = out[static_cast<std::size_t>(layer)];
+    o.resize(qs.size());
+    for (std::int64_t r = 0; r < p_.h; ++r) {
+      for (std::int64_t c = 0; c < p_.w; ++c) {
+        const std::size_t i = static_cast<std::size_t>(r * p_.w + c);
+        const double kk = grid_.k2(r, c);
+        cplx v = -jac[i] - u_mean * qx[i] - beta_eff * px[i];
+        v -= p_.nu_hyper * kk * kk * kk * kk * qs[i];
+        v -= p_.lambda_q * qs[i];
+        // Ekman drag on the lower layer: -r * lap(psi2) = +r k^2 psi2.
+        if (layer == 1) v += p_.r_bot * kk * ps[i];
+        o[i] = v;
+      }
+    }
+  }
+}
+
+void TwoLayerQg::step() {
+  const double dt = p_.dt;
+  std::array<std::vector<cplx>, 2> k1, k2, k3, k4, tmp;
+  rhs(q_, k1);
+  for (int l = 0; l < 2; ++l) {
+    tmp[static_cast<std::size_t>(l)].resize(q_[0].size());
+    for (std::size_t i = 0; i < q_[0].size(); ++i) {
+      tmp[static_cast<std::size_t>(l)][i] =
+          q_[static_cast<std::size_t>(l)][i] +
+          0.5 * dt * k1[static_cast<std::size_t>(l)][i];
+    }
+  }
+  rhs(tmp, k2);
+  for (int l = 0; l < 2; ++l) {
+    for (std::size_t i = 0; i < q_[0].size(); ++i) {
+      tmp[static_cast<std::size_t>(l)][i] =
+          q_[static_cast<std::size_t>(l)][i] +
+          0.5 * dt * k2[static_cast<std::size_t>(l)][i];
+    }
+  }
+  rhs(tmp, k3);
+  for (int l = 0; l < 2; ++l) {
+    for (std::size_t i = 0; i < q_[0].size(); ++i) {
+      tmp[static_cast<std::size_t>(l)][i] =
+          q_[static_cast<std::size_t>(l)][i] +
+          dt * k3[static_cast<std::size_t>(l)][i];
+    }
+  }
+  rhs(tmp, k4);
+  for (int l = 0; l < 2; ++l) {
+    for (std::size_t i = 0; i < q_[0].size(); ++i) {
+      q_[static_cast<std::size_t>(l)][i] +=
+          dt / 6.0 *
+          (k1[static_cast<std::size_t>(l)][i] +
+           2.0 * k2[static_cast<std::size_t>(l)][i] +
+           2.0 * k3[static_cast<std::size_t>(l)][i] +
+           k4[static_cast<std::size_t>(l)][i]);
+    }
+  }
+  invert();
+  t_ += dt;
+}
+
+void TwoLayerQg::run(std::int64_t nsteps) {
+  for (std::int64_t i = 0; i < nsteps; ++i) step();
+}
+
+std::vector<double> TwoLayerQg::psi(int layer) const {
+  return ifft2_real(psi_[static_cast<std::size_t>(layer)], p_.h, p_.w);
+}
+
+std::vector<double> TwoLayerQg::u(int layer) const {
+  std::vector<cplx> dy;
+  grid_.ddy(psi_[static_cast<std::size_t>(layer)], dy);
+  auto g = ifft2_real(dy, p_.h, p_.w);
+  const double u_mean = layer == 0 ? p_.u_shear : -p_.u_shear;
+  for (double& x : g) x = -x + u_mean;
+  return g;
+}
+
+std::vector<double> TwoLayerQg::v(int layer) const {
+  std::vector<cplx> dx;
+  grid_.ddx(psi_[static_cast<std::size_t>(layer)], dx);
+  return ifft2_real(dx, p_.h, p_.w);
+}
+
+std::vector<double> TwoLayerQg::vorticity(int layer) const {
+  std::vector<cplx> lap;
+  grid_.laplacian(psi_[static_cast<std::size_t>(layer)], lap);
+  return ifft2_real(lap, p_.h, p_.w);
+}
+
+double TwoLayerQg::total_energy() const {
+  // E = 0.5 <|grad psi1|^2 + |grad psi2|^2 + kd^2/2 (psi1 - psi2)^2>
+  double e = 0.0;
+  const double norm = 1.0 / static_cast<double>(grid_.size());
+  const double b = 0.5 * p_.kd * p_.kd;
+  for (std::int64_t r = 0; r < p_.h; ++r) {
+    for (std::int64_t c = 0; c < p_.w; ++c) {
+      const std::size_t i = static_cast<std::size_t>(r * p_.w + c);
+      const double kk = grid_.k2(r, c);
+      const cplx d = psi_[0][i] - psi_[1][i];
+      e += 0.5 * (kk * (std::norm(psi_[0][i] * norm) +
+                        std::norm(psi_[1][i] * norm)) +
+                  b * std::norm(d * norm));
+    }
+  }
+  return e;
+}
+
+double TwoLayerQg::cfl() const {
+  double umax = 0.0;
+  for (int l = 0; l < 2; ++l) {
+    for (double x : u(l)) umax = std::max(umax, std::fabs(x));
+    for (double x : v(l)) umax = std::max(umax, std::fabs(x));
+  }
+  const double dx = p_.lx / static_cast<double>(p_.w);
+  return umax * p_.dt / dx;
+}
+
+const std::vector<cplx>& TwoLayerQg::q_spec(int layer) const {
+  return q_[static_cast<std::size_t>(layer)];
+}
+std::vector<cplx>& TwoLayerQg::q_spec(int layer) {
+  return q_[static_cast<std::size_t>(layer)];
+}
+
+}  // namespace aeris::physics

@@ -1,0 +1,129 @@
+#include "aeris/physics/spectral.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace aeris::physics {
+
+SpectralGrid::SpectralGrid(std::int64_t h, std::int64_t w, double ly,
+                           double lx)
+    : h_(h), w_(w), ly_(ly), lx_(lx) {
+  if (!is_pow2(h) || !is_pow2(w)) {
+    throw std::invalid_argument("SpectralGrid: dims must be powers of 2");
+  }
+  ky_.resize(static_cast<std::size_t>(h));
+  kx_.resize(static_cast<std::size_t>(w));
+  for (std::int64_t r = 0; r < h; ++r) {
+    const std::int64_t m = r <= h / 2 ? r : r - h;
+    ky_[static_cast<std::size_t>(r)] = 2.0 * M_PI * static_cast<double>(m) / ly;
+  }
+  for (std::int64_t c = 0; c < w; ++c) {
+    const std::int64_t m = c <= w / 2 ? c : c - w;
+    kx_[static_cast<std::size_t>(c)] = 2.0 * M_PI * static_cast<double>(m) / lx;
+  }
+  dealias_mask_.resize(static_cast<std::size_t>(h * w));
+  for (std::int64_t r = 0; r < h; ++r) {
+    const std::int64_t mr = r <= h / 2 ? r : h - r;
+    for (std::int64_t c = 0; c < w; ++c) {
+      const std::int64_t mc = c <= w / 2 ? c : w - c;
+      dealias_mask_[static_cast<std::size_t>(r * w + c)] =
+          mr <= h / 3 && mc <= w / 3;
+    }
+  }
+}
+
+void SpectralGrid::ddx(const std::vector<cplx>& in,
+                       std::vector<cplx>& out) const {
+  out.resize(in.size());
+  for (std::int64_t r = 0; r < h_; ++r) {
+    for (std::int64_t c = 0; c < w_; ++c) {
+      out[static_cast<std::size_t>(r * w_ + c)] =
+          cplx(0.0, kx(c)) * in[static_cast<std::size_t>(r * w_ + c)];
+    }
+  }
+}
+
+void SpectralGrid::ddy(const std::vector<cplx>& in,
+                       std::vector<cplx>& out) const {
+  out.resize(in.size());
+  for (std::int64_t r = 0; r < h_; ++r) {
+    for (std::int64_t c = 0; c < w_; ++c) {
+      out[static_cast<std::size_t>(r * w_ + c)] =
+          cplx(0.0, ky(r)) * in[static_cast<std::size_t>(r * w_ + c)];
+    }
+  }
+}
+
+void SpectralGrid::laplacian(const std::vector<cplx>& in,
+                             std::vector<cplx>& out) const {
+  out.resize(in.size());
+  for (std::int64_t r = 0; r < h_; ++r) {
+    for (std::int64_t c = 0; c < w_; ++c) {
+      out[static_cast<std::size_t>(r * w_ + c)] =
+          -k2(r, c) * in[static_cast<std::size_t>(r * w_ + c)];
+    }
+  }
+}
+
+void SpectralGrid::inverse_laplacian(const std::vector<cplx>& in,
+                                     std::vector<cplx>& out) const {
+  out.resize(in.size());
+  for (std::int64_t r = 0; r < h_; ++r) {
+    for (std::int64_t c = 0; c < w_; ++c) {
+      const double kk = k2(r, c);
+      out[static_cast<std::size_t>(r * w_ + c)] =
+          kk > 0.0 ? in[static_cast<std::size_t>(r * w_ + c)] / (-kk)
+                   : cplx(0.0, 0.0);
+    }
+  }
+}
+
+void SpectralGrid::dealias(std::vector<cplx>& spec) const {
+  for (std::size_t i = 0; i < spec.size(); ++i) {
+    if (!dealias_mask_[i]) spec[i] = cplx(0.0, 0.0);
+  }
+}
+
+std::vector<cplx> SpectralGrid::jacobian(const std::vector<cplx>& a,
+                                         const std::vector<cplx>& b) const {
+  std::vector<cplx> ax, ay, bx, by;
+  ddx(a, ax);
+  ddy(a, ay);
+  ddx(b, bx);
+  ddy(b, by);
+  const auto gax = ifft2_real(ax, h_, w_);
+  const auto gay = ifft2_real(ay, h_, w_);
+  const auto gbx = ifft2_real(bx, h_, w_);
+  const auto gby = ifft2_real(by, h_, w_);
+  std::vector<double> j(gax.size());
+  for (std::size_t i = 0; i < j.size(); ++i) {
+    j[i] = gax[i] * gby[i] - gay[i] * gbx[i];
+  }
+  std::vector<cplx> out = fft2_real(j, h_, w_);
+  dealias(out);
+  return out;
+}
+
+std::vector<double> SpectralGrid::isotropic_spectrum(
+    const std::vector<cplx>& spec) const {
+  const std::int64_t nbins = std::min(h_, w_) / 2;
+  std::vector<double> bins(static_cast<std::size_t>(nbins), 0.0);
+  const double norm = 1.0 / static_cast<double>(h_ * w_);
+  for (std::int64_t r = 0; r < h_; ++r) {
+    const std::int64_t mr = r <= h_ / 2 ? r : h_ - r;
+    for (std::int64_t c = 0; c < w_; ++c) {
+      const std::int64_t mc = c <= w_ / 2 ? c : w_ - c;
+      // Index by multiples of the fundamental of the *shorter* axis so
+      // bins are isotropic in wavenumber magnitude.
+      const double kmag = std::sqrt(static_cast<double>(mr * mr + mc * mc));
+      const std::int64_t bin = static_cast<std::int64_t>(kmag);
+      if (bin < nbins) {
+        const cplx v = spec[static_cast<std::size_t>(r * w_ + c)] * norm;
+        bins[static_cast<std::size_t>(bin)] += std::norm(v);
+      }
+    }
+  }
+  return bins;
+}
+
+}  // namespace aeris::physics

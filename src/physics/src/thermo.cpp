@@ -1,0 +1,133 @@
+#include "aeris/physics/thermo.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace aeris::physics {
+namespace {
+
+/// Advection-diffusion tendency -(u c_x + v c_y) + kappa lap(c) for a grid
+/// tracer, with velocities precomputed on the grid.
+std::vector<double> adv_diff_tendency(const SpectralGrid& g,
+                                      const std::vector<double>& u,
+                                      const std::vector<double>& v,
+                                      const std::vector<double>& c,
+                                      double kappa) {
+  std::vector<cplx> cs = fft2_real(c, g.h(), g.w());
+  g.dealias(cs);
+  std::vector<cplx> cx_s, cy_s, lap_s;
+  g.ddx(cs, cx_s);
+  g.ddy(cs, cy_s);
+  g.laplacian(cs, lap_s);
+  const auto cx = ifft2_real(cx_s, g.h(), g.w());
+  const auto cy = ifft2_real(cy_s, g.h(), g.w());
+  const auto lap = ifft2_real(lap_s, g.h(), g.w());
+  std::vector<double> tend(c.size());
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    tend[i] = -(u[i] * cx[i] + v[i] * cy[i]) + kappa * lap[i];
+  }
+  return tend;
+}
+
+/// One SSP-RK3 (Shu-Osher) advection-diffusion step — stable for the
+/// purely oscillatory advection spectrum where forward Euler is not.
+void ssp_rk3(const SpectralGrid& g, const std::vector<double>& u,
+             const std::vector<double>& v, std::vector<double>& c,
+             double kappa, double dt) {
+  const std::size_t n = c.size();
+  std::vector<double> k1 = adv_diff_tendency(g, u, v, c, kappa);
+  std::vector<double> s1(n);
+  for (std::size_t i = 0; i < n; ++i) s1[i] = c[i] + dt * k1[i];
+  std::vector<double> k2 = adv_diff_tendency(g, u, v, s1, kappa);
+  std::vector<double> s2(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    s2[i] = 0.75 * c[i] + 0.25 * (s1[i] + dt * k2[i]);
+  }
+  std::vector<double> k3 = adv_diff_tendency(g, u, v, s2, kappa);
+  for (std::size_t i = 0; i < n; ++i) {
+    c[i] = c[i] / 3.0 + 2.0 / 3.0 * (s2[i] + dt * k3[i]);
+  }
+}
+
+}  // namespace
+
+Thermo::Thermo(const SpectralGrid& grid, const ThermoParams& p)
+    : grid_(grid), p_(p) {
+  const std::size_t n = static_cast<std::size_t>(grid.size());
+  t_.assign(n, 0.0);
+  q_.assign(n, 0.0);
+  precip_.assign(n, 0.0);
+  // Start from the annual-mean equilibrium.
+  for (std::int64_t r = 0; r < grid_.h(); ++r) {
+    for (std::int64_t c = 0; c < grid_.w(); ++c) {
+      t_[static_cast<std::size_t>(r * grid_.w() + c)] = t_equilibrium(r, 0.25);
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) q_[i] = 0.6 * qsat(t_[i]);
+}
+
+double Thermo::qsat(double t) const {
+  return p_.q0 * std::exp(p_.cc_rate * t);
+}
+
+double Thermo::t_equilibrium(std::int64_t row, double season) const {
+  // "Latitude" = distance from channel center; seasonal term shifts the
+  // profile like a solstice swing (sign flips across the channel center).
+  const double y = (static_cast<double>(row) + 0.5) /
+                       static_cast<double>(grid_.h()) -
+                   0.5;  // [-0.5, 0.5]
+  const double base =
+      p_.t_eq_equator + (p_.t_eq_pole - p_.t_eq_equator) * (2.0 * std::fabs(y));
+  const double seasonal =
+      p_.seasonal_amp * std::sin(2.0 * M_PI * season) * (y > 0 ? 1.0 : -1.0);
+  return base + seasonal;
+}
+
+void Thermo::step(const std::vector<cplx>& psi, const std::vector<double>& sst,
+                  const std::vector<double>& land_mask, double season,
+                  double dt) {
+  // Velocities from the streamfunction, computed once per step.
+  std::vector<cplx> us, vs;
+  grid_.ddy(psi, us);
+  grid_.ddx(psi, vs);
+  std::vector<double> u = ifft2_real(us, grid_.h(), grid_.w());
+  for (double& x : u) x = -x;
+  const std::vector<double> v = ifft2_real(vs, grid_.h(), grid_.w());
+
+  ssp_rk3(grid_, u, v, t_, p_.kappa, dt);
+  ssp_rk3(grid_, u, v, q_, p_.kappa, dt);
+
+  for (std::int64_t r = 0; r < grid_.h(); ++r) {
+    for (std::int64_t c = 0; c < grid_.w(); ++c) {
+      const std::size_t i = static_cast<std::size_t>(r * grid_.w() + c);
+      double t = t_[i];
+      double q = q_[i];
+
+      // Radiative relaxation toward the seasonal equilibrium, tempered by
+      // the local ocean surface.
+      const double teq = 0.7 * t_equilibrium(r, season) + 0.3 * sst[i];
+      t += dt * (teq - t) / p_.tau_rad;
+
+      // Evaporation over ocean (mask == 0), toward saturation at SST.
+      if (land_mask[i] < 0.5) {
+        const double deficit = std::max(0.0, qsat(sst[i]) - q);
+        q += dt * p_.evap_rate * deficit;
+      }
+
+      // Condensation of super-saturation, with latent heating.
+      const double excess = q - qsat(t);
+      double cond = 0.0;
+      if (excess > 0.0) {
+        cond = excess * std::min(1.0, dt / p_.tau_cond);
+        q -= cond;
+        t += p_.latent_heat * cond;
+      }
+      precip_[i] = cond / std::max(dt, 1e-12);
+      q = std::max(q, 0.0);
+      t_[i] = t;
+      q_[i] = q;
+    }
+  }
+}
+
+}  // namespace aeris::physics

@@ -1,0 +1,126 @@
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <vector>
+
+namespace aeris::swipe {
+
+/// Traffic classes tracked by the byte counters. These map onto the
+/// paper's communication-overhead analysis (§V-A): alltoall from SP/WP,
+/// send/recv from PP (and window shifting), and allreduce from gradient
+/// synchronization.
+enum class Traffic : int {
+  kP2P = 0,
+  kAllToAll = 1,
+  kAllReduce = 2,
+  kBroadcast = 3,
+  kAllGather = 4,
+  kReduceScatter = 5,
+};
+inline constexpr int kTrafficClasses = 6;
+
+/// In-process message-passing world: one mailbox per rank, ranks hosted on
+/// caller-provided threads. This is the MPI-model substitute for the
+/// oneCCL/RCCL fleet (see DESIGN.md): cooperative sends/recvs move data
+/// between rank address spaces, collectives are built on point-to-point
+/// transfers, and every byte is counted so the paper's communication
+/// claims are *measured* rather than asserted.
+class World {
+ public:
+  explicit World(int nranks);
+
+  int size() const { return nranks_; }
+
+  /// Blocking tagged point-to-point primitives (world-rank addressed).
+  void send(int src, int dst, std::uint64_t tag, std::vector<float> payload,
+            Traffic traffic = Traffic::kP2P);
+  std::vector<float> recv(int dst, int src, std::uint64_t tag);
+
+  /// Bytes moved so far per traffic class (whole world).
+  std::int64_t bytes(Traffic t) const;
+  /// Bytes *sent* by one rank per traffic class.
+  std::int64_t rank_bytes(int rank, Traffic t) const;
+  void reset_counters();
+
+  /// Spawns `fn(rank)` on size() threads and joins them; the first
+  /// exception (if any) is rethrown after all threads finish.
+  void run(const std::function<void(int rank)>& fn);
+
+ private:
+  struct Mailbox {
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::map<std::pair<int, std::uint64_t>, std::deque<std::vector<float>>>
+        queues;
+  };
+
+  int nranks_;
+  std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+  std::vector<std::array<std::atomic<std::int64_t>, kTrafficClasses>>
+      rank_bytes_;
+};
+
+/// A communication group: an ordered subset of world ranks with a private
+/// tag namespace (like an MPI communicator). Every collective must be
+/// entered by all members. Group construction is deterministic — each
+/// rank builds the same group list locally, which replaces MPI_Comm_split.
+class Communicator {
+ public:
+  Communicator(World& world, std::vector<int> members, int my_world_rank,
+               std::uint64_t group_tag);
+
+  int rank() const { return my_rank_; }
+  int size() const { return static_cast<int>(members_.size()); }
+  int world_rank(int group_rank) const {
+    return members_[static_cast<std::size_t>(group_rank)];
+  }
+
+  void send(int dst, std::uint64_t tag, std::vector<float> payload,
+            Traffic traffic = Traffic::kP2P);
+  std::vector<float> recv(int src, std::uint64_t tag);
+
+  /// Root's payload is delivered to everyone (including root).
+  std::vector<float> broadcast(int root, std::vector<float> payload);
+
+  /// In-place ring allreduce (sum): reduce-scatter + allgather, the
+  /// bandwidth-optimal pattern used by gradient synchronization.
+  void allreduce_sum(std::span<float> data);
+
+  /// Each rank contributes `mine`; returns the concatenation in group
+  /// rank order. All contributions must have equal size.
+  std::vector<float> allgather(std::span<const float> mine);
+
+  /// send[i] goes to rank i; returns recv[i] from rank i. The Ulysses
+  /// primitive (§V-A: "alltoall collective before and after attention").
+  std::vector<std::vector<float>> alltoall(
+      std::vector<std::vector<float>> send);
+
+  /// Reduce-scatter (sum): rank r returns the reduced r-th equal chunk.
+  std::vector<float> reduce_scatter_sum(std::span<const float> data);
+
+  void barrier();
+
+ private:
+  // Collective tags live in a high sub-space so they never collide with
+  // user point-to-point tags, and advance in lockstep on every member.
+  std::uint64_t tagged(std::uint64_t tag) const {
+    return (group_tag_ << 40) | tag;
+  }
+
+  World& world_;
+  std::vector<int> members_;
+  int my_rank_ = -1;
+  std::uint64_t group_tag_;
+  std::uint64_t collective_epoch_ = 0;
+};
+
+}  // namespace aeris::swipe

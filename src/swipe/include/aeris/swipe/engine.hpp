@@ -1,0 +1,137 @@
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <optional>
+
+#include "aeris/core/loss_weights.hpp"
+#include "aeris/core/model.hpp"
+#include "aeris/core/trainer.hpp"
+#include "aeris/core/trigflow.hpp"
+#include "aeris/swipe/pipeline.hpp"
+#include "aeris/swipe/topology.hpp"
+#include "aeris/swipe/ulysses.hpp"
+#include "aeris/swipe/window_layout.hpp"
+#include "aeris/swipe/zero1.hpp"
+
+namespace aeris::swipe {
+
+/// Full SWiPe configuration: the model, the parallel grid, the training
+/// recipe, and the pipeline microbatching (GAS). The pipeline has
+/// PP = depth + 2 stages: a separated input stage (data I/O + positional
+/// encoding + pixel embedding + time-conditioning trunk) and output stage
+/// (final norm + decode + loss), exactly the edge-stage separation of
+/// paper §VII-A that keeps I/O latency out of the block stages.
+struct EngineConfig {
+  core::ModelConfig model;
+  SwipeGrid grid;
+  core::TrainerConfig train;
+  int microbatches = 1;  ///< per data-parallel replica (== GAS at mb size 1)
+};
+
+/// Supplies the training pair for a global sample index. Called only by
+/// the input and output pipeline stages (the paper's "only the first and
+/// last stages of the pipeline perform data loading and writing").
+using DataFn = std::function<core::TrainExample(std::int64_t sample_index)>;
+
+/// One rank's view of the distributed AERIS training step. Construct one
+/// per rank inside World::run and call train_step collectively.
+///
+/// The engine executes the same mathematical step as core::Trainer (same
+/// counter-RNG noise, same objective, same AdamW) but sharded over
+/// DP x PP x WP x SP — the equivalence tests compare the two bit-for-bit
+/// up to floating-point reduction order.
+class SwipeEngine {
+ public:
+  SwipeEngine(World& world, const EngineConfig& cfg, int my_rank);
+
+  /// Collective: one optimizer step over the global batch of
+  /// DP * microbatches samples starting at `images_seen`. Returns the
+  /// batch loss (identical on every rank).
+  float train_step(const DataFn& data, std::int64_t images_seen);
+
+  /// Parameters owned by this rank's pipeline stage.
+  const nn::ParamList& stage_params() const { return params_; }
+  const Topology& topology() const { return topo_; }
+
+  /// Diagnostics for the communication/IO/memory claims.
+  struct Stats {
+    std::int64_t io_values = 0;       ///< input/target floats read by me
+    std::int64_t peak_live_clones = 0;///< max in-flight microbatch records
+    std::int64_t activation_floats = 0;///< floats per microbatch activation
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  // ---- stage bodies (cloned per in-flight microbatch under 1F1B) ----
+  struct InputStage {
+    nn::Linear embed;
+    nn::TimeEmbedding time_embed;
+    InputStage(const core::ModelConfig& m);
+  };
+  struct BlockStage {
+    nn::AdaLNHead adaln_attn;
+    nn::AdaLNHead adaln_ffn;
+    nn::RMSNorm norm1;
+    nn::RMSNorm norm2;
+    UlyssesAttention attn;
+    nn::SwiGLU ffn;
+    // forward caches
+    Tensor x, h, norm1_out, norm2_out, attn_out, ffn_out, cond;
+    nn::AdaLNHead::Mod mod_a, mod_f;
+    BlockStage(std::int64_t layer, const core::ModelConfig& m);
+    Tensor forward(Communicator& sp, const Tensor& x_in, const Tensor& cond_in);
+    Tensor backward(Communicator& sp, const Tensor& dy, Tensor& dcond);
+    void collect_params(nn::ParamList& out);
+  };
+  struct OutputStage {
+    nn::RMSNorm final_norm;
+    nn::Linear head;
+    OutputStage(const core::ModelConfig& m);
+  };
+
+  // per-microbatch in-flight record
+  struct Flight {
+    std::optional<InputStage> input;
+    std::optional<BlockStage> block;
+    std::optional<OutputStage> output;
+    Tensor pred_grad;       // output stage: dL/dpred
+    std::int64_t sample = 0;
+  };
+
+  void forward_microbatch(int mb, const DataFn& data, std::int64_t images_seen);
+  void backward_microbatch(int mb);
+
+  // Layout of a block layer's input activations.
+  WindowLayout layer_layout(std::int64_t layer) const;
+  // Layout the output stage consumes (shift 0).
+  WindowLayout output_layout() const;
+
+  // reshard-aware sends between consecutive stages
+  void send_forward(const Tensor& x_local, const Tensor& cond, int mb);
+  std::pair<Tensor, Tensor> recv_forward(int mb, std::int64_t n_local);
+  void send_backward(const Tensor& dx_local, const Tensor& dcond, int mb);
+  std::pair<Tensor, Tensor> recv_backward(int mb, std::int64_t n_local);
+
+  World& world_;
+  EngineConfig cfg_;
+  Topology topo_;
+  core::TrigFlow trigflow_;
+  Philox rng_;
+  Tensor posenc_;      // [H, W]
+  Tensor lat_weights_; // [H]
+  Tensor var_weights_; // [V]
+
+  // Master stage modules (weights + accumulated grads).
+  std::optional<InputStage> input_;
+  std::optional<BlockStage> block_;
+  std::optional<OutputStage> output_;
+  nn::ParamList params_;
+  std::optional<Zero1Optimizer> opt_;
+
+  std::deque<Flight> flights_;
+  Stats stats_;
+  float loss_accum_ = 0.0f;
+};
+
+}  // namespace aeris::swipe

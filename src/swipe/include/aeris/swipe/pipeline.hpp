@@ -1,0 +1,36 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace aeris::swipe {
+
+/// One slot in a stage's pipeline schedule.
+struct PipelineOp {
+  enum class Kind { kForward, kBackward };
+  Kind kind = Kind::kForward;
+  int microbatch = 0;
+};
+
+/// 1F1B (one-forward-one-backward) schedule for `stages` pipeline stages
+/// and `microbatches` microbatches — the schedule used by SWiPe
+/// (paper §V-C notes GPUs idle "waiting for data from another pipeline
+/// stage under 1F1B"; zero-bubble PP is listed as future work).
+///
+/// Stage s performs min(stages - s, microbatches) warmup forwards, then
+/// alternates backward/forward in steady state, then drains the remaining
+/// backwards. Forwards and backwards are each in microbatch order, and no
+/// more than (stages - s) microbatch activations are ever live on stage s
+/// — the activation-memory bound 1F1B is chosen for.
+std::vector<PipelineOp> one_f_one_b_schedule(int stages, int stage,
+                                             int microbatches);
+
+/// Peak number of in-flight forward activations on a stage under 1F1B.
+int peak_in_flight(int stages, int stage, int microbatches);
+
+/// The classic 1F1B bubble fraction: (p - 1) / (m + p - 1) of the
+/// steady-state time is idle. Used by the analytic performance model and
+/// validated against the executed schedule in tests.
+double bubble_fraction(int stages, int microbatches);
+
+}  // namespace aeris::swipe

@@ -1,0 +1,72 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "aeris/swipe/comm.hpp"
+
+namespace aeris::swipe {
+
+/// The SWiPe parallelism grid (paper §V-A / Fig. 2b): data parallelism x
+/// pipeline stages x window-parallel node grid (A x B) x sequence
+/// parallelism within the node. The total world size is
+/// DP * PP * (A*B) * SP. SP groups are confined "within a node" so their
+/// bandwidth-hungry alltoalls stay on the fast intra-node fabric.
+struct SwipeGrid {
+  int dp = 1;    ///< data-parallel replicas
+  int pp = 1;    ///< pipeline stages (L + 2 with separated edge stages)
+  int wp_a = 1;  ///< window-parallel grid rows (A)
+  int wp_b = 1;  ///< window-parallel grid cols (B)
+  int sp = 1;    ///< sequence-parallel ranks per window group
+
+  int wp() const { return wp_a * wp_b; }
+  int world_size() const { return dp * pp * wp() * sp; }
+};
+
+/// Coordinates of a rank in the grid.
+struct RankCoords {
+  int dp = 0;
+  int pp = 0;
+  int wp = 0;  ///< flattened window-grid index: wa * B + wb
+  int sp = 0;
+
+  int wp_row(const SwipeGrid& g) const { return wp / g.wp_b; }
+  int wp_col(const SwipeGrid& g) const { return wp % g.wp_b; }
+};
+
+/// Rank <-> coordinate mapping. SP is innermost (node-local), then WP,
+/// then PP, then DP — matching the locality hierarchy in the paper.
+int rank_of(const SwipeGrid& g, const RankCoords& c);
+RankCoords coords_of(const SwipeGrid& g, int rank);
+
+/// Deterministic communication groups (every member constructs the same
+/// list locally — the MPI_Comm_split equivalent).
+class Topology {
+ public:
+  Topology(World& world, const SwipeGrid& grid, int my_rank);
+
+  const SwipeGrid& grid() const { return grid_; }
+  const RankCoords& coords() const { return coords_; }
+  int rank() const { return my_rank_; }
+
+  /// Ranks sharing (dp, pp, wp): the Ulysses alltoall group.
+  Communicator sp_group();
+  /// Ranks sharing (dp, pp, sp): window distribution / WP group.
+  Communicator wp_group();
+  /// Ranks sharing (dp, pp): the full model-parallel slice of one stage
+  /// (wp x sp), used for e.g. layout resharding diagnostics.
+  Communicator stage_group();
+  /// Ranks sharing pp across (dp, wp, sp): gradient reduction + ZeRO-1
+  /// shard group for this pipeline stage's parameters.
+  Communicator replica_group();
+  /// World rank of the same (dp, wp, sp) position in pipeline stage `pp`.
+  int pp_peer(int pp_stage) const;
+
+ private:
+  World& world_;
+  SwipeGrid grid_;
+  int my_rank_;
+  RankCoords coords_;
+};
+
+}  // namespace aeris::swipe

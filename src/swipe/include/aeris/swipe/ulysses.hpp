@@ -1,0 +1,54 @@
+#pragma once
+
+#include "aeris/nn/attention.hpp"
+#include "aeris/swipe/comm.hpp"
+
+namespace aeris::swipe {
+
+/// Ulysses sequence-parallel window attention (paper §V-A / §V-B: "For the
+/// attention we utilize the Ulysses sequence parallelism which does an
+/// all-to-all collective before and after the attention kernel").
+///
+/// Each SP rank holds, for every window its WP rank owns, a contiguous
+/// chunk of T/SP tokens with *all* channels. The qkv projection and RoPE
+/// are token-local. The first alltoall re-shards from token-sharded /
+/// head-complete to token-complete / head-sharded (H/SP heads per rank);
+/// the attention core then runs on full windows; the second alltoall
+/// restores token sharding for the output projection.
+///
+/// Weight layout, naming and initialization mirror nn::WindowAttention
+/// exactly, so a single-rank model's weights drop in unchanged — the
+/// equivalence tests rely on this.
+class UlyssesAttention {
+ public:
+  UlyssesAttention(std::string name, std::int64_t dim, std::int64_t heads,
+                   std::int64_t win_h, std::int64_t win_w,
+                   float rope_base = 10000.0f);
+
+  void init(const Philox& rng, std::uint64_t index);
+
+  /// x_local: [n_win, chunk, dim] where chunk = win_h*win_w / sp.size().
+  /// Collective: every rank of `sp` must call with its shard.
+  Tensor forward(Communicator& sp, const Tensor& x_local);
+  Tensor backward(Communicator& sp, const Tensor& dy_local);
+
+  void collect_params(nn::ParamList& out);
+
+  std::int64_t dim() const { return dim_; }
+  std::int64_t heads() const { return heads_; }
+  std::int64_t tokens() const { return win_h_ * win_w_; }
+
+ private:
+  std::int64_t dim_, heads_, win_h_, win_w_;
+  nn::Linear qkv_;
+  nn::Linear proj_;
+  nn::AxialRope rope_;
+
+  // caches for backward
+  Tensor q_full_, k_full_, v_full_;  // [n_win, T, dim/SP] (my heads)
+  Tensor probs_;
+  std::int64_t sp_size_ = 1;
+  std::int64_t sp_rank_ = 0;
+};
+
+}  // namespace aeris::swipe

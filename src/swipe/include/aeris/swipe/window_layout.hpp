@@ -1,0 +1,97 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace aeris::swipe {
+
+/// Global token coordinate on the (H, W) grid.
+struct TokenRef {
+  std::int64_t r = 0;
+  std::int64_t c = 0;
+  bool operator==(const TokenRef&) const = default;
+};
+
+/// Ownership map of a shifted-window configuration under Window + Sequence
+/// Parallelism (paper §V-A, Fig. 2a):
+///
+///  * the token grid is partitioned into win_h x win_w windows after a
+///    cyclic shift (exactly mirroring core::window_partition);
+///  * windows are assigned **round-robin in both X and Y** over the A x B
+///    window-parallel grid: window (wy, wx) -> wp rank (wy%A)*B + (wx%B);
+///  * within a window, the T tokens (row-major) are split into SP equal
+///    contiguous chunks; sp rank s owns chunk s — the Ulysses shard.
+///
+/// A rank's local activation buffer concatenates, for each owned window in
+/// (wy, wx) order, its SP chunk of that window. All indices here are pure
+/// functions of the configuration, so every rank can compute any other
+/// rank's layout — the property that makes the shifted-window reshard a
+/// deterministic, metadata-free exchange.
+class WindowLayout {
+ public:
+  WindowLayout(std::int64_t h, std::int64_t w, std::int64_t win_h,
+               std::int64_t win_w, int wp_a, int wp_b, int sp,
+               std::int64_t shift);
+
+  std::int64_t h() const { return h_; }
+  std::int64_t w() const { return w_; }
+  std::int64_t shift() const { return shift_; }
+  int wp_a() const { return wp_a_; }
+  int wp_b() const { return wp_b_; }
+  int wp() const { return wp_a_ * wp_b_; }
+  int sp() const { return sp_; }
+
+  std::int64_t windows_y() const { return h_ / win_h_; }
+  std::int64_t windows_x() const { return w_ / win_w_; }
+  std::int64_t total_windows() const { return windows_y() * windows_x(); }
+  std::int64_t tokens_per_window() const { return win_h_ * win_w_; }
+  /// Tokens per window owned by one SP rank.
+  std::int64_t sp_chunk() const { return tokens_per_window() / sp_; }
+
+  /// Round-robin window assignment (both axes).
+  int wp_of_window(std::int64_t wy, std::int64_t wx) const;
+
+  /// Owned windows of a WP rank, in (wy, wx) order.
+  std::vector<std::pair<std::int64_t, std::int64_t>> windows_of(int wp) const;
+  std::int64_t local_window_count(int wp) const;
+  /// Local token count of one (wp, sp) rank.
+  std::int64_t local_tokens(int wp) const {
+    return local_window_count(wp) * sp_chunk();
+  }
+
+  struct Owner {
+    int wp = 0;
+    int sp = 0;
+    std::int64_t local_idx = 0;  ///< position in the rank's local buffer
+  };
+  /// Owner of the global token (r, c) under this layout.
+  Owner owner_of(std::int64_t r, std::int64_t c) const;
+
+  /// Global coordinates of each token owned by (wp, sp), in local buffer
+  /// order. The stage-0 data loader reads exactly these positions — this
+  /// is the "each node loads only the data it processes" property.
+  std::vector<TokenRef> tokens_of(int wp, int sp) const;
+
+ private:
+  std::int64_t h_, w_, win_h_, win_w_;
+  int wp_a_, wp_b_, sp_;
+  std::int64_t shift_;
+};
+
+/// Exchange plan to move a rank's local buffer from one layout to another
+/// (the shifted-window transition between consecutive Swin layers /
+/// pipeline stages). `send[d]` lists my local indices (source layout) to
+/// pack for destination rank d = dst_wp * SP + dst_sp, in the canonical
+/// order; `recv[s]` lists the local indices (destination layout) where
+/// values arriving from source rank s land, in matching order. Both sides
+/// derive the plan independently — no metadata travels with the data,
+/// mirroring the paper's redistribution-free round-robin design.
+struct ReshardPlan {
+  std::vector<std::vector<std::int64_t>> send;
+  std::vector<std::vector<std::int64_t>> recv;
+};
+
+ReshardPlan make_reshard_plan(const WindowLayout& from, const WindowLayout& to,
+                              int my_wp, int my_sp);
+
+}  // namespace aeris::swipe

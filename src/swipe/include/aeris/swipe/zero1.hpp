@@ -1,0 +1,37 @@
+#pragma once
+
+#include "aeris/nn/optimizer.hpp"
+#include "aeris/swipe/comm.hpp"
+
+namespace aeris::swipe {
+
+/// ZeRO-1-like distributed optimizer (paper §VI-C: "a Zero1-like
+/// distributed optimizer ... designed using custom-built modules").
+///
+/// Optimizer state (AdamW moments) for a stage's parameters is sharded
+/// across the stage's replica group: gradients are allreduced (summed and
+/// scaled by the caller), each rank applies the AdamW update only to its
+/// contiguous parameter-range shard, and updated values are re-broadcast
+/// so every replica holds identical parameters. State memory per rank
+/// drops by the group size — the ZeRO-1 claim.
+class Zero1Optimizer {
+ public:
+  Zero1Optimizer(nn::ParamList params, nn::AdamW::Options opts = {});
+
+  /// Collective over `group`: allreduce-average gradients with
+  /// `grad_scale` (e.g. 1 / (DP * microbatches)), update my shard, then
+  /// allgather parameter values. Every group member must call this.
+  void step(Communicator& group, float lr, float grad_scale);
+
+  /// This rank's parameter shard [begin, end) for a group of `size`.
+  static std::pair<std::size_t, std::size_t> shard_range(
+      std::size_t num_params, int group_size, int group_rank);
+
+  nn::AdamW& inner() { return opt_; }
+
+ private:
+  nn::ParamList params_;
+  nn::AdamW opt_;
+};
+
+}  // namespace aeris::swipe

@@ -1,0 +1,254 @@
+#include "aeris/swipe/comm.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <thread>
+
+namespace aeris::swipe {
+
+World::World(int nranks) : nranks_(nranks), rank_bytes_(nranks) {
+  if (nranks <= 0) throw std::invalid_argument("World: nranks must be > 0");
+  mailboxes_.reserve(static_cast<std::size_t>(nranks));
+  for (int i = 0; i < nranks; ++i) {
+    mailboxes_.push_back(std::make_unique<Mailbox>());
+  }
+  reset_counters();
+}
+
+void World::send(int src, int dst, std::uint64_t tag,
+                 std::vector<float> payload, Traffic traffic) {
+  if (dst < 0 || dst >= nranks_ || src < 0 || src >= nranks_) {
+    throw std::invalid_argument("send: rank out of range");
+  }
+  rank_bytes_[static_cast<std::size_t>(src)][static_cast<int>(traffic)] +=
+      static_cast<std::int64_t>(payload.size() * sizeof(float));
+  Mailbox& box = *mailboxes_[static_cast<std::size_t>(dst)];
+  {
+    std::lock_guard<std::mutex> lock(box.mutex);
+    box.queues[{src, tag}].push_back(std::move(payload));
+  }
+  box.cv.notify_all();
+}
+
+std::vector<float> World::recv(int dst, int src, std::uint64_t tag) {
+  Mailbox& box = *mailboxes_[static_cast<std::size_t>(dst)];
+  std::unique_lock<std::mutex> lock(box.mutex);
+  const auto key = std::make_pair(src, tag);
+  box.cv.wait(lock, [&] {
+    auto it = box.queues.find(key);
+    return it != box.queues.end() && !it->second.empty();
+  });
+  auto it = box.queues.find(key);
+  std::vector<float> payload = std::move(it->second.front());
+  it->second.pop_front();
+  if (it->second.empty()) box.queues.erase(it);
+  return payload;
+}
+
+std::int64_t World::bytes(Traffic t) const {
+  std::int64_t total = 0;
+  for (const auto& per_rank : rank_bytes_) {
+    total += per_rank[static_cast<int>(t)].load();
+  }
+  return total;
+}
+
+std::int64_t World::rank_bytes(int rank, Traffic t) const {
+  return rank_bytes_[static_cast<std::size_t>(rank)][static_cast<int>(t)]
+      .load();
+}
+
+void World::reset_counters() {
+  for (auto& per_rank : rank_bytes_) {
+    for (auto& c : per_rank) c.store(0);
+  }
+}
+
+void World::run(const std::function<void(int)>& fn) {
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(nranks_));
+  std::exception_ptr error;
+  std::mutex error_mutex;
+  for (int r = 0; r < nranks_; ++r) {
+    threads.emplace_back([&, r] {
+      try {
+        fn(r);
+      } catch (const std::exception& e) {
+        if (getenv("AERIS_TRACE")) {
+          fprintf(stderr, "[world] rank %d threw: %s\n", r, e.what());
+        }
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (!error) error = std::current_exception();
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (!error) error = std::current_exception();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  if (error) std::rethrow_exception(error);
+}
+
+Communicator::Communicator(World& world, std::vector<int> members,
+                           int my_world_rank, std::uint64_t group_tag)
+    : world_(world), members_(std::move(members)), group_tag_(group_tag) {
+  for (std::size_t i = 0; i < members_.size(); ++i) {
+    if (members_[i] == my_world_rank) my_rank_ = static_cast<int>(i);
+  }
+  if (my_rank_ < 0) {
+    throw std::invalid_argument("Communicator: caller not in member list");
+  }
+}
+
+void Communicator::send(int dst, std::uint64_t tag, std::vector<float> payload,
+                        Traffic traffic) {
+  world_.send(world_rank(rank()), world_rank(dst), tagged(tag),
+              std::move(payload), traffic);
+}
+
+std::vector<float> Communicator::recv(int src, std::uint64_t tag) {
+  return world_.recv(world_rank(rank()), world_rank(src), tagged(tag));
+}
+
+std::vector<float> Communicator::broadcast(int root,
+                                           std::vector<float> payload) {
+  const std::uint64_t tag = collective_epoch_++;
+  if (rank() == root) {
+    for (int r = 0; r < size(); ++r) {
+      if (r != root) send(r, tag, payload, Traffic::kBroadcast);
+    }
+    return payload;
+  }
+  return recv(root, tag);
+}
+
+void Communicator::allreduce_sum(std::span<float> data) {
+  const int r = size();
+  if (r == 1) return;
+  const std::int64_t n = static_cast<std::int64_t>(data.size());
+  auto chunk_begin = [&](int c) { return (n * c) / r; };
+
+  const int me = rank();
+  const int next = (me + 1) % r;
+  const int prev = (me + r - 1) % r;
+
+  // Reduce-scatter phase: after r-1 steps, rank me owns the fully reduced
+  // chunk (me + 1) % r.
+  for (int step = 0; step < r - 1; ++step) {
+    const int send_chunk = (me - step + r) % r;
+    const int recv_chunk = (me - step - 1 + r) % r;
+    const std::int64_t sb = chunk_begin(send_chunk);
+    const std::int64_t se = chunk_begin(send_chunk + 1);
+    const std::uint64_t tag = collective_epoch_++;
+    send(next, tag, std::vector<float>(data.begin() + sb, data.begin() + se),
+         Traffic::kAllReduce);
+    std::vector<float> in = recv(prev, tag);
+    const std::int64_t rb = chunk_begin(recv_chunk);
+    for (std::size_t i = 0; i < in.size(); ++i) {
+      data[static_cast<std::size_t>(rb) + i] += in[i];
+    }
+  }
+  // Allgather phase: circulate the reduced chunks.
+  for (int step = 0; step < r - 1; ++step) {
+    const int send_chunk = (me + 1 - step + r) % r;
+    const int recv_chunk = (me - step + r) % r;
+    const std::int64_t sb = chunk_begin(send_chunk);
+    const std::int64_t se = chunk_begin(send_chunk + 1);
+    const std::uint64_t tag = collective_epoch_++;
+    send(next, tag, std::vector<float>(data.begin() + sb, data.begin() + se),
+         Traffic::kAllReduce);
+    std::vector<float> in = recv(prev, tag);
+    const std::int64_t rb = chunk_begin(recv_chunk);
+    std::copy(in.begin(), in.end(),
+              data.begin() + static_cast<std::ptrdiff_t>(rb));
+  }
+}
+
+std::vector<float> Communicator::allgather(std::span<const float> mine) {
+  const std::uint64_t tag = collective_epoch_++;
+  std::vector<float> out(mine.size() * static_cast<std::size_t>(size()));
+  for (int r = 0; r < size(); ++r) {
+    if (r != rank()) {
+      send(r, tag, std::vector<float>(mine.begin(), mine.end()),
+           Traffic::kAllGather);
+    }
+  }
+  std::copy(mine.begin(), mine.end(),
+            out.begin() + static_cast<std::ptrdiff_t>(
+                              mine.size() * static_cast<std::size_t>(rank())));
+  for (int r = 0; r < size(); ++r) {
+    if (r == rank()) continue;
+    std::vector<float> in = recv(r, tag);
+    if (in.size() != mine.size()) {
+      throw std::runtime_error("allgather: unequal contributions");
+    }
+    std::copy(in.begin(), in.end(),
+              out.begin() + static_cast<std::ptrdiff_t>(
+                                in.size() * static_cast<std::size_t>(r)));
+  }
+  return out;
+}
+
+std::vector<std::vector<float>> Communicator::alltoall(
+    std::vector<std::vector<float>> send_bufs) {
+  if (static_cast<int>(send_bufs.size()) != size()) {
+    throw std::invalid_argument("alltoall: need one buffer per rank");
+  }
+  const std::uint64_t tag = collective_epoch_++;
+  std::vector<std::vector<float>> out(static_cast<std::size_t>(size()));
+  for (int r = 0; r < size(); ++r) {
+    if (r == rank()) {
+      out[static_cast<std::size_t>(r)] =
+          std::move(send_bufs[static_cast<std::size_t>(r)]);
+    } else {
+      send(r, tag, std::move(send_bufs[static_cast<std::size_t>(r)]),
+           Traffic::kAllToAll);
+    }
+  }
+  for (int r = 0; r < size(); ++r) {
+    if (r != rank()) out[static_cast<std::size_t>(r)] = recv(r, tag);
+  }
+  return out;
+}
+
+std::vector<float> Communicator::reduce_scatter_sum(
+    std::span<const float> data) {
+  const int r = size();
+  const std::int64_t n = static_cast<std::int64_t>(data.size());
+  auto chunk_begin = [&](int c) { return (n * c) / r; };
+  const std::uint64_t tag = collective_epoch_++;
+  // Pairwise: send each peer its chunk of my data, sum received chunks.
+  for (int peer = 0; peer < r; ++peer) {
+    if (peer == rank()) continue;
+    const std::int64_t b = chunk_begin(peer);
+    const std::int64_t e = chunk_begin(peer + 1);
+    send(peer, tag,
+         std::vector<float>(data.begin() + b, data.begin() + e),
+         Traffic::kReduceScatter);
+  }
+  const std::int64_t mb = chunk_begin(rank());
+  const std::int64_t me_end = chunk_begin(rank() + 1);
+  std::vector<float> out(data.begin() + mb, data.begin() + me_end);
+  for (int peer = 0; peer < r; ++peer) {
+    if (peer == rank()) continue;
+    std::vector<float> in = recv(peer, tag);
+    for (std::size_t i = 0; i < in.size(); ++i) out[i] += in[i];
+  }
+  return out;
+}
+
+void Communicator::barrier() {
+  const std::uint64_t tag = collective_epoch_++;
+  // All-to-root-and-back.
+  if (rank() == 0) {
+    for (int r = 1; r < size(); ++r) recv(r, tag);
+    for (int r = 1; r < size(); ++r) send(r, tag, {}, Traffic::kP2P);
+  } else {
+    send(0, tag, {}, Traffic::kP2P);
+    recv(0, tag);
+  }
+}
+
+}  // namespace aeris::swipe

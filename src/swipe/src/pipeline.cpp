@@ -1,0 +1,45 @@
+#include "aeris/swipe/pipeline.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace aeris::swipe {
+
+std::vector<PipelineOp> one_f_one_b_schedule(int stages, int stage,
+                                             int microbatches) {
+  if (stages <= 0 || stage < 0 || stage >= stages || microbatches <= 0) {
+    throw std::invalid_argument("one_f_one_b_schedule: bad arguments");
+  }
+  std::vector<PipelineOp> ops;
+  ops.reserve(static_cast<std::size_t>(2 * microbatches));
+  const int warmup = std::min(stages - stage, microbatches);
+  int next_f = 0;
+  int next_b = 0;
+  for (int i = 0; i < warmup; ++i) {
+    ops.push_back({PipelineOp::Kind::kForward, next_f++});
+  }
+  // Steady state: alternate B/F until forwards are exhausted.
+  while (next_f < microbatches) {
+    ops.push_back({PipelineOp::Kind::kBackward, next_b++});
+    ops.push_back({PipelineOp::Kind::kForward, next_f++});
+  }
+  // Drain remaining backwards.
+  while (next_b < microbatches) {
+    ops.push_back({PipelineOp::Kind::kBackward, next_b++});
+  }
+  return ops;
+}
+
+int peak_in_flight(int stages, int stage, int microbatches) {
+  return std::min(stages - stage, microbatches);
+}
+
+double bubble_fraction(int stages, int microbatches) {
+  if (stages <= 0 || microbatches <= 0) {
+    throw std::invalid_argument("bubble_fraction: bad arguments");
+  }
+  return static_cast<double>(stages - 1) /
+         static_cast<double>(microbatches + stages - 1);
+}
+
+}  // namespace aeris::swipe

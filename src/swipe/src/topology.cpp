@@ -1,0 +1,98 @@
+#include "aeris/swipe/topology.hpp"
+
+#include <stdexcept>
+
+namespace aeris::swipe {
+
+int rank_of(const SwipeGrid& g, const RankCoords& c) {
+  return ((c.dp * g.pp + c.pp) * g.wp() + c.wp) * g.sp + c.sp;
+}
+
+RankCoords coords_of(const SwipeGrid& g, int rank) {
+  RankCoords c;
+  c.sp = rank % g.sp;
+  rank /= g.sp;
+  c.wp = rank % g.wp();
+  rank /= g.wp();
+  c.pp = rank % g.pp;
+  rank /= g.pp;
+  c.dp = rank;
+  return c;
+}
+
+Topology::Topology(World& world, const SwipeGrid& grid, int my_rank)
+    : world_(world), grid_(grid), my_rank_(my_rank),
+      coords_(coords_of(grid, my_rank)) {
+  if (world.size() != grid.world_size()) {
+    throw std::invalid_argument("Topology: world size != grid size");
+  }
+  if (my_rank < 0 || my_rank >= world.size()) {
+    throw std::invalid_argument("Topology: rank out of range");
+  }
+}
+
+Communicator Topology::sp_group() {
+  std::vector<int> members;
+  members.reserve(static_cast<std::size_t>(grid_.sp));
+  for (int s = 0; s < grid_.sp; ++s) {
+    members.push_back(
+        rank_of(grid_, {coords_.dp, coords_.pp, coords_.wp, s}));
+  }
+  const std::uint64_t tag =
+      1'000'000 + static_cast<std::uint64_t>(
+                      (coords_.dp * grid_.pp + coords_.pp) * grid_.wp() +
+                      coords_.wp);
+  return Communicator(world_, std::move(members), my_rank_, tag);
+}
+
+Communicator Topology::wp_group() {
+  std::vector<int> members;
+  members.reserve(static_cast<std::size_t>(grid_.wp()));
+  for (int w = 0; w < grid_.wp(); ++w) {
+    members.push_back(
+        rank_of(grid_, {coords_.dp, coords_.pp, w, coords_.sp}));
+  }
+  const std::uint64_t tag =
+      2'000'000 + static_cast<std::uint64_t>(
+                      (coords_.dp * grid_.pp + coords_.pp) * grid_.sp +
+                      coords_.sp);
+  return Communicator(world_, std::move(members), my_rank_, tag);
+}
+
+Communicator Topology::stage_group() {
+  std::vector<int> members;
+  members.reserve(static_cast<std::size_t>(grid_.wp() * grid_.sp));
+  for (int w = 0; w < grid_.wp(); ++w) {
+    for (int s = 0; s < grid_.sp; ++s) {
+      members.push_back(rank_of(grid_, {coords_.dp, coords_.pp, w, s}));
+    }
+  }
+  const std::uint64_t tag =
+      3'000'000 +
+      static_cast<std::uint64_t>(coords_.dp * grid_.pp + coords_.pp);
+  return Communicator(world_, std::move(members), my_rank_, tag);
+}
+
+Communicator Topology::replica_group() {
+  std::vector<int> members;
+  members.reserve(
+      static_cast<std::size_t>(grid_.dp * grid_.wp() * grid_.sp));
+  for (int d = 0; d < grid_.dp; ++d) {
+    for (int w = 0; w < grid_.wp(); ++w) {
+      for (int s = 0; s < grid_.sp; ++s) {
+        members.push_back(rank_of(grid_, {d, coords_.pp, w, s}));
+      }
+    }
+  }
+  const std::uint64_t tag = 4'000'000 + static_cast<std::uint64_t>(coords_.pp);
+  return Communicator(world_, std::move(members), my_rank_, tag);
+}
+
+int Topology::pp_peer(int pp_stage) const {
+  if (pp_stage < 0 || pp_stage >= grid_.pp) {
+    throw std::invalid_argument("pp_peer: stage out of range");
+  }
+  return rank_of(grid_, {coords_.dp, pp_stage, coords_.wp, coords_.sp});
+}
+
+}  // namespace aeris::swipe

@@ -1,0 +1,246 @@
+#include "aeris/swipe/ulysses.hpp"
+
+#include <stdexcept>
+
+#include "aeris/nn/rope.hpp"
+#include "aeris/tensor/ops.hpp"
+
+namespace aeris::swipe {
+namespace {
+
+/// Coordinates of the SP chunk's tokens in window-local geometry.
+Tensor chunk_coords(std::int64_t win_h, std::int64_t win_w, std::int64_t chunk,
+                    std::int64_t sp_rank) {
+  Tensor coords({chunk, 2});
+  for (std::int64_t i = 0; i < chunk; ++i) {
+    const std::int64_t t = sp_rank * chunk + i;
+    coords.at2(i, 0) = static_cast<float>(t / win_w);
+    coords.at2(i, 1) = static_cast<float>(t % win_w);
+  }
+  return coords;
+}
+
+}  // namespace
+
+UlyssesAttention::UlyssesAttention(std::string name, std::int64_t dim,
+                                   std::int64_t heads, std::int64_t win_h,
+                                   std::int64_t win_w, float rope_base)
+    : dim_(dim),
+      heads_(heads),
+      win_h_(win_h),
+      win_w_(win_w),
+      qkv_(name + ".qkv", dim, 3 * dim, /*bias=*/true),
+      proj_(name + ".proj", dim, dim, /*bias=*/true),
+      rope_(dim / heads, rope_base) {
+  if (dim % heads != 0) throw std::invalid_argument("Ulysses: dim % heads");
+}
+
+void UlyssesAttention::init(const Philox& rng, std::uint64_t index) {
+  qkv_.init(rng, index * 4 + 0);
+  proj_.init(rng, index * 4 + 1);
+}
+
+Tensor UlyssesAttention::forward(Communicator& sp, const Tensor& x_local) {
+  const std::int64_t spn = sp.size();
+  const std::int64_t t_all = tokens();
+  const std::int64_t chunk = t_all / spn;
+  if (heads_ % spn != 0) {
+    throw std::invalid_argument("Ulysses: heads % SP != 0");
+  }
+  if (x_local.ndim() != 3 || x_local.dim(1) != chunk ||
+      x_local.dim(2) != dim_) {
+    throw std::invalid_argument("Ulysses: expected [n_win, T/SP, dim], got " +
+                                shape_to_string(x_local.shape()));
+  }
+  sp_size_ = spn;
+  sp_rank_ = sp.rank();
+  const std::int64_t nwin = x_local.dim(0);
+  const std::int64_t dh = dim_ / heads_;
+  const std::int64_t hp = heads_ / spn;  // heads per rank
+
+  // Token-local projection + RoPE on this chunk's coordinates.
+  Tensor qkv = qkv_.forward(x_local);  // [n_win, chunk, 3C]
+  Tensor q = slice(qkv, 2, 0, dim_);
+  Tensor k = slice(qkv, 2, dim_, 2 * dim_);
+  Tensor v = slice(qkv, 2, 2 * dim_, 3 * dim_);
+  const Tensor coords = chunk_coords(win_h_, win_w_, chunk, sp_rank_);
+  rope_.apply(q, heads_, coords);
+  rope_.apply(k, heads_, coords);
+
+  // First alltoall: token-sharded/head-complete -> token-complete/
+  // head-sharded. Message to rank d carries, for each (window, token),
+  // q|k|v of d's head block: 3 * hp * dh floats.
+  const std::int64_t blk = hp * dh;
+  std::vector<std::vector<float>> sendbufs(static_cast<std::size_t>(spn));
+  for (std::int64_t d = 0; d < spn; ++d) {
+    auto& buf = sendbufs[static_cast<std::size_t>(d)];
+    buf.reserve(static_cast<std::size_t>(nwin * chunk * 3 * blk));
+    for (std::int64_t w = 0; w < nwin; ++w) {
+      for (std::int64_t tok = 0; tok < chunk; ++tok) {
+        const std::int64_t off = (w * chunk + tok) * dim_ + d * blk;
+        buf.insert(buf.end(), q.data() + off, q.data() + off + blk);
+        buf.insert(buf.end(), k.data() + off, k.data() + off + blk);
+        buf.insert(buf.end(), v.data() + off, v.data() + off + blk);
+      }
+    }
+  }
+  auto recvbufs = sp.alltoall(std::move(sendbufs));
+
+  q_full_ = Tensor({nwin, t_all, blk});
+  k_full_ = Tensor({nwin, t_all, blk});
+  v_full_ = Tensor({nwin, t_all, blk});
+  for (std::int64_t s = 0; s < spn; ++s) {
+    const auto& buf = recvbufs[static_cast<std::size_t>(s)];
+    std::size_t p = 0;
+    for (std::int64_t w = 0; w < nwin; ++w) {
+      for (std::int64_t tok = 0; tok < chunk; ++tok) {
+        const std::int64_t gt = s * chunk + tok;
+        const std::int64_t off = (w * t_all + gt) * blk;
+        std::copy_n(buf.begin() + static_cast<std::ptrdiff_t>(p), blk,
+                    q_full_.data() + off);
+        p += static_cast<std::size_t>(blk);
+        std::copy_n(buf.begin() + static_cast<std::ptrdiff_t>(p), blk,
+                    k_full_.data() + off);
+        p += static_cast<std::size_t>(blk);
+        std::copy_n(buf.begin() + static_cast<std::ptrdiff_t>(p), blk,
+                    v_full_.data() + off);
+        p += static_cast<std::size_t>(blk);
+      }
+    }
+  }
+
+  Tensor out_full =
+      nn::attention_core_forward(q_full_, k_full_, v_full_, hp, &probs_);
+
+  // Second alltoall: back to token-sharded/head-complete.
+  std::vector<std::vector<float>> outbufs(static_cast<std::size_t>(spn));
+  for (std::int64_t d = 0; d < spn; ++d) {
+    auto& buf = outbufs[static_cast<std::size_t>(d)];
+    buf.reserve(static_cast<std::size_t>(nwin * chunk * blk));
+    for (std::int64_t w = 0; w < nwin; ++w) {
+      for (std::int64_t tok = 0; tok < chunk; ++tok) {
+        const std::int64_t gt = d * chunk + tok;
+        const std::int64_t off = (w * t_all + gt) * blk;
+        buf.insert(buf.end(), out_full.data() + off,
+                   out_full.data() + off + blk);
+      }
+    }
+  }
+  auto backbufs = sp.alltoall(std::move(outbufs));
+
+  Tensor attn_local({nwin, chunk, dim_});
+  for (std::int64_t s = 0; s < spn; ++s) {
+    const auto& buf = backbufs[static_cast<std::size_t>(s)];
+    std::size_t p = 0;
+    for (std::int64_t w = 0; w < nwin; ++w) {
+      for (std::int64_t tok = 0; tok < chunk; ++tok) {
+        std::copy_n(buf.begin() + static_cast<std::ptrdiff_t>(p), blk,
+                    attn_local.data() + (w * chunk + tok) * dim_ + s * blk);
+        p += static_cast<std::size_t>(blk);
+      }
+    }
+  }
+  return proj_.forward(attn_local);
+}
+
+Tensor UlyssesAttention::backward(Communicator& sp, const Tensor& dy_local) {
+  if (q_full_.empty()) throw std::logic_error("Ulysses: backward before forward");
+  const std::int64_t spn = sp_size_;
+  const std::int64_t t_all = tokens();
+  const std::int64_t chunk = t_all / spn;
+  const std::int64_t nwin = q_full_.dim(0);
+  const std::int64_t dh = dim_ / heads_;
+  const std::int64_t hp = heads_ / spn;
+  const std::int64_t blk = hp * dh;
+
+  Tensor dattn_local = proj_.backward(dy_local);  // [n_win, chunk, dim]
+
+  // Mirror of the second alltoall: scatter my token chunk's head blocks
+  // back to the head owners.
+  std::vector<std::vector<float>> sendbufs(static_cast<std::size_t>(spn));
+  for (std::int64_t d = 0; d < spn; ++d) {
+    auto& buf = sendbufs[static_cast<std::size_t>(d)];
+    buf.reserve(static_cast<std::size_t>(nwin * chunk * blk));
+    for (std::int64_t w = 0; w < nwin; ++w) {
+      for (std::int64_t tok = 0; tok < chunk; ++tok) {
+        const std::int64_t off = (w * chunk + tok) * dim_ + d * blk;
+        buf.insert(buf.end(), dattn_local.data() + off,
+                   dattn_local.data() + off + blk);
+      }
+    }
+  }
+  auto recvbufs = sp.alltoall(std::move(sendbufs));
+
+  Tensor dout_full({nwin, t_all, blk});
+  for (std::int64_t s = 0; s < spn; ++s) {
+    const auto& buf = recvbufs[static_cast<std::size_t>(s)];
+    std::size_t p = 0;
+    for (std::int64_t w = 0; w < nwin; ++w) {
+      for (std::int64_t tok = 0; tok < chunk; ++tok) {
+        const std::int64_t gt = s * chunk + tok;
+        std::copy_n(buf.begin() + static_cast<std::ptrdiff_t>(p), blk,
+                    dout_full.data() + (w * t_all + gt) * blk);
+        p += static_cast<std::size_t>(blk);
+      }
+    }
+  }
+
+  Tensor dq_full, dk_full, dv_full;
+  nn::attention_core_backward(q_full_, k_full_, v_full_, probs_, dout_full, hp,
+                              dq_full, dk_full, dv_full);
+
+  // Mirror of the first alltoall: return each token chunk's (dq,dk,dv) to
+  // the token owner.
+  std::vector<std::vector<float>> backbufs(static_cast<std::size_t>(spn));
+  for (std::int64_t d = 0; d < spn; ++d) {
+    auto& buf = backbufs[static_cast<std::size_t>(d)];
+    buf.reserve(static_cast<std::size_t>(nwin * chunk * 3 * blk));
+    for (std::int64_t w = 0; w < nwin; ++w) {
+      for (std::int64_t tok = 0; tok < chunk; ++tok) {
+        const std::int64_t gt = d * chunk + tok;
+        const std::int64_t off = (w * t_all + gt) * blk;
+        buf.insert(buf.end(), dq_full.data() + off, dq_full.data() + off + blk);
+        buf.insert(buf.end(), dk_full.data() + off, dk_full.data() + off + blk);
+        buf.insert(buf.end(), dv_full.data() + off, dv_full.data() + off + blk);
+      }
+    }
+  }
+  auto grads = sp.alltoall(std::move(backbufs));
+
+  Tensor dq({nwin, chunk, dim_});
+  Tensor dk({nwin, chunk, dim_});
+  Tensor dv({nwin, chunk, dim_});
+  for (std::int64_t s = 0; s < spn; ++s) {
+    const auto& buf = grads[static_cast<std::size_t>(s)];
+    std::size_t p = 0;
+    for (std::int64_t w = 0; w < nwin; ++w) {
+      for (std::int64_t tok = 0; tok < chunk; ++tok) {
+        const std::int64_t off = (w * chunk + tok) * dim_ + s * blk;
+        std::copy_n(buf.begin() + static_cast<std::ptrdiff_t>(p), blk,
+                    dq.data() + off);
+        p += static_cast<std::size_t>(blk);
+        std::copy_n(buf.begin() + static_cast<std::ptrdiff_t>(p), blk,
+                    dk.data() + off);
+        p += static_cast<std::size_t>(blk);
+        std::copy_n(buf.begin() + static_cast<std::ptrdiff_t>(p), blk,
+                    dv.data() + off);
+        p += static_cast<std::size_t>(blk);
+      }
+    }
+  }
+
+  const Tensor coords = chunk_coords(win_h_, win_w_, chunk, sp_rank_);
+  rope_.apply(dq, heads_, coords, /*inverse=*/true);
+  rope_.apply(dk, heads_, coords, /*inverse=*/true);
+
+  const Tensor* parts[] = {&dq, &dk, &dv};
+  Tensor dqkv = concat(std::span<const Tensor* const>(parts, 3), 2);
+  return qkv_.backward(dqkv);
+}
+
+void UlyssesAttention::collect_params(nn::ParamList& out) {
+  qkv_.collect_params(out);
+  proj_.collect_params(out);
+}
+
+}  // namespace aeris::swipe

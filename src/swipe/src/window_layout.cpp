@@ -1,0 +1,123 @@
+#include "aeris/swipe/window_layout.hpp"
+
+#include <stdexcept>
+
+namespace aeris::swipe {
+
+WindowLayout::WindowLayout(std::int64_t h, std::int64_t w, std::int64_t win_h,
+                           std::int64_t win_w, int wp_a, int wp_b, int sp,
+                           std::int64_t shift)
+    : h_(h), w_(w), win_h_(win_h), win_w_(win_w), wp_a_(wp_a), wp_b_(wp_b),
+      sp_(sp), shift_(((shift % h) + h) % h) {
+  if (h % win_h != 0 || w % win_w != 0) {
+    throw std::invalid_argument("WindowLayout: windows must tile the grid");
+  }
+  if ((win_h * win_w) % sp != 0) {
+    throw std::invalid_argument("WindowLayout: SP must divide window tokens");
+  }
+  if (wp_a <= 0 || wp_b <= 0 || sp <= 0) {
+    throw std::invalid_argument("WindowLayout: degrees must be positive");
+  }
+}
+
+int WindowLayout::wp_of_window(std::int64_t wy, std::int64_t wx) const {
+  return static_cast<int>((wy % wp_a_) * wp_b_ + (wx % wp_b_));
+}
+
+std::vector<std::pair<std::int64_t, std::int64_t>> WindowLayout::windows_of(
+    int wp) const {
+  std::vector<std::pair<std::int64_t, std::int64_t>> out;
+  for (std::int64_t wy = 0; wy < windows_y(); ++wy) {
+    for (std::int64_t wx = 0; wx < windows_x(); ++wx) {
+      if (wp_of_window(wy, wx) == wp) out.emplace_back(wy, wx);
+    }
+  }
+  return out;
+}
+
+std::int64_t WindowLayout::local_window_count(int wp) const {
+  const int a = wp / wp_b_;
+  const int b = wp % wp_b_;
+  // Count windows wy ≡ a (mod A), wx ≡ b (mod B).
+  const std::int64_t ny =
+      (windows_y() - a + wp_a_ - 1) / wp_a_;
+  const std::int64_t nx =
+      (windows_x() - b + wp_b_ - 1) / wp_b_;
+  return ny * nx;
+}
+
+WindowLayout::Owner WindowLayout::owner_of(std::int64_t r,
+                                           std::int64_t c) const {
+  // Rolled position of the token under the layer's cyclic shift.
+  const std::int64_t pr = ((r - shift_) % h_ + h_) % h_;
+  const std::int64_t pc = ((c - shift_) % w_ + w_) % w_;
+  const std::int64_t wy = pr / win_h_;
+  const std::int64_t wx = pc / win_w_;
+  const std::int64_t tok = (pr % win_h_) * win_w_ + (pc % win_w_);
+
+  Owner o;
+  o.wp = wp_of_window(wy, wx);
+  const std::int64_t chunk = sp_chunk();
+  o.sp = static_cast<int>(tok / chunk);
+
+  // Local window index: rank (wy/A, wx/B) in the owner's window list,
+  // which is ordered by (wy, wx).
+  const int b = o.wp % wp_b_;
+  const std::int64_t nx = (windows_x() - b + wp_b_ - 1) / wp_b_;
+  const std::int64_t lw = (wy / wp_a_) * nx + (wx / wp_b_);
+  o.local_idx = lw * chunk + (tok % chunk);
+  return o;
+}
+
+std::vector<TokenRef> WindowLayout::tokens_of(int wp, int sp) const {
+  std::vector<TokenRef> out;
+  out.reserve(static_cast<std::size_t>(local_tokens(wp)));
+  const std::int64_t chunk = sp_chunk();
+  for (const auto& [wy, wx] : windows_of(wp)) {
+    for (std::int64_t t = sp * chunk; t < (sp + 1) * chunk; ++t) {
+      const std::int64_t pr = wy * win_h_ + t / win_w_;
+      const std::int64_t pc = wx * win_w_ + t % win_w_;
+      // Un-roll back to original coordinates.
+      out.push_back({(pr + shift_) % h_, (pc + shift_) % w_});
+    }
+  }
+  return out;
+}
+
+ReshardPlan make_reshard_plan(const WindowLayout& from, const WindowLayout& to,
+                              int my_wp, int my_sp) {
+  if (from.h() != to.h() || from.w() != to.w() || from.wp() != to.wp() ||
+      from.sp() != to.sp()) {
+    throw std::invalid_argument("make_reshard_plan: incompatible layouts");
+  }
+  const int nranks = from.wp() * from.sp();
+  ReshardPlan plan;
+  plan.send.resize(static_cast<std::size_t>(nranks));
+  plan.recv.resize(static_cast<std::size_t>(nranks));
+
+  // Sends: walk my source-layout tokens in local order; each goes to its
+  // destination-layout owner.
+  const std::vector<TokenRef> mine = from.tokens_of(my_wp, my_sp);
+  for (std::int64_t i = 0; i < static_cast<std::int64_t>(mine.size()); ++i) {
+    const auto o = to.owner_of(mine[static_cast<std::size_t>(i)].r,
+                               mine[static_cast<std::size_t>(i)].c);
+    plan.send[static_cast<std::size_t>(o.wp * from.sp() + o.sp)].push_back(i);
+  }
+
+  // Receives: walk every source rank's token list in the same canonical
+  // order and record where tokens destined for me land locally.
+  for (int swp = 0; swp < from.wp(); ++swp) {
+    for (int ssp = 0; ssp < from.sp(); ++ssp) {
+      const int src = swp * from.sp() + ssp;
+      for (const TokenRef& t : from.tokens_of(swp, ssp)) {
+        const auto o = to.owner_of(t.r, t.c);
+        if (o.wp == my_wp && o.sp == my_sp) {
+          plan.recv[static_cast<std::size_t>(src)].push_back(o.local_idx);
+        }
+      }
+    }
+  }
+  return plan;
+}
+
+}  // namespace aeris::swipe

@@ -1,0 +1,59 @@
+#include "aeris/swipe/zero1.hpp"
+
+#include <stdexcept>
+
+namespace aeris::swipe {
+
+Zero1Optimizer::Zero1Optimizer(nn::ParamList params, nn::AdamW::Options opts)
+    : params_(std::move(params)), opt_(params_, opts) {}
+
+std::pair<std::size_t, std::size_t> Zero1Optimizer::shard_range(
+    std::size_t num_params, int group_size, int group_rank) {
+  if (group_size <= 0 || group_rank < 0 || group_rank >= group_size) {
+    throw std::invalid_argument("shard_range: bad group");
+  }
+  const std::size_t g = static_cast<std::size_t>(group_size);
+  const std::size_t r = static_cast<std::size_t>(group_rank);
+  return {num_params * r / g, num_params * (r + 1) / g};
+}
+
+void Zero1Optimizer::step(Communicator& group, float lr, float grad_scale) {
+  // 1. Gradient synchronization: sum across the replica group, then scale.
+  //    (The paper's "gradient reductions ... maintained in FP32".)
+  std::vector<float> flat = nn::flatten_grads(params_);
+  group.allreduce_sum(flat);
+  std::size_t off = 0;
+  for (nn::Param* p : params_) {
+    for (std::int64_t j = 0; j < p->numel(); ++j) {
+      p->grad[j] = flat[off + static_cast<std::size_t>(j)] * grad_scale;
+    }
+    off += static_cast<std::size_t>(p->numel());
+  }
+
+  // 2. Each rank owns a contiguous shard of the parameter list and holds
+  //    optimizer state only for it (state for other shards is never
+  //    touched — ZeRO-1 memory behaviour).
+  const auto [begin, end] =
+      shard_range(params_.size(), group.size(), group.rank());
+  opt_.step_shard(lr, begin, end);
+
+  // 3. Re-distribute updated values: each shard owner broadcasts its
+  //    shard (allgather-v over parameter boundaries).
+  for (int r = 0; r < group.size(); ++r) {
+    const auto [b, e] = shard_range(params_.size(), group.size(), r);
+    for (std::size_t i = b; i < e; ++i) {
+      std::vector<float> values;
+      if (r == group.rank()) {
+        values.assign(params_[i]->value.flat().begin(),
+                      params_[i]->value.flat().end());
+      }
+      values = group.broadcast(r, std::move(values));
+      if (r != group.rank()) {
+        std::copy(values.begin(), values.end(),
+                  params_[i]->value.flat().begin());
+      }
+    }
+  }
+}
+
+}  // namespace aeris::swipe

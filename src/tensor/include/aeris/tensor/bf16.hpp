@@ -1,0 +1,51 @@
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+
+namespace aeris {
+
+/// Software-emulated bfloat16 storage type.
+///
+/// AERIS runs all compute-intensive kernels in BF16 while keeping
+/// embeddings, master weights, gradients and reductions in FP32
+/// (paper §V-A "Mixed precision"). On hardware without native BF16 we
+/// emulate the *storage* format: 1 sign bit, 8 exponent bits, 7 mantissa
+/// bits — i.e. the upper half of an IEEE-754 binary32 — with
+/// round-to-nearest-even on conversion. Arithmetic is performed by
+/// widening to float, exactly as GPU tensor cores accumulate in FP32.
+struct bf16_t {
+  std::uint16_t bits = 0;
+
+  bf16_t() = default;
+
+  explicit bf16_t(float f) { bits = round_from_float(f); }
+
+  /// Widen to binary32 by appending 16 zero mantissa bits.
+  float to_float() const {
+    std::uint32_t u = static_cast<std::uint32_t>(bits) << 16;
+    float f;
+    std::memcpy(&f, &u, sizeof(f));
+    return f;
+  }
+
+  explicit operator float() const { return to_float(); }
+
+  /// Round-to-nearest-even truncation of a binary32 to bfloat16 bits.
+  static std::uint16_t round_from_float(float f) {
+    std::uint32_t u;
+    std::memcpy(&u, &f, sizeof(u));
+    // NaN: preserve a quiet NaN rather than rounding into infinity.
+    if ((u & 0x7fffffffu) > 0x7f800000u) {
+      return static_cast<std::uint16_t>((u >> 16) | 0x0040u);
+    }
+    const std::uint32_t rounding_bias = 0x7fffu + ((u >> 16) & 1u);
+    return static_cast<std::uint16_t>((u + rounding_bias) >> 16);
+  }
+};
+
+/// Round a float through BF16 storage and back (the precision a BF16
+/// kernel input would see).
+inline float bf16_round(float f) { return bf16_t(f).to_float(); }
+
+}  // namespace aeris

@@ -1,0 +1,38 @@
+#pragma once
+
+#include <cstdint>
+
+#include "aeris/tensor/tensor.hpp"
+
+namespace aeris {
+
+/// Numeric policy for matrix products, mirroring the paper's mixed
+/// precision scheme (§V-A): GEMM/attention inputs in BF16 with FP32
+/// accumulation, everything else FP32.
+enum class GemmPrecision {
+  kFP32,  ///< plain single precision
+  kBF16,  ///< inputs rounded through bfloat16, FP32 accumulation
+};
+
+/// C = alpha * op(A) @ op(B) + beta * C.
+///
+/// A is (M x K) after optional transpose, B is (K x N) after optional
+/// transpose, C is (M x N). Blocked over K for locality and parallelized
+/// over row blocks of C via the global thread pool. Raw-pointer interface
+/// so callers can address sub-blocks (attention heads, window shards)
+/// without materializing views.
+void gemm(bool trans_a, bool trans_b, std::int64_t m, std::int64_t n,
+          std::int64_t k, float alpha, const float* a, std::int64_t lda,
+          const float* b, std::int64_t ldb, float beta, float* c,
+          std::int64_t ldc, GemmPrecision prec = GemmPrecision::kFP32);
+
+/// Tensor convenience: returns op(A) @ op(B); A and B must be rank 2.
+Tensor matmul(const Tensor& a, const Tensor& b, bool trans_a = false,
+              bool trans_b = false, GemmPrecision prec = GemmPrecision::kFP32);
+
+/// Process-wide default precision used by the nn layers; tests flip this
+/// to quantify BF16 effects without plumbing a flag through every module.
+GemmPrecision default_gemm_precision();
+void set_default_gemm_precision(GemmPrecision prec);
+
+}  // namespace aeris

@@ -1,0 +1,57 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "aeris/tensor/tensor.hpp"
+
+namespace aeris {
+
+// ---- elementwise (shapes must match exactly) ----
+Tensor add(const Tensor& a, const Tensor& b);
+Tensor sub(const Tensor& a, const Tensor& b);
+Tensor mul(const Tensor& a, const Tensor& b);
+Tensor div(const Tensor& a, const Tensor& b);
+
+void add_(Tensor& a, const Tensor& b);       // a += b
+void sub_(Tensor& a, const Tensor& b);       // a -= b
+void mul_(Tensor& a, const Tensor& b);       // a *= b
+void scale_(Tensor& a, float s);             // a *= s
+void add_scalar_(Tensor& a, float s);        // a += s
+void axpy_(Tensor& y, float a, const Tensor& x);  // y += a*x
+
+Tensor scale(const Tensor& a, float s);
+
+/// out[i] = fn(a[i]).
+Tensor map(const Tensor& a, const std::function<float(float)>& fn);
+void map_(Tensor& a, const std::function<float(float)>& fn);
+
+// ---- reductions ----
+float sum(const Tensor& a);
+float mean(const Tensor& a);
+float max_abs(const Tensor& a);
+float dot(const Tensor& a, const Tensor& b);
+float l2_norm(const Tensor& a);
+/// Mean of squared elements (used for RMS diagnostics and losses).
+float mean_sq(const Tensor& a);
+
+// ---- shape ops ----
+/// Concatenates along `axis`. All other extents must match.
+Tensor concat(std::span<const Tensor* const> parts, std::int64_t axis);
+Tensor concat(const Tensor& a, const Tensor& b, std::int64_t axis);
+/// Copies out the subrange [begin, end) of `axis`.
+Tensor slice(const Tensor& a, std::int64_t axis, std::int64_t begin,
+             std::int64_t end);
+/// Writes `part` into the subrange [begin, begin + part.dim(axis)) of `axis`.
+void slice_assign(Tensor& a, std::int64_t axis, std::int64_t begin,
+                  const Tensor& part);
+/// 2-D transpose.
+Tensor transpose2d(const Tensor& a);
+
+/// Numerically stable softmax over the last dimension.
+Tensor softmax_lastdim(const Tensor& a);
+
+/// Given y = softmax(x) and dL/dy, returns dL/dx (both over last dim).
+Tensor softmax_lastdim_backward(const Tensor& y, const Tensor& dy);
+
+}  // namespace aeris

@@ -1,0 +1,71 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "aeris/tensor/tensor.hpp"
+
+namespace aeris {
+
+/// Counter-based Philox-4x32-10 random bit generator.
+///
+/// AERIS requires that the diffusion time step t be *identical* across all
+/// ranks of a model-parallel group (SP, PP, WP) while the Gaussian field z
+/// stays spatially uncorrelated and independent across data-parallel
+/// replicas (paper §VI-B "Training"). A counter-based generator makes both
+/// properties trivial: the random value for logical coordinates
+/// (stream, sample, element) is a pure function of (seed, coordinates), so
+/// any rank can regenerate exactly the numbers for the elements it owns,
+/// independent of the order in which shards are processed or which rank
+/// processes them. This is what makes sharded-vs-single-rank training
+/// bit-comparable in the SWiPe equivalence tests.
+class Philox {
+ public:
+  explicit Philox(std::uint64_t seed) : seed_(seed) {}
+
+  std::uint64_t seed() const { return seed_; }
+
+  /// Four independent 32-bit words for counter (stream, sample, element).
+  std::array<std::uint32_t, 4> raw(std::uint64_t stream, std::uint64_t sample,
+                                   std::uint64_t element) const;
+
+  /// Uniform in [0, 1) derived from word `w` (0..3) of the counter block.
+  float uniform(std::uint64_t stream, std::uint64_t sample,
+                std::uint64_t element, int w = 0) const;
+
+  /// Standard normal via Box-Muller on words (0,1) or (2,3).
+  float normal(std::uint64_t stream, std::uint64_t sample,
+               std::uint64_t element, int pair = 0) const;
+
+  /// Fills `out` with i.i.d. N(0,1); element index is the flat offset, so
+  /// the field depends only on (seed, stream, sample), not on sharding.
+  void fill_normal(Tensor& out, std::uint64_t stream,
+                   std::uint64_t sample) const;
+
+  /// Same, uniform in [lo, hi).
+  void fill_uniform(Tensor& out, std::uint64_t stream, std::uint64_t sample,
+                    float lo = 0.0f, float hi = 1.0f) const;
+
+  /// Fills the subrange [begin, end) of the *logical* flat index space,
+  /// writing into out[0 .. end-begin). Used by WP/SP ranks to generate
+  /// exactly their owned slice of a global noise field.
+  void fill_normal_range(std::span<float> out, std::uint64_t stream,
+                         std::uint64_t sample, std::int64_t begin) const;
+
+ private:
+  std::uint64_t seed_;
+};
+
+/// Distinct named streams so different uses of randomness never collide.
+namespace rng_stream {
+inline constexpr std::uint64_t kInitWeights = 1;
+inline constexpr std::uint64_t kDiffusionTime = 2;
+inline constexpr std::uint64_t kDiffusionNoise = 3;
+inline constexpr std::uint64_t kSamplerNoise = 4;
+inline constexpr std::uint64_t kDataShuffle = 5;
+inline constexpr std::uint64_t kPhysicsForcing = 6;
+inline constexpr std::uint64_t kEnsemblePerturbation = 7;
+inline constexpr std::uint64_t kChurn = 8;
+}  // namespace rng_stream
+
+}  // namespace aeris

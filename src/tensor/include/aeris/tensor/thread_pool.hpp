@@ -1,0 +1,57 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace aeris {
+
+/// Fixed-size worker pool with a fork-join `parallel_for`.
+///
+/// Compute kernels (GEMM, attention, elementwise) split their iteration
+/// space into contiguous chunks dispatched to the pool; the calling thread
+/// participates, so a pool of size 1 degenerates to serial execution with
+/// no synchronization overhead. The pool is also used as the substrate
+/// that hosts the simulated SWiPe ranks (one task per rank).
+class ThreadPool {
+ public:
+  explicit ThreadPool(std::size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size() + 1; }
+
+  /// Runs fn(begin, end) over [0, n) split into roughly equal chunks,
+  /// blocking until all chunks complete. Exceptions from chunks propagate
+  /// (the first one captured is rethrown on the caller).
+  void parallel_for(std::int64_t n,
+                    const std::function<void(std::int64_t, std::int64_t)>& fn);
+
+  /// Process-wide pool sized from std::thread::hardware_concurrency().
+  static ThreadPool& global();
+
+ private:
+  struct Task {
+    std::function<void()> fn;
+  };
+
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<Task> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+/// Convenience wrapper over the global pool.
+void parallel_for(std::int64_t n,
+                  const std::function<void(std::int64_t, std::int64_t)>& fn);
+
+}  // namespace aeris

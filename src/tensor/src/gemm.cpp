@@ -1,0 +1,110 @@
+#include "aeris/tensor/gemm.hpp"
+
+#include <atomic>
+#include <stdexcept>
+#include <vector>
+
+#include "aeris/tensor/bf16.hpp"
+#include "aeris/tensor/thread_pool.hpp"
+
+namespace aeris {
+namespace {
+
+std::atomic<GemmPrecision> g_default_precision{GemmPrecision::kFP32};
+
+// Cache-blocked inner kernel on a row range [m0, m1). Operands have been
+// pre-packed into row-major A (M x K) and B (K x N) with optional BF16
+// rounding already applied, so the hot loop is branch-free.
+void gemm_rows(std::int64_t m0, std::int64_t m1, std::int64_t n,
+               std::int64_t k, float alpha, const float* a, const float* b,
+               float beta, float* c, std::int64_t ldc) {
+  constexpr std::int64_t kBlockK = 256;
+  for (std::int64_t i = m0; i < m1; ++i) {
+    float* crow = c + i * ldc;
+    if (beta == 0.0f) {
+      for (std::int64_t j = 0; j < n; ++j) crow[j] = 0.0f;
+    } else if (beta != 1.0f) {
+      for (std::int64_t j = 0; j < n; ++j) crow[j] *= beta;
+    }
+    for (std::int64_t kk = 0; kk < k; kk += kBlockK) {
+      const std::int64_t kend = std::min(k, kk + kBlockK);
+      const float* arow = a + i * k;
+      for (std::int64_t p = kk; p < kend; ++p) {
+        const float av = alpha * arow[p];
+        if (av == 0.0f) continue;
+        const float* brow = b + p * n;
+        for (std::int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+      }
+    }
+  }
+}
+
+// Packs op(X) into a dense row-major (rows x cols) buffer, applying BF16
+// input rounding when requested.
+std::vector<float> pack(bool trans, std::int64_t rows, std::int64_t cols,
+                        const float* x, std::int64_t ldx, bool to_bf16) {
+  std::vector<float> out(static_cast<std::size_t>(rows * cols));
+  if (!trans) {
+    for (std::int64_t i = 0; i < rows; ++i) {
+      const float* src = x + i * ldx;
+      float* dst = out.data() + i * cols;
+      if (to_bf16) {
+        for (std::int64_t j = 0; j < cols; ++j) dst[j] = bf16_round(src[j]);
+      } else {
+        std::copy_n(src, cols, dst);
+      }
+    }
+  } else {
+    for (std::int64_t i = 0; i < rows; ++i) {
+      float* dst = out.data() + i * cols;
+      for (std::int64_t j = 0; j < cols; ++j) {
+        const float v = x[j * ldx + i];
+        dst[j] = to_bf16 ? bf16_round(v) : v;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+void gemm(bool trans_a, bool trans_b, std::int64_t m, std::int64_t n,
+          std::int64_t k, float alpha, const float* a, std::int64_t lda,
+          const float* b, std::int64_t ldb, float beta, float* c,
+          std::int64_t ldc, GemmPrecision prec) {
+  if (m < 0 || n < 0 || k < 0) throw std::invalid_argument("gemm: bad dims");
+  if (m == 0 || n == 0) return;
+  const bool bf16 = prec == GemmPrecision::kBF16;
+  const std::vector<float> pa = pack(trans_a, m, k, a, lda, bf16);
+  const std::vector<float> pb = pack(trans_b, k, n, b, ldb, bf16);
+  parallel_for(m, [&](std::int64_t m0, std::int64_t m1) {
+    gemm_rows(m0, m1, n, k, alpha, pa.data(), pb.data(), beta, c, ldc);
+  });
+}
+
+Tensor matmul(const Tensor& a, const Tensor& b, bool trans_a, bool trans_b,
+              GemmPrecision prec) {
+  if (a.ndim() != 2 || b.ndim() != 2) {
+    throw std::invalid_argument("matmul: operands must be rank 2");
+  }
+  const std::int64_t m = trans_a ? a.dim(1) : a.dim(0);
+  const std::int64_t k = trans_a ? a.dim(0) : a.dim(1);
+  const std::int64_t kb = trans_b ? b.dim(1) : b.dim(0);
+  const std::int64_t n = trans_b ? b.dim(0) : b.dim(1);
+  if (k != kb) {
+    throw std::invalid_argument("matmul: inner dim mismatch " +
+                                shape_to_string(a.shape()) + " x " +
+                                shape_to_string(b.shape()));
+  }
+  Tensor c({m, n});
+  gemm(trans_a, trans_b, m, n, k, 1.0f, a.data(), a.dim(1), b.data(), b.dim(1),
+       0.0f, c.data(), n, prec);
+  return c;
+}
+
+GemmPrecision default_gemm_precision() { return g_default_precision.load(); }
+void set_default_gemm_precision(GemmPrecision prec) {
+  g_default_precision.store(prec);
+}
+
+}  // namespace aeris

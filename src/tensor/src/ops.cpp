@@ -1,0 +1,275 @@
+#include "aeris/tensor/ops.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace aeris {
+namespace {
+
+void check_same_shape(const Tensor& a, const Tensor& b, const char* op) {
+  if (a.shape() != b.shape()) {
+    throw std::invalid_argument(std::string(op) + ": shape mismatch " +
+                                shape_to_string(a.shape()) + " vs " +
+                                shape_to_string(b.shape()));
+  }
+}
+
+template <typename F>
+Tensor binary(const Tensor& a, const Tensor& b, const char* op, F f) {
+  check_same_shape(a, b, op);
+  Tensor out(a.shape());
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* po = out.data();
+  const std::int64_t n = a.numel();
+  for (std::int64_t i = 0; i < n; ++i) po[i] = f(pa[i], pb[i]);
+  return out;
+}
+
+}  // namespace
+
+Tensor add(const Tensor& a, const Tensor& b) {
+  return binary(a, b, "add", [](float x, float y) { return x + y; });
+}
+Tensor sub(const Tensor& a, const Tensor& b) {
+  return binary(a, b, "sub", [](float x, float y) { return x - y; });
+}
+Tensor mul(const Tensor& a, const Tensor& b) {
+  return binary(a, b, "mul", [](float x, float y) { return x * y; });
+}
+Tensor div(const Tensor& a, const Tensor& b) {
+  return binary(a, b, "div", [](float x, float y) { return x / y; });
+}
+
+void add_(Tensor& a, const Tensor& b) {
+  check_same_shape(a, b, "add_");
+  float* pa = a.data();
+  const float* pb = b.data();
+  const std::int64_t n = a.numel();
+  for (std::int64_t i = 0; i < n; ++i) pa[i] += pb[i];
+}
+
+void sub_(Tensor& a, const Tensor& b) {
+  check_same_shape(a, b, "sub_");
+  float* pa = a.data();
+  const float* pb = b.data();
+  const std::int64_t n = a.numel();
+  for (std::int64_t i = 0; i < n; ++i) pa[i] -= pb[i];
+}
+
+void mul_(Tensor& a, const Tensor& b) {
+  check_same_shape(a, b, "mul_");
+  float* pa = a.data();
+  const float* pb = b.data();
+  const std::int64_t n = a.numel();
+  for (std::int64_t i = 0; i < n; ++i) pa[i] *= pb[i];
+}
+
+void scale_(Tensor& a, float s) {
+  float* pa = a.data();
+  const std::int64_t n = a.numel();
+  for (std::int64_t i = 0; i < n; ++i) pa[i] *= s;
+}
+
+void add_scalar_(Tensor& a, float s) {
+  float* pa = a.data();
+  const std::int64_t n = a.numel();
+  for (std::int64_t i = 0; i < n; ++i) pa[i] += s;
+}
+
+void axpy_(Tensor& y, float a, const Tensor& x) {
+  check_same_shape(y, x, "axpy_");
+  float* py = y.data();
+  const float* px = x.data();
+  const std::int64_t n = y.numel();
+  for (std::int64_t i = 0; i < n; ++i) py[i] += a * px[i];
+}
+
+Tensor scale(const Tensor& a, float s) {
+  Tensor out = a;
+  scale_(out, s);
+  return out;
+}
+
+Tensor map(const Tensor& a, const std::function<float(float)>& fn) {
+  Tensor out = a;
+  map_(out, fn);
+  return out;
+}
+
+void map_(Tensor& a, const std::function<float(float)>& fn) {
+  float* pa = a.data();
+  const std::int64_t n = a.numel();
+  for (std::int64_t i = 0; i < n; ++i) pa[i] = fn(pa[i]);
+}
+
+float sum(const Tensor& a) {
+  // Pairwise-ish accumulation in double to keep large reductions accurate.
+  double acc = 0.0;
+  for (float x : a.flat()) acc += x;
+  return static_cast<float>(acc);
+}
+
+float mean(const Tensor& a) {
+  return a.numel() ? sum(a) / static_cast<float>(a.numel()) : 0.0f;
+}
+
+float max_abs(const Tensor& a) {
+  float m = 0.0f;
+  for (float x : a.flat()) m = std::max(m, std::fabs(x));
+  return m;
+}
+
+float dot(const Tensor& a, const Tensor& b) {
+  check_same_shape(a, b, "dot");
+  double acc = 0.0;
+  const float* pa = a.data();
+  const float* pb = b.data();
+  const std::int64_t n = a.numel();
+  for (std::int64_t i = 0; i < n; ++i) acc += static_cast<double>(pa[i]) * pb[i];
+  return static_cast<float>(acc);
+}
+
+float l2_norm(const Tensor& a) { return std::sqrt(dot(a, a)); }
+
+float mean_sq(const Tensor& a) {
+  return a.numel() ? dot(a, a) / static_cast<float>(a.numel()) : 0.0f;
+}
+
+Tensor concat(std::span<const Tensor* const> parts, std::int64_t axis) {
+  if (parts.empty()) throw std::invalid_argument("concat: no inputs");
+  const Shape& s0 = parts[0]->shape();
+  if (axis < 0) axis += static_cast<std::int64_t>(s0.size());
+  Shape out_shape = s0;
+  std::int64_t total = 0;
+  for (const Tensor* t : parts) {
+    const Shape& s = t->shape();
+    if (s.size() != s0.size()) throw std::invalid_argument("concat: rank mismatch");
+    for (std::size_t d = 0; d < s.size(); ++d) {
+      if (static_cast<std::int64_t>(d) != axis && s[d] != s0[d]) {
+        throw std::invalid_argument("concat: extent mismatch on non-concat axis");
+      }
+    }
+    total += s[static_cast<std::size_t>(axis)];
+  }
+  out_shape[static_cast<std::size_t>(axis)] = total;
+  Tensor out(out_shape);
+
+  // View each tensor as [outer, axis_extent, inner].
+  std::int64_t outer = 1, inner = 1;
+  for (std::int64_t d = 0; d < axis; ++d) outer *= s0[static_cast<std::size_t>(d)];
+  for (std::size_t d = static_cast<std::size_t>(axis) + 1; d < s0.size(); ++d) {
+    inner *= s0[d];
+  }
+  std::int64_t dst_off = 0;
+  for (const Tensor* t : parts) {
+    const std::int64_t ax = t->dim(axis);
+    const float* src = t->data();
+    for (std::int64_t o = 0; o < outer; ++o) {
+      float* dst = out.data() + (o * total + dst_off) * inner;
+      std::copy_n(src + o * ax * inner, ax * inner, dst);
+    }
+    dst_off += ax;
+  }
+  return out;
+}
+
+Tensor concat(const Tensor& a, const Tensor& b, std::int64_t axis) {
+  const Tensor* parts[] = {&a, &b};
+  return concat(std::span<const Tensor* const>(parts, 2), axis);
+}
+
+Tensor slice(const Tensor& a, std::int64_t axis, std::int64_t begin,
+             std::int64_t end) {
+  const Shape& s = a.shape();
+  if (axis < 0) axis += static_cast<std::int64_t>(s.size());
+  const std::int64_t ax = s[static_cast<std::size_t>(axis)];
+  if (begin < 0 || end > ax || begin > end) {
+    throw std::invalid_argument("slice: range out of bounds");
+  }
+  Shape out_shape = s;
+  out_shape[static_cast<std::size_t>(axis)] = end - begin;
+  Tensor out(out_shape);
+  std::int64_t outer = 1, inner = 1;
+  for (std::int64_t d = 0; d < axis; ++d) outer *= s[static_cast<std::size_t>(d)];
+  for (std::size_t d = static_cast<std::size_t>(axis) + 1; d < s.size(); ++d) {
+    inner *= s[d];
+  }
+  const std::int64_t len = end - begin;
+  for (std::int64_t o = 0; o < outer; ++o) {
+    std::copy_n(a.data() + (o * ax + begin) * inner, len * inner,
+                out.data() + o * len * inner);
+  }
+  return out;
+}
+
+void slice_assign(Tensor& a, std::int64_t axis, std::int64_t begin,
+                  const Tensor& part) {
+  const Shape& s = a.shape();
+  if (axis < 0) axis += static_cast<std::int64_t>(s.size());
+  const std::int64_t ax = s[static_cast<std::size_t>(axis)];
+  const std::int64_t len = part.dim(axis);
+  if (begin < 0 || begin + len > ax) {
+    throw std::invalid_argument("slice_assign: range out of bounds");
+  }
+  std::int64_t outer = 1, inner = 1;
+  for (std::int64_t d = 0; d < axis; ++d) outer *= s[static_cast<std::size_t>(d)];
+  for (std::size_t d = static_cast<std::size_t>(axis) + 1; d < s.size(); ++d) {
+    inner *= s[d];
+  }
+  for (std::int64_t o = 0; o < outer; ++o) {
+    std::copy_n(part.data() + o * len * inner, len * inner,
+                a.data() + (o * ax + begin) * inner);
+  }
+}
+
+Tensor transpose2d(const Tensor& a) {
+  if (a.ndim() != 2) throw std::invalid_argument("transpose2d: rank != 2");
+  const std::int64_t r = a.dim(0), c = a.dim(1);
+  Tensor out({c, r});
+  for (std::int64_t i = 0; i < r; ++i) {
+    for (std::int64_t j = 0; j < c; ++j) out.at2(j, i) = a.at2(i, j);
+  }
+  return out;
+}
+
+Tensor softmax_lastdim(const Tensor& a) {
+  const std::int64_t cols = a.dim(-1);
+  const std::int64_t rows = a.numel() / cols;
+  Tensor out(a.shape());
+  for (std::int64_t r = 0; r < rows; ++r) {
+    const float* src = a.data() + r * cols;
+    float* dst = out.data() + r * cols;
+    float m = src[0];
+    for (std::int64_t c = 1; c < cols; ++c) m = std::max(m, src[c]);
+    double z = 0.0;
+    for (std::int64_t c = 0; c < cols; ++c) {
+      dst[c] = std::exp(src[c] - m);
+      z += dst[c];
+    }
+    const float inv = static_cast<float>(1.0 / z);
+    for (std::int64_t c = 0; c < cols; ++c) dst[c] *= inv;
+  }
+  return out;
+}
+
+Tensor softmax_lastdim_backward(const Tensor& y, const Tensor& dy) {
+  check_same_shape(y, dy, "softmax_backward");
+  const std::int64_t cols = y.dim(-1);
+  const std::int64_t rows = y.numel() / cols;
+  Tensor dx(y.shape());
+  for (std::int64_t r = 0; r < rows; ++r) {
+    const float* py = y.data() + r * cols;
+    const float* pdy = dy.data() + r * cols;
+    float* pdx = dx.data() + r * cols;
+    double s = 0.0;
+    for (std::int64_t c = 0; c < cols; ++c) s += static_cast<double>(py[c]) * pdy[c];
+    for (std::int64_t c = 0; c < cols; ++c) {
+      pdx[c] = py[c] * (pdy[c] - static_cast<float>(s));
+    }
+  }
+  return dx;
+}
+
+}  // namespace aeris

@@ -1,0 +1,90 @@
+#include "aeris/tensor/rng.hpp"
+
+#include <cmath>
+
+namespace aeris {
+namespace {
+
+constexpr std::uint32_t kPhiloxM0 = 0xD2511F53u;
+constexpr std::uint32_t kPhiloxM1 = 0xCD9E8D57u;
+constexpr std::uint32_t kWeyl0 = 0x9E3779B9u;  // golden ratio
+constexpr std::uint32_t kWeyl1 = 0xBB67AE85u;  // sqrt(3) - 1
+
+inline void philox_round(std::array<std::uint32_t, 4>& ctr, std::uint32_t k0,
+                         std::uint32_t k1) {
+  const std::uint64_t p0 = static_cast<std::uint64_t>(kPhiloxM0) * ctr[0];
+  const std::uint64_t p1 = static_cast<std::uint64_t>(kPhiloxM1) * ctr[2];
+  const std::uint32_t hi0 = static_cast<std::uint32_t>(p0 >> 32);
+  const std::uint32_t lo0 = static_cast<std::uint32_t>(p0);
+  const std::uint32_t hi1 = static_cast<std::uint32_t>(p1 >> 32);
+  const std::uint32_t lo1 = static_cast<std::uint32_t>(p1);
+  ctr = {hi1 ^ ctr[1] ^ k0, lo1, hi0 ^ ctr[3] ^ k1, lo0};
+}
+
+inline float to_unit(std::uint32_t u) {
+  // 24 mantissa-ish bits -> [0, 1); never returns exactly 1.
+  return static_cast<float>(u >> 8) * (1.0f / 16777216.0f);
+}
+
+}  // namespace
+
+std::array<std::uint32_t, 4> Philox::raw(std::uint64_t stream,
+                                         std::uint64_t sample,
+                                         std::uint64_t element) const {
+  std::array<std::uint32_t, 4> ctr = {
+      static_cast<std::uint32_t>(element),
+      static_cast<std::uint32_t>(element >> 32),
+      static_cast<std::uint32_t>(sample),
+      static_cast<std::uint32_t>(sample ^ (stream << 16)),
+  };
+  std::uint32_t k0 = static_cast<std::uint32_t>(seed_) ^
+                     static_cast<std::uint32_t>(stream);
+  std::uint32_t k1 = static_cast<std::uint32_t>(seed_ >> 32) ^
+                     static_cast<std::uint32_t>(stream >> 32);
+  for (int r = 0; r < 10; ++r) {
+    philox_round(ctr, k0, k1);
+    k0 += kWeyl0;
+    k1 += kWeyl1;
+  }
+  return ctr;
+}
+
+float Philox::uniform(std::uint64_t stream, std::uint64_t sample,
+                      std::uint64_t element, int w) const {
+  return to_unit(raw(stream, sample, element)[static_cast<std::size_t>(w & 3)]);
+}
+
+float Philox::normal(std::uint64_t stream, std::uint64_t sample,
+                     std::uint64_t element, int pair) const {
+  const auto words = raw(stream, sample, element);
+  const std::size_t base = pair ? 2 : 0;
+  // Box-Muller; clamp u1 away from 0 to keep log finite.
+  float u1 = to_unit(words[base]);
+  const float u2 = to_unit(words[base + 1]);
+  if (u1 < 1e-12f) u1 = 1e-12f;
+  const float r = std::sqrt(-2.0f * std::log(u1));
+  return r * std::cos(6.283185307179586f * u2);
+}
+
+void Philox::fill_normal(Tensor& out, std::uint64_t stream,
+                         std::uint64_t sample) const {
+  fill_normal_range(out.flat(), stream, sample, 0);
+}
+
+void Philox::fill_normal_range(std::span<float> out, std::uint64_t stream,
+                               std::uint64_t sample, std::int64_t begin) const {
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = normal(stream, sample,
+                    static_cast<std::uint64_t>(begin + static_cast<std::int64_t>(i)));
+  }
+}
+
+void Philox::fill_uniform(Tensor& out, std::uint64_t stream,
+                          std::uint64_t sample, float lo, float hi) const {
+  auto flat = out.flat();
+  for (std::size_t i = 0; i < flat.size(); ++i) {
+    flat[i] = lo + (hi - lo) * uniform(stream, sample, i);
+  }
+}
+
+}  // namespace aeris

@@ -1,0 +1,105 @@
+#include "aeris/tensor/thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+
+namespace aeris {
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  // The caller participates in parallel_for, so spawn one fewer worker.
+  const std::size_t workers = num_threads > 0 ? num_threads - 1 : 0;
+  workers_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    Task task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (stop_ && queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop();
+    }
+    task.fn();
+  }
+}
+
+void ThreadPool::parallel_for(
+    std::int64_t n, const std::function<void(std::int64_t, std::int64_t)>& fn) {
+  if (n <= 0) return;
+  const std::int64_t num_chunks =
+      std::min<std::int64_t>(static_cast<std::int64_t>(size()), n);
+  if (num_chunks == 1) {
+    fn(0, n);
+    return;
+  }
+
+  std::atomic<std::int64_t> remaining(num_chunks - 1);
+  std::exception_ptr error;
+  std::mutex error_mutex;
+  std::condition_variable done_cv;
+  std::mutex done_mutex;
+
+  const std::int64_t chunk = (n + num_chunks - 1) / num_chunks;
+  for (std::int64_t c = 1; c < num_chunks; ++c) {
+    const std::int64_t begin = c * chunk;
+    const std::int64_t end = std::min(n, begin + chunk);
+    Task task;
+    task.fn = [&, begin, end] {
+      try {
+        if (begin < end) fn(begin, end);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (!error) error = std::current_exception();
+      }
+      if (remaining.fetch_sub(1) == 1) {
+        std::lock_guard<std::mutex> lock(done_mutex);
+        done_cv.notify_one();
+      }
+    };
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      queue_.push(std::move(task));
+    }
+    cv_.notify_one();
+  }
+
+  try {
+    fn(0, std::min(n, chunk));
+  } catch (...) {
+    std::lock_guard<std::mutex> lock(error_mutex);
+    if (!error) error = std::current_exception();
+  }
+
+  {
+    std::unique_lock<std::mutex> lock(done_mutex);
+    done_cv.wait(lock, [&] { return remaining.load() == 0; });
+  }
+  if (error) std::rethrow_exception(error);
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool(std::max(1u, std::thread::hardware_concurrency()));
+  return pool;
+}
+
+void parallel_for(std::int64_t n,
+                  const std::function<void(std::int64_t, std::int64_t)>& fn) {
+  ThreadPool::global().parallel_for(n, fn);
+}
+
+}  // namespace aeris

@@ -1,0 +1,113 @@
+#include "aeris/core/loss_weights.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+
+#include "aeris/tensor/ops.hpp"
+#include "aeris/tensor/rng.hpp"
+
+namespace aeris::core {
+namespace {
+
+TEST(LatWeights, MeanOneAndEquatorMax) {
+  Tensor w = latitude_weights(16);
+  EXPECT_NEAR(mean(w), 1.0f, 1e-5f);
+  // Rows near the equator (middle) carry more weight than near-polar rows.
+  EXPECT_GT(w[8], w[0]);
+  EXPECT_GT(w[7], w[15]);
+  // Symmetric about the equator.
+  for (std::int64_t r = 0; r < 8; ++r) EXPECT_NEAR(w[r], w[15 - r], 1e-5f);
+}
+
+TEST(LatWeights, MatchesCosine) {
+  Tensor w = latitude_weights(4);
+  // Rows at -67.5, -22.5, 22.5, 67.5 degrees.
+  const float c0 = std::cos(67.5f * static_cast<float>(M_PI) / 180.0f);
+  const float c1 = std::cos(22.5f * static_cast<float>(M_PI) / 180.0f);
+  const float norm = 4.0f / (2 * c0 + 2 * c1);
+  EXPECT_NEAR(w[0], c0 * norm, 1e-5f);
+  EXPECT_NEAR(w[1], c1 * norm, 1e-5f);
+}
+
+TEST(PressureWeights, ProportionalToLevel) {
+  const std::array<double, 3> levels = {100.0, 500.0, 1000.0};
+  Tensor w = pressure_level_weights(levels);
+  EXPECT_NEAR(mean(w), 1.0f, 1e-5f);
+  EXPECT_NEAR(w[2] / w[0], 10.0f, 1e-4f);
+  EXPECT_THROW(pressure_level_weights(std::span<const double>{}),
+               std::invalid_argument);
+}
+
+TEST(WeightedMse, UniformWeightsEqualPlainMse) {
+  Philox rng(1);
+  Tensor pred({2, 4, 4, 3}), target({2, 4, 4, 3});
+  rng.fill_normal(pred, 1, 0);
+  rng.fill_normal(target, 1, 1);
+  LossWeights w{uniform_weights(4), uniform_weights(3)};
+  const float got = weighted_mse(pred, target, w);
+  Tensor diff = sub(pred, target);
+  EXPECT_NEAR(got, mean_sq(diff), 1e-5f);
+}
+
+TEST(WeightedMse, GradMatchesFiniteDifference) {
+  Philox rng(2);
+  Tensor pred({1, 4, 2, 3}), target({1, 4, 2, 3});
+  rng.fill_normal(pred, 1, 0);
+  rng.fill_normal(target, 1, 1);
+  LossWeights w{latitude_weights(4), pressure_level_weights(
+                                         std::array<double, 3>{1, 2, 3})};
+  Tensor grad;
+  weighted_mse(pred, target, w, &grad);
+  const float eps = 1e-3f;
+  for (std::int64_t i = 0; i < pred.numel(); i += 3) {
+    Tensor pp = pred, pm = pred;
+    pp[i] += eps;
+    pm[i] -= eps;
+    const float fd =
+        (weighted_mse(pp, target, w) - weighted_mse(pm, target, w)) / (2 * eps);
+    EXPECT_NEAR(grad[i], fd, 1e-3f) << i;
+  }
+}
+
+TEST(WeightedMse, ZeroAtPerfectPrediction) {
+  Tensor x({1, 2, 2, 2}, 1.5f);
+  LossWeights w{uniform_weights(2), uniform_weights(2)};
+  Tensor grad;
+  EXPECT_FLOAT_EQ(weighted_mse(x, x, w, &grad), 0.0f);
+  EXPECT_FLOAT_EQ(max_abs(grad), 0.0f);
+}
+
+TEST(WeightedMse, EmphasizesWeightedRows) {
+  // Same error magnitude placed at a heavy row must cost more than at a
+  // light row.
+  LossWeights w{latitude_weights(4), uniform_weights(1)};
+  Tensor target({1, 4, 1, 1});
+  Tensor heavy = target, light = target;
+  heavy[1] += 1.0f;  // row 1 (mid-latitude, heavier than row 0)
+  light[0] += 1.0f;  // row 0 (near pole)
+  EXPECT_GT(weighted_mse(heavy, target, w), weighted_mse(light, target, w));
+}
+
+TEST(WeightedMse, ValidatesShapes) {
+  LossWeights w{uniform_weights(4), uniform_weights(3)};
+  EXPECT_THROW(weighted_mse(Tensor({1, 4, 4, 3}), Tensor({1, 4, 4, 2}), w),
+               std::invalid_argument);
+  EXPECT_THROW(weighted_mse(Tensor({1, 5, 4, 3}), Tensor({1, 5, 4, 3}), w),
+               std::invalid_argument);
+}
+
+TEST(LatWeightedMse, ConvenienceMatchesFull) {
+  Philox rng(3);
+  Tensor pred({1, 4, 4, 2}), target({1, 4, 4, 2});
+  rng.fill_normal(pred, 1, 0);
+  rng.fill_normal(target, 1, 1);
+  Tensor lw = latitude_weights(4);
+  LossWeights w{lw, uniform_weights(2)};
+  EXPECT_NEAR(lat_weighted_mse(pred, target, lw),
+              weighted_mse(pred, target, w), 1e-6f);
+}
+
+}  // namespace
+}  // namespace aeris::core

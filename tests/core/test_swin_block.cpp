@@ -1,0 +1,168 @@
+#include "aeris/core/swin_block.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "aeris/tensor/ops.hpp"
+
+namespace aeris::core {
+namespace {
+
+SwinBlock::Config small_cfg() {
+  SwinBlock::Config c;
+  c.dim = 8;
+  c.heads = 2;
+  c.ffn_hidden = 16;
+  c.win_h = 2;
+  c.win_w = 2;
+  c.cond_dim = 8;
+  return c;
+}
+
+TEST(SwinBlock, ZeroInitIsIdentity) {
+  // With adaLN-zero, a freshly initialized block is the identity map.
+  SwinBlock block("b", small_cfg());
+  Philox rng(1);
+  block.init(rng, 0);
+  Tensor x({2, 4, 8});
+  rng.fill_normal(x, 1, 0);
+  Tensor cond({2, 8});
+  rng.fill_normal(cond, 1, 1);
+  Tensor y = block.forward(x, cond, 1);
+  EXPECT_TRUE(y.allclose(x, 1e-6f));
+}
+
+TEST(SwinBlock, NonZeroGatesChangeOutput) {
+  SwinBlock block("b", small_cfg());
+  Philox rng(2);
+  block.init(rng, 0);
+  nn::ParamList params;
+  block.collect_params(params);
+  // Kick the adaLN heads off zero.
+  for (nn::Param* p : params) {
+    if (p->name.find("adaln") != std::string::npos) {
+      rng.fill_normal(p->value, 7, 0);
+      scale_(p->value, 0.3f);
+    }
+  }
+  Tensor x({2, 4, 8});
+  rng.fill_normal(x, 1, 0);
+  Tensor cond({2, 8});
+  rng.fill_normal(cond, 1, 1);
+  Tensor y = block.forward(x, cond, 1);
+  EXPECT_FALSE(y.allclose(x, 1e-3f));
+}
+
+TEST(SwinBlock, ConditioningAffectsOutput) {
+  SwinBlock block("b", small_cfg());
+  Philox rng(3);
+  block.init(rng, 0);
+  nn::ParamList params;
+  block.collect_params(params);
+  for (nn::Param* p : params) {
+    if (p->name.find("adaln") != std::string::npos) {
+      rng.fill_normal(p->value, 7, 0);
+      scale_(p->value, 0.3f);
+    }
+  }
+  Tensor x({1, 4, 8});
+  rng.fill_normal(x, 1, 0);
+  Tensor c1({1, 8}), c2({1, 8});
+  rng.fill_normal(c1, 1, 1);
+  rng.fill_normal(c2, 1, 2);
+  Tensor y1 = block.forward(x, c1, 1);
+  Tensor y2 = block.forward(x, c2, 1);
+  EXPECT_FALSE(y1.allclose(y2, 1e-4f));
+}
+
+TEST(SwinBlock, BackwardShapesAndCondGrad) {
+  SwinBlock block("b", small_cfg());
+  Philox rng(4);
+  block.init(rng, 0);
+  nn::ParamList params;
+  block.collect_params(params);
+  for (nn::Param* p : params) {
+    if (p->name.find("adaln") != std::string::npos) {
+      rng.fill_normal(p->value, 7, 0);
+      scale_(p->value, 0.2f);
+    }
+  }
+  zero_grads(params);
+
+  Tensor x({4, 4, 8});  // 4 windows = 2 samples x 2 windows
+  rng.fill_normal(x, 1, 0);
+  Tensor cond({2, 8});
+  rng.fill_normal(cond, 1, 1);
+  block.forward(x, cond, 2);
+
+  Tensor dy({4, 4, 8});
+  rng.fill_normal(dy, 1, 2);
+  Tensor dcond({2, 8});
+  Tensor dx = block.backward(dy, dcond);
+  EXPECT_EQ(dx.shape(), x.shape());
+  EXPECT_GT(max_abs(dcond), 0.0f);
+  EXPECT_GT(nn::grad_norm(params), 0.0f);
+}
+
+TEST(SwinBlock, GradCheckEndToEnd) {
+  SwinBlock block("b", small_cfg());
+  Philox rng(5);
+  block.init(rng, 0);
+  nn::ParamList params;
+  block.collect_params(params);
+  for (nn::Param* p : params) {
+    if (p->name.find("adaln") != std::string::npos) {
+      rng.fill_normal(p->value, 7, 1);
+      scale_(p->value, 0.2f);
+    }
+  }
+  zero_grads(params);
+
+  Tensor x({2, 4, 8});
+  rng.fill_normal(x, 1, 0);
+  Tensor cond({1, 8});
+  rng.fill_normal(cond, 1, 1);
+  Tensor dy({2, 4, 8});
+  rng.fill_normal(dy, 1, 2);
+
+  block.forward(x, cond, 2);
+  Tensor dcond({1, 8});
+  Tensor dx = block.backward(dy, dcond);
+
+  // Finite-difference a strided subset of input coordinates.
+  auto loss_of = [&](const Tensor& xx, const Tensor& cc) {
+    SwinBlock probe = block;
+    return dot(probe.forward(xx, cc, 2), dy);
+  };
+  const float eps = 5e-3f;
+  for (std::int64_t i = 0; i < x.numel(); i += 7) {
+    Tensor xp = x, xm = x;
+    xp[i] += eps;
+    xm[i] -= eps;
+    const float fd = (loss_of(xp, cond) - loss_of(xm, cond)) / (2 * eps);
+    EXPECT_NEAR(dx[i], fd, 3e-2f * std::max(1.0f, std::fabs(fd))) << i;
+  }
+  // And the conditioning gradient.
+  for (std::int64_t i = 0; i < cond.numel(); ++i) {
+    Tensor cp = cond, cm = cond;
+    cp[i] += eps;
+    cm[i] -= eps;
+    const float fd = (loss_of(x, cp) - loss_of(x, cm)) / (2 * eps);
+    EXPECT_NEAR(dcond[i], fd, 3e-2f * std::max(1.0f, std::fabs(fd))) << i;
+  }
+}
+
+TEST(SwinBlock, ParamRegistrationOrderIsStable) {
+  SwinBlock a("b", small_cfg()), b("b", small_cfg());
+  nn::ParamList pa, pb;
+  a.collect_params(pa);
+  b.collect_params(pb);
+  ASSERT_EQ(pa.size(), pb.size());
+  for (std::size_t i = 0; i < pa.size(); ++i) {
+    EXPECT_EQ(pa[i]->name, pb[i]->name);
+  }
+}
+
+}  // namespace
+}  // namespace aeris::core

@@ -1,0 +1,115 @@
+#include "aeris/core/trigflow.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "aeris/tensor/ops.hpp"
+
+namespace aeris::core {
+namespace {
+
+TEST(TrigFlow, TimeBoundsMatchPrior) {
+  TrigFlow tf(TrigFlowConfig{});
+  // t = arctan(sigma / sigma_d): u=0 -> sigma_min, u=1 -> sigma_max.
+  EXPECT_NEAR(tf.time_from_uniform(0.0f), std::atan(0.2f), 1e-6f);
+  EXPECT_NEAR(tf.time_from_uniform(1.0f), std::atan(500.0f), 1e-6f);
+  EXPECT_NEAR(tf.t_min(), std::atan(0.2f), 1e-6f);
+  EXPECT_NEAR(tf.t_max(), std::atan(500.0f), 1e-6f);
+}
+
+TEST(TrigFlow, TimeMonotoneInU) {
+  TrigFlow tf(TrigFlowConfig{});
+  float prev = -1.0f;
+  for (float u = 0.0f; u <= 1.0f; u += 0.1f) {
+    const float t = tf.time_from_uniform(u);
+    EXPECT_GT(t, prev);
+    EXPECT_GT(t, 0.0f);
+    EXPECT_LT(t, 1.5707964f);
+    prev = t;
+  }
+}
+
+TEST(TrigFlow, SampleTimeSharedAcrossRanksForSameSample) {
+  // Counter RNG: same (seed, sample) gives the same t everywhere — the
+  // model-parallel consistency requirement of §VI-B.
+  TrigFlow tf(TrigFlowConfig{});
+  Philox a(42), b(42);
+  EXPECT_FLOAT_EQ(tf.sample_time(a, 17), tf.sample_time(b, 17));
+  EXPECT_NE(tf.sample_time(a, 17), tf.sample_time(a, 18));
+}
+
+TEST(TrigFlow, InterpolationIdentities) {
+  TrigFlow tf(TrigFlowConfig{});
+  Philox rng(1);
+  Tensor x0({16}), z({16});
+  rng.fill_normal(x0, 1, 0);
+  rng.fill_normal(z, 1, 1);
+
+  // t = 0: x_t = x0, v = z.
+  EXPECT_TRUE(tf.interpolate(x0, z, 0.0f).allclose(x0));
+  EXPECT_TRUE(tf.velocity_target(x0, z, 0.0f).allclose(z));
+  // t = pi/2: x_t = z, v = -x0.
+  const float half_pi = 1.5707963f;
+  EXPECT_TRUE(tf.interpolate(x0, z, half_pi).allclose(z, 1e-5f));
+  EXPECT_TRUE(tf.velocity_target(x0, z, half_pi).allclose(scale(x0, -1.0f), 1e-5f));
+}
+
+TEST(TrigFlow, VelocityIsTimeDerivativeOfInterpolant) {
+  // d/dt [cos t x0 + sin t z] = -sin t x0 + cos t z = v_t.
+  TrigFlow tf(TrigFlowConfig{});
+  Philox rng(2);
+  Tensor x0({8}), z({8});
+  rng.fill_normal(x0, 1, 0);
+  rng.fill_normal(z, 1, 1);
+  const float t = 0.7f, eps = 1e-3f;
+  Tensor num = tf.interpolate(x0, z, t + eps);
+  sub_(num, tf.interpolate(x0, z, t - eps));
+  scale_(num, 1.0f / (2 * eps));
+  EXPECT_TRUE(num.allclose(tf.velocity_target(x0, z, t), 1e-3f));
+}
+
+TEST(TrigFlow, InterpolantPreservesVariance) {
+  // With sigma_d = 1 and independent x0, z ~ N(0,1):
+  // Var[x_t] = cos^2 + sin^2 = 1 at every t.
+  TrigFlow tf(TrigFlowConfig{});
+  Philox rng(3);
+  Tensor x0({4096}), z({4096});
+  rng.fill_normal(x0, 1, 0);
+  rng.fill_normal(z, 1, 1);
+  for (float t : {0.2f, 0.7f, 1.2f}) {
+    Tensor xt = tf.interpolate(x0, z, t);
+    EXPECT_NEAR(mean_sq(xt), 1.0f, 0.08f) << t;
+  }
+}
+
+TEST(TrigFlow, ResidualZeroAtOptimum) {
+  TrigFlow tf(TrigFlowConfig{});
+  Philox rng(4);
+  Tensor x0({8}), z({8});
+  rng.fill_normal(x0, 1, 0);
+  rng.fill_normal(z, 1, 1);
+  Tensor v = tf.velocity_target(x0, z, 0.9f);
+  // If the network outputs exactly v / sigma_d, the residual vanishes.
+  Tensor f = scale(v, 1.0f / tf.config().sigma_d);
+  EXPECT_NEAR(max_abs(tf.residual(f, v)), 0.0f, 1e-6f);
+}
+
+TEST(TrigFlow, PriorCoversHeavyTails) {
+  // The log-uniform prior should put mass at both very small and very
+  // large sigma (paper: "better cover the heavy tailed distribution").
+  TrigFlow tf(TrigFlowConfig{});
+  Philox rng(5);
+  int small = 0, large = 0;
+  for (std::uint64_t i = 0; i < 2000; ++i) {
+    const float t = tf.sample_time(rng, i);
+    const float sigma = std::tan(t);
+    if (sigma < 1.0f) ++small;
+    if (sigma > 50.0f) ++large;
+  }
+  EXPECT_GT(small, 200);
+  EXPECT_GT(large, 200);
+}
+
+}  // namespace
+}  // namespace aeris::core

@@ -1,0 +1,152 @@
+#include "aeris/data/dataset.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+
+#include "aeris/data/generator.hpp"
+#include "aeris/tensor/ops.hpp"
+
+namespace aeris::data {
+namespace {
+
+WeatherDataset make_ds(std::int64_t n = 10) {
+  WeatherDataset ds(3, 8, 8, 2, {"A", "B", "C"});
+  Philox rng(1);
+  for (std::int64_t t = 0; t < n; ++t) {
+    Tensor state({3, 8, 8});
+    rng.fill_normal(state, 1, static_cast<std::uint64_t>(t));
+    // Give variables distinct scales so normalization is non-trivial.
+    for (std::int64_t i = 0; i < 64; ++i) {
+      state[64 + i] = state[64 + i] * 10.0f + 5.0f;
+      state[128 + i] = state[128 + i] * 0.1f - 2.0f;
+    }
+    Tensor forc({2, 8, 8}, 0.5f);
+    ds.append(state, forc);
+  }
+  ds.set_splits(n - 3, n - 1);
+  ds.compute_normalization();
+  return ds;
+}
+
+TEST(Dataset, AppendValidatesShapes) {
+  WeatherDataset ds(3, 8, 8, 2);
+  EXPECT_THROW(ds.append(Tensor({2, 8, 8}), Tensor({2, 8, 8})),
+               std::invalid_argument);
+  EXPECT_THROW(ds.append(Tensor({3, 8, 8}), Tensor({1, 8, 8})),
+               std::invalid_argument);
+}
+
+TEST(Dataset, NormalizationMatchesTrainStats) {
+  WeatherDataset ds = make_ds();
+  const auto& norm = ds.normalization();
+  // Variable B was scaled by 10 and shifted by 5.
+  EXPECT_NEAR(norm.mean[1], 5.0f, 1.5f);
+  EXPECT_NEAR(norm.std[1], 10.0f, 2.0f);
+  EXPECT_NEAR(norm.std[2], 0.1f, 0.05f);
+}
+
+TEST(Dataset, StandardizedTokensHaveUnitScale) {
+  WeatherDataset ds = make_ds();
+  Tensor tok = ds.standardized_tokens(0);
+  EXPECT_EQ(tok.shape(), (Shape{8, 8, 3}));
+  // Each variable channel is ~N(0,1) after standardization.
+  for (std::int64_t v = 0; v < 3; ++v) {
+    double mu = 0.0, ss = 0.0;
+    for (std::int64_t i = 0; i < 64; ++i) {
+      const float x = tok[i * 3 + v];
+      mu += x;
+      ss += static_cast<double>(x) * x;
+    }
+    mu /= 64;
+    EXPECT_LT(std::fabs(mu), 0.8) << v;
+    EXPECT_LT(ss / 64, 4.0) << v;
+    EXPECT_GT(ss / 64, 0.2) << v;
+  }
+}
+
+TEST(Dataset, UnstandardizeRoundTrips) {
+  WeatherDataset ds = make_ds();
+  Tensor tok = ds.standardized_tokens(2);
+  Tensor back = ds.unstandardize(tok);
+  EXPECT_TRUE(back.allclose(ds.state(2), 1e-3f));
+}
+
+TEST(Dataset, ExamplePairsConsecutiveTimes) {
+  WeatherDataset ds = make_ds();
+  const auto ex = ds.example(3);
+  EXPECT_TRUE(ex.prev.allclose(ds.standardized_tokens(3)));
+  EXPECT_TRUE(ex.target.allclose(ds.standardized_tokens(4)));
+  EXPECT_EQ(ex.forcings.shape(), (Shape{8, 8, 2}));
+  EXPECT_THROW(ds.example(ds.size() - 1), std::invalid_argument);
+}
+
+TEST(Dataset, WindowedReadMatchesFullAndCountsIO) {
+  WeatherDataset ds = make_ds();
+  ds.reset_io_counter();
+  Tensor win = ds.read_window(1, 0, 2, 3, 4, 4);
+  EXPECT_EQ(ds.values_read(), 16);
+  for (std::int64_t r = 0; r < 4; ++r) {
+    for (std::int64_t c = 0; c < 4; ++c) {
+      EXPECT_FLOAT_EQ(win.at2(r, c), ds.state(1).at3(0, 2 + r, 3 + c));
+    }
+  }
+  EXPECT_THROW(ds.read_window(0, 0, 6, 6, 4, 4), std::invalid_argument);
+}
+
+TEST(Dataset, TrainIndicesArePermutation) {
+  WeatherDataset ds = make_ds(20);
+  Philox rng(5);
+  const auto idx = ds.train_indices(rng, 0);
+  EXPECT_EQ(idx.size(), static_cast<std::size_t>(ds.train_size()));
+  std::vector<bool> seen(idx.size(), false);
+  for (std::int64_t i : idx) {
+    ASSERT_GE(i, 0);
+    ASSERT_LT(i, ds.train_size());
+    EXPECT_FALSE(seen[static_cast<std::size_t>(i)]);
+    seen[static_cast<std::size_t>(i)] = true;
+  }
+  // Different epochs give different orders.
+  const auto idx2 = ds.train_indices(rng, 1);
+  EXPECT_NE(idx, idx2);
+}
+
+TEST(Dataset, SaveLoadRoundTrip) {
+  WeatherDataset ds = make_ds();
+  const std::string path = "/tmp/aeris_test_dataset.bin";
+  ds.save(path);
+  WeatherDataset loaded = WeatherDataset::load(path);
+  EXPECT_EQ(loaded.size(), ds.size());
+  EXPECT_EQ(loaded.vars(), 3);
+  EXPECT_TRUE(loaded.state(4).allclose(ds.state(4)));
+  EXPECT_TRUE(loaded.forcings_at(2).allclose(ds.forcings_at(2)));
+  EXPECT_NEAR(loaded.normalization().mean[1], ds.normalization().mean[1], 1e-6f);
+  std::remove(path.c_str());
+  EXPECT_THROW(WeatherDataset::load("/tmp/definitely_missing_aeris.bin"),
+               std::runtime_error);
+}
+
+TEST(Generator, BuildsFromPhysics) {
+  physics::ReanalysisConfig cfg;
+  cfg.params.qg.h = 32;
+  cfg.params.qg.w = 32;
+  cfg.params.qg.lx = 2 * M_PI;
+  cfg.spin_up_steps = 400;
+  cfg.samples = 12;
+  WeatherDataset ds = make_synthetic_era5(cfg, 0.7, 0.15);
+  EXPECT_EQ(ds.size(), 12);
+  EXPECT_EQ(ds.vars(), physics::kNumVars);
+  EXPECT_EQ(ds.forcing_channels(), physics::kNumForcings);
+  EXPECT_EQ(ds.var_names()[0], "T2m");
+  EXPECT_GT(ds.train_size(), 0);
+  EXPECT_LT(ds.test_begin(), ds.size());
+  // Normalization exists and is finite.
+  for (float s : ds.normalization().std) {
+    EXPECT_TRUE(std::isfinite(s));
+    EXPECT_GT(s, 0.0f);
+  }
+}
+
+}  // namespace
+}  // namespace aeris::data

@@ -1,0 +1,119 @@
+#include "aeris/experiments/domain.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+
+#include "aeris/metrics/scores.hpp"
+
+namespace aeris::experiments {
+namespace {
+
+// One tiny shared domain for the whole suite (the expensive part is the
+// physics spin-up).
+const Domain& tiny_domain() {
+  static Domain d = [] {
+    DomainConfig cfg;
+    cfg.samples = 60;
+    cfg.spin_up_steps = 4000;
+    cfg.train_steps = 12;
+    cfg.seed = 23;
+    return build_domain(cfg);
+  }();
+  return d;
+}
+
+TEST(Domain, BuildsConsistentDataset) {
+  const Domain& d = tiny_domain();
+  EXPECT_EQ(d.ds.size(), 60);
+  EXPECT_EQ(d.ds.vars(), physics::kNumVars);
+  EXPECT_GT(d.ds.train_size(), 0);
+  EXPECT_LT(d.ds.test_begin(), d.ds.size());
+  EXPECT_EQ(d.lat_w.numel(), d.cfg.grid);
+  // sigma_d calibrated to the (small) daily residual scale.
+  EXPECT_GT(d.cfg.trigflow.sigma_d, 0.01f);
+  EXPECT_LT(d.cfg.trigflow.sigma_d, 1.0f);
+  EXPECT_FLOAT_EQ(d.cfg.trigflow.sigma_d, d.cfg.edm.sigma_d);
+  EXPECT_FLOAT_EQ(d.cfg.trigflow.sigma_d, residual_std(d.ds));
+}
+
+TEST(Domain, ModelConfigChannels) {
+  DomainConfig cfg;
+  const auto mt = model_config(cfg, core::Objective::kTrigFlow);
+  EXPECT_EQ(mt.in_channels, 2 * physics::kNumVars + physics::kNumForcings);
+  const auto md = model_config(cfg, core::Objective::kDeterministic);
+  EXPECT_EQ(md.in_channels, physics::kNumVars + physics::kNumForcings);
+  EXPECT_EQ(mt.out_channels, physics::kNumVars);
+}
+
+TEST(Domain, TrainForecastScorePipeline) {
+  const Domain& d = tiny_domain();
+  std::vector<float> curve;
+  auto model = train_model(d, core::Objective::kTrigFlow, &curve);
+  ASSERT_EQ(curve.size(), static_cast<std::size_t>(d.cfg.train_steps));
+  for (float l : curve) ASSERT_TRUE(std::isfinite(l));
+
+  const std::int64_t t0 = d.ds.test_begin();
+  auto ens = forecast_ensemble(*model, core::Objective::kTrigFlow, d, t0, 2, 2);
+  ASSERT_EQ(ens.size(), 2u);
+  ASSERT_EQ(ens[0].size(), 2u);
+  EXPECT_EQ(ens[0][0].shape(), (Shape{physics::kNumVars, 32, 32}));
+  for (float x : ens[0][1].flat()) ASSERT_TRUE(std::isfinite(x));
+  // Members differ (it is an ensemble).
+  EXPECT_FALSE(ens[0][0].allclose(ens[1][0], 1e-4f));
+
+  auto truth = truth_sequence(d, t0, 2);
+  const std::vector<Tensor> members = {ens[0][0], ens[1][0]};
+  const double rmse =
+      metrics::ensemble_mean_rmse(members, truth[0], 5, d.lat_w);
+  EXPECT_TRUE(std::isfinite(rmse));
+  EXPECT_GT(rmse, 0.0);
+}
+
+TEST(Domain, DeterministicForecastRuns) {
+  const Domain& d = tiny_domain();
+  auto model = train_model(d, core::Objective::kDeterministic, nullptr);
+  auto det = forecast_deterministic(*model, d, d.ds.test_begin(), 3);
+  ASSERT_EQ(det.size(), 3u);
+  for (float x : det[2].flat()) ASSERT_TRUE(std::isfinite(x));
+}
+
+TEST(Domain, IfsEnsembleMembersDifferAndStayFinite) {
+  const Domain& d = tiny_domain();
+  auto ifs = ifs_ens_forecast(d, d.ds.test_begin(), 2, 2);
+  ASSERT_EQ(ifs.size(), 2u);
+  for (float x : ifs[0][1].flat()) ASSERT_TRUE(std::isfinite(x));
+  EXPECT_FALSE(ifs[0][0].allclose(ifs[1][0], 1e-3f));
+}
+
+TEST(Domain, ForecastRangeValidation) {
+  const Domain& d = tiny_domain();
+  auto model = train_model(d, core::Objective::kTrigFlow, nullptr);
+  EXPECT_THROW(forecast_ensemble(*model, core::Objective::kTrigFlow, d,
+                                 d.ds.size() - 1, 5, 1),
+               std::invalid_argument);
+}
+
+TEST(Domain, CacheRoundTrip) {
+  const std::string dir = "/tmp/aeris_test_cache";
+  std::filesystem::remove_all(dir);
+  DomainConfig cfg;
+  cfg.samples = 40;
+  cfg.spin_up_steps = 1000;
+  cfg.train_steps = 4;
+  cfg.seed = 31;
+  Domain a = build_domain_cached(cfg, dir);
+  Domain b = build_domain_cached(cfg, dir);  // loads from disk
+  EXPECT_EQ(a.ds.size(), b.ds.size());
+  EXPECT_TRUE(a.ds.state(10).allclose(b.ds.state(10)));
+  EXPECT_FLOAT_EQ(a.cfg.trigflow.sigma_d, b.cfg.trigflow.sigma_d);
+
+  auto m1 = train_or_load_model(a, core::Objective::kTrigFlow, dir);
+  auto m2 = train_or_load_model(b, core::Objective::kTrigFlow, dir);
+  EXPECT_EQ(nn::flatten_values(m1->params()), nn::flatten_values(m2->params()));
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace aeris::experiments

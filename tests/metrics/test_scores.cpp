@@ -1,0 +1,135 @@
+#include "aeris/metrics/scores.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "aeris/core/loss_weights.hpp"
+#include "aeris/tensor/ops.hpp"
+#include "aeris/tensor/rng.hpp"
+
+namespace aeris::metrics {
+namespace {
+
+Tensor uniform_lat(std::int64_t h) { return Tensor({h}, 1.0f); }
+
+std::vector<Tensor> gaussian_ensemble(std::int64_t m, float mu, float sigma,
+                                      std::uint64_t seed = 3) {
+  Philox rng(seed);
+  std::vector<Tensor> out;
+  for (std::int64_t i = 0; i < m; ++i) {
+    Tensor t({1, 8, 16});
+    rng.fill_normal(t, 1, static_cast<std::uint64_t>(i));
+    scale_(t, sigma);
+    add_scalar_(t, mu);
+    out.push_back(std::move(t));
+  }
+  return out;
+}
+
+TEST(Scores, EnsembleMeanAverages) {
+  std::vector<Tensor> members = {Tensor({1, 2, 2}, 1.0f),
+                                 Tensor({1, 2, 2}, 3.0f)};
+  EXPECT_TRUE(ensemble_mean(members).allclose(Tensor({1, 2, 2}, 2.0f)));
+  EXPECT_THROW(ensemble_mean({}), std::invalid_argument);
+}
+
+TEST(Scores, RmseKnownValue) {
+  Tensor a({1, 2, 2}, 1.0f), b({1, 2, 2}, 4.0f);
+  EXPECT_NEAR(lat_rmse(a, b, 0, uniform_lat(2)), 3.0, 1e-6);
+}
+
+TEST(Scores, RmseUsesLatWeights) {
+  Tensor a({1, 2, 2}, 0.0f), b = a;
+  b.at3(0, 0, 0) = 2.0f;  // error only in row 0
+  Tensor w = Tensor::from({2.0f, 0.0f});  // all weight on row 0
+  // mean of w*err^2 over 4 cells = 2*4/4 = 2 -> sqrt = 1.414
+  EXPECT_NEAR(lat_rmse(a, b, 0, w), std::sqrt(2.0), 1e-6);
+}
+
+TEST(Scores, PerfectEnsembleHasZeroCrps) {
+  Tensor truth({1, 4, 4}, 1.5f);
+  std::vector<Tensor> members = {truth, truth, truth};
+  EXPECT_NEAR(crps(members, truth, 0, uniform_lat(4)), 0.0, 1e-9);
+}
+
+TEST(Scores, CrpsMatchesGaussianTheory) {
+  // For X ~ N(0,1) and y = 0: CRPS = sigma * (1/sqrt(pi)) * (sqrt(2) - 1)
+  // ~ 0.2337 sigma.
+  auto members = gaussian_ensemble(64, 0.0f, 1.0f);
+  Tensor truth({1, 8, 16}, 0.0f);
+  const double c = crps(members, truth, 0, uniform_lat(8));
+  EXPECT_NEAR(c, 0.2337, 0.04);
+}
+
+TEST(Scores, CrpsPenalizesBias) {
+  auto centered = gaussian_ensemble(32, 0.0f, 1.0f);
+  auto biased = gaussian_ensemble(32, 3.0f, 1.0f);
+  Tensor truth({1, 8, 16}, 0.0f);
+  EXPECT_GT(crps(biased, truth, 0, uniform_lat(8)),
+            2.0 * crps(centered, truth, 0, uniform_lat(8)));
+}
+
+TEST(Scores, CrpsRewardsSharpnessWhenAccurate) {
+  auto sharp = gaussian_ensemble(32, 0.0f, 0.2f);
+  auto broad = gaussian_ensemble(32, 0.0f, 2.0f);
+  Tensor truth({1, 8, 16}, 0.0f);
+  EXPECT_LT(crps(sharp, truth, 0, uniform_lat(8)),
+            crps(broad, truth, 0, uniform_lat(8)));
+}
+
+TEST(Scores, SpreadMatchesGeneratingSigma) {
+  auto members = gaussian_ensemble(48, 1.0f, 0.7f);
+  EXPECT_NEAR(ensemble_spread(members, 0, uniform_lat(8)), 0.7, 0.08);
+  EXPECT_EQ(ensemble_spread(std::vector<Tensor>{Tensor({1, 2, 2})}, 0,
+                            uniform_lat(2)),
+            0.0);
+}
+
+TEST(Scores, CalibratedEnsembleHasUnitSSR) {
+  // Truth drawn from the same distribution as the members: SSR ~ 1.
+  Philox rng(9);
+  auto members = gaussian_ensemble(40, 0.0f, 1.0f, 11);
+  Tensor truth({1, 8, 16});
+  rng.fill_normal(truth, 2, 0);
+  const double ssr = spread_skill_ratio(members, truth, 0, uniform_lat(8));
+  EXPECT_NEAR(ssr, 1.0, 0.25);
+}
+
+TEST(Scores, UnderdispersedEnsembleHasLowSSR) {
+  Philox rng(10);
+  auto members = gaussian_ensemble(40, 0.0f, 0.2f, 12);  // too sharp
+  Tensor truth({1, 8, 16});
+  rng.fill_normal(truth, 2, 0);
+  EXPECT_LT(spread_skill_ratio(members, truth, 0, uniform_lat(8)), 0.5);
+}
+
+TEST(Scores, AccPerfectAndAnticorrelated) {
+  Philox rng(11);
+  Tensor clim({1, 8, 16}, 0.0f);
+  Tensor truth({1, 8, 16});
+  rng.fill_normal(truth, 1, 0);
+  EXPECT_NEAR(acc(truth, truth, clim, 0, uniform_lat(8)), 1.0, 1e-6);
+  EXPECT_NEAR(acc(scale(truth, -1.0f), truth, clim, 0, uniform_lat(8)), -1.0,
+              1e-6);
+  EXPECT_NEAR(acc(clim, truth, clim, 0, uniform_lat(8)), 0.0, 1e-6);
+}
+
+TEST(Scores, BoxMeanComputesSubregion) {
+  Tensor f({1, 4, 4}, 1.0f);
+  f.at3(0, 1, 1) = 9.0f;
+  EXPECT_NEAR(box_mean(f, 0, 1, 2, 1, 2), 9.0, 1e-6);
+  EXPECT_NEAR(box_mean(f, 0, 0, 4, 0, 4), 1.5, 1e-6);
+  EXPECT_THROW(box_mean(f, 0, 2, 1, 0, 4), std::invalid_argument);
+}
+
+TEST(Scores, LatWeightsFromCoreCompose) {
+  // The metrics accept the same latitude weights as the training loss.
+  Tensor w = core::latitude_weights(8);
+  auto members = gaussian_ensemble(8, 0.0f, 1.0f);
+  Tensor truth({1, 8, 16}, 0.0f);
+  EXPECT_GT(crps(members, truth, 0, w), 0.0);
+}
+
+}  // namespace
+}  // namespace aeris::metrics

@@ -1,0 +1,186 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "aeris/metrics/s2s.hpp"
+#include "aeris/metrics/spectra.hpp"
+#include "aeris/metrics/tracker.hpp"
+#include "aeris/tensor/ops.hpp"
+#include "aeris/tensor/rng.hpp"
+
+namespace aeris::metrics {
+namespace {
+
+/// Builds a [V, H, W] field with a synthetic cyclone at (row, col).
+Tensor storm_field(std::int64_t h, std::int64_t w, double row, double col,
+                   double intensity) {
+  Tensor f({5, h, w});
+  for (std::int64_t r = 0; r < h; ++r) {
+    for (std::int64_t c = 0; c < w; ++c) {
+      f.at3(3, r, c) = 1013.0f;  // MSLP background
+    }
+  }
+  for (std::int64_t r = 0; r < h; ++r) {
+    for (std::int64_t c = 0; c < w; ++c) {
+      double dr = static_cast<double>(r) - row;
+      double dc = static_cast<double>(c) - col;
+      if (dc > w / 2.0) dc -= w;
+      if (dc < -w / 2.0) dc += w;
+      const double rr = std::sqrt(dr * dr + dc * dc);
+      const double shape = std::exp(-0.5 * rr * rr / 4.0);
+      f.at3(3, r, c) -= static_cast<float>(intensity * shape);
+      const double vt = intensity * 0.5 * (rr / 2.0) * std::exp(1.0 - rr / 2.0);
+      const double inv = rr > 1e-9 ? 1.0 / rr : 0.0;
+      f.at3(1, r, c) += static_cast<float>(-vt * dr * inv);
+      f.at3(2, r, c) += static_cast<float>(vt * dc * inv);
+    }
+  }
+  return f;
+}
+
+TEST(Tracker, DetectsSeededStorm) {
+  Tensor f = storm_field(16, 32, 8.0, 12.0, 20.0);
+  TrackerConfig cfg;
+  const auto fixes = detect_centers(f, cfg, 0);
+  ASSERT_EQ(fixes.size(), 1u);
+  EXPECT_NEAR(fixes[0].row, 8.0, 1.0);
+  EXPECT_NEAR(fixes[0].col, 12.0, 1.0);
+  EXPECT_LT(fixes[0].min_pressure, 1000.0);
+  EXPECT_GT(fixes[0].max_wind, 3.0);
+}
+
+TEST(Tracker, IgnoresWeakMinima) {
+  Tensor f = storm_field(16, 32, 8.0, 12.0, 2.0);  // only 2 hPa dip
+  const auto fixes = detect_centers(f, TrackerConfig{}, 0);
+  EXPECT_TRUE(fixes.empty());
+}
+
+TEST(Tracker, LinksMovingStormAcrossLongitudeWrap) {
+  std::vector<Tensor> seq;
+  for (int t = 0; t < 6; ++t) {
+    // Storm moves east 3 cells/step, crossing the c=31 -> 0 boundary.
+    seq.push_back(storm_field(16, 32, 8.0, std::fmod(26.0 + 3.0 * t, 32.0),
+                              20.0));
+  }
+  auto track = track_storm(seq, TrackerConfig{}, 8.0, 26.0);
+  ASSERT_TRUE(track.has_value());
+  EXPECT_EQ(track->size(), 6u);
+  // Final position wrapped around.
+  EXPECT_NEAR(track->back().col, std::fmod(26.0 + 15.0, 32.0), 1.5);
+}
+
+TEST(Tracker, TrackErrorsAreZeroForIdenticalTracks) {
+  std::vector<Tensor> seq;
+  for (int t = 0; t < 4; ++t) {
+    seq.push_back(storm_field(16, 32, 8.0 + 0.5 * t, 10.0 + 2.0 * t, 20.0));
+  }
+  auto a = track_storm(seq, TrackerConfig{}, 8.0, 10.0);
+  ASSERT_TRUE(a.has_value());
+  EXPECT_NEAR(track_error(*a, *a, 32), 0.0, 1e-9);
+  EXPECT_NEAR(intensity_error(*a, *a), 0.0, 1e-9);
+}
+
+TEST(Tracker, TrackErrorGrowsWithDisplacement) {
+  std::vector<Tensor> seq_a, seq_b;
+  for (int t = 0; t < 4; ++t) {
+    seq_a.push_back(storm_field(16, 32, 8.0, 10.0 + 2.0 * t, 20.0));
+    seq_b.push_back(storm_field(16, 32, 11.0, 10.0 + 2.0 * t, 20.0));
+  }
+  auto a = track_storm(seq_a, TrackerConfig{}, 8.0, 10.0);
+  auto b = track_storm(seq_b, TrackerConfig{}, 11.0, 10.0);
+  ASSERT_TRUE(a && b);
+  EXPECT_NEAR(track_error(*a, *b, 32), 3.0, 0.7);
+}
+
+TEST(S2S, NinoIndexTracksBoxWarming) {
+  const auto box = default_nino_box(32, 64);
+  Tensor cold({5, 32, 64}, 20.0f);
+  Tensor warm = cold;
+  for (std::int64_t r = box.r0; r < box.r1; ++r) {
+    for (std::int64_t c = box.c0; c < box.c1; ++c) {
+      warm.at3(box.sst_var, r, c) += 2.0f;
+    }
+  }
+  EXPECT_NEAR(nino_index(warm, box) - nino_index(cold, box), 2.0, 1e-5);
+}
+
+TEST(S2S, HovmollerAveragesBandAndKeepsShape) {
+  std::vector<Tensor> seq;
+  for (int t = 0; t < 3; ++t) {
+    Tensor f({5, 8, 16}, static_cast<float>(t));
+    seq.push_back(f);
+  }
+  Tensor hov = hovmoller(seq, 0, 2, 6);
+  EXPECT_EQ(hov.shape(), (Shape{3, 16}));
+  EXPECT_FLOAT_EQ(hov.at2(2, 5), 2.0f);
+}
+
+TEST(S2S, HovmollerCorrelationAndPhaseSpeed) {
+  // A propagating sine wave: hov(t, c) = sin(2 pi (c - s*t) / W).
+  const std::int64_t t = 12, w = 32;
+  auto make_hov = [&](double speed) {
+    Tensor hov({t, w});
+    for (std::int64_t i = 0; i < t; ++i) {
+      for (std::int64_t c = 0; c < w; ++c) {
+        hov.at2(i, c) = static_cast<float>(std::sin(
+            2.0 * M_PI *
+            (static_cast<double>(c) - speed * static_cast<double>(i)) /
+            static_cast<double>(w)));
+      }
+    }
+    return hov;
+  };
+  Tensor east = make_hov(-3.0);  // pattern moves toward +c at 3 cells/step
+  EXPECT_NEAR(hovmoller_correlation(east, east), 1.0, 1e-6);
+  EXPECT_LT(hovmoller_correlation(east, make_hov(5.0)), 0.9);
+  EXPECT_NEAR(hovmoller_phase_speed(east), -3.0, 0.5);
+}
+
+TEST(S2S, FieldStdRatioDetectsBlurAndBlowup) {
+  Philox rng(5);
+  Tensor truth({5, 16, 16});
+  rng.fill_normal(truth, 1, 0);
+  Tensor blurred = scale(truth, 0.3f);
+  Tensor exploded = scale(truth, 5.0f);
+  EXPECT_NEAR(field_std_ratio(truth, truth, 0), 1.0, 1e-6);
+  EXPECT_LT(field_std_ratio(blurred, truth, 0), 0.4);
+  EXPECT_GT(field_std_ratio(exploded, truth, 0), 3.0);
+}
+
+TEST(Spectra, WhiteNoiseIsFlatSmoothedIsRed) {
+  Philox rng(6);
+  Tensor noise({1, 8, 64});
+  rng.fill_normal(noise, 1, 0);
+  // 3-point zonal smoothing damps high wavenumbers.
+  Tensor smooth = noise;
+  for (std::int64_t r = 0; r < 8; ++r) {
+    for (std::int64_t c = 0; c < 64; ++c) {
+      const std::int64_t cm = (c + 63) % 64, cp = (c + 1) % 64;
+      smooth.at3(0, r, c) = (noise.at3(0, r, cm) + noise.at3(0, r, c) +
+                             noise.at3(0, r, cp)) /
+                            3.0f;
+    }
+  }
+  const double ratio = small_scale_power_ratio(smooth, noise, 0);
+  EXPECT_LT(ratio, 0.5);
+  EXPECT_NEAR(small_scale_power_ratio(noise, noise, 0), 1.0, 1e-9);
+}
+
+TEST(Spectra, PureModeConcentratesPower) {
+  Tensor f({1, 4, 32});
+  for (std::int64_t r = 0; r < 4; ++r) {
+    for (std::int64_t c = 0; c < 32; ++c) {
+      f.at3(0, r, c) = static_cast<float>(
+          std::cos(2.0 * M_PI * 4.0 * static_cast<double>(c) / 32.0));
+    }
+  }
+  const auto spec = zonal_power_spectrum(f, 0);
+  double total = 0.0;
+  for (double s : spec) total += s;
+  EXPECT_GT(spec[4] / total, 0.95);
+  EXPECT_THROW(zonal_power_spectrum(Tensor({1, 4, 33}), 0),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace aeris::metrics

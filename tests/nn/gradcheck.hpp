@@ -1,0 +1,57 @@
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+
+#include "aeris/nn/param.hpp"
+#include "aeris/tensor/ops.hpp"
+
+namespace aeris::nn::testing {
+
+/// Checks an analytic input gradient against central finite differences.
+///
+/// `loss_of(x)` must evaluate the scalar loss at x (stateless forward).
+/// `dx` is the analytic dL/dx at `x`. Samples `max_checks` coordinates
+/// (deterministically strided) to keep runtime bounded.
+inline void expect_input_grad_close(
+    const Tensor& x, const Tensor& dx,
+    const std::function<float(const Tensor&)>& loss_of, float eps = 1e-2f,
+    float tol = 2e-2f, std::int64_t max_checks = 64) {
+  ASSERT_EQ(x.shape(), dx.shape());
+  const std::int64_t n = x.numel();
+  const std::int64_t stride = std::max<std::int64_t>(1, n / max_checks);
+  for (std::int64_t i = 0; i < n; i += stride) {
+    Tensor xp = x, xm = x;
+    xp[i] += eps;
+    xm[i] -= eps;
+    const float fd = (loss_of(xp) - loss_of(xm)) / (2 * eps);
+    EXPECT_NEAR(dx[i], fd, tol * std::max(1.0f, std::fabs(fd)))
+        << "input coordinate " << i;
+  }
+}
+
+/// Checks analytic parameter gradients (accumulated by a backward pass)
+/// against finite differences, for every parameter in the list.
+inline void expect_param_grads_close(
+    const ParamList& params, const std::function<float()>& loss,
+    float eps = 1e-2f, float tol = 2e-2f, std::int64_t max_checks = 24) {
+  for (Param* p : params) {
+    const std::int64_t n = p->numel();
+    const std::int64_t stride = std::max<std::int64_t>(1, n / max_checks);
+    for (std::int64_t i = 0; i < n; i += stride) {
+      const float save = p->value[i];
+      p->value[i] = save + eps;
+      const float lp = loss();
+      p->value[i] = save - eps;
+      const float lm = loss();
+      p->value[i] = save;
+      const float fd = (lp - lm) / (2 * eps);
+      EXPECT_NEAR(p->grad[i], fd, tol * std::max(1.0f, std::fabs(fd)))
+          << p->name << " coordinate " << i;
+    }
+  }
+}
+
+}  // namespace aeris::nn::testing

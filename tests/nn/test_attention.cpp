@@ -1,0 +1,127 @@
+#include "aeris/nn/attention.hpp"
+
+#include <gtest/gtest.h>
+
+#include "aeris/tensor/ops.hpp"
+#include "gradcheck.hpp"
+
+namespace aeris::nn {
+namespace {
+
+WindowAttention make_attn(std::int64_t dim = 8, std::int64_t heads = 2,
+                          std::int64_t wh = 2, std::int64_t ww = 2,
+                          std::uint64_t seed = 1) {
+  WindowAttention attn("a", dim, heads, wh, ww);
+  Philox rng(seed);
+  attn.init(rng, 0);
+  return attn;
+}
+
+TEST(WindowAttention, OutputShapeMatchesInput) {
+  WindowAttention attn = make_attn();
+  Philox rng(2);
+  Tensor x({3, 4, 8});
+  rng.fill_normal(x, 1, 0);
+  EXPECT_EQ(attn.forward(x).shape(), (Shape{3, 4, 8}));
+}
+
+TEST(WindowAttention, WindowsAreIndependent) {
+  // Changing window 1's input must not change window 0's output — the
+  // disjointness that Window Parallelism relies on (paper §V-A).
+  WindowAttention attn = make_attn();
+  Philox rng(3);
+  Tensor x({2, 4, 8});
+  rng.fill_normal(x, 1, 0);
+  Tensor y0 = attn.forward(x);
+
+  Tensor x2 = x;
+  for (std::int64_t t = 0; t < 4; ++t) {
+    for (std::int64_t c = 0; c < 8; ++c) x2.at3(1, t, c) += 5.0f;
+  }
+  Tensor y1 = attn.forward(x2);
+  EXPECT_TRUE(slice(y0, 0, 0, 1).allclose(slice(y1, 0, 0, 1), 1e-5f));
+  EXPECT_FALSE(slice(y0, 0, 1, 2).allclose(slice(y1, 0, 1, 2), 1e-3f));
+}
+
+TEST(WindowAttention, BatchOfIdenticalWindowsGivesIdenticalOutput) {
+  WindowAttention attn = make_attn();
+  Philox rng(4);
+  Tensor one({1, 4, 8});
+  rng.fill_normal(one, 1, 0);
+  Tensor both = concat(one, one, 0);
+  Tensor y = attn.forward(both);
+  EXPECT_TRUE(slice(y, 0, 0, 1).allclose(slice(y, 0, 1, 2), 1e-5f));
+}
+
+TEST(WindowAttention, ValidatesInputShape) {
+  WindowAttention attn = make_attn();
+  EXPECT_THROW(attn.forward(Tensor({1, 3, 8})), std::invalid_argument);
+  EXPECT_THROW(attn.forward(Tensor({1, 4, 6})), std::invalid_argument);
+  EXPECT_THROW(attn.backward(Tensor({1, 4, 8})), std::logic_error);
+}
+
+TEST(WindowAttention, RejectsIndivisibleHeads) {
+  EXPECT_THROW(WindowAttention("a", 10, 3, 2, 2), std::invalid_argument);
+}
+
+TEST(WindowAttention, GradCheckInput) {
+  WindowAttention attn = make_attn(8, 2, 2, 2, 5);
+  Philox rng(6);
+  Tensor x({2, 4, 8});
+  rng.fill_normal(x, 1, 0);
+  Tensor dy({2, 4, 8});
+  rng.fill_normal(dy, 1, 1);
+
+  ParamList params;
+  attn.collect_params(params);
+  zero_grads(params);
+  attn.forward(x);
+  Tensor dx = attn.backward(dy);
+
+  auto loss_of_x = [&](const Tensor& xx) {
+    WindowAttention probe = attn;
+    return dot(probe.forward(xx), dy);
+  };
+  testing::expect_input_grad_close(x, dx, loss_of_x, 5e-3f, 3e-2f);
+}
+
+TEST(WindowAttention, GradCheckParams) {
+  WindowAttention attn = make_attn(8, 2, 2, 2, 7);
+  Philox rng(8);
+  Tensor x({1, 4, 8});
+  rng.fill_normal(x, 1, 0);
+  Tensor dy({1, 4, 8});
+  rng.fill_normal(dy, 1, 1);
+
+  ParamList params;
+  attn.collect_params(params);
+  zero_grads(params);
+  attn.forward(x);
+  attn.backward(dy);
+
+  auto loss = [&]() {
+    WindowAttention probe = attn;
+    return dot(probe.forward(x), dy);
+  };
+  testing::expect_param_grads_close(params, loss, 5e-3f, 3e-2f, 16);
+}
+
+TEST(WindowAttention, ParamCountMatchesFormula) {
+  // qkv: dim*3dim + 3dim; proj: dim*dim + dim.
+  WindowAttention attn = make_attn(16, 4, 2, 2);
+  ParamList params;
+  attn.collect_params(params);
+  EXPECT_EQ(param_count(params), 16 * 48 + 48 + 16 * 16 + 16);
+}
+
+TEST(WindowAttention, NonSquareWindow) {
+  WindowAttention attn("a", 8, 2, 2, 3);
+  Philox rng(9);
+  attn.init(rng, 0);
+  Tensor x({1, 6, 8});
+  rng.fill_normal(x, 1, 0);
+  EXPECT_EQ(attn.forward(x).shape(), (Shape{1, 6, 8}));
+}
+
+}  // namespace
+}  // namespace aeris::nn

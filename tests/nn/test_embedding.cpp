@@ -1,0 +1,90 @@
+#include "aeris/nn/embedding.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "aeris/tensor/ops.hpp"
+
+namespace aeris::nn {
+namespace {
+
+TEST(PosEnc2D, ShapeAndBoundedAmplitude) {
+  Tensor pe = sinusoidal_posenc_2d(16, 32, 4, 0.1f);
+  EXPECT_EQ(pe.shape(), (Shape{16, 32}));
+  EXPECT_LE(max_abs(pe), 0.1f + 1e-6f);
+}
+
+TEST(PosEnc2D, VariesInBothAxes) {
+  Tensor pe = sinusoidal_posenc_2d(8, 8);
+  bool row_varies = false, col_varies = false;
+  for (std::int64_t r = 1; r < 8; ++r) {
+    row_varies = row_varies || std::fabs(pe.at2(r, 3) - pe.at2(0, 3)) > 1e-6f;
+  }
+  for (std::int64_t c = 1; c < 8; ++c) {
+    col_varies = col_varies || std::fabs(pe.at2(3, c) - pe.at2(3, 0)) > 1e-6f;
+  }
+  EXPECT_TRUE(row_varies);
+  EXPECT_TRUE(col_varies);
+}
+
+TEST(PosEnc2D, DeterministicAcrossCalls) {
+  EXPECT_TRUE(sinusoidal_posenc_2d(8, 8).allclose(sinusoidal_posenc_2d(8, 8)));
+}
+
+TEST(SinFeatures, ShapeAndRange) {
+  Tensor f = sinusoidal_features(0.7f, 16);
+  EXPECT_EQ(f.shape(), (Shape{16}));
+  for (float v : f.flat()) {
+    EXPECT_GE(v, -1.0f);
+    EXPECT_LE(v, 1.0f);
+  }
+  EXPECT_THROW(sinusoidal_features(0.1f, 7), std::invalid_argument);
+}
+
+TEST(SinFeatures, DistinguishesTimes) {
+  Tensor a = sinusoidal_features(0.1f, 32);
+  Tensor b = sinusoidal_features(1.2f, 32);
+  EXPECT_FALSE(a.allclose(b, 1e-3f));
+}
+
+TEST(TimeEmbedding, ShapeAndDeterminism) {
+  TimeEmbedding emb("t", 16, 8);
+  Philox rng(1);
+  emb.init(rng, 0);
+  Tensor t = Tensor::from({0.2f, 1.0f});
+  Tensor c1 = emb.forward(t);
+  Tensor c2 = emb.forward(t);
+  EXPECT_EQ(c1.shape(), (Shape{2, 8}));
+  EXPECT_TRUE(c1.allclose(c2));
+}
+
+TEST(TimeEmbedding, DifferentTimesGiveDifferentConditioning) {
+  TimeEmbedding emb("t", 16, 8);
+  Philox rng(2);
+  emb.init(rng, 0);
+  Tensor c = emb.forward(Tensor::from({0.1f, 1.4f}));
+  EXPECT_FALSE(slice(c, 0, 0, 1).allclose(slice(c, 0, 1, 2), 1e-4f));
+}
+
+TEST(TimeEmbedding, BackwardAccumulatesSharedLayerGrads) {
+  TimeEmbedding emb("t", 8, 4);
+  Philox rng(3);
+  emb.init(rng, 0);
+  ParamList params;
+  emb.collect_params(params);
+  zero_grads(params);
+
+  Tensor c = emb.forward(Tensor::from({0.5f}));
+  Tensor dcond({1, 4}, 1.0f);
+  emb.backward(dcond);
+  EXPECT_GT(grad_norm(params), 0.0f);
+}
+
+TEST(TimeEmbedding, RejectsMatrixInput) {
+  TimeEmbedding emb("t", 8, 4);
+  EXPECT_THROW(emb.forward(Tensor({2, 2})), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace aeris::nn

@@ -1,0 +1,100 @@
+#include "aeris/nn/swiglu.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "aeris/tensor/ops.hpp"
+#include "gradcheck.hpp"
+
+namespace aeris::nn {
+namespace {
+
+TEST(Silu, KnownValues) {
+  EXPECT_FLOAT_EQ(silu(0.0f), 0.0f);
+  EXPECT_NEAR(silu(1.0f), 1.0f / (1.0f + std::exp(-1.0f)), 1e-6f);
+  EXPECT_LT(silu(-10.0f), 0.0f);   // small negative tail
+  EXPECT_GT(silu(-10.0f), -0.1f);  // bounded below
+}
+
+TEST(Silu, GradMatchesFiniteDifference) {
+  for (float x : {-3.0f, -1.0f, -0.1f, 0.0f, 0.5f, 2.0f, 8.0f}) {
+    const float eps = 1e-3f;
+    const float fd = (silu(x + eps) - silu(x - eps)) / (2 * eps);
+    EXPECT_NEAR(silu_grad(x), fd, 1e-3f) << x;
+  }
+}
+
+TEST(SwiGLU, OutputShape) {
+  SwiGLU ffn("f", 8, 16);
+  Philox rng(1);
+  ffn.init(rng, 0);
+  Tensor x({2, 3, 8});
+  rng.fill_normal(x, 1, 0);
+  EXPECT_EQ(ffn.forward(x).shape(), (Shape{2, 3, 8}));
+}
+
+TEST(SwiGLU, ParamCountMatchesFormula) {
+  // gate + up: 2 * dim * hidden; down: hidden * dim  => 3 * dim * hidden.
+  SwiGLU ffn("f", 8, 16);
+  ParamList params;
+  ffn.collect_params(params);
+  EXPECT_EQ(param_count(params), 3 * 8 * 16);
+}
+
+TEST(SwiGLU, GradCheckInput) {
+  SwiGLU ffn("f", 4, 8);
+  Philox rng(3);
+  ffn.init(rng, 0);
+  Tensor x({2, 4});
+  rng.fill_normal(x, 1, 1);
+  Tensor dy({2, 4});
+  rng.fill_normal(dy, 1, 2);
+
+  ffn.forward(x);
+  // Re-run forward to refresh caches before each backward in loss closure.
+  ParamList params;
+  ffn.collect_params(params);
+  zero_grads(params);
+  ffn.forward(x);
+  Tensor dx = ffn.backward(dy);
+
+  auto loss_of_x = [&](const Tensor& xx) {
+    SwiGLU probe = ffn;  // copy has same weights, fresh caches
+    return dot(probe.forward(xx), dy);
+  };
+  testing::expect_input_grad_close(x, dx, loss_of_x, 1e-2f, 2e-2f);
+}
+
+TEST(SwiGLU, GradCheckParams) {
+  SwiGLU ffn("f", 3, 6);
+  Philox rng(5);
+  ffn.init(rng, 0);
+  Tensor x({2, 3});
+  rng.fill_normal(x, 1, 1);
+  Tensor dy({2, 3});
+  rng.fill_normal(dy, 1, 2);
+
+  ParamList params;
+  ffn.collect_params(params);
+  zero_grads(params);
+  ffn.forward(x);
+  ffn.backward(dy);
+
+  auto loss = [&]() {
+    SwiGLU probe = ffn;
+    return dot(probe.forward(x), dy);
+  };
+  testing::expect_param_grads_close(params, loss, 1e-2f, 2e-2f);
+}
+
+TEST(SwiGLU, ZeroInputGivesZeroOutput) {
+  SwiGLU ffn("f", 4, 8);
+  Philox rng(7);
+  ffn.init(rng, 0);
+  Tensor x({1, 4});
+  EXPECT_FLOAT_EQ(max_abs(ffn.forward(x)), 0.0f);
+}
+
+}  // namespace
+}  // namespace aeris::nn

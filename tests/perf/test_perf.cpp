@@ -1,0 +1,226 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "aeris/core/model.hpp"
+#include "aeris/perf/paper_configs.hpp"
+#include "aeris/perf/perf_model.hpp"
+
+namespace aeris::perf {
+namespace {
+
+TEST(Machines, TableIConstants) {
+  const Machine a = aurora();
+  EXPECT_EQ(a.tiles_per_node, 12);
+  EXPECT_DOUBLE_EQ(a.peak_tflops_tile, 229.0);
+  EXPECT_EQ(a.nics_per_node, 8);
+  const Machine l = lumi();
+  EXPECT_EQ(l.tiles_per_node, 8);
+  EXPECT_EQ(l.nics_per_node, 4);
+  EXPECT_LT(l.scale_out_gbs, a.scale_out_gbs);
+}
+
+TEST(ArchParams, MatchesConstructedModelAtSmallScale) {
+  // The production formula must agree with the actual AerisModel
+  // construction for an equivalent (small) config, where time-trunk
+  // feature width equals cond_dim.
+  core::ModelConfig mc;
+  mc.h = 8;
+  mc.w = 8;
+  mc.in_channels = 5;
+  mc.out_channels = 2;
+  mc.dim = 16;
+  mc.depth = 4;  // == swin_layers * blocks_per_layer
+  mc.heads = 2;
+  mc.ffn_hidden = 32;
+  mc.win_h = 4;
+  mc.win_w = 4;
+  mc.cond_dim = 16;
+  mc.time_features = 16;
+
+  ArchShape a;
+  a.dim = mc.dim;
+  a.heads = mc.heads;
+  a.ffn = mc.ffn_hidden;
+  a.swin_layers = 2;
+  a.blocks_per_layer = 2;
+  a.in_channels = mc.in_channels;
+  a.out_channels = mc.out_channels;
+  a.cond_dim = mc.cond_dim;
+
+  EXPECT_EQ(arch_params(a), core::AerisModel::analytic_param_count(mc));
+}
+
+TEST(ArchParams, ReproducesTableIIHeadlineCounts) {
+  // The blocks-per-Swin-layer = 2 reading reconciles Table II (see
+  // DESIGN.md): counts land within ~25% of the nominal labels.
+  for (const PaperConfig& c : paper_configs()) {
+    const double got = static_cast<double>(arch_params(c.arch));
+    EXPECT_GT(got, 0.7 * c.nominal_params) << c.name;
+    EXPECT_LT(got, 1.35 * c.nominal_params) << c.name;
+  }
+  // And the flagship very closely.
+  const PaperConfig c40 = flagship_40b();
+  EXPECT_NEAR(static_cast<double>(arch_params(c40.arch)) / 40e9, 1.0, 0.06);
+}
+
+TEST(ArchFlops, ScalesLinearlyInTokensAndBlocks) {
+  ArchShape a;
+  const double base = forward_flops_per_sample(a);
+  ArchShape more_tokens = a;
+  more_tokens.h *= 2;
+  EXPECT_NEAR(forward_flops_per_sample(more_tokens) / base, 2.0, 0.01);
+  ArchShape more_layers = a;
+  more_layers.swin_layers *= 2;
+  EXPECT_GT(forward_flops_per_sample(more_layers) / base, 1.9);
+  EXPECT_DOUBLE_EQ(train_flops_per_sample(a), 3.0 * base);
+}
+
+TEST(ArchFlops, FlagshipStepCostMatchesPaperScale) {
+  // 40B model at 50 samples/s should be ~10 EFLOPS (paper Table III):
+  // train FLOPs per sample ~2.1e17.
+  const ArchShape a = flagship_40b().arch;
+  const double per_sample = train_flops_per_sample(a);
+  EXPECT_GT(per_sample * 50.0 / 1e18, 8.5);
+  EXPECT_LT(per_sample * 50.0 / 1e18, 12.5);
+}
+
+TEST(PerfModel, FlagshipLandsInTableIIIBand) {
+  const PaperConfig c = flagship_40b();
+  const Throughput t = evaluate(c.job());
+  // Shape targets, not exact numbers: sustained within ~25% of 10.21 EF,
+  // MFU within 10 points of 38.4%, peak > sustained.
+  EXPECT_GT(t.sustained_eflops, 10.21 * 0.75);
+  EXPECT_LT(t.sustained_eflops, 10.21 * 1.25);
+  EXPECT_NEAR(t.mfu * 100.0, c.paper_mfu_pct, 10.0);
+  EXPECT_GT(t.peak_eflops, t.sustained_eflops);
+  // ~50 samples/s at full scale (§VII-A).
+  EXPECT_NEAR(t.images_per_s, 50.0, 15.0);
+}
+
+TEST(PerfModel, OrderingAcrossConfigsMatchesPaper) {
+  // Table III ordering: 40B achieves the highest sustained EF and MFU;
+  // the 1.3B has the lowest MFU of the Aurora rows.
+  const auto configs = paper_configs();
+  double best_ef = 0;
+  std::string best;
+  double mfu_13 = 0, mfu_40 = 0;
+  for (const auto& c : configs) {
+    const Throughput t = evaluate(c.job());
+    if (t.sustained_eflops > best_ef) {
+      best_ef = t.sustained_eflops;
+      best = c.name;
+    }
+    if (c.name == "1.3B") mfu_13 = t.mfu;
+    if (c.name == "40B") mfu_40 = t.mfu;
+  }
+  EXPECT_EQ(best, "40B");
+  EXPECT_LT(mfu_13, mfu_40);
+}
+
+TEST(PerfModel, PeakExcludesGradSyncAndOptimizer) {
+  const Throughput t = evaluate(flagship_40b().job());
+  EXPECT_GT(t.step.grad_sync_s + t.step.optimizer_s, 0.0);
+  EXPECT_NEAR(t.peak_eflops / t.sustained_eflops,
+              t.step.total_s() / t.step.pipeline_s(), 1e-9);
+}
+
+TEST(PerfModel, WeakScalingIsNearLinearInDP) {
+  // Fig. 4 bottom: throughput scales ~linearly with data parallelism.
+  PaperConfig c = flagship_40b();
+  JobConfig j = c.job();
+  j.dp = 1;
+  const double t1 = evaluate(j).images_per_s;
+  j.dp = 14;
+  const double t14 = evaluate(j).images_per_s;
+  const double efficiency = t14 / (14.0 * t1);
+  EXPECT_GT(efficiency, 0.90);  // paper: 95% weak scaling efficiency
+  EXPECT_LE(efficiency, 1.0 + 1e-9);
+}
+
+TEST(PerfModel, GasStrongScalingLosesToBubble) {
+  // Fig. 4 top: with fixed GBS = 1960, scaling DP up (GAS down) loses
+  // efficiency through the growing pipeline bubble; paper: 81.6%.
+  PaperConfig c = flagship_40b();
+  JobConfig base = c.job();
+  base.dp = 2;
+  base.gas = 980;
+  const double t0 = evaluate(base).images_per_s;
+  JobConfig big = base;
+  big.dp = 14;
+  big.gas = 140;
+  const double t1 = evaluate(big).images_per_s;
+  const double eff = t1 / (t0 * (14.0 / 2.0));
+  EXPECT_LT(eff, 1.0);
+  EXPECT_GT(eff, 0.70);
+  EXPECT_NEAR(eff, 0.816, 0.12);
+}
+
+TEST(PerfModel, WpStrongScalingDegradesFromSaturation) {
+  // Fig. 4 top (WP-driven): WP 36 -> 144 at fixed batch 140 yields ~2.4x
+  // speedup (64% efficiency) because tiles desaturate.
+  PaperConfig c = flagship_40b();
+  JobConfig j = c.job();
+  j.dp = 1;
+  j.gas = 140;
+  j.wp = 36;
+  const double t36 = evaluate(j).images_per_s;
+  j.wp = 64;
+  const double t64 = evaluate(j).images_per_s;
+  j.wp = 144;
+  const double t144 = evaluate(j).images_per_s;
+  const double eff64 = t64 / t36 / (64.0 / 36.0);
+  const double eff144 = t144 / t36 / (144.0 / 36.0);
+  EXPECT_GT(eff64, eff144);
+  EXPECT_NEAR(eff64, 0.87, 0.12);
+  EXPECT_NEAR(eff144, 0.64, 0.12);
+}
+
+TEST(PerfModel, ActivationMemoryDividedByWp) {
+  PaperConfig c = flagship_40b();
+  JobConfig j = c.job();
+  j.wp = 36;
+  const double a36 = activation_floats_per_tile(j);
+  j.wp = 144;
+  const double a144 = activation_floats_per_tile(j);
+  EXPECT_NEAR(a36 / a144, 4.0, 1e-9);
+}
+
+TEST(PerfModel, CommVolumeLaw) {
+  // M = b*s*h / SP / WP: doubling WP halves per-tile alltoall and p2p,
+  // allreduce unchanged (§V-A).
+  PaperConfig c = flagship_40b();
+  JobConfig j = c.job();
+  j.wp = 36;
+  const CommVolumes v1 = comm_volumes(j);
+  j.wp = 72;
+  const CommVolumes v2 = comm_volumes(j);
+  EXPECT_NEAR(v1.alltoall_bytes / v2.alltoall_bytes, 2.0, 1e-6);
+  EXPECT_NEAR(v1.p2p_bytes / v2.p2p_bytes, 2.0, 1e-6);
+  EXPECT_DOUBLE_EQ(v1.allreduce_bytes, v2.allreduce_bytes);
+}
+
+TEST(PerfModel, ValidatesStageCount) {
+  JobConfig j = flagship_40b().job();
+  j.pp += 1;
+  EXPECT_THROW(evaluate(j), std::invalid_argument);
+}
+
+TEST(PaperConfigs, InternallyConsistent) {
+  for (const auto& c : paper_configs()) {
+    EXPECT_EQ(c.wp, c.wp_a * c.wp_b) << c.name;
+    EXPECT_EQ(c.nodes, c.wp * c.pp * c.dp) << c.name;
+    EXPECT_EQ(c.gbs, c.dp * c.gas) << c.name;
+    EXPECT_EQ(c.arch.swin_layers, c.pp - 2) << c.name;
+  }
+}
+
+TEST(PaperConfigs, FifteenHourTrainingEstimate) {
+  // §VII-A: "At this pace [50 samples/s], ~15 hours for 3M samples."
+  const Throughput t = evaluate(flagship_40b().job());
+  const double hours = 3e6 / t.images_per_s / 3600.0;
+  EXPECT_NEAR(hours, 15.0, 5.0);
+}
+
+}  // namespace
+}  // namespace aeris::perf

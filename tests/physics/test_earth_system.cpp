@@ -1,0 +1,216 @@
+#include "aeris/physics/earth_system.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "aeris/physics/era5like.hpp"
+#include "aeris/tensor/ops.hpp"
+
+namespace aeris::physics {
+namespace {
+
+EarthSystemParams small_world(std::uint64_t seed = 0) {
+  EarthSystemParams p;
+  p.qg.h = 32;
+  p.qg.w = 32;
+  p.qg.lx = 2 * M_PI;
+  p.seed = seed;
+  return p;
+}
+
+TEST(Thermo, QsatIsClausiusClapeyronLike) {
+  SpectralGrid g(8, 8, 1.0, 1.0);
+  Thermo th(g, ThermoParams{});
+  EXPECT_GT(th.qsat(30.0), th.qsat(20.0));
+  // Roughly exponential: equal temperature steps give equal ratios.
+  const double r1 = th.qsat(10.0) / th.qsat(0.0);
+  const double r2 = th.qsat(20.0) / th.qsat(10.0);
+  EXPECT_NEAR(r1, r2, 1e-9);
+}
+
+TEST(Thermo, EquilibriumWarmestAtChannelCenter) {
+  SpectralGrid g(32, 32, 1.0, 1.0);
+  Thermo th(g, ThermoParams{});
+  EXPECT_GT(th.t_equilibrium(16, 0.0), th.t_equilibrium(0, 0.0));
+  EXPECT_GT(th.t_equilibrium(16, 0.0), th.t_equilibrium(31, 0.0));
+  // Seasonality flips sign across the channel center.
+  const double north_summer = th.t_equilibrium(28, 0.25) - th.t_equilibrium(28, 0.75);
+  const double south_summer = th.t_equilibrium(3, 0.25) - th.t_equilibrium(3, 0.75);
+  EXPECT_GT(north_summer, 0.0);
+  EXPECT_LT(south_summer, 0.0);
+}
+
+TEST(Ocean, EnsoOscillates) {
+  SpectralGrid g(32, 32, 2 * M_PI, 2 * M_PI);
+  OceanParams p;
+  SlabOcean ocean(g, p, 0.01, 0.5);
+  // Integrate long enough to see sign changes of the index.
+  int sign_changes = 0;
+  double prev = ocean.enso_index();
+  for (int step = 0; step < 20000; ++step) {
+    ocean.step(0.25);
+    const double e = ocean.enso_index();
+    if ((e > 0) != (prev > 0)) ++sign_changes;
+    prev = e;
+    ASSERT_TRUE(std::isfinite(e));
+    ASSERT_LT(std::fabs(e), 10.0);
+  }
+  EXPECT_GE(sign_changes, 2);
+}
+
+TEST(Ocean, EnsoWarmsTheNinoBox) {
+  SpectralGrid g(32, 32, 2 * M_PI, 2 * M_PI);
+  OceanParams p;
+  SlabOcean warm(g, p, 0.01, 1.5);
+  SlabOcean cold(g, p, 0.01, -1.5);
+  EXPECT_GT(warm.nino_box_mean(), cold.nino_box_mean() + 1.0);
+}
+
+TEST(Cyclone, SeededStormTracksAndIntensifiesOverWarmWater) {
+  SpectralGrid g(32, 32, 2 * M_PI, 2 * M_PI);
+  CycloneParams cp;
+  CycloneField field(g, cp, 1);
+  field.seed_storm(M_PI, M_PI, 10.0);
+
+  std::vector<double> u(static_cast<std::size_t>(g.size()), 0.1);
+  std::vector<double> v(static_cast<std::size_t>(g.size()), 0.0);
+  std::vector<double> sst(static_cast<std::size_t>(g.size()), 29.0);  // warm
+  std::vector<double> land(static_cast<std::size_t>(g.size()), 0.0);
+  const double x0 = field.storms()[0].x;
+  for (int i = 0; i < 50; ++i) field.step(u, v, sst, land, 0.05);
+  ASSERT_EQ(field.storms().size(), 1u);
+  EXPECT_GT(field.storms()[0].intensity, 10.0);     // intensified
+  EXPECT_NE(field.storms()[0].x, x0);               // moved
+}
+
+TEST(Cyclone, DecaysAndDiesOverLand) {
+  SpectralGrid g(32, 32, 2 * M_PI, 2 * M_PI);
+  CycloneParams cp;
+  CycloneField field(g, cp, 1);
+  field.seed_storm(M_PI, M_PI, 20.0);
+  std::vector<double> u(static_cast<std::size_t>(g.size()), 0.0);
+  std::vector<double> v(static_cast<std::size_t>(g.size()), 0.0);
+  std::vector<double> sst(static_cast<std::size_t>(g.size()), 29.0);
+  std::vector<double> land(static_cast<std::size_t>(g.size()), 1.0);  // all land
+  for (int i = 0; i < 200 && !field.storms().empty(); ++i) {
+    field.step(u, v, sst, land, 0.05);
+  }
+  EXPECT_TRUE(field.storms().empty());
+}
+
+TEST(Cyclone, ImprintAddsCyclonicWindAndPressureDip) {
+  SpectralGrid g(32, 32, 2 * M_PI, 2 * M_PI);
+  CycloneField field(g, CycloneParams{}, 1);
+  field.seed_storm(M_PI, M_PI, 30.0);
+  std::vector<double> u(static_cast<std::size_t>(g.size()), 0.0);
+  std::vector<double> v = u, mslp(u.size(), 1013.0), t2m = u, q = u;
+  field.imprint(u, v, mslp, t2m, q);
+  double min_p = 1e9, max_wind = 0.0;
+  for (std::size_t i = 0; i < u.size(); ++i) {
+    min_p = std::min(min_p, mslp[i]);
+    max_wind = std::max(max_wind, std::sqrt(u[i] * u[i] + v[i] * v[i]));
+  }
+  EXPECT_LT(min_p, 1013.0 - 5.0);
+  EXPECT_GT(max_wind, 15.0);
+}
+
+TEST(EarthSystem, SnapshotShapesAndNames) {
+  EarthSystem world(small_world());
+  const Tensor snap = world.snapshot();
+  EXPECT_EQ(snap.shape(), (Shape{kNumVars, 32, 32}));
+  const Tensor f = world.forcings();
+  EXPECT_EQ(f.shape(), (Shape{kNumForcings, 32, 32}));
+  EXPECT_STREQ(var_name(Var::kT2m), "T2m");
+  EXPECT_STREQ(var_name(Var::kQ700), "Q700");
+}
+
+TEST(EarthSystem, RunsStablyAndProducesWeatherVariance) {
+  EarthSystem world(small_world(1));
+  world.spin_up(6000);
+  const Tensor a = world.snapshot();
+  world.advance_hours(24.0);
+  const Tensor b = world.snapshot();
+  // Fields evolve and stay finite; Z500 develops spatial structure.
+  EXPECT_FALSE(a.allclose(b, 1e-3f));
+  for (float x : b.flat()) ASSERT_TRUE(std::isfinite(x));
+  Tensor z500 = slice(b, 0, static_cast<std::int64_t>(Var::kZ500),
+                      static_cast<std::int64_t>(Var::kZ500) + 1);
+  float zmin = 1e9f, zmax = -1e9f;
+  for (float x : z500.flat()) {
+    zmin = std::min(zmin, x);
+    zmax = std::max(zmax, x);
+  }
+  EXPECT_GT(zmax - zmin, 10.0f);
+}
+
+TEST(EarthSystem, ForcingsBehavePhysically) {
+  EarthSystem world(small_world(2));
+  const Tensor f = world.forcings();
+  // Solar is non-negative; land mask is binary; orography non-negative.
+  for (std::int64_t i = 0; i < 32 * 32; ++i) {
+    EXPECT_GE(f[i], 0.0f);
+    const float lm = f[2 * 32 * 32 + i];
+    EXPECT_TRUE(lm == 0.0f || lm == 1.0f);
+    EXPECT_GE(f[32 * 32 + i], 0.0f);
+  }
+}
+
+TEST(EarthSystem, PerturbationCreatesDivergingMembers) {
+  EarthSystem a(small_world(3)), b(small_world(3));
+  a.spin_up(6000);
+  b.spin_up(6000);
+  EXPECT_TRUE(a.snapshot().allclose(b.snapshot(), 1e-4f));
+  b.perturb(Philox(99), 1, 1e-4);
+  a.advance_hours(96.0);
+  b.advance_hours(96.0);
+  EXPECT_FALSE(a.snapshot().allclose(b.snapshot(), 1e-2f));
+}
+
+TEST(EarthSystem, ParamPerturbationChangesClimate) {
+  EarthSystemParams base = small_world(4);
+  EarthSystemParams imperfect = base;
+  imperfect.param_perturbation = 0.1;
+  EarthSystem a(base), b(imperfect);
+  EXPECT_NE(a.qg().params().beta, b.qg().params().beta);
+}
+
+TEST(EarthSystem, AssimilateRoundTripsLargeScales) {
+  EarthSystem truth(small_world(5));
+  truth.spin_up(6000);
+  const Tensor analysis = truth.snapshot();
+
+  EarthSystem model(small_world(6));
+  model.spin_up(800);  // some other state
+  model.assimilate(analysis);
+  const Tensor after = model.snapshot();
+  // Z500 matches closely after assimilation.
+  const std::int64_t off = static_cast<std::int64_t>(Var::kZ500) * 32 * 32;
+  double err = 0.0, mag = 0.0;
+  for (std::int64_t i = 0; i < 32 * 32; ++i) {
+    err += std::fabs(after[off + i] - analysis[off + i]);
+    mag += std::fabs(analysis[off + i] - 5500.0f);
+  }
+  EXPECT_LT(err, 0.05 * mag + 1.0);
+}
+
+TEST(Era5Like, GeneratesConsistentRecord) {
+  ReanalysisConfig cfg;
+  cfg.params = small_world(7);
+  cfg.spin_up_steps = 6000;
+  cfg.samples = 8;
+  const Reanalysis re = generate_reanalysis(cfg);
+  ASSERT_EQ(re.states.size(), 8u);
+  ASSERT_EQ(re.forcings.size(), 8u);
+  ASSERT_EQ(re.nino.size(), 8u);
+  // 6-hourly cadence.
+  EXPECT_NEAR(re.time_hours[1] - re.time_hours[0], 6.0, 0.26);
+  // Consecutive states are correlated but not identical (forecastable).
+  Tensor d = sub(re.states[1], re.states[0]);
+  EXPECT_GT(max_abs(d), 0.0f);
+  const float rel = l2_norm(d) / l2_norm(re.states[0]);
+  EXPECT_LT(rel, 0.6f);
+}
+
+}  // namespace
+}  // namespace aeris::physics

@@ -1,0 +1,114 @@
+#include "aeris/physics/fft.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "aeris/tensor/rng.hpp"
+
+namespace aeris::physics {
+namespace {
+
+TEST(Fft, IsPow2) {
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(64));
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_FALSE(is_pow2(48));
+  EXPECT_FALSE(is_pow2(-4));
+}
+
+TEST(Fft, RejectsNonPow2) {
+  std::vector<cplx> a(6);
+  EXPECT_THROW(fft_inplace(a, false), std::invalid_argument);
+}
+
+TEST(Fft, RoundTrip1D) {
+  aeris::Philox rng(1);
+  std::vector<cplx> a(64);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    a[i] = cplx(rng.normal(1, 0, i), rng.normal(1, 1, i));
+  }
+  std::vector<cplx> orig = a;
+  fft_inplace(a, false);
+  fft_inplace(a, true);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_NEAR(a[i].real(), orig[i].real(), 1e-10);
+    EXPECT_NEAR(a[i].imag(), orig[i].imag(), 1e-10);
+  }
+}
+
+TEST(Fft, DeltaGivesFlatSpectrum) {
+  std::vector<cplx> a(16, cplx(0, 0));
+  a[0] = cplx(1, 0);
+  fft_inplace(a, false);
+  for (const cplx& x : a) {
+    EXPECT_NEAR(x.real(), 1.0, 1e-12);
+    EXPECT_NEAR(x.imag(), 0.0, 1e-12);
+  }
+}
+
+TEST(Fft, PureModeLandsInSingleBin) {
+  const std::int64_t n = 32;
+  std::vector<cplx> a(static_cast<std::size_t>(n));
+  const double k = 3.0;
+  for (std::int64_t i = 0; i < n; ++i) {
+    a[static_cast<std::size_t>(i)] =
+        cplx(std::cos(2 * M_PI * k * static_cast<double>(i) / static_cast<double>(n)), 0.0);
+  }
+  fft_inplace(a, false);
+  // cos(kx) -> n/2 at bins k and n-k.
+  EXPECT_NEAR(std::abs(a[3]), 16.0, 1e-9);
+  EXPECT_NEAR(std::abs(a[29]), 16.0, 1e-9);
+  EXPECT_NEAR(std::abs(a[5]), 0.0, 1e-9);
+}
+
+TEST(Fft, ParsevalHolds) {
+  aeris::Philox rng(2);
+  std::vector<cplx> a(128);
+  double grid_energy = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    a[i] = cplx(rng.normal(1, 0, i), 0.0);
+    grid_energy += std::norm(a[i]);
+  }
+  fft_inplace(a, false);
+  double spec_energy = 0.0;
+  for (const cplx& x : a) spec_energy += std::norm(x);
+  EXPECT_NEAR(spec_energy / static_cast<double>(a.size()), grid_energy, 1e-6);
+}
+
+TEST(Fft2, RoundTripReal) {
+  aeris::Philox rng(3);
+  const std::int64_t h = 16, w = 32;
+  std::vector<double> grid(static_cast<std::size_t>(h * w));
+  for (std::size_t i = 0; i < grid.size(); ++i) grid[i] = rng.normal(1, 0, i);
+  const auto spec = fft2_real(grid, h, w);
+  const auto back = ifft2_real(spec, h, w);
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    EXPECT_NEAR(back[i], grid[i], 1e-10);
+  }
+}
+
+TEST(Fft2, HermitianSymmetryOfRealField) {
+  aeris::Philox rng(4);
+  const std::int64_t h = 8, w = 8;
+  std::vector<double> grid(static_cast<std::size_t>(h * w));
+  for (std::size_t i = 0; i < grid.size(); ++i) grid[i] = rng.normal(1, 0, i);
+  const auto spec = fft2_real(grid, h, w);
+  for (std::int64_t r = 0; r < h; ++r) {
+    for (std::int64_t c = 0; c < w; ++c) {
+      const cplx a = spec[static_cast<std::size_t>(r * w + c)];
+      const cplx b =
+          spec[static_cast<std::size_t>(((h - r) % h) * w + (w - c) % w)];
+      EXPECT_NEAR(a.real(), b.real(), 1e-9);
+      EXPECT_NEAR(a.imag(), -b.imag(), 1e-9);
+    }
+  }
+}
+
+TEST(Fft2, ValidatesShape) {
+  std::vector<cplx> f(10);
+  EXPECT_THROW(fft2_inplace(f, 4, 4, false), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace aeris::physics

@@ -1,0 +1,144 @@
+#include "aeris/physics/spectral.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace aeris::physics {
+namespace {
+
+std::vector<double> make_wave(std::int64_t h, std::int64_t w, double ky_mult,
+                              double kx_mult, double ly, double lx) {
+  std::vector<double> g(static_cast<std::size_t>(h * w));
+  for (std::int64_t r = 0; r < h; ++r) {
+    const double y = static_cast<double>(r) / static_cast<double>(h) * ly;
+    for (std::int64_t c = 0; c < w; ++c) {
+      const double x = static_cast<double>(c) / static_cast<double>(w) * lx;
+      g[static_cast<std::size_t>(r * w + c)] =
+          std::sin(2 * M_PI * kx_mult * x / lx) *
+          std::cos(2 * M_PI * ky_mult * y / ly);
+    }
+  }
+  return g;
+}
+
+TEST(Spectral, RejectsNonPow2) {
+  EXPECT_THROW(SpectralGrid(12, 16, 1.0, 1.0), std::invalid_argument);
+}
+
+TEST(Spectral, DerivativeOfSineIsCosine) {
+  const std::int64_t h = 16, w = 32;
+  const double ly = 2 * M_PI, lx = 2 * M_PI;
+  SpectralGrid g(h, w, ly, lx);
+  // f = sin(3x): df/dx = 3 cos(3x).
+  std::vector<double> f(static_cast<std::size_t>(h * w));
+  for (std::int64_t r = 0; r < h; ++r) {
+    for (std::int64_t c = 0; c < w; ++c) {
+      const double x = static_cast<double>(c) / static_cast<double>(w) * lx;
+      f[static_cast<std::size_t>(r * w + c)] = std::sin(3 * x);
+    }
+  }
+  auto spec = fft2_real(f, h, w);
+  std::vector<cplx> dspec;
+  g.ddx(spec, dspec);
+  const auto df = ifft2_real(dspec, h, w);
+  for (std::int64_t c = 0; c < w; ++c) {
+    const double x = static_cast<double>(c) / static_cast<double>(w) * lx;
+    EXPECT_NEAR(df[static_cast<std::size_t>(c)], 3 * std::cos(3 * x), 1e-8);
+  }
+}
+
+TEST(Spectral, LaplacianEigenvalue) {
+  const std::int64_t h = 16, w = 16;
+  SpectralGrid g(h, w, 2 * M_PI, 2 * M_PI);
+  // f = sin(2x)cos(3y): lap f = -(4 + 9) f.
+  std::vector<double> f = make_wave(h, w, 3, 2, 2 * M_PI, 2 * M_PI);
+  auto spec = fft2_real(f, h, w);
+  std::vector<cplx> lap;
+  g.laplacian(spec, lap);
+  const auto lf = ifft2_real(lap, h, w);
+  for (std::size_t i = 0; i < f.size(); ++i) {
+    EXPECT_NEAR(lf[i], -13.0 * f[i], 1e-7);
+  }
+}
+
+TEST(Spectral, InverseLaplacianInvertsUpToMean) {
+  const std::int64_t h = 16, w = 16;
+  SpectralGrid g(h, w, 2 * M_PI, 2 * M_PI);
+  std::vector<double> f = make_wave(h, w, 1, 2, 2 * M_PI, 2 * M_PI);
+  auto spec = fft2_real(f, h, w);
+  std::vector<cplx> lap, back;
+  g.laplacian(spec, lap);
+  g.inverse_laplacian(lap, back);
+  const auto bf = ifft2_real(back, h, w);
+  for (std::size_t i = 0; i < f.size(); ++i) EXPECT_NEAR(bf[i], f[i], 1e-8);
+}
+
+TEST(Spectral, DealiasKillsHighModesKeepsLow) {
+  const std::int64_t h = 16, w = 16;
+  SpectralGrid g(h, w, 2 * M_PI, 2 * M_PI);
+  std::vector<cplx> spec(static_cast<std::size_t>(h * w), cplx(1.0, 0.0));
+  g.dealias(spec);
+  // Mode (1, 1) survives; mode (7, 0) (beyond 16/3) is zeroed.
+  EXPECT_NE(spec[static_cast<std::size_t>(1 * w + 1)], cplx(0.0, 0.0));
+  EXPECT_EQ(spec[static_cast<std::size_t>(7 * w + 0)], cplx(0.0, 0.0));
+}
+
+TEST(Spectral, JacobianOfParallelFieldsVanishes) {
+  // J(f, f) == 0 and J(f, const) == 0.
+  const std::int64_t h = 16, w = 16;
+  SpectralGrid g(h, w, 2 * M_PI, 2 * M_PI);
+  std::vector<double> f = make_wave(h, w, 2, 1, 2 * M_PI, 2 * M_PI);
+  auto spec = fft2_real(f, h, w);
+  auto j = g.jacobian(spec, spec);
+  const auto jf = ifft2_real(j, h, w);
+  for (double v : jf) EXPECT_NEAR(v, 0.0, 1e-9);
+}
+
+TEST(Spectral, JacobianAnalyticCase) {
+  // J(sin x, sin y) = cos x cos y  (with J(a,b) = a_x b_y - a_y b_x).
+  const std::int64_t h = 32, w = 32;
+  SpectralGrid g(h, w, 2 * M_PI, 2 * M_PI);
+  std::vector<double> a(static_cast<std::size_t>(h * w)),
+      b(static_cast<std::size_t>(h * w));
+  for (std::int64_t r = 0; r < h; ++r) {
+    const double y = static_cast<double>(r) / static_cast<double>(h) * 2 * M_PI;
+    for (std::int64_t c = 0; c < w; ++c) {
+      const double x = static_cast<double>(c) / static_cast<double>(w) * 2 * M_PI;
+      a[static_cast<std::size_t>(r * w + c)] = std::sin(x);
+      b[static_cast<std::size_t>(r * w + c)] = std::sin(y);
+    }
+  }
+  auto j = g.jacobian(fft2_real(a, h, w), fft2_real(b, h, w));
+  const auto jf = ifft2_real(j, h, w);
+  for (std::int64_t r = 0; r < h; ++r) {
+    const double y = static_cast<double>(r) / static_cast<double>(h) * 2 * M_PI;
+    for (std::int64_t c = 0; c < w; ++c) {
+      const double x = static_cast<double>(c) / static_cast<double>(w) * 2 * M_PI;
+      EXPECT_NEAR(jf[static_cast<std::size_t>(r * w + c)],
+                  std::cos(x) * std::cos(y), 1e-6);
+    }
+  }
+}
+
+TEST(Spectral, IsotropicSpectrumLocalizesMode) {
+  const std::int64_t h = 32, w = 32;
+  SpectralGrid g(h, w, 2 * M_PI, 2 * M_PI);
+  std::vector<double> f = make_wave(h, w, 0, 5, 2 * M_PI, 2 * M_PI);
+  const auto spec = fft2_real(f, h, w);
+  const auto bins = g.isotropic_spectrum(spec);
+  // Energy concentrated in bin 5.
+  double total = 0.0;
+  for (double b : bins) total += b;
+  EXPECT_GT(bins[5] / total, 0.95);
+}
+
+TEST(Spectral, AnisotropicDomainWavenumbers) {
+  SpectralGrid g(16, 32, 2 * M_PI, 4 * M_PI);
+  EXPECT_NEAR(g.ky(1), 1.0, 1e-12);
+  EXPECT_NEAR(g.kx(1), 0.5, 1e-12);  // longer domain, smaller fundamental
+  EXPECT_NEAR(g.ky(15), -1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace aeris::physics

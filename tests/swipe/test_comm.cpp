@@ -1,0 +1,246 @@
+#include "aeris/swipe/comm.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace aeris::swipe {
+namespace {
+
+std::vector<int> all_ranks(int n) {
+  std::vector<int> out(static_cast<std::size_t>(n));
+  std::iota(out.begin(), out.end(), 0);
+  return out;
+}
+
+TEST(World, SendRecvDelivers) {
+  World world(2);
+  world.run([&](int rank) {
+    if (rank == 0) {
+      world.send(0, 1, 7, {1.0f, 2.0f, 3.0f});
+    } else {
+      const auto msg = world.recv(1, 0, 7);
+      ASSERT_EQ(msg.size(), 3u);
+      EXPECT_FLOAT_EQ(msg[2], 3.0f);
+    }
+  });
+}
+
+TEST(World, TagsAndSourcesAreIsolated) {
+  World world(3);
+  world.run([&](int rank) {
+    if (rank == 0) {
+      world.send(0, 2, 1, {10.0f});
+    } else if (rank == 1) {
+      world.send(1, 2, 1, {20.0f});
+      world.send(1, 2, 2, {30.0f});
+    } else {
+      // Receive in an order unrelated to send order.
+      EXPECT_FLOAT_EQ(world.recv(2, 1, 2)[0], 30.0f);
+      EXPECT_FLOAT_EQ(world.recv(2, 0, 1)[0], 10.0f);
+      EXPECT_FLOAT_EQ(world.recv(2, 1, 1)[0], 20.0f);
+    }
+  });
+}
+
+TEST(World, FifoPerSourceAndTag) {
+  World world(2);
+  world.run([&](int rank) {
+    if (rank == 0) {
+      for (float i = 0; i < 5; ++i) world.send(0, 1, 9, {i});
+    } else {
+      for (float i = 0; i < 5; ++i) EXPECT_FLOAT_EQ(world.recv(1, 0, 9)[0], i);
+    }
+  });
+}
+
+TEST(World, CountsBytesPerTrafficClass) {
+  World world(2);
+  world.run([&](int rank) {
+    if (rank == 0) {
+      world.send(0, 1, 1, std::vector<float>(10), Traffic::kP2P);
+      world.send(0, 1, 2, std::vector<float>(5), Traffic::kAllToAll);
+    } else {
+      world.recv(1, 0, 1);
+      world.recv(1, 0, 2);
+    }
+  });
+  EXPECT_EQ(world.bytes(Traffic::kP2P), 40);
+  EXPECT_EQ(world.bytes(Traffic::kAllToAll), 20);
+  EXPECT_EQ(world.rank_bytes(0, Traffic::kP2P), 40);
+  EXPECT_EQ(world.rank_bytes(1, Traffic::kP2P), 0);
+  world.reset_counters();
+  EXPECT_EQ(world.bytes(Traffic::kP2P), 0);
+}
+
+TEST(World, RunPropagatesExceptions) {
+  World world(2);
+  EXPECT_THROW(world.run([&](int rank) {
+    if (rank == 1) throw std::runtime_error("rank failure");
+  }),
+               std::runtime_error);
+}
+
+TEST(Comm, BroadcastFromEveryRoot) {
+  const int n = 4;
+  World world(n);
+  for (int root = 0; root < n; ++root) {
+    world.run([&, root](int rank) {
+      Communicator comm(world, all_ranks(n), rank, 1);
+      std::vector<float> payload;
+      if (rank == root) payload = {static_cast<float>(root), 42.0f};
+      const auto got = comm.broadcast(root, std::move(payload));
+      ASSERT_EQ(got.size(), 2u);
+      EXPECT_FLOAT_EQ(got[0], static_cast<float>(root));
+    });
+  }
+}
+
+class AllreduceSizes : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(AllreduceSizes, RingAllreduceSums) {
+  const auto [nranks, elems] = GetParam();
+  World world(nranks);
+  world.run([&](int rank) {
+    Communicator comm(world, all_ranks(nranks), rank, 2);
+    std::vector<float> data(static_cast<std::size_t>(elems));
+    for (int i = 0; i < elems; ++i) {
+      data[static_cast<std::size_t>(i)] =
+          static_cast<float>(rank * 100 + i);
+    }
+    comm.allreduce_sum(data);
+    for (int i = 0; i < elems; ++i) {
+      // sum over ranks of (r*100 + i)
+      const float want = static_cast<float>(100 * (nranks * (nranks - 1) / 2) +
+                                            i * nranks);
+      ASSERT_FLOAT_EQ(data[static_cast<std::size_t>(i)], want)
+          << "rank " << rank << " elem " << i;
+    }
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, AllreduceSizes,
+    ::testing::Values(std::pair{1, 8}, std::pair{2, 8}, std::pair{3, 7},
+                      std::pair{4, 16}, std::pair{5, 3}, std::pair{8, 64}));
+
+TEST(Comm, AllreduceVolumeMatchesRingBound) {
+  // Ring allreduce moves 2*(R-1)/R * N elements per rank.
+  const int n = 4, elems = 64;
+  World world(n);
+  world.run([&](int rank) {
+    Communicator comm(world, all_ranks(n), rank, 2);
+    std::vector<float> data(static_cast<std::size_t>(elems), 1.0f);
+    comm.allreduce_sum(data);
+  });
+  const std::int64_t per_rank = world.rank_bytes(0, Traffic::kAllReduce);
+  EXPECT_EQ(per_rank, static_cast<std::int64_t>(2 * (n - 1) *
+                                                (elems / n) * sizeof(float)));
+}
+
+TEST(Comm, AllgatherConcatenatesInRankOrder) {
+  const int n = 3;
+  World world(n);
+  world.run([&](int rank) {
+    Communicator comm(world, all_ranks(n), rank, 3);
+    std::vector<float> mine = {static_cast<float>(rank),
+                               static_cast<float>(rank) + 0.5f};
+    const auto all = comm.allgather(mine);
+    ASSERT_EQ(all.size(), 6u);
+    for (int r = 0; r < n; ++r) {
+      EXPECT_FLOAT_EQ(all[static_cast<std::size_t>(2 * r)],
+                      static_cast<float>(r));
+    }
+  });
+}
+
+TEST(Comm, AlltoallTransposesBuffers) {
+  const int n = 4;
+  World world(n);
+  world.run([&](int rank) {
+    Communicator comm(world, all_ranks(n), rank, 4);
+    std::vector<std::vector<float>> send(static_cast<std::size_t>(n));
+    for (int d = 0; d < n; ++d) {
+      send[static_cast<std::size_t>(d)] = {
+          static_cast<float>(rank * 10 + d)};
+    }
+    const auto recv = comm.alltoall(std::move(send));
+    for (int s = 0; s < n; ++s) {
+      ASSERT_EQ(recv[static_cast<std::size_t>(s)].size(), 1u);
+      EXPECT_FLOAT_EQ(recv[static_cast<std::size_t>(s)][0],
+                      static_cast<float>(s * 10 + rank));
+    }
+  });
+}
+
+TEST(Comm, AlltoallSupportsRaggedBuffers) {
+  const int n = 3;
+  World world(n);
+  world.run([&](int rank) {
+    Communicator comm(world, all_ranks(n), rank, 5);
+    std::vector<std::vector<float>> send(static_cast<std::size_t>(n));
+    for (int d = 0; d < n; ++d) {
+      send[static_cast<std::size_t>(d)].assign(
+          static_cast<std::size_t>(rank + d), 1.0f);
+    }
+    const auto recv = comm.alltoall(std::move(send));
+    for (int s = 0; s < n; ++s) {
+      EXPECT_EQ(recv[static_cast<std::size_t>(s)].size(),
+                static_cast<std::size_t>(s + rank));
+    }
+  });
+}
+
+TEST(Comm, ReduceScatterSumsChunks) {
+  const int n = 4;
+  World world(n);
+  world.run([&](int rank) {
+    Communicator comm(world, all_ranks(n), rank, 6);
+    std::vector<float> data(8);
+    for (int i = 0; i < 8; ++i) {
+      data[static_cast<std::size_t>(i)] = static_cast<float>(rank + i);
+    }
+    const auto mine = comm.reduce_scatter_sum(data);
+    ASSERT_EQ(mine.size(), 2u);  // 8 / 4
+    // chunk r covers elements [2r, 2r+2); sum over ranks of (rank + i).
+    const float base = static_cast<float>(n * (n - 1) / 2);
+    EXPECT_FLOAT_EQ(mine[0], base + static_cast<float>(n * (2 * rank)));
+    EXPECT_FLOAT_EQ(mine[1], base + static_cast<float>(n * (2 * rank + 1)));
+  });
+}
+
+TEST(Comm, BarrierCompletes) {
+  const int n = 5;
+  World world(n);
+  world.run([&](int rank) {
+    Communicator comm(world, all_ranks(n), rank, 7);
+    for (int i = 0; i < 3; ++i) comm.barrier();
+    (void)rank;
+  });
+  SUCCEED();
+}
+
+TEST(Comm, SubgroupIsolation) {
+  // Two disjoint groups with different tags communicate independently.
+  World world(4);
+  world.run([&](int rank) {
+    const std::vector<int> group =
+        rank < 2 ? std::vector<int>{0, 1} : std::vector<int>{2, 3};
+    Communicator comm(world, group, rank, rank < 2 ? 10 : 11);
+    std::vector<float> data = {static_cast<float>(rank)};
+    comm.allreduce_sum(data);
+    if (rank < 2) {
+      EXPECT_FLOAT_EQ(data[0], 1.0f);  // 0 + 1
+    } else {
+      EXPECT_FLOAT_EQ(data[0], 5.0f);  // 2 + 3
+    }
+  });
+}
+
+TEST(Comm, RequiresMembership) {
+  World world(2);
+  EXPECT_THROW(Communicator(world, {1}, 0, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace aeris::swipe

@@ -1,0 +1,120 @@
+#include "aeris/swipe/pipeline.hpp"
+
+#include <gtest/gtest.h>
+
+namespace aeris::swipe {
+namespace {
+
+TEST(Schedule, ContainsEveryOpExactlyOnce) {
+  for (int stages : {1, 2, 4}) {
+    for (int stage = 0; stage < stages; ++stage) {
+      for (int m : {1, 2, 4, 8}) {
+        const auto ops = one_f_one_b_schedule(stages, stage, m);
+        ASSERT_EQ(ops.size(), static_cast<std::size_t>(2 * m));
+        std::vector<int> f(static_cast<std::size_t>(m), 0),
+            b(static_cast<std::size_t>(m), 0);
+        for (const auto& op : ops) {
+          if (op.kind == PipelineOp::Kind::kForward) {
+            f[static_cast<std::size_t>(op.microbatch)]++;
+          } else {
+            b[static_cast<std::size_t>(op.microbatch)]++;
+          }
+        }
+        for (int i = 0; i < m; ++i) {
+          EXPECT_EQ(f[static_cast<std::size_t>(i)], 1);
+          EXPECT_EQ(b[static_cast<std::size_t>(i)], 1);
+        }
+      }
+    }
+  }
+}
+
+TEST(Schedule, BackwardNeverPrecedesItsForward) {
+  const auto ops = one_f_one_b_schedule(4, 1, 6);
+  std::vector<bool> forwarded(6, false);
+  for (const auto& op : ops) {
+    if (op.kind == PipelineOp::Kind::kForward) {
+      forwarded[static_cast<std::size_t>(op.microbatch)] = true;
+    } else {
+      EXPECT_TRUE(forwarded[static_cast<std::size_t>(op.microbatch)]);
+    }
+  }
+}
+
+TEST(Schedule, MicrobatchOrderIsFifo) {
+  const auto ops = one_f_one_b_schedule(3, 1, 5);
+  int next_f = 0, next_b = 0;
+  for (const auto& op : ops) {
+    if (op.kind == PipelineOp::Kind::kForward) {
+      EXPECT_EQ(op.microbatch, next_f++);
+    } else {
+      EXPECT_EQ(op.microbatch, next_b++);
+    }
+  }
+}
+
+TEST(Schedule, WarmupDepthMatches1F1B) {
+  // Stage s performs (stages - s) forwards before its first backward.
+  for (int stages : {2, 4, 6}) {
+    for (int stage = 0; stage < stages; ++stage) {
+      const auto ops = one_f_one_b_schedule(stages, stage, 8);
+      int forwards_before_backward = 0;
+      for (const auto& op : ops) {
+        if (op.kind == PipelineOp::Kind::kBackward) break;
+        ++forwards_before_backward;
+      }
+      EXPECT_EQ(forwards_before_backward, std::min(stages - stage, 8));
+    }
+  }
+}
+
+TEST(Schedule, PeakInFlightBoundsActivationMemory) {
+  EXPECT_EQ(peak_in_flight(4, 0, 8), 4);
+  EXPECT_EQ(peak_in_flight(4, 3, 8), 1);
+  EXPECT_EQ(peak_in_flight(4, 0, 2), 2);  // capped by microbatches
+  // Consistency with the schedule: live count never exceeds the bound.
+  for (int stage = 0; stage < 4; ++stage) {
+    const auto ops = one_f_one_b_schedule(4, stage, 8);
+    int live = 0, peak = 0;
+    for (const auto& op : ops) {
+      live += op.kind == PipelineOp::Kind::kForward ? 1 : -1;
+      peak = std::max(peak, live);
+    }
+    EXPECT_EQ(peak, peak_in_flight(4, stage, 8));
+  }
+}
+
+TEST(Schedule, LastStageAlternatesStrictly) {
+  // The last stage runs F,B,F,B,... — no warmup accumulation.
+  const auto ops = one_f_one_b_schedule(4, 3, 5);
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    EXPECT_EQ(ops[i].kind == PipelineOp::Kind::kForward, i % 2 == 0);
+  }
+}
+
+TEST(Schedule, ValidatesArguments) {
+  EXPECT_THROW(one_f_one_b_schedule(0, 0, 1), std::invalid_argument);
+  EXPECT_THROW(one_f_one_b_schedule(2, 2, 1), std::invalid_argument);
+  EXPECT_THROW(one_f_one_b_schedule(2, 0, 0), std::invalid_argument);
+}
+
+TEST(Bubble, MatchesClassicFormula) {
+  EXPECT_DOUBLE_EQ(bubble_fraction(1, 8), 0.0);
+  EXPECT_DOUBLE_EQ(bubble_fraction(4, 1), 0.75);
+  EXPECT_NEAR(bubble_fraction(22, 140), 21.0 / 161.0, 1e-12);
+  EXPECT_THROW(bubble_fraction(0, 1), std::invalid_argument);
+}
+
+TEST(Bubble, ShrinksWithMoreMicrobatches) {
+  // GAS-driven strong scaling (paper Fig. 4 top): more microbatches per
+  // pipeline means a smaller bubble.
+  double prev = 1.0;
+  for (int m : {1, 4, 16, 64, 140}) {
+    const double b = bubble_fraction(22, m);
+    EXPECT_LT(b, prev);
+    prev = b;
+  }
+}
+
+}  // namespace
+}  // namespace aeris::swipe

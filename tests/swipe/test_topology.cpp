@@ -1,0 +1,114 @@
+#include "aeris/swipe/topology.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace aeris::swipe {
+namespace {
+
+TEST(SwipeGrid, WorldSize) {
+  SwipeGrid g{.dp = 2, .pp = 4, .wp_a = 2, .wp_b = 3, .sp = 2};
+  EXPECT_EQ(g.wp(), 6);
+  EXPECT_EQ(g.world_size(), 96);
+}
+
+TEST(RankMapping, RoundTripsAllRanks) {
+  SwipeGrid g{.dp = 2, .pp = 3, .wp_a = 2, .wp_b = 2, .sp = 2};
+  std::set<int> seen;
+  for (int r = 0; r < g.world_size(); ++r) {
+    const RankCoords c = coords_of(g, r);
+    EXPECT_EQ(rank_of(g, c), r);
+    EXPECT_TRUE(seen.insert(r).second);
+    EXPECT_LT(c.dp, g.dp);
+    EXPECT_LT(c.pp, g.pp);
+    EXPECT_LT(c.wp, g.wp());
+    EXPECT_LT(c.sp, g.sp);
+  }
+}
+
+TEST(RankMapping, SpIsInnermost) {
+  // Consecutive ranks differ only in sp — SP groups are "within a node".
+  SwipeGrid g{.dp = 1, .pp = 2, .wp_a = 2, .wp_b = 1, .sp = 3};
+  const RankCoords a = coords_of(g, 0);
+  const RankCoords b = coords_of(g, 1);
+  EXPECT_EQ(a.wp, b.wp);
+  EXPECT_EQ(a.pp, b.pp);
+  EXPECT_EQ(a.sp + 1, b.sp);
+}
+
+TEST(RankCoords, WpRowCol) {
+  SwipeGrid g{.dp = 1, .pp = 1, .wp_a = 2, .wp_b = 3, .sp = 1};
+  RankCoords c;
+  c.wp = 4;  // row 1, col 1 in a 2x3 grid
+  EXPECT_EQ(c.wp_row(g), 1);
+  EXPECT_EQ(c.wp_col(g), 1);
+}
+
+TEST(Topology, GroupsPartitionTheWorld) {
+  SwipeGrid g{.dp = 2, .pp = 2, .wp_a = 2, .wp_b = 1, .sp = 2};
+  World world(g.world_size());
+  world.run([&](int rank) {
+    Topology topo(world, g, rank);
+    Communicator sp = topo.sp_group();
+    Communicator wp = topo.wp_group();
+    Communicator stage = topo.stage_group();
+    Communicator rep = topo.replica_group();
+    EXPECT_EQ(sp.size(), g.sp);
+    EXPECT_EQ(wp.size(), g.wp());
+    EXPECT_EQ(stage.size(), g.wp() * g.sp);
+    EXPECT_EQ(rep.size(), g.dp * g.wp() * g.sp);
+
+    // Every member of my SP group shares (dp, pp, wp).
+    for (int r = 0; r < sp.size(); ++r) {
+      const RankCoords c = coords_of(g, sp.world_rank(r));
+      EXPECT_EQ(c.dp, topo.coords().dp);
+      EXPECT_EQ(c.pp, topo.coords().pp);
+      EXPECT_EQ(c.wp, topo.coords().wp);
+    }
+    // Every member of my replica group shares pp.
+    for (int r = 0; r < rep.size(); ++r) {
+      EXPECT_EQ(coords_of(g, rep.world_rank(r)).pp, topo.coords().pp);
+    }
+  });
+}
+
+TEST(Topology, GroupCollectivesWork) {
+  SwipeGrid g{.dp = 1, .pp = 2, .wp_a = 2, .wp_b = 1, .sp = 2};
+  World world(g.world_size());
+  world.run([&](int rank) {
+    Topology topo(world, g, rank);
+    Communicator sp = topo.sp_group();
+    std::vector<float> v = {1.0f};
+    sp.allreduce_sum(v);
+    EXPECT_FLOAT_EQ(v[0], static_cast<float>(g.sp));
+
+    Communicator rep = topo.replica_group();
+    std::vector<float> w = {1.0f};
+    rep.allreduce_sum(w);
+    EXPECT_FLOAT_EQ(w[0], static_cast<float>(g.dp * g.wp() * g.sp));
+  });
+}
+
+TEST(Topology, PpPeerKeepsOtherCoords) {
+  SwipeGrid g{.dp = 2, .pp = 3, .wp_a = 2, .wp_b = 1, .sp = 2};
+  World world(g.world_size());
+  Topology topo(world, g, 5);
+  const RankCoords me = topo.coords();
+  const int peer = topo.pp_peer((me.pp + 1) % g.pp);
+  const RankCoords pc = coords_of(g, peer);
+  EXPECT_EQ(pc.dp, me.dp);
+  EXPECT_EQ(pc.wp, me.wp);
+  EXPECT_EQ(pc.sp, me.sp);
+  EXPECT_EQ(pc.pp, (me.pp + 1) % g.pp);
+  EXPECT_THROW(topo.pp_peer(99), std::invalid_argument);
+}
+
+TEST(Topology, ValidatesWorldSize) {
+  SwipeGrid g{.dp = 2, .pp = 2, .wp_a = 1, .wp_b = 1, .sp = 1};
+  World world(3);
+  EXPECT_THROW(Topology(world, g, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace aeris::swipe

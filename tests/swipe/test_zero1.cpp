@@ -1,0 +1,139 @@
+#include "aeris/swipe/zero1.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "aeris/tensor/ops.hpp"
+
+namespace aeris::swipe {
+namespace {
+
+TEST(ShardRange, CoversWithoutOverlap) {
+  for (int group : {1, 2, 3, 4, 7}) {
+    std::size_t prev_end = 0;
+    for (int r = 0; r < group; ++r) {
+      const auto [b, e] = Zero1Optimizer::shard_range(10, group, r);
+      EXPECT_EQ(b, prev_end);
+      prev_end = e;
+    }
+    EXPECT_EQ(prev_end, 10u);
+  }
+  EXPECT_THROW(Zero1Optimizer::shard_range(4, 0, 0), std::invalid_argument);
+  EXPECT_THROW(Zero1Optimizer::shard_range(4, 2, 2), std::invalid_argument);
+}
+
+TEST(ShardRange, MoreRanksThanParamsLeavesEmptyShards) {
+  const auto [b, e] = Zero1Optimizer::shard_range(2, 4, 2);
+  EXPECT_EQ(b, e);  // empty shard is fine
+}
+
+// Distributed ZeRO-1 step == single-rank AdamW on averaged gradients.
+TEST(Zero1, MatchesSingleRankAdamW) {
+  const int nranks = 4;
+  const int nparams = 5;
+
+  // Reference: one AdamW over averaged grads.
+  std::vector<nn::Param> ref_params;
+  for (int i = 0; i < nparams; ++i) {
+    ref_params.emplace_back("p" + std::to_string(i), Shape{3});
+    Philox(7).fill_normal(ref_params.back().value, 1,
+                          static_cast<std::uint64_t>(i));
+  }
+  nn::ParamList ref_list;
+  for (auto& p : ref_params) ref_list.push_back(&p);
+  // Per-rank gradients; reference uses their scaled sum.
+  auto grad_of = [&](int rank, int param, std::int64_t j) {
+    return 0.1f * static_cast<float>(rank + 1) +
+           0.01f * static_cast<float>(param) + 0.001f * static_cast<float>(j);
+  };
+  for (int i = 0; i < nparams; ++i) {
+    for (std::int64_t j = 0; j < 3; ++j) {
+      float g = 0.0f;
+      for (int r = 0; r < nranks; ++r) g += grad_of(r, i, j);
+      ref_params[static_cast<std::size_t>(i)].grad[j] = g / nranks;
+    }
+  }
+  nn::AdamW ref_opt(ref_list);
+  ref_opt.step(0.01f);
+  const auto want = nn::flatten_values(ref_list);
+
+  // Distributed.
+  World world(nranks);
+  std::vector<std::vector<float>> got(static_cast<std::size_t>(nranks));
+  world.run([&](int rank) {
+    std::vector<nn::Param> params;
+    for (int i = 0; i < nparams; ++i) {
+      params.emplace_back("p" + std::to_string(i), Shape{3});
+      Philox(7).fill_normal(params.back().value, 1,
+                            static_cast<std::uint64_t>(i));
+      for (std::int64_t j = 0; j < 3; ++j) {
+        params.back().grad[j] = grad_of(rank, i, j);
+      }
+    }
+    nn::ParamList list;
+    for (auto& p : params) list.push_back(&p);
+    Zero1Optimizer opt(list);
+    std::vector<int> members(static_cast<std::size_t>(nranks));
+    std::iota(members.begin(), members.end(), 0);
+    Communicator group(world, members, rank, 1);
+    opt.step(group, 0.01f, 1.0f / nranks);
+    got[static_cast<std::size_t>(rank)] = nn::flatten_values(list);
+  });
+
+  // All ranks agree with each other and with the reference.
+  for (int r = 0; r < nranks; ++r) {
+    ASSERT_EQ(got[static_cast<std::size_t>(r)].size(), want.size());
+    for (std::size_t i = 0; i < want.size(); ++i) {
+      EXPECT_NEAR(got[static_cast<std::size_t>(r)][i], want[i], 1e-6f)
+          << "rank " << r << " value " << i;
+    }
+  }
+}
+
+TEST(Zero1, RepeatedStepsStayConsistent) {
+  const int nranks = 2;
+  World world(nranks);
+  std::vector<std::vector<float>> got(static_cast<std::size_t>(nranks));
+  world.run([&](int rank) {
+    nn::Param p("p", Shape{4});
+    p.value.fill(1.0f);
+    nn::ParamList list = {&p};
+    Zero1Optimizer opt(list);
+    Communicator group(world, {0, 1}, rank, 1);
+    for (int step = 0; step < 5; ++step) {
+      for (std::int64_t j = 0; j < 4; ++j) {
+        p.grad[j] = 2.0f * (p.value[j] - 3.0f);
+      }
+      opt.step(group, 0.1f, 0.5f);  // two identical replicas
+    }
+    got[static_cast<std::size_t>(rank)] = nn::flatten_values(list);
+  });
+  EXPECT_EQ(got[0], got[1]);
+  // Moving toward the target 3.
+  EXPECT_GT(got[0][0], 1.0f);
+}
+
+TEST(Zero1, SingleRankGroupIsPlainAdamW) {
+  World world(1);
+  world.run([&](int rank) {
+    nn::Param p("p", Shape{2});
+    p.value.fill(1.0f);
+    p.grad.fill(1.0f);
+    nn::ParamList list = {&p};
+    Zero1Optimizer opt(list);
+    Communicator group(world, {0}, rank, 1);
+    opt.step(group, 0.1f, 1.0f);
+
+    nn::Param q("q", Shape{2});
+    q.value.fill(1.0f);
+    q.grad.fill(1.0f);
+    nn::ParamList qlist = {&q};
+    nn::AdamW ref(qlist);
+    ref.step(0.1f);
+    EXPECT_TRUE(p.value.allclose(q.value, 1e-7f));
+  });
+}
+
+}  // namespace
+}  // namespace aeris::swipe

@@ -1,0 +1,62 @@
+#include "aeris/tensor/bf16.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+namespace aeris {
+namespace {
+
+TEST(Bf16, ExactForSmallIntegers) {
+  for (float v : {0.0f, 1.0f, -1.0f, 2.0f, 128.0f, -256.0f}) {
+    EXPECT_EQ(bf16_round(v), v);
+  }
+}
+
+TEST(Bf16, ExactForPowersOfTwo) {
+  for (int e = -20; e <= 20; ++e) {
+    const float v = std::ldexp(1.0f, e);
+    EXPECT_EQ(bf16_round(v), v);
+  }
+}
+
+TEST(Bf16, RelativeErrorWithinHalfUlp) {
+  // 7 mantissa bits -> max relative rounding error 2^-8.
+  for (float v : {3.14159f, -0.001234f, 123456.7f, 1e-10f, 7.77e8f}) {
+    const float r = bf16_round(v);
+    EXPECT_LE(std::fabs(r - v), std::fabs(v) * (1.0f / 256.0f) + 1e-38f) << v;
+  }
+}
+
+TEST(Bf16, RoundToNearestEven) {
+  // 1 + 2^-8 is exactly halfway between bf16(1.0) and the next value
+  // 1 + 2^-7; ties round to even (here: down to 1.0).
+  EXPECT_EQ(bf16_round(1.0f + 1.0f / 256.0f), 1.0f);
+  // Just above the tie rounds up.
+  EXPECT_EQ(bf16_round(1.0f + 1.5f / 256.0f), 1.0f + 1.0f / 128.0f);
+}
+
+TEST(Bf16, PreservesSpecials) {
+  EXPECT_TRUE(std::isnan(bf16_round(std::numeric_limits<float>::quiet_NaN())));
+  EXPECT_EQ(bf16_round(std::numeric_limits<float>::infinity()),
+            std::numeric_limits<float>::infinity());
+  EXPECT_EQ(bf16_round(-std::numeric_limits<float>::infinity()),
+            -std::numeric_limits<float>::infinity());
+}
+
+TEST(Bf16, SignPreserved) {
+  EXPECT_LT(bf16_round(-0.3f), 0.0f);
+  EXPECT_GT(bf16_round(0.3f), 0.0f);
+  EXPECT_EQ(std::signbit(bf16_round(-0.0f)), true);
+}
+
+TEST(Bf16, RoundTripIdempotent) {
+  for (float v : {0.1f, -5.5f, 3e7f}) {
+    const float once = bf16_round(v);
+    EXPECT_EQ(bf16_round(once), once);
+  }
+}
+
+}  // namespace
+}  // namespace aeris

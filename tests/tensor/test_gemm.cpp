@@ -1,0 +1,123 @@
+#include "aeris/tensor/gemm.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "aeris/tensor/rng.hpp"
+
+namespace aeris {
+namespace {
+
+// Reference triple loop.
+Tensor ref_matmul(const Tensor& a, const Tensor& b, bool ta, bool tb) {
+  const std::int64_t m = ta ? a.dim(1) : a.dim(0);
+  const std::int64_t k = ta ? a.dim(0) : a.dim(1);
+  const std::int64_t n = tb ? b.dim(0) : b.dim(1);
+  Tensor c({m, n});
+  for (std::int64_t i = 0; i < m; ++i) {
+    for (std::int64_t j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (std::int64_t p = 0; p < k; ++p) {
+        const float av = ta ? a.at2(p, i) : a.at2(i, p);
+        const float bv = tb ? b.at2(j, p) : b.at2(p, j);
+        acc += static_cast<double>(av) * bv;
+      }
+      c.at2(i, j) = static_cast<float>(acc);
+    }
+  }
+  return c;
+}
+
+struct GemmCase {
+  std::int64_t m, n, k;
+  bool ta, tb;
+};
+
+class GemmParam : public ::testing::TestWithParam<GemmCase> {};
+
+TEST_P(GemmParam, MatchesReference) {
+  const GemmCase p = GetParam();
+  Philox rng(42);
+  Tensor a(p.ta ? Shape{p.k, p.m} : Shape{p.m, p.k});
+  Tensor b(p.tb ? Shape{p.n, p.k} : Shape{p.k, p.n});
+  rng.fill_normal(a, 1, 0);
+  rng.fill_normal(b, 1, 1);
+  Tensor got = matmul(a, b, p.ta, p.tb);
+  Tensor want = ref_matmul(a, b, p.ta, p.tb);
+  const float tol = 1e-4f * static_cast<float>(p.k);
+  ASSERT_EQ(got.shape(), want.shape());
+  for (std::int64_t i = 0; i < got.numel(); ++i) {
+    ASSERT_NEAR(got[i], want[i], tol) << "at " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, GemmParam,
+    ::testing::Values(GemmCase{1, 1, 1, false, false},
+                      GemmCase{3, 5, 7, false, false},
+                      GemmCase{3, 5, 7, true, false},
+                      GemmCase{3, 5, 7, false, true},
+                      GemmCase{3, 5, 7, true, true},
+                      GemmCase{64, 48, 96, false, false},
+                      GemmCase{64, 48, 96, true, true},
+                      GemmCase{1, 33, 17, false, true},
+                      GemmCase{129, 1, 5, true, false}));
+
+TEST(Gemm, AlphaBetaAccumulate) {
+  Tensor a({2, 2}, std::vector<float>{1, 2, 3, 4});
+  Tensor b({2, 2}, std::vector<float>{1, 0, 0, 1});
+  Tensor c({2, 2}, std::vector<float>{10, 10, 10, 10});
+  gemm(false, false, 2, 2, 2, 2.0f, a.data(), 2, b.data(), 2, 0.5f, c.data(), 2);
+  EXPECT_TRUE(c.allclose(Tensor({2, 2}, std::vector<float>{7, 9, 11, 13})));
+}
+
+TEST(Gemm, ZeroDimsAreNoOps) {
+  Tensor c({0, 3});
+  gemm(false, false, 0, 3, 2, 1.0f, nullptr, 2, nullptr, 3, 0.0f, c.data(), 3);
+  SUCCEED();
+}
+
+TEST(Gemm, KZeroScalesCByBeta) {
+  Tensor c({1, 2}, std::vector<float>{4, 6});
+  gemm(false, false, 1, 2, 0, 1.0f, nullptr, 1, nullptr, 2, 0.5f, c.data(), 2);
+  EXPECT_TRUE(c.allclose(Tensor({1, 2}, std::vector<float>{2, 3})));
+}
+
+TEST(Gemm, MatmulValidatesShapes) {
+  Tensor a({2, 3});
+  Tensor b({4, 5});
+  EXPECT_THROW(matmul(a, b), std::invalid_argument);
+  EXPECT_THROW(matmul(a.reshaped({6}), b), std::invalid_argument);
+}
+
+TEST(Gemm, Bf16CloseToFp32ButNotExact) {
+  Philox rng(7);
+  Tensor a({32, 64});
+  Tensor b({64, 32});
+  rng.fill_normal(a, 1, 2);
+  rng.fill_normal(b, 1, 3);
+  Tensor f32 = matmul(a, b, false, false, GemmPrecision::kFP32);
+  Tensor bf = matmul(a, b, false, false, GemmPrecision::kBF16);
+  // BF16 has ~3 decimal digits: relative error per element should be small
+  // but nonzero overall.
+  float max_rel = 0.0f;
+  bool any_diff = false;
+  for (std::int64_t i = 0; i < f32.numel(); ++i) {
+    const float denom = std::max(1.0f, std::fabs(f32[i]));
+    max_rel = std::max(max_rel, std::fabs(f32[i] - bf[i]) / denom);
+    any_diff = any_diff || f32[i] != bf[i];
+  }
+  EXPECT_TRUE(any_diff);
+  EXPECT_LT(max_rel, 0.1f);
+}
+
+TEST(Gemm, DefaultPrecisionToggle) {
+  EXPECT_EQ(default_gemm_precision(), GemmPrecision::kFP32);
+  set_default_gemm_precision(GemmPrecision::kBF16);
+  EXPECT_EQ(default_gemm_precision(), GemmPrecision::kBF16);
+  set_default_gemm_precision(GemmPrecision::kFP32);
+}
+
+}  // namespace
+}  // namespace aeris

@@ -1,0 +1,152 @@
+#include "aeris/tensor/ops.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace aeris {
+namespace {
+
+TEST(Ops, ElementwiseBinary) {
+  Tensor a = Tensor::from({1, 2, 3});
+  Tensor b = Tensor::from({4, 5, 6});
+  EXPECT_TRUE(add(a, b).allclose(Tensor::from({5, 7, 9})));
+  EXPECT_TRUE(sub(a, b).allclose(Tensor::from({-3, -3, -3})));
+  EXPECT_TRUE(mul(a, b).allclose(Tensor::from({4, 10, 18})));
+  EXPECT_TRUE(div(b, a).allclose(Tensor::from({4, 2.5f, 2})));
+}
+
+TEST(Ops, ShapeMismatchThrows) {
+  Tensor a = Tensor::from({1, 2, 3});
+  Tensor b = Tensor::from({1, 2});
+  EXPECT_THROW(add(a, b), std::invalid_argument);
+  Tensor c = a;
+  EXPECT_THROW(add_(c, b), std::invalid_argument);
+}
+
+TEST(Ops, InPlaceVariants) {
+  Tensor a = Tensor::from({1, 2});
+  add_(a, Tensor::from({10, 20}));
+  EXPECT_TRUE(a.allclose(Tensor::from({11, 22})));
+  sub_(a, Tensor::from({1, 2}));
+  EXPECT_TRUE(a.allclose(Tensor::from({10, 20})));
+  mul_(a, Tensor::from({2, 0.5f}));
+  EXPECT_TRUE(a.allclose(Tensor::from({20, 10})));
+  scale_(a, 0.1f);
+  EXPECT_TRUE(a.allclose(Tensor::from({2, 1})));
+  add_scalar_(a, 1.0f);
+  EXPECT_TRUE(a.allclose(Tensor::from({3, 2})));
+  axpy_(a, 2.0f, Tensor::from({1, 1}));
+  EXPECT_TRUE(a.allclose(Tensor::from({5, 4})));
+}
+
+TEST(Ops, MapApplies) {
+  Tensor a = Tensor::from({1, 4, 9});
+  Tensor r = map(a, [](float x) { return std::sqrt(x); });
+  EXPECT_TRUE(r.allclose(Tensor::from({1, 2, 3})));
+}
+
+TEST(Ops, Reductions) {
+  Tensor a = Tensor::from({1, -2, 3, -4});
+  EXPECT_FLOAT_EQ(sum(a), -2.0f);
+  EXPECT_FLOAT_EQ(mean(a), -0.5f);
+  EXPECT_FLOAT_EQ(max_abs(a), 4.0f);
+  EXPECT_FLOAT_EQ(dot(a, a), 30.0f);
+  EXPECT_FLOAT_EQ(l2_norm(a), std::sqrt(30.0f));
+  EXPECT_FLOAT_EQ(mean_sq(a), 7.5f);
+}
+
+TEST(Ops, ConcatAlongFirstAxis) {
+  Tensor a({1, 2}, std::vector<float>{1, 2});
+  Tensor b({2, 2}, std::vector<float>{3, 4, 5, 6});
+  Tensor c = concat(a, b, 0);
+  EXPECT_EQ(c.shape(), (Shape{3, 2}));
+  EXPECT_EQ(c.at2(2, 1), 6.0f);
+}
+
+TEST(Ops, ConcatAlongLastAxis) {
+  Tensor a({2, 1}, std::vector<float>{1, 2});
+  Tensor b({2, 2}, std::vector<float>{3, 4, 5, 6});
+  Tensor c = concat(a, b, -1);
+  EXPECT_EQ(c.shape(), (Shape{2, 3}));
+  EXPECT_EQ(c.at2(0, 0), 1.0f);
+  EXPECT_EQ(c.at2(0, 2), 4.0f);
+  EXPECT_EQ(c.at2(1, 1), 5.0f);
+}
+
+TEST(Ops, ConcatRejectsBadShapes) {
+  Tensor a({2, 2});
+  Tensor b({3, 3});
+  EXPECT_THROW(concat(a, b, 0), std::invalid_argument);
+}
+
+TEST(Ops, SliceMiddleAxis) {
+  Tensor a({2, 3, 2});
+  for (std::int64_t i = 0; i < a.numel(); ++i) a[i] = static_cast<float>(i);
+  Tensor s = slice(a, 1, 1, 3);
+  EXPECT_EQ(s.shape(), (Shape{2, 2, 2}));
+  EXPECT_EQ(s.at3(0, 0, 0), 2.0f);
+  EXPECT_EQ(s.at3(1, 1, 1), 11.0f);
+  EXPECT_THROW(slice(a, 1, 2, 4), std::invalid_argument);
+}
+
+TEST(Ops, SliceAssignRoundTrips) {
+  Tensor a({2, 4});
+  Tensor part({2, 2}, std::vector<float>{1, 2, 3, 4});
+  slice_assign(a, 1, 1, part);
+  EXPECT_TRUE(slice(a, 1, 1, 3).allclose(part));
+  EXPECT_EQ(a.at2(0, 0), 0.0f);
+  EXPECT_EQ(a.at2(0, 3), 0.0f);
+}
+
+TEST(Ops, Transpose2D) {
+  Tensor a({2, 3}, std::vector<float>{1, 2, 3, 4, 5, 6});
+  Tensor t = transpose2d(a);
+  EXPECT_EQ(t.shape(), (Shape{3, 2}));
+  EXPECT_EQ(t.at2(2, 1), 6.0f);
+}
+
+TEST(Ops, SoftmaxRowsSumToOne) {
+  Tensor a({2, 4});
+  for (std::int64_t i = 0; i < 8; ++i) a[i] = static_cast<float>(i) * 0.3f;
+  Tensor s = softmax_lastdim(a);
+  for (std::int64_t r = 0; r < 2; ++r) {
+    float z = 0.0f;
+    for (std::int64_t c = 0; c < 4; ++c) z += s.at2(r, c);
+    EXPECT_NEAR(z, 1.0f, 1e-6f);
+  }
+  // Monotone in the logits.
+  EXPECT_LT(s.at2(0, 0), s.at2(0, 3));
+}
+
+TEST(Ops, SoftmaxStableUnderLargeLogits) {
+  Tensor a = Tensor::from({1000.0f, 1001.0f});
+  Tensor s = softmax_lastdim(a.reshaped({1, 2}));
+  EXPECT_NEAR(s[0] + s[1], 1.0f, 1e-6f);
+  EXPECT_GT(s[1], s[0]);
+  EXPECT_FALSE(std::isnan(s[0]));
+}
+
+// Finite-difference check of the softmax backward.
+TEST(Ops, SoftmaxBackwardMatchesFiniteDifference) {
+  Tensor x({1, 5});
+  for (std::int64_t i = 0; i < 5; ++i) x[i] = 0.17f * static_cast<float>(i) - 0.3f;
+  Tensor dy({1, 5});
+  for (std::int64_t i = 0; i < 5; ++i) dy[i] = 0.31f * static_cast<float>(5 - i);
+
+  Tensor y = softmax_lastdim(x);
+  Tensor dx = softmax_lastdim_backward(y, dy);
+
+  const float eps = 1e-3f;
+  for (std::int64_t i = 0; i < 5; ++i) {
+    Tensor xp = x, xm = x;
+    xp[i] += eps;
+    xm[i] -= eps;
+    const float lp = dot(softmax_lastdim(xp), dy);
+    const float lm = dot(softmax_lastdim(xm), dy);
+    EXPECT_NEAR(dx[i], (lp - lm) / (2 * eps), 2e-3f) << "at " << i;
+  }
+}
+
+}  // namespace
+}  // namespace aeris

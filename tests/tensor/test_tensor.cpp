@@ -1,0 +1,97 @@
+#include "aeris/tensor/tensor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+namespace aeris {
+namespace {
+
+TEST(Tensor, DefaultIsEmpty) {
+  Tensor t;
+  EXPECT_TRUE(t.empty());
+  EXPECT_EQ(t.numel(), 0);
+  EXPECT_EQ(t.ndim(), 0);
+}
+
+TEST(Tensor, ZerosHasShapeAndZeroData) {
+  Tensor t({2, 3, 4});
+  EXPECT_EQ(t.numel(), 24);
+  EXPECT_EQ(t.ndim(), 3);
+  EXPECT_EQ(t.dim(0), 2);
+  EXPECT_EQ(t.dim(1), 3);
+  EXPECT_EQ(t.dim(2), 4);
+  EXPECT_EQ(t.dim(-1), 4);
+  for (float x : t.flat()) EXPECT_EQ(x, 0.0f);
+}
+
+TEST(Tensor, FullFillsValue) {
+  Tensor t = Tensor::full({3, 3}, 2.5f);
+  for (float x : t.flat()) EXPECT_EQ(x, 2.5f);
+}
+
+TEST(Tensor, FromInitializerList) {
+  Tensor t = Tensor::from({1.0f, 2.0f, 3.0f});
+  ASSERT_EQ(t.numel(), 3);
+  EXPECT_EQ(t[0], 1.0f);
+  EXPECT_EQ(t[2], 3.0f);
+}
+
+TEST(Tensor, AdoptDataValidatesSize) {
+  EXPECT_THROW(Tensor({2, 2}, std::vector<float>{1.0f}), std::invalid_argument);
+  Tensor ok({2, 2}, std::vector<float>{1, 2, 3, 4});
+  EXPECT_EQ(ok.at2(1, 1), 4.0f);
+}
+
+TEST(Tensor, RowMajorOffsets) {
+  Tensor t({2, 3, 4});
+  const std::array<std::int64_t, 3> idx = {1, 2, 3};
+  EXPECT_EQ(t.offset(idx), 1 * 12 + 2 * 4 + 3);
+  t.at(idx) = 7.0f;
+  EXPECT_EQ(t[23], 7.0f);
+  EXPECT_EQ(t.at3(1, 2, 3), 7.0f);
+}
+
+TEST(Tensor, At4Indexing) {
+  Tensor t({2, 2, 2, 2});
+  t.at4(1, 0, 1, 0) = 5.0f;
+  EXPECT_EQ(t[8 + 2], 5.0f);
+}
+
+TEST(Tensor, ReshapePreservesData) {
+  Tensor t = Tensor::from({1, 2, 3, 4, 5, 6});
+  Tensor r = t.reshaped({2, 3});
+  EXPECT_EQ(r.at2(1, 2), 6.0f);
+  EXPECT_THROW(t.reshaped({4, 2}), std::invalid_argument);
+}
+
+TEST(Tensor, ReshapeRvalueMoves) {
+  Tensor r = Tensor::from({1, 2, 3, 4}).reshaped({2, 2});
+  EXPECT_EQ(r.at2(0, 1), 2.0f);
+}
+
+TEST(Tensor, CopyIsDeep) {
+  Tensor a = Tensor::from({1, 2});
+  Tensor b = a;
+  b[0] = 9.0f;
+  EXPECT_EQ(a[0], 1.0f);
+}
+
+TEST(Tensor, AllcloseChecksShapeAndValues) {
+  Tensor a = Tensor::from({1.0f, 2.0f});
+  Tensor b = Tensor::from({1.0f, 2.0f + 1e-7f});
+  Tensor c = Tensor::from({1.0f, 2.1f});
+  EXPECT_TRUE(a.allclose(b));
+  EXPECT_FALSE(a.allclose(c));
+  EXPECT_FALSE(a.allclose(Tensor({1, 2}, std::vector<float>{1, 2})));
+}
+
+TEST(Tensor, ShapeNumelAndToString) {
+  EXPECT_EQ(shape_numel({}), 1);
+  EXPECT_EQ(shape_numel({5}), 5);
+  EXPECT_EQ(shape_numel({2, 0, 3}), 0);
+  EXPECT_EQ(shape_to_string({2, 3}), "[2, 3]");
+}
+
+}  // namespace
+}  // namespace aeris

@@ -1,0 +1,87 @@
+#include "aeris/tensor/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace aeris {
+namespace {
+
+TEST(ThreadPool, CoversFullRangeExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(1000, [&](std::int64_t b, std::int64_t e) {
+    for (std::int64_t i = b; i < e; ++i) hits[static_cast<std::size_t>(i)]++;
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, EmptyRangeIsNoOp) {
+  ThreadPool pool(2);
+  bool called = false;
+  pool.parallel_for(0, [&](std::int64_t, std::int64_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPool, SingleThreadRunsInline) {
+  ThreadPool pool(1);
+  const auto caller = std::this_thread::get_id();
+  std::thread::id seen;
+  pool.parallel_for(10, [&](std::int64_t, std::int64_t) {
+    seen = std::this_thread::get_id();
+  });
+  EXPECT_EQ(seen, caller);
+}
+
+TEST(ThreadPool, NMuchLargerThanThreads) {
+  ThreadPool pool(3);
+  std::atomic<std::int64_t> total{0};
+  pool.parallel_for(100000, [&](std::int64_t b, std::int64_t e) {
+    std::int64_t local = 0;
+    for (std::int64_t i = b; i < e; ++i) local += i;
+    total += local;
+  });
+  EXPECT_EQ(total.load(), 100000LL * 99999 / 2);
+}
+
+TEST(ThreadPool, NSmallerThanThreads) {
+  ThreadPool pool(8);
+  std::vector<std::atomic<int>> hits(3);
+  pool.parallel_for(3, [&](std::int64_t b, std::int64_t e) {
+    for (std::int64_t i = b; i < e; ++i) hits[static_cast<std::size_t>(i)]++;
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ExceptionPropagates) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.parallel_for(100,
+                                 [&](std::int64_t b, std::int64_t) {
+                                   if (b == 0) throw std::runtime_error("boom");
+                                 }),
+               std::runtime_error);
+}
+
+TEST(ThreadPool, ReusableAcrossCalls) {
+  ThreadPool pool(4);
+  for (int round = 0; round < 20; ++round) {
+    std::atomic<int> count{0};
+    pool.parallel_for(64, [&](std::int64_t b, std::int64_t e) {
+      count += static_cast<int>(e - b);
+    });
+    EXPECT_EQ(count.load(), 64);
+  }
+}
+
+TEST(ThreadPool, GlobalPoolWorks) {
+  std::atomic<int> count{0};
+  parallel_for(17, [&](std::int64_t b, std::int64_t e) {
+    count += static_cast<int>(e - b);
+  });
+  EXPECT_EQ(count.load(), 17);
+}
+
+}  // namespace
+}  // namespace aeris
