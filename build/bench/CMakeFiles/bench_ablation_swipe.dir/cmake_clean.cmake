@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_swipe.dir/ablation_swipe.cpp.o"
+  "CMakeFiles/bench_ablation_swipe.dir/ablation_swipe.cpp.o.d"
+  "bench_ablation_swipe"
+  "bench_ablation_swipe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_swipe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_medium_range.dir/fig5_medium_range.cpp.o"
+  "CMakeFiles/bench_fig5_medium_range.dir/fig5_medium_range.cpp.o.d"
+  "bench_fig5_medium_range"
+  "bench_fig5_medium_range.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_medium_range.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

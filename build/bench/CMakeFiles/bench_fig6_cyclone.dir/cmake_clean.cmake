@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_cyclone.dir/fig6_cyclone.cpp.o"
+  "CMakeFiles/bench_fig6_cyclone.dir/fig6_cyclone.cpp.o.d"
+  "bench_fig6_cyclone"
+  "bench_fig6_cyclone.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_cyclone.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

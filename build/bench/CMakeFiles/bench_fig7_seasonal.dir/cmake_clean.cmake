@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_seasonal.dir/fig7_seasonal.cpp.o"
+  "CMakeFiles/bench_fig7_seasonal.dir/fig7_seasonal.cpp.o.d"
+  "bench_fig7_seasonal"
+  "bench_fig7_seasonal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_seasonal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/ensemble_forecast.cpp" "examples/CMakeFiles/ensemble_forecast.dir/ensemble_forecast.cpp.o" "gcc" "examples/CMakeFiles/ensemble_forecast.dir/ensemble_forecast.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/experiments/CMakeFiles/aeris_experiments.dir/DependInfo.cmake"
+  "/root/repo/build/src/swipe/CMakeFiles/aeris_swipe.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/aeris_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/aeris_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/physics/CMakeFiles/aeris_physics.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/aeris_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/aeris_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/aeris_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ensemble_forecast.dir/ensemble_forecast.cpp.o"
+  "CMakeFiles/ensemble_forecast.dir/ensemble_forecast.cpp.o.d"
+  "ensemble_forecast"
+  "ensemble_forecast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ensemble_forecast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

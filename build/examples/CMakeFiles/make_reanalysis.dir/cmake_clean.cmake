@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/make_reanalysis.dir/make_reanalysis.cpp.o"
+  "CMakeFiles/make_reanalysis.dir/make_reanalysis.cpp.o.d"
+  "make_reanalysis"
+  "make_reanalysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/make_reanalysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

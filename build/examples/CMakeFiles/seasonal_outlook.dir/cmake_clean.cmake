@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seasonal_outlook.dir/seasonal_outlook.cpp.o"
+  "CMakeFiles/seasonal_outlook.dir/seasonal_outlook.cpp.o.d"
+  "seasonal_outlook"
+  "seasonal_outlook.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seasonal_outlook.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

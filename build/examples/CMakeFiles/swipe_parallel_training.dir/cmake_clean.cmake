@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swipe_parallel_training.dir/swipe_parallel_training.cpp.o"
+  "CMakeFiles/swipe_parallel_training.dir/swipe_parallel_training.cpp.o.d"
+  "swipe_parallel_training"
+  "swipe_parallel_training.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swipe_parallel_training.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/src/edm.cpp" "src/core/CMakeFiles/aeris_core.dir/src/edm.cpp.o" "gcc" "src/core/CMakeFiles/aeris_core.dir/src/edm.cpp.o.d"
+  "/root/repo/src/core/src/forecaster.cpp" "src/core/CMakeFiles/aeris_core.dir/src/forecaster.cpp.o" "gcc" "src/core/CMakeFiles/aeris_core.dir/src/forecaster.cpp.o.d"
+  "/root/repo/src/core/src/loss_weights.cpp" "src/core/CMakeFiles/aeris_core.dir/src/loss_weights.cpp.o" "gcc" "src/core/CMakeFiles/aeris_core.dir/src/loss_weights.cpp.o.d"
+  "/root/repo/src/core/src/model.cpp" "src/core/CMakeFiles/aeris_core.dir/src/model.cpp.o" "gcc" "src/core/CMakeFiles/aeris_core.dir/src/model.cpp.o.d"
+  "/root/repo/src/core/src/sampler.cpp" "src/core/CMakeFiles/aeris_core.dir/src/sampler.cpp.o" "gcc" "src/core/CMakeFiles/aeris_core.dir/src/sampler.cpp.o.d"
+  "/root/repo/src/core/src/swin_block.cpp" "src/core/CMakeFiles/aeris_core.dir/src/swin_block.cpp.o" "gcc" "src/core/CMakeFiles/aeris_core.dir/src/swin_block.cpp.o.d"
+  "/root/repo/src/core/src/trainer.cpp" "src/core/CMakeFiles/aeris_core.dir/src/trainer.cpp.o" "gcc" "src/core/CMakeFiles/aeris_core.dir/src/trainer.cpp.o.d"
+  "/root/repo/src/core/src/trigflow.cpp" "src/core/CMakeFiles/aeris_core.dir/src/trigflow.cpp.o" "gcc" "src/core/CMakeFiles/aeris_core.dir/src/trigflow.cpp.o.d"
+  "/root/repo/src/core/src/window.cpp" "src/core/CMakeFiles/aeris_core.dir/src/window.cpp.o" "gcc" "src/core/CMakeFiles/aeris_core.dir/src/window.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/aeris_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/aeris_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aeris_core.dir/src/edm.cpp.o"
+  "CMakeFiles/aeris_core.dir/src/edm.cpp.o.d"
+  "CMakeFiles/aeris_core.dir/src/forecaster.cpp.o"
+  "CMakeFiles/aeris_core.dir/src/forecaster.cpp.o.d"
+  "CMakeFiles/aeris_core.dir/src/loss_weights.cpp.o"
+  "CMakeFiles/aeris_core.dir/src/loss_weights.cpp.o.d"
+  "CMakeFiles/aeris_core.dir/src/model.cpp.o"
+  "CMakeFiles/aeris_core.dir/src/model.cpp.o.d"
+  "CMakeFiles/aeris_core.dir/src/sampler.cpp.o"
+  "CMakeFiles/aeris_core.dir/src/sampler.cpp.o.d"
+  "CMakeFiles/aeris_core.dir/src/swin_block.cpp.o"
+  "CMakeFiles/aeris_core.dir/src/swin_block.cpp.o.d"
+  "CMakeFiles/aeris_core.dir/src/trainer.cpp.o"
+  "CMakeFiles/aeris_core.dir/src/trainer.cpp.o.d"
+  "CMakeFiles/aeris_core.dir/src/trigflow.cpp.o"
+  "CMakeFiles/aeris_core.dir/src/trigflow.cpp.o.d"
+  "CMakeFiles/aeris_core.dir/src/window.cpp.o"
+  "CMakeFiles/aeris_core.dir/src/window.cpp.o.d"
+  "libaeris_core.a"
+  "libaeris_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aeris_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aeris_data.dir/src/dataset.cpp.o"
+  "CMakeFiles/aeris_data.dir/src/dataset.cpp.o.d"
+  "CMakeFiles/aeris_data.dir/src/generator.cpp.o"
+  "CMakeFiles/aeris_data.dir/src/generator.cpp.o.d"
+  "libaeris_data.a"
+  "libaeris_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aeris_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aeris_experiments.dir/src/domain.cpp.o"
+  "CMakeFiles/aeris_experiments.dir/src/domain.cpp.o.d"
+  "libaeris_experiments.a"
+  "libaeris_experiments.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aeris_experiments.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/metrics/src/s2s.cpp" "src/metrics/CMakeFiles/aeris_metrics.dir/src/s2s.cpp.o" "gcc" "src/metrics/CMakeFiles/aeris_metrics.dir/src/s2s.cpp.o.d"
+  "/root/repo/src/metrics/src/scores.cpp" "src/metrics/CMakeFiles/aeris_metrics.dir/src/scores.cpp.o" "gcc" "src/metrics/CMakeFiles/aeris_metrics.dir/src/scores.cpp.o.d"
+  "/root/repo/src/metrics/src/spectra.cpp" "src/metrics/CMakeFiles/aeris_metrics.dir/src/spectra.cpp.o" "gcc" "src/metrics/CMakeFiles/aeris_metrics.dir/src/spectra.cpp.o.d"
+  "/root/repo/src/metrics/src/tracker.cpp" "src/metrics/CMakeFiles/aeris_metrics.dir/src/tracker.cpp.o" "gcc" "src/metrics/CMakeFiles/aeris_metrics.dir/src/tracker.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/physics/CMakeFiles/aeris_physics.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/aeris_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

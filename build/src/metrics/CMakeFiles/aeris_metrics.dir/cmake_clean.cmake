@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aeris_metrics.dir/src/s2s.cpp.o"
+  "CMakeFiles/aeris_metrics.dir/src/s2s.cpp.o.d"
+  "CMakeFiles/aeris_metrics.dir/src/scores.cpp.o"
+  "CMakeFiles/aeris_metrics.dir/src/scores.cpp.o.d"
+  "CMakeFiles/aeris_metrics.dir/src/spectra.cpp.o"
+  "CMakeFiles/aeris_metrics.dir/src/spectra.cpp.o.d"
+  "CMakeFiles/aeris_metrics.dir/src/tracker.cpp.o"
+  "CMakeFiles/aeris_metrics.dir/src/tracker.cpp.o.d"
+  "libaeris_metrics.a"
+  "libaeris_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aeris_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libaeris_metrics.a"
+)

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/src/adaln.cpp" "src/nn/CMakeFiles/aeris_nn.dir/src/adaln.cpp.o" "gcc" "src/nn/CMakeFiles/aeris_nn.dir/src/adaln.cpp.o.d"
+  "/root/repo/src/nn/src/attention.cpp" "src/nn/CMakeFiles/aeris_nn.dir/src/attention.cpp.o" "gcc" "src/nn/CMakeFiles/aeris_nn.dir/src/attention.cpp.o.d"
+  "/root/repo/src/nn/src/embedding.cpp" "src/nn/CMakeFiles/aeris_nn.dir/src/embedding.cpp.o" "gcc" "src/nn/CMakeFiles/aeris_nn.dir/src/embedding.cpp.o.d"
+  "/root/repo/src/nn/src/linear.cpp" "src/nn/CMakeFiles/aeris_nn.dir/src/linear.cpp.o" "gcc" "src/nn/CMakeFiles/aeris_nn.dir/src/linear.cpp.o.d"
+  "/root/repo/src/nn/src/optimizer.cpp" "src/nn/CMakeFiles/aeris_nn.dir/src/optimizer.cpp.o" "gcc" "src/nn/CMakeFiles/aeris_nn.dir/src/optimizer.cpp.o.d"
+  "/root/repo/src/nn/src/param.cpp" "src/nn/CMakeFiles/aeris_nn.dir/src/param.cpp.o" "gcc" "src/nn/CMakeFiles/aeris_nn.dir/src/param.cpp.o.d"
+  "/root/repo/src/nn/src/rmsnorm.cpp" "src/nn/CMakeFiles/aeris_nn.dir/src/rmsnorm.cpp.o" "gcc" "src/nn/CMakeFiles/aeris_nn.dir/src/rmsnorm.cpp.o.d"
+  "/root/repo/src/nn/src/rope.cpp" "src/nn/CMakeFiles/aeris_nn.dir/src/rope.cpp.o" "gcc" "src/nn/CMakeFiles/aeris_nn.dir/src/rope.cpp.o.d"
+  "/root/repo/src/nn/src/swiglu.cpp" "src/nn/CMakeFiles/aeris_nn.dir/src/swiglu.cpp.o" "gcc" "src/nn/CMakeFiles/aeris_nn.dir/src/swiglu.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/aeris_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aeris_nn.dir/src/adaln.cpp.o"
+  "CMakeFiles/aeris_nn.dir/src/adaln.cpp.o.d"
+  "CMakeFiles/aeris_nn.dir/src/attention.cpp.o"
+  "CMakeFiles/aeris_nn.dir/src/attention.cpp.o.d"
+  "CMakeFiles/aeris_nn.dir/src/embedding.cpp.o"
+  "CMakeFiles/aeris_nn.dir/src/embedding.cpp.o.d"
+  "CMakeFiles/aeris_nn.dir/src/linear.cpp.o"
+  "CMakeFiles/aeris_nn.dir/src/linear.cpp.o.d"
+  "CMakeFiles/aeris_nn.dir/src/optimizer.cpp.o"
+  "CMakeFiles/aeris_nn.dir/src/optimizer.cpp.o.d"
+  "CMakeFiles/aeris_nn.dir/src/param.cpp.o"
+  "CMakeFiles/aeris_nn.dir/src/param.cpp.o.d"
+  "CMakeFiles/aeris_nn.dir/src/rmsnorm.cpp.o"
+  "CMakeFiles/aeris_nn.dir/src/rmsnorm.cpp.o.d"
+  "CMakeFiles/aeris_nn.dir/src/rope.cpp.o"
+  "CMakeFiles/aeris_nn.dir/src/rope.cpp.o.d"
+  "CMakeFiles/aeris_nn.dir/src/swiglu.cpp.o"
+  "CMakeFiles/aeris_nn.dir/src/swiglu.cpp.o.d"
+  "libaeris_nn.a"
+  "libaeris_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aeris_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/perf/src/arch.cpp" "src/perf/CMakeFiles/aeris_perf.dir/src/arch.cpp.o" "gcc" "src/perf/CMakeFiles/aeris_perf.dir/src/arch.cpp.o.d"
+  "/root/repo/src/perf/src/machine.cpp" "src/perf/CMakeFiles/aeris_perf.dir/src/machine.cpp.o" "gcc" "src/perf/CMakeFiles/aeris_perf.dir/src/machine.cpp.o.d"
+  "/root/repo/src/perf/src/paper_configs.cpp" "src/perf/CMakeFiles/aeris_perf.dir/src/paper_configs.cpp.o" "gcc" "src/perf/CMakeFiles/aeris_perf.dir/src/paper_configs.cpp.o.d"
+  "/root/repo/src/perf/src/perf_model.cpp" "src/perf/CMakeFiles/aeris_perf.dir/src/perf_model.cpp.o" "gcc" "src/perf/CMakeFiles/aeris_perf.dir/src/perf_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/swipe/CMakeFiles/aeris_swipe.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/aeris_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/aeris_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/aeris_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aeris_perf.dir/src/arch.cpp.o"
+  "CMakeFiles/aeris_perf.dir/src/arch.cpp.o.d"
+  "CMakeFiles/aeris_perf.dir/src/machine.cpp.o"
+  "CMakeFiles/aeris_perf.dir/src/machine.cpp.o.d"
+  "CMakeFiles/aeris_perf.dir/src/paper_configs.cpp.o"
+  "CMakeFiles/aeris_perf.dir/src/paper_configs.cpp.o.d"
+  "CMakeFiles/aeris_perf.dir/src/perf_model.cpp.o"
+  "CMakeFiles/aeris_perf.dir/src/perf_model.cpp.o.d"
+  "libaeris_perf.a"
+  "libaeris_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aeris_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

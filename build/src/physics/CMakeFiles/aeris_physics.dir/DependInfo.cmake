@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/physics/src/cyclone.cpp" "src/physics/CMakeFiles/aeris_physics.dir/src/cyclone.cpp.o" "gcc" "src/physics/CMakeFiles/aeris_physics.dir/src/cyclone.cpp.o.d"
+  "/root/repo/src/physics/src/earth_system.cpp" "src/physics/CMakeFiles/aeris_physics.dir/src/earth_system.cpp.o" "gcc" "src/physics/CMakeFiles/aeris_physics.dir/src/earth_system.cpp.o.d"
+  "/root/repo/src/physics/src/era5like.cpp" "src/physics/CMakeFiles/aeris_physics.dir/src/era5like.cpp.o" "gcc" "src/physics/CMakeFiles/aeris_physics.dir/src/era5like.cpp.o.d"
+  "/root/repo/src/physics/src/fft.cpp" "src/physics/CMakeFiles/aeris_physics.dir/src/fft.cpp.o" "gcc" "src/physics/CMakeFiles/aeris_physics.dir/src/fft.cpp.o.d"
+  "/root/repo/src/physics/src/ocean.cpp" "src/physics/CMakeFiles/aeris_physics.dir/src/ocean.cpp.o" "gcc" "src/physics/CMakeFiles/aeris_physics.dir/src/ocean.cpp.o.d"
+  "/root/repo/src/physics/src/qg.cpp" "src/physics/CMakeFiles/aeris_physics.dir/src/qg.cpp.o" "gcc" "src/physics/CMakeFiles/aeris_physics.dir/src/qg.cpp.o.d"
+  "/root/repo/src/physics/src/spectral.cpp" "src/physics/CMakeFiles/aeris_physics.dir/src/spectral.cpp.o" "gcc" "src/physics/CMakeFiles/aeris_physics.dir/src/spectral.cpp.o.d"
+  "/root/repo/src/physics/src/thermo.cpp" "src/physics/CMakeFiles/aeris_physics.dir/src/thermo.cpp.o" "gcc" "src/physics/CMakeFiles/aeris_physics.dir/src/thermo.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/aeris_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

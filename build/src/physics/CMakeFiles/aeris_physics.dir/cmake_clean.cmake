@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aeris_physics.dir/src/cyclone.cpp.o"
+  "CMakeFiles/aeris_physics.dir/src/cyclone.cpp.o.d"
+  "CMakeFiles/aeris_physics.dir/src/earth_system.cpp.o"
+  "CMakeFiles/aeris_physics.dir/src/earth_system.cpp.o.d"
+  "CMakeFiles/aeris_physics.dir/src/era5like.cpp.o"
+  "CMakeFiles/aeris_physics.dir/src/era5like.cpp.o.d"
+  "CMakeFiles/aeris_physics.dir/src/fft.cpp.o"
+  "CMakeFiles/aeris_physics.dir/src/fft.cpp.o.d"
+  "CMakeFiles/aeris_physics.dir/src/ocean.cpp.o"
+  "CMakeFiles/aeris_physics.dir/src/ocean.cpp.o.d"
+  "CMakeFiles/aeris_physics.dir/src/qg.cpp.o"
+  "CMakeFiles/aeris_physics.dir/src/qg.cpp.o.d"
+  "CMakeFiles/aeris_physics.dir/src/spectral.cpp.o"
+  "CMakeFiles/aeris_physics.dir/src/spectral.cpp.o.d"
+  "CMakeFiles/aeris_physics.dir/src/thermo.cpp.o"
+  "CMakeFiles/aeris_physics.dir/src/thermo.cpp.o.d"
+  "libaeris_physics.a"
+  "libaeris_physics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aeris_physics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for aeris_physics.
+# This may be replaced when dependencies are built.

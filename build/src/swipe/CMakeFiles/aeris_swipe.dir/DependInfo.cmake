@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/swipe/src/comm.cpp" "src/swipe/CMakeFiles/aeris_swipe.dir/src/comm.cpp.o" "gcc" "src/swipe/CMakeFiles/aeris_swipe.dir/src/comm.cpp.o.d"
+  "/root/repo/src/swipe/src/engine.cpp" "src/swipe/CMakeFiles/aeris_swipe.dir/src/engine.cpp.o" "gcc" "src/swipe/CMakeFiles/aeris_swipe.dir/src/engine.cpp.o.d"
+  "/root/repo/src/swipe/src/pipeline.cpp" "src/swipe/CMakeFiles/aeris_swipe.dir/src/pipeline.cpp.o" "gcc" "src/swipe/CMakeFiles/aeris_swipe.dir/src/pipeline.cpp.o.d"
+  "/root/repo/src/swipe/src/topology.cpp" "src/swipe/CMakeFiles/aeris_swipe.dir/src/topology.cpp.o" "gcc" "src/swipe/CMakeFiles/aeris_swipe.dir/src/topology.cpp.o.d"
+  "/root/repo/src/swipe/src/ulysses.cpp" "src/swipe/CMakeFiles/aeris_swipe.dir/src/ulysses.cpp.o" "gcc" "src/swipe/CMakeFiles/aeris_swipe.dir/src/ulysses.cpp.o.d"
+  "/root/repo/src/swipe/src/window_layout.cpp" "src/swipe/CMakeFiles/aeris_swipe.dir/src/window_layout.cpp.o" "gcc" "src/swipe/CMakeFiles/aeris_swipe.dir/src/window_layout.cpp.o.d"
+  "/root/repo/src/swipe/src/zero1.cpp" "src/swipe/CMakeFiles/aeris_swipe.dir/src/zero1.cpp.o" "gcc" "src/swipe/CMakeFiles/aeris_swipe.dir/src/zero1.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/aeris_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/aeris_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/aeris_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

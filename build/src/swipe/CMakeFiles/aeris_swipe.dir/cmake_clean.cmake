@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aeris_swipe.dir/src/comm.cpp.o"
+  "CMakeFiles/aeris_swipe.dir/src/comm.cpp.o.d"
+  "CMakeFiles/aeris_swipe.dir/src/engine.cpp.o"
+  "CMakeFiles/aeris_swipe.dir/src/engine.cpp.o.d"
+  "CMakeFiles/aeris_swipe.dir/src/pipeline.cpp.o"
+  "CMakeFiles/aeris_swipe.dir/src/pipeline.cpp.o.d"
+  "CMakeFiles/aeris_swipe.dir/src/topology.cpp.o"
+  "CMakeFiles/aeris_swipe.dir/src/topology.cpp.o.d"
+  "CMakeFiles/aeris_swipe.dir/src/ulysses.cpp.o"
+  "CMakeFiles/aeris_swipe.dir/src/ulysses.cpp.o.d"
+  "CMakeFiles/aeris_swipe.dir/src/window_layout.cpp.o"
+  "CMakeFiles/aeris_swipe.dir/src/window_layout.cpp.o.d"
+  "CMakeFiles/aeris_swipe.dir/src/zero1.cpp.o"
+  "CMakeFiles/aeris_swipe.dir/src/zero1.cpp.o.d"
+  "libaeris_swipe.a"
+  "libaeris_swipe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aeris_swipe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for aeris_swipe.
+# This may be replaced when dependencies are built.

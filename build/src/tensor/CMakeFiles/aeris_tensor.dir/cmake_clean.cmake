@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aeris_tensor.dir/src/gemm.cpp.o"
+  "CMakeFiles/aeris_tensor.dir/src/gemm.cpp.o.d"
+  "CMakeFiles/aeris_tensor.dir/src/ops.cpp.o"
+  "CMakeFiles/aeris_tensor.dir/src/ops.cpp.o.d"
+  "CMakeFiles/aeris_tensor.dir/src/rng.cpp.o"
+  "CMakeFiles/aeris_tensor.dir/src/rng.cpp.o.d"
+  "CMakeFiles/aeris_tensor.dir/src/tensor.cpp.o"
+  "CMakeFiles/aeris_tensor.dir/src/tensor.cpp.o.d"
+  "CMakeFiles/aeris_tensor.dir/src/thread_pool.cpp.o"
+  "CMakeFiles/aeris_tensor.dir/src/thread_pool.cpp.o.d"
+  "libaeris_tensor.a"
+  "libaeris_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aeris_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

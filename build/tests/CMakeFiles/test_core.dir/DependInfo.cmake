@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/test_forecaster.cpp" "tests/CMakeFiles/test_core.dir/core/test_forecaster.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_forecaster.cpp.o.d"
+  "/root/repo/tests/core/test_loss_weights.cpp" "tests/CMakeFiles/test_core.dir/core/test_loss_weights.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_loss_weights.cpp.o.d"
+  "/root/repo/tests/core/test_mixed_precision.cpp" "tests/CMakeFiles/test_core.dir/core/test_mixed_precision.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_mixed_precision.cpp.o.d"
+  "/root/repo/tests/core/test_model.cpp" "tests/CMakeFiles/test_core.dir/core/test_model.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_model.cpp.o.d"
+  "/root/repo/tests/core/test_model_shapes.cpp" "tests/CMakeFiles/test_core.dir/core/test_model_shapes.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_model_shapes.cpp.o.d"
+  "/root/repo/tests/core/test_sampler.cpp" "tests/CMakeFiles/test_core.dir/core/test_sampler.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_sampler.cpp.o.d"
+  "/root/repo/tests/core/test_swin_block.cpp" "tests/CMakeFiles/test_core.dir/core/test_swin_block.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_swin_block.cpp.o.d"
+  "/root/repo/tests/core/test_trainer.cpp" "tests/CMakeFiles/test_core.dir/core/test_trainer.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_trainer.cpp.o.d"
+  "/root/repo/tests/core/test_trigflow.cpp" "tests/CMakeFiles/test_core.dir/core/test_trigflow.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_trigflow.cpp.o.d"
+  "/root/repo/tests/core/test_window.cpp" "tests/CMakeFiles/test_core.dir/core/test_window.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_window.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/aeris_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/aeris_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/aeris_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

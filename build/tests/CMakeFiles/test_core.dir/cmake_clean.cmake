@@ -1,0 +1,30 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/core/test_forecaster.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_forecaster.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_loss_weights.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_loss_weights.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_mixed_precision.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_mixed_precision.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_model.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_model.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_model_shapes.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_model_shapes.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_sampler.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_sampler.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_swin_block.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_swin_block.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_trainer.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_trainer.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_trigflow.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_trigflow.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_window.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_window.cpp.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/nn/test_adaln.cpp" "tests/CMakeFiles/test_nn.dir/nn/test_adaln.cpp.o" "gcc" "tests/CMakeFiles/test_nn.dir/nn/test_adaln.cpp.o.d"
+  "/root/repo/tests/nn/test_attention.cpp" "tests/CMakeFiles/test_nn.dir/nn/test_attention.cpp.o" "gcc" "tests/CMakeFiles/test_nn.dir/nn/test_attention.cpp.o.d"
+  "/root/repo/tests/nn/test_embedding.cpp" "tests/CMakeFiles/test_nn.dir/nn/test_embedding.cpp.o" "gcc" "tests/CMakeFiles/test_nn.dir/nn/test_embedding.cpp.o.d"
+  "/root/repo/tests/nn/test_linear.cpp" "tests/CMakeFiles/test_nn.dir/nn/test_linear.cpp.o" "gcc" "tests/CMakeFiles/test_nn.dir/nn/test_linear.cpp.o.d"
+  "/root/repo/tests/nn/test_optimizer.cpp" "tests/CMakeFiles/test_nn.dir/nn/test_optimizer.cpp.o" "gcc" "tests/CMakeFiles/test_nn.dir/nn/test_optimizer.cpp.o.d"
+  "/root/repo/tests/nn/test_rmsnorm.cpp" "tests/CMakeFiles/test_nn.dir/nn/test_rmsnorm.cpp.o" "gcc" "tests/CMakeFiles/test_nn.dir/nn/test_rmsnorm.cpp.o.d"
+  "/root/repo/tests/nn/test_rope.cpp" "tests/CMakeFiles/test_nn.dir/nn/test_rope.cpp.o" "gcc" "tests/CMakeFiles/test_nn.dir/nn/test_rope.cpp.o.d"
+  "/root/repo/tests/nn/test_swiglu.cpp" "tests/CMakeFiles/test_nn.dir/nn/test_swiglu.cpp.o" "gcc" "tests/CMakeFiles/test_nn.dir/nn/test_swiglu.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/aeris_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/aeris_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

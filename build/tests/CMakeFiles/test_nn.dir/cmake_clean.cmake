@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nn.dir/nn/test_adaln.cpp.o"
+  "CMakeFiles/test_nn.dir/nn/test_adaln.cpp.o.d"
+  "CMakeFiles/test_nn.dir/nn/test_attention.cpp.o"
+  "CMakeFiles/test_nn.dir/nn/test_attention.cpp.o.d"
+  "CMakeFiles/test_nn.dir/nn/test_embedding.cpp.o"
+  "CMakeFiles/test_nn.dir/nn/test_embedding.cpp.o.d"
+  "CMakeFiles/test_nn.dir/nn/test_linear.cpp.o"
+  "CMakeFiles/test_nn.dir/nn/test_linear.cpp.o.d"
+  "CMakeFiles/test_nn.dir/nn/test_optimizer.cpp.o"
+  "CMakeFiles/test_nn.dir/nn/test_optimizer.cpp.o.d"
+  "CMakeFiles/test_nn.dir/nn/test_rmsnorm.cpp.o"
+  "CMakeFiles/test_nn.dir/nn/test_rmsnorm.cpp.o.d"
+  "CMakeFiles/test_nn.dir/nn/test_rope.cpp.o"
+  "CMakeFiles/test_nn.dir/nn/test_rope.cpp.o.d"
+  "CMakeFiles/test_nn.dir/nn/test_swiglu.cpp.o"
+  "CMakeFiles/test_nn.dir/nn/test_swiglu.cpp.o.d"
+  "test_nn"
+  "test_nn.pdb"
+  "test_nn[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/physics/test_earth_system.cpp" "tests/CMakeFiles/test_physics.dir/physics/test_earth_system.cpp.o" "gcc" "tests/CMakeFiles/test_physics.dir/physics/test_earth_system.cpp.o.d"
+  "/root/repo/tests/physics/test_fft.cpp" "tests/CMakeFiles/test_physics.dir/physics/test_fft.cpp.o" "gcc" "tests/CMakeFiles/test_physics.dir/physics/test_fft.cpp.o.d"
+  "/root/repo/tests/physics/test_qg.cpp" "tests/CMakeFiles/test_physics.dir/physics/test_qg.cpp.o" "gcc" "tests/CMakeFiles/test_physics.dir/physics/test_qg.cpp.o.d"
+  "/root/repo/tests/physics/test_spectral.cpp" "tests/CMakeFiles/test_physics.dir/physics/test_spectral.cpp.o" "gcc" "tests/CMakeFiles/test_physics.dir/physics/test_spectral.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/physics/CMakeFiles/aeris_physics.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/aeris_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

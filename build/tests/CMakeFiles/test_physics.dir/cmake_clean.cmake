@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_physics.dir/physics/test_earth_system.cpp.o"
+  "CMakeFiles/test_physics.dir/physics/test_earth_system.cpp.o.d"
+  "CMakeFiles/test_physics.dir/physics/test_fft.cpp.o"
+  "CMakeFiles/test_physics.dir/physics/test_fft.cpp.o.d"
+  "CMakeFiles/test_physics.dir/physics/test_qg.cpp.o"
+  "CMakeFiles/test_physics.dir/physics/test_qg.cpp.o.d"
+  "CMakeFiles/test_physics.dir/physics/test_spectral.cpp.o"
+  "CMakeFiles/test_physics.dir/physics/test_spectral.cpp.o.d"
+  "test_physics"
+  "test_physics.pdb"
+  "test_physics[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_physics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/swipe/test_comm.cpp" "tests/CMakeFiles/test_swipe.dir/swipe/test_comm.cpp.o" "gcc" "tests/CMakeFiles/test_swipe.dir/swipe/test_comm.cpp.o.d"
+  "/root/repo/tests/swipe/test_engine.cpp" "tests/CMakeFiles/test_swipe.dir/swipe/test_engine.cpp.o" "gcc" "tests/CMakeFiles/test_swipe.dir/swipe/test_engine.cpp.o.d"
+  "/root/repo/tests/swipe/test_pipeline.cpp" "tests/CMakeFiles/test_swipe.dir/swipe/test_pipeline.cpp.o" "gcc" "tests/CMakeFiles/test_swipe.dir/swipe/test_pipeline.cpp.o.d"
+  "/root/repo/tests/swipe/test_topology.cpp" "tests/CMakeFiles/test_swipe.dir/swipe/test_topology.cpp.o" "gcc" "tests/CMakeFiles/test_swipe.dir/swipe/test_topology.cpp.o.d"
+  "/root/repo/tests/swipe/test_ulysses.cpp" "tests/CMakeFiles/test_swipe.dir/swipe/test_ulysses.cpp.o" "gcc" "tests/CMakeFiles/test_swipe.dir/swipe/test_ulysses.cpp.o.d"
+  "/root/repo/tests/swipe/test_window_layout.cpp" "tests/CMakeFiles/test_swipe.dir/swipe/test_window_layout.cpp.o" "gcc" "tests/CMakeFiles/test_swipe.dir/swipe/test_window_layout.cpp.o.d"
+  "/root/repo/tests/swipe/test_zero1.cpp" "tests/CMakeFiles/test_swipe.dir/swipe/test_zero1.cpp.o" "gcc" "tests/CMakeFiles/test_swipe.dir/swipe/test_zero1.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/swipe/CMakeFiles/aeris_swipe.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/aeris_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/aeris_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/aeris_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

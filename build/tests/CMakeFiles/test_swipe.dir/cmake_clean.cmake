@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_swipe.dir/swipe/test_comm.cpp.o"
+  "CMakeFiles/test_swipe.dir/swipe/test_comm.cpp.o.d"
+  "CMakeFiles/test_swipe.dir/swipe/test_engine.cpp.o"
+  "CMakeFiles/test_swipe.dir/swipe/test_engine.cpp.o.d"
+  "CMakeFiles/test_swipe.dir/swipe/test_pipeline.cpp.o"
+  "CMakeFiles/test_swipe.dir/swipe/test_pipeline.cpp.o.d"
+  "CMakeFiles/test_swipe.dir/swipe/test_topology.cpp.o"
+  "CMakeFiles/test_swipe.dir/swipe/test_topology.cpp.o.d"
+  "CMakeFiles/test_swipe.dir/swipe/test_ulysses.cpp.o"
+  "CMakeFiles/test_swipe.dir/swipe/test_ulysses.cpp.o.d"
+  "CMakeFiles/test_swipe.dir/swipe/test_window_layout.cpp.o"
+  "CMakeFiles/test_swipe.dir/swipe/test_window_layout.cpp.o.d"
+  "CMakeFiles/test_swipe.dir/swipe/test_zero1.cpp.o"
+  "CMakeFiles/test_swipe.dir/swipe/test_zero1.cpp.o.d"
+  "test_swipe"
+  "test_swipe.pdb"
+  "test_swipe[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_swipe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

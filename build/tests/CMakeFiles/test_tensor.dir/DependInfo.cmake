@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/tensor/test_bf16.cpp" "tests/CMakeFiles/test_tensor.dir/tensor/test_bf16.cpp.o" "gcc" "tests/CMakeFiles/test_tensor.dir/tensor/test_bf16.cpp.o.d"
+  "/root/repo/tests/tensor/test_gemm.cpp" "tests/CMakeFiles/test_tensor.dir/tensor/test_gemm.cpp.o" "gcc" "tests/CMakeFiles/test_tensor.dir/tensor/test_gemm.cpp.o.d"
+  "/root/repo/tests/tensor/test_ops.cpp" "tests/CMakeFiles/test_tensor.dir/tensor/test_ops.cpp.o" "gcc" "tests/CMakeFiles/test_tensor.dir/tensor/test_ops.cpp.o.d"
+  "/root/repo/tests/tensor/test_rng.cpp" "tests/CMakeFiles/test_tensor.dir/tensor/test_rng.cpp.o" "gcc" "tests/CMakeFiles/test_tensor.dir/tensor/test_rng.cpp.o.d"
+  "/root/repo/tests/tensor/test_tensor.cpp" "tests/CMakeFiles/test_tensor.dir/tensor/test_tensor.cpp.o" "gcc" "tests/CMakeFiles/test_tensor.dir/tensor/test_tensor.cpp.o.d"
+  "/root/repo/tests/tensor/test_thread_pool.cpp" "tests/CMakeFiles/test_tensor.dir/tensor/test_thread_pool.cpp.o" "gcc" "tests/CMakeFiles/test_tensor.dir/tensor/test_thread_pool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/aeris_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tensor.dir/tensor/test_bf16.cpp.o"
+  "CMakeFiles/test_tensor.dir/tensor/test_bf16.cpp.o.d"
+  "CMakeFiles/test_tensor.dir/tensor/test_gemm.cpp.o"
+  "CMakeFiles/test_tensor.dir/tensor/test_gemm.cpp.o.d"
+  "CMakeFiles/test_tensor.dir/tensor/test_ops.cpp.o"
+  "CMakeFiles/test_tensor.dir/tensor/test_ops.cpp.o.d"
+  "CMakeFiles/test_tensor.dir/tensor/test_rng.cpp.o"
+  "CMakeFiles/test_tensor.dir/tensor/test_rng.cpp.o.d"
+  "CMakeFiles/test_tensor.dir/tensor/test_tensor.cpp.o"
+  "CMakeFiles/test_tensor.dir/tensor/test_tensor.cpp.o.d"
+  "CMakeFiles/test_tensor.dir/tensor/test_thread_pool.cpp.o"
+  "CMakeFiles/test_tensor.dir/tensor/test_thread_pool.cpp.o.d"
+  "test_tensor"
+  "test_tensor.pdb"
+  "test_tensor[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
