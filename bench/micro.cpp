@@ -8,6 +8,7 @@
 #include "aeris/core/sampler.hpp"
 #include "aeris/core/window.hpp"
 #include "aeris/nn/attention.hpp"
+#include "aeris/nn/inference.hpp"
 #include "aeris/physics/qg.hpp"
 #include "aeris/swipe/comm.hpp"
 #include "aeris/swipe/window_layout.hpp"
@@ -52,6 +53,18 @@ void BM_WindowAttentionForward(benchmark::State& state) {
   for (auto _ : state) benchmark::DoNotOptimize(attn.forward(x));
 }
 BENCHMARK(BM_WindowAttentionForward);
+
+// Streaming (inference-mode) path: online softmax, no [B,H,T,T] probs.
+void BM_WindowAttentionInference(benchmark::State& state) {
+  nn::WindowAttention attn("a", 32, 4, 8, 8);
+  Philox rng(2);
+  attn.init(rng, 0);
+  Tensor x({16, 64, 32});
+  rng.fill_normal(x, 1, 0);
+  nn::InferenceModeGuard guard;
+  for (auto _ : state) benchmark::DoNotOptimize(attn.forward(x));
+}
+BENCHMARK(BM_WindowAttentionInference);
 
 void BM_WindowPartitionRoundTrip(benchmark::State& state) {
   Philox rng(3);

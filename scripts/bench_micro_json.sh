@@ -1,0 +1,9 @@
+#!/usr/bin/env sh
+# Rebuilds bench_micro and records kernel microbenchmark results to
+# <repo>/BENCH_micro.json (google-benchmark JSON), giving each PR a perf
+# trajectory to compare against. Usage: scripts/bench_micro_json.sh [build_dir]
+set -e
+repo=$(cd "$(dirname "$0")/.." && pwd)
+build=${1:-"$repo/build"}
+cmake --build "$build" --target bench_micro_json
+echo "wrote $repo/BENCH_micro.json"

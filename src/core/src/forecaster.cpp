@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "aeris/nn/inference.hpp"
 #include "aeris/tensor/ops.hpp"
 
 namespace aeris::core {
@@ -50,6 +51,9 @@ Tensor DiffusionForecaster::forecast_step(const Tensor& prev,
   }
   const std::uint64_t member_key =
       member * 4096 + static_cast<std::uint64_t>(step);
+  // Sampling never needs backward: run the whole ODE solve in inference
+  // mode so attention streams (no [B,H,T,T] probs) and layers skip caches.
+  nn::InferenceModeGuard inference;
   Tensor residual;
   if (param_ == Parameterization::kTrigFlow) {
     const float sd = trigflow_.config().sigma_d;
@@ -105,6 +109,7 @@ std::vector<std::vector<Tensor>> DiffusionForecaster::ensemble_rollout(
 
 Tensor DeterministicForecaster::forecast_step(const Tensor& prev,
                                               const Tensor& forcings) {
+  nn::InferenceModeGuard inference;
   Tensor cat = concat(prev, forcings, 2);
   Tensor input =
       std::move(cat).reshaped({1, cat.dim(0), cat.dim(1), cat.dim(2)});

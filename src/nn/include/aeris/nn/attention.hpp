@@ -7,11 +7,17 @@ namespace aeris::nn {
 
 /// Scaled-dot-product attention core shared by the single-rank
 /// WindowAttention and the Ulysses sequence-parallel path: q, k, v are
-/// [B, T, H*dh]; returns [B, T, H*dh] and (optionally) the softmax
-/// probabilities [B, H, T, T] needed for the backward pass.
+/// [B, T, H*dh]; returns [B, T, H*dh].
+///
+/// With `probs_out != nullptr` (training) the softmax probabilities
+/// [B, H, T, T] are materialized for the backward pass. With
+/// `probs_out == nullptr` (inference/sampling) a streaming online-softmax
+/// path is taken instead: scores exist only as small per-head tiles in the
+/// thread-local scratch arena and the [B, H, T, T] tensor is never
+/// allocated.
 Tensor attention_core_forward(const Tensor& q, const Tensor& k,
                               const Tensor& v, std::int64_t heads,
-                              Tensor* probs_out);
+                              Tensor* probs_out = nullptr);
 
 /// Backward of attention_core_forward. `probs` is the cached softmax
 /// output; fills dq/dk/dv (allocated to match q/k/v).

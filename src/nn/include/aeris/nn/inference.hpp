@@ -1,0 +1,29 @@
+#pragma once
+
+namespace aeris::nn {
+
+/// True while the calling thread is inside an InferenceModeGuard.
+///
+/// In inference mode the layers skip every backward-only cache: Linear
+/// does not retain its input, WindowAttention does not retain q/k/v and —
+/// crucially — takes the streaming attention path that never materializes
+/// the [B, H, T, T] probability tensor. Calling backward() after a
+/// forward() executed in inference mode is a logic error (the caches are
+/// missing or stale).
+bool inference_mode();
+
+/// RAII scope: sampling/rollout code wraps its model evaluations in one of
+/// these (see DiffusionForecaster::forecast_step). Guards nest; the flag is
+/// thread-local so a training thread is unaffected by an inference thread.
+class InferenceModeGuard {
+ public:
+  InferenceModeGuard();
+  ~InferenceModeGuard();
+  InferenceModeGuard(const InferenceModeGuard&) = delete;
+  InferenceModeGuard& operator=(const InferenceModeGuard&) = delete;
+
+ private:
+  bool prev_;
+};
+
+}  // namespace aeris::nn

@@ -1,12 +1,91 @@
 #include "aeris/nn/attention.hpp"
 
 #include <cmath>
+#include <limits>
 #include <stdexcept>
 
+#include "aeris/nn/inference.hpp"
+#include "aeris/tensor/arena.hpp"
 #include "aeris/tensor/gemm.hpp"
 #include "aeris/tensor/ops.hpp"
+#include "aeris/tensor/thread_pool.hpp"
 
 namespace aeris::nn {
+namespace {
+
+// Streaming (flash-style) tile sizes: scores are materialized only as a
+// kQBlock x kKBlock tile in the thread's scratch arena, with the softmax
+// kept online via running row max / row sum statistics.
+constexpr std::int64_t kQBlock = 32;
+constexpr std::int64_t kKBlock = 64;
+
+/// One (batch, head) attention problem without cached probabilities:
+/// out[qi, :] = softmax(scale * q @ k^T)[qi, :] @ v, computed blockwise
+/// over keys with an online softmax so no [T, T] buffer ever exists. All
+/// GEMMs are serial — the caller parallelizes over (batch, head).
+void streaming_head_forward(const float* q, const float* k, const float* v,
+                            std::int64_t t, std::int64_t row_stride,
+                            std::int64_t dh, float scale, GemmPrecision prec,
+                            float* out) {
+  ScratchArena& arena = ScratchArena::for_current_thread();
+  ScratchArena::Scope scope(arena);
+  const std::int64_t qb_max = std::min(kQBlock, t);
+  const std::int64_t kb_max = std::min(kKBlock, t);
+  float* s = arena.alloc_floats(qb_max * kb_max);       // score/prob tile
+  float* oacc = arena.alloc_floats(qb_max * dh);        // unnormalized out
+  float* row_max = arena.alloc_floats(qb_max);          // running max
+  float* row_sum = arena.alloc_floats(qb_max);          // running denom
+
+  for (std::int64_t q0 = 0; q0 < t; q0 += qb_max) {
+    const std::int64_t qb = std::min(qb_max, t - q0);
+    for (std::int64_t i = 0; i < qb; ++i) {
+      row_max[i] = -std::numeric_limits<float>::infinity();
+      row_sum[i] = 0.0f;
+    }
+    for (std::int64_t i = 0; i < qb * dh; ++i) oacc[i] = 0.0f;
+
+    for (std::int64_t k0 = 0; k0 < t; k0 += kb_max) {
+      const std::int64_t kb = std::min(kb_max, t - k0);
+      // s = scale * Q_blk @ K_blk^T   (qb x kb)
+      gemm_serial(false, true, qb, kb, dh, scale, q + q0 * row_stride,
+                  row_stride, k + k0 * row_stride, row_stride, 0.0f, s, kb_max,
+                  prec);
+      // Online softmax update per row.
+      for (std::int64_t i = 0; i < qb; ++i) {
+        float* srow = s + i * kb_max;
+        float blk_max = srow[0];
+        for (std::int64_t j = 1; j < kb; ++j) {
+          blk_max = std::max(blk_max, srow[j]);
+        }
+        const float new_max = std::max(row_max[i], blk_max);
+        const float corr =
+            row_sum[i] == 0.0f ? 0.0f : std::exp(row_max[i] - new_max);
+        row_max[i] = new_max;
+        float part = 0.0f;
+        for (std::int64_t j = 0; j < kb; ++j) {
+          srow[j] = std::exp(srow[j] - new_max);
+          part += srow[j];
+        }
+        row_sum[i] = row_sum[i] * corr + part;
+        if (corr != 1.0f) {
+          float* orow = oacc + i * dh;
+          for (std::int64_t d = 0; d < dh; ++d) orow[d] *= corr;
+        }
+      }
+      // oacc += P_blk @ V_blk   (qb x dh)
+      gemm_serial(false, false, qb, dh, kb, 1.0f, s, kb_max,
+                  v + k0 * row_stride, row_stride, 1.0f, oacc, dh, prec);
+    }
+    for (std::int64_t i = 0; i < qb; ++i) {
+      const float inv = 1.0f / row_sum[i];
+      float* dst = out + (q0 + i) * row_stride;
+      const float* orow = oacc + i * dh;
+      for (std::int64_t d = 0; d < dh; ++d) dst[d] = orow[d] * inv;
+    }
+  }
+}
+
+}  // namespace
 
 Tensor attention_core_forward(const Tensor& q, const Tensor& k,
                               const Tensor& v, std::int64_t heads,
@@ -20,22 +99,37 @@ Tensor attention_core_forward(const Tensor& q, const Tensor& k,
   const float scale = 1.0f / std::sqrt(static_cast<float>(dh));
   const GemmPrecision prec = default_gemm_precision();
 
-  if (probs_out != nullptr) *probs_out = Tensor({b, heads, t, t});
   Tensor out({b, t, c});
-  Tensor scores({t, t});
+
+  if (probs_out == nullptr) {
+    // Inference/sampling path: streaming attention, no [B,H,T,T] tensor.
+    // Parallelize over the independent (batch, head) problems; each chunk
+    // uses only its own thread's arena and serial GEMMs.
+    parallel_for(b * heads, [&](std::int64_t h0, std::int64_t h1) {
+      for (std::int64_t bh = h0; bh < h1; ++bh) {
+        const std::int64_t bb = bh / heads;
+        const std::int64_t h = bh % heads;
+        const std::int64_t off = bb * t * c + h * dh;
+        streaming_head_forward(q.data() + off, k.data() + off, v.data() + off,
+                               t, c, dh, scale, prec, out.data() + off);
+      }
+    });
+    return out;
+  }
+
+  // Training path: materialize softmax probabilities for the backward pass,
+  // writing scores directly into the output tensor (no per-head softmax or
+  // score temporaries).
+  *probs_out = Tensor({b, heads, t, t});
   for (std::int64_t bb = 0; bb < b; ++bb) {
     for (std::int64_t h = 0; h < heads; ++h) {
       const float* qp = q.data() + bb * t * c + h * dh;
       const float* kp = k.data() + bb * t * c + h * dh;
       const float* vp = v.data() + bb * t * c + h * dh;
-      gemm(false, true, t, t, dh, scale, qp, c, kp, c, 0.0f, scores.data(), t,
-           prec);
-      Tensor probs = softmax_lastdim(scores);
-      if (probs_out != nullptr) {
-        std::copy_n(probs.data(), t * t,
-                    probs_out->data() + (bb * heads + h) * t * t);
-      }
-      gemm(false, false, t, dh, t, 1.0f, probs.data(), t, vp, c, 0.0f,
+      float* probs = probs_out->data() + (bb * heads + h) * t * t;
+      gemm(false, true, t, t, dh, scale, qp, c, kp, c, 0.0f, probs, t, prec);
+      softmax_rows_inplace(probs, t, t);
+      gemm(false, false, t, dh, t, 1.0f, probs, t, vp, c, 0.0f,
            out.data() + bb * t * c + h * dh, c, prec);
     }
   }
@@ -105,6 +199,18 @@ Tensor WindowAttention::forward(const Tensor& x) {
                                 "], got " + shape_to_string(x.shape()));
   }
   Tensor qkv = qkv_.forward(x);  // [B, T, 3C]
+
+  if (inference_mode()) {
+    // Streaming path: no q/k/v/probs caches, no [B,H,T,T] materialization.
+    Tensor q = slice(qkv, 2, 0, dim_);
+    Tensor k = slice(qkv, 2, dim_, 2 * dim_);
+    Tensor v = slice(qkv, 2, 2 * dim_, 3 * dim_);
+    rope_.apply(q, heads_, coords_);
+    rope_.apply(k, heads_, coords_);
+    Tensor attn_out = attention_core_forward(q, k, v, heads_, nullptr);
+    return proj_.forward(attn_out);
+  }
+
   cached_q_ = slice(qkv, 2, 0, dim_);
   cached_k_ = slice(qkv, 2, dim_, 2 * dim_);
   cached_v_ = slice(qkv, 2, 2 * dim_, 3 * dim_);

@@ -1,0 +1,18 @@
+#include "aeris/nn/inference.hpp"
+
+namespace aeris::nn {
+namespace {
+
+thread_local bool t_inference_mode = false;
+
+}  // namespace
+
+bool inference_mode() { return t_inference_mode; }
+
+InferenceModeGuard::InferenceModeGuard() : prev_(t_inference_mode) {
+  t_inference_mode = true;
+}
+
+InferenceModeGuard::~InferenceModeGuard() { t_inference_mode = prev_; }
+
+}  // namespace aeris::nn

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "aeris/nn/inference.hpp"
+
 namespace aeris::nn {
 namespace {
 
@@ -54,7 +56,9 @@ Tensor Linear::apply(const Tensor& x) const {
 }
 
 Tensor Linear::forward(const Tensor& x) {
-  cached_x_ = x;
+  // In inference mode the input is only needed for this call; skipping the
+  // cache keeps sampling rollouts free of backward-only retention.
+  if (!inference_mode()) cached_x_ = x;
   return apply(x);
 }
 

@@ -1,0 +1,99 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace aeris {
+
+/// Thread-local bump allocator backing kernel scratch space.
+///
+/// GEMM pack buffers, attention score tiles and other kernel temporaries
+/// are short-lived, sized predictably, and allocated on every call — the
+/// worst possible workload for `operator new`. The arena replaces those
+/// heap round trips with pointer bumps into reusable blocks: the first few
+/// calls grow the arena to the working-set high watermark, after which the
+/// hot path performs zero heap allocations ("steady state").
+///
+/// Ownership rules:
+///  - Each thread owns exactly one arena (`ScratchArena::for_current_thread`);
+///    pointers must not be shared across threads for writing. Read-only
+///    sharing (e.g. workers reading the caller's packed GEMM panels) is fine
+///    as long as the owning scope outlives the readers.
+///  - Allocations are released in LIFO order via `Scope` (RAII). A kernel
+///    opens a `Scope`, allocates freely, and everything is reclaimed — but
+///    not freed to the OS — when the scope unwinds. Scopes nest.
+///  - Blocks are never invalidated by later allocations (block-list design),
+///    so pointers stay valid for the lifetime of their scope.
+class ScratchArena {
+ public:
+  ScratchArena() = default;
+
+  ScratchArena(const ScratchArena&) = delete;
+  ScratchArena& operator=(const ScratchArena&) = delete;
+
+  /// Returns a 64-byte-aligned uninitialized buffer of `n` floats, valid
+  /// until the enclosing Scope unwinds. Returns nullptr for n <= 0.
+  float* alloc_floats(std::int64_t n);
+
+  /// RAII watermark: restores the arena to its state at construction.
+  class Scope {
+   public:
+    explicit Scope(ScratchArena& arena)
+        : arena_(arena),
+          saved_block_(arena.cur_block_),
+          saved_used_(arena.cur_used_),
+          saved_in_use_(arena.in_use_) {}
+    ~Scope() {
+      arena_.cur_block_ = saved_block_;
+      arena_.cur_used_ = saved_used_;
+      arena_.in_use_ = saved_in_use_;
+    }
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+
+   private:
+    ScratchArena& arena_;
+    std::size_t saved_block_;
+    std::size_t saved_used_;
+    std::size_t saved_in_use_;
+  };
+
+  /// Total bytes backed by heap blocks (capacity, not current usage).
+  std::size_t capacity_bytes() const { return capacity_; }
+  /// Bytes currently handed out to live scopes.
+  std::size_t in_use_bytes() const { return in_use_; }
+  /// High watermark of in_use_bytes() over the arena's lifetime.
+  std::size_t peak_bytes() const { return peak_; }
+  /// Number of heap blocks ever allocated. Stable across two identical
+  /// kernel invocations <=> the second invocation was allocation-free.
+  std::uint64_t heap_block_count() const { return heap_blocks_; }
+
+  /// The calling thread's arena (one per thread, created on first use).
+  static ScratchArena& for_current_thread();
+
+ private:
+  struct Block {
+    std::unique_ptr<std::byte[]> data;  // size + alignment slack bytes
+    std::size_t size = 0;
+    /// First 64-byte-aligned address inside `data`.
+    std::byte* aligned_base() const {
+      auto addr = reinterpret_cast<std::uintptr_t>(data.get());
+      return data.get() + ((64 - addr % 64) % 64);
+    }
+  };
+
+  // Allocates a fresh block able to hold `bytes` (geometric growth).
+  void grow(std::size_t bytes);
+
+  std::vector<Block> blocks_;
+  std::size_t cur_block_ = 0;  // index of the block being bumped
+  std::size_t cur_used_ = 0;   // bytes used within blocks_[cur_block_]
+  std::size_t capacity_ = 0;
+  std::size_t in_use_ = 0;
+  std::size_t peak_ = 0;
+  std::uint64_t heap_blocks_ = 0;
+};
+
+}  // namespace aeris

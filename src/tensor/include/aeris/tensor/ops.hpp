@@ -51,6 +51,11 @@ Tensor transpose2d(const Tensor& a);
 /// Numerically stable softmax over the last dimension.
 Tensor softmax_lastdim(const Tensor& a);
 
+/// In-place row softmax over a raw buffer of `rows` x `cols` (same math as
+/// softmax_lastdim). Lets kernels normalize scores written into caller- or
+/// arena-owned storage without a temporary tensor.
+void softmax_rows_inplace(float* data, std::int64_t rows, std::int64_t cols);
+
 /// Given y = softmax(x) and dL/dy, returns dL/dx (both over last dim).
 Tensor softmax_lastdim_backward(const Tensor& y, const Tensor& dy);
 

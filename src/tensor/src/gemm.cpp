@@ -1,9 +1,10 @@
 #include "aeris/tensor/gemm.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <stdexcept>
-#include <vector>
 
+#include "aeris/tensor/arena.hpp"
 #include "aeris/tensor/bf16.hpp"
 #include "aeris/tensor/thread_pool.hpp"
 
@@ -12,58 +13,175 @@ namespace {
 
 std::atomic<GemmPrecision> g_default_precision{GemmPrecision::kFP32};
 
-// Cache-blocked inner kernel on a row range [m0, m1). Operands have been
-// pre-packed into row-major A (M x K) and B (K x N) with optional BF16
-// rounding already applied, so the hot loop is branch-free.
-void gemm_rows(std::int64_t m0, std::int64_t m1, std::int64_t n,
-               std::int64_t k, float alpha, const float* a, const float* b,
-               float beta, float* c, std::int64_t ldc) {
-  constexpr std::int64_t kBlockK = 256;
-  for (std::int64_t i = m0; i < m1; ++i) {
-    float* crow = c + i * ldc;
-    if (beta == 0.0f) {
-      for (std::int64_t j = 0; j < n; ++j) crow[j] = 0.0f;
-    } else if (beta != 1.0f) {
-      for (std::int64_t j = 0; j < n; ++j) crow[j] *= beta;
+// Register tile: MR rows x NR columns of C held in accumulators across the
+// whole K loop. NR = 16 floats is one AVX-512 vector / two AVX2 vectors;
+// MR * NR = 64 accumulators fit the FP register file with room for the
+// B row and A broadcasts.
+constexpr std::int64_t kMR = 4;
+constexpr std::int64_t kNR = 16;
+
+// Floor on per-chunk work for the row-block dispatch, so tiny GEMMs run
+// inline instead of paying fork-join overhead.
+constexpr std::int64_t kMinFlopsPerChunk = std::int64_t{1} << 18;
+
+// C tile := alpha * (packed A strip @ packed B strip) + beta * C tile.
+//
+// `ap` is one A strip: kc steps of kMR values (zero-padded rows), i.e.
+// ap[p*kMR + i] = op(A)[i0 + i, p]. `bp` is one B strip: kc steps of kNR
+// values, bp[p*kNR + j] = op(B)[p, j0 + j]. The K loop is branch-free and
+// keeps all kMR*kNR accumulators in registers; alpha/beta handling happens
+// once at the store, with the (alpha=1, beta=0) assignment path and the
+// beta=0 overwrite path specialized so steady-state forward passes never
+// read C. NaN/Inf in either operand propagate through the products — there
+// is deliberately no zero-skip in the hot loop.
+void micro_kernel(std::int64_t kc, const float* ap, const float* bp, float* c,
+                  std::int64_t ldc, float alpha, float beta, std::int64_t mr,
+                  std::int64_t nr) {
+  float acc[kMR][kNR] = {};
+  for (std::int64_t p = 0; p < kc; ++p) {
+    const float* b = bp + p * kNR;
+    const float a0 = ap[p * kMR + 0];
+    const float a1 = ap[p * kMR + 1];
+    const float a2 = ap[p * kMR + 2];
+    const float a3 = ap[p * kMR + 3];
+#pragma omp simd
+    for (std::int64_t j = 0; j < kNR; ++j) {
+      const float bv = b[j];
+      acc[0][j] += a0 * bv;
+      acc[1][j] += a1 * bv;
+      acc[2][j] += a2 * bv;
+      acc[3][j] += a3 * bv;
     }
-    for (std::int64_t kk = 0; kk < k; kk += kBlockK) {
-      const std::int64_t kend = std::min(k, kk + kBlockK);
-      const float* arow = a + i * k;
-      for (std::int64_t p = kk; p < kend; ++p) {
-        const float av = alpha * arow[p];
-        if (av == 0.0f) continue;
-        const float* brow = b + p * n;
-        for (std::int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+  }
+  for (std::int64_t i = 0; i < mr; ++i) {
+    float* crow = c + i * ldc;
+    if (alpha == 1.0f && beta == 0.0f) {
+      for (std::int64_t j = 0; j < nr; ++j) crow[j] = acc[i][j];
+    } else if (beta == 0.0f) {
+      for (std::int64_t j = 0; j < nr; ++j) crow[j] = alpha * acc[i][j];
+    } else if (beta == 1.0f) {
+      for (std::int64_t j = 0; j < nr; ++j) crow[j] += alpha * acc[i][j];
+    } else {
+      for (std::int64_t j = 0; j < nr; ++j) {
+        crow[j] = alpha * acc[i][j] + beta * crow[j];
       }
     }
   }
 }
 
-// Packs op(X) into a dense row-major (rows x cols) buffer, applying BF16
-// input rounding when requested.
-std::vector<float> pack(bool trans, std::int64_t rows, std::int64_t cols,
-                        const float* x, std::int64_t ldx, bool to_bf16) {
-  std::vector<float> out(static_cast<std::size_t>(rows * cols));
-  if (!trans) {
-    for (std::int64_t i = 0; i < rows; ++i) {
-      const float* src = x + i * ldx;
-      float* dst = out.data() + i * cols;
-      if (to_bf16) {
-        for (std::int64_t j = 0; j < cols; ++j) dst[j] = bf16_round(src[j]);
-      } else {
-        std::copy_n(src, cols, dst);
+// Packs op(A) (m x k) into ceil(m/kMR) strips of kMR zero-padded rows:
+// dst[s*k*kMR + p*kMR + i] = op(A)[s*kMR + i, p], with optional BF16 input
+// rounding. Zero padding lets the kernel always run a full register tile.
+void pack_a(bool trans, std::int64_t m, std::int64_t k, const float* a,
+            std::int64_t lda, bool to_bf16, float* dst) {
+  const std::int64_t strips = (m + kMR - 1) / kMR;
+  for (std::int64_t s = 0; s < strips; ++s) {
+    float* out = dst + s * k * kMR;
+    const std::int64_t mr = std::min(kMR, m - s * kMR);
+    for (std::int64_t i = 0; i < kMR; ++i) {
+      if (i >= mr) {
+        for (std::int64_t p = 0; p < k; ++p) out[p * kMR + i] = 0.0f;
+        continue;
       }
-    }
-  } else {
-    for (std::int64_t i = 0; i < rows; ++i) {
-      float* dst = out.data() + i * cols;
-      for (std::int64_t j = 0; j < cols; ++j) {
-        const float v = x[j * ldx + i];
-        dst[j] = to_bf16 ? bf16_round(v) : v;
+      const std::int64_t row = s * kMR + i;
+      if (!trans) {
+        const float* src = a + row * lda;
+        if (to_bf16) {
+          for (std::int64_t p = 0; p < k; ++p) {
+            out[p * kMR + i] = bf16_round(src[p]);
+          }
+        } else {
+          for (std::int64_t p = 0; p < k; ++p) out[p * kMR + i] = src[p];
+        }
+      } else {
+        for (std::int64_t p = 0; p < k; ++p) {
+          const float v = a[p * lda + row];
+          out[p * kMR + i] = to_bf16 ? bf16_round(v) : v;
+        }
       }
     }
   }
-  return out;
+}
+
+// Packs op(B) (k x n) into ceil(n/kNR) strips of kNR zero-padded columns:
+// dst[t*k*kNR + p*kNR + j] = op(B)[p, t*kNR + j].
+void pack_b(bool trans, std::int64_t k, std::int64_t n, const float* b,
+            std::int64_t ldb, bool to_bf16, float* dst) {
+  const std::int64_t strips = (n + kNR - 1) / kNR;
+  for (std::int64_t t = 0; t < strips; ++t) {
+    float* out = dst + t * k * kNR;
+    const std::int64_t nr = std::min(kNR, n - t * kNR);
+    for (std::int64_t p = 0; p < k; ++p) {
+      float* row = out + p * kNR;
+      if (!trans) {
+        const float* src = b + p * ldb + t * kNR;
+        if (to_bf16) {
+          for (std::int64_t j = 0; j < nr; ++j) row[j] = bf16_round(src[j]);
+        } else {
+          for (std::int64_t j = 0; j < nr; ++j) row[j] = src[j];
+        }
+      } else {
+        for (std::int64_t j = 0; j < nr; ++j) {
+          const float v = b[(t * kNR + j) * ldb + p];
+          row[j] = to_bf16 ? bf16_round(v) : v;
+        }
+      }
+      for (std::int64_t j = nr; j < kNR; ++j) row[j] = 0.0f;
+    }
+  }
+}
+
+// All C row-strips [s0, s1) against every packed B strip.
+void gemm_strips(std::int64_t s0, std::int64_t s1, std::int64_t m,
+                 std::int64_t n, std::int64_t k, float alpha, const float* pa,
+                 const float* pb, float beta, float* c, std::int64_t ldc) {
+  const std::int64_t bstrips = (n + kNR - 1) / kNR;
+  for (std::int64_t s = s0; s < s1; ++s) {
+    const std::int64_t mr = std::min(kMR, m - s * kMR);
+    const float* ap = pa + s * k * kMR;
+    for (std::int64_t t = 0; t < bstrips; ++t) {
+      const std::int64_t nr = std::min(kNR, n - t * kNR);
+      micro_kernel(k, ap, pb + t * k * kNR, c + s * kMR * ldc + t * kNR, ldc,
+                   alpha, beta, mr, nr);
+    }
+  }
+}
+
+void gemm_impl(bool trans_a, bool trans_b, std::int64_t m, std::int64_t n,
+               std::int64_t k, float alpha, const float* a, std::int64_t lda,
+               const float* b, std::int64_t ldb, float beta, float* c,
+               std::int64_t ldc, GemmPrecision prec, bool threaded) {
+  if (m < 0 || n < 0 || k < 0) throw std::invalid_argument("gemm: bad dims");
+  if (m == 0 || n == 0) return;
+  const bool bf16 = prec == GemmPrecision::kBF16;
+  const std::int64_t astrips = (m + kMR - 1) / kMR;
+  const std::int64_t bstrips = (n + kNR - 1) / kNR;
+
+  // Pack both operands once into the caller's arena; the B panel is read
+  // by every row block (and every pool worker) without being re-packed.
+  ScratchArena& arena = ScratchArena::for_current_thread();
+  ScratchArena::Scope scope(arena);
+  float* pa = arena.alloc_floats(astrips * kMR * k);
+  float* pb = arena.alloc_floats(bstrips * kNR * k);
+  if (k > 0) {
+    pack_a(trans_a, m, k, a, lda, bf16, pa);
+    pack_b(trans_b, k, n, b, ldb, bf16, pb);
+  }
+
+  if (!threaded) {
+    gemm_strips(0, astrips, m, n, k, alpha, pa, pb, beta, c, ldc);
+    return;
+  }
+  const std::int64_t flops_per_strip =
+      std::max<std::int64_t>(1, 2 * kMR * n * k);
+  const std::int64_t grain = std::max<std::int64_t>(
+      1, kMinFlopsPerChunk / flops_per_strip);
+  parallel_for(
+      astrips,
+      [&](std::int64_t s0, std::int64_t s1) {
+        gemm_strips(s0, s1, m, n, k, alpha, pa, pb, beta, c, ldc);
+      },
+      grain);
 }
 
 }  // namespace
@@ -72,14 +190,16 @@ void gemm(bool trans_a, bool trans_b, std::int64_t m, std::int64_t n,
           std::int64_t k, float alpha, const float* a, std::int64_t lda,
           const float* b, std::int64_t ldb, float beta, float* c,
           std::int64_t ldc, GemmPrecision prec) {
-  if (m < 0 || n < 0 || k < 0) throw std::invalid_argument("gemm: bad dims");
-  if (m == 0 || n == 0) return;
-  const bool bf16 = prec == GemmPrecision::kBF16;
-  const std::vector<float> pa = pack(trans_a, m, k, a, lda, bf16);
-  const std::vector<float> pb = pack(trans_b, k, n, b, ldb, bf16);
-  parallel_for(m, [&](std::int64_t m0, std::int64_t m1) {
-    gemm_rows(m0, m1, n, k, alpha, pa.data(), pb.data(), beta, c, ldc);
-  });
+  gemm_impl(trans_a, trans_b, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc,
+            prec, /*threaded=*/true);
+}
+
+void gemm_serial(bool trans_a, bool trans_b, std::int64_t m, std::int64_t n,
+                 std::int64_t k, float alpha, const float* a, std::int64_t lda,
+                 const float* b, std::int64_t ldb, float beta, float* c,
+                 std::int64_t ldc, GemmPrecision prec) {
+  gemm_impl(trans_a, trans_b, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc,
+            prec, /*threaded=*/false);
 }
 
 Tensor matmul(const Tensor& a, const Tensor& b, bool trans_a, bool trans_b,

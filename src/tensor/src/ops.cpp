@@ -237,21 +237,24 @@ Tensor transpose2d(const Tensor& a) {
 Tensor softmax_lastdim(const Tensor& a) {
   const std::int64_t cols = a.dim(-1);
   const std::int64_t rows = a.numel() / cols;
-  Tensor out(a.shape());
+  Tensor out = a;
+  softmax_rows_inplace(out.data(), rows, cols);
+  return out;
+}
+
+void softmax_rows_inplace(float* data, std::int64_t rows, std::int64_t cols) {
   for (std::int64_t r = 0; r < rows; ++r) {
-    const float* src = a.data() + r * cols;
-    float* dst = out.data() + r * cols;
-    float m = src[0];
-    for (std::int64_t c = 1; c < cols; ++c) m = std::max(m, src[c]);
+    float* row = data + r * cols;
+    float m = row[0];
+    for (std::int64_t c = 1; c < cols; ++c) m = std::max(m, row[c]);
     double z = 0.0;
     for (std::int64_t c = 0; c < cols; ++c) {
-      dst[c] = std::exp(src[c] - m);
-      z += dst[c];
+      row[c] = std::exp(row[c] - m);
+      z += row[c];
     }
     const float inv = static_cast<float>(1.0 / z);
-    for (std::int64_t c = 0; c < cols; ++c) dst[c] *= inv;
+    for (std::int64_t c = 0; c < cols; ++c) row[c] *= inv;
   }
-  return out;
 }
 
 Tensor softmax_lastdim_backward(const Tensor& y, const Tensor& dy) {

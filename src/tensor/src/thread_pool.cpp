@@ -1,7 +1,6 @@
 #include "aeris/tensor/thread_pool.hpp"
 
 #include <algorithm>
-#include <atomic>
 #include <exception>
 
 namespace aeris {
@@ -25,71 +24,93 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::worker_loop() {
+  std::uint64_t seen = 0;
   for (;;) {
-    Task task;
     {
       std::unique_lock<std::mutex> lock(mutex_);
-      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
-      if (stop_ && queue_.empty()) return;
-      task = std::move(queue_.front());
-      queue_.pop();
+      cv_.wait(lock, [&] { return stop_ || epoch_ != seen; });
+      if (stop_) return;
+      seen = epoch_;
     }
-    task.fn();
+    run_chunks();
+  }
+}
+
+void ThreadPool::run_chunks() {
+  for (;;) {
+    // Claim-by-CAS (not blind fetch_add) so the counter never overshoots
+    // job_limit_: a straggler from a finished job that races with the next
+    // dispatch either sees the stale limit and leaves, or sees the new
+    // limit — whose acquire load also makes the new job fields visible —
+    // and validly helps with the new job.
+    std::int64_t c = next_chunk_.load(std::memory_order_relaxed);
+    for (;;) {
+      if (c >= job_limit_.load(std::memory_order_acquire)) return;
+      if (next_chunk_.compare_exchange_weak(c, c + 1,
+                                            std::memory_order_acq_rel)) {
+        break;
+      }
+    }
+    const std::int64_t rel = c - job_base_;
+    const std::int64_t begin = rel * job_chunk_;
+    const std::int64_t end = std::min(job_n_, begin + job_chunk_);
+    try {
+      if (begin < end) (*job_fn_)(begin, end);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(err_mutex_);
+      if (!error_) error_ = std::current_exception();
+    }
+    if (done_chunks_.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+        job_limit_.load(std::memory_order_acquire)) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      done_cv_.notify_all();
+    }
   }
 }
 
 void ThreadPool::parallel_for(
-    std::int64_t n, const std::function<void(std::int64_t, std::int64_t)>& fn) {
+    std::int64_t n, const std::function<void(std::int64_t, std::int64_t)>& fn,
+    std::int64_t grain) {
   if (n <= 0) return;
-  const std::int64_t num_chunks =
-      std::min<std::int64_t>(static_cast<std::int64_t>(size()), n);
+  const std::int64_t g = std::max<std::int64_t>(1, grain);
+  const std::int64_t threads = static_cast<std::int64_t>(size());
+  if (threads == 1 || n <= g) {
+    fn(0, n);
+    return;
+  }
+  // At least `grain` iterations per chunk; aim for a few chunks per thread
+  // so the atomic counter load-balances uneven work.
+  const std::int64_t chunk =
+      std::max(g, (n + threads * 4 - 1) / (threads * 4));
+  const std::int64_t num_chunks = (n + chunk - 1) / chunk;
   if (num_chunks == 1) {
     fn(0, n);
     return;
   }
 
-  std::atomic<std::int64_t> remaining(num_chunks - 1);
-  std::exception_ptr error;
-  std::mutex error_mutex;
-  std::condition_variable done_cv;
-  std::mutex done_mutex;
-
-  const std::int64_t chunk = (n + num_chunks - 1) / num_chunks;
-  for (std::int64_t c = 1; c < num_chunks; ++c) {
-    const std::int64_t begin = c * chunk;
-    const std::int64_t end = std::min(n, begin + chunk);
-    Task task;
-    task.fn = [&, begin, end] {
-      try {
-        if (begin < end) fn(begin, end);
-      } catch (...) {
-        std::lock_guard<std::mutex> lock(error_mutex);
-        if (!error) error = std::current_exception();
-      }
-      if (remaining.fetch_sub(1) == 1) {
-        std::lock_guard<std::mutex> lock(done_mutex);
-        done_cv.notify_one();
-      }
-    };
-    {
-      std::lock_guard<std::mutex> lock(mutex_);
-      queue_.push(std::move(task));
-    }
-    cv_.notify_one();
+  std::int64_t limit;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    job_fn_ = &fn;
+    job_n_ = n;
+    job_chunk_ = chunk;
+    job_base_ = next_chunk_.load(std::memory_order_relaxed);
+    error_ = nullptr;
+    limit = job_base_ + num_chunks;
+    job_limit_.store(limit, std::memory_order_release);
+    ++epoch_;
   }
+  cv_.notify_all();
 
-  try {
-    fn(0, std::min(n, chunk));
-  } catch (...) {
-    std::lock_guard<std::mutex> lock(error_mutex);
-    if (!error) error = std::current_exception();
-  }
+  run_chunks();  // caller participates
 
   {
-    std::unique_lock<std::mutex> lock(done_mutex);
-    done_cv.wait(lock, [&] { return remaining.load() == 0; });
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_cv_.wait(lock, [&] {
+      return done_chunks_.load(std::memory_order_acquire) == limit;
+    });
   }
-  if (error) std::rethrow_exception(error);
+  if (error_) std::rethrow_exception(error_);
 }
 
 ThreadPool& ThreadPool::global() {
@@ -98,8 +119,9 @@ ThreadPool& ThreadPool::global() {
 }
 
 void parallel_for(std::int64_t n,
-                  const std::function<void(std::int64_t, std::int64_t)>& fn) {
-  ThreadPool::global().parallel_for(n, fn);
+                  const std::function<void(std::int64_t, std::int64_t)>& fn,
+                  std::int64_t grain) {
+  ThreadPool::global().parallel_for(n, fn, grain);
 }
 
 }  // namespace aeris

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "aeris/nn/inference.hpp"
+#include "aeris/tensor/arena.hpp"
 #include "aeris/tensor/ops.hpp"
 #include "gradcheck.hpp"
 
@@ -104,6 +106,106 @@ TEST(WindowAttention, GradCheckParams) {
     return dot(probe.forward(x), dy);
   };
   testing::expect_param_grads_close(params, loss, 5e-3f, 3e-2f, 16);
+}
+
+TEST(AttentionCore, StreamingMatchesCachedPath) {
+  // The probs_out == nullptr (streaming online-softmax) path must agree
+  // with the cached-probs path within FP32 tolerance, including when T
+  // spans several key/query blocks.
+  Philox rng(21);
+  for (const std::int64_t t : {4, 33, 64, 150}) {
+    const std::int64_t b = 2, heads = 3, c = 24;
+    Tensor q({b, t, c}), k({b, t, c}), v({b, t, c});
+    rng.fill_normal(q, 1, 0);
+    rng.fill_normal(k, 1, 1);
+    rng.fill_normal(v, 1, 2);
+    Tensor probs;
+    Tensor cached = attention_core_forward(q, k, v, heads, &probs);
+    Tensor streaming = attention_core_forward(q, k, v, heads, nullptr);
+    ASSERT_EQ(streaming.shape(), cached.shape());
+    for (std::int64_t i = 0; i < cached.numel(); ++i) {
+      ASSERT_NEAR(streaming[i], cached[i], 2e-5f) << "t=" << t << " i=" << i;
+    }
+  }
+}
+
+TEST(AttentionCore, StreamingNeverMaterializesProbs) {
+  // Arena watermark bound: the streaming path's scratch high watermark must
+  // stay far below the [B,H,T,T] probability tensor it replaces.
+  const std::int64_t b = 8, t = 64, c = 32, heads = 4;
+  Philox rng(22);
+  Tensor q({b, t, c}), k({b, t, c}), v({b, t, c});
+  rng.fill_normal(q, 1, 0);
+  rng.fill_normal(k, 1, 1);
+  rng.fill_normal(v, 1, 2);
+  attention_core_forward(q, k, v, heads, nullptr);  // warm-up
+  ScratchArena& arena = ScratchArena::for_current_thread();
+  const std::size_t peak_before = arena.peak_bytes();
+  const std::uint64_t blocks = arena.heap_block_count();
+  attention_core_forward(q, k, v, heads, nullptr);
+  // Steady state: no arena growth at all across the second call...
+  EXPECT_EQ(arena.heap_block_count(), blocks);
+  EXPECT_EQ(arena.peak_bytes(), peak_before);
+  // ...and the total scratch watermark is a small fraction of the full
+  // [B,H,T,T] softmax tensor (8*4*64*64 floats = 512 KiB).
+  const std::size_t full_probs_bytes = b * heads * t * t * sizeof(float);
+  EXPECT_LT(arena.peak_bytes(), full_probs_bytes / 2);
+}
+
+TEST(WindowAttention, InferenceModeMatchesTrainingForward) {
+  WindowAttention attn = make_attn(16, 4, 4, 4, 23);
+  Philox rng(24);
+  Tensor x({3, 16, 16});
+  rng.fill_normal(x, 1, 0);
+  Tensor train_y = attn.forward(x);
+  Tensor infer_y;
+  {
+    InferenceModeGuard guard;
+    infer_y = attn.forward(x);
+  }
+  ASSERT_EQ(infer_y.shape(), train_y.shape());
+  for (std::int64_t i = 0; i < train_y.numel(); ++i) {
+    ASSERT_NEAR(infer_y[i], train_y[i], 2e-5f) << "at " << i;
+  }
+}
+
+TEST(WindowAttention, BackwardUnchangedByInterleavedInference) {
+  // Gradients after forward+backward must be identical whether or not an
+  // inference-mode forward ran in between — the streaming path must not
+  // disturb the training caches.
+  WindowAttention attn = make_attn(8, 2, 2, 2, 25);
+  Philox rng(26);
+  Tensor x({2, 4, 8});
+  rng.fill_normal(x, 1, 0);
+  Tensor dy({2, 4, 8});
+  rng.fill_normal(dy, 1, 1);
+
+  WindowAttention a1 = attn;
+  ParamList p1;
+  a1.collect_params(p1);
+  zero_grads(p1);
+  a1.forward(x);
+  Tensor dx1 = a1.backward(dy);
+
+  WindowAttention a2 = attn;
+  ParamList p2;
+  a2.collect_params(p2);
+  zero_grads(p2);
+  a2.forward(x);
+  {
+    InferenceModeGuard guard;
+    Tensor x2({5, 4, 8});
+    Philox rng2(27);
+    rng2.fill_normal(x2, 1, 0);
+    a2.forward(x2);  // inference forward on different data
+  }
+  Tensor dx2 = a2.backward(dy);
+
+  EXPECT_TRUE(dx1.allclose(dx2, 1e-6f));
+  ASSERT_EQ(p1.size(), p2.size());
+  for (std::size_t i = 0; i < p1.size(); ++i) {
+    EXPECT_TRUE(p1[i]->grad.allclose(p2[i]->grad, 1e-6f)) << p1[i]->name;
+  }
 }
 
 TEST(WindowAttention, ParamCountMatchesFormula) {

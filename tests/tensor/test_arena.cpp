@@ -1,0 +1,115 @@
+#include "aeris/tensor/arena.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <thread>
+
+#include "aeris/tensor/gemm.hpp"
+#include "aeris/tensor/rng.hpp"
+
+namespace aeris {
+namespace {
+
+TEST(ScratchArena, AllocationsAreAlignedAndDisjoint) {
+  ScratchArena arena;
+  ScratchArena::Scope scope(arena);
+  float* a = arena.alloc_floats(17);
+  float* b = arena.alloc_floats(3);
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(a) % 64, 0u);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(b) % 64, 0u);
+  // Writing the full extent of `a` must not touch `b`.
+  for (int i = 0; i < 17; ++i) a[i] = 1.0f;
+  for (int i = 0; i < 3; ++i) b[i] = 2.0f;
+  for (int i = 0; i < 17; ++i) EXPECT_EQ(a[i], 1.0f);
+}
+
+TEST(ScratchArena, ZeroOrNegativeRequestReturnsNull) {
+  ScratchArena arena;
+  ScratchArena::Scope scope(arena);
+  EXPECT_EQ(arena.alloc_floats(0), nullptr);
+  EXPECT_EQ(arena.alloc_floats(-5), nullptr);
+}
+
+TEST(ScratchArena, ScopeRestoresWatermark) {
+  ScratchArena arena;
+  {
+    ScratchArena::Scope outer(arena);
+    arena.alloc_floats(100);
+    const std::size_t outer_use = arena.in_use_bytes();
+    {
+      ScratchArena::Scope inner(arena);
+      arena.alloc_floats(1000);
+      EXPECT_GT(arena.in_use_bytes(), outer_use);
+    }
+    EXPECT_EQ(arena.in_use_bytes(), outer_use);
+  }
+  EXPECT_EQ(arena.in_use_bytes(), 0u);
+  EXPECT_GT(arena.peak_bytes(), 0u);
+}
+
+TEST(ScratchArena, SteadyStateDoesNotGrowHeap) {
+  ScratchArena arena;
+  auto workload = [&] {
+    ScratchArena::Scope scope(arena);
+    arena.alloc_floats(4096);
+    arena.alloc_floats(512);
+    arena.alloc_floats(65536);
+  };
+  workload();  // warm-up may allocate blocks
+  const std::uint64_t blocks = arena.heap_block_count();
+  for (int i = 0; i < 10; ++i) workload();
+  EXPECT_EQ(arena.heap_block_count(), blocks);
+}
+
+TEST(ScratchArena, ReusesFreedSpaceAcrossScopes) {
+  ScratchArena arena;
+  float* first = nullptr;
+  {
+    ScratchArena::Scope scope(arena);
+    first = arena.alloc_floats(64);
+  }
+  ScratchArena::Scope scope(arena);
+  EXPECT_EQ(arena.alloc_floats(64), first);
+}
+
+TEST(ScratchArena, GrowsWhenRequestExceedsBlock) {
+  ScratchArena arena;
+  ScratchArena::Scope scope(arena);
+  // Larger than the 1 MiB minimum block: must still succeed contiguously.
+  const std::int64_t n = (3 << 20) / 4;
+  float* p = arena.alloc_floats(n);
+  ASSERT_NE(p, nullptr);
+  p[0] = 1.0f;
+  p[n - 1] = 2.0f;
+  EXPECT_EQ(p[0], 1.0f);
+  EXPECT_EQ(p[n - 1], 2.0f);
+}
+
+TEST(ScratchArena, PerThreadInstancesAreIndependent) {
+  ScratchArena& main_arena = ScratchArena::for_current_thread();
+  ScratchArena* other = nullptr;
+  std::thread th([&] { other = &ScratchArena::for_current_thread(); });
+  th.join();
+  EXPECT_NE(&main_arena, other);
+}
+
+TEST(ScratchArena, GemmSteadyStateIsAllocationFree) {
+  // The integration the arena exists for: repeated GEMMs of one shape must
+  // stop growing the arena after the first call.
+  Philox rng(11);
+  Tensor a({96, 64}), b({64, 80});
+  rng.fill_normal(a, 1, 0);
+  rng.fill_normal(b, 1, 1);
+  matmul(a, b);  // warm-up: sizes the arena
+  ScratchArena& arena = ScratchArena::for_current_thread();
+  const std::uint64_t blocks = arena.heap_block_count();
+  for (int i = 0; i < 5; ++i) matmul(a, b);
+  EXPECT_EQ(arena.heap_block_count(), blocks);
+  EXPECT_EQ(arena.in_use_bytes(), 0u);
+}
+
+}  // namespace
+}  // namespace aeris

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "aeris/tensor/rng.hpp"
 
@@ -63,6 +64,127 @@ INSTANTIATE_TEST_SUITE_P(
                       GemmCase{64, 48, 96, true, true},
                       GemmCase{1, 33, 17, false, true},
                       GemmCase{129, 1, 5, true, false}));
+
+// Regression for the old `if (av == 0.0f) continue;` skip in the inner
+// loop: a zero in A must still multiply B so NaN/Inf in B propagate into C
+// (0 * Inf = NaN, 0 * NaN = NaN per IEEE-754).
+TEST(Gemm, ZeroTimesNonFinitePropagates) {
+  Tensor a({1, 2}, std::vector<float>{0.0f, 0.0f});
+  const float inf = std::numeric_limits<float>::infinity();
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  Tensor b({2, 2}, std::vector<float>{inf, 1.0f, nan, 2.0f});
+  Tensor c = matmul(a, b);
+  EXPECT_TRUE(std::isnan(c[0]));     // 0*Inf + 0*NaN = NaN + NaN
+  EXPECT_FLOAT_EQ(c[1], 0.0f);       // 0*1 + 0*2: finite column unaffected
+}
+
+TEST(Gemm, NonFiniteInAPropagates) {
+  const float inf = std::numeric_limits<float>::infinity();
+  Tensor a({2, 2}, std::vector<float>{inf, 0.0f, 1.0f, 1.0f});
+  Tensor b({2, 2}, std::vector<float>{1.0f, 0.0f, 0.0f, 1.0f});
+  Tensor c = matmul(a, b);
+  EXPECT_TRUE(std::isinf(c.at2(0, 0)));
+  EXPECT_TRUE(std::isnan(c.at2(0, 1)));  // inf*0 + 0*1
+  EXPECT_FLOAT_EQ(c.at2(1, 0), 1.0f);
+}
+
+// beta accumulation must work for every trans_a/trans_b combination.
+TEST(Gemm, BetaAccumulateAllTransCombos) {
+  Philox rng(13);
+  const std::int64_t m = 5, n = 7, k = 3;
+  for (const bool ta : {false, true}) {
+    for (const bool tb : {false, true}) {
+      Tensor a(ta ? Shape{k, m} : Shape{m, k});
+      Tensor b(tb ? Shape{n, k} : Shape{k, n});
+      rng.fill_normal(a, 1, 0);
+      rng.fill_normal(b, 1, 1);
+      Tensor c({m, n});
+      rng.fill_normal(c, 1, 2);
+      Tensor want = c;
+      // want = 1.5 * op(A)op(B) - 0.25 * want, computed per element.
+      Tensor prod = matmul(a, b, ta, tb);
+      for (std::int64_t i = 0; i < want.numel(); ++i) {
+        want[i] = 1.5f * prod[i] - 0.25f * want[i];
+      }
+      gemm(ta, tb, m, n, k, 1.5f, a.data(), a.dim(1), b.data(), b.dim(1),
+           -0.25f, c.data(), n);
+      for (std::int64_t i = 0; i < c.numel(); ++i) {
+        EXPECT_NEAR(c[i], want[i], 1e-4f) << "ta=" << ta << " tb=" << tb;
+      }
+    }
+  }
+}
+
+// Raw-pointer interface on sub-blocks of larger buffers: lda/ldb/ldc larger
+// than the logical dims, as used by the attention head and window shards.
+TEST(Gemm, StridedSubBlocks) {
+  Philox rng(14);
+  const std::int64_t m = 6, n = 9, k = 4;
+  const std::int64_t lda = 11, ldb = 17, ldc = 13;
+  Tensor abuf({m, lda}), bbuf({k, ldb}), cbuf({m, ldc});
+  rng.fill_normal(abuf, 1, 0);
+  rng.fill_normal(bbuf, 1, 1);
+  cbuf.fill(99.0f);  // sentinel: the gaps must stay untouched
+
+  gemm(false, false, m, n, k, 1.0f, abuf.data(), lda, bbuf.data(), ldb, 0.0f,
+       cbuf.data(), ldc);
+
+  for (std::int64_t i = 0; i < m; ++i) {
+    for (std::int64_t j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (std::int64_t p = 0; p < k; ++p) {
+        acc += static_cast<double>(abuf.at2(i, p)) * bbuf.at2(p, j);
+      }
+      EXPECT_NEAR(cbuf.at2(i, j), static_cast<float>(acc), 1e-4f)
+          << i << "," << j;
+    }
+    for (std::int64_t j = n; j < ldc; ++j) {
+      EXPECT_EQ(cbuf.at2(i, j), 99.0f) << "gap clobbered at " << i << "," << j;
+    }
+  }
+}
+
+TEST(Gemm, SerialMatchesThreaded) {
+  Philox rng(15);
+  const std::int64_t m = 33, n = 29, k = 41;
+  Tensor a({m, k}), b({k, n});
+  rng.fill_normal(a, 1, 0);
+  rng.fill_normal(b, 1, 1);
+  Tensor c1({m, n}), c2({m, n});
+  gemm(false, false, m, n, k, 1.0f, a.data(), k, b.data(), n, 0.0f, c1.data(),
+       n);
+  gemm_serial(false, false, m, n, k, 1.0f, a.data(), k, b.data(), n, 0.0f,
+              c2.data(), n);
+  for (std::int64_t i = 0; i < c1.numel(); ++i) {
+    EXPECT_EQ(c1[i], c2[i]) << "at " << i;
+  }
+}
+
+// BF16 inputs across all trans combos: error must stay within the analytic
+// bound for 8-bit-mantissa rounding of both operands, but be nonzero.
+TEST(Gemm, Bf16ToleranceAllTransCombos) {
+  Philox rng(16);
+  const std::int64_t m = 24, n = 20, k = 48;
+  for (const bool ta : {false, true}) {
+    for (const bool tb : {false, true}) {
+      Tensor a(ta ? Shape{k, m} : Shape{m, k});
+      Tensor b(tb ? Shape{n, k} : Shape{k, n});
+      rng.fill_normal(a, 1, 0);
+      rng.fill_normal(b, 1, 1);
+      Tensor f32 = matmul(a, b, ta, tb, GemmPrecision::kFP32);
+      Tensor bf = matmul(a, b, ta, tb, GemmPrecision::kBF16);
+      // Each input rounded with relative error <= 2^-8; products add both,
+      // magnitudes are O(1), k terms accumulate.
+      const float bound = 2.0f * (1.0f / 256.0f) * static_cast<float>(k);
+      bool any_diff = false;
+      for (std::int64_t i = 0; i < f32.numel(); ++i) {
+        EXPECT_NEAR(bf[i], f32[i], bound);
+        any_diff = any_diff || bf[i] != f32[i];
+      }
+      EXPECT_TRUE(any_diff) << "BF16 rounding had no effect";
+    }
+  }
+}
 
 TEST(Gemm, AlphaBetaAccumulate) {
   Tensor a({2, 2}, std::vector<float>{1, 2, 3, 4});

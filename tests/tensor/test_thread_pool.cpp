@@ -3,7 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <mutex>
 #include <numeric>
+#include <utility>
 #include <vector>
 
 namespace aeris {
@@ -72,6 +74,77 @@ TEST(ThreadPool, ReusableAcrossCalls) {
       count += static_cast<int>(e - b);
     });
     EXPECT_EQ(count.load(), 64);
+  }
+}
+
+TEST(ThreadPool, GrainRunsSmallRangeInline) {
+  ThreadPool pool(4);
+  const auto caller = std::this_thread::get_id();
+  std::thread::id seen;
+  int calls = 0;
+  // n <= grain: must be a single inline invocation on the caller.
+  pool.parallel_for(
+      100,
+      [&](std::int64_t b, std::int64_t e) {
+        seen = std::this_thread::get_id();
+        ++calls;
+        EXPECT_EQ(b, 0);
+        EXPECT_EQ(e, 100);
+      },
+      /*grain=*/128);
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(seen, caller);
+}
+
+TEST(ThreadPool, GrainBoundsChunkSize) {
+  ThreadPool pool(4);
+  std::mutex mu;
+  std::vector<std::pair<std::int64_t, std::int64_t>> chunks;
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(
+      1000,
+      [&](std::int64_t b, std::int64_t e) {
+        {
+          std::lock_guard<std::mutex> lock(mu);
+          chunks.emplace_back(b, e);
+        }
+        for (std::int64_t i = b; i < e; ++i) {
+          hits[static_cast<std::size_t>(i)]++;
+        }
+      },
+      /*grain=*/64);
+  // Coverage is still exact...
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  // ...and every chunk except possibly the last holds >= grain iterations.
+  EXPECT_LE(chunks.size(), static_cast<std::size_t>(1000 / 64 + 1));
+  int small = 0;
+  for (const auto& [b, e] : chunks) {
+    if (e - b < 64) ++small;
+  }
+  EXPECT_LE(small, 1);
+}
+
+TEST(ThreadPool, ExceptionWithGrainPropagates) {
+  ThreadPool pool(3);
+  EXPECT_THROW(pool.parallel_for(
+                   1000,
+                   [&](std::int64_t b, std::int64_t) {
+                     if (b == 0) throw std::runtime_error("boom");
+                   },
+                   /*grain=*/16),
+               std::runtime_error);
+}
+
+TEST(ThreadPool, ManyBackToBackDispatches) {
+  // Stresses the epoch/chunk-counter handoff: a straggler from job N must
+  // never corrupt job N+1's chunk accounting.
+  ThreadPool pool(4);
+  for (int round = 0; round < 500; ++round) {
+    std::atomic<int> count{0};
+    pool.parallel_for(97, [&](std::int64_t b, std::int64_t e) {
+      count += static_cast<int>(e - b);
+    });
+    ASSERT_EQ(count.load(), 97) << "round " << round;
   }
 }
 
