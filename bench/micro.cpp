@@ -11,6 +11,7 @@
 #include "aeris/nn/inference.hpp"
 #include "aeris/physics/qg.hpp"
 #include "aeris/swipe/comm.hpp"
+#include "aeris/swipe/zero1.hpp"
 #include "aeris/swipe/window_layout.hpp"
 #include "aeris/tensor/gemm.hpp"
 
@@ -108,6 +109,94 @@ void BM_ReshardPlan(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ReshardPlan);
+
+// Gradient-sync ring allreduce on a DP-group-sized buffer. Tracks the
+// comm path that dominates the optimizer step (§V-A gradient reductions).
+void BM_AllreduceSum(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const std::int64_t elems = 1 << 16;
+  swipe::World world(n);
+  for (auto _ : state) {
+    world.run([&](int rank) {
+      std::vector<int> members(static_cast<std::size_t>(n));
+      std::iota(members.begin(), members.end(), 0);
+      swipe::Communicator comm(world, members, rank, 1);
+      std::vector<float> data(static_cast<std::size_t>(elems),
+                              static_cast<float>(rank));
+      comm.allreduce_sum(data);
+      benchmark::DoNotOptimize(data.data());
+    });
+  }
+  state.SetBytesProcessed(state.iterations() * n * elems *
+                          static_cast<std::int64_t>(sizeof(float)));
+}
+BENCHMARK(BM_AllreduceSum)->Arg(4)->Arg(8);
+
+// One ZeRO-1 optimizer step (allreduce + sharded AdamW + parameter
+// redistribution) over a persistent optimizer, amortizing thread spawn
+// over several steps per world.run.
+void BM_Zero1Step(benchmark::State& state) {
+  const int n = 8;
+  const int nparams = 32;
+  const std::int64_t elems = 8192;
+  const int steps_per_iter = 4;
+  swipe::World world(n);
+  std::vector<std::vector<nn::Param>> params(static_cast<std::size_t>(n));
+  std::vector<std::unique_ptr<swipe::Zero1Optimizer>> opts(
+      static_cast<std::size_t>(n));
+  for (int r = 0; r < n; ++r) {
+    auto& mine = params[static_cast<std::size_t>(r)];
+    for (int i = 0; i < nparams; ++i) {
+      mine.emplace_back("p" + std::to_string(i), Shape{elems});
+      mine.back().value.fill(1.0f);
+      mine.back().grad.fill(0.5f);
+    }
+    nn::ParamList list;
+    for (auto& p : mine) list.push_back(&p);
+    opts[static_cast<std::size_t>(r)] =
+        std::make_unique<swipe::Zero1Optimizer>(list);
+  }
+  for (auto _ : state) {
+    world.run([&](int rank) {
+      std::vector<int> members(static_cast<std::size_t>(n));
+      std::iota(members.begin(), members.end(), 0);
+      swipe::Communicator group(world, members, rank, 1);
+      for (int s = 0; s < steps_per_iter; ++s) {
+        opts[static_cast<std::size_t>(rank)]->step(group, 1e-3f,
+                                                   1.0f / static_cast<float>(n));
+      }
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * steps_per_iter * nparams *
+                          elems);
+}
+BENCHMARK(BM_Zero1Step);
+
+// Inter-stage activation handoff: ping-pong of a microbatch-sized
+// activation between two pipeline-neighbour ranks.
+void BM_PipelineHandoff(benchmark::State& state) {
+  const std::int64_t elems = 16 * 1024;
+  const int round_trips = 16;
+  swipe::World world(2);
+  for (auto _ : state) {
+    world.run([&](int rank) {
+      std::vector<float> act(static_cast<std::size_t>(elems), 1.0f);
+      for (int i = 0; i < round_trips; ++i) {
+        const std::uint64_t tag = static_cast<std::uint64_t>(i);
+        if (rank == 0) {
+          world.send(0, 1, tag, act);
+          benchmark::DoNotOptimize(world.recv(0, 1, tag));
+        } else {
+          world.send(1, 0, tag, act);
+          benchmark::DoNotOptimize(world.recv(1, 0, tag));
+        }
+      }
+    });
+  }
+  state.SetBytesProcessed(state.iterations() * round_trips * 2 * elems *
+                          static_cast<std::int64_t>(sizeof(float)));
+}
+BENCHMARK(BM_PipelineHandoff);
 
 void BM_Alltoall(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));

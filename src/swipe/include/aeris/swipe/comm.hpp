@@ -17,7 +17,8 @@ namespace aeris::swipe {
 /// Traffic classes tracked by the byte counters. These map onto the
 /// paper's communication-overhead analysis (§V-A): alltoall from SP/WP,
 /// send/recv from PP (and window shifting), and allreduce from gradient
-/// synchronization.
+/// synchronization. Barrier control messages get their own class so they
+/// never pollute the pipeline-P2P volume model.
 enum class Traffic : int {
   kP2P = 0,
   kAllToAll = 1,
@@ -25,8 +26,39 @@ enum class Traffic : int {
   kBroadcast = 3,
   kAllGather = 4,
   kReduceScatter = 5,
+  kBarrier = 6,
 };
-inline constexpr int kTrafficClasses = 6;
+inline constexpr int kTrafficClasses = 7;
+
+class World;
+
+/// Future handle for a nonblocking operation — the MPI_Request analogue.
+/// Mailbox sends are buffered/eager, so an isend's handle is born
+/// complete (like MPI_Ibsend); an irecv's handle completes once a
+/// matching message has arrived and been claimed by `test()` or `wait()`.
+/// A handle is single-use: `wait()` consumes the payload.
+class PendingMsg {
+ public:
+  PendingMsg() = default;  ///< born complete, empty payload
+
+  /// Nonblocking completion poll (MPI_Test): claims the message if it has
+  /// arrived. Returns true once the payload is held locally.
+  bool test();
+  /// Blocks until complete and returns the payload (empty for isend).
+  std::vector<float> wait();
+
+ private:
+  friend class World;
+  PendingMsg(World* world, int dst, int src, std::uint64_t tag)
+      : world_(world), dst_(dst), src_(src), tag_(tag), done_(false) {}
+
+  World* world_ = nullptr;
+  int dst_ = -1;
+  int src_ = -1;
+  std::uint64_t tag_ = 0;
+  bool done_ = true;
+  std::vector<float> payload_;
+};
 
 /// In-process message-passing world: one mailbox per rank, ranks hosted on
 /// caller-provided threads. This is the MPI-model substitute for the
@@ -36,6 +68,15 @@ inline constexpr int kTrafficClasses = 6;
 /// claims are *measured* rather than asserted.
 class World {
  public:
+  /// A queued message. Fan-out sends enqueue the same immutable payload at
+  /// several destinations; `exclusive` marks a payload that has exactly one
+  /// receiver from birth, which `recv` may therefore move out of instead of
+  /// copying.
+  struct Msg {
+    std::shared_ptr<const std::vector<float>> data;
+    bool exclusive = true;
+  };
+
   explicit World(int nranks);
 
   int size() const { return nranks_; }
@@ -44,6 +85,29 @@ class World {
   void send(int src, int dst, std::uint64_t tag, std::vector<float> payload,
             Traffic traffic = Traffic::kP2P);
   std::vector<float> recv(int dst, int src, std::uint64_t tag);
+
+  /// Nonblocking send: enqueues eagerly and returns a completed handle.
+  /// Byte accounting is identical to the blocking path.
+  PendingMsg isend(int src, int dst, std::uint64_t tag,
+                   std::vector<float> payload,
+                   Traffic traffic = Traffic::kP2P);
+  /// Nonblocking receive: returns a handle that completes when a message
+  /// matching (src, tag) arrives in dst's mailbox. Pre-posting irecvs lets
+  /// callers drain multiple sources in arrival order instead of
+  /// serializing on one mailbox wakeup per source.
+  PendingMsg irecv(int dst, int src, std::uint64_t tag);
+
+  /// Enqueues one immutable payload at `dst` without copying it; callers
+  /// fan a single buffer out to many destinations by calling this once per
+  /// destination. Bytes are accounted per call — the network model charges
+  /// each transmission even though the process holds one buffer.
+  void send_shared(int src, int dst, std::uint64_t tag,
+                   std::shared_ptr<const std::vector<float>> payload,
+                   Traffic traffic);
+  /// Blocking receive that surfaces the payload by reference: zero-copy
+  /// even for fan-out messages (the caller reads the shared buffer).
+  std::shared_ptr<const std::vector<float>> recv_shared(int dst, int src,
+                                                        std::uint64_t tag);
 
   /// Bytes moved so far per traffic class (whole world).
   std::int64_t bytes(Traffic t) const;
@@ -56,18 +120,24 @@ class World {
   void run(const std::function<void(int rank)>& fn);
 
  private:
+  friend class PendingMsg;
+
   struct Mailbox {
     std::mutex mutex;
     std::condition_variable cv;
-    std::map<std::pair<int, std::uint64_t>, std::deque<std::vector<float>>>
-        queues;
+    std::map<std::pair<int, std::uint64_t>, std::deque<Msg>> queues;
   };
+
+  /// Nonblocking pop of a matching message; true on success.
+  bool try_recv(int dst, int src, std::uint64_t tag, std::vector<float>& out);
 
   int nranks_;
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;
   std::vector<std::array<std::atomic<std::int64_t>, kTrafficClasses>>
       rank_bytes_;
 };
+
+class RingAllreduce;
 
 /// A communication group: an ordered subset of world ranks with a private
 /// tag namespace (like an MPI communicator). Every collective must be
@@ -87,17 +157,69 @@ class Communicator {
   void send(int dst, std::uint64_t tag, std::vector<float> payload,
             Traffic traffic = Traffic::kP2P);
   std::vector<float> recv(int src, std::uint64_t tag);
+  PendingMsg isend(int dst, std::uint64_t tag, std::vector<float> payload,
+                   Traffic traffic = Traffic::kP2P);
+  PendingMsg irecv(int src, std::uint64_t tag);
 
-  /// Root's payload is delivered to everyone (including root).
+  /// Root's payload is delivered to everyone (including root) along a
+  /// binomial tree: ceil(log2(size)) serial hops, and no rank copies the
+  /// payload more than log2(size) times (the old root-sends-to-all made
+  /// size-1 full copies serially on the root).
   std::vector<float> broadcast(int root, std::vector<float> payload);
 
   /// In-place ring allreduce (sum): reduce-scatter + allgather, the
-  /// bandwidth-optimal pattern used by gradient synchronization.
+  /// bandwidth-optimal pattern used by gradient synchronization. Each ring
+  /// hop is split into pipeline sub-chunks so a receiver starts reducing
+  /// sub-chunk k while sub-chunk k+1 is still in flight.
   void allreduce_sum(std::span<float> data);
 
   /// Each rank contributes `mine`; returns the concatenation in group
   /// rank order. All contributions must have equal size.
   std::vector<float> allgather(std::span<const float> mine);
+
+  /// Segmented accessor for ragged collectives: fills `part` with (or, when
+  /// `accumulate`, adds into `part`) the local contribution for section
+  /// `section`, elements [offset, offset + part.size()). Lets callers with
+  /// non-contiguous storage (e.g. per-parameter gradient tensors) feed a
+  /// collective without staging everything through one flat buffer first.
+  using SegmentLoad = std::function<void(
+      int section, std::size_t offset, std::span<float> part, bool accumulate)>;
+  /// Delivery callback for ragged collectives: consumes elements
+  /// [offset, offset + part.size()) of remote rank `section`'s contribution.
+  /// Sub-chunks of a section always arrive in offset order.
+  using SectionSink = std::function<void(int section, std::size_t offset,
+                                         std::span<const float> part)>;
+
+  /// In-place ragged allgather (allgather-v): `data` is the rank-order
+  /// concatenation of per-rank sections of `counts[r]` floats; on entry
+  /// only the caller's own section is valid, on exit all are. One
+  /// collective replaces a per-section broadcast loop; total bytes moved
+  /// are identical: (size-1) * sum(counts).
+  void allgatherv(std::span<float> data, std::span<const std::int64_t> counts);
+
+  /// Allgather-v that scatters on receipt: the caller's section `mine` is
+  /// fanned out once, and every remote section is handed to `sink` as it
+  /// arrives instead of being staged into a flat destination buffer (the
+  /// caller's own section is not redelivered). Byte accounting matches the
+  /// in-place overload exactly.
+  void allgatherv(std::span<const float> mine,
+                  std::span<const std::int64_t> counts,
+                  const SectionSink& sink);
+
+  /// Ragged ring reduce-scatter (sum): section r (counts[r] floats) ends
+  /// fully reduced on rank r, written to `out_mine`. Local contributions
+  /// are pulled through `load`, so segmented storage feeds the ring
+  /// directly. Ring hops pass the in-flight buffer through (receive, add
+  /// the local contribution, forward) — the reduction of sub-chunk k
+  /// overlaps the transfer of sub-chunk k+1, and no rank ever restages a
+  /// section it merely relays. Per-rank send volume is
+  /// (sum(counts) - counts[rank]) floats: every section except its own.
+  void reduce_scatterv(std::span<const std::int64_t> counts,
+                       std::span<float> out_mine, const SegmentLoad& load);
+  /// Flat-buffer convenience overload: reduces section r of `data` into
+  /// rank r's own section in place; other sections are left unspecified.
+  void reduce_scatterv(std::span<float> data,
+                       std::span<const std::int64_t> counts);
 
   /// send[i] goes to rank i; returns recv[i] from rank i. The Ulysses
   /// primitive (§V-A: "alltoall collective before and after attention").
@@ -110,17 +232,65 @@ class Communicator {
   void barrier();
 
  private:
+  friend class RingAllreduce;
+
   // Collective tags live in a high sub-space so they never collide with
   // user point-to-point tags, and advance in lockstep on every member.
   std::uint64_t tagged(std::uint64_t tag) const {
     return (group_tag_ << 40) | tag;
   }
+  /// Reserves `n` consecutive collective tags; every member must reserve
+  /// in the same order (lockstep epochs).
+  std::uint64_t reserve_epochs(std::uint64_t n) {
+    const std::uint64_t base = collective_epoch_;
+    collective_epoch_ += n;
+    return base;
+  }
+
+  /// One pipelined ring hop: sends `chunk` to `dst` in sub-chunks under a
+  /// single tag (FIFO per (src, tag) preserves order).
+  void hop_send(int dst, std::uint64_t tag, std::span<const float> chunk,
+                Traffic traffic);
+  /// Receives the matching sub-chunks from `src` into `chunk`, either
+  /// accumulating (reduce hop) or overwriting (gather hop). Reduction
+  /// starts on sub-chunk k while k+1 is still in flight.
+  void hop_recv(int src, std::uint64_t tag, std::span<float> chunk,
+                bool accumulate);
+  /// Fan-out hop: sends `chunk` to every rank in `dsts` while building each
+  /// sub-chunk message only once (shared immutable payload). Byte counters
+  /// advance per destination, exactly as a hop_send loop would.
+  void fanout_send(std::span<const int> dsts, std::uint64_t tag,
+                   std::span<const float> chunk, Traffic traffic);
 
   World& world_;
   std::vector<int> members_;
   int my_rank_ = -1;
   std::uint64_t group_tag_;
   std::uint64_t collective_epoch_ = 0;
+};
+
+/// Asynchronous ring allreduce-sum handle. Construction reserves the
+/// collective's tag window and eagerly launches the first reduce-scatter
+/// hop; `finish()` runs the remaining hops to completion. The SWiPe
+/// engine keeps one handle per gradient bucket so the tail of backward
+/// (and downstream stages' compute) overlaps gradient reduction, with a
+/// drain barrier before the optimizer step. Byte accounting and the
+/// per-element reduction order are identical to `allreduce_sum` on the
+/// same buffer.
+class RingAllreduce {
+ public:
+  RingAllreduce(Communicator& comm, std::span<float> data);
+
+  /// Completes the collective (idempotent). Every group member must call
+  /// finish() on its handles in launch order.
+  void finish();
+  bool finished() const { return finished_; }
+
+ private:
+  Communicator* comm_ = nullptr;
+  std::span<float> data_;
+  std::uint64_t tag0_ = 0;
+  bool finished_ = true;
 };
 
 }  // namespace aeris::swipe

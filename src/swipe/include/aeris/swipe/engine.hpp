@@ -102,20 +102,42 @@ class SwipeEngine {
   void forward_microbatch(int mb, const DataFn& data, std::int64_t images_seen);
   void backward_microbatch(int mb);
 
+  /// Bucketed gradient overlap: when the stage's last backward microbatch
+  /// has accumulated into a bucket's parameter range, that bucket's ring
+  /// allreduce is launched immediately (eager first hop), so the tail of
+  /// backward — and downstream stages' backward compute — overlaps
+  /// gradient reduction. train_step drains all handles before the
+  /// optimizer consumes the gradients.
+  struct GradBucket {
+    std::size_t begin = 0;   ///< first param index (inclusive)
+    std::size_t end = 0;     ///< last param index (exclusive)
+    std::vector<float> buf;  ///< persistent flat reduction buffer
+  };
+  void maybe_launch_grad_buckets();
+
   // Layout of a block layer's input activations.
   WindowLayout layer_layout(std::int64_t layer) const;
   // Layout the output stage consumes (shift 0).
   WindowLayout output_layout() const;
 
-  // reshard-aware sends between consecutive stages
+  // Reshard-aware sends between consecutive stages. Receives are split
+  // into a post (pre-posted irecvs for every peer's fragment) and a
+  // complete (drain in arrival order), so a stage boundary never
+  // serializes on one mailbox wakeup per source.
   void send_forward(const Tensor& x_local, const Tensor& cond, int mb);
-  std::pair<Tensor, Tensor> recv_forward(int mb, std::int64_t n_local);
+  std::vector<PendingMsg> post_recv_forward(int mb);
+  std::pair<Tensor, Tensor> complete_recv_forward(std::vector<PendingMsg>& pend,
+                                                  std::int64_t n_local);
   void send_backward(const Tensor& dx_local, const Tensor& dcond, int mb);
-  std::pair<Tensor, Tensor> recv_backward(int mb, std::int64_t n_local);
+  std::vector<PendingMsg> post_recv_backward(int mb);
+  std::pair<Tensor, Tensor> complete_recv_backward(
+      std::vector<PendingMsg>& pend, std::int64_t n_local);
 
   World& world_;
   EngineConfig cfg_;
   Topology topo_;
+  Communicator replicas_;  ///< cached gradient-sync / ZeRO-1 group
+  Communicator everyone_;  ///< cached world-spanning group (loss allreduce)
   core::TrigFlow trigflow_;
   Philox rng_;
   Tensor posenc_;      // [H, W]
@@ -128,6 +150,10 @@ class SwipeEngine {
   std::optional<OutputStage> output_;
   nn::ParamList params_;
   std::optional<Zero1Optimizer> opt_;
+
+  std::vector<GradBucket> buckets_;
+  std::vector<RingAllreduce> pending_reductions_;
+  int backwards_done_ = 0;
 
   std::deque<Flight> flights_;
   Stats stats_;

@@ -7,6 +7,38 @@
 #include <thread>
 
 namespace aeris::swipe {
+namespace {
+
+// getenv is surprisingly expensive (libc lock + linear scan); read the
+// trace flag once per process instead of on every rank failure path.
+const bool kTraceEnabled = std::getenv("AERIS_TRACE") != nullptr;
+
+// Ring hops are pipelined in sub-chunks of this many floats (64 KiB): a
+// receiver reduces sub-chunk k while sub-chunk k+1 is still in flight.
+// Each sub-chunk is one mailbox message, so the size trades pipelining
+// granularity against per-message wakeup cost; 64 KiB stays under the
+// allocator's mmap threshold while still pipelining multi-MB buffers.
+constexpr std::size_t kPipelineSubChunk = 16384;
+
+}  // namespace
+
+// ------------------------------------------------------------ PendingMsg
+
+bool PendingMsg::test() {
+  if (done_) return true;
+  if (world_->try_recv(dst_, src_, tag_, payload_)) done_ = true;
+  return done_;
+}
+
+std::vector<float> PendingMsg::wait() {
+  if (!done_) {
+    payload_ = world_->recv(dst_, src_, tag_);
+    done_ = true;
+  }
+  return std::move(payload_);
+}
+
+// ----------------------------------------------------------------- World
 
 World::World(int nranks) : nranks_(nranks), rank_bytes_(nranks) {
   if (nranks <= 0) throw std::invalid_argument("World: nranks must be > 0");
@@ -16,6 +48,21 @@ World::World(int nranks) : nranks_(nranks), rank_bytes_(nranks) {
   }
   reset_counters();
 }
+
+namespace {
+
+/// Turns a popped message into an owned vector: exclusive payloads (one
+/// receiver from birth) are moved out; fan-out payloads are copied, since
+/// sibling receivers may still be reading the shared buffer.
+std::vector<float> claim(World::Msg msg) {
+  if (msg.exclusive) {
+    return std::move(
+        *std::const_pointer_cast<std::vector<float>>(std::move(msg.data)));
+  }
+  return *msg.data;
+}
+
+}  // namespace
 
 void World::send(int src, int dst, std::uint64_t tag,
                  std::vector<float> payload, Traffic traffic) {
@@ -27,9 +74,45 @@ void World::send(int src, int dst, std::uint64_t tag,
   Mailbox& box = *mailboxes_[static_cast<std::size_t>(dst)];
   {
     std::lock_guard<std::mutex> lock(box.mutex);
-    box.queues[{src, tag}].push_back(std::move(payload));
+    box.queues[{src, tag}].push_back(
+        Msg{std::make_shared<std::vector<float>>(std::move(payload)),
+            /*exclusive=*/true});
   }
   box.cv.notify_all();
+}
+
+void World::send_shared(int src, int dst, std::uint64_t tag,
+                        std::shared_ptr<const std::vector<float>> payload,
+                        Traffic traffic) {
+  if (dst < 0 || dst >= nranks_ || src < 0 || src >= nranks_) {
+    throw std::invalid_argument("send_shared: rank out of range");
+  }
+  rank_bytes_[static_cast<std::size_t>(src)][static_cast<int>(traffic)] +=
+      static_cast<std::int64_t>(payload->size() * sizeof(float));
+  Mailbox& box = *mailboxes_[static_cast<std::size_t>(dst)];
+  {
+    std::lock_guard<std::mutex> lock(box.mutex);
+    box.queues[{src, tag}].push_back(
+        Msg{std::move(payload), /*exclusive=*/false});
+  }
+  box.cv.notify_all();
+}
+
+std::shared_ptr<const std::vector<float>> World::recv_shared(
+    int dst, int src, std::uint64_t tag) {
+  Mailbox& box = *mailboxes_[static_cast<std::size_t>(dst)];
+  std::unique_lock<std::mutex> lock(box.mutex);
+  const auto key = std::make_pair(src, tag);
+  box.cv.wait(lock, [&] {
+    auto it = box.queues.find(key);
+    return it != box.queues.end() && !it->second.empty();
+  });
+  auto it = box.queues.find(key);
+  std::shared_ptr<const std::vector<float>> payload =
+      std::move(it->second.front().data);
+  it->second.pop_front();
+  if (it->second.empty()) box.queues.erase(it);
+  return payload;
 }
 
 std::vector<float> World::recv(int dst, int src, std::uint64_t tag) {
@@ -41,10 +124,42 @@ std::vector<float> World::recv(int dst, int src, std::uint64_t tag) {
     return it != box.queues.end() && !it->second.empty();
   });
   auto it = box.queues.find(key);
-  std::vector<float> payload = std::move(it->second.front());
+  Msg msg = std::move(it->second.front());
   it->second.pop_front();
   if (it->second.empty()) box.queues.erase(it);
-  return payload;
+  lock.unlock();
+  return claim(std::move(msg));
+}
+
+PendingMsg World::isend(int src, int dst, std::uint64_t tag,
+                        std::vector<float> payload, Traffic traffic) {
+  // Mailbox sends are buffered: the transfer "completes" at enqueue time,
+  // so the handle is born done (MPI_Ibsend semantics).
+  send(src, dst, tag, std::move(payload), traffic);
+  return PendingMsg();
+}
+
+PendingMsg World::irecv(int dst, int src, std::uint64_t tag) {
+  if (dst < 0 || dst >= nranks_ || src < 0 || src >= nranks_) {
+    throw std::invalid_argument("irecv: rank out of range");
+  }
+  return PendingMsg(this, dst, src, tag);
+}
+
+bool World::try_recv(int dst, int src, std::uint64_t tag,
+                     std::vector<float>& out) {
+  Mailbox& box = *mailboxes_[static_cast<std::size_t>(dst)];
+  Msg msg;
+  {
+    std::lock_guard<std::mutex> lock(box.mutex);
+    const auto it = box.queues.find(std::make_pair(src, tag));
+    if (it == box.queues.end() || it->second.empty()) return false;
+    msg = std::move(it->second.front());
+    it->second.pop_front();
+    if (it->second.empty()) box.queues.erase(it);
+  }
+  out = claim(std::move(msg));
+  return true;
 }
 
 std::int64_t World::bytes(Traffic t) const {
@@ -76,7 +191,7 @@ void World::run(const std::function<void(int)>& fn) {
       try {
         fn(r);
       } catch (const std::exception& e) {
-        if (getenv("AERIS_TRACE")) {
+        if (kTraceEnabled) {
           fprintf(stderr, "[world] rank %d threw: %s\n", r, e.what());
         }
         std::lock_guard<std::mutex> lock(error_mutex);
@@ -90,6 +205,8 @@ void World::run(const std::function<void(int)>& fn) {
   for (auto& t : threads) t.join();
   if (error) std::rethrow_exception(error);
 }
+
+// ---------------------------------------------------------- Communicator
 
 Communicator::Communicator(World& world, std::vector<int> members,
                            int my_world_rank, std::uint64_t group_tag)
@@ -112,58 +229,95 @@ std::vector<float> Communicator::recv(int src, std::uint64_t tag) {
   return world_.recv(world_rank(rank()), world_rank(src), tagged(tag));
 }
 
+PendingMsg Communicator::isend(int dst, std::uint64_t tag,
+                               std::vector<float> payload, Traffic traffic) {
+  return world_.isend(world_rank(rank()), world_rank(dst), tagged(tag),
+                      std::move(payload), traffic);
+}
+
+PendingMsg Communicator::irecv(int src, std::uint64_t tag) {
+  return world_.irecv(world_rank(rank()), world_rank(src), tagged(tag));
+}
+
+void Communicator::hop_send(int dst, std::uint64_t tag,
+                            std::span<const float> chunk, Traffic traffic) {
+  const std::size_t n = chunk.size();
+  for (std::size_t b = 0; b < n; b += kPipelineSubChunk) {
+    const std::size_t e = std::min(n, b + kPipelineSubChunk);
+    isend(dst, tag,
+          std::vector<float>(chunk.begin() + static_cast<std::ptrdiff_t>(b),
+                             chunk.begin() + static_cast<std::ptrdiff_t>(e)),
+          traffic);
+  }
+}
+
+void Communicator::hop_recv(int src, std::uint64_t tag, std::span<float> chunk,
+                            bool accumulate) {
+  const std::size_t n = chunk.size();
+  for (std::size_t b = 0; b < n; b += kPipelineSubChunk) {
+    const std::size_t e = std::min(n, b + kPipelineSubChunk);
+    // Read straight out of the (possibly fan-out-shared) message buffer:
+    // one copy from wire to destination, never a claiming copy first.
+    const std::shared_ptr<const std::vector<float>> in =
+        world_.recv_shared(world_rank(rank()), world_rank(src), tagged(tag));
+    if (in->size() != e - b) {
+      throw std::runtime_error("hop_recv: sub-chunk size mismatch");
+    }
+    const float* data = in->data();
+    if (accumulate) {
+      for (std::size_t i = 0; i < in->size(); ++i) chunk[b + i] += data[i];
+    } else {
+      std::copy(data, data + in->size(),
+                chunk.begin() + static_cast<std::ptrdiff_t>(b));
+    }
+  }
+}
+
+void Communicator::fanout_send(std::span<const int> dsts, std::uint64_t tag,
+                               std::span<const float> chunk, Traffic traffic) {
+  const std::size_t n = chunk.size();
+  for (std::size_t b = 0; b < n; b += kPipelineSubChunk) {
+    const std::size_t e = std::min(n, b + kPipelineSubChunk);
+    const auto sub = std::make_shared<const std::vector<float>>(
+        chunk.begin() + static_cast<std::ptrdiff_t>(b),
+        chunk.begin() + static_cast<std::ptrdiff_t>(e));
+    for (const int dst : dsts) {
+      world_.send_shared(world_rank(rank()), world_rank(dst), tagged(tag), sub,
+                         traffic);
+    }
+  }
+}
+
 std::vector<float> Communicator::broadcast(int root,
                                            std::vector<float> payload) {
   const std::uint64_t tag = collective_epoch_++;
-  if (rank() == root) {
-    for (int r = 0; r < size(); ++r) {
-      if (r != root) send(r, tag, payload, Traffic::kBroadcast);
+  const int n = size();
+  if (n == 1) return payload;
+  // Binomial tree in root-relative rank space (MPI's Bcast_binomial):
+  // rank rel receives from rel - highest_bit(rel), then serves the
+  // subtree [rel, rel + highest_bit(rel)).
+  const int rel = (rank() - root + n) % n;
+  int mask = 1;
+  while (mask < n) {
+    if (rel & mask) {
+      payload = recv((rank() - mask + n) % n, tag);
+      break;
     }
-    return payload;
+    mask <<= 1;
   }
-  return recv(root, tag);
+  mask >>= 1;
+  while (mask > 0) {
+    if (rel + mask < n) {
+      send((rank() + mask) % n, tag, payload, Traffic::kBroadcast);
+    }
+    mask >>= 1;
+  }
+  return payload;
 }
 
 void Communicator::allreduce_sum(std::span<float> data) {
-  const int r = size();
-  if (r == 1) return;
-  const std::int64_t n = static_cast<std::int64_t>(data.size());
-  auto chunk_begin = [&](int c) { return (n * c) / r; };
-
-  const int me = rank();
-  const int next = (me + 1) % r;
-  const int prev = (me + r - 1) % r;
-
-  // Reduce-scatter phase: after r-1 steps, rank me owns the fully reduced
-  // chunk (me + 1) % r.
-  for (int step = 0; step < r - 1; ++step) {
-    const int send_chunk = (me - step + r) % r;
-    const int recv_chunk = (me - step - 1 + r) % r;
-    const std::int64_t sb = chunk_begin(send_chunk);
-    const std::int64_t se = chunk_begin(send_chunk + 1);
-    const std::uint64_t tag = collective_epoch_++;
-    send(next, tag, std::vector<float>(data.begin() + sb, data.begin() + se),
-         Traffic::kAllReduce);
-    std::vector<float> in = recv(prev, tag);
-    const std::int64_t rb = chunk_begin(recv_chunk);
-    for (std::size_t i = 0; i < in.size(); ++i) {
-      data[static_cast<std::size_t>(rb) + i] += in[i];
-    }
-  }
-  // Allgather phase: circulate the reduced chunks.
-  for (int step = 0; step < r - 1; ++step) {
-    const int send_chunk = (me + 1 - step + r) % r;
-    const int recv_chunk = (me - step + r) % r;
-    const std::int64_t sb = chunk_begin(send_chunk);
-    const std::int64_t se = chunk_begin(send_chunk + 1);
-    const std::uint64_t tag = collective_epoch_++;
-    send(next, tag, std::vector<float>(data.begin() + sb, data.begin() + se),
-         Traffic::kAllReduce);
-    std::vector<float> in = recv(prev, tag);
-    const std::int64_t rb = chunk_begin(recv_chunk);
-    std::copy(in.begin(), in.end(),
-              data.begin() + static_cast<std::ptrdiff_t>(rb));
-  }
+  RingAllreduce reduce(*this, data);
+  reduce.finish();
 }
 
 std::vector<float> Communicator::allgather(std::span<const float> mine) {
@@ -171,8 +325,8 @@ std::vector<float> Communicator::allgather(std::span<const float> mine) {
   std::vector<float> out(mine.size() * static_cast<std::size_t>(size()));
   for (int r = 0; r < size(); ++r) {
     if (r != rank()) {
-      send(r, tag, std::vector<float>(mine.begin(), mine.end()),
-           Traffic::kAllGather);
+      isend(r, tag, std::vector<float>(mine.begin(), mine.end()),
+            Traffic::kAllGather);
     }
   }
   std::copy(mine.begin(), mine.end(),
@@ -191,6 +345,185 @@ std::vector<float> Communicator::allgather(std::span<const float> mine) {
   return out;
 }
 
+void Communicator::allgatherv(std::span<const float> mine,
+                              std::span<const std::int64_t> counts,
+                              const SectionSink& sink) {
+  const int r = size();
+  if (static_cast<int>(counts.size()) != r) {
+    throw std::invalid_argument("allgatherv: need one count per rank");
+  }
+  for (const std::int64_t c : counts) {
+    if (c < 0) throw std::invalid_argument("allgatherv: negative count");
+  }
+  if (static_cast<std::int64_t>(mine.size()) !=
+      counts[static_cast<std::size_t>(rank())]) {
+    throw std::invalid_argument("allgatherv: own section size mismatch");
+  }
+  if (r == 1) return;
+
+  // Direct pairwise exchange over ragged sections: every owner posts its
+  // section to all peers eagerly (one shared buffer per sub-chunk, fanned
+  // out by reference), then drains the r-1 incoming sections straight into
+  // the sink. One latency round instead of a ring's r-1 serial forwarding
+  // hops, and total traffic is (r-1) * sum(counts) — byte-identical to a
+  // per-section broadcast loop, in one collective.
+  const std::uint64_t tag = reserve_epochs(1);
+  const int me = rank();
+  std::vector<int> peers;
+  peers.reserve(static_cast<std::size_t>(r) - 1);
+  for (int p = 1; p < r; ++p) peers.push_back((me + p) % r);
+  fanout_send(peers, tag, mine, Traffic::kAllGather);
+  for (int p = 1; p < r; ++p) {
+    const int src = (me + r - p) % r;
+    const std::size_t n =
+        static_cast<std::size_t>(counts[static_cast<std::size_t>(src)]);
+    for (std::size_t b = 0; b < n; b += kPipelineSubChunk) {
+      const std::size_t e = std::min(n, b + kPipelineSubChunk);
+      const std::shared_ptr<const std::vector<float>> in =
+          world_.recv_shared(world_rank(me), world_rank(src), tagged(tag));
+      if (in->size() != e - b) {
+        throw std::runtime_error("allgatherv: sub-chunk size mismatch");
+      }
+      sink(src, b, std::span<const float>(in->data(), in->size()));
+    }
+  }
+}
+
+void Communicator::allgatherv(std::span<float> data,
+                              std::span<const std::int64_t> counts) {
+  const int r = size();
+  if (static_cast<int>(counts.size()) != r) {
+    throw std::invalid_argument("allgatherv: need one count per rank");
+  }
+  std::int64_t total = 0;
+  std::vector<std::int64_t> offset(static_cast<std::size_t>(r) + 1);
+  for (int c = 0; c < r; ++c) {
+    if (counts[static_cast<std::size_t>(c)] < 0) {
+      throw std::invalid_argument("allgatherv: negative count");
+    }
+    offset[static_cast<std::size_t>(c)] = total;
+    total += counts[static_cast<std::size_t>(c)];
+  }
+  offset[static_cast<std::size_t>(r)] = total;
+  if (total != static_cast<std::int64_t>(data.size())) {
+    throw std::invalid_argument("allgatherv: counts do not sum to data size");
+  }
+  const auto section = [&](int owner) {
+    return data.subspan(
+        static_cast<std::size_t>(offset[static_cast<std::size_t>(owner)]),
+        static_cast<std::size_t>(counts[static_cast<std::size_t>(owner)]));
+  };
+  allgatherv(section(rank()), counts,
+             [&](int src, std::size_t off, std::span<const float> part) {
+               std::copy(part.begin(), part.end(),
+                         section(src).begin() + static_cast<std::ptrdiff_t>(off));
+             });
+}
+
+void Communicator::reduce_scatterv(std::span<const std::int64_t> counts,
+                                   std::span<float> out_mine,
+                                   const SegmentLoad& load) {
+  const int r = size();
+  if (static_cast<int>(counts.size()) != r) {
+    throw std::invalid_argument("reduce_scatterv: need one count per rank");
+  }
+  for (const std::int64_t c : counts) {
+    if (c < 0) throw std::invalid_argument("reduce_scatterv: negative count");
+  }
+  const int me = rank();
+  if (static_cast<std::int64_t>(out_mine.size()) !=
+      counts[static_cast<std::size_t>(me)]) {
+    throw std::invalid_argument("reduce_scatterv: own section size mismatch");
+  }
+  if (r == 1) {
+    load(me, 0, out_mine, /*accumulate=*/false);
+    return;
+  }
+
+  // Ragged ring reduce-scatter. At hop t, rank me forwards section
+  // (me - t - 1) and receives section (me - t - 2); after r-1 hops its own
+  // section arrives fully reduced. The in-flight buffer passes through:
+  // each hop adds the local contribution into the *received* vector and
+  // forwards it by move, so relayed sections are never restaged from local
+  // storage (3 memory touches per element per hop instead of 5).
+  const std::uint64_t tag0 = reserve_epochs(static_cast<std::uint64_t>(r - 1));
+  const int next = (me + 1) % r;
+  const int prev = (me + r - 1) % r;
+  const auto count_of = [&](int s) {
+    return static_cast<std::size_t>(counts[static_cast<std::size_t>(s)]);
+  };
+
+  // Hop 0: build my contribution to section (me - 1) and launch it.
+  {
+    const int s0 = (me + r - 1) % r;
+    const std::size_t n = count_of(s0);
+    for (std::size_t b = 0; b < n; b += kPipelineSubChunk) {
+      const std::size_t e = std::min(n, b + kPipelineSubChunk);
+      std::vector<float> v(e - b);
+      load(s0, b, v, /*accumulate=*/false);
+      isend(next, tag0, std::move(v), Traffic::kReduceScatter);
+    }
+  }
+  for (int t = 0; t < r - 1; ++t) {
+    const int sr = (me - t - 2 + 2 * r) % r;  // section received at hop t
+    const std::size_t n = count_of(sr);
+    const bool last = (t == r - 2);  // then sr == me: keep, don't forward
+    for (std::size_t b = 0; b < n; b += kPipelineSubChunk) {
+      const std::size_t e = std::min(n, b + kPipelineSubChunk);
+      std::vector<float> v = recv(prev, tag0 + static_cast<std::uint64_t>(t));
+      if (v.size() != e - b) {
+        throw std::runtime_error("reduce_scatterv: sub-chunk size mismatch");
+      }
+      load(sr, b, v, /*accumulate=*/true);
+      if (last) {
+        std::copy(v.begin(), v.end(),
+                  out_mine.begin() + static_cast<std::ptrdiff_t>(b));
+      } else {
+        isend(next, tag0 + static_cast<std::uint64_t>(t + 1), std::move(v),
+              Traffic::kReduceScatter);
+      }
+    }
+  }
+}
+
+void Communicator::reduce_scatterv(std::span<float> data,
+                                   std::span<const std::int64_t> counts) {
+  const int r = size();
+  if (static_cast<int>(counts.size()) != r) {
+    throw std::invalid_argument("reduce_scatterv: need one count per rank");
+  }
+  std::int64_t total = 0;
+  std::vector<std::int64_t> offset(static_cast<std::size_t>(r) + 1);
+  for (int c = 0; c < r; ++c) {
+    if (counts[static_cast<std::size_t>(c)] < 0) {
+      throw std::invalid_argument("reduce_scatterv: negative count");
+    }
+    offset[static_cast<std::size_t>(c)] = total;
+    total += counts[static_cast<std::size_t>(c)];
+  }
+  offset[static_cast<std::size_t>(r)] = total;
+  if (total != static_cast<std::int64_t>(data.size())) {
+    throw std::invalid_argument(
+        "reduce_scatterv: counts do not sum to data size");
+  }
+  const auto load = [&](int s, std::size_t off, std::span<float> part,
+                        bool accumulate) {
+    const float* src =
+        data.data() + offset[static_cast<std::size_t>(s)] + off;
+    if (accumulate) {
+      for (std::size_t i = 0; i < part.size(); ++i) part[i] += src[i];
+    } else {
+      std::copy(src, src + part.size(), part.begin());
+    }
+  };
+  reduce_scatterv(
+      counts,
+      data.subspan(
+          static_cast<std::size_t>(offset[static_cast<std::size_t>(rank())]),
+          static_cast<std::size_t>(counts[static_cast<std::size_t>(rank())])),
+      load);
+}
+
 std::vector<std::vector<float>> Communicator::alltoall(
     std::vector<std::vector<float>> send_bufs) {
   if (static_cast<int>(send_bufs.size()) != size()) {
@@ -203,8 +536,8 @@ std::vector<std::vector<float>> Communicator::alltoall(
       out[static_cast<std::size_t>(r)] =
           std::move(send_bufs[static_cast<std::size_t>(r)]);
     } else {
-      send(r, tag, std::move(send_bufs[static_cast<std::size_t>(r)]),
-           Traffic::kAllToAll);
+      isend(r, tag, std::move(send_bufs[static_cast<std::size_t>(r)]),
+            Traffic::kAllToAll);
     }
   }
   for (int r = 0; r < size(); ++r) {
@@ -224,9 +557,9 @@ std::vector<float> Communicator::reduce_scatter_sum(
     if (peer == rank()) continue;
     const std::int64_t b = chunk_begin(peer);
     const std::int64_t e = chunk_begin(peer + 1);
-    send(peer, tag,
-         std::vector<float>(data.begin() + b, data.begin() + e),
-         Traffic::kReduceScatter);
+    isend(peer, tag,
+          std::vector<float>(data.begin() + b, data.begin() + e),
+          Traffic::kReduceScatter);
   }
   const std::int64_t mb = chunk_begin(rank());
   const std::int64_t me_end = chunk_begin(rank() + 1);
@@ -241,14 +574,100 @@ std::vector<float> Communicator::reduce_scatter_sum(
 
 void Communicator::barrier() {
   const std::uint64_t tag = collective_epoch_++;
-  // All-to-root-and-back.
+  // All-to-root-and-back. Control messages are empty and accounted under
+  // kBarrier so they never perturb the P2P pipeline-volume model.
   if (rank() == 0) {
     for (int r = 1; r < size(); ++r) recv(r, tag);
-    for (int r = 1; r < size(); ++r) send(r, tag, {}, Traffic::kP2P);
+    for (int r = 1; r < size(); ++r) send(r, tag, {}, Traffic::kBarrier);
   } else {
-    send(0, tag, {}, Traffic::kP2P);
+    send(0, tag, {}, Traffic::kBarrier);
     recv(0, tag);
   }
+}
+
+// ---------------------------------------------------------- RingAllreduce
+
+RingAllreduce::RingAllreduce(Communicator& comm, std::span<float> data)
+    : comm_(&comm), data_(data) {
+  const int r = comm.size();
+  if (r == 1 || data.empty()) return;  // nothing to move
+  // Reserve the whole tag window up front so concurrently-launched
+  // collectives on the same communicator stay in lockstep even if their
+  // finish() calls interleave differently with other traffic.
+  tag0_ = comm.reserve_epochs(static_cast<std::uint64_t>(2 * (r - 1)));
+  finished_ = false;
+  // Launch the first reduce-scatter hop eagerly: my chunk is already in
+  // flight to the ring neighbour while the caller keeps computing.
+  const std::int64_t n = static_cast<std::int64_t>(data.size());
+  const int me = comm.rank();
+  const int next = (me + 1) % r;
+  const std::int64_t sb = (n * me) / r;
+  const std::int64_t se = (n * (me + 1)) / r;
+  comm.hop_send(next, tag0_,
+                data.subspan(static_cast<std::size_t>(sb),
+                             static_cast<std::size_t>(se - sb)),
+                Traffic::kAllReduce);
+}
+
+void RingAllreduce::finish() {
+  if (finished_) return;
+  Communicator& comm = *comm_;
+  const int r = comm.size();
+  const std::int64_t n = static_cast<std::int64_t>(data_.size());
+  auto chunk = [&](int c) {
+    const std::int64_t b = (n * c) / r;
+    const std::int64_t e = (n * (c + 1)) / r;
+    return data_.subspan(static_cast<std::size_t>(b),
+                         static_cast<std::size_t>(e - b));
+  };
+  const int me = comm.rank();
+  const int next = (me + 1) % r;
+  const int prev = (me + r - 1) % r;
+
+  // Reduce-scatter: hop 0's send was launched at construction; afterwards
+  // the in-flight buffer passes through each rank — add the local chunk
+  // into the *received* vector and forward it by move. Relayed chunks are
+  // never restaged from the local buffer (3 memory touches per element per
+  // hop instead of 5), and float addition is commutative bit-for-bit, so
+  // the reduction order is unchanged. After r-1 hops, rank me holds the
+  // fully reduced chunk (me + 1) % r in its local buffer.
+  for (int step = 0; step < r - 1; ++step) {
+    const int recv_chunk = (me - step - 1 + r) % r;
+    const std::span<float> local = chunk(recv_chunk);
+    const std::size_t n = local.size();
+    const bool last = (step == r - 2);
+    for (std::size_t b = 0; b < n; b += kPipelineSubChunk) {
+      const std::size_t e = std::min(n, b + kPipelineSubChunk);
+      std::vector<float> v =
+          comm.recv(prev, tag0_ + static_cast<std::uint64_t>(step));
+      if (v.size() != e - b) {
+        throw std::runtime_error("RingAllreduce: sub-chunk size mismatch");
+      }
+      if (last) {
+        for (std::size_t i = 0; i < v.size(); ++i) local[b + i] += v[i];
+      } else {
+        for (std::size_t i = 0; i < v.size(); ++i) v[i] += local[b + i];
+        comm.isend(next, tag0_ + static_cast<std::uint64_t>(step + 1),
+                   std::move(v), Traffic::kAllReduce);
+      }
+    }
+  }
+  // Allgather: rank me now owns the fully reduced chunk (me + 1) % r.
+  // Fan it out to every peer directly — each sub-chunk message is built
+  // once and shared by reference across the r-1 destinations, all sends
+  // are posted eagerly before any blocking recv, so this phase costs one
+  // latency round instead of r-1 serial forwarding hops, while per-rank
+  // bytes stay at the ring bound (r-1 copies of one chunk each way).
+  const std::uint64_t ag = tag0_ + static_cast<std::uint64_t>(r - 1);
+  std::vector<int> peers;
+  peers.reserve(static_cast<std::size_t>(r) - 1);
+  for (int p = 1; p < r; ++p) peers.push_back((me + p) % r);
+  comm.fanout_send(peers, ag, chunk((me + 1) % r), Traffic::kAllReduce);
+  for (int p = 1; p < r; ++p) {
+    const int src = (me + r - p) % r;
+    comm.hop_recv(src, ag, chunk((src + 1) % r), /*accumulate=*/false);
+  }
+  finished_ = true;
 }
 
 }  // namespace aeris::swipe

@@ -2,6 +2,8 @@
 
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <numeric>
 #include <stdexcept>
 
 #include "aeris/nn/embedding.hpp"
@@ -15,6 +17,21 @@ constexpr std::uint64_t kFwdX = std::uint64_t{1} << 20;
 constexpr std::uint64_t kFwdCond = std::uint64_t{2} << 20;
 constexpr std::uint64_t kBwdX = std::uint64_t{3} << 20;
 constexpr std::uint64_t kBwdCond = std::uint64_t{4} << 20;
+
+// The trace flag is read once per process: getenv costs a libc lock +
+// environ scan, and the old code paid it twice per pipeline op.
+const bool kTraceEnabled = std::getenv("AERIS_TRACE") != nullptr;
+
+// Gradient buckets target this many floats (256 KiB): small enough that
+// the first bucket's allreduce launches well before backward drains,
+// large enough that per-bucket collective overhead stays negligible.
+constexpr std::size_t kGradBucketFloats = 64 * 1024;
+
+std::vector<int> world_members(int n) {
+  std::vector<int> all(static_cast<std::size_t>(n));
+  std::iota(all.begin(), all.end(), 0);
+  return all;
+}
 
 }  // namespace
 
@@ -98,6 +115,8 @@ SwipeEngine::SwipeEngine(World& world, const EngineConfig& cfg, int my_rank)
     : world_(world),
       cfg_(cfg),
       topo_(world, cfg.grid, my_rank),
+      replicas_(topo_.replica_group()),
+      everyone_(world, world_members(world.size()), my_rank, 9'000'000),
       trigflow_(cfg.train.trigflow),
       rng_(cfg.train.seed),
       posenc_(nn::sinusoidal_posenc_2d(cfg.model.h, cfg.model.w)),
@@ -149,6 +168,21 @@ SwipeEngine::SwipeEngine(World& world, const EngineConfig& cfg, int my_rank)
     output_->head.collect_params(params_);
   }
   opt_.emplace(params_, cfg.train.adam);
+
+  // Partition the stage's parameters into contiguous gradient buckets.
+  std::size_t i = 0;
+  while (i < params_.size()) {
+    GradBucket b;
+    b.begin = i;
+    std::size_t elems = 0;
+    do {
+      elems += static_cast<std::size_t>(params_[i]->numel());
+      ++i;
+    } while (i < params_.size() && elems < kGradBucketFloats);
+    b.end = i;
+    b.buf.resize(elems);
+    buckets_.push_back(std::move(b));
+  }
 }
 
 WindowLayout SwipeEngine::layer_layout(std::int64_t layer) const {
@@ -202,8 +236,60 @@ void SwipeEngine::send_forward(const Tensor& x_local, const Tensor& cond,
   }
 }
 
-std::pair<Tensor, Tensor> SwipeEngine::recv_forward(int mb,
-                                                    std::int64_t n_local) {
+namespace {
+
+/// Drains pre-posted irecvs in arrival order: repeatedly claims whatever
+/// has already landed (disjoint scatter targets make the result
+/// order-independent) and only blocks when nothing is ready. This is what
+/// keeps a stage boundary from serializing on one mailbox wakeup per
+/// source.
+template <typename Fn>
+void drain_in_arrival_order(std::vector<PendingMsg>& pend, Fn&& handle) {
+  std::vector<bool> done(pend.size(), false);
+  std::size_t remaining = pend.size();
+  while (remaining > 0) {
+    bool progressed = false;
+    for (std::size_t i = 0; i < pend.size(); ++i) {
+      if (done[i] || !pend[i].test()) continue;
+      handle(i, pend[i].wait());
+      done[i] = true;
+      --remaining;
+      progressed = true;
+    }
+    if (progressed) continue;
+    for (std::size_t i = 0; i < pend.size(); ++i) {
+      if (done[i]) continue;
+      handle(i, pend[i].wait());
+      done[i] = true;
+      --remaining;
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<PendingMsg> SwipeEngine::post_recv_forward(int mb) {
+  const int pp = topo_.coords().pp;
+  std::vector<PendingMsg> pend;
+  pend.reserve(static_cast<std::size_t>(cfg_.grid.wp() * cfg_.grid.sp) + 1);
+  for (int w = 0; w < cfg_.grid.wp(); ++w) {
+    for (int s = 0; s < cfg_.grid.sp; ++s) {
+      const int src = rank_of(cfg_.grid, {topo_.coords().dp, pp - 1, w, s});
+      pend.push_back(world_.irecv(topo_.rank(), src,
+                                  kFwdX + static_cast<std::uint64_t>(mb)));
+    }
+  }
+  const int cond_src =
+      rank_of(cfg_.grid, {topo_.coords().dp, pp - 1, topo_.coords().wp,
+                          topo_.coords().sp});
+  pend.push_back(world_.irecv(topo_.rank(), cond_src,
+                              kFwdCond + static_cast<std::uint64_t>(mb)));
+  return pend;
+}
+
+std::pair<Tensor, Tensor> SwipeEngine::complete_recv_forward(
+    std::vector<PendingMsg>& pend, std::int64_t n_local) {
   const int pp = topo_.coords().pp;
   const core::ModelConfig& m = cfg_.model;
   const WindowLayout from =
@@ -216,28 +302,23 @@ std::pair<Tensor, Tensor> SwipeEngine::recv_forward(int mb,
 
   Tensor x({n_local, c});
   Tensor cond;
-  for (int w = 0; w < cfg_.grid.wp(); ++w) {
-    for (int s = 0; s < cfg_.grid.sp; ++s) {
-      const int src = rank_of(cfg_.grid, {topo_.coords().dp, pp - 1, w, s});
-      std::vector<float> buf =
-          world_.recv(topo_.rank(), src, kFwdX + static_cast<std::uint64_t>(mb));
-      const auto& idx = plan.recv[static_cast<std::size_t>(w * cfg_.grid.sp + s)];
-      if (buf.size() != idx.size() * static_cast<std::size_t>(c)) {
-        throw std::runtime_error("recv_forward: payload size mismatch");
-      }
-      for (std::size_t i = 0; i < idx.size(); ++i) {
-        std::copy_n(buf.begin() + static_cast<std::ptrdiff_t>(
-                                      i * static_cast<std::size_t>(c)),
-                    c, x.data() + idx[i] * c);
-      }
-      if (w == topo_.coords().wp && s == topo_.coords().sp) {
-        std::vector<float> cbuf = world_.recv(
-            topo_.rank(), src, kFwdCond + static_cast<std::uint64_t>(mb));
-        const std::int64_t cdim = static_cast<std::int64_t>(cbuf.size());
-        cond = Tensor({1, cdim}, std::move(cbuf));
-      }
+  const std::size_t cond_idx = pend.size() - 1;
+  drain_in_arrival_order(pend, [&](std::size_t i, std::vector<float> buf) {
+    if (i == cond_idx) {
+      const std::int64_t cdim = static_cast<std::int64_t>(buf.size());
+      cond = Tensor({1, cdim}, std::move(buf));
+      return;
     }
-  }
+    const auto& idx = plan.recv[i];
+    if (buf.size() != idx.size() * static_cast<std::size_t>(c)) {
+      throw std::runtime_error("recv_forward: payload size mismatch");
+    }
+    for (std::size_t k = 0; k < idx.size(); ++k) {
+      std::copy_n(buf.begin() + static_cast<std::ptrdiff_t>(
+                                    k * static_cast<std::size_t>(c)),
+                  c, x.data() + idx[k] * c);
+    }
+  });
   return {std::move(x), std::move(cond)};
 }
 
@@ -277,10 +358,31 @@ void SwipeEngine::send_backward(const Tensor& dx_local, const Tensor& dcond,
   }
 }
 
-std::pair<Tensor, Tensor> SwipeEngine::recv_backward(int mb,
-                                                     std::int64_t n_local) {
+std::vector<PendingMsg> SwipeEngine::post_recv_backward(int mb) {
+  const int pp = topo_.coords().pp;
+  std::vector<PendingMsg> pend;
+  pend.reserve(static_cast<std::size_t>(cfg_.grid.wp() * cfg_.grid.sp) + 1);
+  for (int w = 0; w < cfg_.grid.wp(); ++w) {
+    for (int s = 0; s < cfg_.grid.sp; ++s) {
+      const int src = rank_of(cfg_.grid, {topo_.coords().dp, pp + 1, w, s});
+      pend.push_back(world_.irecv(topo_.rank(), src,
+                                  kBwdX + static_cast<std::uint64_t>(mb)));
+    }
+  }
+  const int cond_src =
+      rank_of(cfg_.grid, {topo_.coords().dp, pp + 1, topo_.coords().wp,
+                          topo_.coords().sp});
+  pend.push_back(world_.irecv(topo_.rank(), cond_src,
+                              kBwdCond + static_cast<std::uint64_t>(mb)));
+  return pend;
+}
+
+std::pair<Tensor, Tensor> SwipeEngine::complete_recv_backward(
+    std::vector<PendingMsg>& pend, std::int64_t n_local) {
   const int pp = topo_.coords().pp;
   const core::ModelConfig& m = cfg_.model;
+  // Gradient of *my output*, which the next stage consumed: reverse the
+  // edge (pp -> pp+1) exchange.
   const WindowLayout from =
       pp == 0 ? layer_layout(0) : layer_layout(stage_layer(pp));
   const WindowLayout to = (pp + 1 <= m.depth) ? layer_layout(stage_layer(pp + 1))
@@ -291,27 +393,22 @@ std::pair<Tensor, Tensor> SwipeEngine::recv_backward(int mb,
 
   Tensor dx({n_local, c});
   Tensor dcond({1, m.cond_dim});
-  for (int w = 0; w < cfg_.grid.wp(); ++w) {
-    for (int s = 0; s < cfg_.grid.sp; ++s) {
-      const int src = rank_of(cfg_.grid, {topo_.coords().dp, pp + 1, w, s});
-      std::vector<float> buf =
-          world_.recv(topo_.rank(), src, kBwdX + static_cast<std::uint64_t>(mb));
-      const auto& idx = plan.send[static_cast<std::size_t>(w * cfg_.grid.sp + s)];
-      if (buf.size() != idx.size() * static_cast<std::size_t>(c)) {
-        throw std::runtime_error("recv_backward: payload size mismatch");
-      }
-      for (std::size_t i = 0; i < idx.size(); ++i) {
-        std::copy_n(buf.begin() + static_cast<std::ptrdiff_t>(
-                                      i * static_cast<std::size_t>(c)),
-                    c, dx.data() + idx[i] * c);
-      }
-      if (w == topo_.coords().wp && s == topo_.coords().sp) {
-        std::vector<float> cbuf = world_.recv(
-            topo_.rank(), src, kBwdCond + static_cast<std::uint64_t>(mb));
-        std::copy(cbuf.begin(), cbuf.end(), dcond.flat().begin());
-      }
+  const std::size_t cond_idx = pend.size() - 1;
+  drain_in_arrival_order(pend, [&](std::size_t i, std::vector<float> buf) {
+    if (i == cond_idx) {
+      std::copy(buf.begin(), buf.end(), dcond.flat().begin());
+      return;
     }
-  }
+    const auto& idx = plan.send[i];
+    if (buf.size() != idx.size() * static_cast<std::size_t>(c)) {
+      throw std::runtime_error("recv_backward: payload size mismatch");
+    }
+    for (std::size_t k = 0; k < idx.size(); ++k) {
+      std::copy_n(buf.begin() + static_cast<std::ptrdiff_t>(
+                                    k * static_cast<std::size_t>(c)),
+                  c, dx.data() + idx[k] * c);
+    }
+  });
   return {std::move(dx), std::move(dcond)};
 }
 
@@ -389,15 +486,19 @@ void SwipeEngine::forward_microbatch(int mb, const DataFn& data,
   }
 
   if (pp <= m.depth) {
+    // Post the receives before cloning the stage so the upstream payload
+    // lands while we do local work.
+    std::vector<PendingMsg> pend = post_recv_forward(mb);
     const WindowLayout lay = layer_layout(stage_layer(pp));
     const std::int64_t n = lay.local_tokens(topo_.coords().wp);
-    auto [x_flat, cond] = recv_forward(mb, n);
-    stats_.activation_floats = x_flat.numel();
 
     flight.block = *block_;
     nn::ParamList cp;
     flight.block->collect_params(cp);
     nn::zero_grads(cp);
+
+    auto [x_flat, cond] = complete_recv_forward(pend, n);
+    stats_.activation_floats = x_flat.numel();
 
     const std::int64_t nwin = lay.local_window_count(topo_.coords().wp);
     Tensor x = std::move(x_flat).reshaped({nwin, lay.sp_chunk(), m.dim});
@@ -411,17 +512,19 @@ void SwipeEngine::forward_microbatch(int mb, const DataFn& data,
   }
 
   // Output stage: final norm + decode + loss.
+  std::vector<PendingMsg> pend = post_recv_forward(mb);
   const WindowLayout lay = output_layout();
   const auto tokens = lay.tokens_of(topo_.coords().wp, topo_.coords().sp);
   const std::int64_t n = static_cast<std::int64_t>(tokens.size());
-  auto [x, cond] = recv_forward(mb, n);
-  (void)cond;
 
   flight.output = *output_;
   nn::ParamList cp;
   flight.output->final_norm.collect_params(cp);
   flight.output->head.collect_params(cp);
   nn::zero_grads(cp);
+
+  auto [x, cond] = complete_recv_forward(pend, n);
+  (void)cond;
 
   Tensor normed = flight.output->final_norm.forward(x);
   Tensor pred = flight.output->head.forward(normed);  // [n, V]
@@ -494,14 +597,16 @@ void SwipeEngine::backward_microbatch(int mb) {
     flight.output->final_norm.collect_params(cp);
     flight.output->head.collect_params(cp);
     accumulate(cp);
+    maybe_launch_grad_buckets();
     send_backward(dx, Tensor({1, m.cond_dim}), mb);
     return;
   }
 
   if (pp >= 1) {
+    std::vector<PendingMsg> pend = post_recv_backward(mb);
     const WindowLayout lay = layer_layout(stage_layer(pp));
     const std::int64_t n = lay.local_tokens(topo_.coords().wp);
-    auto [dy_flat, dcond] = recv_backward(mb, n);
+    auto [dy_flat, dcond] = complete_recv_backward(pend, n);
     const std::int64_t nwin = lay.local_window_count(topo_.coords().wp);
     Tensor dy = std::move(dy_flat).reshaped({nwin, lay.sp_chunk(), m.dim});
     Communicator sp = topo_.sp_group();
@@ -509,54 +614,105 @@ void SwipeEngine::backward_microbatch(int mb) {
     nn::ParamList cp;
     flight.block->collect_params(cp);
     accumulate(cp);
+    maybe_launch_grad_buckets();
     send_backward(dx.reshaped({nwin * lay.sp_chunk(), m.dim}), dcond, mb);
     return;
   }
 
   // Input stage.
+  std::vector<PendingMsg> pend = post_recv_backward(mb);
   const WindowLayout lay = layer_layout(0);
   const std::int64_t n = lay.local_tokens(topo_.coords().wp);
-  auto [dtokens, dcond] = recv_backward(mb, n);
+  auto [dtokens, dcond] = complete_recv_backward(pend, n);
   flight.input->embed.backward(dtokens);
   flight.input->time_embed.backward(dcond);
   nn::ParamList cp;
   flight.input->embed.collect_params(cp);
   flight.input->time_embed.collect_params(cp);
   accumulate(cp);
+  maybe_launch_grad_buckets();
+}
+
+void SwipeEngine::maybe_launch_grad_buckets() {
+  if (++backwards_done_ != cfg_.microbatches) return;
+  // Last microbatch of this stage's backward: every bucket's gradients are
+  // final, so launch their ring allreduces now. The eager first hop in the
+  // RingAllreduce constructor means the reduction makes progress while
+  // upstream stages are still running their backwards.
+  for (GradBucket& b : buckets_) {
+    std::size_t off = 0;
+    for (std::size_t i = b.begin; i < b.end; ++i) {
+      const nn::Param* p = params_[i];
+      std::copy(p->grad.flat().begin(), p->grad.flat().end(),
+                b.buf.begin() + static_cast<std::ptrdiff_t>(off));
+      off += static_cast<std::size_t>(p->numel());
+    }
+    pending_reductions_.emplace_back(replicas_, std::span<float>(b.buf));
+  }
 }
 
 float SwipeEngine::train_step(const DataFn& data, std::int64_t images_seen) {
   nn::zero_grads(params_);
   loss_accum_ = 0.0f;
   flights_.clear();
+  backwards_done_ = 0;
+  pending_reductions_.clear();
 
   const auto schedule = one_f_one_b_schedule(
       cfg_.grid.pp, topo_.coords().pp, cfg_.microbatches);
   for (const PipelineOp& op : schedule) {
-    if (getenv("AERIS_TRACE")) fprintf(stderr, "[rank %d pp %d] %s mb %d begin\n", topo_.rank(), topo_.coords().pp, op.kind == PipelineOp::Kind::kForward ? "F" : "B", op.microbatch);
+    if (kTraceEnabled) {
+      fprintf(stderr, "[rank %d pp %d] %s mb %d begin\n", topo_.rank(),
+              topo_.coords().pp,
+              op.kind == PipelineOp::Kind::kForward ? "F" : "B",
+              op.microbatch);
+    }
     if (op.kind == PipelineOp::Kind::kForward) {
       forward_microbatch(op.microbatch, data, images_seen);
     } else {
       backward_microbatch(op.microbatch);
     }
-    if (getenv("AERIS_TRACE")) fprintf(stderr, "[rank %d pp %d] %s mb %d end\n", topo_.rank(), topo_.coords().pp, op.kind == PipelineOp::Kind::kForward ? "F" : "B", op.microbatch);
+    if (kTraceEnabled) {
+      fprintf(stderr, "[rank %d pp %d] %s mb %d end\n", topo_.rank(),
+              topo_.coords().pp,
+              op.kind == PipelineOp::Kind::kForward ? "F" : "B",
+              op.microbatch);
+    }
   }
-  if (getenv("AERIS_TRACE")) fprintf(stderr, "[rank %d] schedule done\n", topo_.rank());
+  if (kTraceEnabled) {
+    fprintf(stderr, "[rank %d] schedule done\n", topo_.rank());
+  }
 
-  // Gradient sync + ZeRO-1 sharded update over this stage's replicas
-  // (dp x wp x sp), averaging over DP * microbatches samples.
+  // Drain the bucketed gradient allreduces launched during backward, then
+  // hand the summed gradients (averaged over DP * microbatches samples) to
+  // the ZeRO-1 sharded update + allgather-v.
   const float lr = cfg_.train.schedule.at(images_seen);
   const float scale =
       1.0f / static_cast<float>(cfg_.grid.dp * cfg_.microbatches);
-  Communicator replicas = topo_.replica_group();
-  opt_->step(replicas, lr, scale);
+  for (RingAllreduce& ar : pending_reductions_) ar.finish();
+  pending_reductions_.clear();
+  // Only this rank's ZeRO-1 shard consumes the summed gradients (the
+  // sharded update reads nothing else, and train_step re-zeroes all grads
+  // on entry), so the scaled write-back skips every other parameter.
+  const auto [shard_begin, shard_end] = Zero1Optimizer::shard_range(
+      params_.size(), replicas_.size(), replicas_.rank());
+  for (const GradBucket& b : buckets_) {
+    std::size_t off = 0;
+    for (std::size_t i = b.begin; i < b.end; ++i) {
+      nn::Param* p = params_[i];
+      if (i >= shard_begin && i < shard_end) {
+        for (std::int64_t j = 0; j < p->numel(); ++j) {
+          p->grad[j] = b.buf[off + static_cast<std::size_t>(j)] * scale;
+        }
+      }
+      off += static_cast<std::size_t>(p->numel());
+    }
+  }
+  opt_->step_reduced(replicas_, lr);
 
   // Aggregate the loss (only output-stage ranks hold partials).
-  std::vector<int> all(static_cast<std::size_t>(world_.size()));
-  for (int i = 0; i < world_.size(); ++i) all[static_cast<std::size_t>(i)] = i;
-  Communicator everyone(world_, std::move(all), topo_.rank(), 9'000'000);
   std::vector<float> loss_buf = {loss_accum_};
-  everyone.allreduce_sum(loss_buf);
+  everyone_.allreduce_sum(loss_buf);
   return loss_buf[0] / static_cast<float>(cfg_.grid.dp * cfg_.microbatches);
 }
 

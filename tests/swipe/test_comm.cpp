@@ -54,6 +54,48 @@ TEST(World, FifoPerSourceAndTag) {
   });
 }
 
+TEST(World, IsendIsBufferedAndBornComplete) {
+  World world(2);
+  world.run([&](int rank) {
+    if (rank == 0) {
+      // Mailbox sends are eager/buffered: the handle completes at enqueue
+      // time (MPI_Ibsend semantics) and wait() is a no-op.
+      PendingMsg h = world.isend(0, 1, 3, {1.0f, 2.0f});
+      EXPECT_TRUE(h.test());
+      EXPECT_TRUE(h.wait().empty());
+    } else {
+      const auto msg = world.recv(1, 0, 3);
+      ASSERT_EQ(msg.size(), 2u);
+      EXPECT_FLOAT_EQ(msg[1], 2.0f);
+    }
+  });
+}
+
+TEST(World, IrecvCompletesOnArrivalNotPostOrder) {
+  World world(2);
+  world.run([&](int rank) {
+    if (rank == 0) {
+      PendingMsg first = world.irecv(0, 1, 5);
+      PendingMsg second = world.irecv(0, 1, 6);
+      // The sender blocks on the go-message, so nothing can have arrived.
+      EXPECT_FALSE(first.test());
+      EXPECT_FALSE(second.test());
+      world.send(0, 1, 1, {0.0f});  // go: tag 6 is sent first
+      // The later-posted handle completes first — completion tracks
+      // message arrival, not post order.
+      EXPECT_FLOAT_EQ(second.wait()[0], 6.0f);
+      EXPECT_FALSE(first.test());
+      world.send(0, 1, 2, {0.0f});  // go: now send tag 5
+      EXPECT_FLOAT_EQ(first.wait()[0], 5.0f);
+    } else {
+      world.recv(1, 0, 1);
+      world.send(1, 0, 6, {6.0f});
+      world.recv(1, 0, 2);
+      world.send(1, 0, 5, {5.0f});
+    }
+  });
+}
+
 TEST(World, CountsBytesPerTrafficClass) {
   World world(2);
   world.run([&](int rank) {
@@ -94,6 +136,25 @@ TEST(Comm, BroadcastFromEveryRoot) {
       EXPECT_FLOAT_EQ(got[0], static_cast<float>(root));
     });
   }
+}
+
+TEST(Comm, BroadcastMovesPayloadOncePerNonRoot) {
+  const int n = 5;
+  World world(n);
+  world.run([&](int rank) {
+    Communicator comm(world, all_ranks(n), rank, 13);
+    std::vector<float> payload;
+    if (rank == 2) payload.assign(10, 1.0f);
+    const auto got = comm.broadcast(2, std::move(payload));
+    ASSERT_EQ(got.size(), 10u);
+  });
+  // Binomial tree: the payload crosses exactly n-1 edges in total...
+  EXPECT_EQ(world.bytes(Traffic::kBroadcast),
+            static_cast<std::int64_t>((n - 1) * 10 * sizeof(float)));
+  // ...and the root serves only its ceil(log2(n)) direct children instead
+  // of all n-1 ranks.
+  EXPECT_LT(world.rank_bytes(2, Traffic::kBroadcast),
+            static_cast<std::int64_t>((n - 1) * 10 * sizeof(float)));
 }
 
 class AllreduceSizes : public ::testing::TestWithParam<std::pair<int, int>> {};
@@ -150,6 +211,163 @@ TEST(Comm, AllgatherConcatenatesInRankOrder) {
     for (int r = 0; r < n; ++r) {
       EXPECT_FLOAT_EQ(all[static_cast<std::size_t>(2 * r)],
                       static_cast<float>(r));
+    }
+  });
+}
+
+TEST(Comm, AllgathervGathersRaggedSections) {
+  const int n = 4;
+  World world(n);
+  const std::vector<std::int64_t> counts = {1, 3, 0, 2};  // rank 2 is empty
+  world.run([&](int rank) {
+    Communicator comm(world, all_ranks(n), rank, 8);
+    std::vector<std::int64_t> offset(static_cast<std::size_t>(n) + 1, 0);
+    for (int r = 0; r < n; ++r) {
+      offset[static_cast<std::size_t>(r) + 1] =
+          offset[static_cast<std::size_t>(r)] +
+          counts[static_cast<std::size_t>(r)];
+    }
+    std::vector<float> data(static_cast<std::size_t>(offset.back()), -1.0f);
+    for (std::int64_t j = 0; j < counts[static_cast<std::size_t>(rank)]; ++j) {
+      data[static_cast<std::size_t>(offset[static_cast<std::size_t>(rank)] +
+                                    j)] = static_cast<float>(rank * 10 + j);
+    }
+    comm.allgatherv(data, counts);
+    for (int r = 0; r < n; ++r) {
+      for (std::int64_t j = 0; j < counts[static_cast<std::size_t>(r)]; ++j) {
+        EXPECT_FLOAT_EQ(
+            data[static_cast<std::size_t>(offset[static_cast<std::size_t>(r)] +
+                                          j)],
+            static_cast<float>(r * 10 + j))
+            << "rank " << rank << " section " << r << " elem " << j;
+      }
+    }
+  });
+  // Ring allgather-v volume: every section travels size-1 hops, exactly
+  // what a per-section broadcast loop would move.
+  const std::int64_t total = 1 + 3 + 0 + 2;
+  EXPECT_EQ(world.bytes(Traffic::kAllGather),
+            static_cast<std::int64_t>((n - 1) * total * sizeof(float)));
+}
+
+TEST(Comm, ReduceScattervSumsRaggedSectionsForTheirOwners) {
+  const int n = 4;
+  World world(n);
+  const std::vector<std::int64_t> counts = {2, 3, 0, 1};  // rank 2 is empty
+  world.run([&](int rank) {
+    Communicator comm(world, all_ranks(n), rank, 11);
+    std::vector<std::int64_t> offset(static_cast<std::size_t>(n) + 1, 0);
+    for (int r = 0; r < n; ++r) {
+      offset[static_cast<std::size_t>(r) + 1] =
+          offset[static_cast<std::size_t>(r)] +
+          counts[static_cast<std::size_t>(r)];
+    }
+    // Every rank contributes a distinct value per element so a dropped or
+    // double-counted contribution is visible in the sum.
+    std::vector<float> data(static_cast<std::size_t>(offset.back()));
+    for (std::size_t j = 0; j < data.size(); ++j) {
+      data[j] = static_cast<float>(100 * (rank + 1) + static_cast<int>(j));
+    }
+    comm.reduce_scatterv(data, counts);
+    // Sum over ranks of 100*(r+1) + j = 100*n*(n+1)/2 + n*j.
+    for (std::int64_t j = 0; j < counts[static_cast<std::size_t>(rank)]; ++j) {
+      const std::size_t at = static_cast<std::size_t>(
+          offset[static_cast<std::size_t>(rank)] + j);
+      EXPECT_FLOAT_EQ(data[at],
+                      static_cast<float>(100 * n * (n + 1) / 2 +
+                                         n * static_cast<int>(at)))
+          << "rank " << rank << " elem " << j;
+    }
+  });
+  // Ring reduce-scatter-v volume: each rank forwards every section except
+  // its own exactly once.
+  const std::int64_t total = 2 + 3 + 0 + 1;
+  for (int r = 0; r < n; ++r) {
+    EXPECT_EQ(world.rank_bytes(r, Traffic::kReduceScatter),
+              static_cast<std::int64_t>(
+                  (total - counts[static_cast<std::size_t>(r)]) *
+                  static_cast<std::int64_t>(sizeof(float))))
+        << "rank " << r;
+  }
+}
+
+TEST(Comm, ReduceScattervSegmentedLoadMatchesFlatBuffer) {
+  // The segmented-load overload (what ZeRO-1 feeds per-parameter gradient
+  // tensors through) must produce bitwise the same sums as staging the
+  // same values through a flat buffer first.
+  const int n = 3;
+  World world(n);
+  const std::vector<std::int64_t> counts = {2, 1, 2};
+  std::vector<std::vector<float>> flat_out(static_cast<std::size_t>(n));
+  std::vector<std::vector<float>> seg_out(static_cast<std::size_t>(n));
+  world.run([&](int rank) {
+    std::vector<float> data(5);
+    for (std::size_t j = 0; j < data.size(); ++j) {
+      data[j] = 0.37f * static_cast<float>(rank + 1) +
+                0.011f * static_cast<float>(j);
+    }
+    const std::int64_t offset[] = {0, 2, 3, 5};
+    Communicator flat_comm(world, all_ranks(n), rank, 12);
+    std::vector<float> flat = data;
+    flat_comm.reduce_scatterv(flat, counts);
+    const std::size_t b = static_cast<std::size_t>(offset[rank]);
+    const std::size_t c = static_cast<std::size_t>(counts[
+        static_cast<std::size_t>(rank)]);
+    flat_out[static_cast<std::size_t>(rank)]
+        .assign(flat.begin() + static_cast<std::ptrdiff_t>(b),
+                flat.begin() + static_cast<std::ptrdiff_t>(b + c));
+
+    Communicator seg_comm(world, all_ranks(n), rank, 13);
+    std::vector<float> mine(c);
+    seg_comm.reduce_scatterv(
+        counts, mine,
+        [&](int section, std::size_t off, std::span<float> part,
+            bool accumulate) {
+          const float* src =
+              data.data() + offset[section] + static_cast<std::ptrdiff_t>(off);
+          for (std::size_t i = 0; i < part.size(); ++i) {
+            part[i] = accumulate ? part[i] + src[i] : src[i];
+          }
+        });
+    seg_out[static_cast<std::size_t>(rank)] = mine;
+  });
+  for (int r = 0; r < n; ++r) {
+    EXPECT_EQ(seg_out[static_cast<std::size_t>(r)],
+              flat_out[static_cast<std::size_t>(r)])
+        << "rank " << r;
+  }
+}
+
+TEST(Comm, ConcurrentCollectivesOnSplitGroupsStayIsolated) {
+  // 2x2 split: every rank belongs to a row group and a column group with
+  // interleaved membership (the engine's sp/wp situation). Ranks run the
+  // two groups' collectives back to back with no barrier, so row and
+  // column traffic between the same rank pairs is concurrently in flight;
+  // any tag leakage between the namespaces corrupts a sum.
+  World world(4);
+  world.run([&](int rank) {
+    const int row = rank / 2, col = rank % 2;
+    Communicator rows(world,
+                      row == 0 ? std::vector<int>{0, 1} : std::vector<int>{2, 3},
+                      rank, 20 + static_cast<std::uint64_t>(row));
+    Communicator cols(world,
+                      col == 0 ? std::vector<int>{0, 2} : std::vector<int>{1, 3},
+                      rank, 30 + static_cast<std::uint64_t>(col));
+    for (int iter = 0; iter < 25; ++iter) {
+      std::vector<float> rdata(9, static_cast<float>(rank + iter));
+      rows.allreduce_sum(rdata);
+      std::vector<float> cdata(9, static_cast<float>(rank * 2 + iter));
+      cols.allreduce_sum(cdata);
+      // Row members are {2*row, 2*row+1}; column members are {col, col+2}.
+      const float rwant = static_cast<float>(4 * row + 1 + 2 * iter);
+      const float cwant = static_cast<float>(4 * col + 4 + 2 * iter);
+      for (const float v : rdata) ASSERT_FLOAT_EQ(v, rwant) << "iter " << iter;
+      for (const float v : cdata) ASSERT_FLOAT_EQ(v, cwant) << "iter " << iter;
+      const auto gathered =
+          rows.allgather(std::vector<float>{static_cast<float>(rank)});
+      ASSERT_EQ(gathered.size(), 2u);
+      EXPECT_FLOAT_EQ(gathered[0], static_cast<float>(2 * row));
+      EXPECT_FLOAT_EQ(gathered[1], static_cast<float>(2 * row + 1));
     }
   });
 }

@@ -114,6 +114,64 @@ TEST(Zero1, RepeatedStepsStayConsistent) {
   EXPECT_GT(got[0][0], 1.0f);
 }
 
+// The allgather-v redistribution must be a pure transport change: stepping
+// identical parameter sets through the new path and the legacy per-param
+// broadcast path yields bitwise-identical values on every rank.
+TEST(Zero1, AllgathervPathMatchesBroadcastReferenceBitwise) {
+  const int nranks = 3;
+  const int nparams = 7;  // uneven shards: 3 ranks over 7 params
+  World world(nranks);
+  std::vector<std::vector<float>> got_new(static_cast<std::size_t>(nranks));
+  std::vector<std::vector<float>> got_ref(static_cast<std::size_t>(nranks));
+  world.run([&](int rank) {
+    auto make = [&](std::vector<nn::Param>& storage, nn::ParamList& list) {
+      storage.reserve(nparams);
+      for (int i = 0; i < nparams; ++i) {
+        storage.emplace_back("p" + std::to_string(i),
+                             Shape{2 + (i % 3)});  // ragged sizes
+        Philox(13).fill_normal(storage.back().value, 1,
+                               static_cast<std::uint64_t>(i));
+      }
+      for (auto& p : storage) list.push_back(&p);
+    };
+    std::vector<nn::Param> a_store, b_store;
+    nn::ParamList a_list, b_list;
+    make(a_store, a_list);
+    make(b_store, b_list);
+    Zero1Optimizer opt_a(a_list);
+    Zero1Optimizer opt_b(b_list);
+    std::vector<int> members(static_cast<std::size_t>(nranks));
+    std::iota(members.begin(), members.end(), 0);
+    Communicator group_a(world, members, rank, 1);
+    Communicator group_b(world, members, rank, 2);
+    for (int step = 0; step < 3; ++step) {
+      for (int i = 0; i < nparams; ++i) {
+        for (std::int64_t j = 0; j < a_store[static_cast<std::size_t>(i)]
+                                         .grad.numel();
+             ++j) {
+          const float g = 0.05f * static_cast<float>(rank + 1) +
+                          0.01f * static_cast<float>(i * 10 + step) +
+                          0.001f * static_cast<float>(j);
+          a_store[static_cast<std::size_t>(i)].grad[j] = g;
+          b_store[static_cast<std::size_t>(i)].grad[j] = g;
+        }
+      }
+      opt_a.step(group_a, 0.01f, 1.0f / nranks);
+      opt_b.step_broadcast_reference(group_b, 0.01f, 1.0f / nranks);
+    }
+    got_new[static_cast<std::size_t>(rank)] = nn::flatten_values(a_list);
+    got_ref[static_cast<std::size_t>(rank)] = nn::flatten_values(b_list);
+  });
+  for (int r = 0; r < nranks; ++r) {
+    // Bitwise: both paths share the same allreduce and sharded update, so
+    // redistribution moves the exact same bits.
+    EXPECT_EQ(got_new[static_cast<std::size_t>(r)],
+              got_ref[static_cast<std::size_t>(r)])
+        << "rank " << r;
+    EXPECT_EQ(got_new[static_cast<std::size_t>(r)], got_new[0]) << "rank " << r;
+  }
+}
+
 TEST(Zero1, SingleRankGroupIsPlainAdamW) {
   World world(1);
   world.run([&](int rank) {
