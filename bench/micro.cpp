@@ -11,6 +11,7 @@
 #include "aeris/nn/inference.hpp"
 #include "aeris/physics/qg.hpp"
 #include "aeris/swipe/comm.hpp"
+#include "aeris/swipe/fault.hpp"
 #include "aeris/swipe/zero1.hpp"
 #include "aeris/swipe/window_layout.hpp"
 #include "aeris/tensor/gemm.hpp"
@@ -131,6 +132,34 @@ void BM_AllreduceSum(benchmark::State& state) {
                           static_cast<std::int64_t>(sizeof(float)));
 }
 BENCHMARK(BM_AllreduceSum)->Arg(4)->Arg(8);
+
+// Bench guard for the fault-injection hooks: same collective with a fault
+// plan ARMED but whose events never match (wrong send ordinals), pinning
+// that the per-send hook — one atomic counter bump + a linear match over a
+// tiny event list — costs ~0 on the hot path vs BM_AllreduceSum.
+void BM_AllreduceSumFaultArmed(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const std::int64_t elems = 1 << 16;
+  swipe::World world(n);
+  auto plan = std::make_shared<swipe::FaultPlan>();
+  plan->add(swipe::FaultEvent{swipe::FaultKind::kKillRank, /*rank=*/0,
+                              /*nth_send=*/~0ull});
+  world.set_fault_plan(plan);
+  for (auto _ : state) {
+    world.run([&](int rank) {
+      std::vector<int> members(static_cast<std::size_t>(n));
+      std::iota(members.begin(), members.end(), 0);
+      swipe::Communicator comm(world, members, rank, 1);
+      std::vector<float> data(static_cast<std::size_t>(elems),
+                              static_cast<float>(rank));
+      comm.allreduce_sum(data);
+      benchmark::DoNotOptimize(data.data());
+    });
+  }
+  state.SetBytesProcessed(state.iterations() * n * elems *
+                          static_cast<std::int64_t>(sizeof(float)));
+}
+BENCHMARK(BM_AllreduceSumFaultArmed)->Arg(8);
 
 // One ZeRO-1 optimizer step (allreduce + sharded AdamW + parameter
 // redistribution) over a persistent optimizer, amortizing thread spawn

@@ -1,0 +1,205 @@
+// Fault-tolerant SWiPe training: run the AERIS step under an injected
+// rank-kill, catch the failure on every rank, re-form the world, restore
+// from the last committed checkpoint, and finish with a loss trajectory
+// bitwise identical to an uninterrupted run. This is the recovery story a
+// 10k-node training campaign needs, at executable scale.
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "aeris/swipe/engine.hpp"
+#include "aeris/swipe/fault.hpp"
+
+using namespace aeris;
+using namespace aeris::swipe;
+
+namespace {
+
+EngineConfig make_config() {
+  core::ModelConfig m;
+  m.h = 16;
+  m.w = 16;
+  m.out_channels = 4;
+  m.in_channels = 2 * 4 + 1;
+  m.dim = 32;
+  m.depth = 2;
+  m.heads = 4;
+  m.ffn_hidden = 64;
+  m.win_h = 4;
+  m.win_w = 4;
+  m.cond_dim = 32;
+  m.time_features = 8;
+
+  EngineConfig ec;
+  ec.model = m;
+  ec.grid = SwipeGrid{/*dp=*/2, /*pp=*/static_cast<int>(m.depth) + 2,
+                      /*wp_a=*/1, /*wp_b=*/1, /*sp=*/1};
+  ec.train.objective = core::Objective::kTrigFlow;
+  ec.train.schedule.peak = 1e-3f;
+  ec.train.schedule.warmup = 1;
+  ec.train.seed = 3;
+  ec.microbatches = 2;
+  return ec;
+}
+
+core::TrainExample example_for(const core::ModelConfig& m, std::int64_t idx) {
+  Philox rng(77);
+  core::TrainExample ex;
+  ex.prev = Tensor({m.h, m.w, m.out_channels});
+  rng.fill_normal(ex.prev, 1, static_cast<std::uint64_t>(idx));
+  ex.target = Tensor({m.h, m.w, m.out_channels});
+  for (std::int64_t r = 0; r < m.h; ++r) {
+    for (std::int64_t c = 0; c < m.w; ++c) {
+      for (std::int64_t v = 0; v < m.out_channels; ++v) {
+        ex.target.at3(r, c, v) = ex.prev.at3(r, (c + m.w - 1) % m.w, v) + 0.05f;
+      }
+    }
+  }
+  ex.forcings = Tensor({m.h, m.w, 1}, 0.25f);
+  return ex;
+}
+
+/// Trains under failures: every completed step writes per-rank checkpoints
+/// into a step directory, and a directory only counts as *committed* once
+/// the collective step that produced it returned on every rank (a kill
+/// mid-step can leave ranks straddling two steps — such a directory is
+/// never restored from). On PeerFailedError the trainer reports the dead
+/// rank, re-forms the world, restores from the last committed checkpoint,
+/// and resumes.
+class ResilientTrainer {
+ public:
+  ResilientTrainer(EngineConfig cfg, std::string ckpt_root, DataFn data)
+      : cfg_(std::move(cfg)),
+        root_(std::move(ckpt_root)),
+        data_(std::move(data)) {}
+
+  /// Runs `total_steps` steps, surviving injected faults. `plan` (may be
+  /// null) is armed on each freshly formed world. Returns the per-step
+  /// losses.
+  std::vector<float> train(int total_steps,
+                           std::shared_ptr<const FaultPlan> plan) {
+    const int batch = cfg_.grid.dp * cfg_.microbatches;
+    std::vector<float> losses(static_cast<std::size_t>(total_steps), 0.0f);
+    int next_step = 0;     // first step the next world run should execute
+    int committed = -1;    // last step whose checkpoint dir is complete
+    int incarnation = 0;
+
+    while (next_step < total_steps) {
+      World world(cfg_.grid.world_size());
+      world.set_fault_plan(plan);
+      const int resume_from = committed;
+      const int start_step = next_step;
+      std::vector<int> done(static_cast<std::size_t>(world.size()), -1);
+      try {
+        world.run([&](int rank) {
+          SwipeEngine engine(world, cfg_, rank);
+          std::int64_t images = static_cast<std::int64_t>(start_step) * batch;
+          if (resume_from >= 0) {
+            images = engine.load_checkpoint(step_dir(resume_from));
+          }
+          for (int s = start_step; s < total_steps; ++s) {
+            const float loss = engine.train_step(data_, images);
+            images += batch;
+            engine.save_checkpoint(step_dir(s), images);
+            if (rank == 0) losses[static_cast<std::size_t>(s)] = loss;
+            done[static_cast<std::size_t>(rank)] = s;
+          }
+        });
+        // Clean completion: everything up to the last step is committed.
+        committed = total_steps - 1;
+        next_step = total_steps;
+      } catch (const PeerFailedError& e) {
+        // Commit only steps EVERY rank finished; later dirs may be torn.
+        int all_done = total_steps;
+        for (const int d : done) all_done = std::min(all_done, d);
+        committed = std::max(committed, all_done);
+        next_step = committed + 1;
+        std::printf(
+            "[resilient] incarnation %d: rank %d failed (%s)\n"
+            "[resilient]   %zu rank failure(s) recorded; last committed "
+            "step %d -> re-forming world\n",
+            incarnation, e.failed_rank(), e.what(), world.failures().size(),
+            committed);
+        plan = nullptr;  // the injected fault fired; next world is healthy
+        ++incarnation;
+      }
+    }
+    return losses;
+  }
+
+ private:
+  std::string step_dir(int step) const {
+    return root_ + "/step" + std::to_string(step);
+  }
+
+  EngineConfig cfg_;
+  std::string root_;
+  DataFn data_;
+};
+
+}  // namespace
+
+int main() {
+  const EngineConfig cfg = make_config();
+  const int batch = cfg.grid.dp * cfg.microbatches;
+  const int steps = 5;
+  const DataFn data = [&](std::int64_t idx) {
+    return example_for(cfg.model, idx);
+  };
+
+  // --- ground truth: the same schedule with no faults ---
+  std::vector<float> truth(static_cast<std::size_t>(steps));
+  {
+    World world(cfg.grid.world_size());
+    world.run([&](int rank) {
+      SwipeEngine engine(world, cfg, rank);
+      for (int s = 0; s < steps; ++s) {
+        const float loss =
+            engine.train_step(data, static_cast<std::int64_t>(s) * batch);
+        if (rank == 0) truth[static_cast<std::size_t>(s)] = loss;
+      }
+    });
+  }
+  std::printf("uninterrupted losses:");
+  for (const float l : truth) std::printf(" %.6f", l);
+  std::printf("\n");
+
+  // --- resilient run: rank 5 is killed partway through step 2 (its 30th
+  // send lands mid-collective there; steps 0-1 are committed on disk) ---
+  const std::string root =
+      (std::filesystem::temp_directory_path() / "aeris_resilient_ckpt")
+          .string();
+  std::filesystem::remove_all(root);
+  auto plan = std::make_shared<FaultPlan>();
+  plan->add(FaultEvent{FaultKind::kKillRank, /*rank=*/5,
+                       /*nth_send=*/30});
+  ResilientTrainer trainer(cfg, root, data);
+  const std::vector<float> resumed = trainer.train(steps, plan);
+  std::printf("resilient losses:   ");
+  for (const float l : resumed) std::printf(" %.6f", l);
+  std::printf("\n");
+
+  // --- the claim: recovery is bitwise invisible in the trajectory ---
+  bool bitwise = true;
+  for (int s = 0; s < steps; ++s) {
+    if (std::memcmp(&truth[static_cast<std::size_t>(s)],
+                    &resumed[static_cast<std::size_t>(s)],
+                    sizeof(float)) != 0) {
+      std::printf("step %d diverged: %.9g vs %.9g\n", s,
+                  truth[static_cast<std::size_t>(s)],
+                  resumed[static_cast<std::size_t>(s)]);
+      bitwise = false;
+    }
+  }
+  std::filesystem::remove_all(root);
+  if (!bitwise) {
+    std::printf("FAILED: recovered trajectory diverged\n");
+    return 1;
+  }
+  std::printf("recovered trajectory is bitwise identical "
+              "(kill -> catch -> re-form -> restore -> resume)\n");
+  return 0;
+}

@@ -61,6 +61,12 @@ class AdamW {
   const Tensor& moment1(std::size_t i) const { return m_[i]; }
   const Tensor& moment2(std::size_t i) const { return v_[i]; }
 
+  /// Mutable state access for checkpoint restore: a resumed run must
+  /// start from the saved moments and step clock bit-for-bit.
+  Tensor& moment1(std::size_t i) { return m_[i]; }
+  Tensor& moment2(std::size_t i) { return v_[i]; }
+  void set_steps_taken(std::int64_t t) { t_ = t; }
+
  private:
   ParamList params_;
   Options opts_;

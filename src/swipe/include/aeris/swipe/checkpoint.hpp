@@ -1,0 +1,88 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace aeris::swipe {
+
+/// A checkpoint file could not be written, read, or validated. Torn or
+/// bit-flipped files fail here (magic / version / size / checksum) — a
+/// corrupted checkpoint is always rejected, never loaded as garbage.
+class CheckpointError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// CRC-32 (IEEE 802.3, poly 0xEDB88320), table-driven. Used to checksum
+/// checkpoint payloads so torn writes and bit flips are detected on load.
+std::uint32_t crc32(std::span<const std::uint8_t> data,
+                    std::uint32_t seed = 0);
+
+/// Current checkpoint container version. Bump when the payload layout
+/// changes; readers reject versions they do not understand.
+inline constexpr std::uint32_t kCheckpointVersion = 1;
+
+/// Length-prefixed little-endian payload builder. Fields are written in a
+/// fixed order and read back with the mirrored Deserializer calls; each
+/// read is bounds-checked so a truncated payload throws instead of
+/// reading past the end.
+class Serializer {
+ public:
+  void write_u32(std::uint32_t v) { write_raw(&v, sizeof(v)); }
+  void write_u64(std::uint64_t v) { write_raw(&v, sizeof(v)); }
+  void write_i64(std::int64_t v) { write_raw(&v, sizeof(v)); }
+  void write_floats(std::span<const float> v) {
+    write_u64(v.size());
+    write_raw(v.data(), v.size() * sizeof(float));
+  }
+
+  const std::vector<std::uint8_t>& bytes() const { return bytes_; }
+
+ private:
+  void write_raw(const void* p, std::size_t n);
+
+  std::vector<std::uint8_t> bytes_;
+};
+
+/// Mirror of Serializer. Every accessor throws CheckpointError on
+/// truncation or (for read_floats_into) element-count mismatch.
+class Deserializer {
+ public:
+  explicit Deserializer(std::span<const std::uint8_t> bytes)
+      : bytes_(bytes) {}
+
+  std::uint32_t read_u32();
+  std::uint64_t read_u64();
+  std::int64_t read_i64();
+  /// Reads a float field written by write_floats; the stored element count
+  /// must equal out.size() (shape changes are corruption, not resizes).
+  void read_floats_into(std::span<float> out);
+
+  /// True when every byte has been consumed — load paths check this so
+  /// trailing garbage is flagged too.
+  bool exhausted() const { return pos_ == bytes_.size(); }
+
+ private:
+  void read_raw(void* p, std::size_t n);
+
+  std::span<const std::uint8_t> bytes_;
+  std::size_t pos_ = 0;
+};
+
+/// Atomically writes `payload` to `path` wrapped in the checkpoint
+/// container: magic "AERISCKP", version, CRC-32 of the payload, payload
+/// size, payload. The bytes go to `path + ".tmp"` first and are renamed
+/// into place, so a crash mid-write can never leave a half-written file at
+/// the final path.
+void write_checkpoint_file(const std::string& path,
+                           std::span<const std::uint8_t> payload);
+
+/// Reads and validates a checkpoint container, returning the payload.
+/// Throws CheckpointError on missing file, bad magic, unsupported
+/// version, truncation, or checksum mismatch.
+std::vector<std::uint8_t> read_checkpoint_file(const std::string& path);
+
+}  // namespace aeris::swipe

@@ -10,9 +10,45 @@
 #include <memory>
 #include <mutex>
 #include <span>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 namespace aeris::swipe {
+
+class FaultPlan;
+struct FaultEvent;
+
+/// A peer rank died (escaped exception in World::run or an injected
+/// kill). Instead of deadlocking, every blocked receive, PendingMsg::wait
+/// and in-flight collective on every surviving rank throws this, naming
+/// the rank that failed.
+class PeerFailedError : public std::runtime_error {
+ public:
+  PeerFailedError(int failed_rank, const std::string& what_arg)
+      : std::runtime_error(what_arg), failed_rank_(failed_rank) {}
+
+  int failed_rank() const { return failed_rank_; }
+
+ private:
+  int failed_rank_;
+};
+
+/// A blocking receive exceeded the configured deadline
+/// (`AERIS_COMM_TIMEOUT_MS`, or `World::set_timeout`). Carries a deadlock
+/// dump — per-rank blocked op, the (src, tag) being awaited, pending
+/// mailbox tags, and per-class byte counters — so a silent hang becomes an
+/// actionable report.
+class CommTimeoutError : public std::runtime_error {
+ public:
+  CommTimeoutError(const std::string& msg, std::string dump)
+      : std::runtime_error(msg + "\n" + dump), dump_(std::move(dump)) {}
+
+  const std::string& dump() const { return dump_; }
+
+ private:
+  std::string dump_;
+};
 
 /// Traffic classes tracked by the byte counters. These map onto the
 /// paper's communication-overhead analysis (§V-A): alltoall from SP/WP,
@@ -36,27 +72,42 @@ class World;
 /// Mailbox sends are buffered/eager, so an isend's handle is born
 /// complete (like MPI_Ibsend); an irecv's handle completes once a
 /// matching message has arrived and been claimed by `test()` or `wait()`.
-/// A handle is single-use: `wait()` consumes the payload.
+/// A handle is single-use: `wait()` consumes the payload, and any further
+/// `wait()`/`test()` — or any use of a default-constructed handle —
+/// throws std::logic_error instead of silently returning a stale or empty
+/// payload.
 class PendingMsg {
  public:
-  PendingMsg() = default;  ///< born complete, empty payload
+  PendingMsg() = default;  ///< empty handle: any use throws
 
   /// Nonblocking completion poll (MPI_Test): claims the message if it has
   /// arrived. Returns true once the payload is held locally.
   bool test();
-  /// Blocks until complete and returns the payload (empty for isend).
+  /// Blocks until complete and returns the payload (empty for isend),
+  /// consuming the handle.
   std::vector<float> wait();
 
  private:
   friend class World;
+  explicit PendingMsg(World* world)  ///< completed-send handle (isend)
+      : world_(world), done_(true), valid_(true) {}
   PendingMsg(World* world, int dst, int src, std::uint64_t tag)
-      : world_(world), dst_(dst), src_(src), tag_(tag), done_(false) {}
+      : world_(world),
+        dst_(dst),
+        src_(src),
+        tag_(tag),
+        done_(false),
+        valid_(true) {}
+
+  void require_usable(const char* op) const;
 
   World* world_ = nullptr;
   int dst_ = -1;
   int src_ = -1;
   std::uint64_t tag_ = 0;
   bool done_ = true;
+  bool valid_ = false;
+  bool consumed_ = false;
   std::vector<float> payload_;
 };
 
@@ -115,9 +166,57 @@ class World {
   std::int64_t rank_bytes(int rank, Traffic t) const;
   void reset_counters();
 
-  /// Spawns `fn(rank)` on size() threads and joins them; the first
-  /// exception (if any) is rethrown after all threads finish.
+  /// Spawns `fn(rank)` on size() threads and joins them all. A rank that
+  /// exits with an exception poisons the world (see `poison`), so no
+  /// surviving rank can deadlock on it. After the join, the first
+  /// exception recorded is rethrown as the root cause; every rank's
+  /// failure (rank id + message) is retrievable via `failures()`.
   void run(const std::function<void(int rank)>& fn);
+
+  /// One rank's failure as observed by `run`.
+  struct RankFailure {
+    int rank = -1;
+    std::string message;
+  };
+  /// All failures from the most recent `run`, in the order observed (the
+  /// rethrown root cause prefers an originating failure over secondary
+  /// PeerFailedErrors). Valid after `run` returns or throws.
+  const std::vector<RankFailure>& failures() const { return failures_; }
+
+  /// Marks the world failed on behalf of `rank` and wakes every mailbox:
+  /// all blocked and future receives throw PeerFailedError naming the
+  /// first failed rank. Poisoning is permanent — recovery means building
+  /// a new World (checkpoint/restart), not resuscitating this one.
+  void poison(int rank, const std::string& why);
+  bool poisoned() const {
+    return poisoned_.load(std::memory_order_acquire);
+  }
+  /// First rank that failed, or -1 if the world is healthy.
+  int failed_rank() const {
+    return failed_rank_.load(std::memory_order_acquire);
+  }
+
+  /// Arms (or with nullptr disarms) a deterministic fault-injection plan
+  /// and resets the per-rank send counters, so FaultEvent::nth_send counts
+  /// from this call. With no plan armed the hot path pays one predicted
+  /// branch per send.
+  void set_fault_plan(std::shared_ptr<const FaultPlan> plan);
+
+  /// Deadline for blocking receives and PendingMsg::wait in milliseconds;
+  /// <= 0 disables (the default unless AERIS_COMM_TIMEOUT_MS is set in the
+  /// environment). On expiry the blocked op throws CommTimeoutError
+  /// carrying `deadlock_dump()`.
+  void set_timeout(std::int64_t ms) {
+    timeout_ms_.store(ms, std::memory_order_relaxed);
+  }
+  std::int64_t timeout_ms() const {
+    return timeout_ms_.load(std::memory_order_relaxed);
+  }
+
+  /// Human-readable snapshot of the communication state: per-rank blocked
+  /// op and awaited (src, tag), pending mailbox tags, per-class byte
+  /// counters. This is what CommTimeoutError carries.
+  std::string deadlock_dump() const;
 
  private:
   friend class PendingMsg;
@@ -126,15 +225,50 @@ class World {
     std::mutex mutex;
     std::condition_variable cv;
     std::map<std::pair<int, std::uint64_t>, std::deque<Msg>> queues;
+    // Blocked-op diagnostics for deadlock_dump(), guarded by `mutex` (a
+    // rank only ever blocks on its own mailbox, so there is exactly one
+    // writer).
+    const char* blocked_op = nullptr;
+    int blocked_src = -1;
+    std::uint64_t blocked_tag = 0;
   };
 
-  /// Nonblocking pop of a matching message; true on success.
+  /// Nonblocking pop of a matching message; true on success. Throws
+  /// PeerFailedError if nothing matches and the world is poisoned.
   bool try_recv(int dst, int src, std::uint64_t tag, std::vector<float>& out);
+
+  /// Blocks until a (src, tag) message is queued at `box`, honouring
+  /// poisoning and the timeout. `lock` must hold box.mutex on entry and
+  /// does on (normal) exit.
+  void await_message(Mailbox& box, std::unique_lock<std::mutex>& lock,
+                     int dst, int src, std::uint64_t tag, const char* op);
+
+  [[noreturn]] void throw_peer_failed(const char* op, int rank, int src,
+                                      std::uint64_t tag) const;
+
+  /// Fault hook shared by send/send_shared: charges the per-send counter
+  /// and returns the matching event, if any. Null when no plan is armed.
+  const FaultEvent* next_send_fault(int src);
+  /// Applies a kill/delay fault; returns true if the message must be
+  /// dropped. Corruption is payload-representation-specific and stays in
+  /// the callers.
+  bool apply_send_fault(const FaultEvent& ev, int src, std::uint64_t seq);
 
   int nranks_;
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;
   std::vector<std::array<std::atomic<std::int64_t>, kTrafficClasses>>
       rank_bytes_;
+
+  // --- fault-tolerance state ---
+  std::shared_ptr<const FaultPlan> fault_plan_;  ///< owns; raw ptr below
+  std::atomic<const FaultPlan*> fault_{nullptr};
+  std::vector<std::atomic<std::uint64_t>> send_seq_;
+  std::atomic<std::int64_t> timeout_ms_{0};
+  std::atomic<bool> poisoned_{false};
+  std::atomic<int> failed_rank_{-1};
+  mutable std::mutex poison_mutex_;  ///< guards poison_why_ and failures_
+  std::string poison_why_;
+  std::vector<RankFailure> failures_;
 };
 
 class RingAllreduce;

@@ -3,6 +3,7 @@
 #include <deque>
 #include <functional>
 #include <optional>
+#include <string>
 
 #include "aeris/core/loss_weights.hpp"
 #include "aeris/core/model.hpp"
@@ -53,6 +54,20 @@ class SwipeEngine {
   /// Parameters owned by this rank's pipeline stage.
   const nn::ParamList& stage_params() const { return params_; }
   const Topology& topology() const { return topo_; }
+
+  /// Writes this rank's training state — stage parameter values, the
+  /// ZeRO-1 optimizer shard (step clock + AdamW moments), and
+  /// `images_seen` — to `checkpoint_path(dir, my_rank)` as a versioned,
+  /// CRC-checksummed file (atomic tmp + rename). Local-only: no
+  /// collective, so it works even while peers are failing.
+  void save_checkpoint(const std::string& dir,
+                       std::int64_t images_seen) const;
+  /// Restores state saved by save_checkpoint on a rank with the same
+  /// topology position; returns the saved `images_seen`. Throws
+  /// CheckpointError on corruption or layout mismatch.
+  std::int64_t load_checkpoint(const std::string& dir);
+  /// The per-rank checkpoint file inside `dir`.
+  static std::string checkpoint_path(const std::string& dir, int rank);
 
   /// Diagnostics for the communication/IO/memory claims.
   struct Stats {

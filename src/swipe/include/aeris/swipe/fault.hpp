@@ -1,0 +1,79 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "aeris/swipe/comm.hpp"
+
+namespace aeris::swipe {
+
+/// What an injected fault does when it fires.
+enum class FaultKind : int {
+  kKillRank = 0,        ///< the sending rank dies (throws InjectedFault)
+  kDropMsg = 1,         ///< the message is charged but never delivered
+  kDelayMsg = 2,        ///< delivery is delayed by `delay_ms`
+  kCorruptPayload = 3,  ///< one payload bit is flipped in flight
+};
+
+/// One scheduled fault: fires when `rank` performs its `nth_send`-th send
+/// (0-based, counted from the moment the plan is armed on the world).
+/// Triggering on send ordinals rather than wall time is what makes every
+/// failure path deterministic and therefore testable.
+struct FaultEvent {
+  FaultKind kind = FaultKind::kKillRank;
+  int rank = -1;
+  std::uint64_t nth_send = 0;
+  int delay_ms = 0;
+  /// XOR mask applied to the first payload element's bits (corrupt only).
+  /// The default flips a mantissa bit, turning 1.0f into 0.5f.
+  std::uint32_t corrupt_xor = 0x00800000u;
+
+  friend bool operator==(const FaultEvent&, const FaultEvent&) = default;
+};
+
+/// A deterministic, seedable fault-injection schedule. Armed on a `World`
+/// via `set_fault_plan`, which also resets the per-rank send counters so
+/// `nth_send` is relative to the arming point. The plan is read-only once
+/// armed (no per-send mutation), so matching is race-free by construction.
+class FaultPlan {
+ public:
+  FaultPlan() = default;
+
+  /// Deterministic pseudo-random plan: `n_events` events of `kind`, each
+  /// targeting a seed-derived (rank, send ordinal < max_send). The same
+  /// seed always produces the same schedule — the fault-determinism tests
+  /// rely on this.
+  static FaultPlan random(std::uint64_t seed, int nranks, int n_events,
+                          std::uint64_t max_send,
+                          FaultKind kind = FaultKind::kKillRank);
+
+  FaultPlan& add(const FaultEvent& ev) {
+    events_.push_back(ev);
+    return *this;
+  }
+
+  const std::vector<FaultEvent>& events() const { return events_; }
+
+  /// The event (if any) scheduled for `rank`'s `seq`-th send. Read-only
+  /// and safe to call concurrently from every rank thread.
+  const FaultEvent* match(int rank, std::uint64_t seq) const {
+    for (const FaultEvent& ev : events_) {
+      if (ev.rank == rank && ev.nth_send == seq) return &ev;
+    }
+    return nullptr;
+  }
+
+ private:
+  std::vector<FaultEvent> events_;
+};
+
+/// Thrown on the faulted rank itself when a kKillRank event fires. Derives
+/// from PeerFailedError because from the world's perspective the injected
+/// kill *is* the peer failure (the world is poisoned before the throw, so
+/// the rank is dead to its peers even if user code swallows the exception).
+class InjectedFault : public PeerFailedError {
+ public:
+  InjectedFault(int rank, std::uint64_t seq);
+};
+
+}  // namespace aeris::swipe

@@ -5,6 +5,9 @@
 
 namespace aeris::swipe {
 
+class Serializer;
+class Deserializer;
+
 /// ZeRO-1-like distributed optimizer (paper §VI-C: "a Zero1-like
 /// distributed optimizer ... designed using custom-built modules").
 ///
@@ -46,6 +49,16 @@ class Zero1Optimizer {
       std::size_t num_params, int group_size, int group_rank);
 
   nn::AdamW& inner() { return opt_; }
+
+  /// Serializes this rank's optimizer shard: the AdamW step clock plus the
+  /// first/second moments of parameters in shard (group_size, group_rank).
+  /// Only the shard is saved — non-shard moments are never updated under
+  /// the sharded step, so per-rank shards together cover all live state.
+  void checkpoint_shard(int group_size, int group_rank,
+                        Serializer& out) const;
+  /// Restores state written by checkpoint_shard for the same shard layout;
+  /// throws CheckpointError on any mismatch.
+  void restore_shard(int group_size, int group_rank, Deserializer& in);
 
  private:
   /// Reduce-scatter-sum grads over the shard boundaries and write my

@@ -1,0 +1,148 @@
+#include "aeris/swipe/checkpoint.hpp"
+
+#include <array>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+
+namespace aeris::swipe {
+namespace {
+
+constexpr std::array<char, 8> kMagic = {'A', 'E', 'R', 'I',
+                                        'S', 'C', 'K', 'P'};
+
+std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+}  // namespace
+
+std::uint32_t crc32(std::span<const std::uint8_t> data, std::uint32_t seed) {
+  static const std::array<std::uint32_t, 256> table = make_crc_table();
+  std::uint32_t c = seed ^ 0xFFFFFFFFu;
+  for (const std::uint8_t b : data) {
+    c = table[(c ^ b) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+void Serializer::write_raw(const void* p, std::size_t n) {
+  const auto* src = static_cast<const std::uint8_t*>(p);
+  bytes_.insert(bytes_.end(), src, src + n);
+}
+
+void Deserializer::read_raw(void* p, std::size_t n) {
+  if (n > bytes_.size() - pos_) {
+    throw CheckpointError("checkpoint payload truncated");
+  }
+  std::memcpy(p, bytes_.data() + pos_, n);
+  pos_ += n;
+}
+
+std::uint32_t Deserializer::read_u32() {
+  std::uint32_t v;
+  read_raw(&v, sizeof(v));
+  return v;
+}
+
+std::uint64_t Deserializer::read_u64() {
+  std::uint64_t v;
+  read_raw(&v, sizeof(v));
+  return v;
+}
+
+std::int64_t Deserializer::read_i64() {
+  std::int64_t v;
+  read_raw(&v, sizeof(v));
+  return v;
+}
+
+void Deserializer::read_floats_into(std::span<float> out) {
+  const std::uint64_t n = read_u64();
+  if (n != out.size()) {
+    char buf[128];
+    std::snprintf(buf, sizeof(buf),
+                  "checkpoint field size mismatch: stored %llu, expected %zu",
+                  static_cast<unsigned long long>(n), out.size());
+    throw CheckpointError(buf);
+  }
+  read_raw(out.data(), out.size() * sizeof(float));
+}
+
+void write_checkpoint_file(const std::string& path,
+                           std::span<const std::uint8_t> payload) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) throw CheckpointError("cannot open for write: " + tmp);
+    const std::uint32_t version = kCheckpointVersion;
+    const std::uint32_t crc = crc32(payload);
+    const std::uint64_t size = payload.size();
+    out.write(kMagic.data(), kMagic.size());
+    out.write(reinterpret_cast<const char*>(&version), sizeof(version));
+    out.write(reinterpret_cast<const char*>(&crc), sizeof(crc));
+    out.write(reinterpret_cast<const char*>(&size), sizeof(size));
+    out.write(reinterpret_cast<const char*>(payload.data()),
+              static_cast<std::streamsize>(payload.size()));
+    out.flush();
+    if (!out) throw CheckpointError("write failed: " + tmp);
+  }
+  // rename(2) is atomic within a filesystem: readers see either the old
+  // complete file or the new complete file, never a torn in-between.
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    throw CheckpointError("rename " + tmp + " -> " + path + ": " +
+                          ec.message());
+  }
+}
+
+std::vector<std::uint8_t> read_checkpoint_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw CheckpointError("cannot open checkpoint: " + path);
+  std::array<char, 8> magic;
+  std::uint32_t version = 0;
+  std::uint32_t crc = 0;
+  std::uint64_t size = 0;
+  in.read(magic.data(), magic.size());
+  in.read(reinterpret_cast<char*>(&version), sizeof(version));
+  in.read(reinterpret_cast<char*>(&crc), sizeof(crc));
+  in.read(reinterpret_cast<char*>(&size), sizeof(size));
+  if (!in || static_cast<std::size_t>(in.gcount()) != sizeof(size)) {
+    throw CheckpointError("checkpoint header truncated: " + path);
+  }
+  if (magic != kMagic) {
+    throw CheckpointError("bad checkpoint magic: " + path);
+  }
+  if (version != kCheckpointVersion) {
+    char buf[96];
+    std::snprintf(buf, sizeof(buf),
+                  "unsupported checkpoint version %u (expected %u)", version,
+                  kCheckpointVersion);
+    throw CheckpointError(std::string(buf) + ": " + path);
+  }
+  std::vector<std::uint8_t> payload(size);
+  in.read(reinterpret_cast<char*>(payload.data()),
+          static_cast<std::streamsize>(size));
+  if (static_cast<std::uint64_t>(in.gcount()) != size) {
+    throw CheckpointError("checkpoint payload truncated: " + path);
+  }
+  if (in.peek() != std::ifstream::traits_type::eof()) {
+    throw CheckpointError("trailing bytes after checkpoint payload: " + path);
+  }
+  if (crc32(payload) != crc) {
+    throw CheckpointError("checkpoint checksum mismatch: " + path);
+  }
+  return payload;
+}
+
+}  // namespace aeris::swipe

@@ -1,10 +1,14 @@
 #include "aeris/swipe/comm.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <stdexcept>
 #include <thread>
+
+#include "aeris/swipe/fault.hpp"
 
 namespace aeris::swipe {
 namespace {
@@ -12,6 +16,15 @@ namespace {
 // getenv is surprisingly expensive (libc lock + linear scan); read the
 // trace flag once per process instead of on every rank failure path.
 const bool kTraceEnabled = std::getenv("AERIS_TRACE") != nullptr;
+
+// Default receive deadline, read once per process. 0 = timeouts off.
+std::int64_t env_timeout_ms() {
+  static const std::int64_t v = [] {
+    const char* s = std::getenv("AERIS_COMM_TIMEOUT_MS");
+    return s ? static_cast<std::int64_t>(std::atoll(s)) : std::int64_t{0};
+  }();
+  return v;
+}
 
 // Ring hops are pipelined in sub-chunks of this many floats (64 KiB): a
 // receiver reduces sub-chunk k while sub-chunk k+1 is still in flight.
@@ -24,29 +37,200 @@ constexpr std::size_t kPipelineSubChunk = 16384;
 
 // ------------------------------------------------------------ PendingMsg
 
+void PendingMsg::require_usable(const char* op) const {
+  if (!valid_) {
+    throw std::logic_error(std::string("PendingMsg::") + op +
+                           ": default-constructed handle");
+  }
+  if (consumed_) {
+    throw std::logic_error(std::string("PendingMsg::") + op +
+                           ": handle already consumed by wait()");
+  }
+}
+
 bool PendingMsg::test() {
+  require_usable("test");
   if (done_) return true;
   if (world_->try_recv(dst_, src_, tag_, payload_)) done_ = true;
   return done_;
 }
 
 std::vector<float> PendingMsg::wait() {
+  require_usable("wait");
   if (!done_) {
     payload_ = world_->recv(dst_, src_, tag_);
     done_ = true;
   }
+  consumed_ = true;
   return std::move(payload_);
 }
 
 // ----------------------------------------------------------------- World
 
-World::World(int nranks) : nranks_(nranks), rank_bytes_(nranks) {
+World::World(int nranks)
+    : nranks_(nranks), rank_bytes_(nranks), send_seq_(nranks) {
   if (nranks <= 0) throw std::invalid_argument("World: nranks must be > 0");
   mailboxes_.reserve(static_cast<std::size_t>(nranks));
   for (int i = 0; i < nranks; ++i) {
     mailboxes_.push_back(std::make_unique<Mailbox>());
   }
+  timeout_ms_.store(env_timeout_ms(), std::memory_order_relaxed);
   reset_counters();
+}
+
+void World::set_fault_plan(std::shared_ptr<const FaultPlan> plan) {
+  for (auto& c : send_seq_) c.store(0, std::memory_order_relaxed);
+  fault_plan_ = std::move(plan);
+  fault_.store(fault_plan_.get(), std::memory_order_release);
+}
+
+const FaultEvent* World::next_send_fault(int src) {
+  const FaultPlan* plan = fault_.load(std::memory_order_acquire);
+  if (!plan) return nullptr;
+  const std::uint64_t seq = send_seq_[static_cast<std::size_t>(src)].fetch_add(
+      1, std::memory_order_relaxed);
+  const FaultEvent* ev = plan->match(src, seq);
+  if (ev && ev->kind == FaultKind::kKillRank) {
+    // The rank is dead to its peers from this instant, even if user code
+    // catches the exception below — exactly like a process kill.
+    poison(src, "injected kill");
+    throw InjectedFault(src, seq);
+  }
+  return ev;
+}
+
+bool World::apply_send_fault(const FaultEvent& ev, int /*src*/,
+                             std::uint64_t /*seq*/) {
+  switch (ev.kind) {
+    case FaultKind::kDropMsg:
+      return true;
+    case FaultKind::kDelayMsg:
+      std::this_thread::sleep_for(std::chrono::milliseconds(ev.delay_ms));
+      return false;
+    default:
+      return false;  // kill handled in next_send_fault, corrupt in callers
+  }
+}
+
+void World::poison(int rank, const std::string& why) {
+  {
+    std::lock_guard<std::mutex> lock(poison_mutex_);
+    // First failure wins: it is the root cause every PeerFailedError names.
+    if (!poisoned_.load(std::memory_order_relaxed)) {
+      failed_rank_.store(rank, std::memory_order_relaxed);
+      poison_why_ = why;
+      poisoned_.store(true, std::memory_order_release);
+    }
+  }
+  // Lock-then-notify so a waiter between its predicate check and cv.wait
+  // cannot miss the wakeup.
+  for (auto& box : mailboxes_) {
+    { std::lock_guard<std::mutex> lock(box->mutex); }
+    box->cv.notify_all();
+  }
+}
+
+void World::throw_peer_failed(const char* op, int rank, int src,
+                              std::uint64_t tag) const {
+  std::string why;
+  {
+    std::lock_guard<std::mutex> lock(poison_mutex_);
+    why = poison_why_;
+  }
+  const int failed = failed_rank_.load(std::memory_order_acquire);
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "%s: peer rank %d failed (%s); rank %d aborted op on "
+                "(src %d, tag %llu)",
+                op, failed, why.c_str(), rank, src,
+                static_cast<unsigned long long>(tag));
+  throw PeerFailedError(failed, buf);
+}
+
+void World::await_message(Mailbox& box, std::unique_lock<std::mutex>& lock,
+                          int dst, int src, std::uint64_t tag,
+                          const char* op) {
+  const auto key = std::make_pair(src, tag);
+  const auto ready = [&] {
+    const auto it = box.queues.find(key);
+    return it != box.queues.end() && !it->second.empty();
+  };
+  if (ready()) return;
+  box.blocked_op = op;
+  box.blocked_src = src;
+  box.blocked_tag = tag;
+  const std::int64_t timeout = timeout_ms_.load(std::memory_order_relaxed);
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(timeout);
+  for (;;) {
+    if (ready()) break;
+    if (poisoned_.load(std::memory_order_acquire)) {
+      box.blocked_op = nullptr;
+      lock.unlock();
+      throw_peer_failed(op, dst, src, tag);
+    }
+    if (timeout <= 0) {
+      box.cv.wait(lock);
+    } else if (box.cv.wait_until(lock, deadline) == std::cv_status::timeout &&
+               !ready() && !poisoned_.load(std::memory_order_acquire)) {
+      // Build the dump without our own mailbox lock held (deadlock_dump
+      // visits every mailbox, including this one), keeping the blocked-op
+      // diagnostics set so the dump shows the timed-out rank too.
+      lock.unlock();
+      std::string dump = deadlock_dump();
+      lock.lock();
+      box.blocked_op = nullptr;
+      lock.unlock();
+      char head[192];
+      std::snprintf(head, sizeof(head),
+                    "%s: rank %d timed out after %lld ms awaiting "
+                    "(src %d, tag %llu)",
+                    op, dst, static_cast<long long>(timeout), src,
+                    static_cast<unsigned long long>(tag));
+      throw CommTimeoutError(head, std::move(dump));
+    }
+  }
+  box.blocked_op = nullptr;
+}
+
+std::string World::deadlock_dump() const {
+  std::string out = "=== world state dump ===\n";
+  char line[192];
+  for (int r = 0; r < nranks_; ++r) {
+    Mailbox& box = *mailboxes_[static_cast<std::size_t>(r)];
+    std::lock_guard<std::mutex> lock(box.mutex);
+    if (box.blocked_op) {
+      std::snprintf(line, sizeof(line),
+                    "rank %d: blocked in %s awaiting (src %d, tag %llu)\n", r,
+                    box.blocked_op, box.blocked_src,
+                    static_cast<unsigned long long>(box.blocked_tag));
+    } else {
+      std::snprintf(line, sizeof(line), "rank %d: not blocked\n", r);
+    }
+    out += line;
+    int shown = 0;
+    for (const auto& [key, q] : box.queues) {
+      if (++shown > 8) {
+        out += "  ... more pending tags elided\n";
+        break;
+      }
+      std::snprintf(line, sizeof(line),
+                    "  pending: %zu msg(s) from src %d, tag %llu\n", q.size(),
+                    key.first, static_cast<unsigned long long>(key.second));
+      out += line;
+    }
+  }
+  static constexpr const char* kClassNames[kTrafficClasses] = {
+      "p2p",       "alltoall",       "allreduce", "broadcast",
+      "allgather", "reduce_scatter", "barrier"};
+  out += "bytes:";
+  for (int t = 0; t < kTrafficClasses; ++t) {
+    std::snprintf(line, sizeof(line), " %s=%lld", kClassNames[t],
+                  static_cast<long long>(bytes(static_cast<Traffic>(t))));
+    out += line;
+  }
+  out += "\n";
+  return out;
 }
 
 namespace {
@@ -69,8 +253,25 @@ void World::send(int src, int dst, std::uint64_t tag,
   if (dst < 0 || dst >= nranks_ || src < 0 || src >= nranks_) {
     throw std::invalid_argument("send: rank out of range");
   }
-  rank_bytes_[static_cast<std::size_t>(src)][static_cast<int>(traffic)] +=
-      static_cast<std::int64_t>(payload.size() * sizeof(float));
+  // Sends propagate failure too: a poisoned world means the receiving side
+  // may never drain, so abort instead of silently stuffing mailboxes.
+  if (poisoned_.load(std::memory_order_acquire)) {
+    throw_peer_failed("send", src, dst, tag);
+  }
+  if (const FaultEvent* ev = next_send_fault(src)) {
+    if (ev->kind == FaultKind::kCorruptPayload && !payload.empty()) {
+      std::uint32_t bits;
+      std::memcpy(&bits, payload.data(), sizeof(bits));
+      bits ^= ev->corrupt_xor;
+      std::memcpy(payload.data(), &bits, sizeof(bits));
+    }
+    rank_bytes_[static_cast<std::size_t>(src)][static_cast<int>(traffic)] +=
+        static_cast<std::int64_t>(payload.size() * sizeof(float));
+    if (apply_send_fault(*ev, src, 0)) return;  // dropped: charged, not sent
+  } else {
+    rank_bytes_[static_cast<std::size_t>(src)][static_cast<int>(traffic)] +=
+        static_cast<std::int64_t>(payload.size() * sizeof(float));
+  }
   Mailbox& box = *mailboxes_[static_cast<std::size_t>(dst)];
   {
     std::lock_guard<std::mutex> lock(box.mutex);
@@ -87,8 +288,27 @@ void World::send_shared(int src, int dst, std::uint64_t tag,
   if (dst < 0 || dst >= nranks_ || src < 0 || src >= nranks_) {
     throw std::invalid_argument("send_shared: rank out of range");
   }
-  rank_bytes_[static_cast<std::size_t>(src)][static_cast<int>(traffic)] +=
-      static_cast<std::int64_t>(payload->size() * sizeof(float));
+  if (poisoned_.load(std::memory_order_acquire)) {
+    throw_peer_failed("send_shared", src, dst, tag);
+  }
+  if (const FaultEvent* ev = next_send_fault(src)) {
+    if (ev->kind == FaultKind::kCorruptPayload && !payload->empty()) {
+      // Sibling receivers of this fan-out share the buffer; corrupt a
+      // private clone so only this destination sees the flipped bit.
+      auto corrupted = std::make_shared<std::vector<float>>(*payload);
+      std::uint32_t bits;
+      std::memcpy(&bits, corrupted->data(), sizeof(bits));
+      bits ^= ev->corrupt_xor;
+      std::memcpy(corrupted->data(), &bits, sizeof(bits));
+      payload = std::move(corrupted);
+    }
+    rank_bytes_[static_cast<std::size_t>(src)][static_cast<int>(traffic)] +=
+        static_cast<std::int64_t>(payload->size() * sizeof(float));
+    if (apply_send_fault(*ev, src, 0)) return;
+  } else {
+    rank_bytes_[static_cast<std::size_t>(src)][static_cast<int>(traffic)] +=
+        static_cast<std::int64_t>(payload->size() * sizeof(float));
+  }
   Mailbox& box = *mailboxes_[static_cast<std::size_t>(dst)];
   {
     std::lock_guard<std::mutex> lock(box.mutex);
@@ -102,12 +322,8 @@ std::shared_ptr<const std::vector<float>> World::recv_shared(
     int dst, int src, std::uint64_t tag) {
   Mailbox& box = *mailboxes_[static_cast<std::size_t>(dst)];
   std::unique_lock<std::mutex> lock(box.mutex);
-  const auto key = std::make_pair(src, tag);
-  box.cv.wait(lock, [&] {
-    auto it = box.queues.find(key);
-    return it != box.queues.end() && !it->second.empty();
-  });
-  auto it = box.queues.find(key);
+  await_message(box, lock, dst, src, tag, "recv_shared");
+  auto it = box.queues.find(std::make_pair(src, tag));
   std::shared_ptr<const std::vector<float>> payload =
       std::move(it->second.front().data);
   it->second.pop_front();
@@ -118,12 +334,8 @@ std::shared_ptr<const std::vector<float>> World::recv_shared(
 std::vector<float> World::recv(int dst, int src, std::uint64_t tag) {
   Mailbox& box = *mailboxes_[static_cast<std::size_t>(dst)];
   std::unique_lock<std::mutex> lock(box.mutex);
-  const auto key = std::make_pair(src, tag);
-  box.cv.wait(lock, [&] {
-    auto it = box.queues.find(key);
-    return it != box.queues.end() && !it->second.empty();
-  });
-  auto it = box.queues.find(key);
+  await_message(box, lock, dst, src, tag, "recv");
+  auto it = box.queues.find(std::make_pair(src, tag));
   Msg msg = std::move(it->second.front());
   it->second.pop_front();
   if (it->second.empty()) box.queues.erase(it);
@@ -136,7 +348,7 @@ PendingMsg World::isend(int src, int dst, std::uint64_t tag,
   // Mailbox sends are buffered: the transfer "completes" at enqueue time,
   // so the handle is born done (MPI_Ibsend semantics).
   send(src, dst, tag, std::move(payload), traffic);
-  return PendingMsg();
+  return PendingMsg(this);
 }
 
 PendingMsg World::irecv(int dst, int src, std::uint64_t tag) {
@@ -153,7 +365,14 @@ bool World::try_recv(int dst, int src, std::uint64_t tag,
   {
     std::lock_guard<std::mutex> lock(box.mutex);
     const auto it = box.queues.find(std::make_pair(src, tag));
-    if (it == box.queues.end() || it->second.empty()) return false;
+    if (it == box.queues.end() || it->second.empty()) {
+      // A queued message is still deliverable after a failure; only an
+      // unsatisfiable poll propagates it (the sender may never come).
+      if (poisoned_.load(std::memory_order_acquire)) {
+        throw_peer_failed("try_recv", dst, src, tag);
+      }
+      return false;
+    }
     msg = std::move(it->second.front());
     it->second.pop_front();
     if (it->second.empty()) box.queues.erase(it);
@@ -184,8 +403,13 @@ void World::reset_counters() {
 void World::run(const std::function<void(int)>& fn) {
   std::vector<std::thread> threads;
   threads.reserve(static_cast<std::size_t>(nranks_));
-  std::exception_ptr error;
+  std::exception_ptr root_cause;
+  bool root_is_secondary = false;
   std::mutex error_mutex;
+  {
+    std::lock_guard<std::mutex> lock(poison_mutex_);
+    failures_.clear();
+  }
   for (int r = 0; r < nranks_; ++r) {
     threads.emplace_back([&, r] {
       try {
@@ -194,16 +418,40 @@ void World::run(const std::function<void(int)>& fn) {
         if (kTraceEnabled) {
           fprintf(stderr, "[world] rank %d threw: %s\n", r, e.what());
         }
-        std::lock_guard<std::mutex> lock(error_mutex);
-        if (!error) error = std::current_exception();
+        // An escaped exception means this rank will never send again:
+        // poison so peers blocked on it fail fast instead of hanging.
+        poison(r, std::string("uncaught exception: ") + e.what());
+        // A plain PeerFailedError is a consequence of someone else's death,
+        // not a cause (an InjectedFault is the death itself) — prefer the
+        // originating exception as the one run() rethrows.
+        const bool secondary =
+            dynamic_cast<const PeerFailedError*>(&e) != nullptr &&
+            dynamic_cast<const InjectedFault*>(&e) == nullptr;
+        {
+          std::lock_guard<std::mutex> lock(error_mutex);
+          if (!root_cause || (root_is_secondary && !secondary)) {
+            root_cause = std::current_exception();
+            root_is_secondary = secondary;
+          }
+        }
+        std::lock_guard<std::mutex> lock(poison_mutex_);
+        failures_.push_back(RankFailure{r, e.what()});
       } catch (...) {
-        std::lock_guard<std::mutex> lock(error_mutex);
-        if (!error) error = std::current_exception();
+        poison(r, "uncaught non-standard exception");
+        {
+          std::lock_guard<std::mutex> lock(error_mutex);
+          if (!root_cause || root_is_secondary) {
+            root_cause = std::current_exception();
+            root_is_secondary = false;
+          }
+        }
+        std::lock_guard<std::mutex> lock(poison_mutex_);
+        failures_.push_back(RankFailure{r, "(non-standard exception)"});
       }
     });
   }
   for (auto& t : threads) t.join();
-  if (error) std::rethrow_exception(error);
+  if (root_cause) std::rethrow_exception(root_cause);
 }
 
 // ---------------------------------------------------------- Communicator

@@ -3,10 +3,12 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <numeric>
 #include <stdexcept>
 
 #include "aeris/nn/embedding.hpp"
+#include "aeris/swipe/checkpoint.hpp"
 #include "aeris/tensor/ops.hpp"
 
 namespace aeris::swipe {
@@ -714,6 +716,49 @@ float SwipeEngine::train_step(const DataFn& data, std::int64_t images_seen) {
   std::vector<float> loss_buf = {loss_accum_};
   everyone_.allreduce_sum(loss_buf);
   return loss_buf[0] / static_cast<float>(cfg_.grid.dp * cfg_.microbatches);
+}
+
+// ----------------------------------------------------------- checkpoints
+
+std::string SwipeEngine::checkpoint_path(const std::string& dir, int rank) {
+  return dir + "/rank" + std::to_string(rank) + ".ckpt";
+}
+
+void SwipeEngine::save_checkpoint(const std::string& dir,
+                                  std::int64_t images_seen) const {
+  std::filesystem::create_directories(dir);
+  Serializer s;
+  s.write_i64(images_seen);
+  s.write_u64(static_cast<std::uint64_t>(topo_.rank()));
+  s.write_u64(params_.size());
+  for (const nn::Param* p : params_) {
+    s.write_floats(p->value.flat());
+  }
+  opt_->checkpoint_shard(replicas_.size(), replicas_.rank(), s);
+  write_checkpoint_file(checkpoint_path(dir, topo_.rank()),
+                        std::span<const std::uint8_t>(s.bytes()));
+}
+
+std::int64_t SwipeEngine::load_checkpoint(const std::string& dir) {
+  const std::vector<std::uint8_t> payload =
+      read_checkpoint_file(checkpoint_path(dir, topo_.rank()));
+  Deserializer d{std::span<const std::uint8_t>(payload)};
+  const std::int64_t images_seen = d.read_i64();
+  if (d.read_u64() != static_cast<std::uint64_t>(topo_.rank())) {
+    throw CheckpointError("checkpoint belongs to a different rank");
+  }
+  if (d.read_u64() != params_.size()) {
+    throw CheckpointError(
+        "checkpoint stage parameter count mismatch (different topology?)");
+  }
+  for (nn::Param* p : params_) {
+    d.read_floats_into(p->value.flat());
+  }
+  opt_->restore_shard(replicas_.size(), replicas_.rank(), d);
+  if (!d.exhausted()) {
+    throw CheckpointError("trailing bytes in checkpoint payload");
+  }
+  return images_seen;
 }
 
 }  // namespace aeris::swipe

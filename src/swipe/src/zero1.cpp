@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "aeris/swipe/checkpoint.hpp"
+
 namespace aeris::swipe {
 
 Zero1Optimizer::Zero1Optimizer(nn::ParamList params, nn::AdamW::Options opts)
@@ -146,6 +148,32 @@ void Zero1Optimizer::update_and_allgather(Communicator& group, float lr) {
                                 params_[i]->value.flat().data() + first);
                     });
       });
+}
+
+void Zero1Optimizer::checkpoint_shard(int group_size, int group_rank,
+                                      Serializer& out) const {
+  const auto [begin, end] = shard_range(params_.size(), group_size, group_rank);
+  out.write_i64(opt_.steps_taken());
+  out.write_u64(begin);
+  out.write_u64(end);
+  for (std::size_t i = begin; i < end; ++i) {
+    out.write_floats(opt_.moment1(i).flat());
+    out.write_floats(opt_.moment2(i).flat());
+  }
+}
+
+void Zero1Optimizer::restore_shard(int group_size, int group_rank,
+                                   Deserializer& in) {
+  const auto [begin, end] = shard_range(params_.size(), group_size, group_rank);
+  opt_.set_steps_taken(in.read_i64());
+  if (in.read_u64() != begin || in.read_u64() != end) {
+    throw CheckpointError(
+        "optimizer shard range mismatch (different group layout?)");
+  }
+  for (std::size_t i = begin; i < end; ++i) {
+    in.read_floats_into(opt_.moment1(i).flat());
+    in.read_floats_into(opt_.moment2(i).flat());
+  }
 }
 
 void Zero1Optimizer::step(Communicator& group, float lr, float grad_scale) {

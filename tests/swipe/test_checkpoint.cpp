@@ -1,0 +1,348 @@
+#include "aeris/swipe/checkpoint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "aeris/swipe/engine.hpp"
+#include "aeris/swipe/fault.hpp"
+
+namespace aeris::swipe {
+namespace {
+
+namespace fs = std::filesystem;
+
+// Unique scratch directory per test, removed on scope exit.
+struct ScratchDir {
+  fs::path path;
+  explicit ScratchDir(const std::string& name)
+      : path(fs::temp_directory_path() /
+             ("aeris_ckpt_test_" + name + "_" +
+              std::to_string(::getpid()))) {
+    fs::remove_all(path);
+    fs::create_directories(path);
+  }
+  ~ScratchDir() { fs::remove_all(path); }
+};
+
+std::vector<std::uint8_t> file_bytes(const std::string& p) {
+  std::ifstream in(p, std::ios::binary);
+  return std::vector<std::uint8_t>(std::istreambuf_iterator<char>(in),
+                                   std::istreambuf_iterator<char>());
+}
+
+void put_bytes(const std::string& p, const std::vector<std::uint8_t>& b) {
+  std::ofstream out(p, std::ios::binary | std::ios::trunc);
+  out.write(reinterpret_cast<const char*>(b.data()),
+            static_cast<std::streamsize>(b.size()));
+}
+
+TEST(Checkpoint, SerializerRoundTrip) {
+  Serializer s;
+  s.write_u32(0xDEADBEEFu);
+  s.write_i64(-42);
+  s.write_u64(1ull << 50);
+  const std::vector<float> f = {1.5f, -2.25f, 0.0f};
+  s.write_floats(f);
+
+  Deserializer d{std::span<const std::uint8_t>(s.bytes())};
+  EXPECT_EQ(d.read_u32(), 0xDEADBEEFu);
+  EXPECT_EQ(d.read_i64(), -42);
+  EXPECT_EQ(d.read_u64(), 1ull << 50);
+  std::vector<float> out(3);
+  d.read_floats_into(out);
+  EXPECT_EQ(out, f);
+  EXPECT_TRUE(d.exhausted());
+}
+
+TEST(Checkpoint, DeserializerRejectsTruncationAndShapeMismatch) {
+  Serializer s;
+  s.write_floats(std::vector<float>{1.0f, 2.0f});
+  {
+    Deserializer d{std::span<const std::uint8_t>(s.bytes())};
+    std::vector<float> wrong(3);
+    EXPECT_THROW(d.read_floats_into(wrong), CheckpointError);
+  }
+  {
+    const std::span<const std::uint8_t> cut(s.bytes().data(),
+                                            s.bytes().size() - 1);
+    Deserializer d{cut};
+    std::vector<float> out(2);
+    EXPECT_THROW(d.read_floats_into(out), CheckpointError);
+  }
+}
+
+TEST(Checkpoint, FileRoundTripAndAtomicity) {
+  ScratchDir dir("roundtrip");
+  const std::string path = (dir.path / "a.ckpt").string();
+  Serializer s;
+  s.write_i64(123);
+  s.write_floats(std::vector<float>{3.0f, 4.0f});
+  write_checkpoint_file(path, std::span<const std::uint8_t>(s.bytes()));
+  // The tmp staging file never survives a successful write.
+  EXPECT_FALSE(fs::exists(path + ".tmp"));
+
+  const std::vector<std::uint8_t> payload = read_checkpoint_file(path);
+  EXPECT_EQ(payload, s.bytes());
+
+  // Overwrite is atomic too: the second write fully replaces the first.
+  Serializer s2;
+  s2.write_i64(456);
+  write_checkpoint_file(path, std::span<const std::uint8_t>(s2.bytes()));
+  EXPECT_EQ(read_checkpoint_file(path), s2.bytes());
+}
+
+// Torn or corrupted checkpoints are rejected — never loaded as garbage.
+TEST(Checkpoint, TruncatedFileIsRejected) {
+  ScratchDir dir("truncated");
+  const std::string path = (dir.path / "a.ckpt").string();
+  Serializer s;
+  s.write_floats(std::vector<float>(64, 7.0f));
+  write_checkpoint_file(path, std::span<const std::uint8_t>(s.bytes()));
+
+  std::vector<std::uint8_t> bytes = file_bytes(path);
+  bytes.resize(bytes.size() / 2);  // torn mid-payload
+  put_bytes(path, bytes);
+  EXPECT_THROW(read_checkpoint_file(path), CheckpointError);
+
+  bytes.resize(10);  // torn mid-header
+  put_bytes(path, bytes);
+  EXPECT_THROW(read_checkpoint_file(path), CheckpointError);
+}
+
+TEST(Checkpoint, BitFlipFailsTheChecksum) {
+  ScratchDir dir("bitflip");
+  const std::string path = (dir.path / "a.ckpt").string();
+  Serializer s;
+  s.write_floats(std::vector<float>(64, 7.0f));
+  write_checkpoint_file(path, std::span<const std::uint8_t>(s.bytes()));
+
+  std::vector<std::uint8_t> bytes = file_bytes(path);
+  bytes[bytes.size() - 1] ^= 0x01;  // flip one payload bit
+  put_bytes(path, bytes);
+  try {
+    read_checkpoint_file(path);
+    FAIL() << "corrupted checkpoint was loaded";
+  } catch (const CheckpointError& e) {
+    EXPECT_NE(std::string(e.what()).find("checksum"), std::string::npos);
+  }
+}
+
+TEST(Checkpoint, BadMagicAndVersionAreRejected) {
+  ScratchDir dir("magic");
+  const std::string path = (dir.path / "a.ckpt").string();
+  Serializer s;
+  s.write_i64(1);
+  write_checkpoint_file(path, std::span<const std::uint8_t>(s.bytes()));
+
+  std::vector<std::uint8_t> bytes = file_bytes(path);
+  bytes[0] = 'X';
+  put_bytes(path, bytes);
+  EXPECT_THROW(read_checkpoint_file(path), CheckpointError);
+
+  bytes = file_bytes(path);
+  bytes[0] = 'A';
+  bytes[8] = 0xFF;  // absurd version
+  put_bytes(path, bytes);
+  EXPECT_THROW(read_checkpoint_file(path), CheckpointError);
+
+  EXPECT_THROW(read_checkpoint_file((dir.path / "missing.ckpt").string()),
+               CheckpointError);
+}
+
+// ------------------------------------------------- engine checkpoint tests
+
+core::ModelConfig ckpt_model() {
+  core::ModelConfig m;
+  m.h = 8;
+  m.w = 8;
+  m.out_channels = 2;
+  m.in_channels = 2 * 2 + 1;
+  m.dim = 16;
+  m.depth = 2;
+  m.heads = 4;
+  m.ffn_hidden = 32;
+  m.win_h = 4;
+  m.win_w = 4;
+  m.cond_dim = 16;
+  m.time_features = 8;
+  return m;
+}
+
+EngineConfig ckpt_config() {
+  EngineConfig ec;
+  ec.model = ckpt_model();
+  ec.grid = SwipeGrid{/*dp=*/2, /*pp=*/static_cast<int>(ec.model.depth) + 2,
+                      /*wp_a=*/1, /*wp_b=*/1, /*sp=*/1};
+  ec.train.objective = core::Objective::kTrigFlow;
+  ec.train.schedule.peak = 1e-3f;
+  ec.train.schedule.warmup = 1;
+  ec.train.schedule.total = 1'000'000;
+  ec.train.schedule.decay = 10;
+  ec.train.seed = 11;
+  ec.microbatches = 1;
+  return ec;
+}
+
+core::TrainExample ckpt_example(const core::ModelConfig& m,
+                                std::int64_t idx) {
+  Philox rng(555);
+  core::TrainExample ex;
+  ex.prev = Tensor({m.h, m.w, m.out_channels});
+  rng.fill_normal(ex.prev, 1, static_cast<std::uint64_t>(idx));
+  ex.target = Tensor({m.h, m.w, m.out_channels});
+  for (std::int64_t r = 0; r < m.h; ++r) {
+    for (std::int64_t c = 0; c < m.w; ++c) {
+      for (std::int64_t v = 0; v < m.out_channels; ++v) {
+        ex.target.at3(r, c, v) = ex.prev.at3(r, (c + m.w - 1) % m.w, v) + 0.05f;
+      }
+    }
+  }
+  ex.forcings = Tensor({m.h, m.w, 1}, 0.25f);
+  return ex;
+}
+
+// The full recovery story, end to end and bitwise:
+//   1. an uninterrupted run records per-step losses (the ground truth);
+//   2. a second run saves checkpoints each step, then an injected kill
+//      takes a rank down mid-step — every rank surfaces the failure;
+//   3. a fresh world restores from the last committed checkpoint and
+//      resumes — and its losses match the uninterrupted run bit for bit.
+TEST(Checkpoint, SaveKillRestoreIsBitwiseIdentical) {
+  const EngineConfig ec = ckpt_config();
+  const int batch = ec.grid.dp * ec.microbatches;
+  const DataFn data = [&](std::int64_t s) {
+    return ckpt_example(ec.model, s);
+  };
+  constexpr int kSteps = 5;        // total steps in the ground-truth run
+  constexpr int kHealthySteps = 2; // steps completed before the fault
+
+  // --- phase 1: uninterrupted ground truth ---
+  std::vector<float> truth(kSteps);
+  {
+    World world(ec.grid.world_size());
+    world.run([&](int rank) {
+      SwipeEngine engine(world, ec, rank);
+      for (int s = 0; s < kSteps; ++s) {
+        const float loss =
+            engine.train_step(data, static_cast<std::int64_t>(s) * batch);
+        if (rank == 0) truth[static_cast<std::size_t>(s)] = loss;
+      }
+    });
+  }
+
+  ScratchDir dir("resume");
+  const auto step_dir = [&](int s) {
+    return (dir.path / ("step" + std::to_string(s))).string();
+  };
+
+  // --- phase 2: train with per-step checkpoints, healthy ---
+  {
+    World world(ec.grid.world_size());
+    std::vector<float> losses(kHealthySteps);
+    world.run([&](int rank) {
+      SwipeEngine engine(world, ec, rank);
+      for (int s = 0; s < kHealthySteps; ++s) {
+        const float loss =
+            engine.train_step(data, static_cast<std::int64_t>(s) * batch);
+        if (rank == 0) losses[static_cast<std::size_t>(s)] = loss;
+        engine.save_checkpoint(step_dir(s),
+                               static_cast<std::int64_t>(s + 1) * batch);
+      }
+    });
+    for (int s = 0; s < kHealthySteps; ++s) {
+      EXPECT_EQ(losses[static_cast<std::size_t>(s)],
+                truth[static_cast<std::size_t>(s)])
+          << "healthy phase diverged at step " << s;
+    }
+  }
+
+  // --- phase 3: resume on a fresh world, killed mid-step ---
+  {
+    World world(ec.grid.world_size());
+    auto plan = std::make_shared<FaultPlan>();
+    plan->add(FaultEvent{FaultKind::kKillRank, /*rank=*/3, /*nth_send=*/5});
+    world.set_fault_plan(plan);
+    EXPECT_THROW(world.run([&](int rank) {
+      SwipeEngine engine(world, ec, rank);
+      const std::int64_t images = engine.load_checkpoint(
+          step_dir(kHealthySteps - 1));
+      EXPECT_EQ(images, static_cast<std::int64_t>(kHealthySteps) * batch);
+      (void)engine.train_step(data, images);
+      // The kill fires during this step; nobody gets here.
+    }),
+                 PeerFailedError);
+    EXPECT_TRUE(world.poisoned());
+    EXPECT_EQ(world.failed_rank(), 3);
+  }
+
+  // --- phase 4: re-form the world, restore, resume — bitwise ---
+  {
+    World world(ec.grid.world_size());
+    std::vector<float> losses(kSteps, 0.0f);
+    world.run([&](int rank) {
+      SwipeEngine engine(world, ec, rank);
+      std::int64_t images =
+          engine.load_checkpoint(step_dir(kHealthySteps - 1));
+      for (int s = kHealthySteps; s < kSteps; ++s) {
+        const float loss = engine.train_step(data, images);
+        images += batch;
+        if (rank == 0) losses[static_cast<std::size_t>(s)] = loss;
+      }
+    });
+    for (int s = kHealthySteps; s < kSteps; ++s) {
+      EXPECT_EQ(losses[static_cast<std::size_t>(s)],
+                truth[static_cast<std::size_t>(s)])
+          << "post-restore trajectory diverged at step " << s;
+    }
+  }
+}
+
+// A corrupted engine checkpoint is rejected before any state is applied
+// in a way that could be mistaken for success.
+TEST(Checkpoint, EngineRejectsCorruptedCheckpoint) {
+  const EngineConfig ec = ckpt_config();
+  const DataFn data = [&](std::int64_t s) {
+    return ckpt_example(ec.model, s);
+  };
+  ScratchDir dir("corrupt_engine");
+  const std::string cdir = (dir.path / "ckpt").string();
+
+  World world(ec.grid.world_size());
+  world.run([&](int rank) {
+    SwipeEngine engine(world, ec, rank);
+    (void)engine.train_step(data, 0);
+    engine.save_checkpoint(cdir, ec.grid.dp * ec.microbatches);
+  });
+
+  // Flip a byte in rank 0's file; only rank 0's load must fail.
+  const std::string victim = SwipeEngine::checkpoint_path(cdir, 0);
+  std::vector<std::uint8_t> bytes = file_bytes(victim);
+  bytes[bytes.size() / 2] ^= 0x10;
+  put_bytes(victim, bytes);
+
+  World world2(ec.grid.world_size());
+  std::vector<int> ok(static_cast<std::size_t>(world2.size()), -1);
+  world2.run([&](int rank) {
+    SwipeEngine engine(world2, ec, rank);
+    try {
+      (void)engine.load_checkpoint(cdir);
+      ok[static_cast<std::size_t>(rank)] = 1;
+    } catch (const CheckpointError&) {
+      ok[static_cast<std::size_t>(rank)] = 0;
+    }
+  });
+  EXPECT_EQ(ok[0], 0) << "corrupted checkpoint loaded";
+  for (int r = 1; r < world2.size(); ++r) {
+    EXPECT_EQ(ok[static_cast<std::size_t>(r)], 1) << "rank " << r;
+  }
+}
+
+}  // namespace
+}  // namespace aeris::swipe

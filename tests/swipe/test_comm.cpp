@@ -460,5 +460,32 @@ TEST(Comm, RequiresMembership) {
   EXPECT_THROW(Communicator(world, {1}, 0, 1), std::invalid_argument);
 }
 
+// Handles are single-use: misuse throws instead of silently returning a
+// stale or empty payload.
+TEST(PendingMsg, DefaultConstructedHandleThrowsOnUse) {
+  PendingMsg h;
+  EXPECT_THROW(h.test(), std::logic_error);
+  EXPECT_THROW(h.wait(), std::logic_error);
+}
+
+TEST(PendingMsg, WaitConsumesTheHandle) {
+  World world(2);
+  world.send(1, 0, /*tag=*/4, {1.0f, 2.0f});
+  PendingMsg h = world.irecv(0, 1, /*tag=*/4);
+  EXPECT_EQ(h.wait(), std::vector<float>({1.0f, 2.0f}));
+  EXPECT_THROW(h.wait(), std::logic_error);
+  EXPECT_THROW(h.test(), std::logic_error);
+}
+
+TEST(PendingMsg, ConsumedIsendHandleThrowsToo) {
+  World world(2);
+  PendingMsg h = world.isend(0, 1, /*tag=*/4, {1.0f});
+  EXPECT_TRUE(h.test());  // repeated polling before wait() is fine
+  EXPECT_TRUE(h.test());
+  EXPECT_TRUE(h.wait().empty());
+  EXPECT_THROW(h.wait(), std::logic_error);
+  EXPECT_THROW(h.test(), std::logic_error);
+}
+
 }  // namespace
 }  // namespace aeris::swipe

@@ -1,0 +1,264 @@
+#include "aeris/swipe/fault.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <vector>
+
+namespace aeris::swipe {
+namespace {
+
+// The headline robustness claim: an injected rank-kill during a collective
+// surfaces as PeerFailedError on EVERY surviving rank — nobody hangs.
+TEST(Fault, KillDuringCollectivePropagatesToEverySurvivor) {
+  constexpr int kRanks = 4;
+  constexpr int kVictim = 1;
+  World world(kRanks);
+  auto plan = std::make_shared<FaultPlan>();
+  plan->add(FaultEvent{FaultKind::kKillRank, kVictim, /*nth_send=*/5});
+  world.set_fault_plan(plan);
+
+  enum class Outcome { kNone, kFinished, kInjected, kPeerFailed, kOther };
+  std::vector<Outcome> outcome(kRanks, Outcome::kNone);
+  std::vector<int> blamed(kRanks, -2);
+
+  EXPECT_THROW(
+      world.run([&](int rank) {
+        Communicator comm(world, {0, 1, 2, 3}, rank, /*group_tag=*/1);
+        try {
+          // Enough rounds that every survivor eventually needs a message
+          // the dead rank will never send.
+          std::vector<float> data(1024, static_cast<float>(rank));
+          for (int iter = 0; iter < 64; ++iter) comm.allreduce_sum(data);
+          outcome[static_cast<std::size_t>(rank)] = Outcome::kFinished;
+        } catch (const InjectedFault& e) {
+          outcome[static_cast<std::size_t>(rank)] = Outcome::kInjected;
+          blamed[static_cast<std::size_t>(rank)] = e.failed_rank();
+          throw;
+        } catch (const PeerFailedError& e) {
+          outcome[static_cast<std::size_t>(rank)] = Outcome::kPeerFailed;
+          blamed[static_cast<std::size_t>(rank)] = e.failed_rank();
+          throw;
+        }
+      }),
+      PeerFailedError);
+
+  EXPECT_EQ(outcome[kVictim], Outcome::kInjected);
+  for (int r = 0; r < kRanks; ++r) {
+    if (r == kVictim) continue;
+    EXPECT_EQ(outcome[static_cast<std::size_t>(r)], Outcome::kPeerFailed)
+        << "rank " << r << " did not observe the failure";
+  }
+  for (int r = 0; r < kRanks; ++r) {
+    EXPECT_EQ(blamed[static_cast<std::size_t>(r)], kVictim) << "rank " << r;
+  }
+  EXPECT_TRUE(world.poisoned());
+  EXPECT_EQ(world.failed_rank(), kVictim);
+  // Every rank's failure is recorded with its id (satellite: aggregation).
+  EXPECT_EQ(world.failures().size(), static_cast<std::size_t>(kRanks));
+}
+
+// Even if user code swallows the InjectedFault, the world is already
+// poisoned — the rank is dead to its peers, exactly like a process kill.
+TEST(Fault, SwallowedKillStillPoisonsTheWorld) {
+  World world(2);
+  auto plan = std::make_shared<FaultPlan>();
+  plan->add(FaultEvent{FaultKind::kKillRank, /*rank=*/1, /*nth_send=*/0});
+  world.set_fault_plan(plan);
+
+  std::atomic<bool> peer_saw_failure{false};
+  world.run([&](int rank) {
+    if (rank == 1) {
+      try {
+        world.send(1, 0, /*tag=*/7, {1.0f});
+      } catch (const InjectedFault&) {
+        // swallowed on purpose
+      }
+      return;
+    }
+    try {
+      (void)world.recv(0, 1, /*tag=*/7);
+    } catch (const PeerFailedError& e) {
+      peer_saw_failure = true;
+      EXPECT_EQ(e.failed_rank(), 1);
+    }
+  });
+  EXPECT_TRUE(peer_saw_failure);
+}
+
+// Same seed, same schedule: the failing op is reproducible run-to-run.
+TEST(Fault, PlanIsDeterministicForASeed) {
+  const FaultPlan a = FaultPlan::random(42, 8, 5, 100);
+  const FaultPlan b = FaultPlan::random(42, 8, 5, 100);
+  ASSERT_EQ(a.events().size(), b.events().size());
+  for (std::size_t i = 0; i < a.events().size(); ++i) {
+    EXPECT_EQ(a.events()[i], b.events()[i]) << "event " << i;
+  }
+  const FaultPlan c = FaultPlan::random(43, 8, 5, 100);
+  bool any_differ = false;
+  for (std::size_t i = 0; i < a.events().size(); ++i) {
+    if (!(a.events()[i] == c.events()[i])) any_differ = true;
+  }
+  EXPECT_TRUE(any_differ) << "different seeds produced identical plans";
+}
+
+// Run-to-run determinism end to end: the same plan kills the same rank at
+// the same send ordinal, producing an identical error message twice.
+TEST(Fault, SameSeedFailsTheSameWayTwice) {
+  const FaultPlan seeded =
+      FaultPlan::random(/*seed=*/7, /*nranks=*/3, /*n_events=*/1,
+                        /*max_send=*/4);
+  std::vector<std::string> messages;
+  for (int run = 0; run < 2; ++run) {
+    World world(3);
+    world.set_fault_plan(std::make_shared<FaultPlan>(seeded));
+    try {
+      world.run([&](int rank) {
+        Communicator comm(world, {0, 1, 2}, rank, 1);
+        std::vector<float> data(64, 1.0f);
+        for (int iter = 0; iter < 16; ++iter) comm.allreduce_sum(data);
+      });
+      FAIL() << "kill did not fire";
+    } catch (const PeerFailedError& e) {
+      messages.push_back(e.what());
+    }
+  }
+  ASSERT_EQ(messages.size(), 2u);
+  EXPECT_EQ(messages[0], messages[1]);
+  EXPECT_NE(messages[0].find("injected kill"), std::string::npos);
+}
+
+TEST(Fault, DroppedMessageIsChargedButNeverDelivered) {
+  World world(2);
+  auto plan = std::make_shared<FaultPlan>();
+  plan->add(FaultEvent{FaultKind::kDropMsg, /*rank=*/0, /*nth_send=*/0});
+  world.set_fault_plan(plan);
+
+  world.send(0, 1, /*tag=*/1, {1.0f, 2.0f, 3.0f});  // dropped
+  world.send(0, 1, /*tag=*/2, {4.0f});              // delivered
+  PendingMsg dropped = world.irecv(1, 0, /*tag=*/1);
+  EXPECT_FALSE(dropped.test());
+  EXPECT_EQ(world.recv(1, 0, /*tag=*/2), std::vector<float>({4.0f}));
+  // The network model still charges the dropped bytes: they were sent.
+  EXPECT_EQ(world.bytes(Traffic::kP2P),
+            static_cast<std::int64_t>(4 * sizeof(float)));
+}
+
+TEST(Fault, CorruptedPayloadFlipsOneBit) {
+  World world(2);
+  auto plan = std::make_shared<FaultPlan>();
+  plan->add(
+      FaultEvent{FaultKind::kCorruptPayload, /*rank=*/0, /*nth_send=*/0});
+  world.set_fault_plan(plan);
+
+  world.send(0, 1, /*tag=*/1, {1.0f, 2.0f});
+  const std::vector<float> got = world.recv(1, 0, /*tag=*/1);
+  ASSERT_EQ(got.size(), 2u);
+  // The default mask (0x00800000) flips a mantissa-adjacent bit: 1.0 -> 0.5.
+  EXPECT_EQ(got[0], 0.5f);
+  EXPECT_EQ(got[1], 2.0f);
+}
+
+TEST(Fault, DelayedMessageStillArrives) {
+  World world(2);
+  auto plan = std::make_shared<FaultPlan>();
+  plan->add(FaultEvent{FaultKind::kDelayMsg, /*rank=*/0, /*nth_send=*/0,
+                       /*delay_ms=*/5});
+  world.set_fault_plan(plan);
+  world.send(0, 1, /*tag=*/3, {9.0f});
+  EXPECT_EQ(world.recv(1, 0, /*tag=*/3), std::vector<float>({9.0f}));
+}
+
+TEST(Fault, DisarmingThePlanRestoresNormalOperation) {
+  World world(2);
+  auto plan = std::make_shared<FaultPlan>();
+  plan->add(FaultEvent{FaultKind::kDropMsg, /*rank=*/0, /*nth_send=*/0});
+  world.set_fault_plan(plan);
+  world.set_fault_plan(nullptr);
+  world.send(0, 1, /*tag=*/1, {1.0f});
+  EXPECT_EQ(world.recv(1, 0, /*tag=*/1), std::vector<float>({1.0f}));
+}
+
+// A blocked receive with no sender turns into an actionable report instead
+// of a silent hang (satellite: timeout path).
+TEST(Fault, TimeoutCarriesDeadlockDump) {
+  World world(2);
+  world.set_timeout(50);
+  std::string dump;
+  std::string what;
+  world.run([&](int rank) {
+    if (rank != 0) return;  // rank 1 never sends
+    try {
+      (void)world.recv(0, 1, /*tag=*/99);
+      FAIL() << "recv returned without a sender";
+    } catch (const CommTimeoutError& e) {
+      dump = e.dump();
+      what = e.what();
+    }
+  });
+  ASSERT_FALSE(dump.empty());
+  EXPECT_NE(dump.find("rank 0"), std::string::npos);
+  EXPECT_NE(what.find("timed out"), std::string::npos);
+  EXPECT_NE(what.find("tag 99"), std::string::npos);
+  // The dump names the per-class byte counters.
+  EXPECT_NE(dump.find("bytes:"), std::string::npos);
+}
+
+// The dump reflects live mailbox state: pending (undrained) tags show up.
+TEST(Fault, DeadlockDumpListsPendingTags) {
+  World world(2);
+  world.send(0, 1, /*tag=*/5, {1.0f, 2.0f});
+  const std::string dump = world.deadlock_dump();
+  EXPECT_NE(dump.find("pending"), std::string::npos);
+  EXPECT_NE(dump.find("tag 5"), std::string::npos);
+}
+
+// Multi-rank faults are diagnosable: run aggregates every rank's failure
+// and prefers the originating exception over secondary PeerFailedErrors.
+TEST(Fault, RunAggregatesAllRankFailures) {
+  World world(3);
+  try {
+    world.run([&](int rank) {
+      if (rank == 0) throw std::runtime_error("boom on rank 0");
+      (void)world.recv(rank, 0, /*tag=*/1);  // never satisfied
+    });
+    FAIL() << "run did not rethrow";
+  } catch (const PeerFailedError&) {
+    FAIL() << "secondary failure rethrown instead of the root cause";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "boom on rank 0");
+  }
+  const auto& failures = world.failures();
+  ASSERT_EQ(failures.size(), 3u);
+  std::vector<bool> seen(3, false);
+  for (const auto& f : failures) {
+    ASSERT_GE(f.rank, 0);
+    ASSERT_LT(f.rank, 3);
+    seen[static_cast<std::size_t>(f.rank)] = true;
+    EXPECT_FALSE(f.message.empty());
+  }
+  EXPECT_TRUE(seen[0] && seen[1] && seen[2]);
+}
+
+// Sends into a poisoned world fail too — failure reaches ranks that only
+// ever produce data, not just blocked consumers.
+TEST(Fault, SendIntoPoisonedWorldThrows) {
+  World world(2);
+  world.poison(1, "test poison");
+  EXPECT_THROW(world.send(0, 1, /*tag=*/1, {1.0f}), PeerFailedError);
+}
+
+// A message that was already queued before the failure is still
+// deliverable — only unsatisfiable operations propagate the poison.
+TEST(Fault, QueuedMessagesSurvivePoisoning) {
+  World world(2);
+  world.send(0, 1, /*tag=*/4, {8.0f});
+  world.poison(0, "test poison");
+  EXPECT_EQ(world.recv(1, 0, /*tag=*/4), std::vector<float>({8.0f}));
+  PendingMsg empty = world.irecv(1, 0, /*tag=*/4);
+  EXPECT_THROW(empty.test(), PeerFailedError);
+}
+
+}  // namespace
+}  // namespace aeris::swipe
