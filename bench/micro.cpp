@@ -4,11 +4,11 @@
 
 #include <numeric>
 
+#include "aeris/core/ensemble.hpp"
 #include "aeris/core/model.hpp"
 #include "aeris/core/sampler.hpp"
 #include "aeris/core/window.hpp"
 #include "aeris/nn/attention.hpp"
-#include "aeris/nn/inference.hpp"
 #include "aeris/physics/qg.hpp"
 #include "aeris/swipe/comm.hpp"
 #include "aeris/swipe/fault.hpp"
@@ -52,19 +52,20 @@ void BM_WindowAttentionForward(benchmark::State& state) {
   attn.init(rng, 0);
   Tensor x({16, 64, 32});
   rng.fill_normal(x, 1, 0);
-  for (auto _ : state) benchmark::DoNotOptimize(attn.forward(x));
+  nn::FwdCtx ctx;
+  for (auto _ : state) benchmark::DoNotOptimize(attn.forward(x, ctx));
 }
 BENCHMARK(BM_WindowAttentionForward);
 
-// Streaming (inference-mode) path: online softmax, no [B,H,T,T] probs.
+// Streaming (inference-ctx) path: online softmax, no [B,H,T,T] probs.
 void BM_WindowAttentionInference(benchmark::State& state) {
   nn::WindowAttention attn("a", 32, 4, 8, 8);
   Philox rng(2);
   attn.init(rng, 0);
   Tensor x({16, 64, 32});
   rng.fill_normal(x, 1, 0);
-  nn::InferenceModeGuard guard;
-  for (auto _ : state) benchmark::DoNotOptimize(attn.forward(x));
+  nn::FwdCtx ctx(nn::FwdCtx::Mode::kInference);
+  for (auto _ : state) benchmark::DoNotOptimize(attn.forward(x, ctx));
 }
 BENCHMARK(BM_WindowAttentionInference);
 
@@ -254,6 +255,60 @@ void BM_QgStep(benchmark::State& state) {
   for (auto _ : state) qg.step();
 }
 BENCHMARK(BM_QgStep);
+
+// Batched + threaded ensemble inference (the tentpole of the reentrant
+// forward refactor): {members}x{threads}x{batch}. members/1/1 is the old
+// serial engine's workload; members/1/members is the batched-step win at
+// one thread; members/T/1 distributes member chunks over T drivers sharing
+// one read-only model. Items/s counts member-steps, so ratios between
+// configurations are member-throughput speedups. Thread scaling is linear
+// in *physical cores*: on a 1-core CI box the threaded rows show parity,
+// not speedup.
+void BM_EnsembleRollout(benchmark::State& state) {
+  const std::int64_t members = state.range(0);
+  const int threads = static_cast<int>(state.range(1));
+  const std::int64_t batch = state.range(2);
+  core::ModelConfig mc;
+  mc.h = 16;
+  mc.w = 16;
+  mc.in_channels = 12;
+  mc.out_channels = 5;
+  mc.dim = 32;
+  mc.depth = 2;
+  mc.heads = 4;
+  mc.ffn_hidden = 64;
+  mc.win_h = 8;
+  mc.win_w = 8;
+  mc.cond_dim = 32;
+  core::AerisModel model(mc, 1);
+  core::TrigFlowConfig tf;
+  core::TrigSamplerConfig sc;
+  sc.steps = 4;
+  sc.churn = 0.3f;
+  core::ParallelEnsembleEngine engine(model, tf, sc, 7);
+  Philox rng(8);
+  Tensor init({16, 16, 5});
+  rng.fill_normal(init, 1, 0);
+  Tensor forcing({16, 16, 2});
+  rng.fill_normal(forcing, 1, 1);
+  core::ForcingFn forcings = [&](std::int64_t) { return forcing; };
+  core::EnsembleOptions opts;
+  opts.batch = batch;
+  opts.threads = threads;
+  const std::int64_t steps = 2;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        engine.ensemble_rollout(init, forcings, steps, members, opts));
+  }
+  state.SetItemsProcessed(state.iterations() * members * steps);
+}
+BENCHMARK(BM_EnsembleRollout)
+    ->Args({8, 1, 1})
+    ->Args({8, 1, 8})
+    ->Args({8, 2, 1})
+    ->Args({8, 4, 1})
+    ->ArgNames({"members", "threads", "batch"})
+    ->UseRealTime();  // workers do the computing; driver CPU time is idle
 
 void BM_TrigflowSamplerStep(benchmark::State& state) {
   core::TrigFlow tf(core::TrigFlowConfig{});

@@ -24,8 +24,14 @@ int main() {
 
   const std::int64_t t0 = d.ds.test_begin() + 1;
   const std::int64_t steps = 7, members = 4;
+  // ParallelEnsembleEngine under the hood: members stacked two at a time
+  // through the batch dim, chunks spread over two threads sharing the one
+  // read-only model. Results are bitwise-identical to the serial engine.
+  core::EnsembleOptions opts;
+  opts.batch = 2;
+  opts.threads = 2;
   auto ens = forecast_ensemble(*diffusion, core::Objective::kTrigFlow, d, t0,
-                               steps, members);
+                               steps, members, opts);
   auto det = forecast_deterministic(*deterministic, d, t0, steps);
   auto truth = truth_sequence(d, t0, steps);
 

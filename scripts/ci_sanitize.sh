@@ -1,16 +1,22 @@
 #!/usr/bin/env sh
-# ThreadSanitizer gate for the threaded message-passing runtime: builds a
-# dedicated tree with AERIS_SANITIZE=thread and runs the swipe test suite,
-# where the poisoning / fault-injection races would live if we had any.
+# ThreadSanitizer gate for the threaded runtimes: builds a dedicated tree
+# with AERIS_SANITIZE=thread and runs (a) the swipe test suite, where the
+# poisoning / fault-injection races would live if we had any, and (b) the
+# concurrent shared-model ensemble tests, which pin the reentrant-forward
+# claim that inference holds no shared mutable state.
 # Usage: scripts/ci_sanitize.sh [build_dir]   (default: <repo>/build-tsan)
 # Also wired as a CMake target: cmake --build build --target ci_sanitize
 set -e
 repo=$(cd "$(dirname "$0")/.." && pwd)
 build=${1:-"$repo/build-tsan"}
 cmake -B "$build" -S "$repo" -DAERIS_SANITIZE=thread
-cmake --build "$build" -j --target test_swipe
+cmake --build "$build" -j --target test_swipe test_core
 # TSan aborts the process on the first race (halt_on_error), so a clean
 # exit means a clean suite. The timeout backstops comm deadlocks.
 TSAN_OPTIONS="halt_on_error=1 $TSAN_OPTIONS" \
   timeout 600 "$build/tests/test_swipe"
 echo "TSan swipe suite clean"
+TSAN_OPTIONS="halt_on_error=1 $TSAN_OPTIONS" \
+  timeout 600 "$build/tests/test_core" \
+  --gtest_filter='ParallelEnsemble.*:FwdCtxRegression.*'
+echo "TSan concurrent-ensemble suite clean"

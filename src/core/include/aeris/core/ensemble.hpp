@@ -1,0 +1,70 @@
+#pragma once
+
+#include "aeris/core/forecaster.hpp"
+
+namespace aeris::core {
+
+/// Execution knobs for ParallelEnsembleEngine. Neither affects results:
+/// every (batch, threads) combination is bitwise-identical to the serial
+/// DiffusionForecaster reference.
+struct EnsembleOptions {
+  /// Members advanced per stacked model call (the E of one [E, H, W, C]
+  /// forward). Larger batches amortize per-call overhead and feed the
+  /// GEMMs taller matrices.
+  std::int64_t batch = 4;
+  /// Worker threads sharing the one read-only model. Each thread owns a
+  /// disjoint group of member chunks and runs its kernels inline (see
+  /// SerialRegionGuard), so throughput scales across members instead of
+  /// within one member's kernels.
+  int threads = 1;
+};
+
+/// Batched, optionally multi-threaded ensemble forecaster (the paper's
+/// Fig. 1c ensemble inference, engineered for throughput): E members'
+/// diffusion solves are stacked through the batch dimension so each solver
+/// stage is one network call, and member groups are distributed across
+/// threads that share a single read-only AerisModel.
+///
+/// Determinism contract: ensemble_rollout returns bitwise-identical
+/// trajectories to DiffusionForecaster::ensemble_rollout constructed with
+/// the same model/configs/seed, for every batch size and thread count.
+/// This holds because (a) member trajectories never interact, (b) the
+/// samplers' schedules are state-independent so stacked members share them
+/// exactly, (c) all stochastic draws are keyed by (member, step) in the
+/// counter-based RNG, and (d) every kernel computes each output row
+/// independently of batch shape and thread placement.
+class ParallelEnsembleEngine {
+ public:
+  ParallelEnsembleEngine(const AerisModel& model, const TrigFlowConfig& tf,
+                         const TrigSamplerConfig& sampler, std::uint64_t seed);
+  /// EDM-parameterized (GenCast-like baseline) engine.
+  ParallelEnsembleEngine(const AerisModel& model, const EdmConfig& edm,
+                         const EdmSamplerConfig& sampler, std::uint64_t seed);
+
+  /// Ensemble of rollouts; result[m][s] is member m at step s (matching
+  /// DiffusionForecaster::ensemble_rollout). `forcings_at` may be called
+  /// concurrently from worker threads and must be thread-safe (a pure
+  /// function of the step is ideal).
+  std::vector<std::vector<Tensor>> ensemble_rollout(
+      const Tensor& init, const ForcingFn& forcings_at, std::int64_t n_steps,
+      std::int64_t members, const EnsembleOptions& opts = {}) const;
+
+  Parameterization parameterization() const { return param_; }
+
+ private:
+  /// Advances members [m0, m0+states.size()) one forecast step in lockstep
+  /// through a single stacked solve; returns the next states.
+  std::vector<Tensor> step_chunk(const std::vector<Tensor>& states,
+                                 const Tensor& forcings, std::int64_t m0,
+                                 std::int64_t step) const;
+
+  const AerisModel& model_;
+  Parameterization param_;
+  TrigFlow trigflow_{TrigFlowConfig{}};
+  TrigSamplerConfig trig_sampler_{};
+  Edm edm_{EdmConfig{}};
+  EdmSamplerConfig edm_sampler_{};
+  Philox rng_;
+};
+
+}  // namespace aeris::core

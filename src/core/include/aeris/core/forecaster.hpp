@@ -26,30 +26,33 @@ enum class Parameterization { kTrigFlow, kEdm };
 /// module owns (un)standardization.
 class DiffusionForecaster {
  public:
-  DiffusionForecaster(AerisModel& model, const TrigFlowConfig& tf,
+  DiffusionForecaster(const AerisModel& model, const TrigFlowConfig& tf,
                       const TrigSamplerConfig& sampler, std::uint64_t seed);
   /// EDM-parameterized (GenCast-like baseline) forecaster.
-  DiffusionForecaster(AerisModel& model, const EdmConfig& edm,
+  DiffusionForecaster(const AerisModel& model, const EdmConfig& edm,
                       const EdmSamplerConfig& sampler, std::uint64_t seed);
 
   /// One 6h/24h forecast step: returns the next state [H, W, V].
+  /// Const end to end: the model is read-only and the counter-based RNG is
+  /// stateless, so concurrent calls on one forecaster are safe.
   Tensor forecast_step(const Tensor& prev, const Tensor& forcings,
-                       std::uint64_t member, std::int64_t step);
+                       std::uint64_t member, std::int64_t step) const;
 
   /// Full rollout: returns n_steps states (not including the initial
   /// condition).
   std::vector<Tensor> rollout(const Tensor& init, const ForcingFn& forcings_at,
-                              std::int64_t n_steps, std::uint64_t member);
+                              std::int64_t n_steps,
+                              std::uint64_t member) const;
 
   /// Ensemble of rollouts; result[m][s] is member m at step s.
   std::vector<std::vector<Tensor>> ensemble_rollout(
       const Tensor& init, const ForcingFn& forcings_at, std::int64_t n_steps,
-      std::int64_t members);
+      std::int64_t members) const;
 
   Parameterization parameterization() const { return param_; }
 
  private:
-  AerisModel& model_;
+  const AerisModel& model_;
   Parameterization param_;
   TrigFlow trigflow_{TrigFlowConfig{}};
   TrigSamplerConfig trig_sampler_{};
@@ -64,14 +67,14 @@ class DiffusionForecaster {
 /// methods (§IV-A). Input channels: prev + forcings (no noisy state).
 class DeterministicForecaster {
  public:
-  explicit DeterministicForecaster(AerisModel& model) : model_(model) {}
+  explicit DeterministicForecaster(const AerisModel& model) : model_(model) {}
 
-  Tensor forecast_step(const Tensor& prev, const Tensor& forcings);
+  Tensor forecast_step(const Tensor& prev, const Tensor& forcings) const;
   std::vector<Tensor> rollout(const Tensor& init, const ForcingFn& forcings_at,
-                              std::int64_t n_steps);
+                              std::int64_t n_steps) const;
 
  private:
-  AerisModel& model_;
+  const AerisModel& model_;
 };
 
 }  // namespace aeris::core

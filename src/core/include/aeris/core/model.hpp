@@ -47,12 +47,22 @@ class AerisModel {
   explicit AerisModel(const ModelConfig& cfg, std::uint64_t seed = 0);
 
   /// x: [B, H, W, Cin], t: [B] diffusion times. Returns [B, H, W, Cout].
-  Tensor forward(const Tensor& x, const Tensor& t);
+  /// Forward is const: all per-call state lives in `ctx`, so any number of
+  /// threads may drive one shared model concurrently, each with its own
+  /// ctx.
+  Tensor forward(const Tensor& x, const Tensor& t, nn::FwdCtx& ctx) const;
 
-  /// dy: [B, H, W, Cout]. Returns dL/dx and accumulates parameter grads.
-  Tensor backward(const Tensor& dy);
+  /// Inference convenience: runs with a throwaway inference-mode ctx
+  /// (streaming attention, nothing retained).
+  Tensor forward(const Tensor& x, const Tensor& t) const;
+
+  /// dy: [B, H, W, Cout]. Returns dL/dx and accumulates parameter grads,
+  /// consuming the activations deposited in `ctx` by the matching forward.
+  Tensor backward(const Tensor& dy, nn::FwdCtx& ctx);
 
   const nn::ParamList& params() { return params_; }
+  /// Read-only parameter view for const (shared, concurrent) models.
+  const nn::ConstParamList& params() const { return const_params_; }
   const ModelConfig& config() const { return cfg_; }
   std::int64_t param_count() const;
 
@@ -63,6 +73,9 @@ class AerisModel {
   /// Blocks are exposed so the pipeline-parallel runtime can host one
   /// stage's worth of layers without duplicating construction logic.
   SwinBlock& block(std::int64_t i) { return *blocks_[static_cast<std::size_t>(i)]; }
+  const SwinBlock& block(std::int64_t i) const {
+    return *blocks_[static_cast<std::size_t>(i)];
+  }
   nn::TimeEmbedding& time_embedding() { return time_embed_; }
 
  private:
@@ -78,8 +91,8 @@ class AerisModel {
   nn::RMSNorm final_norm_;
   nn::Linear head_;
   nn::ParamList params_;
-
-  std::int64_t batch_ = 0;
+  nn::ConstParamList const_params_;
+  nn::LayerId id_;
 };
 
 }  // namespace aeris::core

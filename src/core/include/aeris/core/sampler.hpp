@@ -1,6 +1,7 @@
 #pragma once
 
 #include <functional>
+#include <span>
 
 #include "aeris/core/edm.hpp"
 #include "aeris/core/trigflow.hpp"
@@ -40,6 +41,32 @@ struct EdmSamplerConfig {
 Tensor sample_edm(const DenoiserFn& network, const Shape& shape,
                   const Edm& edm, const EdmSamplerConfig& cfg,
                   const Philox& rng, std::uint64_t member);
+
+/// Batched samplers: E ensemble members advance in lockstep through one
+/// stacked state [E, ...shape], so every solver stage is a single network
+/// call over the batch dimension instead of E separate calls.
+///
+/// Bitwise-identical to E serial sample_* calls with the same keys: the
+/// t/sigma schedule (and the churn rotation angle) depend only on the
+/// config, never on the state, so members share them exactly; every
+/// elementwise update touches each member's slab independently; and the
+/// counter RNG fills member e's slab with exactly the draws the serial
+/// call keyed by member_keys[e] would produce. The network closure must
+/// preserve this by treating the leading dim as a batch of independent
+/// samples (true of AerisModel by construction).
+///
+/// `velocity`/`network` receive the stacked [E, ...shape] state and return
+/// the stacked result; `member_keys[e]` is the serial `member` argument of
+/// slab e. Returns [E, ...shape].
+Tensor sample_trigflow_batched(const DenoiserFn& velocity, const Shape& shape,
+                               const TrigFlow& tf, const TrigSamplerConfig& cfg,
+                               const Philox& rng,
+                               std::span<const std::uint64_t> member_keys);
+
+Tensor sample_edm_batched(const DenoiserFn& network, const Shape& shape,
+                          const Edm& edm, const EdmSamplerConfig& cfg,
+                          const Philox& rng,
+                          std::span<const std::uint64_t> member_keys);
 
 /// The t (or sigma) schedule used by sample_trigflow, exposed for tests
 /// and diagnostics: steps+1 values, strictly decreasing, last element 0.

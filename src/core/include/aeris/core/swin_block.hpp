@@ -39,13 +39,14 @@ class SwinBlock {
   /// x: [B_win, T, C]; cond: [B_samples, cond_dim] with
   /// B_win = B_samples * windows_per_sample.
   Tensor forward(const Tensor& x, const Tensor& cond,
-                 std::int64_t windows_per_sample);
+                 std::int64_t windows_per_sample, nn::FwdCtx& ctx) const;
 
   /// Returns dx; accumulates parameter grads and adds this block's
   /// conditioning gradient into `dcond`.
-  Tensor backward(const Tensor& dy, Tensor& dcond);
+  Tensor backward(const Tensor& dy, Tensor& dcond, nn::FwdCtx& ctx);
 
   void collect_params(nn::ParamList& out);
+  void collect_params(nn::ConstParamList& out) const;
 
   const Config& config() const { return cfg_; }
 
@@ -57,13 +58,7 @@ class SwinBlock {
   nn::RMSNorm norm2_;
   nn::WindowAttention attn_;
   nn::SwiGLU ffn_;
-
-  // forward caches
-  std::int64_t wps_ = 1;
-  Tensor x_, h_;                    // block inputs of each sublayer
-  Tensor norm1_out_, norm2_out_;    // normalized activations
-  Tensor attn_out_, ffn_out_;       // sublayer outputs (pre-gate)
-  nn::AdaLNHead::Mod mod_a_, mod_f_;
+  nn::LayerId id_;
 };
 
 }  // namespace aeris::core

@@ -2,7 +2,6 @@
 
 #include <stdexcept>
 
-#include "aeris/nn/inference.hpp"
 #include "aeris/tensor/ops.hpp"
 
 namespace aeris::core {
@@ -22,7 +21,7 @@ Tensor squeeze_batch(Tensor x) {
 
 }  // namespace
 
-DiffusionForecaster::DiffusionForecaster(AerisModel& model,
+DiffusionForecaster::DiffusionForecaster(const AerisModel& model,
                                          const TrigFlowConfig& tf,
                                          const TrigSamplerConfig& sampler,
                                          std::uint64_t seed)
@@ -32,7 +31,7 @@ DiffusionForecaster::DiffusionForecaster(AerisModel& model,
       trig_sampler_(sampler),
       rng_(seed) {}
 
-DiffusionForecaster::DiffusionForecaster(AerisModel& model,
+DiffusionForecaster::DiffusionForecaster(const AerisModel& model,
                                          const EdmConfig& edm,
                                          const EdmSamplerConfig& sampler,
                                          std::uint64_t seed)
@@ -45,15 +44,15 @@ DiffusionForecaster::DiffusionForecaster(AerisModel& model,
 Tensor DiffusionForecaster::forecast_step(const Tensor& prev,
                                           const Tensor& forcings,
                                           std::uint64_t member,
-                                          std::int64_t step) {
+                                          std::int64_t step) const {
   if (prev.ndim() != 3) {
     throw std::invalid_argument("forecast_step: prev must be [H,W,V]");
   }
   const std::uint64_t member_key =
       member * 4096 + static_cast<std::uint64_t>(step);
-  // Sampling never needs backward: run the whole ODE solve in inference
-  // mode so attention streams (no [B,H,T,T] probs) and layers skip caches.
-  nn::InferenceModeGuard inference;
+  // Sampling never needs backward: the const model overload runs with an
+  // inference-mode ctx, so attention streams (no [B,H,T,T] probs) and no
+  // layer retains activations.
   Tensor residual;
   if (param_ == Parameterization::kTrigFlow) {
     const float sd = trigflow_.config().sigma_d;
@@ -76,15 +75,13 @@ Tensor DiffusionForecaster::forecast_step(const Tensor& prev,
     residual = sample_edm(network, prev.shape(), edm_, edm_sampler_, rng_,
                           member_key);
   }
-  Tensor next = prev;
-  add_(next, residual);
-  return next;
+  return add(prev, residual);
 }
 
 std::vector<Tensor> DiffusionForecaster::rollout(const Tensor& init,
                                                  const ForcingFn& forcings_at,
                                                  std::int64_t n_steps,
-                                                 std::uint64_t member) {
+                                                 std::uint64_t member) const {
   std::vector<Tensor> out;
   out.reserve(static_cast<std::size_t>(n_steps));
   Tensor state = init;
@@ -97,7 +94,7 @@ std::vector<Tensor> DiffusionForecaster::rollout(const Tensor& init,
 
 std::vector<std::vector<Tensor>> DiffusionForecaster::ensemble_rollout(
     const Tensor& init, const ForcingFn& forcings_at, std::int64_t n_steps,
-    std::int64_t members) {
+    std::int64_t members) const {
   std::vector<std::vector<Tensor>> out;
   out.reserve(static_cast<std::size_t>(members));
   for (std::int64_t m = 0; m < members; ++m) {
@@ -108,20 +105,18 @@ std::vector<std::vector<Tensor>> DiffusionForecaster::ensemble_rollout(
 }
 
 Tensor DeterministicForecaster::forecast_step(const Tensor& prev,
-                                              const Tensor& forcings) {
-  nn::InferenceModeGuard inference;
+                                              const Tensor& forcings) const {
   Tensor cat = concat(prev, forcings, 2);
   Tensor input =
       std::move(cat).reshaped({1, cat.dim(0), cat.dim(1), cat.dim(2)});
   Tensor f = model_.forward(input, Tensor({1}, 0.0f));
   Tensor residual = squeeze_batch(std::move(f));
-  Tensor next = prev;
-  add_(next, residual);
-  return next;
+  return add(prev, residual);
 }
 
 std::vector<Tensor> DeterministicForecaster::rollout(
-    const Tensor& init, const ForcingFn& forcings_at, std::int64_t n_steps) {
+    const Tensor& init, const ForcingFn& forcings_at,
+    std::int64_t n_steps) const {
   std::vector<Tensor> out;
   out.reserve(static_cast<std::size_t>(n_steps));
   Tensor state = init;

@@ -5,6 +5,15 @@
 #include "aeris/tensor/ops.hpp"
 
 namespace aeris::core {
+namespace {
+
+// Ctx slot: the batch size of the matching forward (doubles as the
+// forward-happened marker for backward).
+struct ModelCache {
+  std::int64_t batch = 0;
+};
+
+}  // namespace
 
 AerisModel::AerisModel(const ModelConfig& cfg, std::uint64_t seed)
     : cfg_(cfg),
@@ -45,6 +54,7 @@ AerisModel::AerisModel(const ModelConfig& cfg, std::uint64_t seed)
   for (auto& b : blocks_) b->collect_params(params_);
   final_norm_.collect_params(params_);
   head_.collect_params(params_);
+  const_params_.assign(params_.begin(), params_.end());
 }
 
 std::int64_t AerisModel::param_count() const {
@@ -95,7 +105,8 @@ Tensor AerisModel::reverse_batch(const Tensor& windows, std::int64_t batch,
   return out;
 }
 
-Tensor AerisModel::forward(const Tensor& x, const Tensor& t) {
+Tensor AerisModel::forward(const Tensor& x, const Tensor& t,
+                           nn::FwdCtx& ctx) const {
   if (x.ndim() != 4 || x.dim(1) != cfg_.h || x.dim(2) != cfg_.w ||
       x.dim(3) != cfg_.in_channels) {
     throw std::invalid_argument("AerisModel: expected [B,H,W,Cin], got " +
@@ -104,12 +115,13 @@ Tensor AerisModel::forward(const Tensor& x, const Tensor& t) {
   if (t.ndim() != 1 || t.dim(0) != x.dim(0)) {
     throw std::invalid_argument("AerisModel: t must be [B]");
   }
-  batch_ = x.dim(0);
+  const std::int64_t batch = x.dim(0);
+  if (ctx.training()) ctx.slot<ModelCache>(id_).batch = batch;
   const std::int64_t nwin = cfg_.windows();
 
   // Add the fixed 2D sinusoidal positional field to every channel.
   Tensor xin = x;
-  for (std::int64_t b = 0; b < batch_; ++b) {
+  for (std::int64_t b = 0; b < batch; ++b) {
     for (std::int64_t r = 0; r < cfg_.h; ++r) {
       for (std::int64_t cc = 0; cc < cfg_.w; ++cc) {
         const float pe = posenc_.at2(r, cc);
@@ -120,38 +132,48 @@ Tensor AerisModel::forward(const Tensor& x, const Tensor& t) {
     }
   }
 
-  Tensor cond = time_embed_.forward(t);  // [B, cond_dim]
-  Tensor tokens = embed_.forward(xin);   // [B, H, W, dim]
+  Tensor cond = time_embed_.forward(t, ctx);  // [B, cond_dim]
+  Tensor tokens = embed_.forward(xin, ctx);   // [B, H, W, dim]
 
   for (std::int64_t l = 0; l < cfg_.depth; ++l) {
     const std::int64_t shift = cfg_.shift_for_layer(l);
     Tensor wins = partition_batch(tokens, shift);
-    Tensor out = blocks_[static_cast<std::size_t>(l)]->forward(wins, cond, nwin);
-    tokens = reverse_batch(out, batch_, shift);
+    Tensor out =
+        blocks_[static_cast<std::size_t>(l)]->forward(wins, cond, nwin, ctx);
+    tokens = reverse_batch(out, batch, shift);
   }
 
-  Tensor normed = final_norm_.forward(tokens);
-  return head_.forward(normed);
+  Tensor normed = final_norm_.forward(tokens, ctx);
+  return head_.forward(normed, ctx);
 }
 
-Tensor AerisModel::backward(const Tensor& dy) {
-  if (batch_ == 0) throw std::logic_error("AerisModel: backward before forward");
-  const std::int64_t nwin = cfg_.windows();
+Tensor AerisModel::forward(const Tensor& x, const Tensor& t) const {
+  nn::FwdCtx ctx(nn::FwdCtx::Mode::kInference);
+  return forward(x, t, ctx);
+}
 
-  Tensor dtokens = final_norm_.backward(head_.backward(dy));
-  Tensor dcond({batch_, cfg_.cond_dim});
+Tensor AerisModel::backward(const Tensor& dy, nn::FwdCtx& ctx) {
+  ModelCache* cache = ctx.find<ModelCache>(id_);
+  if (cache == nullptr || cache->batch == 0) {
+    throw std::logic_error("AerisModel: backward before forward");
+  }
+  const std::int64_t batch = cache->batch;
+
+  Tensor dtokens = final_norm_.backward(head_.backward(dy, ctx), ctx);
+  Tensor dcond({batch, cfg_.cond_dim});
 
   for (std::int64_t l = cfg_.depth - 1; l >= 0; --l) {
     const std::int64_t shift = cfg_.shift_for_layer(l);
     // partition/reverse are permutations: the adjoint of reverse is
     // partition with the same shift, and vice versa.
     Tensor dwins = partition_batch(dtokens, shift);
-    Tensor dx = blocks_[static_cast<std::size_t>(l)]->backward(dwins, dcond);
-    dtokens = reverse_batch(dx, batch_, shift);
+    Tensor dx =
+        blocks_[static_cast<std::size_t>(l)]->backward(dwins, dcond, ctx);
+    dtokens = reverse_batch(dx, batch, shift);
   }
 
-  Tensor dxin = embed_.backward(dtokens);
-  time_embed_.backward(dcond);
+  Tensor dxin = embed_.backward(dtokens, ctx);
+  time_embed_.backward(dcond, ctx);
   // The positional field is an additive constant: gradient passes through.
   return dxin;
 }

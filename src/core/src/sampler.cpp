@@ -6,6 +6,32 @@
 #include "aeris/tensor/ops.hpp"
 
 namespace aeris::core {
+namespace {
+
+Shape stacked_shape(const Shape& shape, std::int64_t e) {
+  Shape out;
+  out.reserve(shape.size() + 1);
+  out.push_back(e);
+  out.insert(out.end(), shape.begin(), shape.end());
+  return out;
+}
+
+/// Fills member slab e of the stacked state with exactly the draws a
+/// serial fill_normal keyed by (stream, keys[e]*1024 + sample_offset)
+/// would produce (same begin=0 flat index space per slab).
+void fill_member_noise(Tensor& x, std::int64_t per, const Philox& rng,
+                       std::uint64_t stream,
+                       std::span<const std::uint64_t> keys,
+                       std::uint64_t sample_offset) {
+  for (std::size_t e = 0; e < keys.size(); ++e) {
+    rng.fill_normal_range(
+        std::span<float>(x.data() + static_cast<std::int64_t>(e) * per,
+                         static_cast<std::size_t>(per)),
+        stream, keys[e] * 1024 + sample_offset, 0);
+  }
+}
+
+}  // namespace
 
 std::vector<float> trigflow_schedule(const TrigFlow& tf,
                                      const TrigSamplerConfig& cfg) {
@@ -69,6 +95,53 @@ Tensor sample_trigflow(const DenoiserFn& velocity, const Shape& shape,
   return x;
 }
 
+Tensor sample_trigflow_batched(const DenoiserFn& velocity, const Shape& shape,
+                               const TrigFlow& tf, const TrigSamplerConfig& cfg,
+                               const Philox& rng,
+                               std::span<const std::uint64_t> member_keys) {
+  const float sd = tf.config().sigma_d;
+  const std::vector<float> ts = trigflow_schedule(tf, cfg);
+  const std::int64_t e = static_cast<std::int64_t>(member_keys.size());
+  if (e == 0) throw std::invalid_argument("sampler: empty member_keys");
+  const Shape xshape = stacked_shape(shape, e);
+
+  Tensor x(xshape);
+  std::int64_t per = 1;
+  for (const std::int64_t d : shape) per *= d;
+  fill_member_noise(x, per, rng, rng_stream::kSamplerNoise, member_keys, 0);
+  scale_(x, sd);
+
+  constexpr float kHalfPi = 1.5707963267948966f;
+  for (std::size_t i = 0; i + 1 < ts.size(); ++i) {
+    float t = ts[i];
+    const float t_next = ts[i + 1];
+
+    // The churn angle depends only on the schedule, so all members rotate
+    // by the same delta — exactly what each serial call computes.
+    if (cfg.churn > 0.0f && i + 1 < ts.size() - 1) {
+      const float delta =
+          std::min(cfg.churn * (t - t_next), kHalfPi - t - 1e-4f);
+      if (delta > 0.0f) {
+        Tensor z(xshape);
+        fill_member_noise(z, per, rng, rng_stream::kChurn, member_keys,
+                          static_cast<std::uint64_t>(i) + 1);
+        Tensor xr = scale(x, std::cos(delta));
+        axpy_(xr, sd * std::sin(delta), z);
+        x = xr;
+        t += delta;
+      }
+    }
+
+    const float t_mid = 0.5f * (t + t_next);
+    Tensor k1 = velocity(x, t);
+    Tensor x_mid = x;
+    axpy_(x_mid, t_mid - t, k1);
+    Tensor k2 = velocity(x_mid, t_mid);
+    axpy_(x, t_next - t, k2);
+  }
+  return x;
+}
+
 Tensor sample_edm(const DenoiserFn& network, const Shape& shape,
                   const Edm& edm, const EdmSamplerConfig& cfg,
                   const Philox& rng, std::uint64_t member) {
@@ -91,6 +164,52 @@ Tensor sample_edm(const DenoiserFn& network, const Shape& shape,
     const float s_next = sigmas[i + 1];
     Tensor d0 = denoise(x, s);
     // d = (x - D) / sigma
+    Tensor slope = x;
+    sub_(slope, d0);
+    scale_(slope, 1.0f / s);
+    Tensor x_euler = x;
+    axpy_(x_euler, s_next - s, slope);
+    if (s_next > 0.0f) {
+      Tensor d1 = denoise(x_euler, s_next);
+      Tensor slope2 = x_euler;
+      sub_(slope2, d1);
+      scale_(slope2, 1.0f / s_next);
+      axpy_(slope, 1.0f, slope2);
+      scale_(slope, 0.5f);
+      x_euler = x;
+      axpy_(x_euler, s_next - s, slope);
+    }
+    x = x_euler;
+  }
+  return x;
+}
+
+Tensor sample_edm_batched(const DenoiserFn& network, const Shape& shape,
+                          const Edm& edm, const EdmSamplerConfig& cfg,
+                          const Philox& rng,
+                          std::span<const std::uint64_t> member_keys) {
+  const std::vector<float> sigmas = edm.schedule(cfg.steps);
+  const std::int64_t e = static_cast<std::int64_t>(member_keys.size());
+  if (e == 0) throw std::invalid_argument("sampler: empty member_keys");
+
+  Tensor x(stacked_shape(shape, e));
+  std::int64_t per = 1;
+  for (const std::int64_t d : shape) per *= d;
+  fill_member_noise(x, per, rng, rng_stream::kSamplerNoise, member_keys, 512);
+  scale_(x, sigmas[0]);
+
+  auto denoise = [&](const Tensor& xx, float sigma) {
+    Tensor xin = scale(xx, edm.c_in(sigma));
+    Tensor f = network(xin, edm.c_noise(sigma));
+    Tensor d = scale(xx, edm.c_skip(sigma));
+    axpy_(d, edm.c_out(sigma), f);
+    return d;
+  };
+
+  for (std::size_t i = 0; i + 1 < sigmas.size(); ++i) {
+    const float s = sigmas[i];
+    const float s_next = sigmas[i + 1];
+    Tensor d0 = denoise(x, s);
     Tensor slope = x;
     sub_(slope, d0);
     scale_(slope, 1.0f / s);

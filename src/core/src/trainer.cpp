@@ -112,7 +112,11 @@ float Trainer::objective_forward_backward(std::span<const TrainExample> batch,
     std::copy_n(cat.data(), cat.numel(), input.data() + i * cat.numel());
   }
 
-  Tensor f = model_.forward(input, t_vec);
+  // Training-mode ctx in both branches: eval shares the exact numerics of
+  // the train path (materialized-probs attention), differing only in
+  // whether backward consumes the deposited activations.
+  nn::FwdCtx ctx;
+  Tensor f = model_.forward(input, t_vec, ctx);
 
   // Apply the per-sample scale to pred & target so weighted_mse computes
   // sum w * (scale*(F - target))^2 — equal to the parameterization's loss.
@@ -141,7 +145,7 @@ float Trainer::objective_forward_backward(std::span<const TrainExample> batch,
         for (std::int64_t j = 0; j < per_state; ++j) pg[j] *= s;
       }
     }
-    model_.backward(grad);
+    model_.backward(grad, ctx);
   }
   return loss;
 }

@@ -2,6 +2,7 @@
 
 #include <memory>
 
+#include "aeris/core/ensemble.hpp"
 #include "aeris/core/forecaster.hpp"
 #include "aeris/core/trainer.hpp"
 #include "aeris/data/generator.hpp"
@@ -76,16 +77,16 @@ std::unique_ptr<core::AerisModel> train_model(
 
 /// Ensemble forecast with a trained diffusion model from test index t0:
 /// result[m][s] is the *unstandardized* [V, H, W] field of member m after
-/// (s+1) steps. Forcings are taken from the dataset (exogenous).
-std::vector<std::vector<Tensor>> forecast_ensemble(core::AerisModel& model,
-                                                   core::Objective obj,
-                                                   const Domain& domain,
-                                                   std::int64_t t0,
-                                                   std::int64_t steps,
-                                                   std::int64_t members);
+/// (s+1) steps. Forcings are taken from the dataset (exogenous). Drives
+/// ParallelEnsembleEngine; `opts` picks batch/thread execution without
+/// changing results (bitwise-identical for every combination).
+std::vector<std::vector<Tensor>> forecast_ensemble(
+    const core::AerisModel& model, core::Objective obj, const Domain& domain,
+    std::int64_t t0, std::int64_t steps, std::int64_t members,
+    const core::EnsembleOptions& opts = {});
 
 /// Deterministic baseline forecast (single trajectory).
-std::vector<Tensor> forecast_deterministic(core::AerisModel& model,
+std::vector<Tensor> forecast_deterministic(const core::AerisModel& model,
                                            const Domain& domain,
                                            std::int64_t t0,
                                            std::int64_t steps);

@@ -106,22 +106,20 @@ std::unique_ptr<core::AerisModel> train_model(const Domain& domain,
   return model;
 }
 
-std::vector<std::vector<Tensor>> forecast_ensemble(core::AerisModel& model,
-                                                   core::Objective obj,
-                                                   const Domain& domain,
-                                                   std::int64_t t0,
-                                                   std::int64_t steps,
-                                                   std::int64_t members) {
+std::vector<std::vector<Tensor>> forecast_ensemble(
+    const core::AerisModel& model, core::Objective obj, const Domain& domain,
+    std::int64_t t0, std::int64_t steps, std::int64_t members,
+    const core::EnsembleOptions& opts) {
   const DomainConfig& cfg = domain.cfg;
   if (t0 + steps >= domain.ds.size()) {
     throw std::invalid_argument("forecast_ensemble: range exceeds dataset");
   }
-  std::unique_ptr<core::DiffusionForecaster> fc;
+  std::unique_ptr<core::ParallelEnsembleEngine> fc;
   if (obj == core::Objective::kTrigFlow) {
-    fc = std::make_unique<core::DiffusionForecaster>(
+    fc = std::make_unique<core::ParallelEnsembleEngine>(
         model, cfg.trigflow, cfg.sampler, cfg.seed + 7 + static_cast<std::uint64_t>(t0));
   } else if (obj == core::Objective::kEdm) {
-    fc = std::make_unique<core::DiffusionForecaster>(
+    fc = std::make_unique<core::ParallelEnsembleEngine>(
         model, cfg.edm, cfg.edm_sampler, cfg.seed + 7 + static_cast<std::uint64_t>(t0));
   } else {
     throw std::invalid_argument("forecast_ensemble: use forecast_deterministic");
@@ -131,7 +129,7 @@ std::vector<std::vector<Tensor>> forecast_ensemble(core::AerisModel& model,
   core::ForcingFn forcings = [&](std::int64_t s) {
     return domain.ds.forcing_tokens(t0 + s);
   };
-  auto tokens = fc->ensemble_rollout(init, forcings, steps, members);
+  auto tokens = fc->ensemble_rollout(init, forcings, steps, members, opts);
   std::vector<std::vector<Tensor>> out(tokens.size());
   for (std::size_t m = 0; m < tokens.size(); ++m) {
     out[m].reserve(tokens[m].size());
@@ -142,7 +140,7 @@ std::vector<std::vector<Tensor>> forecast_ensemble(core::AerisModel& model,
   return out;
 }
 
-std::vector<Tensor> forecast_deterministic(core::AerisModel& model,
+std::vector<Tensor> forecast_deterministic(const core::AerisModel& model,
                                            const Domain& domain,
                                            std::int64_t t0,
                                            std::int64_t steps) {

@@ -24,11 +24,12 @@ class AdaLNHead {
 
   AdaLNHead(std::string name, std::int64_t cond_dim, std::int64_t dim);
 
-  Mod forward(const Tensor& cond);
+  Mod forward(const Tensor& cond, FwdCtx& ctx) const;
   /// Accumulates parameter grads; returns dL/dcond [B, cond_dim].
-  Tensor backward(const Mod& dmod);
+  Tensor backward(const Mod& dmod, FwdCtx& ctx);
 
   void collect_params(ParamList& out);
+  void collect_params(ConstParamList& out) const;
 
   std::int64_t dim() const { return dim_; }
 

@@ -46,11 +46,15 @@ class WindowAttention {
 
   void init(const Philox& rng, std::uint64_t index);
 
-  /// x: [B, win_h*win_w, dim].
-  Tensor forward(const Tensor& x);
-  Tensor backward(const Tensor& dy);
+  /// x: [B, win_h*win_w, dim]. With an inference-mode ctx the streaming
+  /// online-softmax core is used and nothing is retained; with a
+  /// training-mode ctx post-RoPE q/k, raw v and the softmax probabilities
+  /// are deposited into the ctx for backward.
+  Tensor forward(const Tensor& x, FwdCtx& ctx) const;
+  Tensor backward(const Tensor& dy, FwdCtx& ctx);
 
   void collect_params(ParamList& out);
+  void collect_params(ConstParamList& out) const;
 
   std::int64_t dim() const { return dim_; }
   std::int64_t num_heads() const { return heads_; }
@@ -65,10 +69,7 @@ class WindowAttention {
   Linear proj_;
   AxialRope rope_;
   Tensor coords_;  // [T, 2] window-local
-
-  // forward caches
-  Tensor cached_q_, cached_k_, cached_v_;  // post-RoPE q/k, raw v: [B,T,C]
-  Tensor cached_probs_;                    // [B, H, T, T]
+  LayerId id_;
 };
 
 }  // namespace aeris::nn

@@ -29,18 +29,19 @@ class TimeEmbedding {
   void init(const Philox& rng, std::uint64_t index);
 
   /// t: [B] diffusion times. Returns [B, cond_dim].
-  Tensor forward(const Tensor& t);
+  Tensor forward(const Tensor& t, FwdCtx& ctx) const;
   /// Consumes dL/dcond; t itself needs no gradient.
-  void backward(const Tensor& dcond);
+  void backward(const Tensor& dcond, FwdCtx& ctx);
 
   void collect_params(ParamList& out);
+  void collect_params(ConstParamList& out) const;
 
   std::int64_t cond_dim() const { return shared_.out_features(); }
 
  private:
   std::int64_t feature_dim_;
   Linear shared_;
-  Tensor cached_pre_;  // pre-activation of the shared layer
+  LayerId id_;
 };
 
 }  // namespace aeris::nn

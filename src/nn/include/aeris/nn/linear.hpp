@@ -1,5 +1,6 @@
 #pragma once
 
+#include "aeris/nn/fwd_ctx.hpp"
 #include "aeris/nn/param.hpp"
 #include "aeris/tensor/gemm.hpp"
 #include "aeris/tensor/tensor.hpp"
@@ -10,10 +11,12 @@ namespace aeris::nn {
 ///
 /// Input is treated as a flat matrix [rows, in_features] where rows is the
 /// product of all leading dims; the output keeps the leading dims with the
-/// last replaced by out_features. Forward caches its input for the
-/// explicit backward pass; `backward` returns dL/dx and *accumulates* into
-/// the weight/bias gradients (accumulation is what gradient-accumulation
-/// steps — GAS in the paper's Table II — rely on).
+/// last replaced by out_features. Forward is const with respect to the
+/// weights and retains nothing in the layer: with a training-mode FwdCtx
+/// it deposits the input into the ctx for the explicit backward pass;
+/// `backward` returns dL/dx and *accumulates* into the weight/bias
+/// gradients (accumulation is what gradient-accumulation steps — GAS in
+/// the paper's Table II — rely on).
 class Linear {
  public:
   Linear(std::string name, std::int64_t in_features, std::int64_t out_features,
@@ -25,13 +28,14 @@ class Linear {
   /// should start as identity/no-op, the DiT "adaLN-zero" trick).
   void init_zero();
 
-  Tensor forward(const Tensor& x);
-  Tensor backward(const Tensor& dy);
+  Tensor forward(const Tensor& x, FwdCtx& ctx) const;
+  Tensor backward(const Tensor& dy, FwdCtx& ctx);
 
   /// Stateless apply (no cache, no grad) for inference-only paths.
   Tensor apply(const Tensor& x) const;
 
   void collect_params(ParamList& out);
+  void collect_params(ConstParamList& out) const;
 
   std::int64_t in_features() const { return in_; }
   std::int64_t out_features() const { return out_; }
@@ -45,7 +49,7 @@ class Linear {
   bool has_bias_ = true;
   Param w_;  // [out, in]
   Param b_;  // [out]
-  Tensor cached_x_;
+  LayerId id_;
 };
 
 }  // namespace aeris::nn

@@ -29,8 +29,14 @@ struct Param {
 /// ZeRO-1 shard boundaries, so modules must register deterministically.
 using ParamList = std::vector<Param*>;
 
+/// Read-only view used by const entry points (a const model hands out
+/// parameters that cannot be mutated, so concurrent inference over a
+/// shared model is safe by type).
+using ConstParamList = std::vector<const Param*>;
+
 /// Total element count across a parameter list.
 std::int64_t param_count(const ParamList& params);
+std::int64_t param_count(const ConstParamList& params);
 
 /// Zeroes every gradient.
 void zero_grads(const ParamList& params);

@@ -1,5 +1,6 @@
 #pragma once
 
+#include "aeris/nn/fwd_ctx.hpp"
 #include "aeris/nn/param.hpp"
 #include "aeris/tensor/tensor.hpp"
 
@@ -15,11 +16,12 @@ class RMSNorm {
   RMSNorm(std::string name, std::int64_t dim, bool elementwise_affine = true,
           float eps = 1e-6f);
 
-  Tensor forward(const Tensor& x);
-  Tensor backward(const Tensor& dy);
+  Tensor forward(const Tensor& x, FwdCtx& ctx) const;
+  Tensor backward(const Tensor& dy, FwdCtx& ctx);
   Tensor apply(const Tensor& x) const;
 
   void collect_params(ParamList& out);
+  void collect_params(ConstParamList& out) const;
 
   Param& gain() { return g_; }
 
@@ -28,8 +30,7 @@ class RMSNorm {
   bool affine_ = true;
   float eps_ = 1e-6f;
   Param g_;  // [dim]
-  Tensor cached_x_;
-  Tensor cached_inv_rms_;  // [rows]
+  LayerId id_;
 };
 
 }  // namespace aeris::nn

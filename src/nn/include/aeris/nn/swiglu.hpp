@@ -19,17 +19,17 @@ class SwiGLU {
 
   void init(const Philox& rng, std::uint64_t index);
 
-  Tensor forward(const Tensor& x);
-  Tensor backward(const Tensor& dy);
+  Tensor forward(const Tensor& x, FwdCtx& ctx) const;
+  Tensor backward(const Tensor& dy, FwdCtx& ctx);
 
   void collect_params(ParamList& out);
+  void collect_params(ConstParamList& out) const;
 
  private:
   Linear gate_;
   Linear up_;
   Linear down_;
-  Tensor cached_gate_pre_;  // W_gate x (pre-activation)
-  Tensor cached_up_;        // W_up x
+  LayerId id_;
 };
 
 }  // namespace aeris::nn

@@ -11,8 +11,8 @@ AdaLNHead::AdaLNHead(std::string name, std::int64_t cond_dim, std::int64_t dim)
   head_.init_zero();
 }
 
-AdaLNHead::Mod AdaLNHead::forward(const Tensor& cond) {
-  Tensor smg = head_.forward(cond);  // [B, 3*dim]
+AdaLNHead::Mod AdaLNHead::forward(const Tensor& cond, FwdCtx& ctx) const {
+  Tensor smg = head_.forward(cond, ctx);  // [B, 3*dim]
   Mod m;
   m.shift = slice(smg, 1, 0, dim_);
   m.scale = slice(smg, 1, dim_, 2 * dim_);
@@ -20,13 +20,17 @@ AdaLNHead::Mod AdaLNHead::forward(const Tensor& cond) {
   return m;
 }
 
-Tensor AdaLNHead::backward(const Mod& dmod) {
+Tensor AdaLNHead::backward(const Mod& dmod, FwdCtx& ctx) {
   const Tensor* parts[] = {&dmod.shift, &dmod.scale, &dmod.gate};
   Tensor dsmg = concat(std::span<const Tensor* const>(parts, 3), 1);
-  return head_.backward(dsmg);
+  return head_.backward(dsmg, ctx);
 }
 
 void AdaLNHead::collect_params(ParamList& out) { head_.collect_params(out); }
+
+void AdaLNHead::collect_params(ConstParamList& out) const {
+  head_.collect_params(out);
+}
 
 namespace {
 

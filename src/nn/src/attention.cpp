@@ -4,7 +4,6 @@
 #include <limits>
 #include <stdexcept>
 
-#include "aeris/nn/inference.hpp"
 #include "aeris/tensor/arena.hpp"
 #include "aeris/tensor/gemm.hpp"
 #include "aeris/tensor/ops.hpp"
@@ -18,6 +17,12 @@ namespace {
 // kept online via running row max / row sum statistics.
 constexpr std::int64_t kQBlock = 32;
 constexpr std::int64_t kKBlock = 64;
+
+// Ctx slot: post-RoPE q/k, raw v, and the softmax probabilities.
+struct AttnCache {
+  Tensor q, k, v;  // [B,T,C]
+  Tensor probs;    // [B,H,T,T]
+};
 
 /// One (batch, head) attention problem without cached probabilities:
 /// out[qi, :] = softmax(scale * q @ k^T)[qi, :] @ v, computed blockwise
@@ -191,46 +196,48 @@ void WindowAttention::init(const Philox& rng, std::uint64_t index) {
   proj_.init(rng, index * 4 + 1);
 }
 
-Tensor WindowAttention::forward(const Tensor& x) {
+Tensor WindowAttention::forward(const Tensor& x, FwdCtx& ctx) const {
   const std::int64_t t = tokens();
   if (x.ndim() != 3 || x.dim(1) != t || x.dim(2) != dim_) {
     throw std::invalid_argument("WindowAttention: expected [B," +
                                 std::to_string(t) + "," + std::to_string(dim_) +
                                 "], got " + shape_to_string(x.shape()));
   }
-  Tensor qkv = qkv_.forward(x);  // [B, T, 3C]
+  Tensor qkv = qkv_.forward(x, ctx);  // [B, T, 3C]
 
-  if (inference_mode()) {
-    // Streaming path: no q/k/v/probs caches, no [B,H,T,T] materialization.
+  if (ctx.inference()) {
+    // Streaming path: nothing retained, no [B,H,T,T] materialization.
     Tensor q = slice(qkv, 2, 0, dim_);
     Tensor k = slice(qkv, 2, dim_, 2 * dim_);
     Tensor v = slice(qkv, 2, 2 * dim_, 3 * dim_);
     rope_.apply(q, heads_, coords_);
     rope_.apply(k, heads_, coords_);
     Tensor attn_out = attention_core_forward(q, k, v, heads_, nullptr);
-    return proj_.forward(attn_out);
+    return proj_.forward(attn_out, ctx);
   }
 
-  cached_q_ = slice(qkv, 2, 0, dim_);
-  cached_k_ = slice(qkv, 2, dim_, 2 * dim_);
-  cached_v_ = slice(qkv, 2, 2 * dim_, 3 * dim_);
-  rope_.apply(cached_q_, heads_, coords_);
-  rope_.apply(cached_k_, heads_, coords_);
+  AttnCache& cache = ctx.slot<AttnCache>(id_);
+  cache.q = slice(qkv, 2, 0, dim_);
+  cache.k = slice(qkv, 2, dim_, 2 * dim_);
+  cache.v = slice(qkv, 2, 2 * dim_, 3 * dim_);
+  rope_.apply(cache.q, heads_, coords_);
+  rope_.apply(cache.k, heads_, coords_);
 
-  Tensor attn_out = attention_core_forward(cached_q_, cached_k_, cached_v_,
-                                           heads_, &cached_probs_);
-  return proj_.forward(attn_out);
+  Tensor attn_out =
+      attention_core_forward(cache.q, cache.k, cache.v, heads_, &cache.probs);
+  return proj_.forward(attn_out, ctx);
 }
 
-Tensor WindowAttention::backward(const Tensor& dy) {
-  if (cached_q_.empty()) {
+Tensor WindowAttention::backward(const Tensor& dy, FwdCtx& ctx) {
+  AttnCache* cache = ctx.find<AttnCache>(id_);
+  if (cache == nullptr || cache->q.empty()) {
     throw std::logic_error("WindowAttention: backward before forward");
   }
-  Tensor dattn = proj_.backward(dy);  // [B, T, C]
+  Tensor dattn = proj_.backward(dy, ctx);  // [B, T, C]
 
   Tensor dq, dk, dv;
-  attention_core_backward(cached_q_, cached_k_, cached_v_, cached_probs_,
-                          dattn, heads_, dq, dk, dv);
+  attention_core_backward(cache->q, cache->k, cache->v, cache->probs, dattn,
+                          heads_, dq, dk, dv);
 
   // Undo the rotation: RoPE is orthogonal, gradient = inverse rotation.
   rope_.apply(dq, heads_, coords_, /*inverse=*/true);
@@ -238,10 +245,15 @@ Tensor WindowAttention::backward(const Tensor& dy) {
 
   const Tensor* parts[] = {&dq, &dk, &dv};
   Tensor dqkv = concat(std::span<const Tensor* const>(parts, 3), 2);
-  return qkv_.backward(dqkv);
+  return qkv_.backward(dqkv, ctx);
 }
 
 void WindowAttention::collect_params(ParamList& out) {
+  qkv_.collect_params(out);
+  proj_.collect_params(out);
+}
+
+void WindowAttention::collect_params(ConstParamList& out) const {
   qkv_.collect_params(out);
   proj_.collect_params(out);
 }

@@ -7,6 +7,14 @@
 #include "aeris/nn/swiglu.hpp"
 
 namespace aeris::nn {
+namespace {
+
+// Ctx slot: pre-activation of the shared conditioning layer.
+struct TimeEmbedCache {
+  Tensor pre;
+};
+
+}  // namespace
 
 Tensor sinusoidal_posenc_2d(std::int64_t h, std::int64_t w,
                             std::int64_t num_freqs, float amplitude) {
@@ -48,7 +56,7 @@ void TimeEmbedding::init(const Philox& rng, std::uint64_t index) {
   shared_.init(rng, index);
 }
 
-Tensor TimeEmbedding::forward(const Tensor& t) {
+Tensor TimeEmbedding::forward(const Tensor& t, FwdCtx& ctx) const {
   if (t.ndim() != 1) throw std::invalid_argument("TimeEmbedding: t must be [B]");
   const std::int64_t b = t.dim(0);
   Tensor feats({b, feature_dim_});
@@ -56,21 +64,30 @@ Tensor TimeEmbedding::forward(const Tensor& t) {
     const Tensor f = sinusoidal_features(t[i], feature_dim_);
     std::copy_n(f.data(), feature_dim_, feats.data() + i * feature_dim_);
   }
-  cached_pre_ = shared_.forward(feats);
-  Tensor out = cached_pre_;
+  Tensor pre = shared_.forward(feats, ctx);
+  Tensor out = pre;
   for (float& x : out.flat()) x = silu(x);
+  if (ctx.training()) ctx.slot<TimeEmbedCache>(id_).pre = std::move(pre);
   return out;
 }
 
-void TimeEmbedding::backward(const Tensor& dcond) {
+void TimeEmbedding::backward(const Tensor& dcond, FwdCtx& ctx) {
+  TimeEmbedCache* cache = ctx.find<TimeEmbedCache>(id_);
+  if (cache == nullptr || cache->pre.empty()) {
+    throw std::logic_error("TimeEmbedding: backward before forward");
+  }
   Tensor dpre = dcond;
   for (std::int64_t i = 0; i < dpre.numel(); ++i) {
-    dpre[i] *= silu_grad(cached_pre_[i]);
+    dpre[i] *= silu_grad(cache->pre[i]);
   }
-  shared_.backward(dpre);  // dfeats unused: t carries no gradient
+  shared_.backward(dpre, ctx);  // dfeats unused: t carries no gradient
 }
 
 void TimeEmbedding::collect_params(ParamList& out) {
+  shared_.collect_params(out);
+}
+
+void TimeEmbedding::collect_params(ConstParamList& out) const {
   shared_.collect_params(out);
 }
 

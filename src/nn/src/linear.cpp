@@ -3,8 +3,6 @@
 #include <cmath>
 #include <stdexcept>
 
-#include "aeris/nn/inference.hpp"
-
 namespace aeris::nn {
 namespace {
 
@@ -13,6 +11,11 @@ Shape with_last(const Shape& s, std::int64_t last) {
   out.back() = last;
   return out;
 }
+
+// Ctx slot: the forward input, the only activation backward needs.
+struct LinearCache {
+  Tensor x;
+};
 
 }  // namespace
 
@@ -55,24 +58,26 @@ Tensor Linear::apply(const Tensor& x) const {
   return y;
 }
 
-Tensor Linear::forward(const Tensor& x) {
+Tensor Linear::forward(const Tensor& x, FwdCtx& ctx) const {
   // In inference mode the input is only needed for this call; skipping the
-  // cache keeps sampling rollouts free of backward-only retention.
-  if (!inference_mode()) cached_x_ = x;
+  // deposit keeps sampling rollouts free of backward-only retention.
+  if (ctx.training()) ctx.slot<LinearCache>(id_).x = x;
   return apply(x);
 }
 
-Tensor Linear::backward(const Tensor& dy) {
-  if (cached_x_.empty()) {
+Tensor Linear::backward(const Tensor& dy, FwdCtx& ctx) {
+  LinearCache* cache = ctx.find<LinearCache>(id_);
+  if (cache == nullptr || cache->x.empty()) {
     throw std::logic_error(w_.name + ": backward before forward");
   }
-  const std::int64_t rows = cached_x_.numel() / in_;
+  const Tensor& x = cache->x;
+  const std::int64_t rows = x.numel() / in_;
   if (dy.numel() != rows * out_) {
     throw std::invalid_argument(w_.name + ": backward shape mismatch");
   }
   // dW += dY^T @ X   (FP32 accumulation into master grads)
-  gemm(true, false, out_, in_, rows, 1.0f, dy.data(), out_, cached_x_.data(),
-       in_, 1.0f, w_.grad.data(), in_, default_gemm_precision());
+  gemm(true, false, out_, in_, rows, 1.0f, dy.data(), out_, x.data(), in_,
+       1.0f, w_.grad.data(), in_, default_gemm_precision());
   if (has_bias_) {
     const float* pdy = dy.data();
     float* pdb = b_.grad.data();
@@ -81,13 +86,18 @@ Tensor Linear::backward(const Tensor& dy) {
     }
   }
   // dX = dY @ W
-  Tensor dx(cached_x_.shape());
+  Tensor dx(x.shape());
   gemm(false, false, rows, in_, out_, 1.0f, dy.data(), out_, w_.value.data(),
        in_, 0.0f, dx.data(), in_, default_gemm_precision());
   return dx;
 }
 
 void Linear::collect_params(ParamList& out) {
+  out.push_back(&w_);
+  if (has_bias_) out.push_back(&b_);
+}
+
+void Linear::collect_params(ConstParamList& out) const {
   out.push_back(&w_);
   if (has_bias_) out.push_back(&b_);
 }

@@ -13,6 +13,12 @@ std::int64_t param_count(const ParamList& params) {
   return n;
 }
 
+std::int64_t param_count(const ConstParamList& params) {
+  std::int64_t n = 0;
+  for (const Param* p : params) n += p->numel();
+  return n;
+}
+
 void zero_grads(const ParamList& params) {
   for (Param* p : params) p->zero_grad();
 }

@@ -4,6 +4,15 @@
 #include <stdexcept>
 
 namespace aeris::nn {
+namespace {
+
+// Ctx slot: the input plus the per-row inverse RMS factors.
+struct RMSNormCache {
+  Tensor x;
+  Tensor inv_rms;  // [rows]
+};
+
+}  // namespace
 
 RMSNorm::RMSNorm(std::string name, std::int64_t dim, bool elementwise_affine,
                  float eps)
@@ -31,11 +40,13 @@ Tensor RMSNorm::apply(const Tensor& x) const {
   return y;
 }
 
-Tensor RMSNorm::forward(const Tensor& x) {
+Tensor RMSNorm::forward(const Tensor& x, FwdCtx& ctx) const {
+  if (ctx.inference()) return apply(x);
   if (x.dim(-1) != dim_) throw std::invalid_argument("RMSNorm: bad last dim");
   const std::int64_t rows = x.numel() / dim_;
-  cached_x_ = x;
-  cached_inv_rms_ = Tensor({rows});
+  RMSNormCache& cache = ctx.slot<RMSNormCache>(id_);
+  cache.x = x;
+  cache.inv_rms = Tensor({rows});
   Tensor y(x.shape());
   for (std::int64_t r = 0; r < rows; ++r) {
     const float* px = x.data() + r * dim_;
@@ -43,7 +54,7 @@ Tensor RMSNorm::forward(const Tensor& x) {
     double ss = 0.0;
     for (std::int64_t c = 0; c < dim_; ++c) ss += static_cast<double>(px[c]) * px[c];
     const float inv = 1.0f / std::sqrt(static_cast<float>(ss / dim_) + eps_);
-    cached_inv_rms_[r] = inv;
+    cache.inv_rms[r] = inv;
     for (std::int64_t c = 0; c < dim_; ++c) {
       py[c] = px[c] * inv * (affine_ ? g_.value[c] : 1.0f);
     }
@@ -51,15 +62,18 @@ Tensor RMSNorm::forward(const Tensor& x) {
   return y;
 }
 
-Tensor RMSNorm::backward(const Tensor& dy) {
-  if (cached_x_.empty()) throw std::logic_error("RMSNorm: backward before forward");
-  const std::int64_t rows = cached_x_.numel() / dim_;
-  Tensor dx(cached_x_.shape());
+Tensor RMSNorm::backward(const Tensor& dy, FwdCtx& ctx) {
+  RMSNormCache* cache = ctx.find<RMSNormCache>(id_);
+  if (cache == nullptr || cache->x.empty()) {
+    throw std::logic_error("RMSNorm: backward before forward");
+  }
+  const std::int64_t rows = cache->x.numel() / dim_;
+  Tensor dx(cache->x.shape());
   for (std::int64_t r = 0; r < rows; ++r) {
-    const float* px = cached_x_.data() + r * dim_;
+    const float* px = cache->x.data() + r * dim_;
     const float* pdy = dy.data() + r * dim_;
     float* pdx = dx.data() + r * dim_;
-    const float inv = cached_inv_rms_[r];
+    const float inv = cache->inv_rms[r];
     // With u = x * inv_rms and y = u * g:
     //   dL/du_c = dy_c * g_c
     //   dL/dx  = inv * (du - u * mean(du ⊙ u))
@@ -80,6 +94,10 @@ Tensor RMSNorm::backward(const Tensor& dy) {
 }
 
 void RMSNorm::collect_params(ParamList& out) {
+  if (affine_) out.push_back(&g_);
+}
+
+void RMSNorm::collect_params(ConstParamList& out) const {
   if (affine_) out.push_back(&g_);
 }
 

@@ -4,7 +4,18 @@
 
 #include "aeris/tensor/ops.hpp"
 
+#include <stdexcept>
+
 namespace aeris::nn {
+namespace {
+
+// Ctx slot: the two pre-activation branches of the gated FFN.
+struct SwiGLUCache {
+  Tensor gate_pre;  // W_gate x
+  Tensor up;        // W_up x
+};
+
+}  // namespace
 
 float silu(float x) { return x / (1.0f + std::exp(-x)); }
 
@@ -24,32 +35,47 @@ void SwiGLU::init(const Philox& rng, std::uint64_t index) {
   down_.init(rng, index * 4 + 2);
 }
 
-Tensor SwiGLU::forward(const Tensor& x) {
-  cached_gate_pre_ = gate_.forward(x);
-  cached_up_ = up_.forward(x);
-  Tensor h(cached_gate_pre_.shape());
+Tensor SwiGLU::forward(const Tensor& x, FwdCtx& ctx) const {
+  Tensor gate_pre = gate_.forward(x, ctx);
+  Tensor up = up_.forward(x, ctx);
+  Tensor h(gate_pre.shape());
   const std::int64_t n = h.numel();
   for (std::int64_t i = 0; i < n; ++i) {
-    h[i] = silu(cached_gate_pre_[i]) * cached_up_[i];
+    h[i] = silu(gate_pre[i]) * up[i];
   }
-  return down_.forward(h);
+  if (ctx.training()) {
+    SwiGLUCache& cache = ctx.slot<SwiGLUCache>(id_);
+    cache.gate_pre = std::move(gate_pre);
+    cache.up = std::move(up);
+  }
+  return down_.forward(h, ctx);
 }
 
-Tensor SwiGLU::backward(const Tensor& dy) {
-  Tensor dh = down_.backward(dy);
-  Tensor dgate(cached_gate_pre_.shape());
-  Tensor dup(cached_up_.shape());
+Tensor SwiGLU::backward(const Tensor& dy, FwdCtx& ctx) {
+  SwiGLUCache* cache = ctx.find<SwiGLUCache>(id_);
+  if (cache == nullptr || cache->gate_pre.empty()) {
+    throw std::logic_error("SwiGLU: backward before forward");
+  }
+  Tensor dh = down_.backward(dy, ctx);
+  Tensor dgate(cache->gate_pre.shape());
+  Tensor dup(cache->up.shape());
   const std::int64_t n = dh.numel();
   for (std::int64_t i = 0; i < n; ++i) {
-    dgate[i] = dh[i] * cached_up_[i] * silu_grad(cached_gate_pre_[i]);
-    dup[i] = dh[i] * silu(cached_gate_pre_[i]);
+    dgate[i] = dh[i] * cache->up[i] * silu_grad(cache->gate_pre[i]);
+    dup[i] = dh[i] * silu(cache->gate_pre[i]);
   }
-  Tensor dx = gate_.backward(dgate);
-  add_(dx, up_.backward(dup));
+  Tensor dx = gate_.backward(dgate, ctx);
+  add_(dx, up_.backward(dup, ctx));
   return dx;
 }
 
 void SwiGLU::collect_params(ParamList& out) {
+  gate_.collect_params(out);
+  up_.collect_params(out);
+  down_.collect_params(out);
+}
+
+void SwiGLU::collect_params(ConstParamList& out) const {
   gate_.collect_params(out);
   up_.collect_params(out);
   down_.collect_params(out);

@@ -91,12 +91,12 @@ class SwipeEngine {
     nn::RMSNorm norm2;
     UlyssesAttention attn;
     nn::SwiGLU ffn;
-    // forward caches
-    Tensor x, h, norm1_out, norm2_out, attn_out, ffn_out, cond;
-    nn::AdaLNHead::Mod mod_a, mod_f;
+    nn::LayerId id;
     BlockStage(std::int64_t layer, const core::ModelConfig& m);
-    Tensor forward(Communicator& sp, const Tensor& x_in, const Tensor& cond_in);
-    Tensor backward(Communicator& sp, const Tensor& dy, Tensor& dcond);
+    Tensor forward(Communicator& sp, const Tensor& x_in, const Tensor& cond_in,
+                   nn::FwdCtx& ctx) const;
+    Tensor backward(Communicator& sp, const Tensor& dy, Tensor& dcond,
+                    nn::FwdCtx& ctx);
     void collect_params(nn::ParamList& out);
   };
   struct OutputStage {
@@ -105,11 +105,15 @@ class SwipeEngine {
     OutputStage(const core::ModelConfig& m);
   };
 
-  // per-microbatch in-flight record
+  // per-microbatch in-flight record. The FwdCtx owns every activation the
+  // stage clone's forward deposited; moving the Flight into the deque moves
+  // the ctx with it (slots are keyed by copy-stable LayerIds, not by layer
+  // addresses, so the move is safe).
   struct Flight {
     std::optional<InputStage> input;
     std::optional<BlockStage> block;
     std::optional<OutputStage> output;
+    nn::FwdCtx ctx{nn::FwdCtx::Mode::kTraining};
     Tensor pred_grad;       // output stage: dL/dpred
     std::int64_t sample = 0;
   };

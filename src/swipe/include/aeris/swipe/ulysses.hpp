@@ -29,10 +29,12 @@ class UlyssesAttention {
 
   /// x_local: [n_win, chunk, dim] where chunk = win_h*win_w / sp.size().
   /// Collective: every rank of `sp` must call with its shard.
-  Tensor forward(Communicator& sp, const Tensor& x_local);
-  Tensor backward(Communicator& sp, const Tensor& dy_local);
+  Tensor forward(Communicator& sp, const Tensor& x_local,
+                 nn::FwdCtx& ctx) const;
+  Tensor backward(Communicator& sp, const Tensor& dy_local, nn::FwdCtx& ctx);
 
   void collect_params(nn::ParamList& out);
+  void collect_params(nn::ConstParamList& out) const;
 
   std::int64_t dim() const { return dim_; }
   std::int64_t heads() const { return heads_; }
@@ -43,12 +45,7 @@ class UlyssesAttention {
   nn::Linear qkv_;
   nn::Linear proj_;
   nn::AxialRope rope_;
-
-  // caches for backward
-  Tensor q_full_, k_full_, v_full_;  // [n_win, T, dim/SP] (my heads)
-  Tensor probs_;
-  std::int64_t sp_size_ = 1;
-  std::int64_t sp_rank_ = 0;
+  nn::LayerId id_;
 };
 
 }  // namespace aeris::swipe

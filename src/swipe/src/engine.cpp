@@ -53,49 +53,69 @@ SwipeEngine::BlockStage::BlockStage(std::int64_t layer,
            m.win_w),
       ffn("block" + std::to_string(layer) + ".ffn", m.dim, m.ffn_hidden) {}
 
+namespace {
+
+// Ctx slot for a BlockStage: what the stage-level backward consumes
+// (sublayer activations live under the sublayers' own ids).
+struct BlockStageCache {
+  Tensor x, h, norm1_out, norm2_out, attn_out, ffn_out;
+  nn::AdaLNHead::Mod mod_a, mod_f;
+};
+
+}  // namespace
+
 Tensor SwipeEngine::BlockStage::forward(Communicator& sp, const Tensor& x_in,
-                                        const Tensor& cond_in) {
-  x = x_in;
-  cond = cond_in;  // [1, cond_dim]
+                                        const Tensor& cond_in,
+                                        nn::FwdCtx& ctx) const {
   const std::int64_t nwin = x_in.dim(0);
-  mod_a = adaln_attn.forward(cond);
-  mod_f = adaln_ffn.forward(cond);
+  BlockStageCache& cache = ctx.slot<BlockStageCache>(id);
+  cache.x = x_in;
+  cache.mod_a = adaln_attn.forward(cond_in, ctx);
+  cache.mod_f = adaln_ffn.forward(cond_in, ctx);
 
-  norm1_out = norm1.forward(x);
-  Tensor h_mod = nn::modulate(norm1_out, mod_a, nwin);
-  attn_out = attn.forward(sp, h_mod);
-  h = nn::apply_gate(x, attn_out, mod_a.gate, nwin);
+  cache.norm1_out = norm1.forward(x_in, ctx);
+  Tensor h_mod = nn::modulate(cache.norm1_out, cache.mod_a, nwin);
+  cache.attn_out = attn.forward(sp, h_mod, ctx);
+  cache.h = nn::apply_gate(x_in, cache.attn_out, cache.mod_a.gate, nwin);
 
-  norm2_out = norm2.forward(h);
-  Tensor f_mod = nn::modulate(norm2_out, mod_f, nwin);
-  ffn_out = ffn.forward(f_mod);
-  return nn::apply_gate(h, ffn_out, mod_f.gate, nwin);
+  cache.norm2_out = norm2.forward(cache.h, ctx);
+  Tensor f_mod = nn::modulate(cache.norm2_out, cache.mod_f, nwin);
+  cache.ffn_out = ffn.forward(f_mod, ctx);
+  return nn::apply_gate(cache.h, cache.ffn_out, cache.mod_f.gate, nwin);
 }
 
 Tensor SwipeEngine::BlockStage::backward(Communicator& sp, const Tensor& dy,
-                                         Tensor& dcond) {
-  const std::int64_t nwin = x.dim(0);
+                                         Tensor& dcond, nn::FwdCtx& ctx) {
+  BlockStageCache* c = ctx.find<BlockStageCache>(id);
+  if (c == nullptr || c->ffn_out.empty()) {
+    throw std::logic_error("BlockStage: backward before forward");
+  }
+  const std::int64_t nwin = c->x.dim(0);
   Tensor dffn_out, dgate_f;
-  nn::apply_gate_backward(ffn_out, mod_f.gate, dy, dffn_out, dgate_f, nwin);
+  nn::apply_gate_backward(c->ffn_out, c->mod_f.gate, dy, dffn_out, dgate_f,
+                          nwin);
   Tensor dh = dy;
 
-  Tensor df_mod = ffn.backward(dffn_out);
+  Tensor df_mod = ffn.backward(dffn_out, ctx);
   nn::AdaLNHead::Mod dmod_f;
-  Tensor dnorm2 = nn::modulate_backward(norm2_out, mod_f, df_mod, dmod_f, nwin);
+  Tensor dnorm2 =
+      nn::modulate_backward(c->norm2_out, c->mod_f, df_mod, dmod_f, nwin);
   dmod_f.gate = dgate_f;
-  add_(dcond, adaln_ffn.backward(dmod_f));
-  add_(dh, norm2.backward(dnorm2));
+  add_(dcond, adaln_ffn.backward(dmod_f, ctx));
+  add_(dh, norm2.backward(dnorm2, ctx));
 
   Tensor dattn_out, dgate_a;
-  nn::apply_gate_backward(attn_out, mod_a.gate, dh, dattn_out, dgate_a, nwin);
+  nn::apply_gate_backward(c->attn_out, c->mod_a.gate, dh, dattn_out, dgate_a,
+                          nwin);
   Tensor dx = dh;
 
-  Tensor dh_mod = attn.backward(sp, dattn_out);
+  Tensor dh_mod = attn.backward(sp, dattn_out, ctx);
   nn::AdaLNHead::Mod dmod_a;
-  Tensor dnorm1 = nn::modulate_backward(norm1_out, mod_a, dh_mod, dmod_a, nwin);
+  Tensor dnorm1 =
+      nn::modulate_backward(c->norm1_out, c->mod_a, dh_mod, dmod_a, nwin);
   dmod_a.gate = dgate_a;
-  add_(dcond, adaln_attn.backward(dmod_a));
-  add_(dx, norm1.backward(dnorm1));
+  add_(dcond, adaln_attn.backward(dmod_a, ctx));
+  add_(dx, norm1.backward(dnorm1, ctx));
   return dx;
 }
 
@@ -437,7 +457,7 @@ void SwipeEngine::forward_microbatch(int mb, const DataFn& data,
     if (cfg_.train.objective == core::Objective::kTrigFlow) {
       t = trigflow_.sample_time(rng_, static_cast<std::uint64_t>(sample));
     }
-    Tensor cond = flight.input->time_embed.forward(Tensor({1}, t));
+    Tensor cond = flight.input->time_embed.forward(Tensor({1}, t), flight.ctx);
 
     // Data loading: only this stage touches the dataset, and it reads
     // only the tokens it owns (paper §V-A "Data loading").
@@ -479,7 +499,7 @@ void SwipeEngine::forward_microbatch(int mb, const DataFn& data,
     }
     stats_.io_values += n * (2 * v + f);
 
-    Tensor x = flight.input->embed.forward(xin);  // [n, dim]
+    Tensor x = flight.input->embed.forward(xin, flight.ctx);  // [n, dim]
     flights_.push_back(std::move(flight));
     stats_.peak_live_clones = std::max(
         stats_.peak_live_clones, static_cast<std::int64_t>(flights_.size()));
@@ -505,7 +525,7 @@ void SwipeEngine::forward_microbatch(int mb, const DataFn& data,
     const std::int64_t nwin = lay.local_window_count(topo_.coords().wp);
     Tensor x = std::move(x_flat).reshaped({nwin, lay.sp_chunk(), m.dim});
     Communicator sp = topo_.sp_group();
-    Tensor y = flight.block->forward(sp, x, cond);
+    Tensor y = flight.block->forward(sp, x, cond, flight.ctx);
     flights_.push_back(std::move(flight));
     stats_.peak_live_clones = std::max(
         stats_.peak_live_clones, static_cast<std::int64_t>(flights_.size()));
@@ -528,8 +548,8 @@ void SwipeEngine::forward_microbatch(int mb, const DataFn& data,
   auto [x, cond] = complete_recv_forward(pend, n);
   (void)cond;
 
-  Tensor normed = flight.output->final_norm.forward(x);
-  Tensor pred = flight.output->head.forward(normed);  // [n, V]
+  Tensor normed = flight.output->final_norm.forward(x, flight.ctx);
+  Tensor pred = flight.output->head.forward(normed, flight.ctx);  // [n, V]
 
   // Objective residual per local token (regenerating the same t and z the
   // input stage used, via the counter RNG).
@@ -593,8 +613,9 @@ void SwipeEngine::backward_microbatch(int mb) {
   };
 
   if (pp == cfg_.grid.pp - 1) {
-    Tensor dnormed = flight.output->head.backward(flight.pred_grad);
-    Tensor dx = flight.output->final_norm.backward(dnormed);
+    Tensor dnormed =
+        flight.output->head.backward(flight.pred_grad, flight.ctx);
+    Tensor dx = flight.output->final_norm.backward(dnormed, flight.ctx);
     nn::ParamList cp;
     flight.output->final_norm.collect_params(cp);
     flight.output->head.collect_params(cp);
@@ -612,7 +633,7 @@ void SwipeEngine::backward_microbatch(int mb) {
     const std::int64_t nwin = lay.local_window_count(topo_.coords().wp);
     Tensor dy = std::move(dy_flat).reshaped({nwin, lay.sp_chunk(), m.dim});
     Communicator sp = topo_.sp_group();
-    Tensor dx = flight.block->backward(sp, dy, dcond);
+    Tensor dx = flight.block->backward(sp, dy, dcond, flight.ctx);
     nn::ParamList cp;
     flight.block->collect_params(cp);
     accumulate(cp);
@@ -626,8 +647,8 @@ void SwipeEngine::backward_microbatch(int mb) {
   const WindowLayout lay = layer_layout(0);
   const std::int64_t n = lay.local_tokens(topo_.coords().wp);
   auto [dtokens, dcond] = complete_recv_backward(pend, n);
-  flight.input->embed.backward(dtokens);
-  flight.input->time_embed.backward(dcond);
+  flight.input->embed.backward(dtokens, flight.ctx);
+  flight.input->time_embed.backward(dcond, flight.ctx);
   nn::ParamList cp;
   flight.input->embed.collect_params(cp);
   flight.input->time_embed.collect_params(cp);

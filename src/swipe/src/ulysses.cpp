@@ -20,6 +20,15 @@ Tensor chunk_coords(std::int64_t win_h, std::int64_t win_w, std::int64_t chunk,
   return coords;
 }
 
+/// Ctx slot: the head-sharded full-window q/k/v and softmax probs, plus
+/// the SP geometry of the matching forward.
+struct UlyssesCache {
+  Tensor q_full, k_full, v_full;  // [n_win, T, dim/SP] (my heads)
+  Tensor probs;
+  std::int64_t sp_size = 1;
+  std::int64_t sp_rank = 0;
+};
+
 }  // namespace
 
 UlyssesAttention::UlyssesAttention(std::string name, std::int64_t dim,
@@ -40,7 +49,8 @@ void UlyssesAttention::init(const Philox& rng, std::uint64_t index) {
   proj_.init(rng, index * 4 + 1);
 }
 
-Tensor UlyssesAttention::forward(Communicator& sp, const Tensor& x_local) {
+Tensor UlyssesAttention::forward(Communicator& sp, const Tensor& x_local,
+                                 nn::FwdCtx& ctx) const {
   const std::int64_t spn = sp.size();
   const std::int64_t t_all = tokens();
   const std::int64_t chunk = t_all / spn;
@@ -52,18 +62,17 @@ Tensor UlyssesAttention::forward(Communicator& sp, const Tensor& x_local) {
     throw std::invalid_argument("Ulysses: expected [n_win, T/SP, dim], got " +
                                 shape_to_string(x_local.shape()));
   }
-  sp_size_ = spn;
-  sp_rank_ = sp.rank();
+  const std::int64_t sp_rank = sp.rank();
   const std::int64_t nwin = x_local.dim(0);
   const std::int64_t dh = dim_ / heads_;
   const std::int64_t hp = heads_ / spn;  // heads per rank
 
   // Token-local projection + RoPE on this chunk's coordinates.
-  Tensor qkv = qkv_.forward(x_local);  // [n_win, chunk, 3C]
+  Tensor qkv = qkv_.forward(x_local, ctx);  // [n_win, chunk, 3C]
   Tensor q = slice(qkv, 2, 0, dim_);
   Tensor k = slice(qkv, 2, dim_, 2 * dim_);
   Tensor v = slice(qkv, 2, 2 * dim_, 3 * dim_);
-  const Tensor coords = chunk_coords(win_h_, win_w_, chunk, sp_rank_);
+  const Tensor coords = chunk_coords(win_h_, win_w_, chunk, sp_rank);
   rope_.apply(q, heads_, coords);
   rope_.apply(k, heads_, coords);
 
@@ -86,9 +95,9 @@ Tensor UlyssesAttention::forward(Communicator& sp, const Tensor& x_local) {
   }
   auto recvbufs = sp.alltoall(std::move(sendbufs));
 
-  q_full_ = Tensor({nwin, t_all, blk});
-  k_full_ = Tensor({nwin, t_all, blk});
-  v_full_ = Tensor({nwin, t_all, blk});
+  Tensor q_full({nwin, t_all, blk});
+  Tensor k_full({nwin, t_all, blk});
+  Tensor v_full({nwin, t_all, blk});
   for (std::int64_t s = 0; s < spn; ++s) {
     const auto& buf = recvbufs[static_cast<std::size_t>(s)];
     std::size_t p = 0;
@@ -97,20 +106,32 @@ Tensor UlyssesAttention::forward(Communicator& sp, const Tensor& x_local) {
         const std::int64_t gt = s * chunk + tok;
         const std::int64_t off = (w * t_all + gt) * blk;
         std::copy_n(buf.begin() + static_cast<std::ptrdiff_t>(p), blk,
-                    q_full_.data() + off);
+                    q_full.data() + off);
         p += static_cast<std::size_t>(blk);
         std::copy_n(buf.begin() + static_cast<std::ptrdiff_t>(p), blk,
-                    k_full_.data() + off);
+                    k_full.data() + off);
         p += static_cast<std::size_t>(blk);
         std::copy_n(buf.begin() + static_cast<std::ptrdiff_t>(p), blk,
-                    v_full_.data() + off);
+                    v_full.data() + off);
         p += static_cast<std::size_t>(blk);
       }
     }
   }
 
-  Tensor out_full =
-      nn::attention_core_forward(q_full_, k_full_, v_full_, hp, &probs_);
+  // Inference streams (no probs, nothing retained); training materializes
+  // the probabilities and deposits the full-window q/k/v for backward.
+  Tensor probs;
+  Tensor out_full = nn::attention_core_forward(
+      q_full, k_full, v_full, hp, ctx.training() ? &probs : nullptr);
+  if (ctx.training()) {
+    UlyssesCache& cache = ctx.slot<UlyssesCache>(id_);
+    cache.sp_size = spn;
+    cache.sp_rank = sp_rank;
+    cache.q_full = std::move(q_full);
+    cache.k_full = std::move(k_full);
+    cache.v_full = std::move(v_full);
+    cache.probs = std::move(probs);
+  }
 
   // Second alltoall: back to token-sharded/head-complete.
   std::vector<std::vector<float>> outbufs(static_cast<std::size_t>(spn));
@@ -140,20 +161,24 @@ Tensor UlyssesAttention::forward(Communicator& sp, const Tensor& x_local) {
       }
     }
   }
-  return proj_.forward(attn_local);
+  return proj_.forward(attn_local, ctx);
 }
 
-Tensor UlyssesAttention::backward(Communicator& sp, const Tensor& dy_local) {
-  if (q_full_.empty()) throw std::logic_error("Ulysses: backward before forward");
-  const std::int64_t spn = sp_size_;
+Tensor UlyssesAttention::backward(Communicator& sp, const Tensor& dy_local,
+                                  nn::FwdCtx& ctx) {
+  UlyssesCache* cache = ctx.find<UlyssesCache>(id_);
+  if (cache == nullptr || cache->q_full.empty()) {
+    throw std::logic_error("Ulysses: backward before forward");
+  }
+  const std::int64_t spn = cache->sp_size;
   const std::int64_t t_all = tokens();
   const std::int64_t chunk = t_all / spn;
-  const std::int64_t nwin = q_full_.dim(0);
+  const std::int64_t nwin = cache->q_full.dim(0);
   const std::int64_t dh = dim_ / heads_;
   const std::int64_t hp = heads_ / spn;
   const std::int64_t blk = hp * dh;
 
-  Tensor dattn_local = proj_.backward(dy_local);  // [n_win, chunk, dim]
+  Tensor dattn_local = proj_.backward(dy_local, ctx);  // [n_win, chunk, dim]
 
   // Mirror of the second alltoall: scatter my token chunk's head blocks
   // back to the head owners.
@@ -186,8 +211,9 @@ Tensor UlyssesAttention::backward(Communicator& sp, const Tensor& dy_local) {
   }
 
   Tensor dq_full, dk_full, dv_full;
-  nn::attention_core_backward(q_full_, k_full_, v_full_, probs_, dout_full, hp,
-                              dq_full, dk_full, dv_full);
+  nn::attention_core_backward(cache->q_full, cache->k_full, cache->v_full,
+                              cache->probs, dout_full, hp, dq_full, dk_full,
+                              dv_full);
 
   // Mirror of the first alltoall: return each token chunk's (dq,dk,dv) to
   // the token owner.
@@ -229,16 +255,21 @@ Tensor UlyssesAttention::backward(Communicator& sp, const Tensor& dy_local) {
     }
   }
 
-  const Tensor coords = chunk_coords(win_h_, win_w_, chunk, sp_rank_);
+  const Tensor coords = chunk_coords(win_h_, win_w_, chunk, cache->sp_rank);
   rope_.apply(dq, heads_, coords, /*inverse=*/true);
   rope_.apply(dk, heads_, coords, /*inverse=*/true);
 
   const Tensor* parts[] = {&dq, &dk, &dv};
   Tensor dqkv = concat(std::span<const Tensor* const>(parts, 3), 2);
-  return qkv_.backward(dqkv);
+  return qkv_.backward(dqkv, ctx);
 }
 
 void UlyssesAttention::collect_params(nn::ParamList& out) {
+  qkv_.collect_params(out);
+  proj_.collect_params(out);
+}
+
+void UlyssesAttention::collect_params(nn::ConstParamList& out) const {
   qkv_.collect_params(out);
   proj_.collect_params(out);
 }

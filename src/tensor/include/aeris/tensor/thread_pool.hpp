@@ -78,4 +78,29 @@ void parallel_for(std::int64_t n,
                   const std::function<void(std::int64_t, std::int64_t)>& fn,
                   std::int64_t grain = 1);
 
+/// While alive on a thread, every parallel_for issued from that thread runs
+/// inline on the caller instead of dispatching to the pool.
+///
+/// This is the concurrency contract for application-level threading (e.g.
+/// the parallel ensemble engine, whose workers each run whole forward
+/// passes): the pool holds a *single* job descriptor, so two threads
+/// dispatching concurrently would overwrite each other's job. Workers wrap
+/// themselves in a SerialRegionGuard and keep every kernel on their own
+/// thread. Results are unchanged: kernels split only independent output
+/// rows across chunks (GEMM M-strips, attention (batch, head) problems,
+/// norm rows), so inline execution is bitwise-identical to pooled
+/// execution.
+///
+/// Guards nest; the region ends when the outermost guard is destroyed.
+class SerialRegionGuard {
+ public:
+  SerialRegionGuard();
+  ~SerialRegionGuard();
+  SerialRegionGuard(const SerialRegionGuard&) = delete;
+  SerialRegionGuard& operator=(const SerialRegionGuard&) = delete;
+};
+
+/// True while the calling thread is inside a SerialRegionGuard.
+bool in_serial_region();
+
 }  // namespace aeris

@@ -4,6 +4,17 @@
 #include <exception>
 
 namespace aeris {
+namespace {
+
+thread_local int t_serial_depth = 0;
+
+}  // namespace
+
+SerialRegionGuard::SerialRegionGuard() { ++t_serial_depth; }
+
+SerialRegionGuard::~SerialRegionGuard() { --t_serial_depth; }
+
+bool in_serial_region() { return t_serial_depth > 0; }
 
 ThreadPool::ThreadPool(std::size_t num_threads) {
   // The caller participates in parallel_for, so spawn one fewer worker.
@@ -74,7 +85,7 @@ void ThreadPool::parallel_for(
   if (n <= 0) return;
   const std::int64_t g = std::max<std::int64_t>(1, grain);
   const std::int64_t threads = static_cast<std::int64_t>(size());
-  if (threads == 1 || n <= g) {
+  if (threads == 1 || n <= g || in_serial_region()) {
     fn(0, n);
     return;
   }

@@ -1,0 +1,66 @@
+// Bit-for-bit regression for the reentrant-forward (FwdCtx) refactor: the
+// Trainer loss trajectory below was captured on the pre-refactor code,
+// where layers cached activations in member state. Externalizing the
+// activations into per-call contexts must not change a single bit of the
+// training numerics.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+#include "aeris/core/trainer.hpp"
+#include "aeris/tensor/rng.hpp"
+
+namespace aeris::core {
+namespace {
+
+TEST(FwdCtxRegression, TrainerLossTrajectoryIsBitExactToPreRefactor) {
+  ModelConfig mc;
+  mc.h = 8;
+  mc.w = 8;
+  mc.in_channels = 8;  // 2*V + F for TrigFlow with V=3, F=2
+  mc.out_channels = 3;
+  mc.dim = 16;
+  mc.depth = 2;
+  mc.heads = 2;
+  mc.ffn_hidden = 32;
+  mc.win_h = 4;
+  mc.win_w = 4;
+  mc.cond_dim = 16;
+  mc.time_features = 8;
+  AerisModel model(mc, /*seed=*/11);
+
+  TrainerConfig tc;
+  tc.objective = Objective::kTrigFlow;
+  tc.seed = 7;
+  Trainer trainer(model, tc);
+
+  const Philox data_rng(99);
+  std::vector<TrainExample> batch(2);
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    batch[i].prev = Tensor({mc.h, mc.w, mc.out_channels});
+    batch[i].target = Tensor({mc.h, mc.w, mc.out_channels});
+    batch[i].forcings = Tensor({mc.h, mc.w, 2});
+    data_rng.fill_normal(batch[i].prev, 50, i * 4 + 0);
+    data_rng.fill_normal(batch[i].target, 50, i * 4 + 1);
+    data_rng.fill_normal(batch[i].forcings, 50, i * 4 + 2);
+  }
+
+  // Captured with the pre-refactor member-state caches (same model seed,
+  // trainer seed, and data streams).
+  const std::uint32_t golden[4] = {
+      0x3fe79a57u,  // step 0 loss 1.80939758
+      0x4007115cu,  // step 1 loss 2.11043453
+      0x400702c8u,  // step 2 loss 2.10954475
+      0x3fde7cf5u,  // step 3 loss 1.73818839
+  };
+  for (int step = 0; step < 4; ++step) {
+    const float loss = trainer.train_step(batch);
+    EXPECT_EQ(std::bit_cast<std::uint32_t>(loss), golden[step])
+        << "step " << step << " loss " << loss;
+  }
+}
+
+}  // namespace
+}  // namespace aeris::core

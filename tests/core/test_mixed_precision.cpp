@@ -114,9 +114,10 @@ TEST(MixedPrecision, MasterWeightsStayFp32Exact) {
   Tensor x({1, 8, 8, c.in_channels});
   rng.fill_normal(x, 1, 0);
   nn::zero_grads(model.params());
-  model.forward(x, Tensor({1}, 0.4f));
+  nn::FwdCtx ctx;
+  model.forward(x, Tensor({1}, 0.4f), ctx);
   Tensor dy({1, 8, 8, 2}, 1e-4f);
-  model.backward(dy);
+  model.backward(dy, ctx);
   nn::AdamW opt(model.params());
   opt.step(1e-3f);
   // A master weight updated by lr*~1 keeps sub-BF16 resolution.

@@ -74,7 +74,8 @@ TEST(AerisModel, ValidatesInputs) {
                std::invalid_argument);
   EXPECT_THROW(model.forward(Tensor({1, 8, 8, 5}), Tensor({2})),
                std::invalid_argument);
-  EXPECT_THROW(model.backward(Tensor({1, 8, 8, 2})), std::logic_error);
+  nn::FwdCtx ctx;
+  EXPECT_THROW(model.backward(Tensor({1, 8, 8, 2}), ctx), std::logic_error);
 }
 
 TEST(AerisModel, RejectsNonTilingWindows) {
@@ -118,8 +119,9 @@ TEST(AerisModel, GradCheckEndToEnd) {
   rng.fill_normal(dy, 1, 1);
 
   nn::zero_grads(model.params());
-  model.forward(x, t);
-  Tensor dx = model.backward(dy);
+  nn::FwdCtx ctx;
+  model.forward(x, t, ctx);
+  Tensor dx = model.backward(dy, ctx);
 
   auto loss_of_x = [&](const Tensor& xx) {
     AerisModel probe(c, 3);

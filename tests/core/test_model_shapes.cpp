@@ -53,11 +53,12 @@ TEST_P(ModelShapes, ForwardBackwardConsistent) {
     }
   }
   nn::zero_grads(model.params());
-  y = model.forward(x, t);
+  nn::FwdCtx ctx;
+  y = model.forward(x, t, ctx);
   for (float v : y.flat()) ASSERT_TRUE(std::isfinite(v));
   Tensor dy(y.shape());
   rng.fill_normal(dy, 1, 1);
-  Tensor dx = model.backward(dy);
+  Tensor dx = model.backward(dy, ctx);
   ASSERT_EQ(dx.shape(), x.shape());
   for (float v : dx.flat()) ASSERT_TRUE(std::isfinite(v));
   EXPECT_GT(nn::grad_norm(model.params()), 0.0f);

@@ -29,7 +29,8 @@ TEST(SwinBlock, ZeroInitIsIdentity) {
   rng.fill_normal(x, 1, 0);
   Tensor cond({2, 8});
   rng.fill_normal(cond, 1, 1);
-  Tensor y = block.forward(x, cond, 1);
+  nn::FwdCtx ctx;
+  Tensor y = block.forward(x, cond, 1, ctx);
   EXPECT_TRUE(y.allclose(x, 1e-6f));
 }
 
@@ -50,7 +51,8 @@ TEST(SwinBlock, NonZeroGatesChangeOutput) {
   rng.fill_normal(x, 1, 0);
   Tensor cond({2, 8});
   rng.fill_normal(cond, 1, 1);
-  Tensor y = block.forward(x, cond, 1);
+  nn::FwdCtx ctx;
+  Tensor y = block.forward(x, cond, 1, ctx);
   EXPECT_FALSE(y.allclose(x, 1e-3f));
 }
 
@@ -71,8 +73,9 @@ TEST(SwinBlock, ConditioningAffectsOutput) {
   Tensor c1({1, 8}), c2({1, 8});
   rng.fill_normal(c1, 1, 1);
   rng.fill_normal(c2, 1, 2);
-  Tensor y1 = block.forward(x, c1, 1);
-  Tensor y2 = block.forward(x, c2, 1);
+  nn::FwdCtx ctx;
+  Tensor y1 = block.forward(x, c1, 1, ctx);
+  Tensor y2 = block.forward(x, c2, 1, ctx);
   EXPECT_FALSE(y1.allclose(y2, 1e-4f));
 }
 
@@ -94,12 +97,13 @@ TEST(SwinBlock, BackwardShapesAndCondGrad) {
   rng.fill_normal(x, 1, 0);
   Tensor cond({2, 8});
   rng.fill_normal(cond, 1, 1);
-  block.forward(x, cond, 2);
+  nn::FwdCtx ctx;
+  block.forward(x, cond, 2, ctx);
 
   Tensor dy({4, 4, 8});
   rng.fill_normal(dy, 1, 2);
   Tensor dcond({2, 8});
-  Tensor dx = block.backward(dy, dcond);
+  Tensor dx = block.backward(dy, dcond, ctx);
   EXPECT_EQ(dx.shape(), x.shape());
   EXPECT_GT(max_abs(dcond), 0.0f);
   EXPECT_GT(nn::grad_norm(params), 0.0f);
@@ -126,14 +130,15 @@ TEST(SwinBlock, GradCheckEndToEnd) {
   Tensor dy({2, 4, 8});
   rng.fill_normal(dy, 1, 2);
 
-  block.forward(x, cond, 2);
+  nn::FwdCtx ctx;
+  block.forward(x, cond, 2, ctx);
   Tensor dcond({1, 8});
-  Tensor dx = block.backward(dy, dcond);
+  Tensor dx = block.backward(dy, dcond, ctx);
 
   // Finite-difference a strided subset of input coordinates.
   auto loss_of = [&](const Tensor& xx, const Tensor& cc) {
-    SwinBlock probe = block;
-    return dot(probe.forward(xx, cc, 2), dy);
+    nn::FwdCtx probe_ctx(nn::FwdCtx::Mode::kInference);
+    return dot(block.forward(xx, cc, 2, probe_ctx), dy);
   };
   const float eps = 5e-3f;
   for (std::int64_t i = 0; i < x.numel(); i += 7) {

@@ -11,7 +11,8 @@ namespace {
 TEST(AdaLN, ZeroInitGivesIdentityModulation) {
   AdaLNHead head("h", 8, 4);
   Tensor cond({2, 8}, 1.0f);
-  auto mod = head.forward(cond);
+  FwdCtx ctx;
+  auto mod = head.forward(cond, ctx);
   EXPECT_FLOAT_EQ(max_abs(mod.shift), 0.0f);
   EXPECT_FLOAT_EQ(max_abs(mod.scale), 0.0f);
   EXPECT_FLOAT_EQ(max_abs(mod.gate), 0.0f);
@@ -37,7 +38,8 @@ TEST(AdaLN, ModulationBroadcastsOverWindows) {
 
   Tensor cond({1, 4});
   rng.fill_normal(cond, 1, 1);
-  auto mod = head.forward(cond);
+  FwdCtx ctx;
+  auto mod = head.forward(cond, ctx);
 
   // 3 windows of one sample all use the same modulation row.
   Tensor x({3, 2, 2});
@@ -57,7 +59,8 @@ TEST(AdaLN, ModulationBroadcastsOverWindows) {
 TEST(AdaLN, WindowSampleMismatchThrows) {
   AdaLNHead head("h", 4, 2);
   Tensor cond({2, 4});
-  auto mod = head.forward(cond);
+  FwdCtx ctx;
+  auto mod = head.forward(cond, ctx);
   Tensor x({3, 2, 2});  // 3 windows not divisible into 2 samples
   EXPECT_THROW(modulate(x, mod, 1), std::invalid_argument);
 }
@@ -141,13 +144,14 @@ TEST(AdaLN, HeadBackwardFlowsToCond) {
 
   Tensor cond({2, 4});
   rng.fill_normal(cond, 1, 1);
-  auto mod = head.forward(cond);
+  FwdCtx ctx;
+  auto mod = head.forward(cond, ctx);
 
   AdaLNHead::Mod dmod;
   dmod.shift = Tensor({2, 3}, 1.0f);
   dmod.scale = Tensor({2, 3}, 0.5f);
   dmod.gate = Tensor({2, 3}, -0.5f);
-  Tensor dcond = head.backward(dmod);
+  Tensor dcond = head.backward(dmod, ctx);
   EXPECT_EQ(dcond.shape(), (Shape{2, 4}));
   EXPECT_GT(max_abs(dcond), 0.0f);
   EXPECT_GT(grad_norm(params), 0.0f);

@@ -2,7 +2,6 @@
 
 #include <gtest/gtest.h>
 
-#include "aeris/nn/inference.hpp"
 #include "aeris/tensor/arena.hpp"
 #include "aeris/tensor/ops.hpp"
 #include "gradcheck.hpp"
@@ -24,7 +23,8 @@ TEST(WindowAttention, OutputShapeMatchesInput) {
   Philox rng(2);
   Tensor x({3, 4, 8});
   rng.fill_normal(x, 1, 0);
-  EXPECT_EQ(attn.forward(x).shape(), (Shape{3, 4, 8}));
+  FwdCtx ctx;
+  EXPECT_EQ(attn.forward(x, ctx).shape(), (Shape{3, 4, 8}));
 }
 
 TEST(WindowAttention, WindowsAreIndependent) {
@@ -34,13 +34,14 @@ TEST(WindowAttention, WindowsAreIndependent) {
   Philox rng(3);
   Tensor x({2, 4, 8});
   rng.fill_normal(x, 1, 0);
-  Tensor y0 = attn.forward(x);
+  FwdCtx ctx;
+  Tensor y0 = attn.forward(x, ctx);
 
   Tensor x2 = x;
   for (std::int64_t t = 0; t < 4; ++t) {
     for (std::int64_t c = 0; c < 8; ++c) x2.at3(1, t, c) += 5.0f;
   }
-  Tensor y1 = attn.forward(x2);
+  Tensor y1 = attn.forward(x2, ctx);
   EXPECT_TRUE(slice(y0, 0, 0, 1).allclose(slice(y1, 0, 0, 1), 1e-5f));
   EXPECT_FALSE(slice(y0, 0, 1, 2).allclose(slice(y1, 0, 1, 2), 1e-3f));
 }
@@ -51,15 +52,17 @@ TEST(WindowAttention, BatchOfIdenticalWindowsGivesIdenticalOutput) {
   Tensor one({1, 4, 8});
   rng.fill_normal(one, 1, 0);
   Tensor both = concat(one, one, 0);
-  Tensor y = attn.forward(both);
+  FwdCtx ctx;
+  Tensor y = attn.forward(both, ctx);
   EXPECT_TRUE(slice(y, 0, 0, 1).allclose(slice(y, 0, 1, 2), 1e-5f));
 }
 
 TEST(WindowAttention, ValidatesInputShape) {
   WindowAttention attn = make_attn();
-  EXPECT_THROW(attn.forward(Tensor({1, 3, 8})), std::invalid_argument);
-  EXPECT_THROW(attn.forward(Tensor({1, 4, 6})), std::invalid_argument);
-  EXPECT_THROW(attn.backward(Tensor({1, 4, 8})), std::logic_error);
+  FwdCtx ctx;
+  EXPECT_THROW(attn.forward(Tensor({1, 3, 8}), ctx), std::invalid_argument);
+  EXPECT_THROW(attn.forward(Tensor({1, 4, 6}), ctx), std::invalid_argument);
+  EXPECT_THROW(attn.backward(Tensor({1, 4, 8}), ctx), std::logic_error);
 }
 
 TEST(WindowAttention, RejectsIndivisibleHeads) {
@@ -77,12 +80,13 @@ TEST(WindowAttention, GradCheckInput) {
   ParamList params;
   attn.collect_params(params);
   zero_grads(params);
-  attn.forward(x);
-  Tensor dx = attn.backward(dy);
+  FwdCtx ctx;
+  attn.forward(x, ctx);
+  Tensor dx = attn.backward(dy, ctx);
 
   auto loss_of_x = [&](const Tensor& xx) {
-    WindowAttention probe = attn;
-    return dot(probe.forward(xx), dy);
+    FwdCtx probe_ctx(FwdCtx::Mode::kInference);
+    return dot(attn.forward(xx, probe_ctx), dy);
   };
   testing::expect_input_grad_close(x, dx, loss_of_x, 5e-3f, 3e-2f);
 }
@@ -98,12 +102,13 @@ TEST(WindowAttention, GradCheckParams) {
   ParamList params;
   attn.collect_params(params);
   zero_grads(params);
-  attn.forward(x);
-  attn.backward(dy);
+  FwdCtx ctx;
+  attn.forward(x, ctx);
+  attn.backward(dy, ctx);
 
   auto loss = [&]() {
-    WindowAttention probe = attn;
-    return dot(probe.forward(x), dy);
+    FwdCtx probe_ctx(FwdCtx::Mode::kInference);
+    return dot(attn.forward(x, probe_ctx), dy);
   };
   testing::expect_param_grads_close(params, loss, 5e-3f, 3e-2f, 16);
 }
@@ -152,17 +157,18 @@ TEST(AttentionCore, StreamingNeverMaterializesProbs) {
   EXPECT_LT(arena.peak_bytes(), full_probs_bytes / 2);
 }
 
-TEST(WindowAttention, InferenceModeMatchesTrainingForward) {
+TEST(WindowAttention, InferenceCtxMatchesTrainingForward) {
   WindowAttention attn = make_attn(16, 4, 4, 4, 23);
   Philox rng(24);
   Tensor x({3, 16, 16});
   rng.fill_normal(x, 1, 0);
-  Tensor train_y = attn.forward(x);
-  Tensor infer_y;
-  {
-    InferenceModeGuard guard;
-    infer_y = attn.forward(x);
-  }
+  FwdCtx train_ctx;
+  Tensor train_y = attn.forward(x, train_ctx);
+  FwdCtx infer_ctx(FwdCtx::Mode::kInference);
+  Tensor infer_y = attn.forward(x, infer_ctx);
+  // The inference ctx retains no activations at all.
+  EXPECT_EQ(infer_ctx.slot_count(), 0u);
+  EXPECT_GT(train_ctx.slot_count(), 0u);
   ASSERT_EQ(infer_y.shape(), train_y.shape());
   for (std::int64_t i = 0; i < train_y.numel(); ++i) {
     ASSERT_NEAR(infer_y[i], train_y[i], 2e-5f) << "at " << i;
@@ -171,8 +177,8 @@ TEST(WindowAttention, InferenceModeMatchesTrainingForward) {
 
 TEST(WindowAttention, BackwardUnchangedByInterleavedInference) {
   // Gradients after forward+backward must be identical whether or not an
-  // inference-mode forward ran in between — the streaming path must not
-  // disturb the training caches.
+  // inference forward (with its own ctx) ran in between — activations live
+  // in the ctx, never in the layer, so concurrent calls cannot collide.
   WindowAttention attn = make_attn(8, 2, 2, 2, 25);
   Philox rng(26);
   Tensor x({2, 4, 8});
@@ -184,22 +190,24 @@ TEST(WindowAttention, BackwardUnchangedByInterleavedInference) {
   ParamList p1;
   a1.collect_params(p1);
   zero_grads(p1);
-  a1.forward(x);
-  Tensor dx1 = a1.backward(dy);
+  FwdCtx ctx1;
+  a1.forward(x, ctx1);
+  Tensor dx1 = a1.backward(dy, ctx1);
 
   WindowAttention a2 = attn;
   ParamList p2;
   a2.collect_params(p2);
   zero_grads(p2);
-  a2.forward(x);
+  FwdCtx ctx2;
+  a2.forward(x, ctx2);
   {
-    InferenceModeGuard guard;
+    FwdCtx infer_ctx(FwdCtx::Mode::kInference);
     Tensor x2({5, 4, 8});
     Philox rng2(27);
     rng2.fill_normal(x2, 1, 0);
-    a2.forward(x2);  // inference forward on different data
+    a2.forward(x2, infer_ctx);  // inference forward on different data
   }
-  Tensor dx2 = a2.backward(dy);
+  Tensor dx2 = a2.backward(dy, ctx2);
 
   EXPECT_TRUE(dx1.allclose(dx2, 1e-6f));
   ASSERT_EQ(p1.size(), p2.size());
@@ -222,7 +230,8 @@ TEST(WindowAttention, NonSquareWindow) {
   attn.init(rng, 0);
   Tensor x({1, 6, 8});
   rng.fill_normal(x, 1, 0);
-  EXPECT_EQ(attn.forward(x).shape(), (Shape{1, 6, 8}));
+  FwdCtx ctx;
+  EXPECT_EQ(attn.forward(x, ctx).shape(), (Shape{1, 6, 8}));
 }
 
 }  // namespace

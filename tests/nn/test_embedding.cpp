@@ -53,8 +53,9 @@ TEST(TimeEmbedding, ShapeAndDeterminism) {
   Philox rng(1);
   emb.init(rng, 0);
   Tensor t = Tensor::from({0.2f, 1.0f});
-  Tensor c1 = emb.forward(t);
-  Tensor c2 = emb.forward(t);
+  FwdCtx ctx;
+  Tensor c1 = emb.forward(t, ctx);
+  Tensor c2 = emb.forward(t, ctx);
   EXPECT_EQ(c1.shape(), (Shape{2, 8}));
   EXPECT_TRUE(c1.allclose(c2));
 }
@@ -63,7 +64,8 @@ TEST(TimeEmbedding, DifferentTimesGiveDifferentConditioning) {
   TimeEmbedding emb("t", 16, 8);
   Philox rng(2);
   emb.init(rng, 0);
-  Tensor c = emb.forward(Tensor::from({0.1f, 1.4f}));
+  FwdCtx ctx;
+  Tensor c = emb.forward(Tensor::from({0.1f, 1.4f}), ctx);
   EXPECT_FALSE(slice(c, 0, 0, 1).allclose(slice(c, 0, 1, 2), 1e-4f));
 }
 
@@ -75,15 +77,17 @@ TEST(TimeEmbedding, BackwardAccumulatesSharedLayerGrads) {
   emb.collect_params(params);
   zero_grads(params);
 
-  Tensor c = emb.forward(Tensor::from({0.5f}));
+  FwdCtx ctx;
+  Tensor c = emb.forward(Tensor::from({0.5f}), ctx);
   Tensor dcond({1, 4}, 1.0f);
-  emb.backward(dcond);
+  emb.backward(dcond, ctx);
   EXPECT_GT(grad_norm(params), 0.0f);
 }
 
 TEST(TimeEmbedding, RejectsMatrixInput) {
   TimeEmbedding emb("t", 8, 4);
-  EXPECT_THROW(emb.forward(Tensor({2, 2})), std::invalid_argument);
+  FwdCtx ctx;
+  EXPECT_THROW(emb.forward(Tensor({2, 2}), ctx), std::invalid_argument);
 }
 
 }  // namespace

@@ -13,7 +13,8 @@ TEST(Linear, ForwardMatchesManual) {
   lin.weight().value = Tensor({3, 2}, std::vector<float>{1, 0, 0, 1, 1, 1});
   lin.bias().value = Tensor::from({0.5f, -0.5f, 0.0f});
   Tensor x({1, 2}, std::vector<float>{2, 3});
-  Tensor y = lin.forward(x);
+  FwdCtx ctx;
+  Tensor y = lin.forward(x, ctx);
   EXPECT_TRUE(y.allclose(Tensor({1, 3}, std::vector<float>{2.5f, 2.5f, 5.0f})));
 }
 
@@ -23,7 +24,8 @@ TEST(Linear, PreservesLeadingDims) {
   lin.init(rng, 0);
   Tensor x({3, 5, 4});
   rng.fill_normal(x, 1, 0);
-  Tensor y = lin.forward(x);
+  FwdCtx ctx;
+  Tensor y = lin.forward(x, ctx);
   EXPECT_EQ(y.shape(), (Shape{3, 5, 2}));
 }
 
@@ -33,17 +35,32 @@ TEST(Linear, ApplyEqualsForward) {
   lin.init(rng, 0);
   Tensor x({2, 4});
   rng.fill_normal(x, 1, 1);
-  EXPECT_TRUE(lin.apply(x).allclose(lin.forward(x)));
+  FwdCtx ctx;
+  EXPECT_TRUE(lin.apply(x).allclose(lin.forward(x, ctx)));
 }
 
 TEST(Linear, RejectsBadLastDim) {
   Linear lin("l", 4, 2);
-  EXPECT_THROW(lin.forward(Tensor({2, 3})), std::invalid_argument);
+  FwdCtx ctx;
+  EXPECT_THROW(lin.forward(Tensor({2, 3}), ctx), std::invalid_argument);
 }
 
 TEST(Linear, BackwardBeforeForwardThrows) {
   Linear lin("l", 2, 2);
-  EXPECT_THROW(lin.backward(Tensor({1, 2})), std::logic_error);
+  FwdCtx ctx;
+  EXPECT_THROW(lin.backward(Tensor({1, 2}), ctx), std::logic_error);
+}
+
+TEST(Linear, InferenceCtxRetainsNothingAndBackwardThrows) {
+  Linear lin("l", 2, 2);
+  Philox rng(4);
+  lin.init(rng, 0);
+  Tensor x({1, 2}, std::vector<float>{1, 2});
+  FwdCtx ctx(FwdCtx::Mode::kInference);
+  Tensor y = lin.forward(x, ctx);
+  EXPECT_TRUE(y.allclose(lin.apply(x)));
+  EXPECT_EQ(ctx.slot_count(), 0u);
+  EXPECT_THROW(lin.backward(Tensor({1, 2}), ctx), std::logic_error);
 }
 
 TEST(Linear, GradCheckInputAndParams) {
@@ -59,8 +76,9 @@ TEST(Linear, GradCheckInputAndParams) {
   lin.collect_params(params);
   zero_grads(params);
 
-  Tensor y = lin.forward(x);
-  Tensor dx = lin.backward(dy);
+  FwdCtx ctx;
+  Tensor y = lin.forward(x, ctx);
+  Tensor dx = lin.backward(dy, ctx);
 
   auto loss_of_x = [&](const Tensor& xx) { return dot(lin.apply(xx), dy); };
   testing::expect_input_grad_close(x, dx, loss_of_x, 1e-2f, 1e-2f);
@@ -79,11 +97,12 @@ TEST(Linear, GradAccumulatesAcrossBackwardCalls) {
   ParamList params;
   lin.collect_params(params);
   zero_grads(params);
-  lin.forward(x);
-  lin.backward(dy);
+  FwdCtx ctx;
+  lin.forward(x, ctx);
+  lin.backward(dy, ctx);
   const Tensor once = params[0]->grad;
-  lin.forward(x);
-  lin.backward(dy);
+  lin.forward(x, ctx);
+  lin.backward(dy, ctx);
   Tensor twice = once;
   scale_(twice, 2.0f);
   EXPECT_TRUE(params[0]->grad.allclose(twice));
@@ -111,7 +130,8 @@ TEST(Linear, InitZeroGivesZeroOutput) {
   Linear lin("l", 4, 4);
   lin.init_zero();
   Tensor x({2, 4}, 1.0f);
-  EXPECT_FLOAT_EQ(max_abs(lin.forward(x)), 0.0f);
+  FwdCtx ctx;
+  EXPECT_FLOAT_EQ(max_abs(lin.forward(x, ctx)), 0.0f);
 }
 
 }  // namespace

@@ -16,7 +16,8 @@ TEST(RMSNorm, UnitGainNormalizesRMS) {
   Tensor x({4, 8});
   rng.fill_normal(x, 1, 0);
   scale_(x, 3.0f);
-  Tensor y = norm.forward(x);
+  FwdCtx ctx;
+  Tensor y = norm.forward(x, ctx);
   for (std::int64_t r = 0; r < 4; ++r) {
     double ss = 0.0;
     for (std::int64_t c = 0; c < 8; ++c) ss += y.at2(r, c) * y.at2(r, c);
@@ -30,9 +31,10 @@ TEST(RMSNorm, ScaleInvariance) {
   Philox rng(2);
   Tensor x({2, 16});
   rng.fill_normal(x, 1, 0);
-  Tensor y1 = norm.forward(x);
+  FwdCtx ctx;
+  Tensor y1 = norm.forward(x, ctx);
   Tensor xs = scale(x, 7.3f);
-  Tensor y2 = norm.forward(xs);
+  Tensor y2 = norm.forward(xs, ctx);
   EXPECT_TRUE(y1.allclose(y2, 1e-4f));
 }
 
@@ -40,7 +42,8 @@ TEST(RMSNorm, GainScalesOutput) {
   RMSNorm norm("n", 4);
   norm.gain().value = Tensor::from({2, 2, 2, 2});
   Tensor x({1, 4}, std::vector<float>{1, 1, 1, 1});
-  Tensor y = norm.forward(x);
+  FwdCtx ctx;
+  Tensor y = norm.forward(x, ctx);
   for (std::int64_t i = 0; i < 4; ++i) EXPECT_NEAR(y[i], 2.0f, 1e-4f);
 }
 
@@ -49,7 +52,8 @@ TEST(RMSNorm, ApplyEqualsForward) {
   Philox rng(3);
   Tensor x({3, 8});
   rng.fill_normal(x, 1, 1);
-  EXPECT_TRUE(norm.apply(x).allclose(norm.forward(x)));
+  FwdCtx ctx;
+  EXPECT_TRUE(norm.apply(x).allclose(norm.forward(x, ctx)));
 }
 
 TEST(RMSNorm, GradCheck) {
@@ -69,8 +73,9 @@ TEST(RMSNorm, GradCheck) {
   ParamList params;
   norm.collect_params(params);
   zero_grads(params);
-  norm.forward(x);
-  Tensor dx = norm.backward(dy);
+  FwdCtx ctx;
+  norm.forward(x, ctx);
+  Tensor dx = norm.backward(dy, ctx);
 
   auto loss_of_x = [&](const Tensor& xx) { return dot(norm.apply(xx), dy); };
   testing::expect_input_grad_close(x, dx, loss_of_x, 1e-3f, 2e-2f);
@@ -84,7 +89,8 @@ TEST(RMSNorm, NonAffineHasNoParams) {
   norm.collect_params(params);
   EXPECT_TRUE(params.empty());
   Tensor x({1, 4}, std::vector<float>{3, 0, 0, 0});
-  Tensor y = norm.forward(x);
+  FwdCtx ctx;
+  Tensor y = norm.forward(x, ctx);
   EXPECT_NEAR(y[0], 2.0f, 1e-3f);  // 3 / rms([3,0,0,0]) = 3/1.5
 }
 
@@ -95,8 +101,9 @@ TEST(RMSNorm, NonAffineGradCheck) {
   rng.fill_normal(x, 1, 0);
   Tensor dy({2, 5});
   rng.fill_normal(dy, 1, 1);
-  norm.forward(x);
-  Tensor dx = norm.backward(dy);
+  FwdCtx ctx;
+  norm.forward(x, ctx);
+  Tensor dx = norm.backward(dy, ctx);
   auto loss_of_x = [&](const Tensor& xx) { return dot(norm.apply(xx), dy); };
   testing::expect_input_grad_close(x, dx, loss_of_x, 1e-3f, 2e-2f);
 }
@@ -104,7 +111,8 @@ TEST(RMSNorm, NonAffineGradCheck) {
 TEST(RMSNorm, ZeroInputIsFinite) {
   RMSNorm norm("n", 4);
   Tensor x({1, 4});
-  Tensor y = norm.forward(x);
+  FwdCtx ctx;
+  Tensor y = norm.forward(x, ctx);
   for (float v : y.flat()) EXPECT_TRUE(std::isfinite(v));
 }
 

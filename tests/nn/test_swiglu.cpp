@@ -31,7 +31,8 @@ TEST(SwiGLU, OutputShape) {
   ffn.init(rng, 0);
   Tensor x({2, 3, 8});
   rng.fill_normal(x, 1, 0);
-  EXPECT_EQ(ffn.forward(x).shape(), (Shape{2, 3, 8}));
+  FwdCtx ctx;
+  EXPECT_EQ(ffn.forward(x, ctx).shape(), (Shape{2, 3, 8}));
 }
 
 TEST(SwiGLU, ParamCountMatchesFormula) {
@@ -51,17 +52,16 @@ TEST(SwiGLU, GradCheckInput) {
   Tensor dy({2, 4});
   rng.fill_normal(dy, 1, 2);
 
-  ffn.forward(x);
-  // Re-run forward to refresh caches before each backward in loss closure.
   ParamList params;
   ffn.collect_params(params);
   zero_grads(params);
-  ffn.forward(x);
-  Tensor dx = ffn.backward(dy);
+  FwdCtx ctx;
+  ffn.forward(x, ctx);
+  Tensor dx = ffn.backward(dy, ctx);
 
   auto loss_of_x = [&](const Tensor& xx) {
-    SwiGLU probe = ffn;  // copy has same weights, fresh caches
-    return dot(probe.forward(xx), dy);
+    FwdCtx probe_ctx(FwdCtx::Mode::kInference);
+    return dot(ffn.forward(xx, probe_ctx), dy);
   };
   testing::expect_input_grad_close(x, dx, loss_of_x, 1e-2f, 2e-2f);
 }
@@ -78,12 +78,13 @@ TEST(SwiGLU, GradCheckParams) {
   ParamList params;
   ffn.collect_params(params);
   zero_grads(params);
-  ffn.forward(x);
-  ffn.backward(dy);
+  FwdCtx ctx;
+  ffn.forward(x, ctx);
+  ffn.backward(dy, ctx);
 
   auto loss = [&]() {
-    SwiGLU probe = ffn;
-    return dot(probe.forward(x), dy);
+    FwdCtx probe_ctx(FwdCtx::Mode::kInference);
+    return dot(ffn.forward(x, probe_ctx), dy);
   };
   testing::expect_param_grads_close(params, loss, 1e-2f, 2e-2f);
 }
@@ -93,7 +94,8 @@ TEST(SwiGLU, ZeroInputGivesZeroOutput) {
   Philox rng(7);
   ffn.init(rng, 0);
   Tensor x({1, 4});
-  EXPECT_FLOAT_EQ(max_abs(ffn.forward(x)), 0.0f);
+  FwdCtx ctx;
+  EXPECT_FLOAT_EQ(max_abs(ffn.forward(x, ctx)), 0.0f);
 }
 
 }  // namespace

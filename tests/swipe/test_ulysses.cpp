@@ -44,8 +44,9 @@ TEST_P(UlyssesParam, MatchesSingleRankAttention) {
   nn::ParamList ref_params;
   ref.collect_params(ref_params);
   nn::zero_grads(ref_params);
-  Tensor y_ref = ref.forward(x);
-  Tensor dx_ref = ref.backward(dy);
+  nn::FwdCtx ref_ctx;
+  Tensor y_ref = ref.forward(x, ref_ctx);
+  Tensor dx_ref = ref.backward(dy, ref_ctx);
   const auto ref_grads = nn::flatten_grads(ref_params);
 
   // Distributed: SP ranks each hold a token chunk of every window.
@@ -72,8 +73,10 @@ TEST_P(UlyssesParam, MatchesSingleRankAttention) {
     nn::ParamList params;
     attn.collect_params(params);
     nn::zero_grads(params);
-    y_shards[static_cast<std::size_t>(rank)] = attn.forward(sp, x_local);
-    dx_shards[static_cast<std::size_t>(rank)] = attn.backward(sp, dy_local);
+    nn::FwdCtx ctx;
+    y_shards[static_cast<std::size_t>(rank)] = attn.forward(sp, x_local, ctx);
+    dx_shards[static_cast<std::size_t>(rank)] =
+        attn.backward(sp, dy_local, ctx);
     grad_shards[static_cast<std::size_t>(rank)] = nn::flatten_grads(params);
   });
 
@@ -119,7 +122,9 @@ TEST(Ulysses, RejectsBadShapes) {
     Communicator sp(world, {0, 1}, rank, 1);
     UlyssesAttention attn("a", 8, 2, 2, 2);
     // chunk should be 2; pass 3 tokens.
-    EXPECT_THROW(attn.forward(sp, Tensor({1, 3, 8})), std::invalid_argument);
+    nn::FwdCtx ctx;
+    EXPECT_THROW(attn.forward(sp, Tensor({1, 3, 8}), ctx),
+                 std::invalid_argument);
   });
 }
 
@@ -128,7 +133,9 @@ TEST(Ulysses, RejectsIndivisibleHeads) {
   world.run([&](int rank) {
     Communicator sp(world, {0, 1, 2, 3}, rank, 1);
     UlyssesAttention attn("a", 8, 2, 2, 2);  // 2 heads, SP=4
-    EXPECT_THROW(attn.forward(sp, Tensor({1, 1, 8})), std::invalid_argument);
+    nn::FwdCtx ctx;
+    EXPECT_THROW(attn.forward(sp, Tensor({1, 1, 8}), ctx),
+                 std::invalid_argument);
   });
 }
 
@@ -150,7 +157,8 @@ TEST(Ulysses, AlltoallVolumeScalesInverselyWithSP) {
       attn.init(Philox(1), 0);
       Tensor x_local({2, t / sp_degree, 16});
       Philox(2).fill_normal(x_local, 1, static_cast<std::uint64_t>(rank));
-      attn.forward(sp, x_local);
+      nn::FwdCtx ctx;
+      attn.forward(sp, x_local, ctx);
     });
     return world.rank_bytes(0, Traffic::kAllToAll);
   };
