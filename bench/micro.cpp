@@ -3,11 +3,14 @@
 #include <benchmark/benchmark.h>
 
 #include <numeric>
+#include <thread>
+#include <vector>
 
 #include "aeris/core/ensemble.hpp"
 #include "aeris/core/model.hpp"
 #include "aeris/core/sampler.hpp"
 #include "aeris/core/window.hpp"
+#include "aeris/serving/server.hpp"
 #include "aeris/nn/attention.hpp"
 #include "aeris/physics/qg.hpp"
 #include "aeris/swipe/comm.hpp"
@@ -309,6 +312,68 @@ BENCHMARK(BM_EnsembleRollout)
     ->Args({8, 4, 1})
     ->ArgNames({"members", "threads", "batch"})
     ->UseRealTime();  // workers do the computing; driver CPU time is idle
+
+// The serving front-end under concurrent clients: each iteration submits
+// `clients` simultaneous requests that the server packs across requests
+// into stacked solves. Baseline for the admission/packing overhead on top
+// of BM_EnsembleRollout's raw engine throughput.
+void BM_ForecastServer(benchmark::State& state) {
+  const int clients = static_cast<int>(state.range(0));
+  const std::int64_t members = state.range(1);
+  core::ModelConfig mc;
+  mc.h = 16;
+  mc.w = 16;
+  mc.in_channels = 12;
+  mc.out_channels = 5;
+  mc.dim = 32;
+  mc.depth = 2;
+  mc.heads = 4;
+  mc.ffn_hidden = 64;
+  mc.win_h = 8;
+  mc.win_w = 8;
+  mc.cond_dim = 32;
+  core::AerisModel model(mc, 1);
+  core::TrigFlowConfig tf;
+  core::TrigSamplerConfig sc;
+  sc.steps = 4;
+  sc.churn = 0.3f;
+  core::ParallelEnsembleEngine engine(model, tf, sc, 7);
+  serving::ServerOptions opts;
+  opts.workers = 2;
+  opts.batch = 8;
+  serving::ForecastServer server(engine, opts);
+  Philox rng(8);
+  Tensor init({16, 16, 5});
+  rng.fill_normal(init, 1, 0);
+  Tensor forcing({16, 16, 2});
+  rng.fill_normal(forcing, 1, 1);
+  core::ForcingFn forcings = [&](std::int64_t) { return forcing; };
+  const std::int64_t steps = 2;
+  for (auto _ : state) {
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(clients));
+    for (int c = 0; c < clients; ++c) {
+      pool.emplace_back([&, c] {
+        serving::ForecastRequest req;
+        req.init = init;
+        req.forcings_at = forcings;
+        req.members = members;
+        req.steps = steps;
+        req.seed = static_cast<std::uint64_t>(c);
+        benchmark::DoNotOptimize(server.forecast(req));
+      });
+    }
+    for (auto& t : pool) t.join();
+  }
+  state.SetItemsProcessed(state.iterations() * clients * members * steps);
+}
+BENCHMARK(BM_ForecastServer)
+    ->Args({1, 4})
+    ->Args({4, 1})
+    ->Args({4, 4})
+    ->Args({8, 2})
+    ->ArgNames({"clients", "members"})
+    ->UseRealTime();  // server workers compute; the driver only waits
 
 void BM_TrigflowSamplerStep(benchmark::State& state) {
   core::TrigFlow tf(core::TrigFlowConfig{});

@@ -1,0 +1,184 @@
+// Resilient forecast serving: one shared model behind a ForecastServer,
+// hammered by concurrent clients with mixed demands — a clean ensemble
+// request, a tight deadline, a flaky forcing source, and a poisoned one
+// that diverges numerically. Every client gets a result or a typed error;
+// the unstressed request's trajectories are bitwise the serial forecast.
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <limits>
+#include <thread>
+#include <vector>
+
+#include "aeris/core/forecaster.hpp"
+#include "aeris/serving/server.hpp"
+#include "aeris/tensor/ops.hpp"
+
+using namespace aeris;
+
+namespace {
+
+const char* status_name(serving::RequestStatus s) {
+  switch (s) {
+    case serving::RequestStatus::kOk: return "OK";
+    case serving::RequestStatus::kRejected: return "REJECTED";
+    case serving::RequestStatus::kDeadlineExceeded: return "DEADLINE";
+    case serving::RequestStatus::kNumericalError: return "NUMERICAL";
+    case serving::RequestStatus::kFault: return "FAULT";
+  }
+  return "?";
+}
+
+}  // namespace
+
+int main() {
+  core::ModelConfig mc;
+  mc.h = 16;
+  mc.w = 16;
+  mc.in_channels = 12;  // 2 * V + F with V = 5, F = 2
+  mc.out_channels = 5;
+  mc.dim = 32;
+  mc.depth = 2;
+  mc.heads = 4;
+  mc.ffn_hidden = 64;
+  mc.win_h = 8;
+  mc.win_w = 8;
+  mc.cond_dim = 32;
+  core::AerisModel model(mc, 1);
+  Philox kick(101);
+  for (nn::Param* p : model.params()) {
+    if (p->name.find("head") != std::string::npos ||
+        p->name.find("adaln") != std::string::npos) {
+      kick.fill_normal(p->value, 7, 0);
+      scale_(p->value, 0.1f);
+    }
+  }
+
+  core::TrigFlowConfig tf;
+  core::TrigSamplerConfig sc;
+  sc.steps = 4;
+  core::ParallelEnsembleEngine engine(model, tf, sc, 0);
+
+  // Knobs come from AERIS_SERVE_* when set (see README).
+  serving::ServerOptions opts = serving::ServerOptions::from_env();
+  opts.workers = 2;
+  opts.batch = 8;
+  opts.max_step_retries = 2;
+  serving::ForecastServer server(engine, opts);
+
+  Philox rng(9);
+  Tensor init({16, 16, 5});
+  rng.fill_normal(init, 1, 0);
+  const core::ForcingFn forcings = [](std::int64_t s) {
+    Philox frng(10);
+    Tensor f({16, 16, 2});
+    frng.fill_normal(f, 2, static_cast<std::uint64_t>(s));
+    return f;
+  };
+  const std::int64_t steps = 3, members = 4;
+
+  std::vector<serving::ForecastResult> results(4);
+  std::vector<std::thread> clients;
+
+  // Client 0: a well-behaved ensemble request.
+  clients.emplace_back([&] {
+    serving::ForecastRequest req;
+    req.init = init;
+    req.forcings_at = forcings;
+    req.members = members;
+    req.steps = steps;
+    req.seed = 42;
+    results[0] = server.forecast(req);
+  });
+
+  // Client 1: a deadline far too tight for the rollout; asks for the
+  // partial prefix instead of nothing.
+  clients.emplace_back([&] {
+    serving::ForecastRequest req;
+    req.init = init;
+    req.forcings_at = [&](std::int64_t s) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(40));
+      return forcings(s);
+    };
+    req.steps = 8;
+    req.seed = 43;
+    req.deadline_ms = 60.0;
+    req.return_partial = true;
+    results[1] = server.forecast(req);
+  });
+
+  // Client 2: the forcing store drops the first fetch (transient fault).
+  clients.emplace_back([&] {
+    auto dropped = std::make_shared<std::atomic<bool>>(false);
+    serving::ForecastRequest req;
+    req.init = init;
+    req.forcings_at = [&, dropped](std::int64_t s) {
+      if (!dropped->exchange(true)) {
+        throw std::runtime_error("forcing store timeout");
+      }
+      return forcings(s);
+    };
+    req.steps = steps;
+    req.seed = 44;
+    results[2] = server.forecast(req);
+  });
+
+  // Client 3: corrupted forcings on every fetch — the member diverges,
+  // the quarantine retry diverges again, and the error is typed.
+  clients.emplace_back([&] {
+    serving::ForecastRequest req;
+    req.init = init;
+    req.forcings_at = [&](std::int64_t s) {
+      Tensor f = forcings(s);
+      f.data()[0] = std::numeric_limits<float>::quiet_NaN();
+      return f;
+    };
+    req.steps = steps;
+    req.seed = 45;
+    results[3] = server.forecast(req);
+  });
+
+  for (auto& t : clients) t.join();
+
+  std::printf("== forecast service drill ==\n");
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const serving::ForecastResult& r = results[i];
+    std::printf(
+        "client %zu: %-9s members=%lld queue=%.1fms total=%.1fms retries=%d"
+        "%s%s\n",
+        i, status_name(r.status), static_cast<long long>(r.members_served),
+        r.queue_wait_ms, r.total_ms, r.transient_retries,
+        r.degraded ? " degraded" : "",
+        r.error_message.empty() ? "" : (" | " + r.error_message).c_str());
+  }
+
+  // The unstressed client is bitwise the serial reference forecast.
+  core::DiffusionForecaster serial(model, tf, sc, 42);
+  const auto ref = serial.ensemble_rollout(init, forcings, steps, members);
+  bool bitwise = results[0].status == serving::RequestStatus::kOk;
+  for (std::size_t m = 0; bitwise && m < ref.size(); ++m) {
+    for (std::size_t s = 0; bitwise && s < ref[m].size(); ++s) {
+      bitwise = std::memcmp(ref[m][s].data(),
+                            results[0].trajectories[m][s].data(),
+                            static_cast<std::size_t>(ref[m][s].numel()) *
+                                sizeof(float)) == 0;
+    }
+  }
+  std::printf("client 0 bitwise-identical to serial reference: %s\n",
+              bitwise ? "yes" : "NO");
+
+  const serving::ServerStats st = server.stats();
+  std::printf(
+      "stats: accepted=%lld completed=%lld deadline=%lld faulted=%lld "
+      "quarantined=%lld failed_members=%lld packs=%lld member_steps=%lld\n",
+      static_cast<long long>(st.accepted),
+      static_cast<long long>(st.completed),
+      static_cast<long long>(st.deadline_expired),
+      static_cast<long long>(st.faulted),
+      static_cast<long long>(st.quarantined_members),
+      static_cast<long long>(st.failed_members),
+      static_cast<long long>(st.packs),
+      static_cast<long long>(st.member_steps));
+  return bitwise ? 0 : 1;
+}

@@ -1,16 +1,27 @@
 #!/usr/bin/env sh
-# ThreadSanitizer gate for the threaded runtimes: builds a dedicated tree
-# with AERIS_SANITIZE=thread and runs (a) the swipe test suite, where the
-# poisoning / fault-injection races would live if we had any, and (b) the
+# Sanitizer gates for the threaded runtimes.
+#
+# TSan leg (AERIS_SANITIZE=thread): (a) the swipe test suite, where the
+# poisoning / fault-injection races would live if we had any, (b) the
 # concurrent shared-model ensemble tests, which pin the reentrant-forward
-# claim that inference holds no shared mutable state.
-# Usage: scripts/ci_sanitize.sh [build_dir]   (default: <repo>/build-tsan)
+# claim that inference holds no shared mutable state, and (c) the serving
+# suite incl. the fault drill — randomized concurrent clients, deadlines,
+# quarantine and queue saturation against one ForecastServer.
+#
+# ASan leg (AERIS_SANITIZE=address): the serving suite again — the server
+# juggles cross-request tensor lifetimes (packs point into other requests'
+# trajectories), which is exactly where use-after-free would hide.
+#
+# Usage: scripts/ci_sanitize.sh [tsan_build_dir] [asan_build_dir]
+#   (defaults: <repo>/build-tsan, <repo>/build-asan)
 # Also wired as a CMake target: cmake --build build --target ci_sanitize
 set -e
 repo=$(cd "$(dirname "$0")/.." && pwd)
 build=${1:-"$repo/build-tsan"}
+asan_build=${2:-"$repo/build-asan"}
+
 cmake -B "$build" -S "$repo" -DAERIS_SANITIZE=thread
-cmake --build "$build" -j --target test_swipe test_core
+cmake --build "$build" -j --target test_swipe test_core test_serving
 # TSan aborts the process on the first race (halt_on_error), so a clean
 # exit means a clean suite. The timeout backstops comm deadlocks.
 TSAN_OPTIONS="halt_on_error=1 $TSAN_OPTIONS" \
@@ -20,3 +31,12 @@ TSAN_OPTIONS="halt_on_error=1 $TSAN_OPTIONS" \
   timeout 600 "$build/tests/test_core" \
   --gtest_filter='ParallelEnsemble.*:FwdCtxRegression.*'
 echo "TSan concurrent-ensemble suite clean"
+TSAN_OPTIONS="halt_on_error=1 $TSAN_OPTIONS" \
+  timeout 600 "$build/tests/test_serving"
+echo "TSan serving suite (incl. fault drill) clean"
+
+cmake -B "$asan_build" -S "$repo" -DAERIS_SANITIZE=address
+cmake --build "$asan_build" -j --target test_serving
+ASAN_OPTIONS="halt_on_error=1 detect_leaks=1 $ASAN_OPTIONS" \
+  timeout 600 "$asan_build/tests/test_serving"
+echo "ASan serving suite clean"

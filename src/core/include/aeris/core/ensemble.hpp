@@ -19,6 +19,19 @@ struct EnsembleOptions {
   int threads = 1;
 };
 
+/// One member's slot in a cross-request stacked solver step: the serving
+/// front-end packs members of unrelated forecast requests into a single
+/// [E, H, W, C] solve. `prev` is the member's current state (conditioning
+/// for the residual solve), `forcings` its own forcing field, and `noise`
+/// reproduces the member's serial streams — MemberKey{request seed,
+/// member * 4096 + step} makes slot results bitwise-identical to the
+/// serial DiffusionForecaster with that seed, regardless of packing.
+struct MemberSlot {
+  const Tensor* prev = nullptr;      ///< [H, W, V]
+  const Tensor* forcings = nullptr;  ///< [H, W, F]
+  MemberKey noise{};
+};
+
 /// Batched, optionally multi-threaded ensemble forecaster (the paper's
 /// Fig. 1c ensemble inference, engineered for throughput): E members'
 /// diffusion solves are stacked through the batch dimension so each solver
@@ -49,7 +62,33 @@ class ParallelEnsembleEngine {
       const Tensor& init, const ForcingFn& forcings_at, std::int64_t n_steps,
       std::int64_t members, const EnsembleOptions& opts = {}) const;
 
+  /// Cross-request stacking hook (used by serving::ForecastServer, and by
+  /// ensemble_rollout's own chunks): advances an arbitrary pack of members
+  /// one forecast step through a single stacked solve and returns the next
+  /// state per slot. Each slot carries its own conditioning and noise key,
+  /// so members of different requests — different seeds, different
+  /// autoregressive steps — may share the call; the solver t-schedule
+  /// depends only on the config, never on the state, so it is common to
+  /// the pack. `solver_steps_override > 0` substitutes the configured ODE
+  /// step count (graceful-degradation mode); 0 keeps the config.
+  ///
+  /// Every slot is computed independently of its batch-mates (kernels
+  /// split only per-member output rows and windows never span the batch
+  /// dim), so a non-finite member cannot poison the others, and each
+  /// slot's result is bitwise-identical to the serial forecast_step with
+  /// the same seed/key/solver steps.
+  std::vector<Tensor> step_pack(std::span<const MemberSlot> pack,
+                                int solver_steps_override = 0) const;
+
   Parameterization parameterization() const { return param_; }
+  /// The shared read-only model (exposed so the serving layer can validate
+  /// request shapes against the config).
+  const AerisModel& model() const { return model_; }
+  /// Configured ODE solver steps per forecast step.
+  int solver_steps() const {
+    return param_ == Parameterization::kTrigFlow ? trig_sampler_.steps
+                                                 : edm_sampler_.steps;
+  }
 
  private:
   /// Advances members [m0, m0+states.size()) one forecast step in lockstep

@@ -42,6 +42,17 @@ Tensor sample_edm(const DenoiserFn& network, const Shape& shape,
                   const Edm& edm, const EdmSamplerConfig& cfg,
                   const Philox& rng, std::uint64_t member);
 
+/// Identifies one member's noise streams in a batched solve: `seed` is the
+/// Philox seed (per forecaster / per serving request) and `key` is the
+/// serial sampler `member` argument (the forecasters use
+/// member * 4096 + step). Splitting the seed out lets members of
+/// *different* requests — each reproducing its own serial reference —
+/// share a single stacked solver call.
+struct MemberKey {
+  std::uint64_t seed = 0;
+  std::uint64_t key = 0;
+};
+
 /// Batched samplers: E ensemble members advance in lockstep through one
 /// stacked state [E, ...shape], so every solver stage is a single network
 /// call over the batch dimension instead of E separate calls.
@@ -67,6 +78,18 @@ Tensor sample_edm_batched(const DenoiserFn& network, const Shape& shape,
                           const Edm& edm, const EdmSamplerConfig& cfg,
                           const Philox& rng,
                           std::span<const std::uint64_t> member_keys);
+
+/// Per-member-seed variants (cross-request stacking): slab e draws from
+/// Philox(members[e].seed) keyed by members[e].key — bitwise-identical to
+/// a serial sample_* call with that seed and key. The single-seed
+/// overloads above delegate here with a shared seed.
+Tensor sample_trigflow_batched(const DenoiserFn& velocity, const Shape& shape,
+                               const TrigFlow& tf, const TrigSamplerConfig& cfg,
+                               std::span<const MemberKey> members);
+
+Tensor sample_edm_batched(const DenoiserFn& network, const Shape& shape,
+                          const Edm& edm, const EdmSamplerConfig& cfg,
+                          std::span<const MemberKey> members);
 
 /// The t (or sigma) schedule used by sample_trigflow, exposed for tests
 /// and diagnostics: steps+1 values, strictly decreasing, last element 0.

@@ -44,6 +44,9 @@ class Trainer {
   /// One optimizer step over a batch. Computes the objective, runs the
   /// explicit backward pass, averages gradients over the batch, applies
   /// AdamW with the scheduled LR, and updates the EMA. Returns the loss.
+  /// Throws aeris::NumericalError — naming the first offending tensor and
+  /// the step — if the loss or any gradient is NaN/Inf, *before* any
+  /// optimizer/EMA state is touched.
   float train_step(std::span<const TrainExample> batch);
 
   /// Loss only (no grads, no step) — for validation curves.

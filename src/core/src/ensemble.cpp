@@ -13,22 +13,22 @@ namespace aeris::core {
 namespace {
 
 /// Assembles the stacked model input [E, H, W, Cin] whose slab e is
-/// concat(state_e, prev_e, forcings) along channels — the batched image of
-/// the serial build_input in forecaster.cpp.
-Tensor build_stacked_input(const Tensor& states, float state_scale,
-                           const std::vector<Tensor>& prevs,
-                           const Tensor& forcings) {
+/// concat(state_e, prev_e, forcings_e) along channels — the batched image
+/// of the serial build_input in forecaster.cpp, with per-member
+/// conditioning so slots from unrelated requests can share the stack.
+Tensor build_packed_input(const Tensor& states, float state_scale,
+                          std::span<const MemberSlot> pack) {
   const std::int64_t e = states.dim(0);
   const std::int64_t h = states.dim(1), w = states.dim(2);
   const std::int64_t v = states.dim(3);
-  const std::int64_t f = forcings.dim(2);
+  const std::int64_t f = pack.front().forcings->dim(2);
   const std::int64_t cin = 2 * v + f;
   Tensor input({e, h, w, cin});
   const std::int64_t pixels = h * w;
   for (std::int64_t m = 0; m < e; ++m) {
     const float* ps = states.data() + m * pixels * v;
-    const float* pp = prevs[static_cast<std::size_t>(m)].data();
-    const float* pf = forcings.data();
+    const float* pp = pack[static_cast<std::size_t>(m)].prev->data();
+    const float* pf = pack[static_cast<std::size_t>(m)].forcings->data();
     float* pi = input.data() + m * pixels * cin;
     for (std::int64_t px = 0; px < pixels; ++px) {
       float* dst = pi + px * cin;
@@ -71,49 +71,77 @@ ParallelEnsembleEngine::ParallelEnsembleEngine(const AerisModel& model,
       edm_sampler_(sampler),
       rng_(seed) {}
 
-std::vector<Tensor> ParallelEnsembleEngine::step_chunk(
-    const std::vector<Tensor>& states, const Tensor& forcings, std::int64_t m0,
-    std::int64_t step) const {
-  const std::int64_t e = static_cast<std::int64_t>(states.size());
-  const Shape& shape = states.front().shape();  // [H, W, V]
-
-  // The per-member key matches DiffusionForecaster::forecast_step, so the
-  // stacked solve consumes exactly the serial noise streams.
-  std::vector<std::uint64_t> keys(static_cast<std::size_t>(e));
-  for (std::int64_t m = 0; m < e; ++m) {
-    keys[static_cast<std::size_t>(m)] =
-        static_cast<std::uint64_t>(m0 + m) * 4096 +
-        static_cast<std::uint64_t>(step);
+std::vector<Tensor> ParallelEnsembleEngine::step_pack(
+    std::span<const MemberSlot> pack, int solver_steps_override) const {
+  if (pack.empty()) return {};
+  const Shape& shape = pack.front().prev->shape();  // [H, W, V]
+  for (const MemberSlot& slot : pack) {
+    if (slot.prev == nullptr || slot.forcings == nullptr) {
+      throw std::invalid_argument("step_pack: null slot tensor");
+    }
+    if (slot.prev->ndim() != 3 || slot.forcings->ndim() != 3) {
+      throw std::invalid_argument("step_pack: slots must be [H,W,*]");
+    }
+    if (slot.prev->shape() != shape ||
+        slot.forcings->dim(0) != shape[0] ||
+        slot.forcings->dim(1) != shape[1] ||
+        slot.forcings->dim(2) != pack.front().forcings->dim(2)) {
+      throw std::invalid_argument("step_pack: slot shape mismatch");
+    }
   }
+  const std::int64_t e = static_cast<std::int64_t>(pack.size());
+
+  std::vector<MemberKey> keys(pack.size());
+  for (std::size_t m = 0; m < pack.size(); ++m) keys[m] = pack[m].noise;
 
   Tensor residual;
   if (param_ == Parameterization::kTrigFlow) {
+    TrigSamplerConfig sc = trig_sampler_;
+    if (solver_steps_override > 0) sc.steps = solver_steps_override;
     const float sd = trigflow_.config().sigma_d;
     DenoiserFn velocity = [&](const Tensor& x, float t) {
       // x: [E, H, W, V] — slab m is member m's x_t.
-      Tensor input = build_stacked_input(x, 1.0f / sd, states, forcings);
+      Tensor input = build_packed_input(x, 1.0f / sd, pack);
       Tensor f = model_.forward(input, Tensor({e}, t));
       scale_(f, sd);  // velocity = sigma_d * F
       return f;
     };
-    residual = sample_trigflow_batched(velocity, shape, trigflow_,
-                                       trig_sampler_, rng_, keys);
+    residual = sample_trigflow_batched(velocity, shape, trigflow_, sc,
+                                       std::span<const MemberKey>(keys));
   } else {
+    EdmSamplerConfig sc = edm_sampler_;
+    if (solver_steps_override > 0) sc.steps = solver_steps_override;
     DenoiserFn network = [&](const Tensor& xin, float t) {
-      Tensor input = build_stacked_input(xin, 1.0f, states, forcings);
+      Tensor input = build_packed_input(xin, 1.0f, pack);
       return model_.forward(input, Tensor({e}, t));
     };
-    residual =
-        sample_edm_batched(network, shape, edm_, edm_sampler_, rng_, keys);
+    residual = sample_edm_batched(network, shape, edm_, sc,
+                                  std::span<const MemberKey>(keys));
   }
 
   std::vector<Tensor> next;
-  next.reserve(static_cast<std::size_t>(e));
+  next.reserve(pack.size());
   for (std::int64_t m = 0; m < e; ++m) {
-    next.push_back(add(states[static_cast<std::size_t>(m)],
+    next.push_back(add(*pack[static_cast<std::size_t>(m)].prev,
                        member_slab(residual, m, shape)));
   }
   return next;
+}
+
+std::vector<Tensor> ParallelEnsembleEngine::step_chunk(
+    const std::vector<Tensor>& states, const Tensor& forcings, std::int64_t m0,
+    std::int64_t step) const {
+  // The per-member key matches DiffusionForecaster::forecast_step, so the
+  // stacked solve consumes exactly the serial noise streams.
+  std::vector<MemberSlot> slots(states.size());
+  for (std::size_t m = 0; m < states.size(); ++m) {
+    slots[m].prev = &states[m];
+    slots[m].forcings = &forcings;
+    slots[m].noise = MemberKey{
+        rng_.seed(), (static_cast<std::uint64_t>(m0) + m) * 4096 +
+                         static_cast<std::uint64_t>(step)};
+  }
+  return step_pack(slots);
 }
 
 std::vector<std::vector<Tensor>> ParallelEnsembleEngine::ensemble_rollout(

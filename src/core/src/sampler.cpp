@@ -17,18 +17,29 @@ Shape stacked_shape(const Shape& shape, std::int64_t e) {
 }
 
 /// Fills member slab e of the stacked state with exactly the draws a
-/// serial fill_normal keyed by (stream, keys[e]*1024 + sample_offset)
-/// would produce (same begin=0 flat index space per slab).
-void fill_member_noise(Tensor& x, std::int64_t per, const Philox& rng,
-                       std::uint64_t stream,
-                       std::span<const std::uint64_t> keys,
+/// serial fill_normal from Philox(keys[e].seed) keyed by
+/// (stream, keys[e].key*1024 + sample_offset) would produce (same begin=0
+/// flat index space per slab). Philox is a stateless seed wrapper, so
+/// constructing one per member is free.
+void fill_member_noise(Tensor& x, std::int64_t per, std::uint64_t stream,
+                       std::span<const MemberKey> keys,
                        std::uint64_t sample_offset) {
   for (std::size_t e = 0; e < keys.size(); ++e) {
-    rng.fill_normal_range(
-        std::span<float>(x.data() + static_cast<std::int64_t>(e) * per,
-                         static_cast<std::size_t>(per)),
-        stream, keys[e] * 1024 + sample_offset, 0);
+    Philox(keys[e].seed)
+        .fill_normal_range(
+            std::span<float>(x.data() + static_cast<std::int64_t>(e) * per,
+                             static_cast<std::size_t>(per)),
+            stream, keys[e].key * 1024 + sample_offset, 0);
   }
+}
+
+std::vector<MemberKey> shared_seed_keys(const Philox& rng,
+                                        std::span<const std::uint64_t> keys) {
+  std::vector<MemberKey> mk(keys.size());
+  for (std::size_t e = 0; e < keys.size(); ++e) {
+    mk[e] = MemberKey{rng.seed(), keys[e]};
+  }
+  return mk;
 }
 
 }  // namespace
@@ -99,16 +110,23 @@ Tensor sample_trigflow_batched(const DenoiserFn& velocity, const Shape& shape,
                                const TrigFlow& tf, const TrigSamplerConfig& cfg,
                                const Philox& rng,
                                std::span<const std::uint64_t> member_keys) {
+  const std::vector<MemberKey> mk = shared_seed_keys(rng, member_keys);
+  return sample_trigflow_batched(velocity, shape, tf, cfg, mk);
+}
+
+Tensor sample_trigflow_batched(const DenoiserFn& velocity, const Shape& shape,
+                               const TrigFlow& tf, const TrigSamplerConfig& cfg,
+                               std::span<const MemberKey> members) {
   const float sd = tf.config().sigma_d;
   const std::vector<float> ts = trigflow_schedule(tf, cfg);
-  const std::int64_t e = static_cast<std::int64_t>(member_keys.size());
+  const std::int64_t e = static_cast<std::int64_t>(members.size());
   if (e == 0) throw std::invalid_argument("sampler: empty member_keys");
   const Shape xshape = stacked_shape(shape, e);
 
   Tensor x(xshape);
   std::int64_t per = 1;
   for (const std::int64_t d : shape) per *= d;
-  fill_member_noise(x, per, rng, rng_stream::kSamplerNoise, member_keys, 0);
+  fill_member_noise(x, per, rng_stream::kSamplerNoise, members, 0);
   scale_(x, sd);
 
   constexpr float kHalfPi = 1.5707963267948966f;
@@ -123,7 +141,7 @@ Tensor sample_trigflow_batched(const DenoiserFn& velocity, const Shape& shape,
           std::min(cfg.churn * (t - t_next), kHalfPi - t - 1e-4f);
       if (delta > 0.0f) {
         Tensor z(xshape);
-        fill_member_noise(z, per, rng, rng_stream::kChurn, member_keys,
+        fill_member_noise(z, per, rng_stream::kChurn, members,
                           static_cast<std::uint64_t>(i) + 1);
         Tensor xr = scale(x, std::cos(delta));
         axpy_(xr, sd * std::sin(delta), z);
@@ -188,14 +206,21 @@ Tensor sample_edm_batched(const DenoiserFn& network, const Shape& shape,
                           const Edm& edm, const EdmSamplerConfig& cfg,
                           const Philox& rng,
                           std::span<const std::uint64_t> member_keys) {
+  const std::vector<MemberKey> mk = shared_seed_keys(rng, member_keys);
+  return sample_edm_batched(network, shape, edm, cfg, mk);
+}
+
+Tensor sample_edm_batched(const DenoiserFn& network, const Shape& shape,
+                          const Edm& edm, const EdmSamplerConfig& cfg,
+                          std::span<const MemberKey> members) {
   const std::vector<float> sigmas = edm.schedule(cfg.steps);
-  const std::int64_t e = static_cast<std::int64_t>(member_keys.size());
+  const std::int64_t e = static_cast<std::int64_t>(members.size());
   if (e == 0) throw std::invalid_argument("sampler: empty member_keys");
 
   Tensor x(stacked_shape(shape, e));
   std::int64_t per = 1;
   for (const std::int64_t d : shape) per *= d;
-  fill_member_noise(x, per, rng, rng_stream::kSamplerNoise, member_keys, 512);
+  fill_member_noise(x, per, rng_stream::kSamplerNoise, members, 512);
   scale_(x, sigmas[0]);
 
   auto denoise = [&](const Tensor& xx, float sigma) {

@@ -2,7 +2,9 @@
 
 #include <cmath>
 #include <stdexcept>
+#include <string>
 
+#include "aeris/tensor/numerics.hpp"
 #include "aeris/tensor/ops.hpp"
 
 namespace aeris::core {
@@ -153,6 +155,23 @@ float Trainer::objective_forward_backward(std::span<const TrainExample> batch,
 float Trainer::train_step(std::span<const TrainExample> batch) {
   nn::zero_grads(model_.params());
   const float loss = objective_forward_backward(batch, /*compute_grads=*/true);
+  // Numerical guard: a NaN/Inf loss or gradient must never reach AdamW —
+  // the moments would absorb the non-finite values and every later step
+  // would silently emit garbage. Throwing here leaves parameters,
+  // optimizer state, EMA and images_seen exactly as before the step, so
+  // the caller can skip the batch or restore a checkpoint.
+  if (!std::isfinite(loss)) {
+    throw NumericalError("train_step: non-finite loss at images_seen=" +
+                         std::to_string(images_seen_));
+  }
+  for (const nn::Param* p : model_.params()) {
+    if (!tensor::all_finite(p->grad)) {
+      throw NumericalError(
+          "train_step: non-finite gradient in '" + p->name + "' (flat index " +
+          std::to_string(tensor::first_nonfinite(p->grad)) +
+          ") at images_seen=" + std::to_string(images_seen_));
+    }
+  }
   if (cfg_.grad_clip > 0.0f) {
     nn::clip_grad_norm(model_.params(), cfg_.grad_clip);
   }

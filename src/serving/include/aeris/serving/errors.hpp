@@ -1,0 +1,33 @@
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace aeris::serving {
+
+/// Why an admission was refused. kQueueFull is load shedding: the bounded
+/// admission queue is at capacity and accepting more work would only grow
+/// every request's latency past its deadline. kShutdown means the server
+/// is stopping (or stopped) and will not start new work.
+enum class RejectReason { kQueueFull, kShutdown };
+
+/// A request was refused at admission (never started computing).
+class RejectedError : public std::runtime_error {
+ public:
+  RejectedError(RejectReason reason, const std::string& msg)
+      : std::runtime_error(msg), reason_(reason) {}
+  RejectReason reason() const { return reason_; }
+
+ private:
+  RejectReason reason_;
+};
+
+/// A request's deadline expired before its rollout finished. The result
+/// may still carry the partial trajectory computed so far when the request
+/// opted in via ForecastRequest::return_partial.
+class DeadlineExceededError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+}  // namespace aeris::serving

@@ -35,6 +35,39 @@ std::vector<int> world_members(int n) {
   return all;
 }
 
+// Every shape-determining knob of the engine, in a fixed order. Saved into
+// checkpoints and verified field-by-field on load, so a checkpoint written
+// under a different model/grid config fails with a message naming the
+// mismatching knob instead of a cryptic size error (or, worse, a
+// CRC-clean payload sliced into the wrong parameters).
+struct ConfigField {
+  const char* name;
+  std::int64_t value;
+};
+
+std::vector<ConfigField> config_fingerprint(const EngineConfig& cfg) {
+  return {
+      {"model.h", cfg.model.h},
+      {"model.w", cfg.model.w},
+      {"model.in_channels", cfg.model.in_channels},
+      {"model.out_channels", cfg.model.out_channels},
+      {"model.dim", cfg.model.dim},
+      {"model.depth", cfg.model.depth},
+      {"model.heads", cfg.model.heads},
+      {"model.ffn_hidden", cfg.model.ffn_hidden},
+      {"model.win_h", cfg.model.win_h},
+      {"model.win_w", cfg.model.win_w},
+      {"model.cond_dim", cfg.model.cond_dim},
+      {"model.time_features", cfg.model.time_features},
+      {"grid.dp", cfg.grid.dp},
+      {"grid.pp", cfg.grid.pp},
+      {"grid.wp_a", cfg.grid.wp_a},
+      {"grid.wp_b", cfg.grid.wp_b},
+      {"grid.sp", cfg.grid.sp},
+      {"microbatches", cfg.microbatches},
+  };
+}
+
 }  // namespace
 
 // ---------------------------------------------------------------- stages
@@ -751,6 +784,9 @@ void SwipeEngine::save_checkpoint(const std::string& dir,
   Serializer s;
   s.write_i64(images_seen);
   s.write_u64(static_cast<std::uint64_t>(topo_.rank()));
+  const std::vector<ConfigField> fields = config_fingerprint(cfg_);
+  s.write_u64(fields.size());
+  for (const ConfigField& f : fields) s.write_i64(f.value);
   s.write_u64(params_.size());
   for (const nn::Param* p : params_) {
     s.write_floats(p->value.flat());
@@ -768,12 +804,32 @@ std::int64_t SwipeEngine::load_checkpoint(const std::string& dir) {
   if (d.read_u64() != static_cast<std::uint64_t>(topo_.rank())) {
     throw CheckpointError("checkpoint belongs to a different rank");
   }
+  const std::vector<ConfigField> fields = config_fingerprint(cfg_);
+  if (d.read_u64() != fields.size()) {
+    throw CheckpointError(
+        "checkpoint config fingerprint length mismatch (incompatible "
+        "checkpoint layout)");
+  }
+  for (const ConfigField& f : fields) {
+    const std::int64_t stored = d.read_i64();
+    if (stored != f.value) {
+      throw CheckpointError(
+          "checkpoint config mismatch: " + std::string(f.name) + " stored " +
+          std::to_string(stored) + ", current " + std::to_string(f.value) +
+          " — refusing to load a differently-shaped model");
+    }
+  }
   if (d.read_u64() != params_.size()) {
     throw CheckpointError(
         "checkpoint stage parameter count mismatch (different topology?)");
   }
   for (nn::Param* p : params_) {
-    d.read_floats_into(p->value.flat());
+    try {
+      d.read_floats_into(p->value.flat());
+    } catch (const CheckpointError& e) {
+      throw CheckpointError("checkpoint param '" + p->name +
+                            "': " + e.what());
+    }
   }
   opt_->restore_shard(replicas_.size(), replicas_.rank(), d);
   if (!d.exhausted()) {

@@ -1,0 +1,31 @@
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+
+#include "aeris/tensor/tensor.hpp"
+
+namespace aeris {
+
+/// A value in a numerical pipeline went NaN/Inf where the computation
+/// requires finite numbers. Thrown by the training guard (so a diverging
+/// loss or gradient can never corrupt AdamW/EMA state silently) and
+/// reported per member by the forecast server's numerical quarantine.
+class NumericalError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+namespace tensor {
+
+/// True iff every element is finite (no NaN, no +/-Inf). Branch-free
+/// exponent-mask check over blocks so the loop vectorizes and a tensor
+/// that diverged early is rejected without scanning the full buffer.
+bool all_finite(const Tensor& a);
+
+/// Flat index of the first non-finite element, or -1 when all are finite.
+/// Serial scan — use for error messages after all_finite said no.
+std::int64_t first_nonfinite(const Tensor& a);
+
+}  // namespace tensor
+}  // namespace aeris

@@ -1,0 +1,38 @@
+#include "aeris/tensor/numerics.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+namespace aeris::tensor {
+
+bool all_finite(const Tensor& a) {
+  const float* p = a.data();
+  const std::int64_t n = a.numel();
+  // A float is non-finite iff its exponent field is all ones. OR-ing the
+  // comparison over a block keeps the inner loop branch-free (vectorizes
+  // under -fopenmp-simd); the per-block check gives early exit.
+  constexpr std::int64_t kBlock = 4096;
+  for (std::int64_t b = 0; b < n; b += kBlock) {
+    const std::int64_t end = std::min(n, b + kBlock);
+    std::int32_t bad = 0;
+#pragma omp simd reduction(| : bad)
+    for (std::int64_t i = b; i < end; ++i) {
+      const std::uint32_t bits = std::bit_cast<std::uint32_t>(p[i]);
+      bad |= static_cast<std::int32_t>((bits & 0x7F800000u) == 0x7F800000u);
+    }
+    if (bad) return false;
+  }
+  return true;
+}
+
+std::int64_t first_nonfinite(const Tensor& a) {
+  const float* p = a.data();
+  const std::int64_t n = a.numel();
+  for (std::int64_t i = 0; i < n; ++i) {
+    if (!std::isfinite(p[i])) return i;
+  }
+  return -1;
+}
+
+}  // namespace aeris::tensor

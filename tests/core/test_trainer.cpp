@@ -3,8 +3,12 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstring>
+#include <limits>
+#include <string>
 
 #include "aeris/core/forecaster.hpp"
+#include "aeris/tensor/numerics.hpp"
 #include "aeris/tensor/ops.hpp"
 
 namespace aeris::core {
@@ -185,6 +189,58 @@ TEST(Trainer, TrainedDiffusionBeatsPersistence) {
   Tensor err_model = sub(pred, probe.target);
   Tensor err_persist = sub(probe.prev, probe.target);
   EXPECT_LT(mean_sq(err_model), mean_sq(err_persist));
+}
+
+// The numerical guard: a batch that produces a NaN loss must throw a typed
+// aeris::NumericalError *before* AdamW / EMA / images_seen are touched —
+// a single poisoned batch must never corrupt the optimizer moments.
+TEST(Trainer, NaNBatchThrowsTypedErrorWithoutTouchingState) {
+  ModelConfig mc = trainer_cfg(Objective::kTrigFlow);
+  AerisModel model(mc, 21);
+  Trainer trainer(model, fast_schedule(Objective::kTrigFlow));
+
+  // One clean step so optimizer/EMA state is non-trivial.
+  std::vector<TrainExample> batch = {
+      make_example(mc.h, mc.w, mc.out_channels, 1, 0)};
+  trainer.train_step(batch);
+  const std::int64_t images_before = trainer.images_seen();
+  std::vector<Tensor> params_before;
+  for (const nn::Param* p : model.params()) params_before.push_back(p->value);
+
+  batch[0].target.at3(0, 0, 0) = std::numeric_limits<float>::quiet_NaN();
+  try {
+    trainer.train_step(batch);
+    FAIL() << "NaN batch did not throw";
+  } catch (const NumericalError& e) {
+    EXPECT_NE(std::string(e.what()).find("loss"), std::string::npos)
+        << e.what();
+  }
+
+  EXPECT_EQ(trainer.images_seen(), images_before);
+  const auto params = model.params();
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    ASSERT_EQ(std::memcmp(params[i]->value.data(), params_before[i].data(),
+                          static_cast<std::size_t>(params[i]->numel()) *
+                              sizeof(float)),
+              0)
+        << "param '" << params[i]->name << "' changed by a rejected step";
+  }
+
+  // The trainer stays usable: a clean batch steps normally afterwards.
+  batch[0] = make_example(mc.h, mc.w, mc.out_channels, 1, 1);
+  EXPECT_TRUE(std::isfinite(trainer.train_step(batch)));
+  EXPECT_EQ(trainer.images_seen(), images_before + 1);
+}
+
+TEST(Trainer, InfInputIsAlsoRejected) {
+  ModelConfig mc = trainer_cfg(Objective::kEdm);
+  AerisModel model(mc, 22);
+  Trainer trainer(model, fast_schedule(Objective::kEdm));
+  std::vector<TrainExample> batch = {
+      make_example(mc.h, mc.w, mc.out_channels, 1, 0)};
+  batch[0].prev.at3(1, 1, 0) = std::numeric_limits<float>::infinity();
+  EXPECT_THROW(trainer.train_step(batch), NumericalError);
+  EXPECT_EQ(trainer.images_seen(), 0);
 }
 
 }  // namespace

@@ -1,0 +1,182 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <limits>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "aeris/core/forecaster.hpp"
+#include "aeris/serving/server.hpp"
+#include "aeris/tensor/numerics.hpp"
+#include "aeris/tensor/ops.hpp"
+
+namespace aeris::serving {
+namespace {
+
+using core::AerisModel;
+using core::ForcingFn;
+using core::ModelConfig;
+using core::ParallelEnsembleEngine;
+
+ModelConfig drill_cfg() {
+  ModelConfig c;
+  c.h = 8;
+  c.w = 8;
+  c.in_channels = 8;
+  c.out_channels = 3;
+  c.dim = 16;
+  c.depth = 1;  // smallest backbone that still runs every code path
+  c.heads = 2;
+  c.ffn_hidden = 32;
+  c.win_h = 4;
+  c.win_w = 4;
+  c.cond_dim = 16;
+  c.time_features = 8;
+  return c;
+}
+
+Tensor drill_forcing(std::int64_t step) {
+  Philox rng(66);
+  Tensor f({8, 8, 2});
+  rng.fill_normal(f, 2, static_cast<std::uint64_t>(step));
+  return f;
+}
+
+// The resilience acceptance drill (run under TSan by ci_sanitize.sh):
+// randomized concurrent clients hammer one server with short deadlines,
+// saturating bursts, transient faults, and NaN injection all at once.
+// The only invariants — and they are the whole product — are that every
+// single request terminates with a result or a typed error, the process
+// neither crashes nor hangs, and whatever trajectories come back are
+// finite and the right length.
+TEST(ForecastServerDrill, RandomizedClientsAllTerminateTyped) {
+  AerisModel model(drill_cfg(), 3);
+  {
+    Philox rng(103);
+    for (nn::Param* p : model.params()) {
+      if (p->name.find("head") != std::string::npos ||
+          p->name.find("adaln") != std::string::npos) {
+        rng.fill_normal(p->value, 7, 0);
+        scale_(p->value, 0.1f);
+      }
+    }
+  }
+  core::TrigFlowConfig tf;
+  core::TrigSamplerConfig sc;
+  sc.steps = 2;
+  ParallelEnsembleEngine engine(model, tf, sc, 0);
+
+  ServerOptions opts;
+  opts.workers = 3;
+  opts.batch = 4;
+  opts.queue_capacity = 6;  // small enough that bursts actually shed
+  opts.max_step_retries = 1;
+  opts.retry_backoff_ms = 0.2;
+  opts.degrade.est_wait_threshold_ms = 2.0;
+  opts.degrade.degraded_solver_steps = 1;
+  opts.degrade.max_members = 2;
+  ForecastServer server(engine, opts);
+
+  constexpr int kClients = 8;
+  constexpr int kRequestsPerClient = 4;
+  std::atomic<int> terminated{0};
+  std::atomic<int> malformed_results{0};
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      std::mt19937 gen(static_cast<unsigned>(1000 + c));
+      std::uniform_int_distribution<int> members_d(1, 3), steps_d(1, 3),
+          flavor_d(0, 9), deadline_d(0, 2), sleep_d(0, 2);
+      Philox init_rng(7);
+      for (int q = 0; q < kRequestsPerClient; ++q) {
+        ForecastRequest req;
+        req.init = Tensor({8, 8, 3});
+        init_rng.fill_normal(req.init, 1,
+                             static_cast<std::uint64_t>(c * 100 + q));
+        req.members = members_d(gen);
+        req.steps = steps_d(gen);
+        req.seed = static_cast<std::uint64_t>(c * 1000 + q);
+        req.return_partial = (q % 2) == 0;
+        const int dl = deadline_d(gen);
+        req.deadline_ms = dl == 0 ? 0.0 : (dl == 1 ? 8.0 : 120.0);
+
+        const int flavor = flavor_d(gen);
+        const int nap_ms = sleep_d(gen);
+        if (flavor < 6) {  // clean (possibly slow) forcing source
+          req.forcings_at = [nap_ms](std::int64_t s) {
+            if (nap_ms > 0) {
+              std::this_thread::sleep_for(std::chrono::milliseconds(nap_ms));
+            }
+            return drill_forcing(s);
+          };
+        } else if (flavor < 8) {  // transient outage: throws once
+          auto failed = std::make_shared<std::atomic<bool>>(false);
+          req.forcings_at = [failed](std::int64_t s) {
+            if (!failed->exchange(true)) {
+              throw std::runtime_error("drill: transient outage");
+            }
+            return drill_forcing(s);
+          };
+        } else if (flavor < 9) {  // NaN once: quarantine must recover
+          auto poisoned = std::make_shared<std::atomic<bool>>(false);
+          req.forcings_at = [poisoned](std::int64_t s) {
+            Tensor f = drill_forcing(s);
+            if (!poisoned->exchange(true)) {
+              f.data()[0] = std::numeric_limits<float>::quiet_NaN();
+            }
+            return f;
+          };
+        } else {  // hard divergence: NaN on every fetch
+          req.forcings_at = [](std::int64_t s) {
+            Tensor f = drill_forcing(s);
+            f.data()[1] = std::numeric_limits<float>::quiet_NaN();
+            return f;
+          };
+        }
+
+        const ForecastResult r = server.forecast(req);
+        ++terminated;
+
+        bool sane = true;
+        switch (r.status) {
+          case RequestStatus::kOk:
+            sane = static_cast<std::int64_t>(r.trajectories.size()) ==
+                   r.members_served;
+            for (const auto& traj : r.trajectories) {
+              sane = sane &&
+                     static_cast<std::int64_t>(traj.size()) == req.steps;
+              for (const Tensor& t : traj) {
+                sane = sane && tensor::all_finite(t);
+              }
+            }
+            for (const MemberReport& m : r.members) sane = sane && m.ok;
+            break;
+          case RequestStatus::kRejected:
+          case RequestStatus::kDeadlineExceeded:
+          case RequestStatus::kNumericalError:
+          case RequestStatus::kFault:
+            sane = r.error != nullptr && !r.error_message.empty();
+            break;
+        }
+        if (!sane) ++malformed_results;
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  server.stop();
+
+  EXPECT_EQ(terminated.load(), kClients * kRequestsPerClient)
+      << "a request hung or was dropped";
+  EXPECT_EQ(malformed_results.load(), 0);
+  const ServerStats st = server.stats();
+  EXPECT_EQ(st.accepted + st.rejected, kClients * kRequestsPerClient);
+  EXPECT_GT(st.member_steps, 0);
+}
+
+}  // namespace
+}  // namespace aeris::serving

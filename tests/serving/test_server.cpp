@@ -1,0 +1,643 @@
+#include "aeris/serving/server.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "aeris/core/forecaster.hpp"
+#include "aeris/tensor/numerics.hpp"
+#include "aeris/tensor/ops.hpp"
+
+namespace aeris::serving {
+namespace {
+
+using core::AerisModel;
+using core::DiffusionForecaster;
+using core::ForcingFn;
+using core::ModelConfig;
+using core::ParallelEnsembleEngine;
+
+constexpr float kNaN = std::numeric_limits<float>::quiet_NaN();
+
+ModelConfig srv_cfg() {
+  ModelConfig c;
+  c.h = 8;
+  c.w = 8;
+  c.in_channels = 8;  // 2 * V + F with V = 3, F = 2
+  c.out_channels = 3;
+  c.dim = 16;
+  c.depth = 2;
+  c.heads = 2;
+  c.ffn_hidden = 32;
+  c.win_h = 4;
+  c.win_w = 4;
+  c.cond_dim = 16;
+  c.time_features = 8;
+  return c;
+}
+
+AerisModel make_model(std::uint64_t seed) {
+  AerisModel model(srv_cfg(), seed);
+  Philox rng(seed + 100);
+  for (nn::Param* p : model.params()) {
+    if (p->name.find("head") != std::string::npos ||
+        p->name.find("adaln") != std::string::npos) {
+      rng.fill_normal(p->value, 7, 0);
+      scale_(p->value, 0.1f);
+    }
+  }
+  return model;
+}
+
+Tensor make_init(std::uint64_t key) {
+  Philox rng(5);
+  Tensor init({8, 8, 3});
+  rng.fill_normal(init, 1, key);
+  return init;
+}
+
+Tensor make_forcing(std::int64_t step) {
+  Philox rng(6);
+  Tensor f({8, 8, 2});
+  rng.fill_normal(f, 2, static_cast<std::uint64_t>(step));
+  return f;
+}
+
+void expect_bitwise_equal(const Tensor& a, const Tensor& b,
+                          const std::string& what) {
+  ASSERT_EQ(a.shape(), b.shape()) << what;
+  ASSERT_EQ(std::memcmp(a.data(), b.data(),
+                        static_cast<std::size_t>(a.numel()) * sizeof(float)),
+            0)
+      << what;
+}
+
+// The tentpole contract: concurrent clients with distinct seeds, packed
+// together through one shared engine, each get trajectories
+// bitwise-identical to the serial DiffusionForecaster with their seed.
+TEST(ForecastServer, ConcurrentRequestsMatchSerialBitwise) {
+  AerisModel model = make_model(11);
+  core::TrigFlowConfig tf;
+  core::TrigSamplerConfig sc;
+  sc.steps = 3;
+  sc.churn = 0.5f;
+  ParallelEnsembleEngine engine(model, tf, sc, /*engine seed unused*/ 0);
+
+  ServerOptions opts;
+  opts.batch = 4;
+  opts.workers = 2;
+  ForecastServer server(engine, opts);
+
+  constexpr int kClients = 3;
+  const std::int64_t steps = 2, members = 3;
+  std::vector<ForecastResult> results(kClients);
+  std::vector<std::thread> clients;
+  for (int i = 0; i < kClients; ++i) {
+    clients.emplace_back([&, i] {
+      ForecastRequest req;
+      req.init = make_init(static_cast<std::uint64_t>(i));
+      req.forcings_at = make_forcing;
+      req.members = members;
+      req.steps = steps;
+      req.seed = 42 + static_cast<std::uint64_t>(i);
+      results[static_cast<std::size_t>(i)] = server.forecast(req);
+    });
+  }
+  for (auto& t : clients) t.join();
+
+  DiffusionForecaster serial0(model, tf, sc, 42);
+  for (int i = 0; i < kClients; ++i) {
+    const ForecastResult& r = results[static_cast<std::size_t>(i)];
+    ASSERT_EQ(r.status, RequestStatus::kOk) << r.error_message;
+    EXPECT_FALSE(r.degraded);
+    EXPECT_EQ(r.solver_steps, sc.steps);
+    EXPECT_EQ(r.members_served, members);
+    ASSERT_EQ(static_cast<std::int64_t>(r.trajectories.size()), members);
+    DiffusionForecaster serial(model, tf, sc,
+                               42 + static_cast<std::uint64_t>(i));
+    const auto ref = serial.ensemble_rollout(
+        make_init(static_cast<std::uint64_t>(i)), make_forcing, steps,
+        members);
+    for (std::int64_t m = 0; m < members; ++m) {
+      const auto& got = r.trajectories[static_cast<std::size_t>(m)];
+      ASSERT_EQ(got.size(), ref[static_cast<std::size_t>(m)].size());
+      for (std::size_t s = 0; s < got.size(); ++s) {
+        expect_bitwise_equal(ref[static_cast<std::size_t>(m)][s], got[s],
+                             "client " + std::to_string(i) + " member " +
+                                 std::to_string(m) + " step " +
+                                 std::to_string(s));
+      }
+      EXPECT_TRUE(r.members[static_cast<std::size_t>(m)].ok);
+      EXPECT_FALSE(r.members[static_cast<std::size_t>(m)].quarantined);
+    }
+  }
+}
+
+TEST(ForecastServer, EdmRequestsMatchSerialBitwise) {
+  AerisModel model = make_model(13);
+  core::EdmConfig edm;
+  core::EdmSamplerConfig sc;
+  sc.steps = 3;
+  ParallelEnsembleEngine engine(model, edm, sc, 0);
+  ServerOptions opts;
+  opts.batch = 3;
+  opts.workers = 2;
+  ForecastServer server(engine, opts);
+
+  std::vector<ForecastResult> results(2);
+  std::vector<std::thread> clients;
+  for (int i = 0; i < 2; ++i) {
+    clients.emplace_back([&, i] {
+      ForecastRequest req;
+      req.init = make_init(7);
+      req.forcings_at = make_forcing;
+      req.members = 2;
+      req.steps = 2;
+      req.seed = 77 + static_cast<std::uint64_t>(i);
+      results[static_cast<std::size_t>(i)] = server.forecast(req);
+    });
+  }
+  for (auto& t : clients) t.join();
+
+  for (int i = 0; i < 2; ++i) {
+    const ForecastResult& r = results[static_cast<std::size_t>(i)];
+    ASSERT_EQ(r.status, RequestStatus::kOk) << r.error_message;
+    DiffusionForecaster serial(model, edm, sc,
+                               77 + static_cast<std::uint64_t>(i));
+    const auto ref = serial.ensemble_rollout(make_init(7), make_forcing, 2, 2);
+    for (std::size_t m = 0; m < 2; ++m) {
+      for (std::size_t s = 0; s < 2; ++s) {
+        expect_bitwise_equal(ref[m][s], r.trajectories[m][s],
+                             "edm client " + std::to_string(i));
+      }
+    }
+  }
+}
+
+// Load shedding: a full admission queue rejects with a typed reason
+// instead of queueing unboundedly (and the shed request never computes).
+TEST(ForecastServer, QueueSaturationShedsWithTypedError) {
+  AerisModel model = make_model(15);
+  core::TrigFlowConfig tf;
+  core::TrigSamplerConfig sc;
+  sc.steps = 2;
+  ParallelEnsembleEngine engine(model, tf, sc, 0);
+  ServerOptions opts;
+  opts.workers = 1;
+  opts.batch = 1;
+  opts.queue_capacity = 2;
+  ForecastServer server(engine, opts);
+
+  std::atomic<bool> release{false};
+  const ForcingFn blocking = [&](std::int64_t s) {
+    while (!release.load()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    return make_forcing(s);
+  };
+
+  std::vector<ForecastResult> results(2);
+  std::vector<std::thread> clients;
+  for (int i = 0; i < 2; ++i) {
+    clients.emplace_back([&, i] {
+      ForecastRequest req;
+      req.init = make_init(0);
+      req.forcings_at = blocking;
+      req.seed = static_cast<std::uint64_t>(i);
+      results[static_cast<std::size_t>(i)] = server.forecast(req);
+    });
+  }
+  while (server.stats().accepted < 2) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  ForecastRequest extra;
+  extra.init = make_init(0);
+  extra.forcings_at = blocking;
+  const ForecastResult shed = server.forecast(extra);
+  EXPECT_EQ(shed.status, RequestStatus::kRejected);
+  EXPECT_TRUE(shed.trajectories.empty());
+  ASSERT_TRUE(shed.error != nullptr);
+  try {
+    std::rethrow_exception(shed.error);
+  } catch (const RejectedError& e) {
+    EXPECT_EQ(e.reason(), RejectReason::kQueueFull);
+  }
+  EXPECT_NE(shed.error_message.find("queue full"), std::string::npos);
+
+  release.store(true);
+  for (auto& t : clients) t.join();
+  for (const ForecastResult& r : results) {
+    EXPECT_EQ(r.status, RequestStatus::kOk) << r.error_message;
+  }
+  EXPECT_EQ(server.stats().rejected, 1);
+}
+
+// A request whose deadline passes while it waits behind other work
+// terminates with DeadlineExceededError — it is never silently dropped.
+TEST(ForecastServer, DeadlineExpiresWhileQueued) {
+  AerisModel model = make_model(17);
+  core::TrigFlowConfig tf;
+  core::TrigSamplerConfig sc;
+  sc.steps = 2;
+  ParallelEnsembleEngine engine(model, tf, sc, 0);
+  ServerOptions opts;
+  opts.workers = 1;
+  opts.batch = 1;
+  ForecastServer server(engine, opts);
+
+  std::atomic<bool> release{false};
+  const ForcingFn blocking = [&](std::int64_t s) {
+    while (!release.load()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    return make_forcing(s);
+  };
+
+  std::thread first([&] {
+    ForecastRequest req;
+    req.init = make_init(0);
+    req.forcings_at = blocking;
+    const ForecastResult r = server.forecast(req);
+    EXPECT_EQ(r.status, RequestStatus::kOk) << r.error_message;
+  });
+  while (server.stats().accepted < 1) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  ForecastRequest doomed;
+  doomed.init = make_init(0);
+  doomed.forcings_at = make_forcing;
+  doomed.deadline_ms = 20.0;
+  std::thread second([&] {
+    const ForecastResult r = server.forecast(doomed);
+    EXPECT_EQ(r.status, RequestStatus::kDeadlineExceeded) << r.error_message;
+    EXPECT_TRUE(r.trajectories.empty());  // return_partial not requested
+    ASSERT_TRUE(r.error != nullptr);
+    EXPECT_THROW(std::rethrow_exception(r.error), DeadlineExceededError);
+  });
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(60));
+  release.store(true);
+  first.join();
+  second.join();
+  EXPECT_EQ(server.stats().deadline_expired, 1);
+}
+
+// Mid-rollout expiry with return_partial: the prefix computed before the
+// deadline comes back, bitwise-identical to the serial reference prefix.
+TEST(ForecastServer, DeadlinePartialPrefixIsBitwise) {
+  AerisModel model = make_model(19);
+  core::TrigFlowConfig tf;
+  core::TrigSamplerConfig sc;
+  sc.steps = 2;
+  ParallelEnsembleEngine engine(model, tf, sc, 0);
+  ForecastServer server(engine, ServerOptions{});
+
+  // Step 2's forcing fetch outlives the deadline; steps 0-1 commit first.
+  const ForcingFn slow_tail = [](std::int64_t s) {
+    if (s == 2) std::this_thread::sleep_for(std::chrono::milliseconds(600));
+    return make_forcing(s);
+  };
+
+  ForecastRequest req;
+  req.init = make_init(3);
+  req.forcings_at = slow_tail;
+  req.steps = 4;
+  req.seed = 9;
+  req.deadline_ms = 300.0;
+  req.return_partial = true;
+  const ForecastResult r = server.forecast(req);
+
+  ASSERT_EQ(r.status, RequestStatus::kDeadlineExceeded) << r.error_message;
+  ASSERT_EQ(r.trajectories.size(), 1u);
+  const auto& prefix = r.trajectories[0];
+  ASSERT_GE(prefix.size(), 2u);
+  ASSERT_LT(prefix.size(), 4u);
+  EXPECT_EQ(r.members[0].steps_completed,
+            static_cast<std::int64_t>(prefix.size()));
+  DiffusionForecaster serial(model, tf, sc, 9);
+  const auto ref = serial.ensemble_rollout(make_init(3), make_forcing, 4, 1);
+  for (std::size_t s = 0; s < prefix.size(); ++s) {
+    expect_bitwise_equal(ref[0][s], prefix[s],
+                         "partial step " + std::to_string(s));
+  }
+}
+
+// Numerical quarantine: a one-off NaN in the forcings diverges the member
+// once; the retry on a fresh (salted) noise stream re-fetches clean
+// forcings and the request completes — flagged, finite, full length.
+TEST(ForecastServer, QuarantineRecoversFromTransientNaN) {
+  AerisModel model = make_model(23);
+  core::TrigFlowConfig tf;
+  core::TrigSamplerConfig sc;
+  sc.steps = 2;
+  ParallelEnsembleEngine engine(model, tf, sc, 0);
+  ServerOptions opts;
+  opts.batch = 4;
+  ForecastServer server(engine, opts);
+
+  std::atomic<int> poisoned{0};
+  const ForcingFn nan_once = [&](std::int64_t s) {
+    Tensor f = make_forcing(s);
+    if (s == 1 && poisoned.fetch_add(1) == 0) f.data()[0] = kNaN;
+    return f;
+  };
+
+  // A clean request runs concurrently (and may share packs with the
+  // poisoned one): its trajectories must stay bitwise-correct.
+  std::thread clean_client([&] {
+    ForecastRequest req;
+    req.init = make_init(1);
+    req.forcings_at = make_forcing;
+    req.members = 2;
+    req.steps = 3;
+    req.seed = 42;
+    const ForecastResult r = server.forecast(req);
+    ASSERT_EQ(r.status, RequestStatus::kOk) << r.error_message;
+    DiffusionForecaster serial(model, tf, sc, 42);
+    const auto ref = serial.ensemble_rollout(make_init(1), make_forcing, 3, 2);
+    for (std::size_t m = 0; m < 2; ++m) {
+      for (std::size_t s = 0; s < 3; ++s) {
+        expect_bitwise_equal(ref[m][s], r.trajectories[m][s],
+                             "clean batch-mate m" + std::to_string(m));
+      }
+    }
+  });
+
+  ForecastRequest req;
+  req.init = make_init(2);
+  req.forcings_at = nan_once;
+  req.members = 1;
+  req.steps = 3;
+  req.seed = 7;
+  const ForecastResult r = server.forecast(req);
+  clean_client.join();
+
+  ASSERT_EQ(r.status, RequestStatus::kOk) << r.error_message;
+  ASSERT_EQ(r.members.size(), 1u);
+  EXPECT_TRUE(r.members[0].quarantined);
+  EXPECT_TRUE(r.members[0].ok);
+  EXPECT_EQ(r.members[0].steps_completed, 3);
+  for (const Tensor& t : r.trajectories[0]) {
+    EXPECT_TRUE(tensor::all_finite(t));
+  }
+  EXPECT_GE(server.stats().quarantined_members, 1);
+}
+
+// Persistent divergence: the quarantine retry also fails, the member is
+// reported as a NumericalError — and batch-mates still finish bitwise.
+TEST(ForecastServer, PersistentNaNIsTypedAndDoesNotPoisonBatchMates) {
+  AerisModel model = make_model(29);
+  core::TrigFlowConfig tf;
+  core::TrigSamplerConfig sc;
+  sc.steps = 2;
+  ParallelEnsembleEngine engine(model, tf, sc, 0);
+  ServerOptions opts;
+  opts.batch = 4;
+  ForecastServer server(engine, opts);
+
+  const ForcingFn always_nan = [](std::int64_t s) {
+    Tensor f = make_forcing(s);
+    f.data()[3] = kNaN;
+    return f;
+  };
+
+  std::thread clean_client([&] {
+    ForecastRequest req;
+    req.init = make_init(1);
+    req.forcings_at = make_forcing;
+    req.members = 2;
+    req.steps = 2;
+    req.seed = 42;
+    const ForecastResult r = server.forecast(req);
+    ASSERT_EQ(r.status, RequestStatus::kOk) << r.error_message;
+    DiffusionForecaster serial(model, tf, sc, 42);
+    const auto ref = serial.ensemble_rollout(make_init(1), make_forcing, 2, 2);
+    for (std::size_t m = 0; m < 2; ++m) {
+      for (std::size_t s = 0; s < 2; ++s) {
+        expect_bitwise_equal(ref[m][s], r.trajectories[m][s],
+                             "clean batch-mate m" + std::to_string(m));
+      }
+    }
+  });
+
+  ForecastRequest req;
+  req.init = make_init(2);
+  req.forcings_at = always_nan;
+  req.members = 1;
+  req.steps = 2;
+  req.seed = 7;
+  const ForecastResult r = server.forecast(req);
+  clean_client.join();
+
+  ASSERT_EQ(r.status, RequestStatus::kNumericalError);
+  ASSERT_TRUE(r.error != nullptr);
+  EXPECT_THROW(std::rethrow_exception(r.error), NumericalError);
+  ASSERT_EQ(r.members.size(), 1u);
+  EXPECT_TRUE(r.members[0].quarantined);
+  EXPECT_FALSE(r.members[0].ok);
+  EXPECT_NE(r.members[0].message.find("non-finite"), std::string::npos);
+  EXPECT_GE(server.stats().failed_members, 1);
+}
+
+// Transient faults (throwing forcing fn) retry with backoff and, once the
+// fault clears, the result is still bitwise what the serial path produces.
+TEST(ForecastServer, TransientFaultRetriesThenMatchesSerial) {
+  AerisModel model = make_model(31);
+  core::TrigFlowConfig tf;
+  core::TrigSamplerConfig sc;
+  sc.steps = 2;
+  ParallelEnsembleEngine engine(model, tf, sc, 0);
+  ServerOptions opts;
+  opts.max_step_retries = 2;
+  opts.retry_backoff_ms = 0.2;
+  ForecastServer server(engine, opts);
+
+  std::atomic<int> failures{0};
+  const ForcingFn flaky = [&](std::int64_t s) {
+    if (s == 1 && failures.fetch_add(1) == 0) {
+      throw std::runtime_error("simulated store outage");
+    }
+    return make_forcing(s);
+  };
+
+  ForecastRequest req;
+  req.init = make_init(4);
+  req.forcings_at = flaky;
+  req.steps = 2;
+  req.seed = 55;
+  const ForecastResult r = server.forecast(req);
+  ASSERT_EQ(r.status, RequestStatus::kOk) << r.error_message;
+  EXPECT_GE(r.transient_retries, 1);
+  DiffusionForecaster serial(model, tf, sc, 55);
+  const auto ref = serial.ensemble_rollout(make_init(4), make_forcing, 2, 1);
+  for (std::size_t s = 0; s < 2; ++s) {
+    expect_bitwise_equal(ref[0][s], r.trajectories[0][s], "after retry");
+  }
+}
+
+TEST(ForecastServer, PersistentFaultFailsTyped) {
+  AerisModel model = make_model(37);
+  ParallelEnsembleEngine engine(model, core::TrigFlowConfig{},
+                                core::TrigSamplerConfig{}, 0);
+  ServerOptions opts;
+  opts.max_step_retries = 1;
+  opts.retry_backoff_ms = 0.2;
+  ForecastServer server(engine, opts);
+
+  ForecastRequest req;
+  req.init = make_init(4);
+  req.forcings_at = [](std::int64_t) -> Tensor {
+    throw std::runtime_error("store is down");
+  };
+  const ForecastResult r = server.forecast(req);
+  ASSERT_EQ(r.status, RequestStatus::kFault);
+  EXPECT_NE(r.error_message.find("store is down"), std::string::npos);
+  ASSERT_TRUE(r.error != nullptr);
+  EXPECT_THROW(std::rethrow_exception(r.error), std::runtime_error);
+  EXPECT_EQ(server.stats().faulted, 1);
+}
+
+// Forced degradation: fewer solver steps and a member cap, both reported,
+// and the served members are bitwise the serial forecast at the degraded
+// step count — degraded quality is still deterministic quality.
+TEST(ForecastServer, DegradePolicyReducesWorkAndReportsIt) {
+  AerisModel model = make_model(41);
+  core::TrigFlowConfig tf;
+  core::TrigSamplerConfig sc;
+  sc.steps = 3;
+  ParallelEnsembleEngine engine(model, tf, sc, 0);
+  ServerOptions opts;
+  opts.degrade.est_wait_threshold_ms = -1.0;  // force on every admission
+  opts.degrade.degraded_solver_steps = 2;
+  opts.degrade.max_members = 2;
+  ForecastServer server(engine, opts);
+
+  ForecastRequest req;
+  req.init = make_init(6);
+  req.forcings_at = make_forcing;
+  req.members = 4;
+  req.steps = 2;
+  req.seed = 13;
+  const ForecastResult r = server.forecast(req);
+  ASSERT_EQ(r.status, RequestStatus::kOk) << r.error_message;
+  EXPECT_TRUE(r.degraded);
+  EXPECT_EQ(r.solver_steps, 2);
+  EXPECT_EQ(r.members_served, 2);
+  ASSERT_EQ(r.trajectories.size(), 2u);
+
+  core::TrigSamplerConfig degraded_sc = sc;
+  degraded_sc.steps = 2;
+  DiffusionForecaster serial(model, tf, degraded_sc, 13);
+  const auto ref = serial.ensemble_rollout(make_init(6), make_forcing, 2, 2);
+  for (std::size_t m = 0; m < 2; ++m) {
+    for (std::size_t s = 0; s < 2; ++s) {
+      expect_bitwise_equal(ref[m][s], r.trajectories[m][s],
+                           "degraded m" + std::to_string(m));
+    }
+  }
+  EXPECT_EQ(server.stats().degraded, 1);
+}
+
+// Shutdown drains: in-flight requests terminate with a typed shutdown
+// rejection (never hang), and post-stop admissions are refused.
+TEST(ForecastServer, StopTerminatesInFlightAndRejectsNewWork) {
+  AerisModel model = make_model(43);
+  core::TrigFlowConfig tf;
+  core::TrigSamplerConfig sc;
+  sc.steps = 2;
+  ParallelEnsembleEngine engine(model, tf, sc, 0);
+  ForecastServer server(engine, ServerOptions{});
+
+  std::atomic<bool> release{false};
+  const ForcingFn blocking = [&](std::int64_t s) {
+    while (!release.load()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    return make_forcing(s);
+  };
+
+  ForecastResult inflight;
+  std::thread client([&] {
+    ForecastRequest req;
+    req.init = make_init(0);
+    req.forcings_at = blocking;
+    req.steps = 2;
+    inflight = server.forecast(req);
+  });
+  while (server.stats().accepted < 1) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  std::thread stopper([&] { server.stop(); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  release.store(true);  // un-wedge the worker so stop() can join it
+  stopper.join();
+  client.join();
+
+  ASSERT_EQ(inflight.status, RequestStatus::kRejected);
+  ASSERT_TRUE(inflight.error != nullptr);
+  try {
+    std::rethrow_exception(inflight.error);
+  } catch (const RejectedError& e) {
+    EXPECT_EQ(e.reason(), RejectReason::kShutdown);
+  }
+
+  ForecastRequest late;
+  late.init = make_init(0);
+  late.forcings_at = make_forcing;
+  const ForecastResult r = server.forecast(late);
+  EXPECT_EQ(r.status, RequestStatus::kRejected);
+}
+
+TEST(ForecastServer, MalformedRequestsThrow) {
+  AerisModel model = make_model(47);
+  ParallelEnsembleEngine engine(model, core::TrigFlowConfig{},
+                                core::TrigSamplerConfig{}, 0);
+  ForecastServer server(engine, ServerOptions{});
+
+  ForecastRequest bad_shape;
+  bad_shape.init = Tensor({8, 8});
+  bad_shape.forcings_at = make_forcing;
+  EXPECT_THROW(server.forecast(bad_shape), std::invalid_argument);
+
+  ForecastRequest no_fn;
+  no_fn.init = make_init(0);
+  EXPECT_THROW(server.forecast(no_fn), std::invalid_argument);
+
+  ForecastRequest zero_members;
+  zero_members.init = make_init(0);
+  zero_members.forcings_at = make_forcing;
+  zero_members.members = 0;
+  EXPECT_THROW(server.forecast(zero_members), std::invalid_argument);
+}
+
+TEST(ForecastServer, FromEnvReadsKnobs) {
+  ::setenv("AERIS_SERVE_QUEUE_CAP", "7", 1);
+  ::setenv("AERIS_SERVE_DEADLINE_MS", "125.5", 1);
+  ::setenv("AERIS_SERVE_DEGRADE_WAIT_MS", "40", 1);
+  ::setenv("AERIS_SERVE_DEGRADE_STEPS", "2", 1);
+  ::setenv("AERIS_SERVE_DEGRADE_MEMBERS", "3", 1);
+  const ServerOptions o = ServerOptions::from_env();
+  EXPECT_EQ(o.queue_capacity, 7);
+  EXPECT_DOUBLE_EQ(o.default_deadline_ms, 125.5);
+  EXPECT_DOUBLE_EQ(o.degrade.est_wait_threshold_ms, 40.0);
+  EXPECT_EQ(o.degrade.degraded_solver_steps, 2);
+  EXPECT_EQ(o.degrade.max_members, 3);
+  ::unsetenv("AERIS_SERVE_QUEUE_CAP");
+  ::unsetenv("AERIS_SERVE_DEADLINE_MS");
+  ::unsetenv("AERIS_SERVE_DEGRADE_WAIT_MS");
+  ::unsetenv("AERIS_SERVE_DEGRADE_STEPS");
+  ::unsetenv("AERIS_SERVE_DEGRADE_MEMBERS");
+}
+
+}  // namespace
+}  // namespace aeris::serving

@@ -344,5 +344,53 @@ TEST(Checkpoint, EngineRejectsCorruptedCheckpoint) {
   }
 }
 
+// A checkpoint written under one EngineConfig must refuse to load into an
+// engine built with a different model shape — and say *which* knob moved —
+// instead of streaming floats into mismatched parameter tensors.
+TEST(Checkpoint, ConfigMismatchIsRejectedByName) {
+  const EngineConfig ec = ckpt_config();
+  const DataFn data = [&](std::int64_t s) {
+    return ckpt_example(ec.model, s);
+  };
+  ScratchDir dir("cfg_mismatch");
+  const std::string cdir = (dir.path / "ckpt").string();
+
+  {
+    World world(ec.grid.world_size());
+    world.run([&](int rank) {
+      SwipeEngine engine(world, ec, rank);
+      (void)engine.train_step(data, 0);
+      engine.save_checkpoint(cdir, ec.grid.dp * ec.microbatches);
+    });
+  }
+
+  // Same grid (so the same files exist per rank), wider model.
+  EngineConfig ec2 = ckpt_config();
+  ec2.model.dim = 32;
+  World world2(ec2.grid.world_size());
+  std::vector<std::string> errors(static_cast<std::size_t>(world2.size()));
+  world2.run([&](int rank) {
+    SwipeEngine engine(world2, ec2, rank);
+    try {
+      (void)engine.load_checkpoint(cdir);
+    } catch (const CheckpointError& e) {
+      errors[static_cast<std::size_t>(rank)] = e.what();
+    }
+  });
+  for (int r = 0; r < world2.size(); ++r) {
+    const std::string& msg = errors[static_cast<std::size_t>(r)];
+    EXPECT_FALSE(msg.empty()) << "rank " << r << " loaded a mismatched ckpt";
+    EXPECT_NE(msg.find("model.dim"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("config mismatch"), std::string::npos) << msg;
+  }
+
+  // The original config still round-trips after the rejected attempts.
+  World world3(ec.grid.world_size());
+  world3.run([&](int rank) {
+    SwipeEngine engine(world3, ec, rank);
+    EXPECT_EQ(engine.load_checkpoint(cdir), ec.grid.dp * ec.microbatches);
+  });
+}
+
 }  // namespace
 }  // namespace aeris::swipe

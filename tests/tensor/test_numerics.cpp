@@ -1,0 +1,70 @@
+#include "aeris/tensor/numerics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "aeris/tensor/rng.hpp"
+#include "aeris/tensor/tensor.hpp"
+
+namespace aeris::tensor {
+namespace {
+
+constexpr float kNaN = std::numeric_limits<float>::quiet_NaN();
+constexpr float kInf = std::numeric_limits<float>::infinity();
+
+TEST(Numerics, CleanTensorIsFinite) {
+  Tensor t({17, 5, 3});
+  Philox rng(1);
+  rng.fill_normal(t, 1, 0);
+  EXPECT_TRUE(all_finite(t));
+  EXPECT_EQ(first_nonfinite(t), -1);
+}
+
+TEST(Numerics, EmptyTensorIsFinite) {
+  Tensor t;
+  EXPECT_TRUE(all_finite(t));
+  EXPECT_EQ(first_nonfinite(t), -1);
+}
+
+// The SIMD scan is blocked; plant the bad value at block boundaries and
+// both ends so no position is missed by the early-exit logic.
+TEST(Numerics, DetectsNaNAndInfAtEveryPosition) {
+  const std::int64_t n = 4096 * 2 + 7;  // spans multiple scan blocks
+  Tensor t({n});
+  Philox rng(2);
+  rng.fill_normal(t, 1, 0);
+  const std::int64_t positions[] = {0,    1,    4095, 4096,
+                                    4097, 8191, 8192, n - 1};
+  const float bad[] = {kNaN, kInf, -kInf};
+  for (const std::int64_t pos : positions) {
+    for (const float v : bad) {
+      const float keep = t.data()[pos];
+      t.data()[pos] = v;
+      EXPECT_FALSE(all_finite(t)) << "pos " << pos << " value " << v;
+      EXPECT_EQ(first_nonfinite(t), pos) << "value " << v;
+      t.data()[pos] = keep;
+    }
+  }
+  EXPECT_TRUE(all_finite(t));
+}
+
+TEST(Numerics, ExtremeButFiniteValuesPass) {
+  Tensor t = Tensor::from({std::numeric_limits<float>::max(),
+                           std::numeric_limits<float>::lowest(),
+                           std::numeric_limits<float>::denorm_min(),
+                           -std::numeric_limits<float>::denorm_min(), 0.0f,
+                           -0.0f});
+  EXPECT_TRUE(all_finite(t));
+}
+
+TEST(Numerics, FirstNonfiniteReturnsEarliest) {
+  Tensor t({64});
+  t.data()[10] = kInf;
+  t.data()[50] = kNaN;
+  EXPECT_EQ(first_nonfinite(t), 10);
+}
+
+}  // namespace
+}  // namespace aeris::tensor
