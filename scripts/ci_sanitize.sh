@@ -8,6 +8,13 @@
 # suite incl. the fault drill — randomized concurrent clients, deadlines,
 # quarantine and queue saturation against one ForecastServer.
 #
+# Both legs also run the inference-hot-path suite: the TSan leg pins the
+# concurrent first-touch of shared bf16 weight packs (double-checked
+# lazy rounding under a shared model) and the per-owner conditioning-cache
+# model (caches must never be shared across engine threads); the ASan leg
+# covers the cache's tensor lifetimes (Mod tensors outlive the stage that
+# inserted them).
+#
 # ASan leg (AERIS_SANITIZE=address): the serving suite again — the server
 # juggles cross-request tensor lifetimes (packs point into other requests'
 # trajectories), which is exactly where use-after-free would hide.
@@ -21,7 +28,7 @@ build=${1:-"$repo/build-tsan"}
 asan_build=${2:-"$repo/build-asan"}
 
 cmake -B "$build" -S "$repo" -DAERIS_SANITIZE=thread
-cmake --build "$build" -j --target test_swipe test_core test_serving
+cmake --build "$build" -j --target test_swipe test_core test_serving test_infer_hotpath
 # TSan aborts the process on the first race (halt_on_error), so a clean
 # exit means a clean suite. The timeout backstops comm deadlocks.
 TSAN_OPTIONS="halt_on_error=1 $TSAN_OPTIONS" \
@@ -34,9 +41,15 @@ echo "TSan concurrent-ensemble suite clean"
 TSAN_OPTIONS="halt_on_error=1 $TSAN_OPTIONS" \
   timeout 600 "$build/tests/test_serving"
 echo "TSan serving suite (incl. fault drill) clean"
+TSAN_OPTIONS="halt_on_error=1 $TSAN_OPTIONS" \
+  timeout 600 "$build/tests/test_infer_hotpath"
+echo "TSan inference-hot-path suite (bf16 pack first-touch, cond cache) clean"
 
 cmake -B "$asan_build" -S "$repo" -DAERIS_SANITIZE=address
-cmake --build "$asan_build" -j --target test_serving
+cmake --build "$asan_build" -j --target test_serving test_infer_hotpath
 ASAN_OPTIONS="halt_on_error=1 detect_leaks=1 $ASAN_OPTIONS" \
   timeout 600 "$asan_build/tests/test_serving"
 echo "ASan serving suite clean"
+ASAN_OPTIONS="halt_on_error=1 detect_leaks=1 $ASAN_OPTIONS" \
+  timeout 600 "$asan_build/tests/test_infer_hotpath"
+echo "ASan inference-hot-path suite clean"

@@ -77,8 +77,22 @@ class ParallelEnsembleEngine {
   /// dim), so a non-finite member cannot poison the others, and each
   /// slot's result is bitwise-identical to the serial forecast_step with
   /// the same seed/key/solver steps.
+  ///
+  /// `cache` is an optional caller-owned conditioning cache (one per
+  /// driving thread — engine worker, server worker); nullptr falls back to
+  /// a call-local cache when caching is enabled. Degraded packs re-key
+  /// automatically: an override changes the schedule's t values and with
+  /// them every cache key.
   std::vector<Tensor> step_pack(std::span<const MemberSlot> pack,
-                                int solver_steps_override = 0) const;
+                                int solver_steps_override = 0,
+                                nn::CondCache* cache = nullptr) const;
+
+  /// Inference compute precision for the stacked model forwards. Defaults
+  /// from AERIS_INFER_PRECISION (fp32 unless "bf16"). Set before sharing
+  /// the engine across threads; the pre-rounded bf16 weights themselves
+  /// are built once and shared read-only.
+  void set_infer_precision(nn::InferPrecision p) { precision_ = p; }
+  nn::InferPrecision infer_precision() const { return precision_; }
 
   Parameterization parameterization() const { return param_; }
   /// The shared read-only model (exposed so the serving layer can validate
@@ -95,7 +109,8 @@ class ParallelEnsembleEngine {
   /// through a single stacked solve; returns the next states.
   std::vector<Tensor> step_chunk(const std::vector<Tensor>& states,
                                  const Tensor& forcings, std::int64_t m0,
-                                 std::int64_t step) const;
+                                 std::int64_t step,
+                                 nn::CondCache* cache) const;
 
   const AerisModel& model_;
   Parameterization param_;
@@ -104,6 +119,7 @@ class ParallelEnsembleEngine {
   Edm edm_{EdmConfig{}};
   EdmSamplerConfig edm_sampler_{};
   Philox rng_;
+  nn::InferPrecision precision_ = nn::infer_precision_from_env();
 };
 
 }  // namespace aeris::core

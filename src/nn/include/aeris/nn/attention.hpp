@@ -11,13 +11,17 @@ namespace aeris::nn {
 ///
 /// With `probs_out != nullptr` (training) the softmax probabilities
 /// [B, H, T, T] are materialized for the backward pass. With
-/// `probs_out == nullptr` (inference/sampling) a streaming online-softmax
-/// path is taken instead: scores exist only as small per-head tiles in the
-/// thread-local scratch arena and the [B, H, T, T] tensor is never
-/// allocated.
+/// `probs_out == nullptr` (inference/sampling) no [B, H, T, T] tensor is
+/// ever allocated: window-sized sequences run a fused per-head kernel
+/// (contiguous q/k/v gather, direct SIMD score dot products, full-row
+/// softmax on fast_expf, direct P@V) and longer sequences fall back to the
+/// streaming online-softmax tile path. `bf16_inputs` opts the inference
+/// paths into the bf16 compute policy: q/k/v (and the probabilities fed to
+/// P@V) are rounded to bf16 once, products accumulate in fp32.
 Tensor attention_core_forward(const Tensor& q, const Tensor& k,
                               const Tensor& v, std::int64_t heads,
-                              Tensor* probs_out = nullptr);
+                              Tensor* probs_out = nullptr,
+                              bool bf16_inputs = false);
 
 /// Backward of attention_core_forward. `probs` is the cached softmax
 /// output; fills dq/dk/dv (allocated to match q/k/v).

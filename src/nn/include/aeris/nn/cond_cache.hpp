@@ -1,0 +1,93 @@
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "aeris/nn/fwd_ctx.hpp"
+#include "aeris/tensor/tensor.hpp"
+
+namespace aeris::nn {
+
+/// Per-forecast memo of the conditioning sub-graph.
+///
+/// Within one forecast the diffusion time t only takes the few fixed values
+/// of the solver schedule (trigflow_schedule / the EDM Karras sigmas depend
+/// only on the config, never on the state), yet TimeEmbedding and every
+/// block's AdaLNHead recompute their output at each solver stage. A
+/// CondCache stores, keyed by (layer identity, bit pattern of the
+/// batch-uniform t), the single conditioning *row* each such layer produces
+/// — [1, cond_dim] for the time trunk, [1, 3*dim] for an adaLN head — so
+/// every stage after the first skips the whole conditioning sub-graph.
+///
+/// Bitwise contract: per-output-row GEMM results are independent of the
+/// batch extent and row position (the kernel packs and reduces each row
+/// identically wherever it sits), and the bias add and SiLU are per-row
+/// maps; so computing one row at batch 1 and broadcasting it to any batch
+/// is bit-identical to computing the full batch. Cached and uncached fp32
+/// inference therefore agree bitwise, which the cache tests assert.
+///
+/// Keying: the float bit pattern of t is bijective with (schedule, stage).
+/// A DegradePolicy override that changes the solver step count changes the
+/// schedule's t values and thus the keys, so stale rows are never reused;
+/// they simply stop being hit. Caches are single-threaded by design: each
+/// forecaster rollout, engine worker chunk, and server worker owns its own
+/// instance (mirroring the ScratchArena model), so no locking is needed.
+class CondCache {
+ public:
+  /// The cached row for (layer, t) or nullptr on miss.
+  const Tensor* find(const LayerId& layer, std::uint32_t t_bits) {
+    const auto it = rows_.find(key(layer, t_bits));
+    if (it == rows_.end()) {
+      ++misses_;
+      return nullptr;
+    }
+    ++hits_;
+    return &it->second;
+  }
+
+  /// Stores `row` for (layer, t); returns the stored tensor. The entry
+  /// count is bounded by #conditioning-layers x #distinct schedule times,
+  /// but a safety cap guards pathological servers that cycle through many
+  /// degraded step counts.
+  const Tensor* insert(const LayerId& layer, std::uint32_t t_bits,
+                       Tensor row) {
+    if (rows_.size() >= kMaxEntries) rows_.clear();
+    return &(rows_[key(layer, t_bits)] = std::move(row));
+  }
+
+  void clear() { rows_.clear(); }
+  std::size_t size() const { return rows_.size(); }
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+
+ private:
+  static constexpr std::size_t kMaxEntries = 4096;
+
+  static std::uint64_t key(const LayerId& layer, std::uint32_t t_bits) {
+    // LayerIds are small sequential process-lifetime counters; folding the
+    // t bits into the low word keeps the key collision-free in practice.
+    return (layer.value() << 32) ^ static_cast<std::uint64_t>(t_bits);
+  }
+
+  std::unordered_map<std::uint64_t, Tensor> rows_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+/// Repeats a single conditioning row ([1, C] or [C]) into [b, C].
+Tensor broadcast_row(const Tensor& row, std::int64_t b);
+
+/// Process-wide escape hatch for the conditioning cache (debugging aid).
+/// Defaults to on; AERIS_COND_CACHE=0 in the environment disables it, and
+/// set_cond_cache_enabled overrides either way. Callers that own caches
+/// consult this before attaching one to a ctx.
+bool cond_cache_enabled();
+void set_cond_cache_enabled(bool enabled);
+
+/// Default inference precision from AERIS_INFER_PRECISION ("bf16" opts the
+/// mixed-precision compute path in; anything else — including unset — is
+/// fp32). Read once per query; forecaster/engine constructors use this as
+/// their initial precision.
+InferPrecision infer_precision_from_env();
+
+}  // namespace aeris::nn

@@ -1,0 +1,52 @@
+#include "aeris/nn/cond_cache.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <stdexcept>
+
+namespace aeris::nn {
+namespace {
+
+// -1 = environment not read yet; 0/1 = resolved or explicitly set.
+std::atomic<int> g_cond_cache_enabled{-1};
+
+}  // namespace
+
+Tensor broadcast_row(const Tensor& row, std::int64_t b) {
+  if (row.ndim() > 2 || (row.ndim() == 2 && row.dim(0) != 1)) {
+    throw std::invalid_argument("broadcast_row: expected [C] or [1, C]");
+  }
+  const std::int64_t c = row.numel();
+  Tensor out({b, c});
+  for (std::int64_t i = 0; i < b; ++i) {
+    std::copy_n(row.data(), c, out.data() + i * c);
+  }
+  return out;
+}
+
+bool cond_cache_enabled() {
+  int v = g_cond_cache_enabled.load(std::memory_order_relaxed);
+  if (v < 0) {
+    const char* e = std::getenv("AERIS_COND_CACHE");
+    v = (e != nullptr && std::strcmp(e, "0") == 0) ? 0 : 1;
+    g_cond_cache_enabled.store(v, std::memory_order_relaxed);
+  }
+  return v != 0;
+}
+
+void set_cond_cache_enabled(bool enabled) {
+  g_cond_cache_enabled.store(enabled ? 1 : 0, std::memory_order_relaxed);
+}
+
+InferPrecision infer_precision_from_env() {
+  const char* e = std::getenv("AERIS_INFER_PRECISION");
+  if (e != nullptr &&
+      (std::strcmp(e, "bf16") == 0 || std::strcmp(e, "BF16") == 0)) {
+    return InferPrecision::kBf16;
+  }
+  return InferPrecision::kFp32;
+}
+
+}  // namespace aeris::nn

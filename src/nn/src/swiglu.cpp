@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "aeris/tensor/fastmath.hpp"
 #include "aeris/tensor/ops.hpp"
 
 #include <stdexcept>
@@ -40,6 +41,16 @@ Tensor SwiGLU::forward(const Tensor& x, FwdCtx& ctx) const {
   Tensor up = up_.forward(x, ctx);
   Tensor h(gate_pre.shape());
   const std::int64_t n = h.numel();
+  if (ctx.inference()) {
+    // Inference-only activation: polynomial exp, vectorizable. Training
+    // keeps the std::exp silu below — its bit-exact goldens must not move.
+    const float* pg = gate_pre.data();
+    const float* pu = up.data();
+    float* ph = h.data();
+#pragma omp simd
+    for (std::int64_t i = 0; i < n; ++i) ph[i] = fast_siluf(pg[i]) * pu[i];
+    return down_.forward(h, ctx);
+  }
   for (std::int64_t i = 0; i < n; ++i) {
     h[i] = silu(gate_pre[i]) * up[i];
   }

@@ -8,6 +8,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "aeris/nn/cond_cache.hpp"
 #include "aeris/tensor/numerics.hpp"
 #include "aeris/tensor/thread_pool.hpp"
 
@@ -321,6 +322,17 @@ void ForecastServer::worker_loop(int worker_index) {
   if (opts_.workers > 1) guard = std::make_unique<SerialRegionGuard>();
   (void)worker_index;
 
+  // Worker-lifetime conditioning cache: packs only ever mix members that
+  // share one solver-step count, and stages are keyed by the exact t bit
+  // pattern, so rows cached from one request's pack are valid for any
+  // other request at the same stage — including after DegradePolicy flips
+  // the step count, which changes every t and thus never aliases keys.
+  // Member identity (seed, member, step) feeds the noise, not the
+  // conditioning, so cross-request sharing of modulation rows is exact.
+  nn::CondCache cond_cache;
+  nn::CondCache* cond_cache_ptr =
+      nn::cond_cache_enabled() ? &cond_cache : nullptr;
+
   for (;;) {
     std::vector<Cursor> pack;
     {
@@ -445,8 +457,8 @@ void ForecastServer::worker_loop(int worker_index) {
               ? 0
               : pack[solved.front()].a->solver_steps;
       try {
-        next = engine_.step_pack(
-            std::span<const core::MemberSlot>(slots), override_steps);
+        next = engine_.step_pack(std::span<const core::MemberSlot>(slots),
+                                 override_steps, cond_cache_ptr);
       } catch (...) {
         solve_error = std::current_exception();
       }

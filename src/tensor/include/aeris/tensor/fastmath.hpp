@@ -1,0 +1,95 @@
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <limits>
+
+namespace aeris {
+
+/// Polynomial expf for inference-only elementwise kernels (attention
+/// softmax, SwiGLU activation). Cephes-style range reduction — x = n ln2 + r
+/// with the ln2 constant split for an exact high part — followed by a
+/// degree-5 minimax polynomial for e^r and an exponent-bit scale by 2^n.
+/// Relative error < 5e-7 over the finite range; branch-free in the hot
+/// region so -O3 auto-vectorizes the surrounding loops.
+///
+/// Deviations from std::exp, all benign for softmax/silu and chosen to keep
+/// serving's numerical quarantine sound:
+///  - NaN in -> NaN out, +Inf in -> +Inf out (non-finite scores stay
+///    visible to all_finite checks instead of collapsing to finite noise);
+///  - inputs <= -87 saturate at exp(-87) ~= 1.6e-38 instead of decaying
+///    to 0 (negligible softmax mass, exact 0 was never guaranteed anyway).
+inline float fast_expf(float x) {
+  if (!(x < 88.7228f)) {
+    // x >= overflow threshold, +Inf, or NaN. (NaN + Inf = NaN.)
+    return x + std::numeric_limits<float>::infinity();
+  }
+  const float xc = x < -87.0f ? -87.0f : x;
+  const float nf = std::floor(xc * 1.44269504088896341f + 0.5f);
+  float r = xc - nf * 0.693359375f;  // high part of ln2 (exact product)
+  r += nf * 2.12194440e-4f;          // low-part correction
+  float p = 1.9875691500e-4f;
+  p = p * r + 1.3981999507e-3f;
+  p = p * r + 8.3334519073e-3f;
+  p = p * r + 4.1665795894e-2f;
+  p = p * r + 1.6666665459e-1f;
+  p = p * r + 5.0000001201e-1f;
+  float e = p * r * r + r + 1.0f;
+  // Scale by 2^n through the exponent field: e is in [~0.7, ~1.42] and
+  // n in [-126, 127], so the biased exponent never over/underflows.
+  std::uint32_t bits;
+  std::memcpy(&bits, &e, sizeof(bits));
+  bits += static_cast<std::uint32_t>(static_cast<std::int32_t>(nf)) << 23;
+  std::memcpy(&e, &bits, sizeof(bits));
+  return e;
+}
+
+/// Fully branch-free variant for SIMD loop bodies: the argument is clamped
+/// into [-87, 88] (min/max compile to minss/maxss, never a branch) and the
+/// nearest-integer step uses the 1.5 * 2^23 magic-number trick instead of
+/// std::floor, so `#pragma omp simd` loops around it vectorize even where
+/// the compiler cannot prove the floor call side-effect-free. Contract
+/// differences from fast_expf: no NaN/Inf passthrough — the result is
+/// finite for EVERY input (NaN clamps to -87 and comes out as exp(-87)),
+/// so callers that can see non-finite inputs must re-poison their output
+/// themselves (the fused softmax NaN-rows its output when the row max is
+/// not finite; fast_siluf recovers NaN through its x/(1+e) division).
+inline float fast_expf_clamped(float x) {
+  // The negated comparison routes NaN into the clamp too: a NaN argument
+  // must never reach the float->int cast below (UB, and the garbage bits
+  // could otherwise assemble into anything). Both compiles stay a
+  // compare+blend — branchless and vectorizable.
+  float xc = !(x > -87.0f) ? -87.0f : x;
+  xc = xc > 88.0f ? 88.0f : xc;
+  // Round-to-nearest integer: adding 1.5*2^23 pushes the value into the
+  // range where float spacing is exactly 1, so the mantissa IS the
+  // rounded integer; subtracting recovers it as a float. |xc*log2e| < 127
+  // keeps this exact, and any nearest integer is a valid reduction step.
+  const float magic = 12582912.0f;  // 1.5 * 2^23
+  const float nf = (xc * 1.44269504088896341f + magic) - magic;
+  float r = xc - nf * 0.693359375f;  // high part of ln2 (exact product)
+  r += nf * 2.12194440e-4f;          // low-part correction
+  float p = 1.9875691500e-4f;
+  p = p * r + 1.3981999507e-3f;
+  p = p * r + 8.3334519073e-3f;
+  p = p * r + 4.1665795894e-2f;
+  p = p * r + 1.6666665459e-1f;
+  p = p * r + 5.0000001201e-1f;
+  float e = p * r * r + r + 1.0f;
+  std::uint32_t bits;
+  std::memcpy(&bits, &e, sizeof(bits));
+  bits += static_cast<std::uint32_t>(static_cast<std::int32_t>(nf)) << 23;
+  std::memcpy(&e, &bits, sizeof(bits));
+  return e;
+}
+
+/// silu(x) = x * sigmoid(x) on top of fast_expf_clamped; inference-only
+/// (training keeps the std::exp silu that the loss goldens pin
+/// bit-for-bit). Branch-free and SIMD-safe. NaN propagates through the
+/// division even though the clamped exp swallows it; +Inf -> +Inf; -Inf
+/// maps to -Inf rather than silu's true limit of 0 — strictly more
+/// conservative for the serving quarantine's all_finite checks.
+inline float fast_siluf(float x) { return x / (1.0f + fast_expf_clamped(-x)); }
+
+}  // namespace aeris

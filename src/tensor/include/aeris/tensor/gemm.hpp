@@ -10,8 +10,11 @@ namespace aeris {
 /// precision scheme (§V-A): GEMM/attention inputs in BF16 with FP32
 /// accumulation, everything else FP32.
 enum class GemmPrecision {
-  kFP32,  ///< plain single precision
-  kBF16,  ///< inputs rounded through bfloat16, FP32 accumulation
+  kFP32,   ///< plain single precision
+  kBF16,   ///< inputs rounded through bfloat16, FP32 accumulation
+  kBF16A,  ///< only A rounded through bfloat16; B is consumed as-is
+           ///< (for callers holding weights already rounded to bf16, so
+           ///< the pre-rounded operand is not rounded a second time)
 };
 
 /// C = alpha * op(A) @ op(B) + beta * C.

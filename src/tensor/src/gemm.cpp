@@ -153,7 +153,8 @@ void gemm_impl(bool trans_a, bool trans_b, std::int64_t m, std::int64_t n,
                std::int64_t ldc, GemmPrecision prec, bool threaded) {
   if (m < 0 || n < 0 || k < 0) throw std::invalid_argument("gemm: bad dims");
   if (m == 0 || n == 0) return;
-  const bool bf16 = prec == GemmPrecision::kBF16;
+  const bool bf16_a = prec != GemmPrecision::kFP32;
+  const bool bf16_b = prec == GemmPrecision::kBF16;
   const std::int64_t astrips = (m + kMR - 1) / kMR;
   const std::int64_t bstrips = (n + kNR - 1) / kNR;
 
@@ -164,8 +165,8 @@ void gemm_impl(bool trans_a, bool trans_b, std::int64_t m, std::int64_t n,
   float* pa = arena.alloc_floats(astrips * kMR * k);
   float* pb = arena.alloc_floats(bstrips * kNR * k);
   if (k > 0) {
-    pack_a(trans_a, m, k, a, lda, bf16, pa);
-    pack_b(trans_b, k, n, b, ldb, bf16, pb);
+    pack_a(trans_a, m, k, a, lda, bf16_a, pa);
+    pack_b(trans_b, k, n, b, ldb, bf16_b, pb);
   }
 
   if (!threaded) {

@@ -1,0 +1,481 @@
+#include "aeris/nn/cond_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "aeris/core/ensemble.hpp"
+#include "aeris/core/forecaster.hpp"
+#include "aeris/metrics/scores.hpp"
+#include "aeris/metrics/spectra.hpp"
+#include "aeris/tensor/ops.hpp"
+
+namespace aeris::core {
+namespace {
+
+ModelConfig cc_cfg() {
+  ModelConfig c;
+  c.h = 8;
+  c.w = 8;
+  c.in_channels = 8;  // 2 * V + F with V = 3, F = 2
+  c.out_channels = 3;
+  c.dim = 16;
+  c.depth = 2;
+  c.heads = 2;
+  c.ffn_hidden = 32;
+  c.win_h = 4;
+  c.win_w = 4;
+  c.cond_dim = 16;
+  c.time_features = 8;
+  return c;
+}
+
+AerisModel make_model(std::uint64_t seed) {
+  AerisModel model(cc_cfg(), seed);
+  Philox rng(seed + 100);
+  for (nn::Param* p : model.params()) {
+    if (p->name.find("head") != std::string::npos ||
+        p->name.find("adaln") != std::string::npos) {
+      rng.fill_normal(p->value, 7, 0);
+      scale_(p->value, 0.1f);
+    }
+  }
+  return model;
+}
+
+Tensor make_init(std::uint64_t key) {
+  Philox rng(5);
+  Tensor init({8, 8, 3});
+  rng.fill_normal(init, 1, key);
+  return init;
+}
+
+Tensor make_forcing(std::int64_t step) {
+  Philox rng(6);
+  Tensor f({8, 8, 2});
+  rng.fill_normal(f, 2, static_cast<std::uint64_t>(step));
+  return f;
+}
+
+void expect_bitwise_equal(const Tensor& a, const Tensor& b,
+                          const std::string& what) {
+  ASSERT_EQ(a.shape(), b.shape()) << what;
+  ASSERT_EQ(std::memcmp(a.data(), b.data(),
+                        static_cast<std::size_t>(a.numel()) * sizeof(float)),
+            0)
+      << what;
+}
+
+void expect_trajectories_bitwise_equal(
+    const std::vector<std::vector<Tensor>>& ref,
+    const std::vector<std::vector<Tensor>>& got, const std::string& what) {
+  ASSERT_EQ(got.size(), ref.size()) << what;
+  for (std::size_t m = 0; m < ref.size(); ++m) {
+    ASSERT_EQ(got[m].size(), ref[m].size()) << what;
+    for (std::size_t s = 0; s < ref[m].size(); ++s) {
+      expect_bitwise_equal(ref[m][s], got[m][s],
+                           what + " member " + std::to_string(m) + " step " +
+                               std::to_string(s));
+    }
+  }
+}
+
+/// Scoped override of the process-wide cache switch; restores on exit so
+/// a failing assertion cannot leak a disabled cache into later tests.
+struct CacheToggle {
+  bool prev;
+  explicit CacheToggle(bool on) : prev(nn::cond_cache_enabled()) {
+    nn::set_cond_cache_enabled(on);
+  }
+  ~CacheToggle() { nn::set_cond_cache_enabled(prev); }
+};
+
+std::uint32_t bits_of(float f) {
+  std::uint32_t u;
+  std::memcpy(&u, &f, sizeof(u));
+  return u;
+}
+
+// --- CondCache container semantics -----------------------------------------
+
+TEST(CondCache, FindMissThenInsertThenHit) {
+  nn::CondCache cache;
+  nn::LayerId layer;
+  EXPECT_EQ(cache.find(layer, bits_of(0.5f)), nullptr);
+  EXPECT_EQ(cache.misses(), 1u);
+
+  Tensor row({1, 4});
+  row.fill(3.0f);
+  const Tensor* stored = cache.insert(layer, bits_of(0.5f), row);
+  ASSERT_NE(stored, nullptr);
+  EXPECT_EQ(cache.size(), 1u);
+
+  const Tensor* hit = cache.find(layer, bits_of(0.5f));
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(cache.hits(), 1u);
+  expect_bitwise_equal(*hit, row, "cached row");
+}
+
+TEST(CondCache, DistinctTimesAndLayersGetDistinctEntries) {
+  nn::CondCache cache;
+  nn::LayerId a, b;
+  Tensor r1({1, 2});
+  r1.fill(1.0f);
+  Tensor r2({1, 2});
+  r2.fill(2.0f);
+  cache.insert(a, bits_of(0.25f), r1);
+  cache.insert(a, bits_of(0.75f), r2);
+  cache.insert(b, bits_of(0.25f), r2);
+  EXPECT_EQ(cache.size(), 3u);
+  EXPECT_FLOAT_EQ((*cache.find(a, bits_of(0.25f)))[0], 1.0f);
+  EXPECT_FLOAT_EQ((*cache.find(a, bits_of(0.75f)))[0], 2.0f);
+  EXPECT_FLOAT_EQ((*cache.find(b, bits_of(0.25f)))[0], 2.0f);
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.find(a, bits_of(0.25f)), nullptr);
+}
+
+TEST(CondCache, BroadcastRowRepeatsRowAndCNotShapes) {
+  Tensor row({1, 3});
+  row[0] = 1.0f;
+  row[1] = 2.0f;
+  row[2] = 3.0f;
+  const Tensor b = nn::broadcast_row(row, 4);
+  ASSERT_EQ(b.shape(), Shape({4, 3}));
+  for (std::int64_t i = 0; i < 4; ++i) {
+    for (std::int64_t c = 0; c < 3; ++c) {
+      EXPECT_EQ(b.at2(i, c), row[c]);
+    }
+  }
+  Tensor flat({2});
+  flat[0] = 5.0f;
+  flat[1] = 6.0f;
+  const Tensor bf = nn::broadcast_row(flat, 2);
+  ASSERT_EQ(bf.shape(), Shape({2, 2}));
+  EXPECT_EQ(bf.at2(1, 1), 6.0f);
+}
+
+// --- Model-level bitwise identity ------------------------------------------
+
+TEST(CondCache, ModelForwardCachedMatchesUncachedBitwise) {
+  AerisModel model = make_model(3);
+  Philox rng(9);
+  Tensor x({4, 8, 8, 8});
+  rng.fill_normal(x, 1, 0);
+  const Tensor t({4}, 0.7f);
+
+  const Tensor ref = model.forward(x, t);
+
+  nn::CondCache cache;
+  const Tensor cold = model.forward(x, t, &cache);
+  expect_bitwise_equal(ref, cold, "cold cache");
+  EXPECT_GT(cache.size(), 0u) << "conditioning rows were cached";
+  EXPECT_EQ(cache.hits(), 0u);
+
+  const Tensor warm = model.forward(x, t, &cache);
+  expect_bitwise_equal(ref, warm, "warm cache");
+  EXPECT_GT(cache.hits(), 0u) << "second forward must hit";
+}
+
+TEST(CondCache, NonUniformTimeBypassesTheCache) {
+  AerisModel model = make_model(3);
+  Philox rng(9);
+  Tensor x({3, 8, 8, 8});
+  rng.fill_normal(x, 1, 1);
+  Tensor t({3});
+  t[0] = 0.2f;
+  t[1] = 0.5f;
+  t[2] = 0.9f;  // per-sample times (training-style batch): no uniform key
+
+  const Tensor ref = model.forward(x, t);
+  nn::CondCache cache;
+  const Tensor got = model.forward(x, t, &cache);
+  expect_bitwise_equal(ref, got, "non-uniform t");
+  EXPECT_EQ(cache.size(), 0u) << "nothing may be cached without a valid key";
+  EXPECT_EQ(cache.hits() + cache.misses(), 0u);
+}
+
+// --- Forecaster / engine bitwise sweeps ------------------------------------
+
+TEST(CondCache, TrigFlowCachedMatchesUncachedAcrossBatchAndThreads) {
+  AerisModel model = make_model(11);
+  TrigFlowConfig tf;
+  TrigSamplerConfig sc;
+  sc.steps = 3;
+  sc.churn = 0.5f;
+  const std::int64_t steps = 2, members = 4;
+  const Tensor init = make_init(0);
+
+  std::vector<std::vector<Tensor>> ref;
+  {
+    CacheToggle off(false);
+    DiffusionForecaster serial(model, tf, sc, 42);
+    ref = serial.ensemble_rollout(init, make_forcing, steps, members);
+  }
+
+  CacheToggle on(true);
+  DiffusionForecaster serial(model, tf, sc, 42);
+  expect_trajectories_bitwise_equal(
+      ref, serial.ensemble_rollout(init, make_forcing, steps, members),
+      "cached serial");
+
+  ParallelEnsembleEngine engine(model, tf, sc, 42);
+  for (const std::int64_t batch : {1, 4}) {
+    for (const int threads : {1, 4}) {
+      EnsembleOptions opts;
+      opts.batch = batch;
+      opts.threads = threads;
+      expect_trajectories_bitwise_equal(
+          ref, engine.ensemble_rollout(init, make_forcing, steps, members, opts),
+          "cached engine b" + std::to_string(batch) + " t" +
+              std::to_string(threads));
+    }
+  }
+}
+
+TEST(CondCache, EdmCachedMatchesUncachedAcrossBatchAndThreads) {
+  AerisModel model = make_model(13);
+  EdmConfig edm;
+  EdmSamplerConfig sc;
+  sc.steps = 3;
+  const std::int64_t steps = 2, members = 4;
+  const Tensor init = make_init(1);
+
+  std::vector<std::vector<Tensor>> ref;
+  {
+    CacheToggle off(false);
+    DiffusionForecaster serial(model, edm, sc, 7);
+    ref = serial.ensemble_rollout(init, make_forcing, steps, members);
+  }
+
+  CacheToggle on(true);
+  DiffusionForecaster serial(model, edm, sc, 7);
+  expect_trajectories_bitwise_equal(
+      ref, serial.ensemble_rollout(init, make_forcing, steps, members),
+      "cached serial edm");
+
+  ParallelEnsembleEngine engine(model, edm, sc, 7);
+  for (const std::int64_t batch : {1, 4}) {
+    for (const int threads : {1, 4}) {
+      EnsembleOptions opts;
+      opts.batch = batch;
+      opts.threads = threads;
+      expect_trajectories_bitwise_equal(
+          ref, engine.ensemble_rollout(init, make_forcing, steps, members, opts),
+          "cached engine edm b" + std::to_string(batch) + " t" +
+              std::to_string(threads));
+    }
+  }
+}
+
+// --- Degradation re-keying --------------------------------------------------
+
+// A DegradePolicy that cuts the solver step count changes every schedule t
+// and with it every cache key: a shared cache crossing a degraded pack must
+// neither serve stale rows nor pollute later full-resolution packs.
+TEST(CondCache, SolverStepOverrideRekeysASharedCache) {
+  AerisModel model = make_model(17);
+  TrigFlowConfig tf;
+  TrigSamplerConfig sc;
+  sc.steps = 3;
+  ParallelEnsembleEngine engine(model, tf, sc, 0);
+  const Tensor prev = make_init(2);
+  const Tensor forcing = make_forcing(0);
+
+  auto make_slots = [&](std::uint64_t seed) {
+    std::vector<MemberSlot> slots(2);
+    for (std::size_t m = 0; m < slots.size(); ++m) {
+      slots[m].prev = &prev;
+      slots[m].forcings = &forcing;
+      slots[m].noise = MemberKey{seed, m * 4096};
+    }
+    return slots;
+  };
+
+  // References, each from its own fresh cache.
+  const auto slots = make_slots(99);
+  const auto ref_full = engine.step_pack(slots, 0);
+  const auto ref_degraded = engine.step_pack(slots, 2);
+
+  // One shared cache across full -> degraded -> full, as a server worker
+  // would see under a mid-load degradation flip.
+  nn::CondCache cache;
+  const auto full1 = engine.step_pack(slots, 0, &cache);
+  const std::uint64_t misses_full = cache.misses();
+  const auto degraded = engine.step_pack(slots, 2, &cache);
+  EXPECT_GT(cache.misses(), misses_full)
+      << "degraded schedule must re-key (new t values miss)";
+  const std::uint64_t misses_after_degraded = cache.misses();
+  const auto full2 = engine.step_pack(slots, 0, &cache);
+  EXPECT_EQ(cache.misses(), misses_after_degraded)
+      << "returning to the full schedule must be pure hits";
+
+  for (std::size_t m = 0; m < slots.size(); ++m) {
+    const std::string tag = " m" + std::to_string(m);
+    expect_bitwise_equal(ref_full[m], full1[m], "shared full1" + tag);
+    expect_bitwise_equal(ref_degraded[m], degraded[m], "shared degraded" + tag);
+    expect_bitwise_equal(ref_full[m], full2[m], "shared full2" + tag);
+  }
+}
+
+// --- bf16 compute path ------------------------------------------------------
+
+TEST(InferPrecision, Bf16IsOffByDefault) {
+  // The test environment does not set AERIS_INFER_PRECISION: every
+  // forecaster and engine must come up in fp32.
+  EXPECT_EQ(nn::infer_precision_from_env(), nn::InferPrecision::kFp32);
+  AerisModel model = make_model(19);
+  TrigFlowConfig tf;
+  TrigSamplerConfig sc;
+  EXPECT_EQ(DiffusionForecaster(model, tf, sc, 1).infer_precision(),
+            nn::InferPrecision::kFp32);
+  EXPECT_EQ(ParallelEnsembleEngine(model, tf, sc, 1).infer_precision(),
+            nn::InferPrecision::kFp32);
+}
+
+TEST(InferPrecision, Bf16ChangesResultsAndEngineMatchesSerialBitwise) {
+  AerisModel model = make_model(23);
+  TrigFlowConfig tf;
+  TrigSamplerConfig sc;
+  sc.steps = 3;
+  sc.churn = 0.5f;
+  const std::int64_t steps = 2, members = 4;
+  const Tensor init = make_init(3);
+
+  DiffusionForecaster fp32(model, tf, sc, 21);
+  const auto ref_fp32 = fp32.ensemble_rollout(init, make_forcing, steps, members);
+
+  DiffusionForecaster serial(model, tf, sc, 21);
+  serial.set_infer_precision(nn::InferPrecision::kBf16);
+  const auto ref = serial.ensemble_rollout(init, make_forcing, steps, members);
+
+  // Sanity: the reduced-precision path actually takes effect.
+  EXPECT_NE(std::memcmp(ref[0][0].data(), ref_fp32[0][0].data(),
+                        static_cast<std::size_t>(ref[0][0].numel()) *
+                            sizeof(float)),
+            0);
+
+  ParallelEnsembleEngine engine(model, tf, sc, 21);
+  engine.set_infer_precision(nn::InferPrecision::kBf16);
+  for (const std::int64_t batch : {1, 2}) {
+    for (const int threads : {1, 2}) {
+      EnsembleOptions opts;
+      opts.batch = batch;
+      opts.threads = threads;
+      expect_trajectories_bitwise_equal(
+          ref, engine.ensemble_rollout(init, make_forcing, steps, members, opts),
+          "bf16 engine b" + std::to_string(batch) + " t" +
+              std::to_string(threads));
+    }
+  }
+}
+
+// The pre-rounded bf16 weight images are built lazily on first use and
+// shared read-only afterwards. Hammering a freshly-constructed model from
+// four engine workers at once is the race TSan must prove clean.
+TEST(InferPrecision, ConcurrentFirstTouchOfSharedBf16WeightsIsSafe) {
+  AerisModel model = make_model(29);
+  TrigFlowConfig tf;
+  TrigSamplerConfig sc;
+  sc.steps = 2;
+  const std::int64_t steps = 1, members = 8;
+  const Tensor init = make_init(4);
+
+  DiffusionForecaster serial(model, tf, sc, 31);
+  serial.set_infer_precision(nn::InferPrecision::kBf16);
+  const auto ref = serial.ensemble_rollout(init, make_forcing, steps, members);
+
+  ParallelEnsembleEngine engine(model, tf, sc, 31);
+  engine.set_infer_precision(nn::InferPrecision::kBf16);
+  EnsembleOptions opts;
+  opts.batch = 1;  // members chunks, one per worker: maximal first-touch race
+  opts.threads = 4;
+  expect_trajectories_bitwise_equal(
+      ref, engine.ensemble_rollout(init, make_forcing, steps, members, opts),
+      "bf16 concurrent first touch");
+}
+
+// --- bf16 skill parity ------------------------------------------------------
+
+/// [H, W, V] forecast state -> [V, H, W] metric field.
+Tensor to_vhw(const Tensor& s) {
+  const std::int64_t h = s.dim(0), w = s.dim(1), v = s.dim(2);
+  Tensor out({v, h, w});
+  for (std::int64_t i = 0; i < h; ++i) {
+    for (std::int64_t j = 0; j < w; ++j) {
+      for (std::int64_t c = 0; c < v; ++c) {
+        out.flat()[(c * h + i) * w + j] = s.flat()[(i * w + j) * v + c];
+      }
+    }
+  }
+  return out;
+}
+
+// bf16 is only admissible because the verification metrics it ships under
+// stay within noise of fp32: ensemble-mean RMSE, CRPS, spread/skill, and
+// the zonal energy spectrum must all agree to a small relative tolerance.
+TEST(InferPrecision, Bf16PassesSkillParityAgainstFp32) {
+  AerisModel model = make_model(37);
+  TrigFlowConfig tf;
+  TrigSamplerConfig sc;
+  sc.steps = 3;
+  sc.churn = 0.5f;
+  const std::int64_t steps = 2, members = 8;
+  const Tensor init = make_init(5);
+
+  DiffusionForecaster fp32(model, tf, sc, 51);
+  const auto traj_fp32 = fp32.ensemble_rollout(init, make_forcing, steps, members);
+  DiffusionForecaster bf16(model, tf, sc, 51);
+  bf16.set_infer_precision(nn::InferPrecision::kBf16);
+  const auto traj_bf16 = bf16.ensemble_rollout(init, make_forcing, steps, members);
+
+  // Final-step fields in metric layout; persistence (the initial state)
+  // is the common verification target.
+  std::vector<Tensor> m32, m16;
+  for (std::int64_t m = 0; m < members; ++m) {
+    m32.push_back(to_vhw(traj_fp32[static_cast<std::size_t>(m)].back()));
+    m16.push_back(to_vhw(traj_bf16[static_cast<std::size_t>(m)].back()));
+  }
+  const Tensor truth = to_vhw(init);
+  const Tensor lat_w = Tensor::full({8}, 1.0f);
+
+  const auto rel_close = [](double a, double b, double tol,
+                            const std::string& what) {
+    const double denom = std::max(std::abs(a), 1e-12);
+    EXPECT_LT(std::abs(a - b) / denom, tol)
+        << what << ": fp32=" << a << " bf16=" << b;
+  };
+
+  for (std::int64_t var = 0; var < 3; ++var) {
+    const std::string v = " var " + std::to_string(var);
+    rel_close(metrics::ensemble_mean_rmse(m32, truth, var, lat_w),
+              metrics::ensemble_mean_rmse(m16, truth, var, lat_w), 0.02,
+              "rmse" + v);
+    rel_close(metrics::crps(m32, truth, var, lat_w),
+              metrics::crps(m16, truth, var, lat_w), 0.02, "crps" + v);
+    rel_close(metrics::spread_skill_ratio(m32, truth, var, lat_w),
+              metrics::spread_skill_ratio(m16, truth, var, lat_w), 0.02,
+              "ssr" + v);
+    // Energy distribution across zonal wavenumbers of the ensemble mean.
+    const std::vector<double> s32 =
+        metrics::zonal_power_spectrum(metrics::ensemble_mean(m32), var);
+    const std::vector<double> s16 =
+        metrics::zonal_power_spectrum(metrics::ensemble_mean(m16), var);
+    ASSERT_EQ(s32.size(), s16.size());
+    double p32 = 0.0, p16 = 0.0;
+    for (std::size_t k = 0; k < s32.size(); ++k) {
+      p32 += s32[k];
+      p16 += s16[k];
+    }
+    rel_close(p32, p16, 0.02, "total zonal power" + v);
+    for (std::size_t k = 0; k < s32.size(); ++k) {
+      rel_close(s32[k], s16[k], 0.10, "zonal power k=" + std::to_string(k) + v);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace aeris::core

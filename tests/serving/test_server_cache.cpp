@@ -1,0 +1,285 @@
+#include "aeris/serving/server.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "aeris/core/forecaster.hpp"
+#include "aeris/nn/cond_cache.hpp"
+#include "aeris/tensor/ops.hpp"
+
+namespace aeris::serving {
+namespace {
+
+using core::AerisModel;
+using core::DiffusionForecaster;
+using core::ModelConfig;
+using core::ParallelEnsembleEngine;
+
+ModelConfig sc_cfg() {
+  ModelConfig c;
+  c.h = 8;
+  c.w = 8;
+  c.in_channels = 8;  // 2 * V + F with V = 3, F = 2
+  c.out_channels = 3;
+  c.dim = 16;
+  c.depth = 2;
+  c.heads = 2;
+  c.ffn_hidden = 32;
+  c.win_h = 4;
+  c.win_w = 4;
+  c.cond_dim = 16;
+  c.time_features = 8;
+  return c;
+}
+
+AerisModel make_model(std::uint64_t seed) {
+  AerisModel model(sc_cfg(), seed);
+  Philox rng(seed + 100);
+  for (nn::Param* p : model.params()) {
+    if (p->name.find("head") != std::string::npos ||
+        p->name.find("adaln") != std::string::npos) {
+      rng.fill_normal(p->value, 7, 0);
+      scale_(p->value, 0.1f);
+    }
+  }
+  return model;
+}
+
+Tensor make_init(std::uint64_t key) {
+  Philox rng(5);
+  Tensor init({8, 8, 3});
+  rng.fill_normal(init, 1, key);
+  return init;
+}
+
+Tensor make_forcing(std::int64_t step) {
+  Philox rng(6);
+  Tensor f({8, 8, 2});
+  rng.fill_normal(f, 2, static_cast<std::uint64_t>(step));
+  return f;
+}
+
+void expect_bitwise_equal(const Tensor& a, const Tensor& b,
+                          const std::string& what) {
+  ASSERT_EQ(a.shape(), b.shape()) << what;
+  ASSERT_EQ(std::memcmp(a.data(), b.data(),
+                        static_cast<std::size_t>(a.numel()) * sizeof(float)),
+            0)
+      << what;
+}
+
+void expect_result_matches_serial(const ForecastResult& r,
+                                  const AerisModel& model,
+                                  const core::TrigFlowConfig& tf,
+                                  core::TrigSamplerConfig sc,
+                                  std::uint64_t seed, const Tensor& init,
+                                  std::int64_t steps, std::int64_t members,
+                                  const std::string& tag) {
+  ASSERT_EQ(r.status, RequestStatus::kOk) << tag << ": " << r.error_message;
+  ASSERT_EQ(static_cast<std::int64_t>(r.trajectories.size()), members) << tag;
+  DiffusionForecaster serial(model, tf, sc, seed);
+  const auto ref = serial.ensemble_rollout(init, make_forcing, steps, members);
+  for (std::int64_t m = 0; m < members; ++m) {
+    const auto& got = r.trajectories[static_cast<std::size_t>(m)];
+    ASSERT_EQ(got.size(), ref[static_cast<std::size_t>(m)].size()) << tag;
+    for (std::size_t s = 0; s < got.size(); ++s) {
+      expect_bitwise_equal(ref[static_cast<std::size_t>(m)][s], got[s],
+                           tag + " m" + std::to_string(m) + " s" +
+                               std::to_string(s));
+    }
+  }
+}
+
+// Worker-owned conditioning caches live across requests: members of
+// unrelated requests (different seeds, different autoregressive steps)
+// coalesce into shared packs, and every one of them must still be bitwise
+// the serial forecast with its own seed. batch=8 over 4 concurrent
+// 2-member clients forces genuinely mixed packs through one worker cache.
+TEST(ServerCondCache, CrossRequestPacksWithMixedSeedsStayBitwise) {
+  AerisModel model = make_model(61);
+  core::TrigFlowConfig tf;
+  core::TrigSamplerConfig sc;
+  sc.steps = 3;
+  sc.churn = 0.5f;
+  ParallelEnsembleEngine engine(model, tf, sc, 0);
+  ServerOptions opts;
+  opts.batch = 8;
+  opts.workers = 2;
+  ForecastServer server(engine, opts);
+
+  constexpr int kClients = 4;
+  const std::int64_t steps = 2, members = 2;
+  std::vector<ForecastResult> results(kClients);
+  std::vector<std::thread> clients;
+  for (int i = 0; i < kClients; ++i) {
+    clients.emplace_back([&, i] {
+      ForecastRequest req;
+      req.init = make_init(static_cast<std::uint64_t>(i));
+      req.forcings_at = make_forcing;
+      req.members = members;
+      req.steps = steps;
+      req.seed = 1000 + static_cast<std::uint64_t>(i) * 17;
+      results[static_cast<std::size_t>(i)] = server.forecast(req);
+    });
+  }
+  for (auto& t : clients) t.join();
+
+  for (int i = 0; i < kClients; ++i) {
+    expect_result_matches_serial(
+        results[static_cast<std::size_t>(i)], model, tf, sc,
+        1000 + static_cast<std::uint64_t>(i) * 17,
+        make_init(static_cast<std::uint64_t>(i)), steps, members,
+        "client " + std::to_string(i));
+  }
+}
+
+// A degradation flip arriving mid-load: the DegradePolicy cuts the solver
+// step count for a request admitted under queue pressure, so the one
+// worker's cross-request cache sees full-resolution packs, then a degraded
+// pack (new t schedule = new keys), then full-resolution packs again.
+// Every phase must stay bitwise against its serial reference — stale rows
+// from either schedule must never leak into the other.
+TEST(ServerCondCache, MidLoadDegradeFlipRekeysWorkerCaches) {
+  AerisModel model = make_model(67);
+  core::TrigFlowConfig tf;
+  core::TrigSamplerConfig sc;
+  sc.steps = 3;
+  ParallelEnsembleEngine engine(model, tf, sc, 0);
+
+  ServerOptions opts;
+  opts.batch = 4;
+  opts.workers = 1;  // one worker = one cache sees every phase
+  // Any estimated wait degrades; the estimate is pending work x the EMA
+  // step cost, so it is 0 (no degradation) until the queue actually backs
+  // up behind a wedged request.
+  opts.degrade.est_wait_threshold_ms = 1e-9;
+  opts.degrade.degraded_solver_steps = 2;
+  ForecastServer server(engine, opts);
+
+  const std::int64_t steps = 2, members = 2;
+
+  // Phase 1: idle server — full resolution, warms cache and step-cost EMA.
+  ForecastRequest full;
+  full.init = make_init(10);
+  full.forcings_at = make_forcing;
+  full.members = members;
+  full.steps = steps;
+  full.seed = 501;
+  const ForecastResult warm = server.forecast(full);
+  EXPECT_FALSE(warm.degraded);
+  expect_result_matches_serial(warm, model, tf, sc, 501, make_init(10), steps,
+                               members, "warmup");
+
+  // Phase 2: wedge the worker on a gated forcing so the next admission
+  // sees a backed-up queue and degrades deterministically.
+  std::atomic<bool> release{false};
+  const core::ForcingFn gated = [&](std::int64_t s) {
+    while (!release.load()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    return make_forcing(s);
+  };
+  ForecastResult wedged_result;
+  std::thread wedged_client([&] {
+    ForecastRequest wedge = full;
+    wedge.seed = 502;
+    wedge.forcings_at = gated;
+    wedged_result = server.forecast(wedge);
+  });
+  while (server.stats().accepted < 2) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  ForecastResult degraded_result;
+  std::thread degraded_client([&] {
+    ForecastRequest d = full;
+    d.seed = 503;
+    degraded_result = server.forecast(d);
+  });
+  while (server.stats().degraded < 1) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  release.store(true);
+  wedged_client.join();
+  degraded_client.join();
+
+  EXPECT_FALSE(wedged_result.degraded);
+  expect_result_matches_serial(wedged_result, model, tf, sc, 502,
+                               make_init(10), steps, members, "wedged full");
+  ASSERT_TRUE(degraded_result.degraded);
+  EXPECT_EQ(degraded_result.solver_steps, 2);
+  core::TrigSamplerConfig degraded_sc = sc;
+  degraded_sc.steps = 2;
+  expect_result_matches_serial(degraded_result, model, tf, degraded_sc, 503,
+                               make_init(10), steps, members, "degraded");
+
+  // Phase 3: idle again — back to full resolution through the same cache.
+  ForecastRequest again = full;
+  again.seed = 504;
+  const ForecastResult rec = server.forecast(again);
+  EXPECT_FALSE(rec.degraded);
+  expect_result_matches_serial(rec, model, tf, sc, 504, make_init(10), steps,
+                               members, "recovered");
+}
+
+// The server path under the bf16 engine: worker caches + pre-rounded
+// weights shared across two workers, still bitwise against the serial
+// bf16 forecaster.
+TEST(ServerCondCache, Bf16ServerMatchesSerialBf16Bitwise) {
+  AerisModel model = make_model(71);
+  core::TrigFlowConfig tf;
+  core::TrigSamplerConfig sc;
+  sc.steps = 2;
+  sc.churn = 0.3f;
+  ParallelEnsembleEngine engine(model, tf, sc, 0);
+  engine.set_infer_precision(nn::InferPrecision::kBf16);
+  ServerOptions opts;
+  opts.batch = 4;
+  opts.workers = 2;
+  ForecastServer server(engine, opts);
+
+  constexpr int kClients = 2;
+  const std::int64_t steps = 2, members = 2;
+  std::vector<ForecastResult> results(kClients);
+  std::vector<std::thread> clients;
+  for (int i = 0; i < kClients; ++i) {
+    clients.emplace_back([&, i] {
+      ForecastRequest req;
+      req.init = make_init(20 + static_cast<std::uint64_t>(i));
+      req.forcings_at = make_forcing;
+      req.members = members;
+      req.steps = steps;
+      req.seed = 600 + static_cast<std::uint64_t>(i);
+      results[static_cast<std::size_t>(i)] = server.forecast(req);
+    });
+  }
+  for (auto& t : clients) t.join();
+
+  for (int i = 0; i < kClients; ++i) {
+    const ForecastResult& r = results[static_cast<std::size_t>(i)];
+    ASSERT_EQ(r.status, RequestStatus::kOk) << r.error_message;
+    DiffusionForecaster serial(model, tf, sc,
+                               600 + static_cast<std::uint64_t>(i));
+    serial.set_infer_precision(nn::InferPrecision::kBf16);
+    const auto ref = serial.ensemble_rollout(
+        make_init(20 + static_cast<std::uint64_t>(i)), make_forcing, steps,
+        members);
+    for (std::int64_t m = 0; m < members; ++m) {
+      const auto& got = r.trajectories[static_cast<std::size_t>(m)];
+      for (std::size_t s = 0; s < got.size(); ++s) {
+        expect_bitwise_equal(
+            ref[static_cast<std::size_t>(m)][s], got[s],
+            "bf16 client " + std::to_string(i) + " m" + std::to_string(m));
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace aeris::serving

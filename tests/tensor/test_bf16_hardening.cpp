@@ -1,0 +1,178 @@
+#include "aeris/tensor/bf16.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <limits>
+
+#include "aeris/tensor/rng.hpp"
+
+namespace aeris {
+namespace {
+
+std::uint32_t float_bits(float f) {
+  std::uint32_t u;
+  std::memcpy(&u, &f, sizeof(u));
+  return u;
+}
+
+float bits_float(std::uint32_t u) {
+  float f;
+  std::memcpy(&f, &u, sizeof(f));
+  return f;
+}
+
+/// Independent round-to-nearest-even reference: pick between the two
+/// neighbouring bf16-representable values (truncation and truncation + 1
+/// ulp) by comparing the discarded low 16 bits against the halfway point,
+/// breaking exact ties toward the even (low-bit-zero) candidate. Works on
+/// the bit pattern so it covers subnormals and the overflow-to-Inf carry
+/// without special cases.
+std::uint16_t reference_rne(float f) {
+  const std::uint32_t u = float_bits(f);
+  if ((u & 0x7fffffffu) > 0x7f800000u) {  // NaN: any quiet NaN is fine
+    return static_cast<std::uint16_t>((u >> 16) | 0x0040u);
+  }
+  const std::uint32_t hi = u >> 16;
+  const std::uint32_t lo = u & 0xffffu;
+  if (lo > 0x8000u) return static_cast<std::uint16_t>(hi + 1);
+  if (lo < 0x8000u) return static_cast<std::uint16_t>(hi);
+  return static_cast<std::uint16_t>(hi + (hi & 1u));  // tie: to even
+}
+
+// --- Round-to-nearest-even ties, both parities -----------------------------
+
+TEST(Bf16Hardening, TieRoundsDownWhenTruncationIsEven) {
+  // 1.0 has bf16 bits 0x3f80 (even). 1.0 + exactly half a bf16 ulp must
+  // round DOWN to the even neighbour.
+  const float tie = bits_float(0x3f808000u);
+  EXPECT_EQ(bf16_t(tie).bits, 0x3f80u);
+}
+
+TEST(Bf16Hardening, TieRoundsUpWhenTruncationIsOdd) {
+  // 0x3f81 is odd; the tie halfway to 0x3f82 must round UP to even 0x3f82.
+  const float tie = bits_float(0x3f818000u);
+  EXPECT_EQ(bf16_t(tie).bits, 0x3f82u);
+}
+
+TEST(Bf16Hardening, JustBelowAndAboveTieRoundToNearest) {
+  EXPECT_EQ(bf16_t(bits_float(0x3f807fffu)).bits, 0x3f80u);  // below tie
+  EXPECT_EQ(bf16_t(bits_float(0x3f808001u)).bits, 0x3f81u);  // above tie
+  EXPECT_EQ(bf16_t(bits_float(0x3f817fffu)).bits, 0x3f81u);
+  EXPECT_EQ(bf16_t(bits_float(0x3f818001u)).bits, 0x3f82u);
+}
+
+TEST(Bf16Hardening, NegativeTiesMirrorPositive) {
+  EXPECT_EQ(bf16_t(bits_float(0xbf808000u)).bits, 0xbf80u);  // even: down
+  EXPECT_EQ(bf16_t(bits_float(0xbf818000u)).bits, 0xbf82u);  // odd: up
+}
+
+// --- NaN and infinity ------------------------------------------------------
+
+TEST(Bf16Hardening, QuietNaNStaysNaN) {
+  const bf16_t q(std::numeric_limits<float>::quiet_NaN());
+  EXPECT_TRUE(std::isnan(q.to_float()));
+}
+
+TEST(Bf16Hardening, SignalingNaNQuietsButStaysNaN) {
+  // Signaling NaN with only low mantissa bits set: plain truncation would
+  // drop every payload bit and produce Inf. The converter must keep NaN.
+  const float snan = bits_float(0x7f800001u);
+  ASSERT_TRUE(std::isnan(snan));
+  const bf16_t b(snan);
+  EXPECT_TRUE(std::isnan(b.to_float()));
+  const bf16_t bn(bits_float(0xff800001u));
+  EXPECT_TRUE(std::isnan(bn.to_float()));
+  EXPECT_NE(bn.bits & 0x8000u, 0u) << "NaN sign preserved";
+}
+
+TEST(Bf16Hardening, InfinitiesPassThroughExactly) {
+  const bf16_t pinf(std::numeric_limits<float>::infinity());
+  EXPECT_EQ(pinf.bits, 0x7f80u);
+  EXPECT_EQ(pinf.to_float(), std::numeric_limits<float>::infinity());
+  const bf16_t ninf(-std::numeric_limits<float>::infinity());
+  EXPECT_EQ(ninf.bits, 0xff80u);
+  EXPECT_EQ(ninf.to_float(), -std::numeric_limits<float>::infinity());
+}
+
+TEST(Bf16Hardening, LargeFiniteOverflowsToInfinity) {
+  // Max finite bf16 is 0x7f7f = 3.3895e38. Floats closer to 2^128 than to
+  // it must carry into the Inf encoding via the rounding add.
+  EXPECT_EQ(bf16_t(bits_float(0x7f7f8000u)).bits, 0x7f80u);  // tie -> even=Inf
+  EXPECT_EQ(bf16_t(std::numeric_limits<float>::max()).bits, 0x7f80u);
+  EXPECT_EQ(bf16_t(bits_float(0x7f7f7fffu)).bits, 0x7f7fu);  // stays finite
+  EXPECT_EQ(bf16_t(-std::numeric_limits<float>::max()).bits, 0xff80u);
+}
+
+// --- Subnormals and zero ---------------------------------------------------
+
+TEST(Bf16Hardening, SubnormalsRoundCorrectly) {
+  // bf16 shares the fp32 exponent range, so bf16 subnormals are the fp32
+  // subnormals with a 7-bit mantissa. 2^-133 = 0x00040000 is exactly
+  // representable; its round-trip must be exact.
+  const float two_m133 = bits_float(0x00040000u);
+  EXPECT_EQ(bf16_round(two_m133), two_m133);
+  // 2^-134 = 0x00020000 is also representable (mantissa bit 1).
+  const float two_m134 = bits_float(0x00020000u);
+  EXPECT_EQ(bf16_round(two_m134), two_m134);
+  // The smallest fp32 subnormal (1e-45-ish, 0x00000001) lies far below
+  // half of the smallest bf16 subnormal: rounds to +0.
+  EXPECT_EQ(bf16_t(bits_float(0x00000001u)).bits, 0x0000u);
+  // Exactly half the smallest bf16 step (0x00008000): tie to even = 0.
+  EXPECT_EQ(bf16_t(bits_float(0x00008000u)).bits, 0x0000u);
+  // Just above the tie rounds up to the smallest bf16 subnormal.
+  EXPECT_EQ(bf16_t(bits_float(0x00008001u)).bits, 0x0001u);
+}
+
+TEST(Bf16Hardening, SignedZerosPreserveSign) {
+  EXPECT_EQ(bf16_t(0.0f).bits, 0x0000u);
+  EXPECT_EQ(bf16_t(-0.0f).bits, 0x8000u);
+  EXPECT_TRUE(std::signbit(bf16_t(-0.0f).to_float()));
+}
+
+// --- Idempotence and exhaustive agreement with the reference ---------------
+
+TEST(Bf16Hardening, RoundIsIdempotent) {
+  Philox rng(2024);
+  Tensor vals({4096});
+  rng.fill_normal(vals, 1, 0);
+  for (float v : vals.flat()) {
+    const float once = bf16_round(v);
+    EXPECT_EQ(float_bits(bf16_round(once)), float_bits(once));
+  }
+}
+
+TEST(Bf16Hardening, RandomBitPatternsMatchNearestEvenReference) {
+  // Deterministic pseudo-random sweep over raw bit patterns (covers
+  // normals, subnormals, specials, both signs).
+  std::uint64_t state = 0x9e3779b97f4a7c15ull;
+  for (int i = 0; i < 200000; ++i) {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    const std::uint32_t u = static_cast<std::uint32_t>(state >> 32);
+    const float f = bits_float(u);
+    const std::uint16_t got = bf16_t(f).bits;
+    const std::uint16_t want = reference_rne(f);
+    if (std::isnan(f)) {
+      // Any quiet NaN is acceptable; the exact payload is unspecified.
+      EXPECT_TRUE(std::isnan(bf16_t(f).to_float())) << std::hex << u;
+    } else {
+      EXPECT_EQ(got, want) << "bits 0x" << std::hex << u;
+    }
+  }
+}
+
+TEST(Bf16Hardening, ErrorBoundedByHalfUlp) {
+  Philox rng(7);
+  Tensor vals({4096});
+  rng.fill_normal(vals, 3, 1);
+  for (float v : vals.flat()) {
+    const float r = bf16_round(v);
+    // 7 mantissa bits: relative error at most 2^-8 for normal values.
+    EXPECT_LE(std::abs(r - v), std::abs(v) * (1.0f / 256.0f) + 1e-42f);
+  }
+}
+
+}  // namespace
+}  // namespace aeris

@@ -1,0 +1,107 @@
+#include "aeris/tensor/fastmath.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+namespace aeris {
+namespace {
+
+constexpr float kInf = std::numeric_limits<float>::infinity();
+constexpr float kNaN = std::numeric_limits<float>::quiet_NaN();
+
+// --- fast_expf: accuracy ---------------------------------------------------
+
+TEST(FastExp, RelativeErrorUnder1em6OverTheFiniteRange) {
+  double worst = 0.0;
+  for (float x = -86.0f; x < 88.0f; x += 0.0037f) {
+    const double want = std::exp(static_cast<double>(x));
+    const double got = static_cast<double>(fast_expf(x));
+    const double rel = std::abs(got - want) / want;
+    worst = std::max(worst, rel);
+  }
+  EXPECT_LT(worst, 1e-6);
+}
+
+TEST(FastExp, ExactAtZero) { EXPECT_EQ(fast_expf(0.0f), 1.0f); }
+
+// --- fast_expf: special values (quarantine contract) -----------------------
+
+TEST(FastExp, NaNPropagates) { EXPECT_TRUE(std::isnan(fast_expf(kNaN))); }
+
+TEST(FastExp, PositiveInfinityPropagates) {
+  EXPECT_EQ(fast_expf(kInf), kInf);
+}
+
+TEST(FastExp, OverflowSaturatesToInfinity) {
+  EXPECT_EQ(fast_expf(89.0f), kInf);
+  EXPECT_EQ(fast_expf(1000.0f), kInf);
+}
+
+TEST(FastExp, DeepNegativeSaturatesTinyPositive) {
+  // Documented deviation: x <= -87 saturates at exp(-87) ~ 1.6e-38
+  // instead of decaying to 0 — still positive and negligible.
+  const float f = fast_expf(-kInf);
+  EXPECT_GT(f, 0.0f);
+  EXPECT_LT(f, 2e-38f);
+  EXPECT_EQ(fast_expf(-500.0f), f);
+}
+
+// --- fast_expf_clamped: the branch-free SIMD-body variant ------------------
+
+TEST(FastExpClamped, MatchesFastExpOnTheClampedRange) {
+  // Same polynomial and reduction; only the nearest-integer step differs
+  // (round-to-nearest-even vs floor(x+0.5), which disagree only on exact
+  // .5 ties of x*log2e — measure against std::exp rather than bit-compare).
+  double worst = 0.0;
+  for (float x = -86.0f; x < 87.5f; x += 0.0041f) {
+    const double want = std::exp(static_cast<double>(x));
+    const double rel =
+        std::abs(static_cast<double>(fast_expf_clamped(x)) - want) / want;
+    worst = std::max(worst, rel);
+  }
+  EXPECT_LT(worst, 1e-6);
+}
+
+TEST(FastExpClamped, IsFiniteForEveryInputIncludingSpecials) {
+  for (float x : {kInf, -kInf, kNaN, 1e30f, -1e30f, 0.0f}) {
+    EXPECT_TRUE(std::isfinite(fast_expf_clamped(x))) << x;
+  }
+  EXPECT_GT(fast_expf_clamped(-kInf), 0.0f);
+  EXPECT_GT(fast_expf_clamped(kInf), 1e38f);
+}
+
+// --- fast_siluf ------------------------------------------------------------
+
+TEST(FastSilu, MatchesStdSiluClosely) {
+  double worst = 0.0;
+  for (float x = -30.0f; x < 30.0f; x += 0.00173f) {
+    const double xd = static_cast<double>(x);
+    const double want = xd / (1.0 + std::exp(-xd));
+    const double got = static_cast<double>(fast_siluf(x));
+    worst = std::max(worst, std::abs(got - want));
+  }
+  // Absolute tolerance: silu crosses zero, so relative error is the wrong
+  // gauge near the origin; 1e-5 absolute over |x| < 30 is ~1 ulp of the
+  // activations the model actually sees.
+  EXPECT_LT(worst, 1e-5);
+}
+
+TEST(FastSilu, SpecialValuesStayVisible) {
+  // The quarantine leans on non-finite activations staying non-finite.
+  EXPECT_TRUE(std::isnan(fast_siluf(kNaN)));
+  EXPECT_EQ(fast_siluf(kInf), kInf);
+  // Documented deviation: silu(-Inf) is -Inf here (true limit is 0) —
+  // strictly more conservative for all_finite checks.
+  EXPECT_EQ(fast_siluf(-kInf), -kInf);
+}
+
+TEST(FastSilu, DeepNegativeIsNearZeroAndNegative) {
+  const float f = fast_siluf(-100.0f);
+  EXPECT_LE(f, 0.0f);
+  EXPECT_GT(f, -1e-30f);
+}
+
+}  // namespace
+}  // namespace aeris
