@@ -3,6 +3,7 @@
 #include <benchmark/benchmark.h>
 
 #include <numeric>
+#include <optional>
 #include <thread>
 #include <vector>
 
@@ -556,6 +557,131 @@ void BM_ForecastServerBf16(benchmark::State& state) {
 }
 BENCHMARK(BM_ForecastServerBf16)->Args({4, 4})
     ->ArgNames({"clients", "members"})
+    ->UseRealTime();
+
+// The few-step distillation payoff, measured at equal members/threads:
+// consistency:0 runs the 10-step TrigFlow teacher (a skill-grade ODE step
+// count), consistency:1 the 2-step consistency sampler over the same
+// model. Items/s counts member-steps, so the row ratio is the serving
+// speedup a distilled student buys — ~5x expected (10 vs 2 network
+// evaluations per member-step); the perf gate is >=3x.
+void BM_EnsembleRolloutFewStep(benchmark::State& state) {
+  const std::int64_t members = state.range(0);
+  const int threads = static_cast<int>(state.range(1));
+  const std::int64_t batch = state.range(2);
+  const bool consistency = state.range(3) != 0;
+  core::ModelConfig mc;
+  mc.h = 16;
+  mc.w = 16;
+  mc.in_channels = 12;
+  mc.out_channels = 5;
+  mc.dim = 32;
+  mc.depth = 2;
+  mc.heads = 4;
+  mc.ffn_hidden = 64;
+  mc.win_h = 8;
+  mc.win_w = 8;
+  mc.cond_dim = 32;
+  core::AerisModel model(mc, 1);
+  core::TrigFlowConfig tf;
+  std::optional<core::ParallelEnsembleEngine> engine;
+  if (consistency) {
+    core::ConsistencySamplerConfig cc;
+    cc.steps = 2;
+    engine.emplace(model, tf, cc, 7);
+  } else {
+    core::TrigSamplerConfig sc;
+    sc.steps = 10;
+    sc.churn = 0.3f;
+    engine.emplace(model, tf, sc, 7);
+  }
+  Philox rng(8);
+  Tensor init({16, 16, 5});
+  rng.fill_normal(init, 1, 0);
+  Tensor forcing({16, 16, 2});
+  rng.fill_normal(forcing, 1, 1);
+  core::ForcingFn forcings = [&](std::int64_t) { return forcing; };
+  core::EnsembleOptions opts;
+  opts.batch = batch;
+  opts.threads = threads;
+  const std::int64_t steps = 2;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        engine->ensemble_rollout(init, forcings, steps, members, opts));
+  }
+  state.SetItemsProcessed(state.iterations() * members * steps);
+}
+BENCHMARK(BM_EnsembleRolloutFewStep)
+    ->Args({8, 2, 8, 0})
+    ->Args({8, 2, 8, 1})
+    ->ArgNames({"members", "threads", "batch", "consistency"})
+    ->UseRealTime();
+
+// BM_ForecastServer's clients:4/members:4 workload with the engine's
+// default sampler as the variable: consistency:0 is the 10-step teacher,
+// consistency:1 the 2-step student. Same >=3x gate as the rollout pair.
+void BM_ForecastServerFewStep(benchmark::State& state) {
+  const int clients = static_cast<int>(state.range(0));
+  const std::int64_t members = state.range(1);
+  const bool consistency = state.range(2) != 0;
+  core::ModelConfig mc;
+  mc.h = 16;
+  mc.w = 16;
+  mc.in_channels = 12;
+  mc.out_channels = 5;
+  mc.dim = 32;
+  mc.depth = 2;
+  mc.heads = 4;
+  mc.ffn_hidden = 64;
+  mc.win_h = 8;
+  mc.win_w = 8;
+  mc.cond_dim = 32;
+  core::AerisModel model(mc, 1);
+  core::TrigFlowConfig tf;
+  std::optional<core::ParallelEnsembleEngine> engine;
+  if (consistency) {
+    core::ConsistencySamplerConfig cc;
+    cc.steps = 2;
+    engine.emplace(model, tf, cc, 7);
+  } else {
+    core::TrigSamplerConfig sc;
+    sc.steps = 10;
+    sc.churn = 0.3f;
+    engine.emplace(model, tf, sc, 7);
+  }
+  serving::ServerOptions opts;
+  opts.workers = 2;
+  opts.batch = 8;
+  serving::ForecastServer server(*engine, opts);
+  Philox rng(8);
+  Tensor init({16, 16, 5});
+  rng.fill_normal(init, 1, 0);
+  Tensor forcing({16, 16, 2});
+  rng.fill_normal(forcing, 1, 1);
+  core::ForcingFn forcings = [&](std::int64_t) { return forcing; };
+  const std::int64_t steps = 2;
+  for (auto _ : state) {
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(clients));
+    for (int c = 0; c < clients; ++c) {
+      pool.emplace_back([&, c] {
+        serving::ForecastRequest req;
+        req.init = init;
+        req.forcings_at = forcings;
+        req.members = members;
+        req.steps = steps;
+        req.seed = static_cast<std::uint64_t>(c);
+        benchmark::DoNotOptimize(server.forecast(req));
+      });
+    }
+    for (auto& t : pool) t.join();
+  }
+  state.SetItemsProcessed(state.iterations() * clients * members * steps);
+}
+BENCHMARK(BM_ForecastServerFewStep)
+    ->Args({4, 4, 0})
+    ->Args({4, 4, 1})
+    ->ArgNames({"clients", "members", "consistency"})
     ->UseRealTime();
 
 void BM_TrigflowSamplerStep(benchmark::State& state) {

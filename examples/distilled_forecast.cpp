@@ -1,0 +1,211 @@
+// Few-step consistency distillation, end to end (the Swift recipe on the
+// QG world): train a tiny TrigFlow teacher, distill a 2-step consistency
+// student from it, then A/B the two through ONE ForecastServer — teacher
+// requests integrate the 10-step ODE, student requests set
+// req.sampler = kConsistency and finish in 2 network evaluations.
+// Prints CRPS / spread-skill / small-scale spectra and wall-clock per
+// forecast; the exit code enforces the skill-parity gate of
+// EXPERIMENTS.md ("Few-step consistency parity"), so this doubles as a
+// runnable regression check for the distillation path.
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "aeris/core/distill.hpp"
+#include "aeris/experiments/domain.hpp"
+#include "aeris/metrics/scores.hpp"
+#include "aeris/metrics/spectra.hpp"
+#include "aeris/serving/server.hpp"
+
+using namespace aeris;
+using namespace aeris::experiments;
+
+namespace {
+
+// EXPERIMENTS.md "Few-step consistency parity" thresholds: the 2-step
+// student must stay within these factors of the 10-step teacher on the
+// QG test set (averaged over launch dates and leads, T850).
+constexpr double kCrpsFactor = 1.30;  // student CRPS <= 1.30 x teacher
+constexpr double kSsrFactor = 0.45;   // student SSR  >= 0.45 x teacher
+// Spectra gate in log space: small_scale_power_ratio is measured against
+// the *truth* spectrum (1.0 = perfectly sharp), so the student must land
+// no more than 2x further from truth than the teacher does:
+//   |log r_student| <= |log r_teacher| + log(2).
+constexpr double kSpectraLogSlack = 0.6931;
+
+struct AbScores {
+  double crps = 0;
+  double ssr = 0;
+  double spectra = 0;  // small-scale power vs truth, day `steps`
+  double wall_ms = 0;
+};
+
+AbScores score_request(serving::ForecastServer& server, const Domain& d,
+                       std::int64_t t0, std::int64_t steps,
+                       std::int64_t members,
+                       std::optional<core::SamplerKind> sampler) {
+  serving::ForecastRequest req;
+  req.init = d.ds.standardized_tokens(t0);
+  req.forcings_at = [&d, t0](std::int64_t s) {
+    return d.ds.forcing_tokens(t0 + s);
+  };
+  req.members = members;
+  req.steps = steps;
+  req.seed = static_cast<std::uint64_t>(1000 + t0);
+  req.sampler = sampler;
+
+  const auto start = std::chrono::steady_clock::now();
+  const serving::ForecastResult r = server.forecast(req);
+  const auto end = std::chrono::steady_clock::now();
+  if (!r.ok()) {
+    std::fprintf(stderr, "forecast failed: %s\n", r.error_message.c_str());
+    std::exit(2);
+  }
+
+  const auto truth = truth_sequence(d, t0, steps);
+  AbScores sc;
+  sc.wall_ms =
+      std::chrono::duration<double, std::milli>(end - start).count();
+  for (std::int64_t s = 0; s < steps; ++s) {
+    std::vector<Tensor> mem;
+    mem.reserve(static_cast<std::size_t>(members));
+    for (const auto& m : r.trajectories) {
+      mem.push_back(d.ds.unstandardize(m[static_cast<std::size_t>(s)]));
+    }
+    sc.crps += metrics::crps(mem, truth[static_cast<std::size_t>(s)], 6,
+                             d.lat_w);
+    sc.ssr += metrics::spread_skill_ratio(
+        mem, truth[static_cast<std::size_t>(s)], 6, d.lat_w);
+    if (s == steps - 1) {
+      sc.spectra = metrics::small_scale_power_ratio(
+          mem[0], truth[static_cast<std::size_t>(s)], 5);
+    }
+  }
+  sc.crps /= static_cast<double>(steps);
+  sc.ssr /= static_cast<double>(steps);
+  return sc;
+}
+
+}  // namespace
+
+int main() {
+  DomainConfig cfg;
+  cfg.samples = 220;
+  cfg.train_steps = 120;
+  Domain d = build_domain_cached(cfg, "aeris_cache");
+  auto teacher = train_or_load_model(d, core::Objective::kTrigFlow,
+                                     "aeris_cache");
+
+  // Distill: the student starts at the teacher weights and learns to jump
+  // along the teacher's own 10-step inference discretization. A few
+  // hundred steps suffice at this scale because the map being compressed
+  // (10 ODE stages -> 1 evaluation per stage pair) is already close to
+  // the identity in each local jump.
+  core::TrigSamplerConfig teacher_sampler = d.cfg.sampler;
+  teacher_sampler.steps = 10;
+  core::DistillConfig dc;
+  dc.trigflow = d.cfg.trigflow;
+  dc.teacher = teacher_sampler;
+  dc.schedule.peak = 1e-3f;
+  dc.schedule.warmup = 16;
+  dc.schedule.total = 100'000'000;
+  dc.schedule.decay = 1;
+  dc.ema_half_life = 400.0f;
+  dc.grad_clip = 1.0f;
+  dc.seed = d.cfg.seed + 21;
+  core::AerisModel student(
+      model_config(d.cfg, core::Objective::kTrigFlow), d.cfg.seed + 20);
+  core::ConsistencyDistiller distiller(student, *teacher, dc);
+
+  const std::int64_t distill_steps = 600, batch = 4;
+  const Philox shuffle_rng(d.cfg.seed + 22);
+  std::vector<std::int64_t> order;
+  std::uint64_t epoch = 0;
+  float first_loss = 0, last_loss = 0;
+  for (std::int64_t step = 0; step < distill_steps; ++step) {
+    std::vector<core::TrainExample> b;
+    for (std::int64_t i = 0; i < batch; ++i) {
+      if (order.empty()) order = d.ds.train_indices(shuffle_rng, epoch++);
+      b.push_back(d.ds.example(order.back()));
+      order.pop_back();
+    }
+    const float loss = distiller.distill_step(b);
+    if (step == 0) first_loss = loss;
+    last_loss = loss;
+  }
+  distiller.use_ema_weights();
+  std::printf("distilled %lld steps: consistency loss %.4f -> %.4f\n",
+              static_cast<long long>(distill_steps), first_loss, last_loss);
+
+  // One server, two sampler families: the engine's default path is the
+  // 10-step teacher ODE; the attached student serves kConsistency
+  // requests in 2 evaluations.
+  core::ConsistencySamplerConfig cc;
+  cc.steps = 2;
+  cc.sigma_min = teacher_sampler.sigma_min;
+  cc.sigma_max = teacher_sampler.sigma_max;
+  core::ParallelEnsembleEngine engine(*teacher, d.cfg.trigflow,
+                                      teacher_sampler, 0);
+  engine.set_consistency(&student, cc);
+  serving::ServerOptions opts;
+  opts.workers = 2;
+  opts.batch = 8;
+  serving::ForecastServer server(engine, opts);
+
+  const std::int64_t steps = 5, members = 4, launches = 3;
+  AbScores t_sum, s_sum;
+  std::printf("\n== teacher (10-step ODE) vs student (2-step consistency),"
+              " T850 ==\n");
+  std::printf("%-8s %-8s %10s %8s %10s %10s\n", "launch", "path", "CRPS",
+              "SSR", "smallscale", "wall[ms]");
+  for (std::int64_t l = 0; l < launches; ++l) {
+    const std::int64_t t0 = d.ds.test_begin() + 1 + 2 * l;
+    const AbScores t =
+        score_request(server, d, t0, steps, members, std::nullopt);
+    const AbScores s = score_request(server, d, t0, steps, members,
+                                     core::SamplerKind::kConsistency);
+    std::printf("%-8lld %-8s %10.3f %8.2f %10.2f %10.1f\n",
+                static_cast<long long>(t0), "teacher", t.crps, t.ssr,
+                t.spectra, t.wall_ms);
+    std::printf("%-8s %-8s %10.3f %8.2f %10.2f %10.1f\n", "", "student",
+                s.crps, s.ssr, s.spectra, s.wall_ms);
+    t_sum.crps += t.crps; t_sum.ssr += t.ssr;
+    t_sum.spectra += t.spectra; t_sum.wall_ms += t.wall_ms;
+    s_sum.crps += s.crps; s_sum.ssr += s.ssr;
+    s_sum.spectra += s.spectra; s_sum.wall_ms += s.wall_ms;
+  }
+  const double n = static_cast<double>(launches);
+  std::printf("\nmean: teacher CRPS %.3f SSR %.2f spec %.2f %.1fms | "
+              "student CRPS %.3f SSR %.2f spec %.2f %.1fms (%.1fx faster)\n",
+              t_sum.crps / n, t_sum.ssr / n, t_sum.spectra / n,
+              t_sum.wall_ms / n, s_sum.crps / n, s_sum.ssr / n,
+              s_sum.spectra / n, s_sum.wall_ms / n,
+              t_sum.wall_ms / std::max(1e-9, s_sum.wall_ms));
+
+  // Parity gate (EXPERIMENTS.md "Few-step consistency parity").
+  bool ok = true;
+  if (s_sum.crps > kCrpsFactor * t_sum.crps) {
+    std::fprintf(stderr, "GATE: student CRPS %.3f > %.2f x teacher %.3f\n",
+                 s_sum.crps / n, kCrpsFactor, t_sum.crps / n);
+    ok = false;
+  }
+  if (s_sum.ssr < kSsrFactor * t_sum.ssr) {
+    std::fprintf(stderr, "GATE: student SSR %.2f < %.2f x teacher %.2f\n",
+                 s_sum.ssr / n, kSsrFactor, t_sum.ssr / n);
+    ok = false;
+  }
+  const double t_spec_dist = std::abs(std::log(t_sum.spectra / n));
+  const double s_spec_dist = std::abs(std::log(s_sum.spectra / n));
+  if (s_spec_dist > t_spec_dist + kSpectraLogSlack) {
+    std::fprintf(stderr,
+                 "GATE: student small-scale power %.2f is %.2f log-units "
+                 "from truth vs teacher's %.2f (+%.2f allowed)\n",
+                 s_sum.spectra / n, s_spec_dist, t_spec_dist,
+                 kSpectraLogSlack);
+    ok = false;
+  }
+  std::printf("parity gate: %s\n", ok ? "PASS" : "FAIL");
+  return ok ? 0 : 1;
+}

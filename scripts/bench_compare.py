@@ -62,10 +62,24 @@ def main():
         help="fractional real_time slowdown that counts as a regression "
         "(default 0.20 = +20%%)",
     )
+    ap.add_argument(
+        "--only",
+        default=None,
+        help="comma-separated benchmark-name prefixes; rows matching none "
+        "of them are ignored entirely (the hot-row CI gate passes "
+        "BM_Gemm,BM_WindowAttention,BM_CondCache,BM_EnsembleRollout,"
+        "BM_ForecastServer)",
+    )
     args = ap.parse_args()
 
     base = load_rows(args.baseline)
     new = load_rows(args.new)
+    if args.only:
+        prefixes = tuple(p for p in args.only.split(",") if p)
+        base = {k: v for k, v in base.items() if k.startswith(prefixes)}
+        new = {k: v for k, v in new.items() if k.startswith(prefixes)}
+        if not new:
+            raise SystemExit(f"error: no benchmarks match --only {args.only}")
 
     regressions = []
     improvements = []

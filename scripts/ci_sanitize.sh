@@ -19,6 +19,11 @@
 # juggles cross-request tensor lifetimes (packs point into other requests'
 # trajectories), which is exactly where use-after-free would hide.
 #
+# Both legs additionally run the consistency suite: mixed teacher/student
+# clients share one engine (and one per-worker conditioning cache) across
+# server workers, and the distiller's EMA-target refresh is the one place
+# a model's weights mutate while a cache generation is live.
+#
 # Usage: scripts/ci_sanitize.sh [tsan_build_dir] [asan_build_dir]
 #   (defaults: <repo>/build-tsan, <repo>/build-asan)
 # Also wired as a CMake target: cmake --build build --target ci_sanitize
@@ -28,7 +33,7 @@ build=${1:-"$repo/build-tsan"}
 asan_build=${2:-"$repo/build-asan"}
 
 cmake -B "$build" -S "$repo" -DAERIS_SANITIZE=thread
-cmake --build "$build" -j --target test_swipe test_core test_serving test_infer_hotpath
+cmake --build "$build" -j --target test_swipe test_core test_serving test_infer_hotpath test_consistency
 # TSan aborts the process on the first race (halt_on_error), so a clean
 # exit means a clean suite. The timeout backstops comm deadlocks.
 TSAN_OPTIONS="halt_on_error=1 $TSAN_OPTIONS" \
@@ -44,12 +49,18 @@ echo "TSan serving suite (incl. fault drill) clean"
 TSAN_OPTIONS="halt_on_error=1 $TSAN_OPTIONS" \
   timeout 600 "$build/tests/test_infer_hotpath"
 echo "TSan inference-hot-path suite (bf16 pack first-touch, cond cache) clean"
+TSAN_OPTIONS="halt_on_error=1 $TSAN_OPTIONS" \
+  timeout 600 "$build/tests/test_consistency"
+echo "TSan consistency suite (mixed teacher/student serving) clean"
 
 cmake -B "$asan_build" -S "$repo" -DAERIS_SANITIZE=address
-cmake --build "$asan_build" -j --target test_serving test_infer_hotpath
+cmake --build "$asan_build" -j --target test_serving test_infer_hotpath test_consistency
 ASAN_OPTIONS="halt_on_error=1 detect_leaks=1 $ASAN_OPTIONS" \
   timeout 600 "$asan_build/tests/test_serving"
 echo "ASan serving suite clean"
 ASAN_OPTIONS="halt_on_error=1 detect_leaks=1 $ASAN_OPTIONS" \
   timeout 600 "$asan_build/tests/test_infer_hotpath"
 echo "ASan inference-hot-path suite clean"
+ASAN_OPTIONS="halt_on_error=1 detect_leaks=1 $ASAN_OPTIONS" \
+  timeout 600 "$asan_build/tests/test_consistency"
+echo "ASan consistency suite clean"

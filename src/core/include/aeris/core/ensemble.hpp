@@ -1,5 +1,7 @@
 #pragma once
 
+#include <optional>
+
 #include "aeris/core/forecaster.hpp"
 
 namespace aeris::core {
@@ -53,6 +55,11 @@ class ParallelEnsembleEngine {
   /// EDM-parameterized (GenCast-like baseline) engine.
   ParallelEnsembleEngine(const AerisModel& model, const EdmConfig& edm,
                          const EdmSamplerConfig& sampler, std::uint64_t seed);
+  /// Few-step consistency engine: `model` is a distilled student and the
+  /// default sampler kind is kConsistency.
+  ParallelEnsembleEngine(const AerisModel& model, const TrigFlowConfig& tf,
+                         const ConsistencySamplerConfig& sampler,
+                         std::uint64_t seed);
 
   /// Ensemble of rollouts; result[m][s] is member m at step s (matching
   /// DiffusionForecaster::ensemble_rollout). `forcings_at` may be called
@@ -83,9 +90,45 @@ class ParallelEnsembleEngine {
   /// a call-local cache when caching is enabled. Degraded packs re-key
   /// automatically: an override changes the schedule's t values and with
   /// them every cache key.
+  /// `kind` selects the sampler family for this pack: nullopt runs the
+  /// engine's default (sampler_kind()); kConsistency requires either a
+  /// consistency-constructed engine or an attached student
+  /// (set_consistency) and runs the few-step sampler instead of the ODE
+  /// solve — the serving DegradePolicy uses exactly this to shed load
+  /// before cutting members. `solver_steps_override` then overrides the
+  /// consistency evaluation count instead of the ODE step count.
   std::vector<Tensor> step_pack(std::span<const MemberSlot> pack,
                                 int solver_steps_override = 0,
-                                nn::CondCache* cache = nullptr) const;
+                                nn::CondCache* cache = nullptr,
+                                std::optional<SamplerKind> kind =
+                                    std::nullopt) const;
+
+  /// Attaches a distilled student to a TrigFlow teacher engine, making
+  /// kConsistency packs servable side by side with the teacher path.
+  /// `student` must share the teacher's conditioning contract (in/out
+  /// channels, grid); nullptr detaches (consistency packs then run the
+  /// engine's own model — meaningful only if that model *is* a student).
+  /// Call before sharing the engine across threads.
+  /// AERIS_SAMPLER=consistency additionally makes the student the engine's
+  /// *default* path (requests that don't name a sampler get the few-step
+  /// solve), mirroring the AERIS_INFER_PRECISION opt-in idiom; any other
+  /// value leaves the teacher ODE as the default.
+  void set_consistency(const AerisModel* student,
+                       const ConsistencySamplerConfig& cfg) {
+    student_ = student;
+    cons_sampler_ = cfg;
+    has_consistency_ = true;
+    if (param_ == Parameterization::kTrigFlow &&
+        sampler_kind_from_env() == SamplerKind::kConsistency) {
+      default_kind_ = SamplerKind::kConsistency;
+    }
+  }
+  /// True when kConsistency packs are servable.
+  bool has_consistency() const {
+    return has_consistency_ && param_ == Parameterization::kTrigFlow;
+  }
+  /// Default sampler family (what nullopt `kind` resolves to).
+  SamplerKind sampler_kind() const { return default_kind_; }
 
   /// Inference compute precision for the stacked model forwards. Defaults
   /// from AERIS_INFER_PRECISION (fp32 unless "bf16"). Set before sharing
@@ -98,8 +141,12 @@ class ParallelEnsembleEngine {
   /// The shared read-only model (exposed so the serving layer can validate
   /// request shapes against the config).
   const AerisModel& model() const { return model_; }
-  /// Configured ODE solver steps per forecast step.
-  int solver_steps() const {
+  /// Configured solver steps per forecast step of the *default* sampler
+  /// kind (network evaluations for a consistency-default engine).
+  int solver_steps() const { return solver_steps(default_kind_); }
+  /// Same, for an explicit sampler family.
+  int solver_steps(SamplerKind kind) const {
+    if (kind == SamplerKind::kConsistency) return cons_sampler_.steps;
     return param_ == Parameterization::kTrigFlow ? trig_sampler_.steps
                                                  : edm_sampler_.steps;
   }
@@ -114,10 +161,14 @@ class ParallelEnsembleEngine {
 
   const AerisModel& model_;
   Parameterization param_;
+  SamplerKind default_kind_ = SamplerKind::kDpmSolver;
   TrigFlow trigflow_{TrigFlowConfig{}};
   TrigSamplerConfig trig_sampler_{};
   Edm edm_{EdmConfig{}};
   EdmSamplerConfig edm_sampler_{};
+  ConsistencySamplerConfig cons_sampler_{};
+  const AerisModel* student_ = nullptr;  ///< consistency model; null = model_
+  bool has_consistency_ = false;
   Philox rng_;
   nn::InferPrecision precision_ = nn::infer_precision_from_env();
 };

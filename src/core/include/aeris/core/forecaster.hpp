@@ -32,6 +32,13 @@ class DiffusionForecaster {
   /// EDM-parameterized (GenCast-like baseline) forecaster.
   DiffusionForecaster(const AerisModel& model, const EdmConfig& edm,
                       const EdmSamplerConfig& sampler, std::uint64_t seed);
+  /// Few-step consistency forecaster: `model` is a distilled student (same
+  /// conditioning contract as the TrigFlow teacher) and each forecast step
+  /// costs `sampler.steps` network evaluations instead of a full ODE
+  /// integration.
+  DiffusionForecaster(const AerisModel& model, const TrigFlowConfig& tf,
+                      const ConsistencySamplerConfig& sampler,
+                      std::uint64_t seed);
 
   /// One 6h/24h forecast step: returns the next state [H, W, V].
   /// Const end to end: the model is read-only and the counter-based RNG is
@@ -62,14 +69,19 @@ class DiffusionForecaster {
       std::int64_t members) const;
 
   Parameterization parameterization() const { return param_; }
+  /// Sampler family this forecaster runs (kConsistency iff constructed
+  /// with a ConsistencySamplerConfig).
+  SamplerKind sampler_kind() const { return kind_; }
 
  private:
   const AerisModel& model_;
   Parameterization param_;
+  SamplerKind kind_ = SamplerKind::kDpmSolver;
   TrigFlow trigflow_{TrigFlowConfig{}};
   TrigSamplerConfig trig_sampler_{};
   Edm edm_{EdmConfig{}};
   EdmSamplerConfig edm_sampler_{};
+  ConsistencySamplerConfig cons_sampler_{};
   Philox rng_;
   nn::InferPrecision precision_ = nn::infer_precision_from_env();
 };

@@ -38,6 +38,29 @@ struct EdmSamplerConfig {
   int steps = 10;
 };
 
+/// Sampler family a forecaster / engine / serving request runs: the
+/// multi-step DPMSolver++(2S)-class PF-ODE solvers above (teacher path),
+/// or the few-step consistency sampler of a distilled student (Swift-style
+/// follow-on to AERIS: 1-4 network evaluations per forecast step).
+enum class SamplerKind { kDpmSolver, kConsistency };
+
+/// Default sampler kind from AERIS_SAMPLER ("consistency" selects
+/// kConsistency; anything else — including unset — keeps kDpmSolver).
+SamplerKind sampler_kind_from_env();
+
+/// Few-step consistency sampler configuration. A consistency model maps
+/// any point of the PF-ODE trajectory straight to its endpoint:
+///   f(x_t, t) = cos(t) x_t - sin(t) sigma_d F(x_t / sigma_d, t),
+/// so one network evaluation replaces the whole ODE integration. Multistep
+/// sampling re-noises the estimate to intermediate times (fresh noise) and
+/// re-applies f, trading evaluations for sample quality exactly like
+/// consistency-model literature prescribes.
+struct ConsistencySamplerConfig {
+  int steps = 2;           ///< network evaluations per sample (1-4 typical)
+  float sigma_min = 0.02f; ///< re-noising schedule bounds (tan t range)
+  float sigma_max = 80.0f;
+};
+
 Tensor sample_edm(const DenoiserFn& network, const Shape& shape,
                   const Edm& edm, const EdmSamplerConfig& cfg,
                   const Philox& rng, std::uint64_t member);
@@ -95,5 +118,45 @@ Tensor sample_edm_batched(const DenoiserFn& network, const Shape& shape,
 /// and diagnostics: steps+1 values, strictly decreasing, last element 0.
 std::vector<float> trigflow_schedule(const TrigFlow& tf,
                                      const TrigSamplerConfig& cfg);
+
+/// Evaluation times of the few-step consistency sampler: exactly
+/// cfg.steps values, strictly decreasing, starting at atan(sigma_max /
+/// sigma_d). Unlike trigflow_schedule there is no trailing 0 — the
+/// consistency function itself jumps to t = 0, so every entry is a network
+/// evaluation time, spaced log-uniformly in sigma with spacing
+/// (lmin - lmax) / steps so the last evaluation keeps a meaningful noise
+/// level (steps = 2 re-noises at sqrt(sigma_max * sigma_min), not at
+/// sigma_min).
+std::vector<float> consistency_schedule(const TrigFlow& tf,
+                                        const ConsistencySamplerConfig& cfg);
+
+/// Few-step consistency sampling of a distilled TrigFlow student: start
+/// from pure noise at t_0, apply f once, then alternate re-noising to the
+/// next schedule time (fresh member-keyed noise) with another application
+/// of f. `velocity` is the same closure the TrigFlow sampler takes
+/// (sigma_d * F(x / sigma_d, t)); the consistency estimate is
+/// cos(t) x - sin(t) velocity(x, t). Noise keying matches the other
+/// samplers: all draws are (member, evaluation index) keyed in the counter
+/// RNG, so members are independent and reproducible.
+Tensor sample_consistency(const DenoiserFn& velocity, const Shape& shape,
+                          const TrigFlow& tf,
+                          const ConsistencySamplerConfig& cfg,
+                          const Philox& rng, std::uint64_t member);
+
+/// Batched / per-member-seed variants, bitwise-identical to E serial
+/// sample_consistency calls with the same keys (same contract as the
+/// batched samplers above: the schedule is state-independent, every
+/// elementwise update touches one member slab, and the counter RNG fills
+/// slab e with exactly the serial draws of member_keys[e]).
+Tensor sample_consistency_batched(const DenoiserFn& velocity,
+                                  const Shape& shape, const TrigFlow& tf,
+                                  const ConsistencySamplerConfig& cfg,
+                                  const Philox& rng,
+                                  std::span<const std::uint64_t> member_keys);
+
+Tensor sample_consistency_batched(const DenoiserFn& velocity,
+                                  const Shape& shape, const TrigFlow& tf,
+                                  const ConsistencySamplerConfig& cfg,
+                                  std::span<const MemberKey> members);
 
 }  // namespace aeris::core

@@ -1,6 +1,7 @@
 #include "aeris/core/edm.hpp"
 
 #include <cmath>
+#include <stdexcept>
 
 namespace aeris::core {
 
@@ -31,12 +32,18 @@ float Edm::loss_weight(float sigma) const {
 }
 
 std::vector<float> Edm::schedule(int n) const {
+  if (n < 1) throw std::invalid_argument("Edm::schedule: steps < 1");
   std::vector<float> out(static_cast<std::size_t>(n) + 1);
   const float inv_rho = 1.0f / cfg_.rho;
   const float a = std::pow(cfg_.sigma_max, inv_rho);
   const float b = std::pow(cfg_.sigma_min, inv_rho);
   for (int i = 0; i < n; ++i) {
-    const float frac = static_cast<float>(i) / static_cast<float>(n - 1);
+    // n == 1 degenerates to the single stage {sigma_max, 0} (one Euler
+    // step straight to the data manifold) instead of dividing by zero —
+    // DegradePolicy may drive the override all the way down to 1.
+    const float frac =
+        n == 1 ? 0.0f
+               : static_cast<float>(i) / static_cast<float>(n - 1);
     out[static_cast<std::size_t>(i)] = std::pow(a + frac * (b - a), cfg_.rho);
   }
   out[static_cast<std::size_t>(n)] = 0.0f;

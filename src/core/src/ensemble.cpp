@@ -71,10 +71,28 @@ ParallelEnsembleEngine::ParallelEnsembleEngine(const AerisModel& model,
       edm_sampler_(sampler),
       rng_(seed) {}
 
+ParallelEnsembleEngine::ParallelEnsembleEngine(
+    const AerisModel& model, const TrigFlowConfig& tf,
+    const ConsistencySamplerConfig& sampler, std::uint64_t seed)
+    : model_(model),
+      param_(Parameterization::kTrigFlow),
+      default_kind_(SamplerKind::kConsistency),
+      trigflow_(tf),
+      cons_sampler_(sampler),
+      has_consistency_(true),
+      rng_(seed) {}
+
 std::vector<Tensor> ParallelEnsembleEngine::step_pack(
     std::span<const MemberSlot> pack, int solver_steps_override,
-    nn::CondCache* cache) const {
+    nn::CondCache* cache, std::optional<SamplerKind> kind) const {
   if (pack.empty()) return {};
+  const SamplerKind resolved = kind.value_or(default_kind_);
+  if (resolved == SamplerKind::kConsistency && !has_consistency()) {
+    throw std::invalid_argument(
+        "step_pack: consistency pack on an engine without a consistency "
+        "sampler (construct with ConsistencySamplerConfig or attach a "
+        "student via set_consistency)");
+  }
   // No caller-owned cache: use a call-local one so at least the stages
   // this solve revisits (EDM's Heun evaluates each interior sigma twice)
   // hit. Call-local state keeps the const/concurrent contract trivially.
@@ -101,7 +119,24 @@ std::vector<Tensor> ParallelEnsembleEngine::step_pack(
   for (std::size_t m = 0; m < pack.size(); ++m) keys[m] = pack[m].noise;
 
   Tensor residual;
-  if (param_ == Parameterization::kTrigFlow) {
+  if (resolved == SamplerKind::kConsistency) {
+    // Few-step student path: same conditioning contract as the teacher,
+    // different network (the attached student, or the engine's own model
+    // when it was constructed as a consistency engine) and a sampler that
+    // jumps to x_0 in cons_sampler_.steps evaluations.
+    ConsistencySamplerConfig sc = cons_sampler_;
+    if (solver_steps_override > 0) sc.steps = solver_steps_override;
+    const AerisModel& net = student_ != nullptr ? *student_ : model_;
+    const float sd = trigflow_.config().sigma_d;
+    DenoiserFn velocity = [&](const Tensor& x, float t) {
+      Tensor input = build_packed_input(x, 1.0f / sd, pack);
+      Tensor f = net.forward(input, Tensor({e}, t), cache, precision_);
+      scale_(f, sd);  // velocity = sigma_d * F
+      return f;
+    };
+    residual = sample_consistency_batched(velocity, shape, trigflow_, sc,
+                                          std::span<const MemberKey>(keys));
+  } else if (param_ == Parameterization::kTrigFlow) {
     TrigSamplerConfig sc = trig_sampler_;
     if (solver_steps_override > 0) sc.steps = solver_steps_override;
     const float sd = trigflow_.config().sigma_d;

@@ -41,6 +41,17 @@ DiffusionForecaster::DiffusionForecaster(const AerisModel& model,
       edm_sampler_(sampler),
       rng_(seed) {}
 
+DiffusionForecaster::DiffusionForecaster(const AerisModel& model,
+                                         const TrigFlowConfig& tf,
+                                         const ConsistencySamplerConfig& sampler,
+                                         std::uint64_t seed)
+    : model_(model),
+      param_(Parameterization::kTrigFlow),
+      kind_(SamplerKind::kConsistency),
+      trigflow_(tf),
+      cons_sampler_(sampler),
+      rng_(seed) {}
+
 Tensor DiffusionForecaster::forecast_step(const Tensor& prev,
                                           const Tensor& forcings,
                                           std::uint64_t member,
@@ -76,8 +87,11 @@ Tensor DiffusionForecaster::forecast_step(const Tensor& prev,
       scale_(v, sd);  // velocity = sigma_d * F
       return v;
     };
-    residual = sample_trigflow(velocity, prev.shape(), trigflow_, trig_sampler_,
-                               rng_, member_key);
+    residual = kind_ == SamplerKind::kConsistency
+                   ? sample_consistency(velocity, prev.shape(), trigflow_,
+                                        cons_sampler_, rng_, member_key)
+                   : sample_trigflow(velocity, prev.shape(), trigflow_,
+                                     trig_sampler_, rng_, member_key);
   } else {
     DenoiserFn network = [&](const Tensor& xin, float t) {
       Tensor input = build_input(xin, prev, forcings);

@@ -1,6 +1,8 @@
 #include "aeris/core/sampler.hpp"
 
 #include <cmath>
+#include <cstdlib>
+#include <cstring>
 #include <stdexcept>
 
 #include "aeris/tensor/ops.hpp"
@@ -42,7 +44,20 @@ std::vector<MemberKey> shared_seed_keys(const Philox& rng,
   return mk;
 }
 
+/// Noise-key offset of the consistency sampler inside a member's 1024-wide
+/// key block: disjoint from the TrigFlow sampler (offset 0, churn 1..) and
+/// the EDM sampler (offset 512), so teacher and student draws never alias
+/// even under one seed. Offset 768 + i keys evaluation i's noise.
+constexpr std::uint64_t kConsistencyNoiseOffset = 768;
+
 }  // namespace
+
+SamplerKind sampler_kind_from_env() {
+  const char* v = std::getenv("AERIS_SAMPLER");
+  return (v != nullptr && std::strcmp(v, "consistency") == 0)
+             ? SamplerKind::kConsistency
+             : SamplerKind::kDpmSolver;
+}
 
 std::vector<float> trigflow_schedule(const TrigFlow& tf,
                                      const TrigSamplerConfig& cfg) {
@@ -253,6 +268,105 @@ Tensor sample_edm_batched(const DenoiserFn& network, const Shape& shape,
     x = x_euler;
   }
   return x;
+}
+
+std::vector<float> consistency_schedule(const TrigFlow& tf,
+                                        const ConsistencySamplerConfig& cfg) {
+  if (cfg.steps < 1) throw std::invalid_argument("sampler: steps < 1");
+  std::vector<float> ts(static_cast<std::size_t>(cfg.steps));
+  const float lmax = std::log(cfg.sigma_max);
+  const float lmin = std::log(cfg.sigma_min);
+  const float sd = tf.config().sigma_d;
+  for (int i = 0; i < cfg.steps; ++i) {
+    // frac = i / steps (not steps - 1): the last evaluation sits one
+    // log-spacing above sigma_min, so multistep refinement re-noises at a
+    // useful level instead of collapsing onto the schedule floor.
+    const float frac =
+        static_cast<float>(i) / static_cast<float>(cfg.steps);
+    const float sigma = std::exp(lmax + frac * (lmin - lmax));
+    ts[static_cast<std::size_t>(i)] = std::atan(sigma / sd);
+  }
+  return ts;
+}
+
+Tensor sample_consistency(const DenoiserFn& velocity, const Shape& shape,
+                          const TrigFlow& tf,
+                          const ConsistencySamplerConfig& cfg,
+                          const Philox& rng, std::uint64_t member) {
+  const float sd = tf.config().sigma_d;
+  const std::vector<float> ts = consistency_schedule(tf, cfg);
+
+  // Start from pure noise at t_0: x = sigma_d * z.
+  Tensor x(shape);
+  rng.fill_normal(x, rng_stream::kSamplerNoise,
+                  member * 1024 + kConsistencyNoiseOffset);
+  scale_(x, sd);
+
+  Tensor x0;
+  for (std::size_t i = 0; i < ts.size(); ++i) {
+    const float t = ts[i];
+    if (i > 0) {
+      // Re-noise the estimate to t with *fresh* noise:
+      // x = cos(t) x0 + sin(t) sigma_d z_i.
+      Tensor z(shape);
+      rng.fill_normal(z, rng_stream::kSamplerNoise,
+                      member * 1024 + kConsistencyNoiseOffset +
+                          static_cast<std::uint64_t>(i));
+      x = scale(x0, std::cos(t));
+      axpy_(x, sd * std::sin(t), z);
+    }
+    // Consistency estimate f(x, t) = cos(t) x - sin(t) v(x, t).
+    Tensor v = velocity(x, t);
+    x0 = scale(x, std::cos(t));
+    axpy_(x0, -std::sin(t), v);
+  }
+  return x0;
+}
+
+Tensor sample_consistency_batched(const DenoiserFn& velocity,
+                                  const Shape& shape, const TrigFlow& tf,
+                                  const ConsistencySamplerConfig& cfg,
+                                  const Philox& rng,
+                                  std::span<const std::uint64_t> member_keys) {
+  const std::vector<MemberKey> mk = shared_seed_keys(rng, member_keys);
+  return sample_consistency_batched(velocity, shape, tf, cfg, mk);
+}
+
+Tensor sample_consistency_batched(const DenoiserFn& velocity,
+                                  const Shape& shape, const TrigFlow& tf,
+                                  const ConsistencySamplerConfig& cfg,
+                                  std::span<const MemberKey> members) {
+  const float sd = tf.config().sigma_d;
+  const std::vector<float> ts = consistency_schedule(tf, cfg);
+  const std::int64_t e = static_cast<std::int64_t>(members.size());
+  if (e == 0) throw std::invalid_argument("sampler: empty member_keys");
+  const Shape xshape = stacked_shape(shape, e);
+
+  Tensor x(xshape);
+  std::int64_t per = 1;
+  for (const std::int64_t d : shape) per *= d;
+  fill_member_noise(x, per, rng_stream::kSamplerNoise, members,
+                    kConsistencyNoiseOffset);
+  scale_(x, sd);
+
+  Tensor x0;
+  for (std::size_t i = 0; i < ts.size(); ++i) {
+    // The schedule depends only on the config, never on the state, so all
+    // members share t — exactly what each serial call computes.
+    const float t = ts[i];
+    if (i > 0) {
+      Tensor z(xshape);
+      fill_member_noise(z, per, rng_stream::kSamplerNoise, members,
+                        kConsistencyNoiseOffset +
+                            static_cast<std::uint64_t>(i));
+      x = scale(x0, std::cos(t));
+      axpy_(x, sd * std::sin(t), z);
+    }
+    Tensor v = velocity(x, t);
+    x0 = scale(x, std::cos(t));
+    axpy_(x0, -std::sin(t), v);
+  }
+  return x0;
 }
 
 }  // namespace aeris::core

@@ -60,16 +60,30 @@ class CondCache {
   std::uint64_t hits() const { return hits_; }
   std::uint64_t misses() const { return misses_; }
 
+  /// Weight-generation keying: cached rows are only valid while the owning
+  /// model's weights are frozen. Callers whose model *does* change (the
+  /// consistency distiller's EMA target network advances every optimizer
+  /// step) bump the generation instead of clearing — rows inserted under
+  /// an older generation simply stop being hit and age out through the
+  /// entry cap, while rows of a frozen model (generation left at 0, e.g.
+  /// the distillation teacher) stay valid for the cache's whole life.
+  void set_generation(std::uint64_t g) { gen_ = g; }
+  std::uint64_t generation() const { return gen_; }
+
  private:
   static constexpr std::size_t kMaxEntries = 4096;
 
-  static std::uint64_t key(const LayerId& layer, std::uint32_t t_bits) {
+  std::uint64_t key(const LayerId& layer, std::uint32_t t_bits) const {
     // LayerIds are small sequential process-lifetime counters; folding the
     // t bits into the low word keeps the key collision-free in practice.
-    return (layer.value() << 32) ^ static_cast<std::uint64_t>(t_bits);
+    // The generation is mixed in with a splitmix-style odd multiplier so
+    // consecutive generations land far apart in key space.
+    return (layer.value() << 32) ^ static_cast<std::uint64_t>(t_bits) ^
+           (gen_ * 0x9E3779B97F4A7C15ull);
   }
 
   std::unordered_map<std::uint64_t, Tensor> rows_;
+  std::uint64_t gen_ = 0;
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
 };

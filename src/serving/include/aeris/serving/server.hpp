@@ -8,6 +8,7 @@
 #include <future>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
@@ -31,6 +32,21 @@ struct DegradePolicy {
   int degraded_solver_steps = 0;
   /// Member cap for degraded requests (0 keeps the requested count).
   std::int64_t max_members = 0;
+  /// First degradation rung when the engine serves a distilled student
+  /// (ParallelEnsembleEngine::has_consistency()): a teacher-path admission
+  /// crossing est_wait_threshold_ms is switched to the few-step
+  /// consistency sampler at full quality knobs — same members, the
+  /// student's own step count — which sheds ~solver_steps/consistency_steps
+  /// of the load before any member or step cutting. Ignored (old
+  /// single-rung behavior) when the engine has no consistency path.
+  bool to_consistency = true;
+  /// Second rung, meaningful only after a sampler switch: estimated wait
+  /// above which the step/member cuts above are applied *on top of* the
+  /// switch. 0 disables the second rung (the switch alone absorbs the
+  /// overload); negative forces the cuts on every degraded admission.
+  /// Requests degraded without a consistency path available keep the old
+  /// single-rung behavior (cuts at est_wait_threshold_ms).
+  double cut_wait_threshold_ms = 0.0;
 };
 
 /// ForecastServer tuning. All knobs have safe defaults; from_env() overlays
@@ -59,8 +75,9 @@ struct ServerOptions {
   double retry_backoff_ms = 1.0;
 
   /// Defaults overlaid with AERIS_SERVE_QUEUE_CAP, AERIS_SERVE_DEADLINE_MS,
-  /// AERIS_SERVE_DEGRADE_WAIT_MS, AERIS_SERVE_DEGRADE_STEPS and
-  /// AERIS_SERVE_DEGRADE_MEMBERS.
+  /// AERIS_SERVE_DEGRADE_WAIT_MS, AERIS_SERVE_DEGRADE_STEPS,
+  /// AERIS_SERVE_DEGRADE_MEMBERS, AERIS_SERVE_DEGRADE_TO_CONSISTENCY and
+  /// AERIS_SERVE_DEGRADE_CUT_WAIT_MS.
   static ServerOptions from_env();
 };
 
@@ -80,6 +97,11 @@ struct ForecastRequest {
   /// On deadline expiry, return the trajectory prefix computed so far
   /// instead of an empty result.
   bool return_partial = false;
+  /// Sampler family to serve this request with; nullopt runs the engine's
+  /// default. kConsistency requires the engine to have a consistency path
+  /// (has_consistency()) and is rejected with std::invalid_argument
+  /// otherwise.
+  std::optional<core::SamplerKind> sampler;
 };
 
 enum class RequestStatus {
@@ -109,7 +131,10 @@ struct ForecastResult {
   std::vector<std::vector<Tensor>> trajectories;
   std::vector<MemberReport> members;
   bool degraded = false;
-  int solver_steps = 0;  ///< ODE steps per forecast step actually used
+  int solver_steps = 0;  ///< solver steps per forecast step actually used
+  /// Sampler family actually served (may differ from the request when the
+  /// DegradePolicy switched a teacher-path request to the student).
+  core::SamplerKind sampler = core::SamplerKind::kDpmSolver;
   std::int64_t members_served = 0;
   double queue_wait_ms = 0.0;
   double total_ms = 0.0;
@@ -131,6 +156,9 @@ struct ServerStats {
   std::int64_t deadline_expired = 0;
   std::int64_t faulted = 0;     ///< finalized kFault
   std::int64_t degraded = 0;    ///< admissions degraded by policy
+  /// Degraded admissions absorbed by the teacher->student sampler switch
+  /// (the first DegradePolicy rung) instead of step/member cuts.
+  std::int64_t degraded_to_consistency = 0;
   std::int64_t quarantined_members = 0;
   std::int64_t failed_members = 0;  ///< members lost to NumericalError
   std::int64_t transient_retries = 0;

@@ -58,6 +58,11 @@ ServerOptions ServerOptions::from_env() {
       "AERIS_SERVE_DEGRADE_STEPS", o.degrade.degraded_solver_steps));
   o.degrade.max_members =
       env_i64("AERIS_SERVE_DEGRADE_MEMBERS", o.degrade.max_members);
+  o.degrade.to_consistency =
+      env_i64("AERIS_SERVE_DEGRADE_TO_CONSISTENCY",
+              o.degrade.to_consistency ? 1 : 0) != 0;
+  o.degrade.cut_wait_threshold_ms = env_double(
+      "AERIS_SERVE_DEGRADE_CUT_WAIT_MS", o.degrade.cut_wait_threshold_ms);
   return o;
 }
 
@@ -74,7 +79,8 @@ struct ForecastServer::Active {
   std::uint64_t seed = 0;
   bool return_partial = false;
   bool degraded = false;
-  int solver_steps = 0;  ///< effective ODE steps (override for step_pack)
+  int solver_steps = 0;  ///< effective solver steps (override for step_pack)
+  core::SamplerKind sampler = core::SamplerKind::kDpmSolver;
 
   Clock::time_point admit{};
   Clock::time_point deadline{};
@@ -167,6 +173,14 @@ ForecastResult ForecastServer::forecast(const ForecastRequest& req) {
   if (req.members <= 0 || req.steps <= 0) {
     throw std::invalid_argument("forecast: members and steps must be >= 1");
   }
+  const core::SamplerKind req_sampler =
+      req.sampler.value_or(engine_.sampler_kind());
+  if (req_sampler == core::SamplerKind::kConsistency &&
+      !engine_.has_consistency()) {
+    throw std::invalid_argument(
+        "forecast: consistency sampler requested but the engine has no "
+        "consistency path (set_consistency)");
+  }
 
   const Clock::time_point now = Clock::now();
   std::shared_ptr<Active> a;
@@ -205,7 +219,8 @@ ForecastResult ForecastServer::forecast(const ForecastRequest& req) {
     a->steps = req.steps;
     a->seed = req.seed;
     a->return_partial = req.return_partial;
-    a->solver_steps = engine_.solver_steps();
+    a->sampler = req_sampler;
+    a->solver_steps = engine_.solver_steps(req_sampler);
     a->admit = now;
 
     // Graceful degradation decided at admission, from the backlog estimate
@@ -219,12 +234,32 @@ ForecastResult ForecastServer::forecast(const ForecastRequest& req) {
           est_wait_ms > dp.est_wait_threshold_ms) {
         a->degraded = true;
         ++stats_.degraded;
-        if (dp.degraded_solver_steps > 0) {
+        // First rung: a teacher-path request on an engine with a distilled
+        // student is switched to the few-step consistency sampler at full
+        // member count — the cheapest quality trade available. Step/member
+        // cuts then only engage past the (stricter) second threshold.
+        const bool switched =
+            dp.to_consistency && engine_.has_consistency() &&
+            a->sampler == core::SamplerKind::kDpmSolver;
+        if (switched) {
+          a->sampler = core::SamplerKind::kConsistency;
           a->solver_steps =
-              std::min(a->solver_steps, dp.degraded_solver_steps);
+              engine_.solver_steps(core::SamplerKind::kConsistency);
+          ++stats_.degraded_to_consistency;
         }
-        if (dp.max_members > 0) {
-          a->members = std::min(a->members, dp.max_members);
+        const bool cut =
+            !switched ||
+            (dp.cut_wait_threshold_ms != 0.0 &&
+             (dp.cut_wait_threshold_ms < 0.0 ||
+              est_wait_ms > dp.cut_wait_threshold_ms));
+        if (cut) {
+          if (dp.degraded_solver_steps > 0) {
+            a->solver_steps =
+                std::min(a->solver_steps, dp.degraded_solver_steps);
+          }
+          if (dp.max_members > 0) {
+            a->members = std::min(a->members, dp.max_members);
+          }
         }
       }
     }
@@ -281,6 +316,7 @@ void ForecastServer::finalize_locked(const std::shared_ptr<Active>& a,
   r.members = std::move(a->reports);
   r.degraded = a->degraded;
   r.solver_steps = a->solver_steps;
+  r.sampler = a->sampler;
   r.members_served = a->members;
   r.queue_wait_ms = a->started ? a->queue_wait_ms
                                : ms_between(a->admit, now);
@@ -349,6 +385,7 @@ void ForecastServer::worker_loop(int worker_index) {
       // `batch` eligible cursors sharing one solver-step count (degraded
       // requests run a different ODE schedule and cannot share a stack).
       int pack_solver_steps = -1;
+      core::SamplerKind pack_sampler = core::SamplerKind::kDpmSolver;
       for (auto it = ready_.begin();
            it != ready_.end() &&
            pack.size() < static_cast<std::size_t>(opts_.batch);) {
@@ -379,7 +416,11 @@ void ForecastServer::worker_loop(int worker_index) {
         }
         if (pack.empty()) {
           pack_solver_steps = a->solver_steps;
-        } else if (a->solver_steps != pack_solver_steps) {
+          pack_sampler = a->sampler;
+        } else if (a->solver_steps != pack_solver_steps ||
+                   a->sampler != pack_sampler) {
+          // Teacher and student packs never mix: they run different
+          // networks and different schedules.
           ++it;
           continue;
         }
@@ -452,13 +493,14 @@ void ForecastServer::worker_loop(int worker_index) {
     std::vector<Tensor> next;
     std::exception_ptr solve_error;
     if (!slots.empty()) {
+      const core::SamplerKind kind = pack[solved.front()].a->sampler;
       const int override_steps =
-          pack[solved.front()].a->solver_steps == engine_.solver_steps()
+          pack[solved.front()].a->solver_steps == engine_.solver_steps(kind)
               ? 0
               : pack[solved.front()].a->solver_steps;
       try {
         next = engine_.step_pack(std::span<const core::MemberSlot>(slots),
-                                 override_steps, cond_cache_ptr);
+                                 override_steps, cond_cache_ptr, kind);
       } catch (...) {
         solve_error = std::current_exception();
       }

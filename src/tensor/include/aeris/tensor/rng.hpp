@@ -66,6 +66,7 @@ inline constexpr std::uint64_t kDataShuffle = 5;
 inline constexpr std::uint64_t kPhysicsForcing = 6;
 inline constexpr std::uint64_t kEnsemblePerturbation = 7;
 inline constexpr std::uint64_t kChurn = 8;
+inline constexpr std::uint64_t kDistillStage = 9;
 }  // namespace rng_stream
 
 }  // namespace aeris

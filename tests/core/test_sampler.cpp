@@ -172,5 +172,159 @@ TEST(EdmLossWeight, MatchesFormula) {
   }
 }
 
+// --- Degenerate step counts (DegradePolicy can drive overrides to 1). ---
+
+TEST(TrigSchedule, SingleStepIsWellDefined) {
+  TrigFlow tf(TrigFlowConfig{});
+  for (int steps : {1, 2}) {
+    TrigSamplerConfig cfg;
+    cfg.steps = steps;
+    auto ts = trigflow_schedule(tf, cfg);
+    ASSERT_EQ(ts.size(), static_cast<std::size_t>(steps) + 1);
+    for (float t : ts) EXPECT_TRUE(std::isfinite(t));
+    for (std::size_t i = 0; i + 1 < ts.size(); ++i) EXPECT_GT(ts[i], ts[i + 1]);
+    EXPECT_FLOAT_EQ(ts.back(), 0.0f);
+    EXPECT_NEAR(ts.front(), std::atan(cfg.sigma_max), 1e-5f);
+  }
+}
+
+TEST(EdmSchedule, SingleStepIsWellDefined) {
+  Edm edm(EdmConfig{});
+  auto s1 = edm.schedule(1);
+  ASSERT_EQ(s1.size(), 2u);
+  EXPECT_FLOAT_EQ(s1[0], 80.0f);
+  EXPECT_FLOAT_EQ(s1[1], 0.0f);
+  auto s2 = edm.schedule(2);
+  ASSERT_EQ(s2.size(), 3u);
+  for (float s : s2) EXPECT_TRUE(std::isfinite(s));
+  EXPECT_FLOAT_EQ(s2[0], 80.0f);
+  EXPECT_NEAR(s2[1], 0.02f, 1e-4f);
+  EXPECT_FLOAT_EQ(s2[2], 0.0f);
+  EXPECT_THROW(edm.schedule(0), std::invalid_argument);
+}
+
+TEST(TrigSampler, FewStepSamplesStayWellScaled) {
+  // Gaussian data (optimal velocity 0): samples must remain ~N(0,1) even
+  // at the degenerate step counts a degraded server runs.
+  TrigFlow tf(TrigFlowConfig{});
+  DenoiserFn velocity = [](const Tensor& x, float) { return Tensor(x.shape()); };
+  for (int steps : {1, 2}) {
+    TrigSamplerConfig cfg;
+    cfg.steps = steps;
+    Philox rng(7);
+    Tensor s = sample_trigflow(velocity, {4096}, tf, cfg, rng, 0);
+    for (std::int64_t i = 0; i < s.numel(); ++i) {
+      ASSERT_TRUE(std::isfinite(s[i])) << "steps=" << steps;
+    }
+    EXPECT_NEAR(mean(s), 0.0f, 0.05f) << "steps=" << steps;
+    EXPECT_NEAR(mean_sq(s), 1.0f, 0.1f) << "steps=" << steps;
+  }
+}
+
+TEST(EdmSampler, SingleStepRecoversPointMassExactly) {
+  // With the optimal point-mass denoiser D = mu, the single Euler step of
+  // the {sigma_max, 0} schedule is x + (0 - sigma)(x - mu)/sigma = mu:
+  // steps = 1 must be exact, not just finite.
+  Edm edm(EdmConfig{});
+  const float mu = -1.25f;
+  DenoiserFn network = [&](const Tensor& xin, float t) {
+    const float sigma = std::exp(4.0f * t);
+    Tensor f(xin.shape());
+    const float cin = edm.c_in(sigma), cs = edm.c_skip(sigma),
+                co = edm.c_out(sigma);
+    for (std::int64_t i = 0; i < xin.numel(); ++i) {
+      f[i] = (mu - cs * (xin[i] / cin)) / co;
+    }
+    return f;
+  };
+  for (int steps : {1, 2}) {
+    EdmSamplerConfig cfg;
+    cfg.steps = steps;
+    Philox rng(8);
+    Tensor s = sample_edm(network, {32}, edm, cfg, rng, 0);
+    for (std::int64_t i = 0; i < s.numel(); ++i) {
+      EXPECT_NEAR(s[i], mu, steps == 1 ? 1e-4f : 0.05f) << "steps=" << steps;
+    }
+  }
+}
+
+// --- Few-step consistency sampler. ---
+
+TEST(ConsistencySchedule, ExactlyStepsDecreasingTimes) {
+  TrigFlow tf(TrigFlowConfig{});
+  for (int steps : {1, 2, 4}) {
+    ConsistencySamplerConfig cfg;
+    cfg.steps = steps;
+    auto ts = consistency_schedule(tf, cfg);
+    ASSERT_EQ(ts.size(), static_cast<std::size_t>(steps));
+    EXPECT_NEAR(ts.front(), std::atan(cfg.sigma_max), 1e-5f);
+    for (std::size_t i = 0; i + 1 < ts.size(); ++i) EXPECT_GT(ts[i], ts[i + 1]);
+    // No trailing zero: every entry is a network evaluation time.
+    EXPECT_GT(ts.back(), 0.0f);
+  }
+  EXPECT_THROW(consistency_schedule(tf, ConsistencySamplerConfig{.steps = 0}),
+               std::invalid_argument);
+}
+
+TEST(ConsistencySampler, PerfectStudentRecoversPointMassAtEveryStepCount) {
+  // A perfect consistency function maps any x_t to the data point: for a
+  // point mass at mu, f(x,t) = mu requires velocity (cos t x - mu)/sin t.
+  // Unlike the ODE solvers this is exact at ANY evaluation count.
+  TrigFlow tf(TrigFlowConfig{});
+  const float mu = 0.9f;
+  DenoiserFn velocity = [&](const Tensor& x, float t) {
+    Tensor v(x.shape());
+    const float st = std::max(std::sin(t), 1e-6f);
+    for (std::int64_t i = 0; i < x.numel(); ++i) {
+      v[i] = (std::cos(t) * x[i] - mu) / st;
+    }
+    return v;
+  };
+  for (int steps : {1, 2, 3, 4}) {
+    ConsistencySamplerConfig cfg;
+    cfg.steps = steps;
+    Philox rng(9);
+    Tensor s = sample_consistency(velocity, {32}, tf, cfg, rng, 0);
+    for (std::int64_t i = 0; i < s.numel(); ++i) {
+      EXPECT_NEAR(s[i], mu, 2e-4f) << "steps=" << steps;
+    }
+  }
+}
+
+TEST(ConsistencySampler, MembersDifferAndAreReproducible) {
+  TrigFlow tf(TrigFlowConfig{});
+  // Identity-ish student: f(x,t) = cos(t) x (velocity 0) keeps the member
+  // noise visible in the output.
+  DenoiserFn velocity = [](const Tensor& x, float) { return Tensor(x.shape()); };
+  ConsistencySamplerConfig cfg;
+  cfg.steps = 2;
+  Philox rng(10);
+  Tensor a = sample_consistency(velocity, {32}, tf, cfg, rng, 0);
+  Tensor b = sample_consistency(velocity, {32}, tf, cfg, rng, 1);
+  EXPECT_FALSE(a.allclose(b, 1e-3f));
+  Tensor a2 = sample_consistency(velocity, {32}, tf, cfg, rng, 0);
+  EXPECT_TRUE(a.allclose(a2));
+}
+
+TEST(ConsistencySampler, NoiseStreamsDisjointFromOdeSamplers) {
+  // One seed serves teacher and student side by side in the server; their
+  // initial-noise draws must come from different key offsets.
+  TrigFlow tf(TrigFlowConfig{});
+  DenoiserFn velocity = [](const Tensor& x, float) { return Tensor(x.shape()); };
+  Philox rng(11);
+  ConsistencySamplerConfig cc;
+  cc.steps = 1;
+  TrigSamplerConfig tc;
+  tc.steps = 1;
+  Tensor cons = sample_consistency(velocity, {64}, tf, cc, rng, 0);
+  Tensor trig = sample_trigflow(velocity, {64}, tf, tc, rng, 0);
+  // Zero velocity: trig returns sigma_d * z_trig and cons returns
+  // cos(t0) * sigma_d * z_cons — identical draws would make cons equal to
+  // cos(t0) * trig exactly.
+  const float t0 = std::atan(cc.sigma_max / tf.config().sigma_d);
+  Tensor aliased = scale(trig, std::cos(t0));
+  EXPECT_FALSE(cons.allclose(aliased, 1e-5f));
+}
+
 }  // namespace
 }  // namespace aeris::core

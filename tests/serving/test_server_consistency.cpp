@@ -1,0 +1,299 @@
+// ForecastServer over a teacher engine with an attached distilled student:
+// explicit consistency requests, the DegradePolicy's teacher->student
+// rung, and the bitwise invariance of the unstressed teacher path.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "aeris/core/forecaster.hpp"
+#include "aeris/serving/server.hpp"
+#include "aeris/tensor/ops.hpp"
+
+namespace aeris::serving {
+namespace {
+
+using core::AerisModel;
+using core::ConsistencySamplerConfig;
+using core::DiffusionForecaster;
+using core::ModelConfig;
+using core::ParallelEnsembleEngine;
+using core::SamplerKind;
+
+ModelConfig srv_cfg() {
+  ModelConfig c;
+  c.h = 8;
+  c.w = 8;
+  c.in_channels = 8;  // 2 * V + F with V = 3, F = 2
+  c.out_channels = 3;
+  c.dim = 16;
+  c.depth = 2;
+  c.heads = 2;
+  c.ffn_hidden = 32;
+  c.win_h = 4;
+  c.win_w = 4;
+  c.cond_dim = 16;
+  c.time_features = 8;
+  return c;
+}
+
+AerisModel make_model(std::uint64_t seed) {
+  AerisModel model(srv_cfg(), seed);
+  Philox rng(seed + 100);
+  for (nn::Param* p : model.params()) {
+    if (p->name.find("head") != std::string::npos ||
+        p->name.find("adaln") != std::string::npos) {
+      rng.fill_normal(p->value, 7, 0);
+      scale_(p->value, 0.1f);
+    }
+  }
+  return model;
+}
+
+Tensor make_init(std::uint64_t key) {
+  Philox rng(5);
+  Tensor init({8, 8, 3});
+  rng.fill_normal(init, 1, key);
+  return init;
+}
+
+Tensor make_forcing(std::int64_t step) {
+  Philox rng(6);
+  Tensor f({8, 8, 2});
+  rng.fill_normal(f, 2, static_cast<std::uint64_t>(step));
+  return f;
+}
+
+void expect_trajs_bitwise(const std::vector<std::vector<Tensor>>& got,
+                          const std::vector<std::vector<Tensor>>& ref,
+                          const std::string& what) {
+  ASSERT_EQ(got.size(), ref.size()) << what;
+  for (std::size_t m = 0; m < ref.size(); ++m) {
+    ASSERT_EQ(got[m].size(), ref[m].size()) << what << " member " << m;
+    for (std::size_t s = 0; s < ref[m].size(); ++s) {
+      ASSERT_EQ(
+          std::memcmp(got[m][s].data(), ref[m][s].data(),
+                      static_cast<std::size_t>(ref[m][s].numel()) *
+                          sizeof(float)),
+          0)
+          << what << " member " << m << " step " << s;
+    }
+  }
+}
+
+struct TeacherStudentServer {
+  AerisModel teacher = make_model(11);
+  AerisModel student = make_model(12);
+  core::TrigFlowConfig tf{};
+  core::TrigSamplerConfig ts = [] {
+    core::TrigSamplerConfig t;
+    t.steps = 4;
+    return t;
+  }();
+  ConsistencySamplerConfig cc = [] {
+    ConsistencySamplerConfig c;
+    c.steps = 2;
+    return c;
+  }();
+  ParallelEnsembleEngine engine{teacher, tf, ts, 0};
+
+  TeacherStudentServer() { engine.set_consistency(&student, cc); }
+};
+
+TEST(ServerConsistency, ExplicitConsistencyRequestMatchesSerialStudent) {
+  TeacherStudentServer f;
+  ForecastServer server(f.engine, ServerOptions{});
+
+  ForecastRequest req;
+  req.init = make_init(0);
+  req.forcings_at = make_forcing;
+  req.members = 3;
+  req.steps = 2;
+  req.seed = 77;
+  req.sampler = SamplerKind::kConsistency;
+  const ForecastResult r = server.forecast(req);
+  ASSERT_TRUE(r.ok()) << r.error_message;
+  EXPECT_EQ(r.sampler, SamplerKind::kConsistency);
+  EXPECT_EQ(r.solver_steps, 2);
+  EXPECT_FALSE(r.degraded);
+
+  DiffusionForecaster serial(f.student, f.tf, f.cc, req.seed);
+  const auto ref = serial.ensemble_rollout(req.init, make_forcing, req.steps,
+                                           req.members);
+  expect_trajs_bitwise(r.trajectories, ref, "consistency request");
+}
+
+TEST(ServerConsistency, TeacherPathUnchangedByAttachedStudent) {
+  // The pre-PR serving contract: an unstressed teacher request through an
+  // engine with a student attached is bitwise what a plain teacher engine
+  // serves.
+  TeacherStudentServer f;
+  ForecastRequest req;
+  req.init = make_init(1);
+  req.forcings_at = make_forcing;
+  req.members = 2;
+  req.steps = 2;
+  req.seed = 5;
+
+  ForecastResult with_student;
+  {
+    ForecastServer server(f.engine, ServerOptions{});
+    with_student = server.forecast(req);
+  }
+  ASSERT_TRUE(with_student.ok());
+  EXPECT_EQ(with_student.sampler, SamplerKind::kDpmSolver);
+
+  ParallelEnsembleEngine plain(f.teacher, f.tf, f.ts, 0);
+  ForecastServer plain_server(plain, ServerOptions{});
+  const ForecastResult ref = plain_server.forecast(req);
+  ASSERT_TRUE(ref.ok());
+  expect_trajs_bitwise(with_student.trajectories, ref.trajectories,
+                       "teacher path");
+}
+
+TEST(ServerConsistency, DegradeRungSwitchesSamplerBeforeCuttingMembers) {
+  TeacherStudentServer f;
+  ServerOptions opts;
+  opts.degrade.est_wait_threshold_ms = -1.0;  // force rung 1
+  opts.degrade.degraded_solver_steps = 1;
+  opts.degrade.max_members = 1;
+  // cut_wait_threshold_ms = 0: second rung disabled — the sampler switch
+  // alone absorbs the load, members and steps stay at full quality.
+  ForecastServer server(f.engine, opts);
+
+  ForecastRequest req;
+  req.init = make_init(2);
+  req.forcings_at = make_forcing;
+  req.members = 3;
+  req.steps = 1;
+  req.seed = 13;
+  const ForecastResult r = server.forecast(req);
+  ASSERT_TRUE(r.ok()) << r.error_message;
+  EXPECT_TRUE(r.degraded);
+  EXPECT_EQ(r.sampler, SamplerKind::kConsistency);
+  EXPECT_EQ(r.members_served, 3);       // rung 1 never cuts members
+  EXPECT_EQ(r.solver_steps, 2);         // student's own step count
+  EXPECT_EQ(server.stats().degraded_to_consistency, 1);
+
+  // The degraded-but-switched request still serves exact student
+  // trajectories (the switch is a quality trade, not a numerics change).
+  DiffusionForecaster serial(f.student, f.tf, f.cc, req.seed);
+  const auto ref = serial.ensemble_rollout(req.init, make_forcing, req.steps,
+                                           req.members);
+  expect_trajs_bitwise(r.trajectories, ref, "rung-1 degraded");
+}
+
+TEST(ServerConsistency, SecondRungAppliesCutsOnTopOfSwitch) {
+  TeacherStudentServer f;
+  ServerOptions opts;
+  opts.degrade.est_wait_threshold_ms = -1.0;
+  opts.degrade.cut_wait_threshold_ms = -1.0;  // force rung 2 as well
+  opts.degrade.degraded_solver_steps = 1;
+  opts.degrade.max_members = 1;
+  ForecastServer server(f.engine, opts);
+
+  ForecastRequest req;
+  req.init = make_init(3);
+  req.forcings_at = make_forcing;
+  req.members = 3;
+  req.steps = 1;
+  req.seed = 21;
+  const ForecastResult r = server.forecast(req);
+  ASSERT_TRUE(r.ok()) << r.error_message;
+  EXPECT_TRUE(r.degraded);
+  EXPECT_EQ(r.sampler, SamplerKind::kConsistency);
+  EXPECT_EQ(r.members_served, 1);
+  EXPECT_EQ(r.solver_steps, 1);  // single-evaluation student
+
+  // Bitwise: a 1-step consistency forecast of member 0.
+  ConsistencySamplerConfig one = f.cc;
+  one.steps = 1;
+  DiffusionForecaster serial(f.student, f.tf, one, req.seed);
+  const auto ref = serial.ensemble_rollout(req.init, make_forcing, 1, 1);
+  expect_trajs_bitwise(r.trajectories, ref, "rung-2 degraded");
+}
+
+TEST(ServerConsistency, DegradeWithoutStudentKeepsOldSingleRungBehavior) {
+  AerisModel teacher = make_model(11);
+  core::TrigFlowConfig tf;
+  core::TrigSamplerConfig ts;
+  ts.steps = 4;
+  ParallelEnsembleEngine engine(teacher, tf, ts, 0);
+  ServerOptions opts;
+  opts.degrade.est_wait_threshold_ms = -1.0;
+  opts.degrade.degraded_solver_steps = 2;
+  opts.degrade.max_members = 1;
+  ForecastServer server(engine, opts);
+
+  ForecastRequest req;
+  req.init = make_init(4);
+  req.forcings_at = make_forcing;
+  req.members = 3;
+  req.steps = 1;
+  req.seed = 2;
+  const ForecastResult r = server.forecast(req);
+  ASSERT_TRUE(r.ok()) << r.error_message;
+  EXPECT_TRUE(r.degraded);
+  EXPECT_EQ(r.sampler, SamplerKind::kDpmSolver);
+  EXPECT_EQ(r.members_served, 1);
+  EXPECT_EQ(r.solver_steps, 2);
+  EXPECT_EQ(server.stats().degraded_to_consistency, 0);
+}
+
+TEST(ServerConsistency, ConsistencyRequestWithoutStudentIsMalformed) {
+  AerisModel teacher = make_model(11);
+  core::TrigFlowConfig tf;
+  core::TrigSamplerConfig ts;
+  ParallelEnsembleEngine engine(teacher, tf, ts, 0);
+  ForecastServer server(engine, ServerOptions{});
+
+  ForecastRequest req;
+  req.init = make_init(5);
+  req.forcings_at = make_forcing;
+  req.sampler = SamplerKind::kConsistency;
+  EXPECT_THROW(server.forecast(req), std::invalid_argument);
+}
+
+TEST(ServerConsistency, MixedTeacherAndStudentClientsBothExact) {
+  // Teacher and student requests interleave through one server; packs
+  // never mix the two, and each client gets its serial reference.
+  TeacherStudentServer f;
+  ServerOptions opts;
+  opts.batch = 4;
+  opts.workers = 2;
+  ForecastServer server(f.engine, opts);
+
+  ForecastRequest teacher_req;
+  teacher_req.init = make_init(6);
+  teacher_req.forcings_at = make_forcing;
+  teacher_req.members = 2;
+  teacher_req.steps = 2;
+  teacher_req.seed = 100;
+
+  ForecastRequest student_req = teacher_req;
+  student_req.seed = 200;
+  student_req.sampler = SamplerKind::kConsistency;
+
+  ForecastResult tr, sr;
+  std::thread t1([&] { tr = server.forecast(teacher_req); });
+  std::thread t2([&] { sr = server.forecast(student_req); });
+  t1.join();
+  t2.join();
+  ASSERT_TRUE(tr.ok()) << tr.error_message;
+  ASSERT_TRUE(sr.ok()) << sr.error_message;
+
+  DiffusionForecaster teacher_serial(f.teacher, f.tf, f.ts, teacher_req.seed);
+  expect_trajs_bitwise(
+      tr.trajectories,
+      teacher_serial.ensemble_rollout(teacher_req.init, make_forcing, 2, 2),
+      "mixed teacher client");
+  DiffusionForecaster student_serial(f.student, f.tf, f.cc, student_req.seed);
+  expect_trajs_bitwise(
+      sr.trajectories,
+      student_serial.ensemble_rollout(student_req.init, make_forcing, 2, 2),
+      "mixed student client");
+}
+
+}  // namespace
+}  // namespace aeris::serving
