@@ -11,6 +11,7 @@
 #include "aeris/core/model.hpp"
 #include "aeris/core/sampler.hpp"
 #include "aeris/core/window.hpp"
+#include "aeris/serving/cluster.hpp"
 #include "aeris/serving/server.hpp"
 #include "aeris/nn/attention.hpp"
 #include "aeris/physics/qg.hpp"
@@ -454,6 +455,68 @@ BENCHMARK(BM_ForecastServer)
     ->Args({8, 2})
     ->ArgNames({"clients", "members"})
     ->UseRealTime();  // server workers compute; the driver only waits
+
+// BM_ForecastServer's workload through the distributed front-end: the same
+// requests admitted by the same ledger, but packs ride the SWiPe wire to
+// worker ranks (encode, send, solve, result, commit). The delta against
+// BM_ForecastServer at matching clients/members prices the wire.
+void BM_ClusterForecastServer(benchmark::State& state) {
+  const int ranks = static_cast<int>(state.range(0));
+  const int clients = static_cast<int>(state.range(1));
+  const std::int64_t members = state.range(2);
+  core::ModelConfig mc;
+  mc.h = 16;
+  mc.w = 16;
+  mc.in_channels = 12;
+  mc.out_channels = 5;
+  mc.dim = 32;
+  mc.depth = 2;
+  mc.heads = 4;
+  mc.ffn_hidden = 64;
+  mc.win_h = 8;
+  mc.win_w = 8;
+  mc.cond_dim = 32;
+  core::AerisModel model(mc, 1);
+  core::TrigFlowConfig tf;
+  core::TrigSamplerConfig sc;
+  sc.steps = 4;
+  sc.churn = 0.3f;
+  core::ParallelEnsembleEngine engine(model, tf, sc, 7);
+  serving::ClusterOptions co;
+  co.ranks = ranks;
+  co.serve.batch = 8;
+  serving::ClusterForecastServer cluster(engine, co);
+  Philox rng(8);
+  Tensor init({16, 16, 5});
+  rng.fill_normal(init, 1, 0);
+  Tensor forcing({16, 16, 2});
+  rng.fill_normal(forcing, 1, 1);
+  core::ForcingFn forcings = [&](std::int64_t) { return forcing; };
+  const std::int64_t steps = 2;
+  for (auto _ : state) {
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(clients));
+    for (int c = 0; c < clients; ++c) {
+      pool.emplace_back([&, c] {
+        serving::ForecastRequest req;
+        req.init = init;
+        req.forcings_at = forcings;
+        req.members = members;
+        req.steps = steps;
+        req.seed = static_cast<std::uint64_t>(c);
+        benchmark::DoNotOptimize(cluster.forecast(req));
+      });
+    }
+    for (auto& t : pool) t.join();
+  }
+  state.SetItemsProcessed(state.iterations() * clients * members * steps);
+}
+BENCHMARK(BM_ClusterForecastServer)
+    ->Args({2, 4, 4})
+    ->Args({3, 4, 4})
+    ->Args({5, 8, 2})
+    ->ArgNames({"ranks", "clients", "members"})
+    ->UseRealTime();  // worker ranks compute; the driver only waits
 
 // BM_EnsembleRollout's members/1/1 and members/1/members rows under the
 // opt-in bf16 compute path. On hardware without native bf16 dot products

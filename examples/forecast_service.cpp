@@ -26,6 +26,7 @@ const char* status_name(serving::RequestStatus s) {
     case serving::RequestStatus::kDeadlineExceeded: return "DEADLINE";
     case serving::RequestStatus::kNumericalError: return "NUMERICAL";
     case serving::RequestStatus::kFault: return "FAULT";
+    case serving::RequestStatus::kWorkerLost: return "WORKER_LOST";
   }
   return "?";
 }

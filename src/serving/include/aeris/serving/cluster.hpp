@@ -1,0 +1,163 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "aeris/core/ensemble.hpp"
+#include "aeris/serving/ledger.hpp"
+#include "aeris/serving/types.hpp"
+#include "aeris/swipe/comm.hpp"
+#include "aeris/swipe/fault.hpp"
+#include "aeris/swipe/health.hpp"
+
+namespace aeris::serving {
+
+/// ClusterForecastServer tuning, on top of the shared ServerOptions policy
+/// stack. from_env() overlays the AERIS_SERVE_RANKS /
+/// AERIS_SERVE_HEARTBEAT_MS / AERIS_SERVE_LEASE_MS / AERIS_SERVE_QUORUM
+/// knobs documented in the README.
+struct ClusterOptions {
+  /// World size per incarnation: rank 0 is the serving front-end, ranks
+  /// 1..ranks-1 are worker ranks. Clamped to >= 2 (one worker).
+  int ranks = 3;
+  /// Minimum alive worker ranks to keep serving. When deaths shrink the
+  /// cluster below this, in-flight requests are drained with kWorkerLost
+  /// and admissions are refused from then on. Clamped to >= 1.
+  int min_quorum = 1;
+  /// Workers send a liveness heartbeat this often; <= 0 disables
+  /// heartbeats entirely. Deterministic FaultPlan drills need them off:
+  /// heartbeat sends are timer-driven and would make the plan's
+  /// nth-send ordinals nondeterministic.
+  double heartbeat_interval_ms = 0.0;
+  /// A worker whose last message (heartbeat or result) is older than this
+  /// is eligible for death-by-timeout; <= 0 disables the detector.
+  double heartbeat_timeout_ms = 0.0;
+  /// A leased pack outstanding longer than this marks its worker dead
+  /// (when the heartbeat detector, if enabled, also finds it stale); the
+  /// front-end poisons the world on the hung rank's behalf, so even a
+  /// rank that never throws — wedged, not crashed — triggers the requeue
+  /// path. <= 0 disables lease expiry.
+  double lease_timeout_ms = 0.0;
+  /// Max packs leased to one worker at a time (pipeline depth).
+  std::int64_t max_outstanding_packs = 2;
+  /// The shared serving policy stack (admission, deadlines, degradation,
+  /// retries, quarantine).
+  ServerOptions serve{};
+  /// Deterministic fault drill: armed on the *first* incarnation's world
+  /// only, so the recovery incarnations run clean.
+  std::shared_ptr<const swipe::FaultPlan> fault_plan;
+  /// Stall drill (lease-expiry testing): world rank `stall_rank` sleeps
+  /// `stall_ms` while holding a lease, after finishing
+  /// `stall_after_packs` packs — a hang, not a crash. First incarnation
+  /// only; stall_rank < 0 disables.
+  int stall_rank = -1;
+  std::int64_t stall_after_packs = 0;
+  double stall_ms = 0.0;
+  /// Escaped-exception drill: these world ranks throw a std::runtime_error
+  /// right after receiving their first pack (first incarnation only).
+  /// Unlike a FaultPlan kill — which fires on a *send* and can no longer
+  /// fire once another rank's death has poisoned the world — an escaped
+  /// exception is recorded as an originating failure regardless of
+  /// ordering, so several ranks in this list die in the *same* pack
+  /// window deterministically. Listed ranks rendezvous — each blocks after
+  /// receiving its first pack until every listed rank has one (bounded
+  /// wait), then all throw — so callers must make at least
+  /// die_on_first_pack.size() concurrent packs available.
+  std::vector<int> die_on_first_pack;
+
+  static ClusterOptions from_env();
+};
+
+/// Distributed forecast serving over SWiPe ranks with worker-death
+/// recovery.
+///
+/// One front-end rank admits ForecastRequests through the same
+/// RequestLedger policy stack as the single-process ForecastServer and
+/// leases cross-request member packs to worker ranks on an in-process
+/// SWiPe World; each worker runs step_pack on the shared read-only engine
+/// and streams results back over nonblocking serving-class messages.
+///
+/// Robustness model (incarnations): a worker rank that dies mid-pack — a
+/// deterministic FaultPlan kill, an escaped exception, or a hang caught by
+/// the heartbeat/lease monitor — poisons the world; every rank unwinds,
+/// World::run reports per-rank failures, and the manager thread
+/// * classifies the dead (originating, non-secondary failures, plus
+///   timeout suspects),
+/// * requeues every leased-but-uncommitted pack item (the members resume
+///   from their last committed step; the member-keyed noise contract
+///   makes the re-execution bitwise-identical wherever it lands),
+/// * re-forms a World over the survivors and resumes serving, with the
+///   backlog estimate divided by the shrunken capacity.
+/// Below min_quorum the server parks: in-flight requests drain with typed
+/// kWorkerLost errors and future admissions are refused the same way.
+///
+/// Determinism: an unstressed request's trajectories are bitwise-identical
+/// to the single-process ForecastServer (and the serial
+/// DiffusionForecaster) with the same model/configs/seed, for every rank
+/// count, packing, and worker-death schedule.
+class ClusterForecastServer {
+ public:
+  ClusterForecastServer(const core::ParallelEnsembleEngine& engine,
+                        const ClusterOptions& opts = {});
+  ~ClusterForecastServer();
+
+  ClusterForecastServer(const ClusterForecastServer&) = delete;
+  ClusterForecastServer& operator=(const ClusterForecastServer&) = delete;
+
+  /// Blocks until the request terminates; same contract as
+  /// ForecastServer::forecast, plus kWorkerLost outcomes when the cluster
+  /// fell below quorum while the request was in flight.
+  ForecastResult forecast(const ForecastRequest& req);
+
+  /// Stops serving and finalizes every in-flight request with
+  /// RejectedError{kShutdown}. Idempotent; called by the destructor.
+  void stop();
+
+  ServerStats stats() const;
+
+  /// Worker ranks currently believed alive (capacity the degradation
+  /// estimate divides by).
+  int alive_workers() const {
+    return alive_workers_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  /// A pack leased to a worker: the checked-out items plus the send time
+  /// (front-end-side latency feeds the backlog EMA).
+  struct Lease {
+    std::vector<PackItem> items;
+    detail::Clock::time_point sent{};
+  };
+
+  void manager_loop();
+  void frontend_loop(swipe::World& world, bool drill_armed);
+  void worker_rank_loop(swipe::World& world, int rank, bool drill_armed);
+  /// Fetches forcings, commits fetch failures locally, encodes and sends
+  /// the rest to `worker_rank`, opening a lease. Returns true if anything
+  /// was dispatched or committed.
+  bool dispatch_pack(swipe::World& world, swipe::HeartbeatMonitor& monitor,
+                     int worker_rank, std::vector<PackItem> items);
+
+  const core::ParallelEnsembleEngine& engine_;
+  ClusterOptions opts_;
+  RequestLedger ledger_;
+  std::atomic<int> alive_workers_;
+  /// World rank the front-end declared dead by timeout this incarnation
+  /// (-1 none): timeouts produce no originating RankFailure, so the
+  /// manager needs the suspect out of band.
+  std::atomic<int> suspect_dead_{-1};
+  /// Rendezvous counter for the die_on_first_pack drill.
+  std::atomic<int> die_rendezvous_{0};
+  std::uint64_t next_pack_id_ = 1;
+  /// Leases keyed by pack id. Touched only by the front-end rank thread
+  /// during an incarnation and by the manager between incarnations —
+  /// never concurrently.
+  std::map<std::uint64_t, Lease> outstanding_;
+  std::thread manager_;
+};
+
+}  // namespace aeris::serving

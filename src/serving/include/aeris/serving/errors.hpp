@@ -30,4 +30,13 @@ class DeadlineExceededError : public std::runtime_error {
   using std::runtime_error::runtime_error;
 };
 
+/// The cluster lost worker ranks past its quorum before the request could
+/// finish: in-flight work is drained with this typed error instead of
+/// hanging, and subsequent admissions are refused with it until capacity
+/// returns. The per-rank failure story lives in World::failures().
+class WorkerLostError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
 }  // namespace aeris::serving

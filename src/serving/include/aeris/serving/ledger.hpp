@@ -1,0 +1,234 @@
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "aeris/core/cursor.hpp"
+#include "aeris/core/ensemble.hpp"
+#include "aeris/serving/errors.hpp"
+#include "aeris/serving/types.hpp"
+
+namespace aeris::serving {
+
+namespace detail {
+
+using Clock = std::chrono::steady_clock;
+
+/// One admitted request. All fields are guarded by RequestLedger::mu_
+/// except during a pack's solve, where the executing side alone reads the
+/// in-flight members' init/traj tensors (a member has exactly one cursor,
+/// and finalization is deferred while inflight > 0).
+struct ActiveRequest {
+  std::uint64_t id = 0;
+  Tensor init;
+  core::ForcingFn forcings_at;
+  std::int64_t members = 0;  ///< effective (post-degrade) member count
+  std::int64_t steps = 0;
+  std::uint64_t seed = 0;
+  bool return_partial = false;
+  bool degraded = false;
+  int solver_steps = 0;  ///< effective solver steps (override for step_pack)
+  core::SamplerKind sampler = core::SamplerKind::kDpmSolver;
+
+  Clock::time_point admit{};
+  Clock::time_point deadline{};
+  bool has_deadline = false;
+  bool started = false;
+  double queue_wait_ms = 0.0;
+
+  int inflight = 0;  ///< members currently checked out into a pack
+  bool finalized = false;
+  /// Terminal status decided while members were still in flight; applied
+  /// as soon as inflight drains to zero.
+  bool doomed = false;
+  RequestStatus doom_status = RequestStatus::kOk;
+  std::string doom_msg;
+  std::exception_ptr doom_err;
+
+  int transient_retries = 0;
+  std::int64_t members_done = 0;
+  std::vector<std::vector<Tensor>> traj;  ///< [member][completed step]
+  std::vector<MemberReport> reports;
+  std::vector<char> member_done;
+  std::vector<char> quarantine_used;
+  std::promise<ForecastResult> promise;
+};
+
+}  // namespace detail
+
+/// One member's next pending forecast step, checked out of the ledger into
+/// a pack. The identity fields (step, noise, prev) are resolved at
+/// checkout and are stable until the item is committed or requeued:
+/// finalization of the owning request is deferred while any of its items
+/// is checked out, and no other item touches the same member.
+struct PackItem {
+  std::shared_ptr<detail::ActiveRequest> a;
+  std::int64_t member = 0;
+  int fault_attempts = 0;
+
+  std::int64_t step = 0;             ///< the step this item will compute
+  core::MemberKey noise{};           ///< salted when a quarantine retry
+  const Tensor* prev = nullptr;      ///< [H, W, V] conditioning state
+};
+
+/// What happened to a checked-out pack. `next[i]` holds item i's next
+/// state iff item_error[i] is null and solve_error is null; item_error
+/// carries per-item failures (forcing fetch), solve_error a whole-pack
+/// failure (the stacked solve threw). pack_ms/solved_count feed the
+/// queue-wait EMA (solved_count == 0 skips the update).
+struct PackOutcome {
+  std::vector<Tensor> next;
+  std::vector<std::exception_ptr> item_error;
+  std::exception_ptr solve_error;
+  double pack_ms = 0.0;
+  std::int64_t solved_count = 0;
+};
+
+/// Forcing fields fetched for a pack, deduplicated per (request, step):
+/// of[i] points at item i's forcing tensor (null when the fetch threw;
+/// the exception is in error[i]).
+struct FetchedForcings {
+  std::deque<Tensor> store;
+  std::vector<const Tensor*> of;
+  std::vector<std::exception_ptr> error;
+};
+
+/// Fetches each item's forcing field outside any lock; a throwing forcing
+/// fn only penalizes its own request's items.
+FetchedForcings fetch_forcings(std::span<const PackItem> items);
+
+/// Throws std::invalid_argument for malformed requests (wrong shapes, null
+/// forcing fn, unsupported sampler). Shared by both serving front-ends.
+void validate_request(const core::ParallelEnsembleEngine& engine,
+                      const ForecastRequest& req);
+
+/// The serving policy stack, factored out of the execution substrate:
+/// bounded admission, per-request deadlines, graceful degradation, retry
+/// with capped exponential backoff + deterministic jitter, numerical
+/// quarantine, and terminal accounting — everything between "a client
+/// called forecast()" and "a stacked solve advanced these members one
+/// step", with the solve itself left to the owner:
+///
+///  - ForecastServer's local workers check packs out (take_pack), run
+///    engine.step_pack inline, and commit the outcome.
+///  - ClusterForecastServer's front-end rank checks packs out, leases them
+///    to SWiPe worker ranks over the wire, commits results as they arrive,
+///    and *requeues* the checked-out items of a rank that died — the
+///    member-keyed noise contract (core::MemberCursor) makes the re-execution
+///    bitwise-identical wherever it lands.
+///
+/// Every request admitted terminates with a result or a typed error.
+class RequestLedger {
+ public:
+  RequestLedger(const core::ParallelEnsembleEngine& engine,
+                const ServerOptions& opts);
+
+  /// Normalized options (capacity/batch/workers clamped to >= 1).
+  const ServerOptions& options() const { return opts_; }
+
+  /// Admission (client threads). Returns a ready result for refusals
+  /// (queue full, shutdown, refused admissions after quorum loss);
+  /// otherwise arms `future` with the request's eventual result and
+  /// returns false. `capacity_divisor` is the executor count the backlog
+  /// estimate divides by (local workers, or currently alive ranks).
+  bool admit(const ForecastRequest& req, int capacity_divisor,
+             std::future<ForecastResult>& future, ForecastResult& refused);
+
+  /// Blocks until work may be available or the ledger is stopping;
+  /// returns false when stopping.
+  bool wait_for_work(std::chrono::milliseconds timeout);
+
+  /// FIFO sweep + pack formation: drops cursors of finalized requests,
+  /// dooms expired ones, then checks out up to `max_items` eligible items
+  /// sharing one (solver steps, sampler) schedule. May return empty (only
+  /// backoff-gated cursors right now, or nothing pending).
+  std::vector<PackItem> take_pack(std::int64_t max_items);
+
+  /// Commits a pack's outcome: successful steps extend trajectories
+  /// (quarantining non-finite members), failures consume fault retries
+  /// with capped backoff, deadlines are enforced, and requests whose last
+  /// member finished (or doomed requests whose last item drained) are
+  /// finalized.
+  void commit_pack(std::vector<PackItem> items, PackOutcome out);
+
+  /// Worker-loss path: returns checked-out items to the ready queue
+  /// *uncommitted* — the steps they were leased out for never landed, so
+  /// the members resume from their last committed step (bitwise: the step
+  /// index is in the noise key). Counts the affected members' remaining
+  /// steps into ServerStats::requeued_member_steps.
+  void requeue_items(std::vector<PackItem> items);
+
+  /// Records `n` worker ranks declared dead.
+  void note_workers_lost(int n);
+
+  /// Finalizes every in-flight request with `status` (and a matching typed
+  /// error), clearing the ready queue. Used at shutdown (kRejected) and on
+  /// quorum loss (kWorkerLost, which also bumps the quorum_drains
+  /// counter).
+  void drain_all(RequestStatus status, const std::string& msg);
+
+  /// After this, admissions are refused with `status` + `msg` (typed) —
+  /// the below-quorum "serving is parked" state.
+  void refuse_admissions(RequestStatus status, const std::string& msg);
+
+  /// Begins shutdown: wakes every waiter; take_pack returns empty and
+  /// admissions are refused with kShutdown from now on. Returns false if
+  /// already stopping (stop() idempotence).
+  bool begin_stop();
+  bool stopping() const;
+
+  ServerStats stats() const;
+
+ private:
+  using Clock = detail::Clock;
+
+  /// One member's queue entry between checkouts.
+  struct Cursor {
+    std::shared_ptr<detail::ActiveRequest> a;
+    std::int64_t member = 0;
+    int fault_attempts = 0;
+    Clock::time_point not_before{};  ///< backoff gate (epoch = eligible now)
+  };
+
+  /// Terminal transition: fulfills the promise exactly once, releases the
+  /// request's remaining work accounting. Caller holds mu_ and guarantees
+  /// a->inflight == 0.
+  void finalize_locked(const std::shared_ptr<detail::ActiveRequest>& a,
+                       RequestStatus status, std::string msg,
+                       std::exception_ptr err);
+  /// Consumes one fault retry for `c` (requeueing it behind a capped
+  /// backoff gate) or dooms the request when retries are exhausted.
+  /// Caller holds mu_.
+  void fault_locked(Cursor c, const std::exception_ptr& cause,
+                    Clock::time_point now);
+  /// Terminal sweep over the requests a drained pack touched. Caller
+  /// holds mu_.
+  void sweep_terminal_locked(std::span<const PackItem> items);
+
+  const core::ParallelEnsembleEngine& engine_;
+  ServerOptions opts_;
+  Philox jitter_rng_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Cursor> ready_;
+  bool stopping_ = false;
+  bool refusing_ = false;
+  RequestStatus refuse_status_ = RequestStatus::kRejected;
+  std::string refuse_msg_;
+  std::uint64_t next_id_ = 0;
+  std::int64_t active_count_ = 0;
+  std::int64_t pending_member_steps_ = 0;
+  double ema_member_step_ms_ = 0.0;
+  std::vector<std::shared_ptr<detail::ActiveRequest>> actives_;
+  ServerStats stats_;
+};
+
+}  // namespace aeris::serving

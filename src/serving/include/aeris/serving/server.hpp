@@ -1,170 +1,14 @@
 #pragma once
 
-#include <chrono>
-#include <condition_variable>
-#include <cstdint>
-#include <deque>
-#include <exception>
-#include <future>
-#include <memory>
-#include <mutex>
-#include <optional>
-#include <string>
 #include <thread>
 #include <vector>
 
 #include "aeris/core/ensemble.hpp"
 #include "aeris/serving/errors.hpp"
+#include "aeris/serving/ledger.hpp"
+#include "aeris/serving/types.hpp"
 
 namespace aeris::serving {
-
-/// Graceful degradation under load: when the estimated queue wait at
-/// admission exceeds the threshold, the server trades ensemble quality for
-/// latency instead of rejecting — fewer ODE solver steps per forecast step
-/// and/or fewer ensemble members. The response reports what was actually
-/// served (ForecastResult::degraded / solver_steps / members_served).
-struct DegradePolicy {
-  /// Estimated wait (ms) above which admissions are degraded. 0 disables
-  /// the policy entirely; negative forces degradation on every admission
-  /// (deterministic knob for tests and fault drills).
-  double est_wait_threshold_ms = 0.0;
-  /// Solver steps used for degraded requests (0 keeps the engine config).
-  int degraded_solver_steps = 0;
-  /// Member cap for degraded requests (0 keeps the requested count).
-  std::int64_t max_members = 0;
-  /// First degradation rung when the engine serves a distilled student
-  /// (ParallelEnsembleEngine::has_consistency()): a teacher-path admission
-  /// crossing est_wait_threshold_ms is switched to the few-step
-  /// consistency sampler at full quality knobs — same members, the
-  /// student's own step count — which sheds ~solver_steps/consistency_steps
-  /// of the load before any member or step cutting. Ignored (old
-  /// single-rung behavior) when the engine has no consistency path.
-  bool to_consistency = true;
-  /// Second rung, meaningful only after a sampler switch: estimated wait
-  /// above which the step/member cuts above are applied *on top of* the
-  /// switch. 0 disables the second rung (the switch alone absorbs the
-  /// overload); negative forces the cuts on every degraded admission.
-  /// Requests degraded without a consistency path available keep the old
-  /// single-rung behavior (cuts at est_wait_threshold_ms).
-  double cut_wait_threshold_ms = 0.0;
-};
-
-/// ForecastServer tuning. All knobs have safe defaults; from_env() overlays
-/// the AERIS_SERVE_* environment variables documented in the README.
-struct ServerOptions {
-  /// Max concurrently admitted requests; admissions beyond this are shed
-  /// with RejectedError{kQueueFull}.
-  std::int64_t queue_capacity = 64;
-  /// Max members packed into one stacked [E, H, W, C] solve. Members of
-  /// *different* requests share a pack whenever their solver schedules
-  /// match.
-  std::int64_t batch = 8;
-  /// Worker threads draining the queue. Each worker runs its packs' kernels
-  /// inline (SerialRegionGuard) when workers > 1, so throughput scales
-  /// across packs; a single worker keeps the shared kernel thread pool.
-  int workers = 1;
-  /// Deadline applied to requests that do not carry their own
-  /// (ForecastRequest::deadline_ms < 0). 0 means no default deadline.
-  double default_deadline_ms = 0.0;
-  DegradePolicy degrade{};
-  /// Transient-fault retries per member step (forcing fetch or model call
-  /// throwing). Exhausting them fails the request with kFault.
-  int max_step_retries = 2;
-  /// Base of the exponential retry backoff; the delay for attempt k is
-  /// retry_backoff_ms * 2^(k-1) * (0.5 + jitter), jitter in [0, 1).
-  double retry_backoff_ms = 1.0;
-
-  /// Defaults overlaid with AERIS_SERVE_QUEUE_CAP, AERIS_SERVE_DEADLINE_MS,
-  /// AERIS_SERVE_DEGRADE_WAIT_MS, AERIS_SERVE_DEGRADE_STEPS,
-  /// AERIS_SERVE_DEGRADE_MEMBERS, AERIS_SERVE_DEGRADE_TO_CONSISTENCY and
-  /// AERIS_SERVE_DEGRADE_CUT_WAIT_MS.
-  static ServerOptions from_env();
-};
-
-/// One forecast job: roll `members` ensemble members forward `steps`
-/// autoregressive steps from `init`, with forcings supplied per step.
-struct ForecastRequest {
-  Tensor init;                  ///< [H, W, V] standardized initial state
-  core::ForcingFn forcings_at;  ///< thread-safe; may be called concurrently
-  std::int64_t members = 1;
-  std::int64_t steps = 1;
-  /// Ensemble seed: an unstressed request's trajectories are
-  /// bitwise-identical to DiffusionForecaster::ensemble_rollout with this
-  /// seed, regardless of how the server packs it with other requests.
-  std::uint64_t seed = 0;
-  /// Per-request deadline: < 0 uses the server default, 0 disables.
-  double deadline_ms = -1.0;
-  /// On deadline expiry, return the trajectory prefix computed so far
-  /// instead of an empty result.
-  bool return_partial = false;
-  /// Sampler family to serve this request with; nullopt runs the engine's
-  /// default. kConsistency requires the engine to have a consistency path
-  /// (has_consistency()) and is rejected with std::invalid_argument
-  /// otherwise.
-  std::optional<core::SamplerKind> sampler;
-};
-
-enum class RequestStatus {
-  kOk,                ///< all members completed
-  kRejected,          ///< shed at admission (queue full or shutdown)
-  kDeadlineExceeded,  ///< expired before completion
-  kNumericalError,    ///< >=1 member diverged even after quarantine retry
-  kFault,             ///< transient-fault retries exhausted
-};
-
-/// Per-member outcome; present for every served member.
-struct MemberReport {
-  std::int64_t member = 0;
-  bool ok = false;
-  /// The member produced a non-finite state and was retried on a fresh
-  /// (salted) noise stream. ok tells whether the retry recovered it.
-  bool quarantined = false;
-  std::int64_t steps_completed = 0;
-  std::string message;
-};
-
-struct ForecastResult {
-  RequestStatus status = RequestStatus::kOk;
-  /// trajectories[m][s] is member m at step s. Full for kOk; per-member
-  /// prefixes for kNumericalError; the computed prefix for
-  /// kDeadlineExceeded when return_partial was set; empty otherwise.
-  std::vector<std::vector<Tensor>> trajectories;
-  std::vector<MemberReport> members;
-  bool degraded = false;
-  int solver_steps = 0;  ///< solver steps per forecast step actually used
-  /// Sampler family actually served (may differ from the request when the
-  /// DegradePolicy switched a teacher-path request to the student).
-  core::SamplerKind sampler = core::SamplerKind::kDpmSolver;
-  std::int64_t members_served = 0;
-  double queue_wait_ms = 0.0;
-  double total_ms = 0.0;
-  int transient_retries = 0;
-  /// Typed error for non-kOk statuses (RejectedError,
-  /// DeadlineExceededError, aeris::NumericalError, or the original fault),
-  /// so callers can std::rethrow_exception if they prefer exceptions.
-  std::exception_ptr error;
-  std::string error_message;
-
-  bool ok() const { return status == RequestStatus::kOk; }
-};
-
-/// Aggregate counters since construction (see ForecastServer::stats).
-struct ServerStats {
-  std::int64_t accepted = 0;
-  std::int64_t rejected = 0;
-  std::int64_t completed = 0;   ///< finalized kOk
-  std::int64_t deadline_expired = 0;
-  std::int64_t faulted = 0;     ///< finalized kFault
-  std::int64_t degraded = 0;    ///< admissions degraded by policy
-  /// Degraded admissions absorbed by the teacher->student sampler switch
-  /// (the first DegradePolicy rung) instead of step/member cuts.
-  std::int64_t degraded_to_consistency = 0;
-  std::int64_t quarantined_members = 0;
-  std::int64_t failed_members = 0;  ///< members lost to NumericalError
-  std::int64_t transient_retries = 0;
-  std::int64_t packs = 0;
-  std::int64_t member_steps = 0;  ///< committed member forecast steps
-};
 
 /// Batched forecast front-end over one shared ParallelEnsembleEngine.
 ///
@@ -181,12 +25,18 @@ struct ServerStats {
 ///  - DegradePolicy trades solver steps / members for latency under load,
 ///    reported in the response.
 ///  - Transient faults (forcing fn or model call throwing) retry with
-///    exponential backoff + deterministic jitter, then fail as kFault.
+///    capped exponential backoff + deterministic jitter, then fail as
+///    kFault.
 ///  - Numerical quarantine: each member state is checked with
 ///    tensor::all_finite after every step; a diverged member is retried
 ///    once on a fresh (salted-seed) noise stream, then reported as a
 ///    NumericalError in its MemberReport — batch-mates are unaffected
 ///    because kernels never mix batch slabs.
+///
+/// The policy stack itself lives in RequestLedger (shared with the
+/// distributed ClusterForecastServer); this class supplies the execution
+/// substrate: worker threads that check packs out and run
+/// engine.step_pack in-process.
 ///
 /// Determinism: an unstressed request (no quarantine, no degradation) gets
 /// trajectories bitwise-identical to the serial DiffusionForecaster with
@@ -213,31 +63,10 @@ class ForecastServer {
   ServerStats stats() const;
 
  private:
-  struct Active;
-  struct Cursor;
-
   void worker_loop(int worker_index);
-  /// Terminal transition: fulfills the promise exactly once, releases the
-  /// request's remaining work accounting. Caller holds mu_ and guarantees
-  /// a->inflight == 0.
-  void finalize_locked(const std::shared_ptr<Active>& a, RequestStatus status,
-                       std::string msg, std::exception_ptr err);
 
   const core::ParallelEnsembleEngine& engine_;
-  ServerOptions opts_;
-  Philox jitter_rng_;
-
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<Cursor> ready_;
-  bool stopping_ = false;
-  std::uint64_t next_id_ = 0;
-  std::int64_t active_count_ = 0;
-  std::int64_t pending_member_steps_ = 0;
-  double ema_member_step_ms_ = 0.0;
-  std::vector<std::shared_ptr<Active>> actives_;
-  ServerStats stats_;
-
+  RequestLedger ledger_;
   std::vector<std::thread> workers_;
 };
 

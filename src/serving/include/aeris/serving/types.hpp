@@ -1,0 +1,186 @@
+#pragma once
+
+#include <cstdint>
+#include <exception>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "aeris/core/sampler.hpp"
+#include "aeris/tensor/tensor.hpp"
+
+#include "aeris/core/forecaster.hpp"
+
+namespace aeris::serving {
+
+/// Graceful degradation under load: when the estimated queue wait at
+/// admission exceeds the threshold, the server trades ensemble quality for
+/// latency instead of rejecting — fewer ODE solver steps per forecast step
+/// and/or fewer ensemble members. The response reports what was actually
+/// served (ForecastResult::degraded / solver_steps / members_served).
+struct DegradePolicy {
+  /// Estimated wait (ms) above which admissions are degraded. 0 disables
+  /// the policy entirely; negative forces degradation on every admission
+  /// (deterministic knob for tests and fault drills).
+  double est_wait_threshold_ms = 0.0;
+  /// Solver steps used for degraded requests (0 keeps the engine config).
+  int degraded_solver_steps = 0;
+  /// Member cap for degraded requests (0 keeps the requested count).
+  std::int64_t max_members = 0;
+  /// First degradation rung when the engine serves a distilled student
+  /// (ParallelEnsembleEngine::has_consistency()): a teacher-path admission
+  /// crossing est_wait_threshold_ms is switched to the few-step
+  /// consistency sampler at full quality knobs — same members, the
+  /// student's own step count — which sheds ~solver_steps/consistency_steps
+  /// of the load before any member or step cutting. Ignored (old
+  /// single-rung behavior) when the engine has no consistency path.
+  bool to_consistency = true;
+  /// Second rung, meaningful only after a sampler switch: estimated wait
+  /// above which the step/member cuts above are applied *on top of* the
+  /// switch. 0 disables the second rung (the switch alone absorbs the
+  /// overload); negative forces the cuts on every degraded admission.
+  /// Requests degraded without a consistency path available keep the old
+  /// single-rung behavior (cuts at est_wait_threshold_ms).
+  double cut_wait_threshold_ms = 0.0;
+};
+
+/// ForecastServer tuning. All knobs have safe defaults; from_env() overlays
+/// the AERIS_SERVE_* environment variables documented in the README.
+struct ServerOptions {
+  /// Max concurrently admitted requests; admissions beyond this are shed
+  /// with RejectedError{kQueueFull}.
+  std::int64_t queue_capacity = 64;
+  /// Max members packed into one stacked [E, H, W, C] solve. Members of
+  /// *different* requests share a pack whenever their solver schedules
+  /// match.
+  std::int64_t batch = 8;
+  /// Worker threads draining the queue. Each worker runs its packs' kernels
+  /// inline (SerialRegionGuard) when workers > 1, so throughput scales
+  /// across packs; a single worker keeps the shared kernel thread pool.
+  int workers = 1;
+  /// Deadline applied to requests that do not carry their own
+  /// (ForecastRequest::deadline_ms < 0). 0 means no default deadline.
+  double default_deadline_ms = 0.0;
+  DegradePolicy degrade{};
+  /// Transient-fault retries per member step (forcing fetch or model call
+  /// throwing). Exhausting them fails the request with kFault.
+  int max_step_retries = 2;
+  /// Base of the exponential retry backoff; the delay for attempt k is
+  /// retry_backoff_ms * 2^(k-1) * (0.5 + jitter), jitter in [0, 1).
+  double retry_backoff_ms = 1.0;
+  /// Absolute ceiling (ms) on any single retry backoff delay, so a large
+  /// max_step_retries cannot grow 2^(k-1) past the request's own deadline
+  /// budget. <= 0 removes the cap (the pre-cap growth law).
+  double max_retry_backoff_ms = 250.0;
+
+  /// Defaults overlaid with AERIS_SERVE_QUEUE_CAP, AERIS_SERVE_DEADLINE_MS,
+  /// AERIS_SERVE_RETRY_CAP_MS, AERIS_SERVE_DEGRADE_WAIT_MS,
+  /// AERIS_SERVE_DEGRADE_STEPS, AERIS_SERVE_DEGRADE_MEMBERS,
+  /// AERIS_SERVE_DEGRADE_TO_CONSISTENCY and AERIS_SERVE_DEGRADE_CUT_WAIT_MS.
+  static ServerOptions from_env();
+};
+
+/// The backoff delay before transient-fault retry `attempt` (1-based):
+/// retry_backoff_ms * 2^(attempt-1) * (0.5 + jitter), then clamped to
+/// max_retry_backoff_ms when the cap is positive. Exposed as a free
+/// function so the growth law (and its cap) is regression-testable without
+/// standing up a server.
+double retry_delay_ms(const ServerOptions& opts, int attempt, double jitter);
+
+/// One forecast job: roll `members` ensemble members forward `steps`
+/// autoregressive steps from `init`, with forcings supplied per step.
+struct ForecastRequest {
+  Tensor init;                  ///< [H, W, V] standardized initial state
+  core::ForcingFn forcings_at;  ///< thread-safe; may be called concurrently
+  std::int64_t members = 1;
+  std::int64_t steps = 1;
+  /// Ensemble seed: an unstressed request's trajectories are
+  /// bitwise-identical to DiffusionForecaster::ensemble_rollout with this
+  /// seed, regardless of how the server packs it with other requests.
+  std::uint64_t seed = 0;
+  /// Per-request deadline: < 0 uses the server default, 0 disables.
+  double deadline_ms = -1.0;
+  /// On deadline expiry, return the trajectory prefix computed so far
+  /// instead of an empty result.
+  bool return_partial = false;
+  /// Sampler family to serve this request with; nullopt runs the engine's
+  /// default. kConsistency requires the engine to have a consistency path
+  /// (has_consistency()) and is rejected with std::invalid_argument
+  /// otherwise.
+  std::optional<core::SamplerKind> sampler;
+};
+
+enum class RequestStatus {
+  kOk,                ///< all members completed
+  kRejected,          ///< shed at admission (queue full or shutdown)
+  kDeadlineExceeded,  ///< expired before completion
+  kNumericalError,    ///< >=1 member diverged even after quarantine retry
+  kFault,             ///< transient-fault retries exhausted
+  kWorkerLost,        ///< cluster shrank below quorum before completion
+};
+
+/// Per-member outcome; present for every served member.
+struct MemberReport {
+  std::int64_t member = 0;
+  bool ok = false;
+  /// The member produced a non-finite state and was retried on a fresh
+  /// (salted) noise stream. ok tells whether the retry recovered it.
+  bool quarantined = false;
+  std::int64_t steps_completed = 0;
+  std::string message;
+};
+
+struct ForecastResult {
+  RequestStatus status = RequestStatus::kOk;
+  /// trajectories[m][s] is member m at step s. Full for kOk; per-member
+  /// prefixes for kNumericalError; the computed prefix for
+  /// kDeadlineExceeded when return_partial was set; empty otherwise.
+  std::vector<std::vector<Tensor>> trajectories;
+  std::vector<MemberReport> members;
+  bool degraded = false;
+  int solver_steps = 0;  ///< solver steps per forecast step actually used
+  /// Sampler family actually served (may differ from the request when the
+  /// DegradePolicy switched a teacher-path request to the student).
+  core::SamplerKind sampler = core::SamplerKind::kDpmSolver;
+  std::int64_t members_served = 0;
+  double queue_wait_ms = 0.0;
+  double total_ms = 0.0;
+  int transient_retries = 0;
+  /// Typed error for non-kOk statuses (RejectedError,
+  /// DeadlineExceededError, aeris::NumericalError, WorkerLostError, or the
+  /// original fault), so callers can std::rethrow_exception if they prefer
+  /// exceptions.
+  std::exception_ptr error;
+  std::string error_message;
+
+  bool ok() const { return status == RequestStatus::kOk; }
+};
+
+/// Aggregate counters since construction (see ForecastServer::stats /
+/// ClusterForecastServer::stats). The worker-loss counters are only ever
+/// nonzero on the cluster server; the single-process server reports them
+/// as zero so dashboards can treat both uniformly.
+struct ServerStats {
+  std::int64_t accepted = 0;
+  std::int64_t rejected = 0;
+  std::int64_t completed = 0;   ///< finalized kOk
+  std::int64_t deadline_expired = 0;
+  std::int64_t faulted = 0;     ///< finalized kFault
+  std::int64_t degraded = 0;    ///< admissions degraded by policy
+  /// Degraded admissions absorbed by the teacher->student sampler switch
+  /// (the first DegradePolicy rung) instead of step/member cuts.
+  std::int64_t degraded_to_consistency = 0;
+  std::int64_t quarantined_members = 0;
+  std::int64_t failed_members = 0;  ///< members lost to NumericalError
+  std::int64_t transient_retries = 0;
+  std::int64_t packs = 0;
+  std::int64_t member_steps = 0;  ///< committed member forecast steps
+  std::int64_t workers_lost = 0;  ///< worker ranks declared dead
+  /// Member forecast steps (the affected members' remaining work) returned
+  /// to the ready queue after a worker death, to be recomputed on
+  /// surviving ranks from the last committed step.
+  std::int64_t requeued_member_steps = 0;
+  std::int64_t quorum_drains = 0;  ///< in-flight drains after quorum loss
+};
+
+}  // namespace aeris::serving

@@ -1,0 +1,67 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "aeris/core/ensemble.hpp"
+
+namespace aeris::serving::wire {
+
+/// Wire format of the cluster forecast server's serving plane. Messages
+/// travel as the World's native `std::vector<float>` payloads; integer
+/// header fields are bit-cast into float lanes (memcpy, never a
+/// value-preserving cast — a u64 pack id must survive the trip exactly).
+/// Packs and results are FIFO per (src, tag), and the pack id rides in
+/// every header, so one tag per direction is enough; the front-end's lease
+/// table keys on the pack id to match results (and losses) to checked-out
+/// work.
+
+/// A decoded work pack (front-end -> worker). `shutdown` is the empty pack
+/// (slot count 0): the worker loop exits cleanly instead of waiting for
+/// work that will never come.
+struct PackMsg {
+  std::uint64_t pack_id = 0;
+  core::SamplerKind kind = core::SamplerKind::kDpmSolver;
+  int solver_steps_override = 0;
+  bool shutdown = false;
+  std::vector<core::MemberKey> noise;  ///< per slot
+  std::vector<Tensor> prev;            ///< per slot, [H, W, V]
+  std::vector<Tensor> forcings;        ///< per slot, [H, W, F]
+};
+
+/// A decoded pack result (worker -> front-end). `ok` carries one next
+/// state per slot, in slot order; otherwise `error` holds the first
+/// exception message out of the worker's solve.
+struct ResultMsg {
+  std::uint64_t pack_id = 0;
+  bool ok = false;
+  std::vector<Tensor> next;  ///< per slot, [H, W, V]
+  std::string error;
+};
+
+/// Encodes a work pack. `slots` follow the step_pack contract (prev and
+/// forcings non-null); dims are the model's state [h, w, v] and forcing
+/// [h, w, f] extents, carried in the header so the worker can rebuild the
+/// tensors without consulting its own config.
+std::vector<float> encode_pack(std::uint64_t pack_id, core::SamplerKind kind,
+                               int solver_steps_override,
+                               std::span<const core::MemberSlot> slots,
+                               std::int64_t h, std::int64_t w, std::int64_t v,
+                               std::int64_t f);
+
+/// The shutdown pack (slot count 0).
+std::vector<float> encode_shutdown();
+
+PackMsg decode_pack(const std::vector<float>& payload);
+
+std::vector<float> encode_result(std::uint64_t pack_id,
+                                 std::span<const Tensor> next);
+
+std::vector<float> encode_result_error(std::uint64_t pack_id,
+                                       const std::string& msg);
+
+ResultMsg decode_result(const std::vector<float>& payload);
+
+}  // namespace aeris::serving::wire

@@ -1,0 +1,449 @@
+#include "aeris/serving/cluster.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "aeris/nn/cond_cache.hpp"
+#include "aeris/serving/wire.hpp"
+#include "aeris/tensor/thread_pool.hpp"
+
+namespace aeris::serving {
+namespace {
+
+using Clock = detail::Clock;
+
+double env_double(const char* name, double fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  char* end = nullptr;
+  const double parsed = std::strtod(v, &end);
+  return end != v ? parsed : fallback;
+}
+
+std::int64_t env_i64(const char* name, std::int64_t fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  char* end = nullptr;
+  const long long parsed = std::strtoll(v, &end, 10);
+  return end != v ? static_cast<std::int64_t>(parsed) : fallback;
+}
+
+double ms_between(Clock::time_point a, Clock::time_point b) {
+  return std::chrono::duration<double, std::milli>(b - a).count();
+}
+
+}  // namespace
+
+ClusterOptions ClusterOptions::from_env() {
+  ClusterOptions o;
+  o.ranks = static_cast<int>(env_i64("AERIS_SERVE_RANKS", o.ranks));
+  o.min_quorum = static_cast<int>(env_i64("AERIS_SERVE_QUORUM", o.min_quorum));
+  o.heartbeat_interval_ms =
+      env_double("AERIS_SERVE_HEARTBEAT_MS", o.heartbeat_interval_ms);
+  // Default the detector to 8x the interval when heartbeats are on and no
+  // explicit timeout is configured.
+  o.heartbeat_timeout_ms = env_double(
+      "AERIS_SERVE_HEARTBEAT_TIMEOUT_MS",
+      o.heartbeat_interval_ms > 0.0 ? 8.0 * o.heartbeat_interval_ms : 0.0);
+  o.lease_timeout_ms = env_double("AERIS_SERVE_LEASE_MS", o.lease_timeout_ms);
+  o.serve = ServerOptions::from_env();
+  return o;
+}
+
+ClusterForecastServer::ClusterForecastServer(
+    const core::ParallelEnsembleEngine& engine, const ClusterOptions& opts)
+    : engine_(engine),
+      opts_(opts),
+      ledger_(engine, opts.serve),
+      alive_workers_(std::max(2, opts.ranks) - 1) {
+  opts_.ranks = std::max(2, opts_.ranks);
+  opts_.min_quorum = std::max(1, opts_.min_quorum);
+  opts_.max_outstanding_packs =
+      std::max<std::int64_t>(1, opts_.max_outstanding_packs);
+  manager_ = std::thread([this] { manager_loop(); });
+}
+
+ClusterForecastServer::~ClusterForecastServer() { stop(); }
+
+void ClusterForecastServer::stop() {
+  if (!ledger_.begin_stop()) return;
+  if (manager_.joinable()) manager_.join();
+  ledger_.drain_all(RequestStatus::kRejected,
+                    "server shut down before request completed");
+}
+
+ServerStats ClusterForecastServer::stats() const { return ledger_.stats(); }
+
+ForecastResult ClusterForecastServer::forecast(const ForecastRequest& req) {
+  validate_request(engine_, req);
+  std::future<ForecastResult> future;
+  ForecastResult refused;
+  const int divisor = std::max(1, alive_workers());
+  if (ledger_.admit(req, divisor, future, refused)) return refused;
+  return future.get();
+}
+
+void ClusterForecastServer::manager_loop() {
+  bool first_incarnation = true;
+  for (;;) {
+    if (ledger_.stopping()) return;
+    const int workers = alive_workers_.load(std::memory_order_relaxed);
+    if (workers < opts_.min_quorum) {
+      const std::string msg =
+          "cluster below quorum: " + std::to_string(workers) +
+          " alive worker rank(s), quorum " + std::to_string(opts_.min_quorum);
+      // Park: refuse first so no admission slips in between the drain and
+      // the refusal, then drain what is in flight with the typed error.
+      ledger_.refuse_admissions(RequestStatus::kWorkerLost, msg);
+      ledger_.drain_all(RequestStatus::kWorkerLost, msg);
+      return;
+    }
+
+    swipe::World world(1 + workers);
+    const bool drill_armed = first_incarnation;
+    if (drill_armed && opts_.fault_plan != nullptr) {
+      world.set_fault_plan(opts_.fault_plan);
+    }
+    first_incarnation = false;
+    suspect_dead_.store(-1, std::memory_order_relaxed);
+    outstanding_.clear();
+
+    bool failed = false;
+    try {
+      world.run([&](int rank) {
+        if (rank == 0) {
+          frontend_loop(world, drill_armed);
+        } else {
+          worker_rank_loop(world, rank, drill_armed);
+        }
+      });
+    } catch (...) {
+      failed = true;
+    }
+
+    if (!failed) {
+      // Clean shutdown: leftover leases are dropped, not requeued — stop()
+      // finalizes every remaining request with kShutdown right after the
+      // manager joins.
+      outstanding_.clear();
+      return;
+    }
+
+    // Who actually died? Originating (non-secondary) worker failures, plus
+    // the front-end's timeout suspect (a hung rank produces only secondary
+    // failures: nobody's exception started the collapse, the poison did).
+    std::set<int> dead;
+    for (const swipe::World::RankFailure& f : world.failures()) {
+      if (f.rank > 0 && !f.secondary) dead.insert(f.rank);
+    }
+    const int suspect = suspect_dead_.load(std::memory_order_relaxed);
+    if (suspect > 0) dead.insert(suspect);
+    if (dead.empty() && world.failed_rank() > 0) {
+      dead.insert(world.failed_rank());
+    }
+    if (dead.empty()) dead.insert(1);  // conservative: someone died
+
+    ledger_.note_workers_lost(static_cast<int>(dead.size()));
+    alive_workers_.fetch_sub(static_cast<int>(dead.size()),
+                             std::memory_order_relaxed);
+
+    // Requeue every leased-but-uncommitted item: the whole incarnation is
+    // gone, so even survivors' in-flight packs recompute — bitwise, from
+    // each member's last committed step.
+    std::vector<PackItem> torequeue;
+    for (auto& [id, lease] : outstanding_) {
+      for (PackItem& item : lease.items) torequeue.push_back(std::move(item));
+    }
+    outstanding_.clear();
+    if (!torequeue.empty()) ledger_.requeue_items(std::move(torequeue));
+  }
+}
+
+bool ClusterForecastServer::dispatch_pack(swipe::World& world,
+                                          swipe::HeartbeatMonitor& monitor,
+                                          int worker_rank,
+                                          std::vector<PackItem> items) {
+  FetchedForcings ff = fetch_forcings(items);
+
+  // Split out items whose forcing fetch failed (or whose forcing shape
+  // cannot ride in this pack) and commit them locally as item errors; the
+  // rest travel to the worker.
+  const core::ModelConfig& mc = engine_.model().config();
+  std::int64_t f_dim = -1;
+  std::vector<PackItem> good, bad;
+  std::vector<std::exception_ptr> bad_err;
+  std::vector<core::MemberSlot> slots;
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    if (ff.of[i] == nullptr) {
+      bad.push_back(std::move(items[i]));
+      bad_err.push_back(ff.error[i]);
+      continue;
+    }
+    const Tensor& fo = *ff.of[i];
+    if (fo.ndim() != 3 || fo.dim(0) != mc.h || fo.dim(1) != mc.w ||
+        (f_dim >= 0 && fo.dim(2) != f_dim)) {
+      bad.push_back(std::move(items[i]));
+      bad_err.push_back(std::make_exception_ptr(std::invalid_argument(
+          "forcings must be [H, W, F] with one F per pack")));
+      continue;
+    }
+    if (f_dim < 0) f_dim = fo.dim(2);
+    core::MemberSlot slot;
+    slot.prev = items[i].prev;
+    slot.forcings = &fo;
+    slot.noise = items[i].noise;
+    slots.push_back(slot);
+    good.push_back(std::move(items[i]));
+  }
+
+  bool progressed = false;
+  if (!bad.empty()) {
+    PackOutcome out;
+    out.item_error = std::move(bad_err);
+    out.next.resize(bad.size());
+    ledger_.commit_pack(std::move(bad), std::move(out));
+    progressed = true;
+  }
+  if (good.empty()) return progressed;
+
+  const core::SamplerKind kind = good.front().a->sampler;
+  const int request_steps = good.front().a->solver_steps;
+  const int override_steps =
+      request_steps == engine_.solver_steps(kind) ? 0 : request_steps;
+  const std::uint64_t pack_id = next_pack_id_++;
+  std::vector<float> payload = wire::encode_pack(
+      pack_id, kind, override_steps,
+      std::span<const core::MemberSlot>(slots), mc.h, mc.w, mc.out_channels,
+      f_dim);
+  // Record the lease BEFORE the send: a send into a freshly-poisoned world
+  // throws, and a lease recorded first is requeued by the manager along
+  // with the rest of the incarnation's outstanding work — items checked
+  // out of the ledger are never lost in the unwinding.
+  monitor.open_lease(worker_rank - 1, pack_id,
+                     swipe::HeartbeatMonitor::Clock::now());
+  outstanding_.emplace(pack_id, Lease{std::move(good), Clock::now()});
+  world.send(0, worker_rank, swipe::kServeWorkTag, std::move(payload),
+             swipe::Traffic::kServing);
+  return true;
+}
+
+void ClusterForecastServer::frontend_loop(swipe::World& world,
+                                          bool drill_armed) {
+  (void)drill_armed;
+  const int nworkers = world.size() - 1;
+  swipe::HeartbeatMonitor monitor(nworkers, opts_.heartbeat_timeout_ms,
+                                  opts_.lease_timeout_ms,
+                                  swipe::HeartbeatMonitor::Clock::now());
+  std::vector<swipe::PendingMsg> result_rx(
+      static_cast<std::size_t>(nworkers));
+  std::vector<swipe::PendingMsg> beat_rx(static_cast<std::size_t>(nworkers));
+  for (int r = 1; r <= nworkers; ++r) {
+    result_rx[static_cast<std::size_t>(r - 1)] =
+        world.irecv(0, r, swipe::kServeResultTag);
+    beat_rx[static_cast<std::size_t>(r - 1)] =
+        world.irecv(0, r, swipe::kServeHeartbeatTag);
+  }
+
+  for (;;) {
+    if (world.poisoned()) {
+      throw swipe::PeerFailedError(world.failed_rank(),
+                                   "serving world poisoned");
+    }
+    if (ledger_.stopping()) {
+      for (int r = 1; r <= nworkers; ++r) {
+        world.send(0, r, swipe::kServeWorkTag, wire::encode_shutdown(),
+                   swipe::Traffic::kServing);
+      }
+      return;
+    }
+
+    bool progressed = false;
+
+    // Drain results. A result is liveness too: it closes the lease and
+    // refreshes the sender's heartbeat clock.
+    for (int r = 1; r <= nworkers; ++r) {
+      swipe::PendingMsg& rx = result_rx[static_cast<std::size_t>(r - 1)];
+      while (rx.test()) {
+        const std::vector<float> payload = rx.wait();
+        rx = world.irecv(0, r, swipe::kServeResultTag);
+        wire::ResultMsg res = wire::decode_result(payload);
+        const auto now = swipe::HeartbeatMonitor::Clock::now();
+        monitor.beat(r - 1, now);
+        monitor.close_lease(r - 1, res.pack_id);
+        const auto it = outstanding_.find(res.pack_id);
+        if (it == outstanding_.end()) continue;  // stale/duplicate pack id
+        Lease lease = std::move(it->second);
+        outstanding_.erase(it);
+        PackOutcome out;
+        out.pack_ms = ms_between(lease.sent, Clock::now());
+        if (res.ok) {
+          out.next = std::move(res.next);
+          out.solved_count = static_cast<std::int64_t>(lease.items.size());
+        } else {
+          out.solve_error = std::make_exception_ptr(
+              std::runtime_error(res.error));
+        }
+        ledger_.commit_pack(std::move(lease.items), std::move(out));
+        progressed = true;
+      }
+    }
+
+    // Drain heartbeats.
+    for (int r = 1; r <= nworkers; ++r) {
+      swipe::PendingMsg& rx = beat_rx[static_cast<std::size_t>(r - 1)];
+      while (rx.test()) {
+        (void)rx.wait();
+        rx = world.irecv(0, r, swipe::kServeHeartbeatTag);
+        monitor.beat(r - 1, swipe::HeartbeatMonitor::Clock::now());
+      }
+    }
+
+    // Liveness: declare a silent, overdue rank dead on its behalf. The
+    // poison unwinds every rank; the manager reads suspect_dead_ because a
+    // hang produces no originating failure record of its own.
+    const int expired =
+        monitor.expired(swipe::HeartbeatMonitor::Clock::now());
+    if (expired >= 0) {
+      const int wr = expired + 1;
+      const std::string why =
+          "worker rank " + std::to_string(wr) +
+          " declared dead by the serving front-end (lease/heartbeat "
+          "timeout)";
+      suspect_dead_.store(wr, std::memory_order_relaxed);
+      world.poison(wr, why);
+      throw swipe::PeerFailedError(wr, why);
+    }
+
+    // Dispatch to the least-loaded worker with lease headroom.
+    for (;;) {
+      int best = -1;
+      std::size_t best_load = 0;
+      for (int r = 1; r <= nworkers; ++r) {
+        const std::size_t load = monitor.open_leases(r - 1);
+        if (load >= static_cast<std::size_t>(opts_.max_outstanding_packs)) {
+          continue;
+        }
+        if (best < 0 || load < best_load) {
+          best = r;
+          best_load = load;
+        }
+      }
+      if (best < 0) break;
+      std::vector<PackItem> items =
+          ledger_.take_pack(ledger_.options().batch);
+      if (items.empty()) break;
+      if (dispatch_pack(world, monitor, best, std::move(items))) {
+        progressed = true;
+      }
+    }
+
+    if (!progressed) {
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+  }
+}
+
+void ClusterForecastServer::worker_rank_loop(swipe::World& world, int rank,
+                                             bool drill_armed) {
+  // Rank threads share one process (and its kernel thread pool): each rank
+  // runs its packs' kernels inline, which is bitwise-identical.
+  SerialRegionGuard guard;
+
+  // Rank-lifetime conditioning cache, same sharing argument as the
+  // single-process server's per-worker cache.
+  nn::CondCache cond_cache;
+  nn::CondCache* cond_cache_ptr =
+      nn::cond_cache_enabled() ? &cond_cache : nullptr;
+
+  swipe::PendingMsg work_rx = world.irecv(rank, 0, swipe::kServeWorkTag);
+  auto last_beat = Clock::now();
+  std::int64_t packs_done = 0;
+  bool stalled = false;
+
+  for (;;) {
+    // No explicit poison check here: a queued pack survives poisoning and
+    // test() still delivers it (the mailbox contract), so a dying worker
+    // drains deliverable work instead of dropping it — which is also what
+    // makes the concurrent escaped-exception drill deterministic. An idle
+    // worker exits via test() throwing PeerFailedError once its queue is
+    // empty and the world is poisoned; a heartbeat or result send into a
+    // poisoned world throws the same way.
+    if (opts_.heartbeat_interval_ms > 0.0 &&
+        ms_between(last_beat, Clock::now()) >= opts_.heartbeat_interval_ms) {
+      world.send(rank, 0, swipe::kServeHeartbeatTag, {},
+                 swipe::Traffic::kServing);
+      last_beat = Clock::now();
+    }
+    if (!work_rx.test()) {
+      std::this_thread::sleep_for(std::chrono::microseconds(100));
+      continue;
+    }
+    const std::vector<float> payload = work_rx.wait();
+    work_rx = world.irecv(rank, 0, swipe::kServeWorkTag);
+    wire::PackMsg pack = wire::decode_pack(payload);
+    if (pack.shutdown) return;
+
+    // Escaped-exception drill: rendezvous so every listed rank holds its
+    // first pack before any of them throws — the deaths land in the same
+    // pack window, and each user exception is recorded as an originating
+    // failure no matter which rank's unwinding poisons the world first.
+    if (drill_armed && !opts_.die_on_first_pack.empty() &&
+        std::find(opts_.die_on_first_pack.begin(),
+                  opts_.die_on_first_pack.end(),
+                  rank) != opts_.die_on_first_pack.end()) {
+      die_rendezvous_.fetch_add(1, std::memory_order_acq_rel);
+      const auto t0 = Clock::now();
+      while (die_rendezvous_.load(std::memory_order_acquire) <
+                 static_cast<int>(opts_.die_on_first_pack.size()) &&
+             ms_between(t0, Clock::now()) < 5000.0) {
+        std::this_thread::sleep_for(std::chrono::microseconds(10));
+      }
+      throw std::runtime_error("drill: worker rank " + std::to_string(rank) +
+                               " died mid-pack");
+    }
+
+    // Stall drill: hang (don't crash) while holding this pack's lease, so
+    // the front-end's lease monitor — not an exception — must detect us.
+    if (drill_armed && rank == opts_.stall_rank && opts_.stall_ms > 0.0 &&
+        packs_done >= opts_.stall_after_packs && !stalled) {
+      stalled = true;
+      std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+          opts_.stall_ms));
+      if (world.poisoned()) {
+        // The front-end condemned us while we were hung.
+        throw swipe::PeerFailedError(world.failed_rank(),
+                                     "serving world poisoned");
+      }
+      // Timeouts were not armed: fall through and serve the pack late.
+    }
+
+    std::vector<core::MemberSlot> slots(pack.prev.size());
+    for (std::size_t i = 0; i < pack.prev.size(); ++i) {
+      slots[i].prev = &pack.prev[i];
+      slots[i].forcings = &pack.forcings[i];
+      slots[i].noise = pack.noise[i];
+    }
+    std::vector<float> reply;
+    try {
+      const std::vector<Tensor> next = engine_.step_pack(
+          std::span<const core::MemberSlot>(slots),
+          pack.solver_steps_override, cond_cache_ptr, pack.kind);
+      reply = wire::encode_result(pack.pack_id,
+                                  std::span<const Tensor>(next));
+    } catch (const swipe::PeerFailedError&) {
+      throw;  // the world is dying; don't mask it as a solve error
+    } catch (const std::exception& e) {
+      reply = wire::encode_result_error(pack.pack_id, e.what());
+    }
+    world.send(rank, 0, swipe::kServeResultTag, std::move(reply),
+               swipe::Traffic::kServing);
+    ++packs_done;
+  }
+}
+
+}  // namespace aeris::serving

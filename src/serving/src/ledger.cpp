@@ -1,0 +1,617 @@
+#include "aeris/serving/ledger.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <map>
+#include <stdexcept>
+#include <utility>
+
+#include "aeris/tensor/numerics.hpp"
+
+namespace aeris::serving {
+namespace {
+
+using Clock = detail::Clock;
+
+/// Jitter draws use this stream id on the ledger's private Philox.
+constexpr std::uint64_t kJitterStream = 1;
+
+double ms_between(Clock::time_point a, Clock::time_point b) {
+  return std::chrono::duration<double, std::milli>(b - a).count();
+}
+
+double env_double(const char* name, double fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  char* end = nullptr;
+  const double parsed = std::strtod(v, &end);
+  return end != v ? parsed : fallback;
+}
+
+std::int64_t env_i64(const char* name, std::int64_t fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  char* end = nullptr;
+  const long long parsed = std::strtoll(v, &end, 10);
+  return end != v ? static_cast<std::int64_t>(parsed) : fallback;
+}
+
+std::exception_ptr status_error(RequestStatus status, const std::string& msg) {
+  switch (status) {
+    case RequestStatus::kRejected:
+      return std::make_exception_ptr(
+          RejectedError(RejectReason::kShutdown, msg));
+    case RequestStatus::kDeadlineExceeded:
+      return std::make_exception_ptr(DeadlineExceededError(msg));
+    case RequestStatus::kWorkerLost:
+      return std::make_exception_ptr(WorkerLostError(msg));
+    default:
+      return std::make_exception_ptr(std::runtime_error(msg));
+  }
+}
+
+}  // namespace
+
+ServerOptions ServerOptions::from_env() {
+  ServerOptions o;
+  o.queue_capacity = env_i64("AERIS_SERVE_QUEUE_CAP", o.queue_capacity);
+  o.default_deadline_ms =
+      env_double("AERIS_SERVE_DEADLINE_MS", o.default_deadline_ms);
+  o.max_retry_backoff_ms =
+      env_double("AERIS_SERVE_RETRY_CAP_MS", o.max_retry_backoff_ms);
+  o.degrade.est_wait_threshold_ms = env_double(
+      "AERIS_SERVE_DEGRADE_WAIT_MS", o.degrade.est_wait_threshold_ms);
+  o.degrade.degraded_solver_steps = static_cast<int>(env_i64(
+      "AERIS_SERVE_DEGRADE_STEPS", o.degrade.degraded_solver_steps));
+  o.degrade.max_members =
+      env_i64("AERIS_SERVE_DEGRADE_MEMBERS", o.degrade.max_members);
+  o.degrade.to_consistency =
+      env_i64("AERIS_SERVE_DEGRADE_TO_CONSISTENCY",
+              o.degrade.to_consistency ? 1 : 0) != 0;
+  o.degrade.cut_wait_threshold_ms = env_double(
+      "AERIS_SERVE_DEGRADE_CUT_WAIT_MS", o.degrade.cut_wait_threshold_ms);
+  return o;
+}
+
+double retry_delay_ms(const ServerOptions& opts, int attempt, double jitter) {
+  // ldexp instead of 1 << (attempt - 1): a large max_step_retries must
+  // saturate the cap, not overflow the shift.
+  const double delay = opts.retry_backoff_ms *
+                       std::ldexp(1.0, std::min(attempt, 1024) - 1) *
+                       (0.5 + jitter);
+  if (opts.max_retry_backoff_ms > 0.0) {
+    return std::min(delay, opts.max_retry_backoff_ms);
+  }
+  return delay;
+}
+
+void validate_request(const core::ParallelEnsembleEngine& engine,
+                      const ForecastRequest& req) {
+  const core::ModelConfig& mc = engine.model().config();
+  if (req.init.ndim() != 3 || req.init.dim(0) != mc.h ||
+      req.init.dim(1) != mc.w || req.init.dim(2) != mc.out_channels) {
+    throw std::invalid_argument(
+        "forecast: init must be [H, W, V] matching the model config");
+  }
+  if (!req.forcings_at) {
+    throw std::invalid_argument("forecast: forcings_at must be callable");
+  }
+  if (req.members <= 0 || req.steps <= 0) {
+    throw std::invalid_argument("forecast: members and steps must be >= 1");
+  }
+  const core::SamplerKind kind = req.sampler.value_or(engine.sampler_kind());
+  if (kind == core::SamplerKind::kConsistency && !engine.has_consistency()) {
+    throw std::invalid_argument(
+        "forecast: consistency sampler requested but the engine has no "
+        "consistency path (set_consistency)");
+  }
+}
+
+FetchedForcings fetch_forcings(std::span<const PackItem> items) {
+  FetchedForcings ff;
+  ff.of.assign(items.size(), nullptr);
+  ff.error.resize(items.size());
+  std::map<std::pair<const detail::ActiveRequest*, std::int64_t>,
+           const Tensor*>
+      fetched;
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    const PackItem& it = items[i];
+    const auto key = std::make_pair(it.a.get(), it.step);
+    if (const auto f = fetched.find(key); f != fetched.end()) {
+      ff.of[i] = f->second;
+      continue;
+    }
+    try {
+      ff.store.push_back(it.a->forcings_at(it.step));
+      ff.of[i] = &ff.store.back();
+      fetched.emplace(key, ff.of[i]);
+    } catch (...) {
+      ff.error[i] = std::current_exception();
+    }
+  }
+  return ff;
+}
+
+RequestLedger::RequestLedger(const core::ParallelEnsembleEngine& engine,
+                             const ServerOptions& opts)
+    : engine_(engine), opts_(opts), jitter_rng_(0x9E3779B97F4A7C15ull) {
+  opts_.queue_capacity = std::max<std::int64_t>(1, opts_.queue_capacity);
+  opts_.batch = std::max<std::int64_t>(1, opts_.batch);
+  opts_.workers = std::max(1, opts_.workers);
+  opts_.max_step_retries = std::max(0, opts_.max_step_retries);
+}
+
+bool RequestLedger::admit(const ForecastRequest& req, int capacity_divisor,
+                          std::future<ForecastResult>& future,
+                          ForecastResult& refused) {
+  const Clock::time_point now = Clock::now();
+  std::shared_ptr<detail::ActiveRequest> a;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_ || refusing_) {
+      ++stats_.rejected;
+      const RequestStatus status =
+          stopping_ ? RequestStatus::kRejected : refuse_status_;
+      const std::string msg =
+          stopping_ ? "server is shut down" : refuse_msg_;
+      refused.status = status;
+      refused.error_message = msg;
+      refused.error = status_error(status, msg);
+      return true;
+    }
+    if (active_count_ >= opts_.queue_capacity) {
+      ++stats_.rejected;
+      const std::string msg =
+          "queue full: " + std::to_string(active_count_) +
+          " active requests (capacity " +
+          std::to_string(opts_.queue_capacity) + ")";
+      refused.status = RequestStatus::kRejected;
+      refused.error_message = msg;
+      refused.error = std::make_exception_ptr(
+          RejectedError(RejectReason::kQueueFull, msg));
+      return true;
+    }
+
+    const core::SamplerKind req_sampler =
+        req.sampler.value_or(engine_.sampler_kind());
+    a = std::make_shared<detail::ActiveRequest>();
+    a->id = next_id_++;
+    a->init = req.init;
+    a->forcings_at = req.forcings_at;
+    a->members = req.members;
+    a->steps = req.steps;
+    a->seed = req.seed;
+    a->return_partial = req.return_partial;
+    a->sampler = req_sampler;
+    a->solver_steps = engine_.solver_steps(req_sampler);
+    a->admit = now;
+
+    // Graceful degradation decided at admission, from the backlog estimate
+    // (admitted-but-uncommitted member steps x EMA step cost / executors).
+    const DegradePolicy& dp = opts_.degrade;
+    if (dp.est_wait_threshold_ms != 0.0) {
+      const double est_wait_ms =
+          static_cast<double>(pending_member_steps_) * ema_member_step_ms_ /
+          static_cast<double>(std::max(1, capacity_divisor));
+      if (dp.est_wait_threshold_ms < 0.0 ||
+          est_wait_ms > dp.est_wait_threshold_ms) {
+        a->degraded = true;
+        ++stats_.degraded;
+        // First rung: a teacher-path request on an engine with a distilled
+        // student is switched to the few-step consistency sampler at full
+        // member count — the cheapest quality trade available. Step/member
+        // cuts then only engage past the (stricter) second threshold.
+        const bool switched =
+            dp.to_consistency && engine_.has_consistency() &&
+            a->sampler == core::SamplerKind::kDpmSolver;
+        if (switched) {
+          a->sampler = core::SamplerKind::kConsistency;
+          a->solver_steps =
+              engine_.solver_steps(core::SamplerKind::kConsistency);
+          ++stats_.degraded_to_consistency;
+        }
+        const bool cut =
+            !switched ||
+            (dp.cut_wait_threshold_ms != 0.0 &&
+             (dp.cut_wait_threshold_ms < 0.0 ||
+              est_wait_ms > dp.cut_wait_threshold_ms));
+        if (cut) {
+          if (dp.degraded_solver_steps > 0) {
+            a->solver_steps =
+                std::min(a->solver_steps, dp.degraded_solver_steps);
+          }
+          if (dp.max_members > 0) {
+            a->members = std::min(a->members, dp.max_members);
+          }
+        }
+      }
+    }
+
+    const double deadline_ms =
+        req.deadline_ms < 0.0 ? opts_.default_deadline_ms : req.deadline_ms;
+    if (deadline_ms > 0.0) {
+      a->has_deadline = true;
+      a->deadline = now + std::chrono::duration_cast<Clock::duration>(
+                              std::chrono::duration<double, std::milli>(
+                                  deadline_ms));
+    }
+
+    a->traj.resize(static_cast<std::size_t>(a->members));
+    a->reports.resize(static_cast<std::size_t>(a->members));
+    for (std::int64_t m = 0; m < a->members; ++m) {
+      a->reports[static_cast<std::size_t>(m)].member = m;
+    }
+    a->member_done.assign(static_cast<std::size_t>(a->members), 0);
+    a->quarantine_used.assign(static_cast<std::size_t>(a->members), 0);
+
+    ++stats_.accepted;
+    ++active_count_;
+    pending_member_steps_ += a->members * a->steps;
+    actives_.push_back(a);
+    future = a->promise.get_future();
+    for (std::int64_t m = 0; m < a->members; ++m) {
+      ready_.push_back(Cursor{a, m, 0, Clock::time_point{}});
+    }
+  }
+  cv_.notify_all();
+  return false;
+}
+
+bool RequestLedger::wait_for_work(std::chrono::milliseconds timeout) {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait_for(lock, timeout, [&] { return stopping_ || !ready_.empty(); });
+  return !stopping_;
+}
+
+bool RequestLedger::stopping() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stopping_;
+}
+
+std::vector<PackItem> RequestLedger::take_pack(std::int64_t max_items) {
+  std::vector<PackItem> pack;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (stopping_) return pack;
+  const Clock::time_point now = Clock::now();
+  // Sweep + pack formation in one FIFO scan: drop cursors of finalized
+  // requests, doom expired ones (even while backoff-gated — a request
+  // never waits out a backoff past its deadline), then collect up to
+  // `max_items` eligible cursors sharing one solver-step count (degraded
+  // requests run a different ODE schedule and cannot share a stack).
+  int pack_solver_steps = -1;
+  core::SamplerKind pack_sampler = core::SamplerKind::kDpmSolver;
+  for (auto it = ready_.begin();
+       it != ready_.end() &&
+       pack.size() < static_cast<std::size_t>(std::max<std::int64_t>(
+                         1, max_items));) {
+    const std::shared_ptr<detail::ActiveRequest> a = it->a;
+    if (a->finalized) {
+      it = ready_.erase(it);
+      continue;
+    }
+    if (a->has_deadline && now >= a->deadline && !a->doomed) {
+      a->doomed = true;
+      a->doom_status = RequestStatus::kDeadlineExceeded;
+      a->doom_msg = "deadline exceeded after " + std::to_string(a->steps) +
+                    "-step rollout ran " +
+                    std::to_string(ms_between(a->admit, now)) + " ms";
+      a->doom_err = std::make_exception_ptr(
+          DeadlineExceededError(a->doom_msg));
+    }
+    if (a->doomed) {
+      it = ready_.erase(it);
+      if (a->inflight == 0 && !a->finalized) {
+        finalize_locked(a, a->doom_status, a->doom_msg, a->doom_err);
+      }
+      continue;
+    }
+    if (now < it->not_before) {
+      ++it;
+      continue;
+    }
+    if (pack.empty()) {
+      pack_solver_steps = a->solver_steps;
+      pack_sampler = a->sampler;
+    } else if (a->solver_steps != pack_solver_steps ||
+               a->sampler != pack_sampler) {
+      // Teacher and student packs never mix: they run different networks
+      // and different schedules.
+      ++it;
+      continue;
+    }
+    if (!a->started) {
+      a->started = true;
+      a->queue_wait_ms = ms_between(a->admit, now);
+    }
+    ++a->inflight;
+
+    PackItem item;
+    item.a = a;
+    item.member = it->member;
+    item.fault_attempts = it->fault_attempts;
+    const auto mi = static_cast<std::size_t>(it->member);
+    item.step = static_cast<std::int64_t>(a->traj[mi].size());
+    item.noise = core::MemberCursor{a->seed, it->member, item.step,
+                                    a->quarantine_used[mi] != 0}
+                     .noise_key();
+    item.prev = a->traj[mi].empty() ? &a->init : &a->traj[mi].back();
+    pack.push_back(std::move(item));
+    it = ready_.erase(it);
+  }
+  return pack;
+}
+
+void RequestLedger::finalize_locked(
+    const std::shared_ptr<detail::ActiveRequest>& a, RequestStatus status,
+    std::string msg, std::exception_ptr err) {
+  a->finalized = true;
+  const Clock::time_point now = Clock::now();
+  for (std::int64_t m = 0; m < a->members; ++m) {
+    const auto mi = static_cast<std::size_t>(m);
+    if (!a->member_done[mi]) {
+      const auto completed = static_cast<std::int64_t>(a->traj[mi].size());
+      pending_member_steps_ -= a->steps - completed;
+      a->member_done[mi] = 1;
+      a->reports[mi].steps_completed = completed;
+      a->reports[mi].ok = false;
+    }
+  }
+
+  ForecastResult r;
+  r.status = status;
+  r.members = std::move(a->reports);
+  r.degraded = a->degraded;
+  r.solver_steps = a->solver_steps;
+  r.sampler = a->sampler;
+  r.members_served = a->members;
+  r.queue_wait_ms =
+      a->started ? a->queue_wait_ms : ms_between(a->admit, now);
+  r.total_ms = ms_between(a->admit, now);
+  r.transient_retries = a->transient_retries;
+  r.error = std::move(err);
+  r.error_message = std::move(msg);
+  const bool keep_traj = status == RequestStatus::kOk ||
+                         status == RequestStatus::kNumericalError ||
+                         a->return_partial;
+  if (keep_traj) r.trajectories = std::move(a->traj);
+  a->traj.clear();
+
+  switch (status) {
+    case RequestStatus::kOk:
+      ++stats_.completed;
+      break;
+    case RequestStatus::kDeadlineExceeded:
+      ++stats_.deadline_expired;
+      break;
+    case RequestStatus::kFault:
+      ++stats_.faulted;
+      break;
+    default:
+      break;
+  }
+
+  --active_count_;
+  actives_.erase(std::remove(actives_.begin(), actives_.end(), a),
+                 actives_.end());
+  a->promise.set_value(std::move(r));
+}
+
+void RequestLedger::fault_locked(Cursor c, const std::exception_ptr& cause,
+                                 Clock::time_point now) {
+  ++c.fault_attempts;
+  ++c.a->transient_retries;
+  ++stats_.transient_retries;
+  if (c.fault_attempts > opts_.max_step_retries) {
+    if (!c.a->doomed) {
+      c.a->doomed = true;
+      c.a->doom_status = RequestStatus::kFault;
+      std::string why = "unknown error";
+      if (cause) {
+        try {
+          std::rethrow_exception(cause);
+        } catch (const std::exception& e) {
+          why = e.what();
+        } catch (...) {
+        }
+      }
+      c.a->doom_msg = "transient fault persisted after " +
+                      std::to_string(opts_.max_step_retries) +
+                      " retries: " + why;
+      c.a->doom_err = cause != nullptr
+                          ? cause
+                          : std::make_exception_ptr(
+                                std::runtime_error(c.a->doom_msg));
+    }
+    return;
+  }
+  const double jitter = jitter_rng_.uniform(
+      kJitterStream, c.a->id, static_cast<std::uint64_t>(c.fault_attempts));
+  const double delay_ms = retry_delay_ms(opts_, c.fault_attempts, jitter);
+  c.not_before = now + std::chrono::duration_cast<Clock::duration>(
+                           std::chrono::duration<double, std::milli>(
+                               delay_ms));
+  ready_.push_back(std::move(c));
+}
+
+void RequestLedger::sweep_terminal_locked(std::span<const PackItem> items) {
+  // Terminal transitions for the requests this pack touched. Items whose
+  // cursor went back into ready_ belong to requests with pending work, so
+  // they cannot be terminal — the checks below simply miss for them.
+  for (const PackItem& item : items) {
+    const std::shared_ptr<detail::ActiveRequest>& a = item.a;
+    if (!a || a->finalized || a->inflight > 0) continue;
+    if (a->doomed) {
+      finalize_locked(a, a->doom_status, a->doom_msg, a->doom_err);
+    } else if (a->members_done == a->members) {
+      bool all_ok = true;
+      for (const MemberReport& r : a->reports) all_ok &= r.ok;
+      if (all_ok) {
+        finalize_locked(a, RequestStatus::kOk, {}, nullptr);
+      } else {
+        std::string msg = "ensemble member(s) diverged:";
+        for (const MemberReport& r : a->reports) {
+          if (!r.ok) {
+            msg += " [member " + std::to_string(r.member) + ": " +
+                   r.message + "]";
+          }
+        }
+        finalize_locked(a, RequestStatus::kNumericalError, msg,
+                        std::make_exception_ptr(NumericalError(msg)));
+      }
+    }
+  }
+}
+
+void RequestLedger::commit_pack(std::vector<PackItem> items, PackOutcome out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const Clock::time_point now = Clock::now();
+  if (out.solved_count > 0 && out.solve_error == nullptr) {
+    const double per_member =
+        out.pack_ms / static_cast<double>(out.solved_count);
+    ema_member_step_ms_ = ema_member_step_ms_ == 0.0
+                              ? per_member
+                              : 0.8 * ema_member_step_ms_ + 0.2 * per_member;
+    ++stats_.packs;
+  }
+
+  if (out.item_error.size() < items.size()) out.item_error.resize(items.size());
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    PackItem& item = items[i];
+    const std::shared_ptr<detail::ActiveRequest>& a = item.a;
+    const auto mi = static_cast<std::size_t>(item.member);
+    --a->inflight;
+
+    if (a->finalized) continue;  // lost a race with a shutdown finalize
+
+    const bool had_result =
+        out.item_error[i] == nullptr && out.solve_error == nullptr &&
+        i < out.next.size();
+    if (!had_result) {
+      if (!a->doomed) {
+        fault_locked(Cursor{a, item.member, item.fault_attempts, {}},
+                     out.item_error[i] != nullptr ? out.item_error[i]
+                                                  : out.solve_error,
+                     now);
+      }
+      continue;
+    }
+    if (a->doomed) continue;  // member dropped; finalized in the sweep
+
+    Tensor result = std::move(out.next[i]);
+    if (!tensor::all_finite(result)) {
+      if (!a->quarantine_used[mi]) {
+        // Quarantine: retry this step once on a salted noise stream. The
+        // member's batch-mates are untouched — kernels never mix batch
+        // slabs, so their slabs are bitwise what they would be in any
+        // other pack.
+        a->quarantine_used[mi] = 1;
+        a->reports[mi].quarantined = true;
+        ++stats_.quarantined_members;
+        ready_.push_back(
+            Cursor{a, item.member, item.fault_attempts, Clock::time_point{}});
+      } else {
+        a->reports[mi].ok = false;
+        a->reports[mi].steps_completed =
+            static_cast<std::int64_t>(a->traj[mi].size());
+        a->reports[mi].message =
+            "non-finite state at step " + std::to_string(a->traj[mi].size()) +
+            " persisted after quarantine retry";
+        a->member_done[mi] = 1;
+        ++a->members_done;
+        ++stats_.failed_members;
+        pending_member_steps_ -=
+            a->steps - static_cast<std::int64_t>(a->traj[mi].size());
+      }
+      continue;
+    }
+
+    a->traj[mi].push_back(std::move(result));
+    --pending_member_steps_;
+    ++stats_.member_steps;
+    if (static_cast<std::int64_t>(a->traj[mi].size()) == a->steps) {
+      a->reports[mi].ok = true;
+      a->reports[mi].steps_completed = a->steps;
+      a->member_done[mi] = 1;
+      ++a->members_done;
+    } else if (a->has_deadline && now >= a->deadline) {
+      a->doomed = true;
+      a->doom_status = RequestStatus::kDeadlineExceeded;
+      a->doom_msg = "deadline exceeded at step " +
+                    std::to_string(a->traj[mi].size()) + " of " +
+                    std::to_string(a->steps);
+      a->doom_err =
+          std::make_exception_ptr(DeadlineExceededError(a->doom_msg));
+    } else {
+      ready_.push_back(
+          Cursor{a, item.member, item.fault_attempts, Clock::time_point{}});
+    }
+  }
+
+  sweep_terminal_locked(items);
+  cv_.notify_all();
+}
+
+void RequestLedger::requeue_items(std::vector<PackItem> items) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (PackItem& item : items) {
+      const std::shared_ptr<detail::ActiveRequest>& a = item.a;
+      --a->inflight;
+      if (a->finalized) continue;
+      const auto mi = static_cast<std::size_t>(item.member);
+      if (a->member_done[mi]) continue;
+      stats_.requeued_member_steps +=
+          a->steps - static_cast<std::int64_t>(a->traj[mi].size());
+      // The cursor resumes from its last *committed* step: item.step was
+      // never committed, so re-resolution at the next checkout lands on
+      // the same step with the same noise key — bitwise re-execution.
+      ready_.push_back(Cursor{a, item.member, item.fault_attempts,
+                              Clock::time_point{}});
+    }
+    sweep_terminal_locked(items);
+  }
+  cv_.notify_all();
+}
+
+void RequestLedger::note_workers_lost(int n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  stats_.workers_lost += n;
+}
+
+void RequestLedger::drain_all(RequestStatus status, const std::string& msg) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ready_.clear();
+  if (status == RequestStatus::kWorkerLost) ++stats_.quorum_drains;
+  const auto remaining = actives_;
+  for (const std::shared_ptr<detail::ActiveRequest>& a : remaining) {
+    if (!a->finalized) {
+      finalize_locked(a, status, msg, status_error(status, msg));
+    }
+  }
+}
+
+void RequestLedger::refuse_admissions(RequestStatus status,
+                                      const std::string& msg) {
+  std::lock_guard<std::mutex> lock(mu_);
+  refusing_ = true;
+  refuse_status_ = status;
+  refuse_msg_ = msg;
+}
+
+bool RequestLedger::begin_stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) return false;
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  return true;
+}
+
+ServerStats RequestLedger::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace aeris::serving

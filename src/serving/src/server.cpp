@@ -1,129 +1,20 @@
 #include "aeris/serving/server.hpp"
 
-#include <algorithm>
-#include <cmath>
-#include <cstdlib>
-#include <map>
+#include <chrono>
 #include <span>
-#include <stdexcept>
 #include <utility>
 
 #include "aeris/nn/cond_cache.hpp"
-#include "aeris/tensor/numerics.hpp"
 #include "aeris/tensor/thread_pool.hpp"
 
 namespace aeris::serving {
-namespace {
-
-using Clock = std::chrono::steady_clock;
-
-/// XORed into a request's seed for a quarantined member's retry: a fresh,
-/// reproducible Philox stream disjoint from every un-salted request seed
-/// in practice.
-constexpr std::uint64_t kQuarantineSeedSalt = 0xA1B2C3D4E5F60718ull;
-
-/// Jitter draws use this stream id on the server's private Philox.
-constexpr std::uint64_t kJitterStream = 1;
-
-double ms_between(Clock::time_point a, Clock::time_point b) {
-  return std::chrono::duration<double, std::milli>(b - a).count();
-}
-
-double env_double(const char* name, double fallback) {
-  const char* v = std::getenv(name);
-  if (v == nullptr || *v == '\0') return fallback;
-  char* end = nullptr;
-  const double parsed = std::strtod(v, &end);
-  return end != v ? parsed : fallback;
-}
-
-std::int64_t env_i64(const char* name, std::int64_t fallback) {
-  const char* v = std::getenv(name);
-  if (v == nullptr || *v == '\0') return fallback;
-  char* end = nullptr;
-  const long long parsed = std::strtoll(v, &end, 10);
-  return end != v ? static_cast<std::int64_t>(parsed) : fallback;
-}
-
-}  // namespace
-
-ServerOptions ServerOptions::from_env() {
-  ServerOptions o;
-  o.queue_capacity = env_i64("AERIS_SERVE_QUEUE_CAP", o.queue_capacity);
-  o.default_deadline_ms =
-      env_double("AERIS_SERVE_DEADLINE_MS", o.default_deadline_ms);
-  o.degrade.est_wait_threshold_ms = env_double(
-      "AERIS_SERVE_DEGRADE_WAIT_MS", o.degrade.est_wait_threshold_ms);
-  o.degrade.degraded_solver_steps = static_cast<int>(env_i64(
-      "AERIS_SERVE_DEGRADE_STEPS", o.degrade.degraded_solver_steps));
-  o.degrade.max_members =
-      env_i64("AERIS_SERVE_DEGRADE_MEMBERS", o.degrade.max_members);
-  o.degrade.to_consistency =
-      env_i64("AERIS_SERVE_DEGRADE_TO_CONSISTENCY",
-              o.degrade.to_consistency ? 1 : 0) != 0;
-  o.degrade.cut_wait_threshold_ms = env_double(
-      "AERIS_SERVE_DEGRADE_CUT_WAIT_MS", o.degrade.cut_wait_threshold_ms);
-  return o;
-}
-
-/// One admitted request. All fields are guarded by ForecastServer::mu_
-/// except during a pack's solve, where the owning worker alone reads
-/// init/traj tensors of its in-flight members (a member has exactly one
-/// cursor, and finalization is deferred while inflight > 0).
-struct ForecastServer::Active {
-  std::uint64_t id = 0;
-  Tensor init;
-  core::ForcingFn forcings_at;
-  std::int64_t members = 0;  ///< effective (post-degrade) member count
-  std::int64_t steps = 0;
-  std::uint64_t seed = 0;
-  bool return_partial = false;
-  bool degraded = false;
-  int solver_steps = 0;  ///< effective solver steps (override for step_pack)
-  core::SamplerKind sampler = core::SamplerKind::kDpmSolver;
-
-  Clock::time_point admit{};
-  Clock::time_point deadline{};
-  bool has_deadline = false;
-  bool started = false;
-  double queue_wait_ms = 0.0;
-
-  int inflight = 0;  ///< members currently inside a stacked solve
-  bool finalized = false;
-  /// Terminal status decided while members were still in flight; applied
-  /// as soon as inflight drains to zero.
-  bool doomed = false;
-  RequestStatus doom_status = RequestStatus::kOk;
-  std::string doom_msg;
-  std::exception_ptr doom_err;
-
-  int transient_retries = 0;
-  std::int64_t members_done = 0;
-  std::vector<std::vector<Tensor>> traj;  ///< [member][completed step]
-  std::vector<MemberReport> reports;
-  std::vector<char> member_done;
-  std::vector<char> quarantine_used;
-  std::promise<ForecastResult> promise;
-};
-
-/// One member's next pending forecast step. Lives in ready_ between
-/// solves; at most one cursor exists per (request, member) at any time.
-struct ForecastServer::Cursor {
-  std::shared_ptr<Active> a;
-  std::int64_t member = 0;
-  int fault_attempts = 0;
-  Clock::time_point not_before{};  ///< backoff gate (epoch = eligible now)
-};
 
 ForecastServer::ForecastServer(const core::ParallelEnsembleEngine& engine,
                                const ServerOptions& opts)
-    : engine_(engine), opts_(opts), jitter_rng_(0x9E3779B97F4A7C15ull) {
-  opts_.queue_capacity = std::max<std::int64_t>(1, opts_.queue_capacity);
-  opts_.batch = std::max<std::int64_t>(1, opts_.batch);
-  opts_.workers = std::max(1, opts_.workers);
-  opts_.max_step_retries = std::max(0, opts_.max_step_retries);
-  workers_.reserve(static_cast<std::size_t>(opts_.workers));
-  for (int i = 0; i < opts_.workers; ++i) {
+    : engine_(engine), ledger_(engine, opts) {
+  const int workers = ledger_.options().workers;
+  workers_.reserve(static_cast<std::size_t>(workers));
+  for (int i = 0; i < workers; ++i) {
     workers_.emplace_back([this, i] { worker_loop(i); });
   }
 }
@@ -131,223 +22,26 @@ ForecastServer::ForecastServer(const core::ParallelEnsembleEngine& engine,
 ForecastServer::~ForecastServer() { stop(); }
 
 void ForecastServer::stop() {
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (stopping_) return;
-    stopping_ = true;
-  }
-  cv_.notify_all();
+  if (!ledger_.begin_stop()) return;
   for (std::thread& t : workers_) t.join();
   workers_.clear();
 
   // Workers are gone, so nothing is in flight: every request still active
   // terminates here with a typed error — clients never hang on shutdown.
-  std::lock_guard<std::mutex> lock(mu_);
-  ready_.clear();
-  const auto remaining = actives_;
-  for (const std::shared_ptr<Active>& a : remaining) {
-    if (!a->finalized) {
-      const std::string msg = "server shut down before request completed";
-      finalize_locked(a, RequestStatus::kRejected, msg,
-                      std::make_exception_ptr(
-                          RejectedError(RejectReason::kShutdown, msg)));
-    }
-  }
+  ledger_.drain_all(RequestStatus::kRejected,
+                    "server shut down before request completed");
 }
 
-ServerStats ForecastServer::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return stats_;
-}
+ServerStats ForecastServer::stats() const { return ledger_.stats(); }
 
 ForecastResult ForecastServer::forecast(const ForecastRequest& req) {
-  const core::ModelConfig& mc = engine_.model().config();
-  if (req.init.ndim() != 3 || req.init.dim(0) != mc.h ||
-      req.init.dim(1) != mc.w || req.init.dim(2) != mc.out_channels) {
-    throw std::invalid_argument(
-        "forecast: init must be [H, W, V] matching the model config");
-  }
-  if (!req.forcings_at) {
-    throw std::invalid_argument("forecast: forcings_at must be callable");
-  }
-  if (req.members <= 0 || req.steps <= 0) {
-    throw std::invalid_argument("forecast: members and steps must be >= 1");
-  }
-  const core::SamplerKind req_sampler =
-      req.sampler.value_or(engine_.sampler_kind());
-  if (req_sampler == core::SamplerKind::kConsistency &&
-      !engine_.has_consistency()) {
-    throw std::invalid_argument(
-        "forecast: consistency sampler requested but the engine has no "
-        "consistency path (set_consistency)");
-  }
-
-  const Clock::time_point now = Clock::now();
-  std::shared_ptr<Active> a;
+  validate_request(engine_, req);
   std::future<ForecastResult> future;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (stopping_) {
-      ++stats_.rejected;
-      const std::string msg = "server is shut down";
-      ForecastResult r;
-      r.status = RequestStatus::kRejected;
-      r.error_message = msg;
-      r.error = std::make_exception_ptr(
-          RejectedError(RejectReason::kShutdown, msg));
-      return r;
-    }
-    if (active_count_ >= opts_.queue_capacity) {
-      ++stats_.rejected;
-      const std::string msg =
-          "queue full: " + std::to_string(active_count_) +
-          " active requests (capacity " +
-          std::to_string(opts_.queue_capacity) + ")";
-      ForecastResult r;
-      r.status = RequestStatus::kRejected;
-      r.error_message = msg;
-      r.error = std::make_exception_ptr(
-          RejectedError(RejectReason::kQueueFull, msg));
-      return r;
-    }
-
-    a = std::make_shared<Active>();
-    a->id = next_id_++;
-    a->init = req.init;
-    a->forcings_at = req.forcings_at;
-    a->members = req.members;
-    a->steps = req.steps;
-    a->seed = req.seed;
-    a->return_partial = req.return_partial;
-    a->sampler = req_sampler;
-    a->solver_steps = engine_.solver_steps(req_sampler);
-    a->admit = now;
-
-    // Graceful degradation decided at admission, from the backlog estimate
-    // (admitted-but-uncommitted member steps x EMA step cost / workers).
-    const DegradePolicy& dp = opts_.degrade;
-    if (dp.est_wait_threshold_ms != 0.0) {
-      const double est_wait_ms =
-          static_cast<double>(pending_member_steps_) * ema_member_step_ms_ /
-          static_cast<double>(opts_.workers);
-      if (dp.est_wait_threshold_ms < 0.0 ||
-          est_wait_ms > dp.est_wait_threshold_ms) {
-        a->degraded = true;
-        ++stats_.degraded;
-        // First rung: a teacher-path request on an engine with a distilled
-        // student is switched to the few-step consistency sampler at full
-        // member count — the cheapest quality trade available. Step/member
-        // cuts then only engage past the (stricter) second threshold.
-        const bool switched =
-            dp.to_consistency && engine_.has_consistency() &&
-            a->sampler == core::SamplerKind::kDpmSolver;
-        if (switched) {
-          a->sampler = core::SamplerKind::kConsistency;
-          a->solver_steps =
-              engine_.solver_steps(core::SamplerKind::kConsistency);
-          ++stats_.degraded_to_consistency;
-        }
-        const bool cut =
-            !switched ||
-            (dp.cut_wait_threshold_ms != 0.0 &&
-             (dp.cut_wait_threshold_ms < 0.0 ||
-              est_wait_ms > dp.cut_wait_threshold_ms));
-        if (cut) {
-          if (dp.degraded_solver_steps > 0) {
-            a->solver_steps =
-                std::min(a->solver_steps, dp.degraded_solver_steps);
-          }
-          if (dp.max_members > 0) {
-            a->members = std::min(a->members, dp.max_members);
-          }
-        }
-      }
-    }
-
-    const double deadline_ms =
-        req.deadline_ms < 0.0 ? opts_.default_deadline_ms : req.deadline_ms;
-    if (deadline_ms > 0.0) {
-      a->has_deadline = true;
-      a->deadline = now + std::chrono::duration_cast<Clock::duration>(
-                              std::chrono::duration<double, std::milli>(
-                                  deadline_ms));
-    }
-
-    a->traj.resize(static_cast<std::size_t>(a->members));
-    a->reports.resize(static_cast<std::size_t>(a->members));
-    for (std::int64_t m = 0; m < a->members; ++m) {
-      a->reports[static_cast<std::size_t>(m)].member = m;
-    }
-    a->member_done.assign(static_cast<std::size_t>(a->members), 0);
-    a->quarantine_used.assign(static_cast<std::size_t>(a->members), 0);
-
-    ++stats_.accepted;
-    ++active_count_;
-    pending_member_steps_ += a->members * a->steps;
-    actives_.push_back(a);
-    future = a->promise.get_future();
-    for (std::int64_t m = 0; m < a->members; ++m) {
-      ready_.push_back(Cursor{a, m, 0, Clock::time_point{}});
-    }
+  ForecastResult refused;
+  if (ledger_.admit(req, ledger_.options().workers, future, refused)) {
+    return refused;
   }
-  cv_.notify_all();
   return future.get();
-}
-
-void ForecastServer::finalize_locked(const std::shared_ptr<Active>& a,
-                                     RequestStatus status, std::string msg,
-                                     std::exception_ptr err) {
-  a->finalized = true;
-  const Clock::time_point now = Clock::now();
-  for (std::int64_t m = 0; m < a->members; ++m) {
-    const auto mi = static_cast<std::size_t>(m);
-    if (!a->member_done[mi]) {
-      const auto completed =
-          static_cast<std::int64_t>(a->traj[mi].size());
-      pending_member_steps_ -= a->steps - completed;
-      a->member_done[mi] = 1;
-      a->reports[mi].steps_completed = completed;
-      a->reports[mi].ok = false;
-    }
-  }
-
-  ForecastResult r;
-  r.status = status;
-  r.members = std::move(a->reports);
-  r.degraded = a->degraded;
-  r.solver_steps = a->solver_steps;
-  r.sampler = a->sampler;
-  r.members_served = a->members;
-  r.queue_wait_ms = a->started ? a->queue_wait_ms
-                               : ms_between(a->admit, now);
-  r.total_ms = ms_between(a->admit, now);
-  r.transient_retries = a->transient_retries;
-  r.error = std::move(err);
-  r.error_message = std::move(msg);
-  const bool keep_traj = status == RequestStatus::kOk ||
-                         status == RequestStatus::kNumericalError ||
-                         a->return_partial;
-  if (keep_traj) r.trajectories = std::move(a->traj);
-  a->traj.clear();
-
-  switch (status) {
-    case RequestStatus::kOk:
-      ++stats_.completed;
-      break;
-    case RequestStatus::kDeadlineExceeded:
-      ++stats_.deadline_expired;
-      break;
-    case RequestStatus::kFault:
-      ++stats_.faulted;
-      break;
-    default:
-      break;
-  }
-
-  --active_count_;
-  actives_.erase(std::remove(actives_.begin(), actives_.end(), a),
-                 actives_.end());
-  a->promise.set_value(std::move(r));
 }
 
 void ForecastServer::worker_loop(int worker_index) {
@@ -355,7 +49,9 @@ void ForecastServer::worker_loop(int worker_index) {
   // concurrently (single job descriptor); each worker runs its kernels
   // inline, which is bitwise-identical (kernels split independent rows).
   std::unique_ptr<SerialRegionGuard> guard;
-  if (opts_.workers > 1) guard = std::make_unique<SerialRegionGuard>();
+  if (ledger_.options().workers > 1) {
+    guard = std::make_unique<SerialRegionGuard>();
+  }
   (void)worker_index;
 
   // Worker-lifetime conditioning cache: packs only ever mix members that
@@ -369,294 +65,64 @@ void ForecastServer::worker_loop(int worker_index) {
   nn::CondCache* cond_cache_ptr =
       nn::cond_cache_enabled() ? &cond_cache : nullptr;
 
+  using Clock = detail::Clock;
   for (;;) {
-    std::vector<Cursor> pack;
-    {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait_for(lock, std::chrono::milliseconds(10), [&] {
-        return stopping_ || !ready_.empty();
-      });
-      if (stopping_) return;
-
-      const Clock::time_point now = Clock::now();
-      // Sweep + pack formation in one FIFO scan: drop cursors of finalized
-      // requests, doom expired ones (even while backoff-gated — a request
-      // never waits out a backoff past its deadline), then collect up to
-      // `batch` eligible cursors sharing one solver-step count (degraded
-      // requests run a different ODE schedule and cannot share a stack).
-      int pack_solver_steps = -1;
-      core::SamplerKind pack_sampler = core::SamplerKind::kDpmSolver;
-      for (auto it = ready_.begin();
-           it != ready_.end() &&
-           pack.size() < static_cast<std::size_t>(opts_.batch);) {
-        const std::shared_ptr<Active> a = it->a;  // survives the erase
-        if (a->finalized) {
-          it = ready_.erase(it);
-          continue;
-        }
-        if (a->has_deadline && now >= a->deadline && !a->doomed) {
-          a->doomed = true;
-          a->doom_status = RequestStatus::kDeadlineExceeded;
-          a->doom_msg = "deadline exceeded after " +
-                        std::to_string(a->steps) + "-step rollout ran " +
-                        std::to_string(ms_between(a->admit, now)) + " ms";
-          a->doom_err = std::make_exception_ptr(
-              DeadlineExceededError(a->doom_msg));
-        }
-        if (a->doomed) {
-          it = ready_.erase(it);
-          if (a->inflight == 0 && !a->finalized) {
-            finalize_locked(a, a->doom_status, a->doom_msg, a->doom_err);
-          }
-          continue;
-        }
-        if (now < it->not_before) {
-          ++it;
-          continue;
-        }
-        if (pack.empty()) {
-          pack_solver_steps = a->solver_steps;
-          pack_sampler = a->sampler;
-        } else if (a->solver_steps != pack_solver_steps ||
-                   a->sampler != pack_sampler) {
-          // Teacher and student packs never mix: they run different
-          // networks and different schedules.
-          ++it;
-          continue;
-        }
-        if (!a->started) {
-          a->started = true;
-          a->queue_wait_ms = ms_between(a->admit, now);
-        }
-        ++a->inflight;
-        pack.push_back(std::move(*it));
-        it = ready_.erase(it);
-      }
-    }
-    if (pack.empty()) {
+    if (!ledger_.wait_for_work(std::chrono::milliseconds(10))) return;
+    std::vector<PackItem> items = ledger_.take_pack(ledger_.options().batch);
+    if (items.empty()) {
       // Only backoff-gated (or no) cursors right now; don't spin on the
       // mutex while the gates run down.
       std::this_thread::sleep_for(std::chrono::microseconds(200));
       continue;
     }
 
-    // --- Outside the lock: fetch forcings, solve, validate. The in-flight
+    // --- Outside the ledger lock: fetch forcings, solve. The in-flight
     // members' init/traj tensors are stable: finalization is deferred
-    // while inflight > 0 and no other cursor touches these members.
+    // while inflight > 0 and no other item touches the same member.
     const Clock::time_point t0 = Clock::now();
+    FetchedForcings ff = fetch_forcings(items);
 
-    // Fetch forcings once per (request, step); a throwing forcing fn only
-    // penalizes its own request's cursors, the rest of the pack proceeds.
-    std::deque<Tensor> forcing_store;
-    std::vector<const Tensor*> forcing_of(pack.size(), nullptr);
-    std::vector<std::exception_ptr> fetch_error(pack.size());
-    std::map<std::pair<const Active*, std::int64_t>, const Tensor*> fetched;
-    for (std::size_t i = 0; i < pack.size(); ++i) {
-      const Cursor& c = pack[i];
-      const auto step = static_cast<std::int64_t>(
-          c.a->traj[static_cast<std::size_t>(c.member)].size());
-      const auto key = std::make_pair(c.a.get(), step);
-      if (const auto it = fetched.find(key); it != fetched.end()) {
-        forcing_of[i] = it->second;
-        continue;
-      }
-      try {
-        forcing_store.push_back(c.a->forcings_at(step));
-        forcing_of[i] = &forcing_store.back();
-        fetched.emplace(key, forcing_of[i]);
-      } catch (...) {
-        fetch_error[i] = std::current_exception();
-      }
-    }
+    PackOutcome out;
+    out.item_error = std::move(ff.error);
 
-    std::vector<std::size_t> solved;  // pack indices that entered the solve
+    std::vector<std::size_t> solved;  // item indices that entered the solve
     std::vector<core::MemberSlot> slots;
-    for (std::size_t i = 0; i < pack.size(); ++i) {
-      if (forcing_of[i] == nullptr) continue;
-      const Cursor& c = pack[i];
-      const auto mi = static_cast<std::size_t>(c.member);
-      const auto step =
-          static_cast<std::int64_t>(c.a->traj[mi].size());
+    for (std::size_t i = 0; i < items.size(); ++i) {
+      if (ff.of[i] == nullptr) continue;
       core::MemberSlot slot;
-      slot.prev = c.a->traj[mi].empty() ? &c.a->init : &c.a->traj[mi].back();
-      slot.forcings = forcing_of[i];
-      const std::uint64_t seed = c.a->quarantine_used[mi]
-                                     ? (c.a->seed ^ kQuarantineSeedSalt)
-                                     : c.a->seed;
-      slot.noise = core::MemberKey{
-          seed, static_cast<std::uint64_t>(c.member) * 4096 +
-                    static_cast<std::uint64_t>(step)};
+      slot.prev = items[i].prev;
+      slot.forcings = ff.of[i];
+      slot.noise = items[i].noise;
       slots.push_back(slot);
       solved.push_back(i);
     }
 
     std::vector<Tensor> next;
-    std::exception_ptr solve_error;
     if (!slots.empty()) {
-      const core::SamplerKind kind = pack[solved.front()].a->sampler;
+      const core::SamplerKind kind = items[solved.front()].a->sampler;
+      const int request_steps = items[solved.front()].a->solver_steps;
       const int override_steps =
-          pack[solved.front()].a->solver_steps == engine_.solver_steps(kind)
-              ? 0
-              : pack[solved.front()].a->solver_steps;
+          request_steps == engine_.solver_steps(kind) ? 0 : request_steps;
       try {
         next = engine_.step_pack(std::span<const core::MemberSlot>(slots),
                                  override_steps, cond_cache_ptr, kind);
       } catch (...) {
-        solve_error = std::current_exception();
+        out.solve_error = std::current_exception();
       }
     }
 
-    const double pack_ms = ms_between(t0, Clock::now());
-
-    // --- Commit under the lock.
-    std::lock_guard<std::mutex> lock(mu_);
-    const Clock::time_point now = Clock::now();
-    if (!solved.empty() && solve_error == nullptr) {
-      const double per_member =
-          pack_ms / static_cast<double>(solved.size());
-      ema_member_step_ms_ = ema_member_step_ms_ == 0.0
-                                ? per_member
-                                : 0.8 * ema_member_step_ms_ +
-                                      0.2 * per_member;
-      ++stats_.packs;
-    }
-
-    auto fault = [&](Cursor& c, const std::exception_ptr& cause) {
-      ++c.fault_attempts;
-      ++c.a->transient_retries;
-      ++stats_.transient_retries;
-      if (c.fault_attempts > opts_.max_step_retries) {
-        if (!c.a->doomed) {
-          c.a->doomed = true;
-          c.a->doom_status = RequestStatus::kFault;
-          std::string why = "unknown error";
-          try {
-            std::rethrow_exception(cause);
-          } catch (const std::exception& e) {
-            why = e.what();
-          } catch (...) {
-          }
-          c.a->doom_msg = "transient fault persisted after " +
-                          std::to_string(opts_.max_step_retries) +
-                          " retries: " + why;
-          c.a->doom_err = cause;
-        }
-        return;
-      }
-      const double jitter = jitter_rng_.uniform(
-          kJitterStream, c.a->id, static_cast<std::uint64_t>(
-                                      c.fault_attempts));
-      const double delay_ms =
-          opts_.retry_backoff_ms *
-          static_cast<double>(1LL << (c.fault_attempts - 1)) *
-          (0.5 + jitter);
-      c.not_before = now + std::chrono::duration_cast<Clock::duration>(
-                               std::chrono::duration<double, std::milli>(
-                                   delay_ms));
-      ready_.push_back(std::move(c));
-    };
-
-    std::size_t solved_pos = 0;
-    for (std::size_t i = 0; i < pack.size(); ++i) {
-      Cursor& c = pack[i];
-      const std::shared_ptr<Active>& a = c.a;
-      const auto mi = static_cast<std::size_t>(c.member);
-      const bool was_solved =
-          solved_pos < solved.size() && solved[solved_pos] == i;
-      Tensor result;
-      if (was_solved && solve_error == nullptr) {
-        result = std::move(next[solved_pos]);
-      }
-      if (was_solved) ++solved_pos;
-      --a->inflight;
-
-      if (a->finalized) continue;  // lost a race with shutdown finalize
-
-      if (!was_solved || solve_error != nullptr) {
-        if (!a->doomed) {
-          fault(c, was_solved ? solve_error : fetch_error[i]);
-        }
-        continue;
-      }
-      if (a->doomed) continue;  // member dropped; finalize below
-
-      if (!tensor::all_finite(result)) {
-        if (!a->quarantine_used[mi]) {
-          // Quarantine: retry this step once on a salted noise stream.
-          // The member's batch-mates are untouched — kernels never mix
-          // batch slabs, so their slabs are bitwise what they would be
-          // in any other pack.
-          a->quarantine_used[mi] = 1;
-          a->reports[mi].quarantined = true;
-          ++stats_.quarantined_members;
-          c.not_before = Clock::time_point{};
-          ready_.push_back(std::move(c));
-        } else {
-          a->reports[mi].ok = false;
-          a->reports[mi].steps_completed =
-              static_cast<std::int64_t>(a->traj[mi].size());
-          a->reports[mi].message =
-              "non-finite state at step " +
-              std::to_string(a->traj[mi].size()) +
-              " persisted after quarantine retry";
-          a->member_done[mi] = 1;
-          ++a->members_done;
-          ++stats_.failed_members;
-          pending_member_steps_ -=
-              a->steps - static_cast<std::int64_t>(a->traj[mi].size());
-        }
-        continue;
-      }
-
-      a->traj[mi].push_back(std::move(result));
-      --pending_member_steps_;
-      ++stats_.member_steps;
-      if (static_cast<std::int64_t>(a->traj[mi].size()) == a->steps) {
-        a->reports[mi].ok = true;
-        a->reports[mi].steps_completed = a->steps;
-        a->member_done[mi] = 1;
-        ++a->members_done;
-      } else if (a->has_deadline && now >= a->deadline) {
-        a->doomed = true;
-        a->doom_status = RequestStatus::kDeadlineExceeded;
-        a->doom_msg = "deadline exceeded at step " +
-                      std::to_string(a->traj[mi].size()) + " of " +
-                      std::to_string(a->steps);
-        a->doom_err =
-            std::make_exception_ptr(DeadlineExceededError(a->doom_msg));
-      } else {
-        c.not_before = Clock::time_point{};
-        ready_.push_back(std::move(c));
+    // Scatter compacted solve results back to item positions.
+    out.next.resize(items.size());
+    if (out.solve_error == nullptr) {
+      for (std::size_t k = 0; k < solved.size() && k < next.size(); ++k) {
+        out.next[solved[k]] = std::move(next[k]);
       }
     }
+    out.pack_ms = std::chrono::duration<double, std::milli>(Clock::now() - t0)
+                      .count();
+    out.solved_count = static_cast<std::int64_t>(slots.size());
 
-    // Terminal transitions for the requests this pack touched. Requeued
-    // cursors were moved back into ready_ (null a here) — their requests
-    // still have pending work, so they cannot be terminal.
-    for (std::size_t i = 0; i < pack.size(); ++i) {
-      const std::shared_ptr<Active>& a = pack[i].a;
-      if (!a || a->finalized || a->inflight > 0) continue;
-      if (a->doomed) {
-        finalize_locked(a, a->doom_status, a->doom_msg, a->doom_err);
-      } else if (a->members_done == a->members) {
-        bool all_ok = true;
-        for (const MemberReport& r : a->reports) all_ok &= r.ok;
-        if (all_ok) {
-          finalize_locked(a, RequestStatus::kOk, {}, nullptr);
-        } else {
-          std::string msg = "ensemble member(s) diverged:";
-          for (const MemberReport& r : a->reports) {
-            if (!r.ok) {
-              msg += " [member " + std::to_string(r.member) + ": " +
-                     r.message + "]";
-            }
-          }
-          finalize_locked(a, RequestStatus::kNumericalError, msg,
-                          std::make_exception_ptr(NumericalError(msg)));
-        }
-      }
-    }
-    cv_.notify_all();
+    ledger_.commit_pack(std::move(items), std::move(out));
   }
 }
 

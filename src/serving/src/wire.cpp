@@ -1,0 +1,191 @@
+#include "aeris/serving/wire.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace aeris::serving::wire {
+namespace {
+
+// Integer fields ride in float lanes by bit pattern. Any float payload lane
+// may be NaN/denormal as a float; only memcpy round-trips exactly.
+
+void put_u64(std::vector<float>& out, std::uint64_t v) {
+  float lanes[2];
+  std::memcpy(lanes, &v, sizeof(v));
+  out.push_back(lanes[0]);
+  out.push_back(lanes[1]);
+}
+
+std::uint64_t get_u64(const std::vector<float>& in, std::size_t& pos) {
+  if (pos + 2 > in.size()) {
+    throw std::runtime_error("wire: truncated u64 field");
+  }
+  std::uint64_t v = 0;
+  std::memcpy(&v, in.data() + pos, sizeof(v));
+  pos += 2;
+  return v;
+}
+
+void put_u32(std::vector<float>& out, std::uint32_t v) {
+  float lane;
+  std::memcpy(&lane, &v, sizeof(v));
+  out.push_back(lane);
+}
+
+std::uint32_t get_u32(const std::vector<float>& in, std::size_t& pos) {
+  if (pos + 1 > in.size()) {
+    throw std::runtime_error("wire: truncated u32 field");
+  }
+  std::uint32_t v = 0;
+  std::memcpy(&v, in.data() + pos, sizeof(v));
+  pos += 1;
+  return v;
+}
+
+void put_tensor(std::vector<float>& out, const Tensor& t) {
+  out.insert(out.end(), t.flat().begin(), t.flat().end());
+}
+
+Tensor get_tensor(const std::vector<float>& in, std::size_t& pos,
+                  Shape shape) {
+  const auto n = static_cast<std::size_t>(shape_numel(shape));
+  if (pos + n > in.size()) {
+    throw std::runtime_error("wire: truncated tensor field");
+  }
+  std::vector<float> data(in.begin() + static_cast<std::ptrdiff_t>(pos),
+                          in.begin() + static_cast<std::ptrdiff_t>(pos + n));
+  pos += n;
+  return Tensor(std::move(shape), std::move(data));
+}
+
+void put_string(std::vector<float>& out, const std::string& s) {
+  // One char per lane: heavyweight but only travels on the error path.
+  put_u32(out, static_cast<std::uint32_t>(s.size()));
+  for (const char c : s) {
+    put_u32(out, static_cast<std::uint32_t>(static_cast<unsigned char>(c)));
+  }
+}
+
+std::string get_string(const std::vector<float>& in, std::size_t& pos) {
+  const std::uint32_t n = get_u32(in, pos);
+  std::string s;
+  s.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    s.push_back(static_cast<char>(get_u32(in, pos)));
+  }
+  return s;
+}
+
+}  // namespace
+
+std::vector<float> encode_pack(std::uint64_t pack_id, core::SamplerKind kind,
+                               int solver_steps_override,
+                               std::span<const core::MemberSlot> slots,
+                               std::int64_t h, std::int64_t w, std::int64_t v,
+                               std::int64_t f) {
+  std::vector<float> out;
+  const std::size_t per_slot =
+      4 + static_cast<std::size_t>(h * w * (v + f));
+  out.reserve(9 + slots.size() * per_slot);
+  put_u64(out, pack_id);
+  put_u32(out, static_cast<std::uint32_t>(kind));
+  put_u32(out, static_cast<std::uint32_t>(solver_steps_override));
+  put_u32(out, static_cast<std::uint32_t>(slots.size()));
+  put_u32(out, static_cast<std::uint32_t>(h));
+  put_u32(out, static_cast<std::uint32_t>(w));
+  put_u32(out, static_cast<std::uint32_t>(v));
+  put_u32(out, static_cast<std::uint32_t>(f));
+  for (const core::MemberSlot& s : slots) {
+    put_u64(out, s.noise.seed);
+    put_u64(out, s.noise.key);
+    put_tensor(out, *s.prev);
+    put_tensor(out, *s.forcings);
+  }
+  return out;
+}
+
+std::vector<float> encode_shutdown() {
+  return encode_pack(0, core::SamplerKind::kDpmSolver, 0, {}, 0, 0, 0, 0);
+}
+
+PackMsg decode_pack(const std::vector<float>& payload) {
+  std::size_t pos = 0;
+  PackMsg msg;
+  msg.pack_id = get_u64(payload, pos);
+  msg.kind = static_cast<core::SamplerKind>(get_u32(payload, pos));
+  msg.solver_steps_override = static_cast<int>(get_u32(payload, pos));
+  const std::uint32_t n_slots = get_u32(payload, pos);
+  const auto h = static_cast<std::int64_t>(get_u32(payload, pos));
+  const auto w = static_cast<std::int64_t>(get_u32(payload, pos));
+  const auto v = static_cast<std::int64_t>(get_u32(payload, pos));
+  const auto f = static_cast<std::int64_t>(get_u32(payload, pos));
+  if (n_slots == 0) {
+    msg.shutdown = true;
+    return msg;
+  }
+  msg.noise.reserve(n_slots);
+  msg.prev.reserve(n_slots);
+  msg.forcings.reserve(n_slots);
+  for (std::uint32_t i = 0; i < n_slots; ++i) {
+    core::MemberKey key;
+    key.seed = get_u64(payload, pos);
+    key.key = get_u64(payload, pos);
+    msg.noise.push_back(key);
+    msg.prev.push_back(get_tensor(payload, pos, Shape{h, w, v}));
+    msg.forcings.push_back(get_tensor(payload, pos, Shape{h, w, f}));
+  }
+  return msg;
+}
+
+std::vector<float> encode_result(std::uint64_t pack_id,
+                                 std::span<const Tensor> next) {
+  std::vector<float> out;
+  std::size_t total = 4;
+  for (const Tensor& t : next) {
+    total += 3 + static_cast<std::size_t>(t.numel());
+  }
+  out.reserve(total);
+  put_u64(out, pack_id);
+  put_u32(out, 1);  // ok
+  put_u32(out, static_cast<std::uint32_t>(next.size()));
+  for (const Tensor& t : next) {
+    put_u32(out, static_cast<std::uint32_t>(t.dim(0)));
+    put_u32(out, static_cast<std::uint32_t>(t.dim(1)));
+    put_u32(out, static_cast<std::uint32_t>(t.dim(2)));
+    put_tensor(out, t);
+  }
+  return out;
+}
+
+std::vector<float> encode_result_error(std::uint64_t pack_id,
+                                       const std::string& msg) {
+  std::vector<float> out;
+  out.reserve(4 + msg.size());
+  put_u64(out, pack_id);
+  put_u32(out, 0);  // error
+  put_string(out, msg);
+  return out;
+}
+
+ResultMsg decode_result(const std::vector<float>& payload) {
+  std::size_t pos = 0;
+  ResultMsg msg;
+  msg.pack_id = get_u64(payload, pos);
+  const bool ok = get_u32(payload, pos) != 0;
+  msg.ok = ok;
+  if (!ok) {
+    msg.error = get_string(payload, pos);
+    return msg;
+  }
+  const std::uint32_t n = get_u32(payload, pos);
+  msg.next.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const auto h = static_cast<std::int64_t>(get_u32(payload, pos));
+    const auto w = static_cast<std::int64_t>(get_u32(payload, pos));
+    const auto v = static_cast<std::int64_t>(get_u32(payload, pos));
+    msg.next.push_back(get_tensor(payload, pos, Shape{h, w, v}));
+  }
+  return msg;
+}
+
+}  // namespace aeris::serving::wire

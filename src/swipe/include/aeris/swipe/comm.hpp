@@ -54,7 +54,9 @@ class CommTimeoutError : public std::runtime_error {
 /// paper's communication-overhead analysis (§V-A): alltoall from SP/WP,
 /// send/recv from PP (and window shifting), and allreduce from gradient
 /// synchronization. Barrier control messages get their own class so they
-/// never pollute the pipeline-P2P volume model.
+/// never pollute the pipeline-P2P volume model. The serving tier (work
+/// packs, results, heartbeats of the cluster forecast server) gets its own
+/// class so inference traffic never skews the training volume model.
 enum class Traffic : int {
   kP2P = 0,
   kAllToAll = 1,
@@ -63,8 +65,9 @@ enum class Traffic : int {
   kAllGather = 4,
   kReduceScatter = 5,
   kBarrier = 6,
+  kServing = 7,
 };
-inline constexpr int kTrafficClasses = 7;
+inline constexpr int kTrafficClasses = 8;
 
 class World;
 
@@ -173,10 +176,16 @@ class World {
   /// failure (rank id + message) is retrievable via `failures()`.
   void run(const std::function<void(int rank)>& fn);
 
-  /// One rank's failure as observed by `run`.
+  /// One rank's failure as observed by `run`. `secondary` marks a failure
+  /// that is a *consequence* of another rank's death (a plain
+  /// PeerFailedError raised while the world was already poisoned) rather
+  /// than an originating fault (an InjectedFault or an escaped user
+  /// exception) — recovery layers use it to decide which ranks actually
+  /// died when several failures land in one window.
   struct RankFailure {
     int rank = -1;
     std::string message;
+    bool secondary = false;
   };
   /// All failures from the most recent `run`, in the order observed (the
   /// rethrown root cause prefers an originating failure over secondary

@@ -1,0 +1,117 @@
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <vector>
+
+namespace aeris::swipe {
+
+/// Well-known tags of the serving control plane on a World. The cluster
+/// forecast server speaks three message kinds between its front-end
+/// (world rank 0) and its worker ranks; all three travel in the
+/// Traffic::kServing class. Tags live far above the collective tag
+/// sub-space ((group_tag << 40) | tag) of any Communicator the serving
+/// tier would build, and packs/results are FIFO per (src, tag), so one tag
+/// per direction suffices — the pack header carries the pack id.
+inline constexpr std::uint64_t kServeWorkTag = 0x5E00000000000001ull;
+inline constexpr std::uint64_t kServeResultTag = 0x5E00000000000002ull;
+inline constexpr std::uint64_t kServeHeartbeatTag = 0x5E00000000000003ull;
+
+/// Liveness bookkeeping for a set of peer ranks: last-heartbeat ages and
+/// outstanding work-lease deadlines. The owner (one thread; typically the
+/// serving front-end rank) records beats as heartbeat messages arrive and
+/// opens/closes one lease per outstanding work pack; `expired()` names the
+/// first rank that should be declared dead — stale heartbeat or an
+/// overdue lease — so the owner can poison the world on its behalf and
+/// trigger the requeue/recovery path even when the rank never throws
+/// (hung, not dead). Time is injected by the caller so drills are
+/// deterministic.
+class HeartbeatMonitor {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// `ranks` world ranks are monitored (rank ids are indices into the
+  /// caller's alive-rank list, not world ranks — the caller maps).
+  /// A timeout <= 0 disables that detector.
+  HeartbeatMonitor(int ranks, double heartbeat_timeout_ms,
+                   double lease_timeout_ms, Clock::time_point now)
+      : heartbeat_timeout_ms_(heartbeat_timeout_ms),
+        lease_timeout_ms_(lease_timeout_ms),
+        last_beat_(static_cast<std::size_t>(ranks), now),
+        leases_(static_cast<std::size_t>(ranks)) {}
+
+  int ranks() const { return static_cast<int>(last_beat_.size()); }
+
+  /// A heartbeat (or any message — results count as liveness too) arrived
+  /// from `rank`.
+  void beat(int rank, Clock::time_point now) {
+    last_beat_[static_cast<std::size_t>(rank)] = now;
+  }
+
+  /// A work pack was leased to `rank`; the lease is identified by the
+  /// pack id and expires lease_timeout_ms from `now` unless closed.
+  void open_lease(int rank, std::uint64_t pack_id, Clock::time_point now) {
+    leases_[static_cast<std::size_t>(rank)].push_back(Lease{pack_id, now});
+  }
+
+  /// The pack's result arrived (or the lease was requeued elsewhere).
+  void close_lease(int rank, std::uint64_t pack_id) {
+    auto& ls = leases_[static_cast<std::size_t>(rank)];
+    for (std::size_t i = 0; i < ls.size(); ++i) {
+      if (ls[i].pack_id == pack_id) {
+        ls.erase(ls.begin() + static_cast<std::ptrdiff_t>(i));
+        return;
+      }
+    }
+  }
+
+  std::size_t open_leases(int rank) const {
+    return leases_[static_cast<std::size_t>(rank)].size();
+  }
+
+  /// First rank that should be declared dead at `now`: its oldest lease is
+  /// older than lease_timeout_ms, or (with no lease requirement) its last
+  /// heartbeat is older than heartbeat_timeout_ms. Returns -1 when every
+  /// rank is healthy. A rank with an open lease is held to *both* clocks:
+  /// a healthy-but-slow rank keeps heartbeating while it computes, so only
+  /// a rank that is silent AND overdue is condemned by the lease detector
+  /// when heartbeats are enabled.
+  int expired(Clock::time_point now) const {
+    for (int r = 0; r < ranks(); ++r) {
+      const double beat_age_ms = ms(last_beat_[static_cast<std::size_t>(r)],
+                                    now);
+      const bool beat_stale =
+          heartbeat_timeout_ms_ > 0.0 && beat_age_ms > heartbeat_timeout_ms_;
+      if (lease_timeout_ms_ > 0.0) {
+        for (const Lease& l : leases_[static_cast<std::size_t>(r)]) {
+          if (ms(l.opened, now) > lease_timeout_ms_ &&
+              (heartbeat_timeout_ms_ <= 0.0 || beat_stale)) {
+            return r;
+          }
+        }
+      }
+      if (beat_stale && heartbeat_timeout_ms_ > 0.0 &&
+          lease_timeout_ms_ <= 0.0) {
+        return r;
+      }
+    }
+    return -1;
+  }
+
+ private:
+  struct Lease {
+    std::uint64_t pack_id = 0;
+    Clock::time_point opened{};
+  };
+
+  static double ms(Clock::time_point a, Clock::time_point b) {
+    return std::chrono::duration<double, std::milli>(b - a).count();
+  }
+
+  double heartbeat_timeout_ms_;
+  double lease_timeout_ms_;
+  std::vector<Clock::time_point> last_beat_;
+  std::vector<std::vector<Lease>> leases_;
+};
+
+}  // namespace aeris::swipe

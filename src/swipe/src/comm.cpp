@@ -222,7 +222,7 @@ std::string World::deadlock_dump() const {
   }
   static constexpr const char* kClassNames[kTrafficClasses] = {
       "p2p",       "alltoall",       "allreduce", "broadcast",
-      "allgather", "reduce_scatter", "barrier"};
+      "allgather", "reduce_scatter", "barrier",   "serving"};
   out += "bytes:";
   for (int t = 0; t < kTrafficClasses; ++t) {
     std::snprintf(line, sizeof(line), " %s=%lld", kClassNames[t],
@@ -435,7 +435,7 @@ void World::run(const std::function<void(int)>& fn) {
           }
         }
         std::lock_guard<std::mutex> lock(poison_mutex_);
-        failures_.push_back(RankFailure{r, e.what()});
+        failures_.push_back(RankFailure{r, e.what(), secondary});
       } catch (...) {
         poison(r, "uncaught non-standard exception");
         {

@@ -1,0 +1,80 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <vector>
+
+#include "aeris/serving/types.hpp"
+
+namespace aeris::serving {
+namespace {
+
+// The growth law, uncapped: delay(k) = base * 2^(k-1) * (0.5 + jitter).
+TEST(RetryBackoff, UncappedSequenceFollowsGrowthLaw) {
+  ServerOptions opts;
+  opts.retry_backoff_ms = 2.0;
+  opts.max_retry_backoff_ms = 0.0;  // cap removed
+  const double jitter = 0.25;
+  std::vector<double> delays;
+  for (int attempt = 1; attempt <= 8; ++attempt) {
+    delays.push_back(retry_delay_ms(opts, attempt, jitter));
+  }
+  for (int attempt = 1; attempt <= 8; ++attempt) {
+    const double expected =
+        2.0 * std::ldexp(1.0, attempt - 1) * (0.5 + jitter);
+    EXPECT_DOUBLE_EQ(delays[static_cast<std::size_t>(attempt - 1)], expected)
+        << "attempt " << attempt;
+  }
+  // Strictly doubling.
+  for (std::size_t i = 1; i < delays.size(); ++i) {
+    EXPECT_DOUBLE_EQ(delays[i], 2.0 * delays[i - 1]);
+  }
+}
+
+// The cap: once 2^(k-1) growth crosses max_retry_backoff_ms, every later
+// delay is exactly the cap — a large max_step_retries cannot grow a single
+// wait past the request's deadline budget.
+TEST(RetryBackoff, CapClampsTheTailOfTheSequence) {
+  ServerOptions opts;
+  opts.retry_backoff_ms = 2.0;
+  opts.max_retry_backoff_ms = 10.0;
+  const double jitter = 0.5;  // multiplier exactly 1.0
+  // Uncapped: 2, 4, 8, 16, 32, ... — the cap bites from attempt 4 on.
+  EXPECT_DOUBLE_EQ(retry_delay_ms(opts, 1, jitter), 2.0);
+  EXPECT_DOUBLE_EQ(retry_delay_ms(opts, 2, jitter), 4.0);
+  EXPECT_DOUBLE_EQ(retry_delay_ms(opts, 3, jitter), 8.0);
+  for (int attempt = 4; attempt <= 64; ++attempt) {
+    EXPECT_DOUBLE_EQ(retry_delay_ms(opts, attempt, jitter), 10.0)
+        << "attempt " << attempt;
+  }
+}
+
+// Huge attempt counts must saturate, not overflow: 1 << (k-1) is UB past
+// 63; the ldexp-based law and the cap keep the delay finite and clamped.
+TEST(RetryBackoff, ExtremeAttemptCountsSaturateAtTheCap) {
+  ServerOptions opts;
+  opts.retry_backoff_ms = 1.0;
+  opts.max_retry_backoff_ms = 250.0;
+  for (const int attempt : {63, 64, 65, 1000, 1 << 20}) {
+    const double d = retry_delay_ms(opts, attempt, 0.9);
+    EXPECT_TRUE(std::isfinite(d));
+    EXPECT_DOUBLE_EQ(d, 250.0) << "attempt " << attempt;
+  }
+  // Uncapped extreme attempts stay finite too (ldexp, never a shift).
+  opts.max_retry_backoff_ms = 0.0;
+  EXPECT_TRUE(std::isfinite(retry_delay_ms(opts, 100, 0.0)) ||
+              std::isinf(retry_delay_ms(opts, 100, 0.0)));
+}
+
+// The default cap is on (250 ms) and the env knob overrides it.
+TEST(RetryBackoff, EnvKnobOverridesDefaultCap) {
+  EXPECT_GT(ServerOptions{}.max_retry_backoff_ms, 0.0);
+  ::setenv("AERIS_SERVE_RETRY_CAP_MS", "12.5", 1);
+  const ServerOptions o = ServerOptions::from_env();
+  ::unsetenv("AERIS_SERVE_RETRY_CAP_MS");
+  EXPECT_DOUBLE_EQ(o.max_retry_backoff_ms, 12.5);
+  EXPECT_DOUBLE_EQ(retry_delay_ms(o, 30, 0.5), 12.5);
+}
+
+}  // namespace
+}  // namespace aeris::serving

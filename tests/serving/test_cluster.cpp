@@ -1,0 +1,415 @@
+#include "aeris/serving/cluster.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "aeris/core/forecaster.hpp"
+#include "aeris/serving/server.hpp"
+#include "aeris/swipe/fault.hpp"
+#include "aeris/tensor/ops.hpp"
+
+namespace aeris::serving {
+namespace {
+
+using core::AerisModel;
+using core::ModelConfig;
+using core::ParallelEnsembleEngine;
+
+ModelConfig cl_cfg() {
+  ModelConfig c;
+  c.h = 8;
+  c.w = 8;
+  c.in_channels = 8;  // 2 * V + F with V = 3, F = 2
+  c.out_channels = 3;
+  c.dim = 16;
+  c.depth = 2;
+  c.heads = 2;
+  c.ffn_hidden = 32;
+  c.win_h = 4;
+  c.win_w = 4;
+  c.cond_dim = 16;
+  c.time_features = 8;
+  return c;
+}
+
+AerisModel make_model(std::uint64_t seed) {
+  AerisModel model(cl_cfg(), seed);
+  Philox rng(seed + 100);
+  for (nn::Param* p : model.params()) {
+    if (p->name.find("head") != std::string::npos ||
+        p->name.find("adaln") != std::string::npos) {
+      rng.fill_normal(p->value, 7, 0);
+      scale_(p->value, 0.1f);
+    }
+  }
+  return model;
+}
+
+Tensor make_init(std::uint64_t key) {
+  Philox rng(5);
+  Tensor init({8, 8, 3});
+  rng.fill_normal(init, 1, key);
+  return init;
+}
+
+Tensor make_forcing(std::int64_t step) {
+  Philox rng(6);
+  Tensor f({8, 8, 2});
+  rng.fill_normal(f, 2, static_cast<std::uint64_t>(step));
+  return f;
+}
+
+ParallelEnsembleEngine make_engine(const AerisModel& model) {
+  core::TrigFlowConfig tf;
+  core::TrigSamplerConfig sc;
+  sc.steps = 3;
+  sc.churn = 0.5f;
+  return ParallelEnsembleEngine(model, tf, sc, 0);
+}
+
+ForecastRequest make_request(std::uint64_t seed, std::int64_t members,
+                             std::int64_t steps) {
+  ForecastRequest req;
+  req.init = make_init(seed);
+  req.forcings_at = make_forcing;
+  req.members = members;
+  req.steps = steps;
+  req.seed = seed;
+  return req;
+}
+
+void expect_bitwise_equal(const ForecastResult& a, const ForecastResult& b) {
+  ASSERT_EQ(a.status, RequestStatus::kOk);
+  ASSERT_EQ(b.status, RequestStatus::kOk);
+  ASSERT_EQ(a.trajectories.size(), b.trajectories.size());
+  for (std::size_t m = 0; m < a.trajectories.size(); ++m) {
+    ASSERT_EQ(a.trajectories[m].size(), b.trajectories[m].size());
+    for (std::size_t s = 0; s < a.trajectories[m].size(); ++s) {
+      const Tensor& ta = a.trajectories[m][s];
+      const Tensor& tb = b.trajectories[m][s];
+      ASSERT_EQ(ta.shape(), tb.shape());
+      ASSERT_EQ(std::memcmp(ta.data(), tb.data(),
+                            static_cast<std::size_t>(ta.numel()) *
+                                sizeof(float)),
+                0)
+          << "member " << m << " step " << s;
+    }
+  }
+}
+
+// The distribution contract: trajectories served over SWiPe worker ranks
+// are bitwise-identical to the single-process ForecastServer, whatever the
+// rank count and however the front-end splits packs across ranks.
+TEST(ClusterForecastServer, MatchesSingleProcessServingBitwise) {
+  AerisModel model = make_model(11);
+  ParallelEnsembleEngine engine = make_engine(model);
+
+  constexpr int kClients = 3;
+  const std::int64_t members = 3, steps = 2;
+
+  std::vector<ForecastResult> single(kClients);
+  {
+    ServerOptions so;
+    so.batch = 4;
+    ForecastServer server(engine, so);
+    for (int i = 0; i < kClients; ++i) {
+      single[static_cast<std::size_t>(i)] = server.forecast(
+          make_request(42 + static_cast<std::uint64_t>(i), members, steps));
+    }
+  }
+
+  for (const int ranks : {2, 4}) {
+    ClusterOptions co;
+    co.ranks = ranks;
+    co.serve.batch = 2;  // force multi-pack splits
+    ClusterForecastServer cluster(engine, co);
+
+    std::vector<ForecastResult> got(kClients);
+    std::vector<std::thread> clients;
+    for (int i = 0; i < kClients; ++i) {
+      clients.emplace_back([&, i] {
+        got[static_cast<std::size_t>(i)] = cluster.forecast(
+            make_request(42 + static_cast<std::uint64_t>(i), members,
+                         steps));
+      });
+    }
+    for (auto& t : clients) t.join();
+    for (int i = 0; i < kClients; ++i) {
+      expect_bitwise_equal(got[static_cast<std::size_t>(i)],
+                           single[static_cast<std::size_t>(i)]);
+    }
+    const ServerStats st = cluster.stats();
+    EXPECT_EQ(st.workers_lost, 0);
+    EXPECT_EQ(st.requeued_member_steps, 0);
+    EXPECT_EQ(st.quorum_drains, 0);
+  }
+}
+
+// Robustness core: a worker rank killed mid-pack (deterministic FaultPlan
+// kill on its first result send) must surface as a recovered incarnation —
+// the request completes bitwise-identically, the dead rank's leased steps
+// are requeued, and the stats account for exactly one lost worker.
+TEST(ClusterForecastServer, WorkerDeathRecoversBitwise) {
+  AerisModel model = make_model(11);
+  ParallelEnsembleEngine engine = make_engine(model);
+
+  ForecastResult single;
+  {
+    ForecastServer server(engine, ServerOptions{});
+    single = server.forecast(make_request(7, 4, 3));
+  }
+
+  ClusterOptions co;
+  co.ranks = 3;  // two workers; one will die
+  co.serve.batch = 2;
+  auto plan = std::make_shared<swipe::FaultPlan>();
+  // Heartbeats are off (default), so a worker's sends are results only:
+  // rank 1 dies the moment it tries to deliver its first result.
+  plan->add(swipe::FaultEvent{swipe::FaultKind::kKillRank, 1, 0});
+  co.fault_plan = plan;
+  ClusterForecastServer cluster(engine, co);
+
+  const ForecastResult got = cluster.forecast(make_request(7, 4, 3));
+  expect_bitwise_equal(got, single);
+
+  EXPECT_EQ(cluster.alive_workers(), 1);
+  const ServerStats st = cluster.stats();
+  EXPECT_EQ(st.workers_lost, 1);
+  EXPECT_GT(st.requeued_member_steps, 0);
+  EXPECT_EQ(st.quorum_drains, 0);
+  EXPECT_EQ(st.completed, 1);
+}
+
+// Two ranks killed in the same pack window: World::run must aggregate both
+// originating failures, the front-end must count both dead, every leased
+// member must be requeued exactly once (members_served * steps committed
+// steps total — no member finishes short, none runs twice), and the
+// request still completes bitwise. A FaultPlan cannot script this
+// deterministically — a kill fires on a *send*, and once the first death
+// poisons the world the second rank's send throws before its own kill
+// event can run — so the drill uses escaped exceptions with a rendezvous:
+// both ranks hold their first pack, then both throw, and a user exception
+// is recorded as originating no matter which unwinding poisoned first.
+TEST(ClusterForecastServer, TwoConcurrentWorkerDeathsAggregateAndRecover) {
+  AerisModel model = make_model(11);
+  ParallelEnsembleEngine engine = make_engine(model);
+
+  ForecastResult single;
+  {
+    ForecastServer server(engine, ServerOptions{});
+    single = server.forecast(make_request(9, 4, 3));
+  }
+
+  ClusterOptions co;
+  co.ranks = 4;  // three workers; two die in the same window
+  co.serve.batch = 2;  // 4 members -> two step-0 packs, one per dying rank
+  co.die_on_first_pack = {1, 2};
+  ClusterForecastServer cluster(engine, co);
+
+  const ForecastResult got = cluster.forecast(make_request(9, 4, 3));
+  expect_bitwise_equal(got, single);
+
+  EXPECT_EQ(cluster.alive_workers(), 1);
+  const ServerStats st = cluster.stats();
+  EXPECT_EQ(st.workers_lost, 2);
+  EXPECT_GT(st.requeued_member_steps, 0);
+  // Exactly-once requeue: the committed member-step count equals the
+  // request's work, with no duplicates from the double failure.
+  EXPECT_EQ(st.member_steps, 4 * 3);
+  EXPECT_EQ(st.completed, 1);
+}
+
+// Quorum loss: with one worker and quorum 1, killing it must drain the
+// in-flight request with a typed kWorkerLost error (not a hang, not a
+// crash) and refuse subsequent admissions the same way.
+TEST(ClusterForecastServer, QuorumLossDrainsInFlightWithTypedErrors) {
+  AerisModel model = make_model(11);
+  ParallelEnsembleEngine engine = make_engine(model);
+
+  ClusterOptions co;
+  co.ranks = 2;  // a single worker
+  co.min_quorum = 1;
+  co.serve.batch = 2;
+  auto plan = std::make_shared<swipe::FaultPlan>();
+  plan->add(swipe::FaultEvent{swipe::FaultKind::kKillRank, 1, 0});
+  co.fault_plan = plan;
+  ClusterForecastServer cluster(engine, co);
+
+  const ForecastResult r = cluster.forecast(make_request(3, 2, 2));
+  EXPECT_EQ(r.status, RequestStatus::kWorkerLost);
+  EXPECT_NE(r.error, nullptr);
+  EXPECT_NE(r.error_message.find("quorum"), std::string::npos);
+  ASSERT_NE(r.error, nullptr);
+  EXPECT_THROW(std::rethrow_exception(r.error), WorkerLostError);
+
+  // Parked: later admissions are refused with the same typed error.
+  const ForecastResult after = cluster.forecast(make_request(4, 1, 1));
+  EXPECT_EQ(after.status, RequestStatus::kWorkerLost);
+  EXPECT_NE(after.error, nullptr);
+
+  EXPECT_EQ(cluster.alive_workers(), 0);
+  const ServerStats st = cluster.stats();
+  EXPECT_EQ(st.workers_lost, 1);
+  EXPECT_EQ(st.quorum_drains, 1);
+}
+
+// A hung (not crashed) worker: it stops heartbeating while holding a
+// lease, so the front-end's lease/heartbeat monitor must condemn it,
+// poison the world on its behalf, and recover on the survivor — the
+// client still gets a bitwise-correct result.
+TEST(ClusterForecastServer, LeaseTimeoutCondemnsHungWorker) {
+  AerisModel model = make_model(11);
+  ParallelEnsembleEngine engine = make_engine(model);
+
+  ForecastResult single;
+  {
+    ForecastServer server(engine, ServerOptions{});
+    single = server.forecast(make_request(5, 2, 2));
+  }
+
+  ClusterOptions co;
+  co.ranks = 3;
+  co.serve.batch = 2;
+  co.heartbeat_interval_ms = 10.0;
+  co.heartbeat_timeout_ms = 120.0;
+  co.lease_timeout_ms = 120.0;
+  co.stall_rank = 1;
+  co.stall_after_packs = 0;  // hang on the very first pack
+  co.stall_ms = 700.0;
+  ClusterForecastServer cluster(engine, co);
+
+  const ForecastResult got = cluster.forecast(make_request(5, 2, 2));
+  expect_bitwise_equal(got, single);
+
+  EXPECT_EQ(cluster.alive_workers(), 1);
+  const ServerStats st = cluster.stats();
+  EXPECT_EQ(st.workers_lost, 1);
+  EXPECT_GT(st.requeued_member_steps, 0);
+}
+
+// Stats cross-check against a scripted drill: 2 requests served cleanly,
+// then a kill mid-flight on a later request. Every counter must line up
+// with the script — accepted, completed, member_steps (exactly the
+// committed work), workers_lost, and requeued_member_steps bounded by the
+// dead rank's possible lease footprint.
+TEST(ClusterForecastServer, StatsAccountForAScriptedFaultDrill) {
+  AerisModel model = make_model(11);
+  ParallelEnsembleEngine engine = make_engine(model);
+
+  ClusterOptions co;
+  co.ranks = 3;
+  co.serve.batch = 2;
+  auto plan = std::make_shared<swipe::FaultPlan>();
+  // Rank 2's second result send dies — after the warmup request has
+  // already exercised both workers.
+  plan->add(swipe::FaultEvent{swipe::FaultKind::kKillRank, 2, 1});
+  co.fault_plan = plan;
+  ClusterForecastServer cluster(engine, co);
+
+  const std::int64_t members = 4, steps = 2;
+  const ForecastResult r1 = cluster.forecast(make_request(21, members, steps));
+  const ForecastResult r2 = cluster.forecast(make_request(22, members, steps));
+  EXPECT_EQ(r1.status, RequestStatus::kOk);
+  EXPECT_EQ(r2.status, RequestStatus::kOk);
+
+  const ServerStats st = cluster.stats();
+  EXPECT_EQ(st.accepted, 2);
+  EXPECT_EQ(st.rejected, 0);
+  EXPECT_EQ(st.completed, 2);
+  EXPECT_EQ(st.workers_lost, 1);
+  EXPECT_EQ(st.quorum_drains, 0);
+  // Committed steps are exactly the two requests' work: requeued steps
+  // were recomputed, never double-counted.
+  EXPECT_EQ(st.member_steps, 2 * members * steps);
+  // The dead rank held at most max_outstanding_packs * batch members, each
+  // with at most `steps` remaining.
+  EXPECT_GT(st.requeued_member_steps, 0);
+  EXPECT_LE(st.requeued_member_steps,
+            co.max_outstanding_packs * co.serve.batch * steps);
+  EXPECT_EQ(st.faulted, 0);
+  EXPECT_EQ(st.failed_members, 0);
+}
+
+// Randomized chaos drill (the sanitizer leg drives this one under
+// TSan/ASan): concurrent clients against a cluster whose workers die at
+// pseudo-random send ordinals. Liveness + typed-terminal guarantees:
+// every request terminates, nothing is malformed, and the counters stay
+// consistent.
+TEST(ClusterForecastServer, ChaosKillDrillEveryRequestTerminates) {
+  AerisModel model = make_model(11);
+  ParallelEnsembleEngine engine = make_engine(model);
+
+  ClusterOptions co;
+  co.ranks = 4;
+  co.min_quorum = 1;
+  co.serve.batch = 2;
+  auto plan = std::make_shared<swipe::FaultPlan>();
+  plan->add(swipe::FaultEvent{swipe::FaultKind::kKillRank, 1, 2});
+  plan->add(swipe::FaultEvent{swipe::FaultKind::kKillRank, 3, 4});
+  co.fault_plan = plan;
+  ClusterForecastServer cluster(engine, co);
+
+  constexpr int kClients = 4;
+  constexpr int kRequestsPerClient = 3;
+  std::atomic<int> terminated{0};
+  std::atomic<int> malformed{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      for (int k = 0; k < kRequestsPerClient; ++k) {
+        const ForecastResult r = cluster.forecast(make_request(
+            static_cast<std::uint64_t>(100 + c * 10 + k), 2, 2));
+        ++terminated;
+        const bool sane =
+            r.status == RequestStatus::kOk
+                ? !r.trajectories.empty()
+                : (r.error != nullptr && !r.error_message.empty());
+        if (!sane) ++malformed;
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  cluster.stop();
+
+  EXPECT_EQ(terminated.load(), kClients * kRequestsPerClient)
+      << "a request hung or was dropped";
+  EXPECT_EQ(malformed.load(), 0);
+  const ServerStats st = cluster.stats();
+  EXPECT_EQ(st.accepted + st.rejected, kClients * kRequestsPerClient);
+  // The first kill always fires; the second may be masked (a kill fires on
+  // a send, and a send into the already-poisoned world throws first) and
+  // the plan arms the first incarnation only — so 1 or 2 deaths, never 0,
+  // never more.
+  EXPECT_GE(st.workers_lost, 1);
+  EXPECT_LE(st.workers_lost, 2);
+  EXPECT_GT(st.member_steps, 0);
+}
+
+// Shutdown while work is distributed: stop() must finalize everything
+// with the typed shutdown rejection, workers must exit, and the
+// destructor must not hang.
+TEST(ClusterForecastServer, StopIsCleanAndIdempotent) {
+  AerisModel model = make_model(11);
+  ParallelEnsembleEngine engine = make_engine(model);
+
+  ClusterOptions co;
+  co.ranks = 3;
+  ClusterForecastServer cluster(engine, co);
+  const ForecastResult warm = cluster.forecast(make_request(2, 1, 1));
+  EXPECT_EQ(warm.status, RequestStatus::kOk);
+  cluster.stop();
+  cluster.stop();  // idempotent
+
+  const ForecastResult r = cluster.forecast(make_request(3, 1, 1));
+  EXPECT_EQ(r.status, RequestStatus::kRejected);
+  EXPECT_NE(r.error, nullptr);
+}
+
+}  // namespace
+}  // namespace aeris::serving

@@ -160,6 +160,7 @@ TEST(ForecastServerDrill, RandomizedClientsAllTerminateTyped) {
           case RequestStatus::kDeadlineExceeded:
           case RequestStatus::kNumericalError:
           case RequestStatus::kFault:
+          case RequestStatus::kWorkerLost:
             sane = r.error != nullptr && !r.error_message.empty();
             break;
         }

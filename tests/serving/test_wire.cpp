@@ -1,0 +1,108 @@
+#include "aeris/serving/wire.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "aeris/serving/types.hpp"
+
+namespace aeris::serving::wire {
+namespace {
+
+Tensor filled(Shape shape, std::uint64_t key) {
+  Philox rng(17);
+  Tensor t(std::move(shape));
+  rng.fill_normal(t, 3, key);
+  return t;
+}
+
+void expect_bitwise(const Tensor& a, const Tensor& b) {
+  ASSERT_EQ(a.shape(), b.shape());
+  ASSERT_EQ(std::memcmp(a.data(), b.data(),
+                        static_cast<std::size_t>(a.numel()) * sizeof(float)),
+            0);
+}
+
+TEST(Wire, PackRoundTripIsExact) {
+  const std::int64_t h = 4, w = 6, v = 3, f = 2;
+  std::vector<Tensor> prev{filled({h, w, v}, 0), filled({h, w, v}, 1)};
+  std::vector<Tensor> forc{filled({h, w, f}, 2), filled({h, w, f}, 3)};
+  std::vector<core::MemberSlot> slots(2);
+  for (int i = 0; i < 2; ++i) {
+    slots[static_cast<std::size_t>(i)].prev =
+        &prev[static_cast<std::size_t>(i)];
+    slots[static_cast<std::size_t>(i)].forcings =
+        &forc[static_cast<std::size_t>(i)];
+    // High-entropy keys: bit-cast lanes must survive exactly, including
+    // patterns that are NaN / denormal as floats.
+    slots[static_cast<std::size_t>(i)].noise = core::MemberKey{
+        0xFFFFFFFFFFFFFFFFull - static_cast<std::uint64_t>(i),
+        0x7FF0000000000001ull + static_cast<std::uint64_t>(i)};
+  }
+
+  const std::uint64_t pack_id = 0x8000000000000001ull;
+  const std::vector<float> payload =
+      encode_pack(pack_id, core::SamplerKind::kConsistency, 5,
+                  std::span<const core::MemberSlot>(slots), h, w, v, f);
+  const PackMsg msg = decode_pack(payload);
+
+  EXPECT_FALSE(msg.shutdown);
+  EXPECT_EQ(msg.pack_id, pack_id);
+  EXPECT_EQ(msg.kind, core::SamplerKind::kConsistency);
+  EXPECT_EQ(msg.solver_steps_override, 5);
+  ASSERT_EQ(msg.prev.size(), 2u);
+  ASSERT_EQ(msg.forcings.size(), 2u);
+  ASSERT_EQ(msg.noise.size(), 2u);
+  for (std::size_t i = 0; i < 2; ++i) {
+    EXPECT_EQ(msg.noise[i].seed, slots[i].noise.seed);
+    EXPECT_EQ(msg.noise[i].key, slots[i].noise.key);
+    expect_bitwise(msg.prev[i], prev[i]);
+    expect_bitwise(msg.forcings[i], forc[i]);
+  }
+}
+
+TEST(Wire, ShutdownPackDecodes) {
+  const PackMsg msg = decode_pack(encode_shutdown());
+  EXPECT_TRUE(msg.shutdown);
+  EXPECT_TRUE(msg.prev.empty());
+}
+
+TEST(Wire, ResultRoundTripIsExact) {
+  std::vector<Tensor> next{filled({4, 6, 3}, 9), filled({4, 6, 3}, 10)};
+  // Inject bit patterns a value round-trip would destroy.
+  next[0].data()[0] = std::numeric_limits<float>::quiet_NaN();
+  next[0].data()[1] = -0.0f;
+  const std::vector<float> payload =
+      encode_result(77, std::span<const Tensor>(next));
+  const ResultMsg msg = decode_result(payload);
+  EXPECT_TRUE(msg.ok);
+  EXPECT_EQ(msg.pack_id, 77u);
+  ASSERT_EQ(msg.next.size(), 2u);
+  expect_bitwise(msg.next[0], next[0]);
+  expect_bitwise(msg.next[1], next[1]);
+}
+
+TEST(Wire, ErrorResultCarriesMessage) {
+  const std::string why = "solver exploded: non-finite residual @ step 3";
+  const ResultMsg msg = decode_result(encode_result_error(41, why));
+  EXPECT_FALSE(msg.ok);
+  EXPECT_EQ(msg.pack_id, 41u);
+  EXPECT_EQ(msg.error, why);
+  EXPECT_TRUE(msg.next.empty());
+}
+
+TEST(Wire, TruncatedPayloadThrowsInsteadOfMisreading) {
+  std::vector<Tensor> next{filled({4, 6, 3}, 9)};
+  std::vector<float> payload =
+      encode_result(7, std::span<const Tensor>(next));
+  payload.resize(payload.size() - 5);
+  EXPECT_THROW(decode_result(payload), std::runtime_error);
+  EXPECT_THROW(decode_pack(std::vector<float>(3, 0.0f)),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace aeris::serving::wire
