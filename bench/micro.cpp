@@ -456,6 +456,90 @@ BENCHMARK(BM_ForecastServer)
     ->ArgNames({"clients", "members"})
     ->UseRealTime();  // server workers compute; the driver only waits
 
+// BM_ForecastServer's workload through a registry-backed model zoo:
+// `variants` engine variants (v0 the fine 16x16 model, the rest
+// shared-backbone 8x8 previews) behind one server, with `clients`
+// concurrent requests round-robin pinned across them. The delta against
+// BM_ForecastServer at matching client counts prices per-request routing
+// plus mixed-variant packing (packs never mix engines, so the workers see
+// more, smaller packs).
+void BM_ForecastServerMultiModel(benchmark::State& state) {
+  const int variants = static_cast<int>(state.range(0));
+  const int clients = static_cast<int>(state.range(1));
+  core::ModelConfig mc;
+  mc.h = 16;
+  mc.w = 16;
+  mc.in_channels = 12;
+  mc.out_channels = 5;
+  mc.dim = 32;
+  mc.depth = 2;
+  mc.heads = 4;
+  mc.ffn_hidden = 64;
+  mc.win_h = 8;
+  mc.win_w = 8;
+  mc.cond_dim = 32;
+  core::AerisModel fine(mc, 1);
+  core::ModelConfig cc = mc;
+  cc.h = 8;
+  cc.w = 8;
+  core::TrigFlowConfig tf;
+  core::TrigSamplerConfig sc;
+  sc.steps = 4;
+  sc.churn = 0.3f;
+  std::vector<std::unique_ptr<core::AerisModel>> previews;
+  std::vector<std::unique_ptr<core::ParallelEnsembleEngine>> engines;
+  serving::ModelRegistry registry;
+  engines.push_back(
+      std::make_unique<core::ParallelEnsembleEngine>(fine, tf, sc, 7));
+  registry.add("v0", *engines.back(), /*skill_tier=*/1);
+  for (int v = 1; v < variants; ++v) {
+    previews.push_back(std::make_unique<core::AerisModel>(cc, fine));
+    engines.push_back(std::make_unique<core::ParallelEnsembleEngine>(
+        *previews.back(), tf, sc, 7));
+    registry.add("v" + std::to_string(v), *engines.back(), 0);
+  }
+  serving::ServerOptions opts;
+  opts.workers = 2;
+  opts.batch = 8;
+  serving::ForecastServer server(registry, opts);
+  Philox rng(8);
+  Tensor fine_init({16, 16, 5});
+  rng.fill_normal(fine_init, 1, 0);
+  Tensor fine_forcing({16, 16, 2});
+  rng.fill_normal(fine_forcing, 1, 1);
+  Tensor coarse_init({8, 8, 5});
+  rng.fill_normal(coarse_init, 1, 2);
+  Tensor coarse_forcing({8, 8, 2});
+  rng.fill_normal(coarse_forcing, 1, 3);
+  const std::int64_t members = 4, steps = 2;
+  for (auto _ : state) {
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(clients));
+    for (int c = 0; c < clients; ++c) {
+      pool.emplace_back([&, c] {
+        const bool coarse = c % variants != 0;
+        serving::ForecastRequest req;
+        req.init = coarse ? coarse_init : fine_init;
+        req.forcings_at = [&, coarse](std::int64_t) {
+          return coarse ? coarse_forcing : fine_forcing;
+        };
+        req.members = members;
+        req.steps = steps;
+        req.seed = static_cast<std::uint64_t>(c);
+        req.model = "v" + std::to_string(c % variants);
+        benchmark::DoNotOptimize(server.forecast(req));
+      });
+    }
+    for (auto& t : pool) t.join();
+  }
+  state.SetItemsProcessed(state.iterations() * clients * members * steps);
+}
+BENCHMARK(BM_ForecastServerMultiModel)
+    ->Args({2, 4})
+    ->Args({2, 8})
+    ->ArgNames({"variants", "clients"})
+    ->UseRealTime();
+
 // BM_ForecastServer's workload through the distributed front-end: the same
 // requests admitted by the same ledger, but packs ride the SWiPe wire to
 // worker ranks (encode, send, solve, result, commit). The delta against

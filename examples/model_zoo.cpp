@@ -1,0 +1,228 @@
+// A model zoo behind one serving front-end: a full-skill fine-grid model
+// plus a shared-backbone coarse "preview" variant registered in a
+// ModelRegistry, with env-overridable routing (AERIS_SERVE_MODEL /
+// AERIS_SERVE_FALLBACK_MODEL) and a cross-model degrade edge fine ->
+// coarse. Phase 1 shows per-request routing (pinned names and quality
+// classes) and checks the multi-model server's unstressed pinned path
+// bitwise against a single-model server. Phase 2 forces the zeroth
+// DegradePolicy rung and checks the re-routed request bitwise against the
+// coarse variant serving the area-mean-coarsened request directly. The
+// exit code reflects both checks, so this doubles as a runnable
+// regression check for the registry path.
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "aeris/core/forecaster.hpp"
+#include "aeris/serving/registry.hpp"
+#include "aeris/serving/server.hpp"
+#include "aeris/tensor/ops.hpp"
+
+using namespace aeris;
+
+namespace {
+
+core::ModelConfig grid_cfg(std::int64_t h, std::int64_t w) {
+  core::ModelConfig c;
+  c.h = h;
+  c.w = w;
+  c.in_channels = 8;  // 2 * V + F with V = 3, F = 2
+  c.out_channels = 3;
+  c.dim = 32;
+  c.depth = 2;
+  c.heads = 4;
+  c.ffn_hidden = 64;
+  c.win_h = 4;
+  c.win_w = 4;
+  c.cond_dim = 32;
+  c.time_features = 8;
+  return c;
+}
+
+Tensor make_init(std::int64_t h, std::int64_t w, std::uint64_t key) {
+  Philox rng(5);
+  Tensor init({h, w, 3});
+  rng.fill_normal(init, 1, key);
+  return init;
+}
+
+Tensor forcing_grid(std::int64_t h, std::int64_t w, std::int64_t step) {
+  Philox rng(6);
+  Tensor f({h, w, 2});
+  rng.fill_normal(f, 2, static_cast<std::uint64_t>(step));
+  return f;
+}
+
+bool trajs_bitwise(const std::vector<std::vector<Tensor>>& got,
+                   const std::vector<std::vector<Tensor>>& ref) {
+  if (got.size() != ref.size()) return false;
+  for (std::size_t m = 0; m < ref.size(); ++m) {
+    if (got[m].size() != ref[m].size()) return false;
+    for (std::size_t s = 0; s < ref[m].size(); ++s) {
+      if (std::memcmp(got[m][s].data(), ref[m][s].data(),
+                      static_cast<std::size_t>(ref[m][s].numel()) *
+                          sizeof(float)) != 0) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main() {
+  // The zoo: a 16x16 full-skill model and an 8x8 preview variant that
+  // aliases its backbone (one weight copy in memory; only the head and the
+  // grid-tied position encoding are per-variant).
+  const core::ModelConfig fine_cfg = grid_cfg(16, 16);
+  const core::ModelConfig coarse_cfg = grid_cfg(8, 8);
+  core::AerisModel fine_model(fine_cfg, 7);
+  core::AerisModel coarse_model(coarse_cfg, fine_model);
+
+  core::TrigFlowConfig tf;
+  core::TrigSamplerConfig ts;
+  ts.steps = 6;
+  core::ParallelEnsembleEngine fine_eng(fine_model, tf, ts, 0);
+  core::ParallelEnsembleEngine coarse_eng(coarse_model, tf, ts, 0);
+
+  serving::ModelRegistry registry;
+  registry.add("fine", fine_eng, /*skill_tier=*/1);
+  registry.add("coarse", coarse_eng, /*skill_tier=*/0);
+  registry.set_fallback("fine", "coarse");
+  // Deployment knobs: AERIS_SERVE_MODEL re-points the default variant,
+  // AERIS_SERVE_FALLBACK_MODEL rewires its degrade edge. Unknown names
+  // fail loudly here, at startup.
+  registry.overlay_env();
+
+  std::int64_t shared = 0, owned = 0;
+  const core::AerisModel& cm = coarse_model;
+  const core::AerisModel& fm = fine_model;
+  for (std::size_t i = 0; i < cm.params().size(); ++i) {
+    (cm.params()[i] == fm.params()[i] ? shared : owned) +=
+        cm.params()[i]->value.numel();
+  }
+  std::printf("== model zoo ==\n");
+  std::printf("%-8s %6s %8s %10s\n", "variant", "tier", "grid", "fallback");
+  for (std::int64_t i = 0; i < registry.size(); ++i) {
+    const serving::ModelVariant& v = registry.at(i);
+    const core::ModelConfig& mc = v.engine->model().config();
+    std::printf("%-8s %6d %5lldx%-3lld %10s\n", v.name.c_str(), v.skill_tier,
+                static_cast<long long>(mc.h), static_cast<long long>(mc.w),
+                v.fallback >= 0 ? registry.at(v.fallback).name.c_str() : "-");
+  }
+  std::printf("coarse variant aliases %lld backbone weights, owns %lld "
+              "(head)\n\n",
+              static_cast<long long>(shared), static_cast<long long>(owned));
+
+  const std::int64_t members = 3, steps = 4;
+  auto fine_forcing = [](std::int64_t s) { return forcing_grid(16, 16, s); };
+  auto coarse_forcing = [](std::int64_t s) { return forcing_grid(8, 8, s); };
+  bool ok = true;
+
+  // Phase 1: one server, per-request routing; the pinned fine request must
+  // be bitwise what a single-model server serves.
+  {
+    serving::ServerOptions opts;
+    opts.workers = 2;
+    opts.batch = 8;
+    serving::ForecastServer zoo(registry, opts);
+
+    serving::ForecastRequest fine_req;
+    fine_req.init = make_init(16, 16, 0);
+    fine_req.forcings_at = fine_forcing;
+    fine_req.members = members;
+    fine_req.steps = steps;
+    fine_req.seed = 42;
+    fine_req.model = "fine";
+    const serving::ForecastResult fr = zoo.forecast(fine_req);
+
+    serving::ForecastRequest preview_req;
+    preview_req.init = make_init(8, 8, 1);
+    preview_req.forcings_at = coarse_forcing;
+    preview_req.members = members;
+    preview_req.steps = steps;
+    preview_req.seed = 43;
+    preview_req.quality = serving::QualityClass::kPreview;
+    const serving::ForecastResult pr = zoo.forecast(preview_req);
+
+    if (!fr.ok() || !pr.ok()) {
+      std::fprintf(stderr, "phase 1 forecast failed: %s %s\n",
+                   fr.error_message.c_str(), pr.error_message.c_str());
+      return 2;
+    }
+    std::printf("== phase 1: routing ==\n");
+    std::printf("pinned model=\"fine\"        -> served by %-8s (%lld "
+                "members x %lld steps)\n",
+                fr.model_served.c_str(), static_cast<long long>(members),
+                static_cast<long long>(steps));
+    std::printf("quality=kPreview (no name) -> served by %-8s\n",
+                pr.model_served.c_str());
+
+    serving::ForecastRequest plain = fine_req;
+    plain.model.clear();
+    serving::ForecastServer fine_only(fine_eng, serving::ServerOptions{});
+    const serving::ForecastResult ref = fine_only.forecast(plain);
+    const bool bitwise = ref.ok() && trajs_bitwise(fr.trajectories,
+                                                   ref.trajectories);
+    std::printf("unstressed pinned request vs single-model server: %s\n\n",
+                bitwise ? "bitwise identical" : "MISMATCH");
+    ok = ok && bitwise && pr.model_served == "coarse";
+  }
+
+  // Phase 2: the cross-model rung. Forcing the zeroth rung re-routes the
+  // fine request onto the coarse variant, area-mean-coarsening its init
+  // and forcings; the result must be bitwise what the coarse variant
+  // serves for the coarsened request directly.
+  {
+    serving::ServerOptions opts;
+    opts.degrade.fallback_wait_threshold_ms = -1.0;  // always overloaded
+    serving::ForecastServer stressed(registry, opts);
+
+    serving::ForecastRequest req;
+    req.init = make_init(16, 16, 2);
+    req.forcings_at = fine_forcing;
+    req.members = members;
+    req.steps = steps;
+    req.seed = 44;
+    req.model = "fine";
+    const serving::ForecastResult r = stressed.forecast(req);
+    if (!r.ok()) {
+      std::fprintf(stderr, "phase 2 forecast failed: %s\n",
+                   r.error_message.c_str());
+      return 2;
+    }
+
+    core::DiffusionForecaster serial(coarse_model, tf, ts, req.seed);
+    const auto ref = serial.ensemble_rollout(
+        serving::coarsen_mean(req.init, 8, 8),
+        [&](std::int64_t s) {
+          return serving::coarsen_mean(fine_forcing(s), 8, 8);
+        },
+        steps, members);
+    const bool bitwise = trajs_bitwise(r.trajectories, ref);
+
+    const serving::ServerStats stats = stressed.stats();
+    std::printf("== phase 2: cross-model degradation ==\n");
+    std::printf("requested \"fine\" under load -> served by %s (degraded=%s)"
+                "\n",
+                r.model_served.c_str(), r.degraded ? "yes" : "no");
+    std::printf("stats: degraded_to_fallback_model=%lld  "
+                "per_model[fine].fell_back=%lld  "
+                "per_model[coarse].completed=%lld\n",
+                static_cast<long long>(stats.degraded_to_fallback_model),
+                static_cast<long long>(
+                    stats.per_model.at("fine").degraded_to_fallback_model),
+                static_cast<long long>(
+                    stats.per_model.at("coarse").completed));
+    std::printf("re-routed request vs coarse variant on coarsened fields: "
+                "%s\n\n",
+                bitwise ? "bitwise identical" : "MISMATCH");
+    ok = ok && bitwise && r.degraded && r.model_served == "coarse" &&
+         stats.degraded_to_fallback_model == 1;
+  }
+
+  std::printf("model zoo checks: %s\n", ok ? "PASS" : "FAIL");
+  return ok ? 0 : 1;
+}

@@ -24,6 +24,12 @@
 # server workers, and the distiller's EMA-target refresh is the one place
 # a model's weights mutate while a cache generation is live.
 #
+# Both legs also run the multimodel suite: the randomized mixed-variant
+# pack-purity drill plus concurrent clients spread across a model zoo —
+# distinct engines (some sharing backbone weight storage) routed through
+# one server, where a pack that mixed variants or a cache entry that
+# crossed models would surface as a race or a lifetime bug.
+#
 # Both legs also run the cluster suite — worker ranks dying (kills,
 # escaped exceptions, hangs) while leases are in flight is the richest
 # unwinding in the codebase, and the randomized chaos kill drill is the
@@ -39,7 +45,7 @@ build=${1:-"$repo/build-tsan"}
 asan_build=${2:-"$repo/build-asan"}
 
 cmake -B "$build" -S "$repo" -DAERIS_SANITIZE=thread
-cmake --build "$build" -j --target test_swipe test_core test_serving test_infer_hotpath test_consistency test_cluster
+cmake --build "$build" -j --target test_swipe test_core test_serving test_infer_hotpath test_consistency test_multimodel test_cluster
 # TSan aborts the process on the first race (halt_on_error), so a clean
 # exit means a clean suite. The timeout backstops comm deadlocks.
 TSAN_OPTIONS="halt_on_error=1 $TSAN_OPTIONS" \
@@ -59,11 +65,14 @@ TSAN_OPTIONS="halt_on_error=1 $TSAN_OPTIONS" \
   timeout 600 "$build/tests/test_consistency"
 echo "TSan consistency suite (mixed teacher/student serving) clean"
 TSAN_OPTIONS="halt_on_error=1 $TSAN_OPTIONS" \
+  timeout 600 "$build/tests/test_multimodel"
+echo "TSan multimodel suite (mixed-variant pack purity drill) clean"
+TSAN_OPTIONS="halt_on_error=1 $TSAN_OPTIONS" \
   timeout 600 "$build/tests/test_cluster"
 echo "TSan cluster suite (incl. chaos kill drill) clean"
 
 cmake -B "$asan_build" -S "$repo" -DAERIS_SANITIZE=address
-cmake --build "$asan_build" -j --target test_serving test_infer_hotpath test_consistency test_cluster
+cmake --build "$asan_build" -j --target test_serving test_infer_hotpath test_consistency test_multimodel test_cluster
 ASAN_OPTIONS="halt_on_error=1 detect_leaks=1 $ASAN_OPTIONS" \
   timeout 600 "$asan_build/tests/test_serving"
 echo "ASan serving suite clean"
@@ -73,6 +82,9 @@ echo "ASan inference-hot-path suite clean"
 ASAN_OPTIONS="halt_on_error=1 detect_leaks=1 $ASAN_OPTIONS" \
   timeout 600 "$asan_build/tests/test_consistency"
 echo "ASan consistency suite clean"
+ASAN_OPTIONS="halt_on_error=1 detect_leaks=1 $ASAN_OPTIONS" \
+  timeout 600 "$asan_build/tests/test_multimodel"
+echo "ASan multimodel suite (mixed-variant pack purity drill) clean"
 ASAN_OPTIONS="halt_on_error=1 detect_leaks=1 $ASAN_OPTIONS" \
   timeout 600 "$asan_build/tests/test_cluster"
 echo "ASan cluster suite (incl. chaos kill drill) clean"

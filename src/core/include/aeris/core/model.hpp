@@ -42,9 +42,35 @@ struct ModelConfig {
 /// This class is the *single-rank reference implementation*; the SWiPe
 /// runtime executes the same blocks sharded across window / sequence /
 /// pipeline ranks and is tested for equivalence against this path.
+///
+/// Weight sharing: modules live behind shared_ptr, so a *shared-backbone
+/// variant* (the second constructor) aliases another model's embed / time
+/// trunk / blocks / final norm — the same layer objects, hence the same
+/// LayerIds and parameter storage — while owning only its decode head.
+/// Because no layer reads the grid extent (blocks operate per window), the
+/// variant may run a different H x W than its donor; every
+/// parameter-bearing dimension must match. Mutable params() then covers
+/// the *owned* head alone, so optimizers/EMA over a shared variant train
+/// the distilled head and never perturb the donor (backward does still
+/// accumulate into the shared modules' grad tensors — harmless for
+/// inference, which never reads grads, but don't run a shared variant's
+/// backward concurrently with the donor's own training step).
 class AerisModel {
  public:
   explicit AerisModel(const ModelConfig& cfg, std::uint64_t seed = 0);
+
+  /// Shared-backbone variant: shares every module of `backbone` except the
+  /// decode head (fresh Param storage; initialized as a copy of the
+  /// donor's head when out_channels agree, zero otherwise). Throws when a
+  /// parameter-bearing dimension differs from the donor's config.
+  AerisModel(const ModelConfig& cfg, const AerisModel& backbone);
+
+  /// Copies would silently alias every module (shared_ptr members);
+  /// moves are safe — params_ points into the heap-allocated layers.
+  AerisModel(const AerisModel&) = delete;
+  AerisModel& operator=(const AerisModel&) = delete;
+  AerisModel(AerisModel&&) = default;
+  AerisModel& operator=(AerisModel&&) = default;
 
   /// x: [B, H, W, Cin], t: [B] diffusion times. Returns [B, H, W, Cout].
   /// Forward is const: all per-call state lives in `ctx`, so any number of
@@ -67,9 +93,15 @@ class AerisModel {
   /// consuming the activations deposited in `ctx` by the matching forward.
   Tensor backward(const Tensor& dy, nn::FwdCtx& ctx);
 
+  /// Mutable parameters: everything for a primary model, the owned head
+  /// alone for a shared-backbone variant (so training/EMA state over a
+  /// variant cannot touch the donor's weights).
   const nn::ParamList& params() { return params_; }
-  /// Read-only parameter view for const (shared, concurrent) models.
+  /// Read-only parameter view for const (shared, concurrent) models;
+  /// always the full list, shared modules included.
   const nn::ConstParamList& params() const { return const_params_; }
+  /// True for a shared-backbone variant (second constructor).
+  bool shares_backbone() const { return shares_backbone_; }
   const ModelConfig& config() const { return cfg_; }
   std::int64_t param_count() const;
 
@@ -83,7 +115,7 @@ class AerisModel {
   const SwinBlock& block(std::int64_t i) const {
     return *blocks_[static_cast<std::size_t>(i)];
   }
-  nn::TimeEmbedding& time_embedding() { return time_embed_; }
+  nn::TimeEmbedding& time_embedding() { return *time_embed_; }
 
  private:
   Tensor partition_batch(const Tensor& x, std::int64_t shift) const;
@@ -92,11 +124,12 @@ class AerisModel {
 
   ModelConfig cfg_;
   Tensor posenc_;  // [H, W]
-  nn::Linear embed_;
-  nn::TimeEmbedding time_embed_;
-  std::vector<std::unique_ptr<SwinBlock>> blocks_;
-  nn::RMSNorm final_norm_;
-  nn::Linear head_;
+  std::shared_ptr<nn::Linear> embed_;
+  std::shared_ptr<nn::TimeEmbedding> time_embed_;
+  std::vector<std::shared_ptr<SwinBlock>> blocks_;
+  std::shared_ptr<nn::RMSNorm> final_norm_;
+  std::shared_ptr<nn::Linear> head_;
+  bool shares_backbone_ = false;
   nn::ParamList params_;
   nn::ConstParamList const_params_;
   nn::LayerId id_;

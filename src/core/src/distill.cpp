@@ -19,29 +19,60 @@ DistillConfig with_default_weights(DistillConfig cfg, const ModelConfig& mc) {
   return cfg;
 }
 
-/// Copies teacher weights into the student (tensor-by-tensor, so the two
-/// models must agree in architecture) and returns the student reference —
-/// runs in the member-init list so the copy lands before the optimizer and
-/// EMA capture the student's parameter state.
+/// Copies teacher weights into the student and returns the student
+/// reference — runs in the member-init list so the copy lands before the
+/// optimizer and EMA capture the student's parameter state. Full students
+/// copy positionally (the two models must agree in architecture); a
+/// shared-backbone student exposes only its owned head as mutable params,
+/// so its (shorter) list is matched against the teacher's by name — the
+/// backbone needs no copy, it *is* the teacher's storage.
 AerisModel& init_student(AerisModel& student, const AerisModel& teacher,
                          const DistillConfig& cfg) {
   const nn::ParamList& sp = student.params();
   const nn::ConstParamList& tp = teacher.params();
-  if (sp.size() != tp.size()) {
+  if (!student.shares_backbone() && sp.size() != tp.size()) {
     throw std::invalid_argument(
         "ConsistencyDistiller: student/teacher parameter lists differ");
   }
   for (std::size_t i = 0; i < sp.size(); ++i) {
-    if (sp[i]->value.numel() != tp[i]->value.numel()) {
+    const nn::Param* src = nullptr;
+    if (student.shares_backbone()) {
+      for (const nn::Param* t : tp) {
+        if (t->name == sp[i]->name) {
+          src = t;
+          break;
+        }
+      }
+      if (src == nullptr) {
+        throw std::invalid_argument(
+            "ConsistencyDistiller: teacher has no parameter named '" +
+            sp[i]->name + "'");
+      }
+    } else {
+      src = tp[i];
+    }
+    if (sp[i]->value.numel() != src->value.numel()) {
       throw std::invalid_argument(
           "ConsistencyDistiller: shape mismatch in '" + sp[i]->name + "'");
     }
     if (cfg.init_from_teacher) {
-      std::copy_n(tp[i]->value.data(), tp[i]->value.numel(),
+      std::copy_n(src->value.data(), src->value.numel(),
                   sp[i]->value.data());
     }
   }
   return student;
+}
+
+/// The EMA target network mirrors the student's sharing structure: a full
+/// student gets an independent full model (its whole state trails the
+/// student), a shared-backbone student gets a variant aliasing the same
+/// frozen backbone — only the head trails, which is exactly the state the
+/// EMA shadow covers.
+AerisModel make_target(const AerisModel& student) {
+  if (student.shares_backbone()) {
+    return AerisModel(student.config(), student);
+  }
+  return AerisModel(student.config());
 }
 
 /// Stacks [H,W,*] channel groups into a single [1,H,W,C] model input
@@ -60,7 +91,7 @@ ConsistencyDistiller::ConsistencyDistiller(AerisModel& student,
                                            const DistillConfig& cfg)
     : student_(init_student(student, teacher, cfg)),
       teacher_(teacher),
-      target_(student.config()),
+      target_(make_target(student)),
       cfg_(with_default_weights(cfg, student.config())),
       opt_(student.params(), cfg.adam),
       ema_(student.params(), cfg.ema_half_life),

@@ -9,6 +9,7 @@
 
 #include "aeris/core/ensemble.hpp"
 #include "aeris/serving/ledger.hpp"
+#include "aeris/serving/registry.hpp"
 #include "aeris/serving/types.hpp"
 #include "aeris/swipe/comm.hpp"
 #include "aeris/swipe/fault.hpp"
@@ -101,6 +102,15 @@ struct ClusterOptions {
 /// count, packing, and worker-death schedule.
 class ClusterForecastServer {
  public:
+  /// Registry-backed router: the front-end routes each request to a
+  /// variant; packs travel with the variant's registry index in the wire
+  /// header, and every worker rank resolves the engine from the same
+  /// (process-shared) registry — its local replica. The registry (frozen,
+  /// >= 1 variant) and its engines must outlive the server.
+  ClusterForecastServer(const ModelRegistry& registry,
+                        const ClusterOptions& opts = {});
+  /// Single-engine convenience: builds an owned one-variant registry named
+  /// "default" around `engine`.
   ClusterForecastServer(const core::ParallelEnsembleEngine& engine,
                         const ClusterOptions& opts = {});
   ~ClusterForecastServer();
@@ -142,7 +152,9 @@ class ClusterForecastServer {
   bool dispatch_pack(swipe::World& world, swipe::HeartbeatMonitor& monitor,
                      int worker_rank, std::vector<PackItem> items);
 
-  const core::ParallelEnsembleEngine& engine_;
+  /// Set only by the single-engine ctor; registry_ points at it then.
+  std::unique_ptr<ModelRegistry> owned_registry_;
+  const ModelRegistry& registry_;
   ClusterOptions opts_;
   RequestLedger ledger_;
   std::atomic<int> alive_workers_;

@@ -8,8 +8,12 @@ namespace aeris::serving {
 /// Why an admission was refused. kQueueFull is load shedding: the bounded
 /// admission queue is at capacity and accepting more work would only grow
 /// every request's latency past its deadline. kShutdown means the server
-/// is stopping (or stopped) and will not start new work.
-enum class RejectReason { kQueueFull, kShutdown };
+/// is stopping (or stopped) and will not start new work. kUnsupported
+/// means the request asked for something this server cannot route — an
+/// unknown model name, or a sampler family the resolved engine lacks
+/// (kConsistency without a distilled student) — a terminal, typed outcome
+/// rather than a bare throw from inside the server.
+enum class RejectReason { kQueueFull, kShutdown, kUnsupported };
 
 /// A request was refused at admission (never started computing).
 class RejectedError : public std::runtime_error {

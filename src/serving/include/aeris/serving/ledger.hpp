@@ -13,6 +13,7 @@
 #include "aeris/core/cursor.hpp"
 #include "aeris/core/ensemble.hpp"
 #include "aeris/serving/errors.hpp"
+#include "aeris/serving/registry.hpp"
 #include "aeris/serving/types.hpp"
 
 namespace aeris::serving {
@@ -36,6 +37,12 @@ struct ActiveRequest {
   bool degraded = false;
   int solver_steps = 0;  ///< effective solver steps (override for step_pack)
   core::SamplerKind sampler = core::SamplerKind::kDpmSolver;
+  /// Engine of the registry variant serving this request — the resolved
+  /// variant, or its fallback when the cross-model rung fired. Packs never
+  /// mix engines (take_pack groups by it).
+  const core::ParallelEnsembleEngine* engine = nullptr;
+  std::string model_name;         ///< registry name of the serving variant
+  std::uint32_t model_index = 0;  ///< registry index (the wire model-id lane)
 
   Clock::time_point admit{};
   Clock::time_point deadline{};
@@ -105,7 +112,10 @@ struct FetchedForcings {
 FetchedForcings fetch_forcings(std::span<const PackItem> items);
 
 /// Throws std::invalid_argument for malformed requests (wrong shapes, null
-/// forcing fn, unsupported sampler). Shared by both serving front-ends.
+/// forcing fn, bad member/step counts) against the resolved variant's
+/// engine. Routing failures (unknown model, unsupported sampler) are NOT
+/// thrown here — RequestLedger::admit turns them into typed
+/// RejectedError{kUnsupported} results. Shared by both serving front-ends.
 void validate_request(const core::ParallelEnsembleEngine& engine,
                       const ForecastRequest& req);
 
@@ -127,8 +137,10 @@ void validate_request(const core::ParallelEnsembleEngine& engine,
 /// Every request admitted terminates with a result or a typed error.
 class RequestLedger {
  public:
-  RequestLedger(const core::ParallelEnsembleEngine& engine,
-                const ServerOptions& opts);
+  /// The ledger routes against a frozen ModelRegistry (>= 1 variant;
+  /// throws std::invalid_argument when empty). Both the registry and its
+  /// engines must outlive the ledger.
+  RequestLedger(const ModelRegistry& registry, const ServerOptions& opts);
 
   /// Normalized options (capacity/batch/workers clamped to >= 1).
   const ServerOptions& options() const { return opts_; }
@@ -147,7 +159,8 @@ class RequestLedger {
 
   /// FIFO sweep + pack formation: drops cursors of finalized requests,
   /// dooms expired ones, then checks out up to `max_items` eligible items
-  /// sharing one (solver steps, sampler) schedule. May return empty (only
+  /// sharing one (engine, solver steps, sampler) schedule — a pack never
+  /// mixes registry variants or sampler families. May return empty (only
   /// backoff-gated cursors right now, or nothing pending).
   std::vector<PackItem> take_pack(std::int64_t max_items);
 
@@ -212,7 +225,7 @@ class RequestLedger {
   /// holds mu_.
   void sweep_terminal_locked(std::span<const PackItem> items);
 
-  const core::ParallelEnsembleEngine& engine_;
+  const ModelRegistry& registry_;
   ServerOptions opts_;
   Philox jitter_rng_;
 

@@ -1,21 +1,26 @@
 #pragma once
 
+#include <memory>
 #include <thread>
 #include <vector>
 
 #include "aeris/core/ensemble.hpp"
 #include "aeris/serving/errors.hpp"
 #include "aeris/serving/ledger.hpp"
+#include "aeris/serving/registry.hpp"
 #include "aeris/serving/types.hpp"
 
 namespace aeris::serving {
 
-/// Batched forecast front-end over one shared ParallelEnsembleEngine.
+/// Batched forecast front-end over a ModelRegistry of engine variants
+/// (single-engine servers are the one-variant special case).
 ///
-/// Many client threads call forecast() concurrently; the server packs
-/// members *across requests* into stacked [E, H, W, C] solver steps so the
-/// model always sees full batches, and every request terminates with a
-/// result or a typed error — never a hang, never a crash:
+/// Many client threads call forecast() concurrently; each request routes
+/// to a registry variant (by name, quality class, or the default) and the
+/// server packs members *across requests on the same variant* into stacked
+/// [E, H, W, C] solver steps — packs never mix models or sampler families
+/// — so the model always sees full batches, and every request terminates
+/// with a result or a typed error — never a hang, never a crash:
 ///
 ///  - Admission is bounded (queue_capacity); overload is shed with
 ///    RejectedError{kQueueFull} instead of growing latency unboundedly.
@@ -43,6 +48,13 @@ namespace aeris::serving {
 /// the same model/configs/seed, whatever the packing or worker count.
 class ForecastServer {
  public:
+  /// Registry-backed router: the registry (frozen, >= 1 variant) and its
+  /// engines must outlive the server.
+  ForecastServer(const ModelRegistry& registry,
+                 const ServerOptions& opts = {});
+  /// Single-engine convenience: builds an owned one-variant registry named
+  /// "default" around `engine`. Plain requests (empty model, kAny) behave
+  /// exactly as before the registry existed.
   ForecastServer(const core::ParallelEnsembleEngine& engine,
                  const ServerOptions& opts = {});
   ~ForecastServer();
@@ -63,9 +75,12 @@ class ForecastServer {
   ServerStats stats() const;
 
  private:
+  void start_workers();
   void worker_loop(int worker_index);
 
-  const core::ParallelEnsembleEngine& engine_;
+  /// Set only by the single-engine ctor; registry_ points at it then.
+  std::unique_ptr<ModelRegistry> owned_registry_;
+  const ModelRegistry& registry_;
   RequestLedger ledger_;
   std::vector<std::thread> workers_;
 };

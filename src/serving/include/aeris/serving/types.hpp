@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <exception>
+#include <map>
 #include <optional>
 #include <string>
 #include <vector>
@@ -13,12 +14,27 @@
 
 namespace aeris::serving {
 
+/// Quality/latency class routing against a multi-variant ModelRegistry: a
+/// request that doesn't pin a variant by name can ask for the fast preview
+/// tier (lowest skill_tier) or the full-skill tier (highest) instead of
+/// the registry default. kAny keeps the default variant.
+enum class QualityClass { kAny, kPreview, kFullSkill };
+
 /// Graceful degradation under load: when the estimated queue wait at
 /// admission exceeds the threshold, the server trades ensemble quality for
 /// latency instead of rejecting — fewer ODE solver steps per forecast step
 /// and/or fewer ensemble members. The response reports what was actually
 /// served (ForecastResult::degraded / solver_steps / members_served).
 struct DegradePolicy {
+  /// Zeroth rung, meaningful only when the resolved variant declares a
+  /// fallback edge in the ModelRegistry: estimated wait (ms) above which
+  /// the admission is re-routed to the fallback (coarse/preview) variant
+  /// before any sampler switch or step/member cut — the cheapest whole
+  /// quality trade available under overload. Cross-grid edges coarsen the
+  /// request's init and forcings by area-mean pooling. 0 disables the
+  /// rung; negative forces it on every admission (test knob). The
+  /// remaining rungs then evaluate against the fallback variant's engine.
+  double fallback_wait_threshold_ms = 0.0;
   /// Estimated wait (ms) above which admissions are degraded. 0 disables
   /// the policy entirely; negative forces degradation on every admission
   /// (deterministic knob for tests and fault drills).
@@ -76,7 +92,10 @@ struct ServerOptions {
   /// Defaults overlaid with AERIS_SERVE_QUEUE_CAP, AERIS_SERVE_DEADLINE_MS,
   /// AERIS_SERVE_RETRY_CAP_MS, AERIS_SERVE_DEGRADE_WAIT_MS,
   /// AERIS_SERVE_DEGRADE_STEPS, AERIS_SERVE_DEGRADE_MEMBERS,
-  /// AERIS_SERVE_DEGRADE_TO_CONSISTENCY and AERIS_SERVE_DEGRADE_CUT_WAIT_MS.
+  /// AERIS_SERVE_DEGRADE_TO_CONSISTENCY, AERIS_SERVE_DEGRADE_CUT_WAIT_MS
+  /// and AERIS_SERVE_DEGRADE_FALLBACK_WAIT_MS. (The model-routing knobs
+  /// AERIS_SERVE_MODEL / AERIS_SERVE_FALLBACK_MODEL live on
+  /// ModelRegistry::overlay_env, which owns the variant table.)
   static ServerOptions from_env();
 };
 
@@ -104,10 +123,17 @@ struct ForecastRequest {
   /// instead of an empty result.
   bool return_partial = false;
   /// Sampler family to serve this request with; nullopt runs the engine's
-  /// default. kConsistency requires the engine to have a consistency path
-  /// (has_consistency()) and is rejected with std::invalid_argument
-  /// otherwise.
+  /// default. kConsistency on an engine without a consistency path
+  /// (has_consistency()) is refused with a typed
+  /// RejectedError{kUnsupported} result, never a bare throw.
   std::optional<core::SamplerKind> sampler;
+  /// Registry variant to serve, by name. Empty routes by `quality`
+  /// instead; an unknown name is refused with RejectedError{kUnsupported}.
+  /// Single-model servers have exactly one variant ("default"), so plain
+  /// requests need no change.
+  std::string model;
+  /// Quality-class routing applied when `model` is empty.
+  QualityClass quality = QualityClass::kAny;
 };
 
 enum class RequestStatus {
@@ -142,6 +168,10 @@ struct ForecastResult {
   /// Sampler family actually served (may differ from the request when the
   /// DegradePolicy switched a teacher-path request to the student).
   core::SamplerKind sampler = core::SamplerKind::kDpmSolver;
+  /// Registry name of the variant that actually served the request (may
+  /// differ from the one requested when the cross-model fallback rung
+  /// fired; empty only for admissions refused before routing).
+  std::string model_served;
   std::int64_t members_served = 0;
   double queue_wait_ms = 0.0;
   double total_ms = 0.0;
@@ -154,6 +184,22 @@ struct ForecastResult {
   std::string error_message;
 
   bool ok() const { return status == RequestStatus::kOk; }
+};
+
+/// Per-variant serving counters, keyed by registry name in
+/// ServerStats::per_model. Single-model servers report one entry (their
+/// only variant), so dashboards treat both uniformly.
+struct ModelServeStats {
+  /// Admissions routed to this variant — post-fallback, i.e. the variant
+  /// that will actually serve. Sums to ServerStats::accepted.
+  std::int64_t admitted = 0;
+  /// Requests finalized kOk on this variant. Sums to
+  /// ServerStats::completed.
+  std::int64_t completed = 0;
+  /// Admissions *this* variant shed to its fallback (keyed by the variant
+  /// originally resolved, not the one that served). Sums to
+  /// ServerStats::degraded_to_fallback_model.
+  std::int64_t degraded_to_fallback_model = 0;
 };
 
 /// Aggregate counters since construction (see ForecastServer::stats /
@@ -170,6 +216,12 @@ struct ServerStats {
   /// Degraded admissions absorbed by the teacher->student sampler switch
   /// (the first DegradePolicy rung) instead of step/member cuts.
   std::int64_t degraded_to_consistency = 0;
+  /// Degraded admissions re-routed to a coarser variant by the zeroth
+  /// (cross-model) DegradePolicy rung.
+  std::int64_t degraded_to_fallback_model = 0;
+  /// Per-variant counters, keyed by registry name. Entries exist for every
+  /// registered variant from construction (zeros until traffic arrives).
+  std::map<std::string, ModelServeStats> per_model;
   std::int64_t quarantined_members = 0;
   std::int64_t failed_members = 0;  ///< members lost to NumericalError
   std::int64_t transient_retries = 0;

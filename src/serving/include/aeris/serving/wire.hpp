@@ -23,6 +23,10 @@ namespace aeris::serving::wire {
 /// work that will never come.
 struct PackMsg {
   std::uint64_t pack_id = 0;
+  /// Registry index of the variant this pack runs on: worker ranks resolve
+  /// the engine from their local ModelRegistry replica (indices agree
+  /// because every rank is built from the same registry).
+  std::uint32_t model = 0;
   core::SamplerKind kind = core::SamplerKind::kDpmSolver;
   int solver_steps_override = 0;
   bool shutdown = false;
@@ -45,7 +49,8 @@ struct ResultMsg {
 /// forcings non-null); dims are the model's state [h, w, v] and forcing
 /// [h, w, f] extents, carried in the header so the worker can rebuild the
 /// tensors without consulting its own config.
-std::vector<float> encode_pack(std::uint64_t pack_id, core::SamplerKind kind,
+std::vector<float> encode_pack(std::uint64_t pack_id, std::uint32_t model,
+                               core::SamplerKind kind,
                                int solver_steps_override,
                                std::span<const core::MemberSlot> slots,
                                std::int64_t h, std::int64_t w, std::int64_t v,

@@ -55,11 +55,36 @@ ClusterOptions ClusterOptions::from_env() {
   return o;
 }
 
+namespace {
+
+std::unique_ptr<ModelRegistry> make_default_registry(
+    const core::ParallelEnsembleEngine& engine) {
+  auto r = std::make_unique<ModelRegistry>();
+  r->add("default", engine);
+  return r;
+}
+
+}  // namespace
+
+ClusterForecastServer::ClusterForecastServer(const ModelRegistry& registry,
+                                             const ClusterOptions& opts)
+    : registry_(registry),
+      opts_(opts),
+      ledger_(registry_, opts.serve),
+      alive_workers_(std::max(2, opts.ranks) - 1) {
+  opts_.ranks = std::max(2, opts_.ranks);
+  opts_.min_quorum = std::max(1, opts_.min_quorum);
+  opts_.max_outstanding_packs =
+      std::max<std::int64_t>(1, opts_.max_outstanding_packs);
+  manager_ = std::thread([this] { manager_loop(); });
+}
+
 ClusterForecastServer::ClusterForecastServer(
     const core::ParallelEnsembleEngine& engine, const ClusterOptions& opts)
-    : engine_(engine),
+    : owned_registry_(make_default_registry(engine)),
+      registry_(*owned_registry_),
       opts_(opts),
-      ledger_(engine, opts.serve),
+      ledger_(registry_, opts.serve),
       alive_workers_(std::max(2, opts.ranks) - 1) {
   opts_.ranks = std::max(2, opts_.ranks);
   opts_.min_quorum = std::max(1, opts_.min_quorum);
@@ -80,7 +105,8 @@ void ClusterForecastServer::stop() {
 ServerStats ClusterForecastServer::stats() const { return ledger_.stats(); }
 
 ForecastResult ClusterForecastServer::forecast(const ForecastRequest& req) {
-  validate_request(engine_, req);
+  // Routing and shape validation happen inside admit (same contract as
+  // ForecastServer::forecast).
   std::future<ForecastResult> future;
   ForecastResult refused;
   const int divisor = std::max(1, alive_workers());
@@ -172,8 +198,10 @@ bool ClusterForecastServer::dispatch_pack(swipe::World& world,
 
   // Split out items whose forcing fetch failed (or whose forcing shape
   // cannot ride in this pack) and commit them locally as item errors; the
-  // rest travel to the worker.
-  const core::ModelConfig& mc = engine_.model().config();
+  // rest travel to the worker. Packs are pure (take_pack groups by
+  // engine), so the first item's variant speaks for the whole pack.
+  const core::ParallelEnsembleEngine& eng = *items.front().a->engine;
+  const core::ModelConfig& mc = eng.model().config();
   std::int64_t f_dim = -1;
   std::vector<PackItem> good, bad;
   std::vector<std::exception_ptr> bad_err;
@@ -214,10 +242,10 @@ bool ClusterForecastServer::dispatch_pack(swipe::World& world,
   const core::SamplerKind kind = good.front().a->sampler;
   const int request_steps = good.front().a->solver_steps;
   const int override_steps =
-      request_steps == engine_.solver_steps(kind) ? 0 : request_steps;
+      request_steps == eng.solver_steps(kind) ? 0 : request_steps;
   const std::uint64_t pack_id = next_pack_id_++;
   std::vector<float> payload = wire::encode_pack(
-      pack_id, kind, override_steps,
+      pack_id, good.front().a->model_index, kind, override_steps,
       std::span<const core::MemberSlot>(slots), mc.h, mc.w, mc.out_channels,
       f_dim);
   // Record the lease BEFORE the send: a send into a freshly-poisoned world
@@ -430,7 +458,12 @@ void ClusterForecastServer::worker_rank_loop(swipe::World& world, int rank,
     }
     std::vector<float> reply;
     try {
-      const std::vector<Tensor> next = engine_.step_pack(
+      // Resolve the pack's engine from this rank's registry replica; an
+      // out-of-range model id (a front-end/worker registry mismatch)
+      // becomes a typed error reply, never garbage reads.
+      const core::ParallelEnsembleEngine& eng =
+          *registry_.at(static_cast<std::int64_t>(pack.model)).engine;
+      const std::vector<Tensor> next = eng.step_pack(
           std::span<const core::MemberSlot>(slots),
           pack.solver_steps_override, cond_cache_ptr, pack.kind);
       reply = wire::encode_result(pack.pack_id,

@@ -60,6 +60,9 @@ ServerOptions ServerOptions::from_env() {
       env_double("AERIS_SERVE_DEADLINE_MS", o.default_deadline_ms);
   o.max_retry_backoff_ms =
       env_double("AERIS_SERVE_RETRY_CAP_MS", o.max_retry_backoff_ms);
+  o.degrade.fallback_wait_threshold_ms =
+      env_double("AERIS_SERVE_DEGRADE_FALLBACK_WAIT_MS",
+                 o.degrade.fallback_wait_threshold_ms);
   o.degrade.est_wait_threshold_ms = env_double(
       "AERIS_SERVE_DEGRADE_WAIT_MS", o.degrade.est_wait_threshold_ms);
   o.degrade.degraded_solver_steps = static_cast<int>(env_i64(
@@ -100,12 +103,6 @@ void validate_request(const core::ParallelEnsembleEngine& engine,
   if (req.members <= 0 || req.steps <= 0) {
     throw std::invalid_argument("forecast: members and steps must be >= 1");
   }
-  const core::SamplerKind kind = req.sampler.value_or(engine.sampler_kind());
-  if (kind == core::SamplerKind::kConsistency && !engine.has_consistency()) {
-    throw std::invalid_argument(
-        "forecast: consistency sampler requested but the engine has no "
-        "consistency path (set_consistency)");
-  }
 }
 
 FetchedForcings fetch_forcings(std::span<const PackItem> items) {
@@ -133,19 +130,56 @@ FetchedForcings fetch_forcings(std::span<const PackItem> items) {
   return ff;
 }
 
-RequestLedger::RequestLedger(const core::ParallelEnsembleEngine& engine,
+RequestLedger::RequestLedger(const ModelRegistry& registry,
                              const ServerOptions& opts)
-    : engine_(engine), opts_(opts), jitter_rng_(0x9E3779B97F4A7C15ull) {
+    : registry_(registry), opts_(opts), jitter_rng_(0x9E3779B97F4A7C15ull) {
+  if (registry_.empty()) {
+    throw std::invalid_argument(
+        "RequestLedger: registry must hold at least one variant");
+  }
   opts_.queue_capacity = std::max<std::int64_t>(1, opts_.queue_capacity);
   opts_.batch = std::max<std::int64_t>(1, opts_.batch);
   opts_.workers = std::max(1, opts_.workers);
   opts_.max_step_retries = std::max(0, opts_.max_step_retries);
+  // Per-variant counters exist from construction (zeros until traffic).
+  for (std::int64_t i = 0; i < registry_.size(); ++i) {
+    stats_.per_model[registry_.at(i).name];
+  }
 }
 
 bool RequestLedger::admit(const ForecastRequest& req, int capacity_divisor,
                           std::future<ForecastResult>& future,
                           ForecastResult& refused) {
   const Clock::time_point now = Clock::now();
+
+  // Routing runs before the lock — the registry is frozen during serving —
+  // and routing failures are typed terminal results, never bare throws.
+  const std::int64_t vi = registry_.resolve(req.model, req.quality);
+  const auto reject_unsupported = [&](const std::string& msg) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.rejected;
+    }
+    refused.status = RequestStatus::kRejected;
+    refused.error_message = msg;
+    refused.error = std::make_exception_ptr(
+        RejectedError(RejectReason::kUnsupported, msg));
+    return true;
+  };
+  if (vi < 0) {
+    return reject_unsupported("forecast: unknown model '" + req.model + "'");
+  }
+  const ModelVariant* variant = &registry_.at(vi);
+  const core::SamplerKind req_sampler =
+      req.sampler.value_or(variant->engine->sampler_kind());
+  if (req_sampler == core::SamplerKind::kConsistency &&
+      !variant->engine->has_consistency()) {
+    return reject_unsupported(
+        "forecast: consistency sampler requested but model '" +
+        variant->name + "' has no consistency path (set_consistency)");
+  }
+  validate_request(*variant->engine, req);
+
   std::shared_ptr<detail::ActiveRequest> a;
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -173,8 +207,6 @@ bool RequestLedger::admit(const ForecastRequest& req, int capacity_divisor,
       return true;
     }
 
-    const core::SamplerKind req_sampler =
-        req.sampler.value_or(engine_.sampler_kind());
     a = std::make_shared<detail::ActiveRequest>();
     a->id = next_id_++;
     a->init = req.init;
@@ -184,31 +216,85 @@ bool RequestLedger::admit(const ForecastRequest& req, int capacity_divisor,
     a->seed = req.seed;
     a->return_partial = req.return_partial;
     a->sampler = req_sampler;
-    a->solver_steps = engine_.solver_steps(req_sampler);
+    a->engine = variant->engine;
+    a->model_name = variant->name;
+    a->model_index = static_cast<std::uint32_t>(vi);
+    a->solver_steps = variant->engine->solver_steps(req_sampler);
     a->admit = now;
 
     // Graceful degradation decided at admission, from the backlog estimate
     // (admitted-but-uncommitted member steps x EMA step cost / executors).
+    // All rungs read the same estimate; they stack in cost order.
     const DegradePolicy& dp = opts_.degrade;
-    if (dp.est_wait_threshold_ms != 0.0) {
-      const double est_wait_ms =
-          static_cast<double>(pending_member_steps_) * ema_member_step_ms_ /
-          static_cast<double>(std::max(1, capacity_divisor));
-      if (dp.est_wait_threshold_ms < 0.0 ||
-          est_wait_ms > dp.est_wait_threshold_ms) {
+    const double est_wait_ms =
+        static_cast<double>(pending_member_steps_) * ema_member_step_ms_ /
+        static_cast<double>(std::max(1, capacity_divisor));
+
+    // Zeroth rung: cross-model fallback. A variant with a declared
+    // fallback edge sheds the whole request to the coarse/preview variant
+    // — the cheapest whole quality trade — before any sampler switch or
+    // step/member cut. Skipped when the request pinned a sampler family
+    // the fallback engine cannot serve.
+    if (dp.fallback_wait_threshold_ms != 0.0 && variant->fallback >= 0 &&
+        (dp.fallback_wait_threshold_ms < 0.0 ||
+         est_wait_ms > dp.fallback_wait_threshold_ms)) {
+      const std::int64_t fbi = variant->fallback;
+      const ModelVariant& fb = registry_.at(fbi);
+      const core::SamplerKind fb_sampler =
+          req.sampler.value_or(fb.engine->sampler_kind());
+      const bool fb_serves = fb_sampler != core::SamplerKind::kConsistency ||
+                             fb.engine->has_consistency();
+      if (fb_serves) {
         a->degraded = true;
         ++stats_.degraded;
-        // First rung: a teacher-path request on an engine with a distilled
+        ++stats_.degraded_to_fallback_model;
+        // Keyed by the variant that shed the request, not the one that
+        // will serve it.
+        ++stats_.per_model[variant->name].degraded_to_fallback_model;
+        const core::ModelConfig& fine = variant->engine->model().config();
+        const core::ModelConfig& coarse = fb.engine->model().config();
+        if (fine.h != coarse.h || fine.w != coarse.w) {
+          // Cross-grid edge: adapt the request's state and forcings by
+          // area-mean pooling (set_fallback validated integer factors).
+          a->init = coarsen_mean(a->init, coarse.h, coarse.w);
+          core::ForcingFn fine_fn = std::move(a->forcings_at);
+          const std::int64_t ch = coarse.h;
+          const std::int64_t cw = coarse.w;
+          a->forcings_at = [fine_fn = std::move(fine_fn), ch,
+                            cw](std::int64_t s) {
+            return coarsen_mean(fine_fn(s), ch, cw);
+          };
+        }
+        variant = &fb;
+        a->engine = fb.engine;
+        a->model_name = fb.name;
+        a->model_index = static_cast<std::uint32_t>(fbi);
+        a->sampler = fb_sampler;
+        a->solver_steps = fb.engine->solver_steps(fb_sampler);
+      }
+    }
+
+    // Remaining rungs evaluate against the serving variant's engine (the
+    // fallback's when the zeroth rung fired — rungs stack).
+    const core::ParallelEnsembleEngine& eng = *a->engine;
+    if (dp.est_wait_threshold_ms != 0.0) {
+      if (dp.est_wait_threshold_ms < 0.0 ||
+          est_wait_ms > dp.est_wait_threshold_ms) {
+        if (!a->degraded) {
+          a->degraded = true;
+          ++stats_.degraded;
+        }
+        // Next rung: a teacher-path request on an engine with a distilled
         // student is switched to the few-step consistency sampler at full
         // member count — the cheapest quality trade available. Step/member
         // cuts then only engage past the (stricter) second threshold.
         const bool switched =
-            dp.to_consistency && engine_.has_consistency() &&
+            dp.to_consistency && eng.has_consistency() &&
             a->sampler == core::SamplerKind::kDpmSolver;
         if (switched) {
           a->sampler = core::SamplerKind::kConsistency;
           a->solver_steps =
-              engine_.solver_steps(core::SamplerKind::kConsistency);
+              eng.solver_steps(core::SamplerKind::kConsistency);
           ++stats_.degraded_to_consistency;
         }
         const bool cut =
@@ -246,6 +332,7 @@ bool RequestLedger::admit(const ForecastRequest& req, int capacity_divisor,
     a->quarantine_used.assign(static_cast<std::size_t>(a->members), 0);
 
     ++stats_.accepted;
+    ++stats_.per_model[a->model_name].admitted;
     ++active_count_;
     pending_member_steps_ += a->members * a->steps;
     actives_.push_back(a);
@@ -281,6 +368,7 @@ std::vector<PackItem> RequestLedger::take_pack(std::int64_t max_items) {
   // requests run a different ODE schedule and cannot share a stack).
   int pack_solver_steps = -1;
   core::SamplerKind pack_sampler = core::SamplerKind::kDpmSolver;
+  const core::ParallelEnsembleEngine* pack_engine = nullptr;
   for (auto it = ready_.begin();
        it != ready_.end() &&
        pack.size() < static_cast<std::size_t>(std::max<std::int64_t>(
@@ -313,10 +401,12 @@ std::vector<PackItem> RequestLedger::take_pack(std::int64_t max_items) {
     if (pack.empty()) {
       pack_solver_steps = a->solver_steps;
       pack_sampler = a->sampler;
+      pack_engine = a->engine;
     } else if (a->solver_steps != pack_solver_steps ||
-               a->sampler != pack_sampler) {
-      // Teacher and student packs never mix: they run different networks
-      // and different schedules.
+               a->sampler != pack_sampler || a->engine != pack_engine) {
+      // Packs are pure: different registry variants run different
+      // networks, and teacher/student sampler families run different
+      // schedules — neither ever shares a stacked solve.
       ++it;
       continue;
     }
@@ -364,6 +454,7 @@ void RequestLedger::finalize_locked(
   r.degraded = a->degraded;
   r.solver_steps = a->solver_steps;
   r.sampler = a->sampler;
+  r.model_served = a->model_name;
   r.members_served = a->members;
   r.queue_wait_ms =
       a->started ? a->queue_wait_ms : ms_between(a->admit, now);
@@ -380,6 +471,7 @@ void RequestLedger::finalize_locked(
   switch (status) {
     case RequestStatus::kOk:
       ++stats_.completed;
+      ++stats_.per_model[a->model_name].completed;
       break;
     case RequestStatus::kDeadlineExceeded:
       ++stats_.deadline_expired;

@@ -9,9 +9,32 @@
 
 namespace aeris::serving {
 
+namespace {
+
+std::unique_ptr<ModelRegistry> make_default_registry(
+    const core::ParallelEnsembleEngine& engine) {
+  auto r = std::make_unique<ModelRegistry>();
+  r->add("default", engine);
+  return r;
+}
+
+}  // namespace
+
+ForecastServer::ForecastServer(const ModelRegistry& registry,
+                               const ServerOptions& opts)
+    : registry_(registry), ledger_(registry_, opts) {
+  start_workers();
+}
+
 ForecastServer::ForecastServer(const core::ParallelEnsembleEngine& engine,
                                const ServerOptions& opts)
-    : engine_(engine), ledger_(engine, opts) {
+    : owned_registry_(make_default_registry(engine)),
+      registry_(*owned_registry_),
+      ledger_(registry_, opts) {
+  start_workers();
+}
+
+void ForecastServer::start_workers() {
   const int workers = ledger_.options().workers;
   workers_.reserve(static_cast<std::size_t>(workers));
   for (int i = 0; i < workers; ++i) {
@@ -35,7 +58,9 @@ void ForecastServer::stop() {
 ServerStats ForecastServer::stats() const { return ledger_.stats(); }
 
 ForecastResult ForecastServer::forecast(const ForecastRequest& req) {
-  validate_request(engine_, req);
+  // Routing and shape validation happen inside admit: routing failures
+  // come back as typed RejectedError{kUnsupported} results, malformed
+  // requests still throw std::invalid_argument.
   std::future<ForecastResult> future;
   ForecastResult refused;
   if (ledger_.admit(req, ledger_.options().workers, future, refused)) {
@@ -61,6 +86,10 @@ void ForecastServer::worker_loop(int worker_index) {
   // the step count, which changes every t and thus never aliases keys.
   // Member identity (seed, member, step) feeds the noise, not the
   // conditioning, so cross-request sharing of modulation rows is exact.
+  // One cache also serves the whole model zoo: keys fold the layer's
+  // process-lifetime-unique LayerId, so independently constructed variants
+  // never collide, and shared-backbone variants collide only on layers
+  // whose weights are bitwise-identical by construction.
   nn::CondCache cond_cache;
   nn::CondCache* cond_cache_ptr =
       nn::cond_cache_enabled() ? &cond_cache : nullptr;
@@ -99,13 +128,17 @@ void ForecastServer::worker_loop(int worker_index) {
 
     std::vector<Tensor> next;
     if (!slots.empty()) {
+      // Packs are pure (take_pack groups by engine): every item in this
+      // pack runs on the same registry variant.
+      const core::ParallelEnsembleEngine& eng =
+          *items[solved.front()].a->engine;
       const core::SamplerKind kind = items[solved.front()].a->sampler;
       const int request_steps = items[solved.front()].a->solver_steps;
       const int override_steps =
-          request_steps == engine_.solver_steps(kind) ? 0 : request_steps;
+          request_steps == eng.solver_steps(kind) ? 0 : request_steps;
       try {
-        next = engine_.step_pack(std::span<const core::MemberSlot>(slots),
-                                 override_steps, cond_cache_ptr, kind);
+        next = eng.step_pack(std::span<const core::MemberSlot>(slots),
+                             override_steps, cond_cache_ptr, kind);
       } catch (...) {
         out.solve_error = std::current_exception();
       }

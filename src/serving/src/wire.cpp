@@ -78,7 +78,8 @@ std::string get_string(const std::vector<float>& in, std::size_t& pos) {
 
 }  // namespace
 
-std::vector<float> encode_pack(std::uint64_t pack_id, core::SamplerKind kind,
+std::vector<float> encode_pack(std::uint64_t pack_id, std::uint32_t model,
+                               core::SamplerKind kind,
                                int solver_steps_override,
                                std::span<const core::MemberSlot> slots,
                                std::int64_t h, std::int64_t w, std::int64_t v,
@@ -86,8 +87,9 @@ std::vector<float> encode_pack(std::uint64_t pack_id, core::SamplerKind kind,
   std::vector<float> out;
   const std::size_t per_slot =
       4 + static_cast<std::size_t>(h * w * (v + f));
-  out.reserve(9 + slots.size() * per_slot);
+  out.reserve(10 + slots.size() * per_slot);
   put_u64(out, pack_id);
+  put_u32(out, model);
   put_u32(out, static_cast<std::uint32_t>(kind));
   put_u32(out, static_cast<std::uint32_t>(solver_steps_override));
   put_u32(out, static_cast<std::uint32_t>(slots.size()));
@@ -105,13 +107,14 @@ std::vector<float> encode_pack(std::uint64_t pack_id, core::SamplerKind kind,
 }
 
 std::vector<float> encode_shutdown() {
-  return encode_pack(0, core::SamplerKind::kDpmSolver, 0, {}, 0, 0, 0, 0);
+  return encode_pack(0, 0, core::SamplerKind::kDpmSolver, 0, {}, 0, 0, 0, 0);
 }
 
 PackMsg decode_pack(const std::vector<float>& payload) {
   std::size_t pos = 0;
   PackMsg msg;
   msg.pack_id = get_u64(payload, pos);
+  msg.model = get_u32(payload, pos);
   msg.kind = static_cast<core::SamplerKind>(get_u32(payload, pos));
   msg.solver_steps_override = static_cast<int>(get_u32(payload, pos));
   const std::uint32_t n_slots = get_u32(payload, pos);

@@ -241,7 +241,9 @@ TEST(ServerConsistency, DegradeWithoutStudentKeepsOldSingleRungBehavior) {
   EXPECT_EQ(server.stats().degraded_to_consistency, 0);
 }
 
-TEST(ServerConsistency, ConsistencyRequestWithoutStudentIsMalformed) {
+TEST(ServerConsistency, ConsistencyRequestWithoutStudentIsTypedRejection) {
+  // Regression: this used to escape as a bare std::invalid_argument throw;
+  // an unsupported sampler is a terminal, *typed* outcome.
   AerisModel teacher = make_model(11);
   core::TrigFlowConfig tf;
   core::TrigSamplerConfig ts;
@@ -252,7 +254,18 @@ TEST(ServerConsistency, ConsistencyRequestWithoutStudentIsMalformed) {
   req.init = make_init(5);
   req.forcings_at = make_forcing;
   req.sampler = SamplerKind::kConsistency;
-  EXPECT_THROW(server.forecast(req), std::invalid_argument);
+  const ForecastResult r = server.forecast(req);
+  EXPECT_EQ(r.status, RequestStatus::kRejected);
+  ASSERT_NE(r.error, nullptr);
+  try {
+    std::rethrow_exception(r.error);
+    FAIL() << "expected RejectedError";
+  } catch (const RejectedError& e) {
+    EXPECT_EQ(e.reason(), RejectReason::kUnsupported);
+  }
+  // A typed rejection counts as rejected, not accepted.
+  EXPECT_EQ(server.stats().rejected, 1);
+  EXPECT_EQ(server.stats().accepted, 0);
 }
 
 TEST(ServerConsistency, MixedTeacherAndStudentClientsBothExact) {

@@ -44,13 +44,16 @@ TEST(Wire, PackRoundTripIsExact) {
   }
 
   const std::uint64_t pack_id = 0x8000000000000001ull;
+  // Model id stresses the bit-cast lane too: 0xFFC00000 is a NaN as float.
+  const std::uint32_t model = 0xFFC00000u;
   const std::vector<float> payload =
-      encode_pack(pack_id, core::SamplerKind::kConsistency, 5,
+      encode_pack(pack_id, model, core::SamplerKind::kConsistency, 5,
                   std::span<const core::MemberSlot>(slots), h, w, v, f);
   const PackMsg msg = decode_pack(payload);
 
   EXPECT_FALSE(msg.shutdown);
   EXPECT_EQ(msg.pack_id, pack_id);
+  EXPECT_EQ(msg.model, model);
   EXPECT_EQ(msg.kind, core::SamplerKind::kConsistency);
   EXPECT_EQ(msg.solver_steps_override, 5);
   ASSERT_EQ(msg.prev.size(), 2u);
