@@ -2,6 +2,8 @@
 // communication primitives underlying every experiment.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <memory>
 #include <numeric>
 #include <optional>
 #include <thread>
@@ -601,6 +603,101 @@ BENCHMARK(BM_ClusterForecastServer)
     ->Args({5, 8, 2})
     ->ArgNames({"ranks", "clients", "members"})
     ->UseRealTime();  // worker ranks compute; the driver only waits
+
+// Prices elasticity. kills:0 runs BM_ClusterForecastServer's exact
+// ranks:3/clients:4/members:4 workload on a rejoin-armed cluster — the
+// membership lane, the spare parked rank and the per-send fault hook all
+// idle alongside the hot path, so the delta against that disarmed row is
+// the standing cost of being elastic (expected: in the noise). kills:1
+// measures the full recovery cycle per iteration: construct the server
+// with a scripted kill, lose the worker mid-request (typed drain + park),
+// offer a replacement, wait for the un-park and complete a request — the
+// end-to-end latency of membership collapse and repair.
+void BM_ClusterRejoin(benchmark::State& state) {
+  const int ranks = static_cast<int>(state.range(0));
+  const int kills = static_cast<int>(state.range(1));
+  core::ModelConfig mc;
+  mc.h = 16;
+  mc.w = 16;
+  mc.in_channels = 12;
+  mc.out_channels = 5;
+  mc.dim = 32;
+  mc.depth = 2;
+  mc.heads = 4;
+  mc.ffn_hidden = 64;
+  mc.win_h = 8;
+  mc.win_w = 8;
+  mc.cond_dim = 32;
+  core::AerisModel model(mc, 1);
+  core::TrigFlowConfig tf;
+  core::TrigSamplerConfig sc;
+  sc.steps = 4;
+  sc.churn = 0.3f;
+  core::ParallelEnsembleEngine engine(model, tf, sc, 7);
+  Philox rng(8);
+  Tensor init({16, 16, 5});
+  rng.fill_normal(init, 1, 0);
+  Tensor forcing({16, 16, 2});
+  rng.fill_normal(forcing, 1, 1);
+  core::ForcingFn forcings = [&](std::int64_t) { return forcing; };
+  serving::ForecastRequest req;
+  req.init = init;
+  req.forcings_at = forcings;
+  req.members = 4;
+  req.steps = 2;
+  req.seed = 3;
+
+  if (kills == 0) {
+    serving::ClusterOptions co;
+    co.ranks = ranks;
+    co.rejoin = true;
+    co.max_ranks = ranks + 1;  // one parked spare slot
+    co.serve.batch = 8;
+    serving::ClusterForecastServer cluster(engine, co);
+    const int clients = 4;
+    for (auto _ : state) {
+      std::vector<std::thread> pool;
+      pool.reserve(static_cast<std::size_t>(clients));
+      for (int c = 0; c < clients; ++c) {
+        pool.emplace_back([&, c] {
+          serving::ForecastRequest r = req;
+          r.seed = static_cast<std::uint64_t>(c);
+          benchmark::DoNotOptimize(cluster.forecast(r));
+        });
+      }
+      for (auto& t : pool) t.join();
+    }
+    state.SetItemsProcessed(state.iterations() * clients * req.members *
+                            req.steps);
+    return;
+  }
+  {
+    for (auto _ : state) {
+      serving::ClusterOptions co;
+      co.ranks = ranks;
+      co.min_quorum = ranks - 1;  // any death parks the server
+      co.rejoin = true;
+      co.serve.batch = 8;
+      auto plan = std::make_shared<swipe::FaultPlan>();
+      plan->add(swipe::FaultEvent{swipe::FaultKind::kKillRank, 1, 0});
+      co.fault_plan = plan;
+      serving::ClusterForecastServer cluster(engine, co);
+      benchmark::DoNotOptimize(cluster.forecast(req));  // typed drain
+      cluster.offer_worker();
+      while (cluster.parked()) {
+        std::this_thread::sleep_for(std::chrono::microseconds(50));
+      }
+      benchmark::DoNotOptimize(cluster.forecast(req));  // completes
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * req.members * req.steps);
+}
+BENCHMARK(BM_ClusterRejoin)
+    ->Args({3, 0})
+    ->Args({2, 1})
+    ->Args({3, 1})
+    ->ArgNames({"ranks", "kills"})
+    ->UseRealTime();  // park/rejoin latency is wall-clock, not driver CPU
 
 // BM_EnsembleRollout's members/1/1 and members/1/members rows under the
 // opt-in bf16 compute path. On hardware without native bf16 dot products

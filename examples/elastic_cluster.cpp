@@ -1,0 +1,201 @@
+// Elastic cluster membership: park -> rejoin -> un-park, end to end.
+//
+// A ClusterForecastServer with rejoin enabled loses BOTH its workers to a
+// stacked fault plan mid-request and drops below quorum: the in-flight
+// request drains with the typed WorkerLostError and the server parks,
+// refusing (typed) instead of serving. A joiner announcing the wrong
+// registry fingerprint is turned away before it is ever leased work; two
+// matching joiners then re-admit under a fresh incarnation, the park
+// lifts, and the resubmitted request completes bitwise-identical to a
+// single-process ForecastServer run. Exit code 0 iff the whole script —
+// typed drain, typed refusal, fingerprint reject, un-park, bitwise
+// completion and the stats that prove each leg — holds.
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <functional>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "aeris/core/forecaster.hpp"
+#include "aeris/serving/cluster.hpp"
+#include "aeris/serving/server.hpp"
+#include "aeris/swipe/fault.hpp"
+#include "aeris/tensor/ops.hpp"
+
+using namespace aeris;
+
+namespace {
+
+bool wait_until(const std::function<bool()>& pred, double timeout_ms) {
+  const auto t0 = std::chrono::steady_clock::now();
+  for (;;) {
+    if (pred()) return true;
+    const double waited =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - t0)
+            .count();
+    if (waited >= timeout_ms) return false;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+}
+
+bool bitwise_equal(const serving::ForecastResult& a,
+                   const serving::ForecastResult& b) {
+  if (a.status != serving::RequestStatus::kOk ||
+      b.status != serving::RequestStatus::kOk ||
+      a.trajectories.size() != b.trajectories.size()) {
+    return false;
+  }
+  for (std::size_t m = 0; m < a.trajectories.size(); ++m) {
+    if (a.trajectories[m].size() != b.trajectories[m].size()) return false;
+    for (std::size_t s = 0; s < a.trajectories[m].size(); ++s) {
+      const Tensor& x = a.trajectories[m][s];
+      const Tensor& y = b.trajectories[m][s];
+      if (x.shape() != y.shape() ||
+          std::memcmp(x.data(), y.data(),
+                      static_cast<std::size_t>(x.numel()) * sizeof(float)) !=
+              0) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main() {
+  core::ModelConfig mc;
+  mc.h = 16;
+  mc.w = 16;
+  mc.in_channels = 12;  // 2 * V + F with V = 5, F = 2
+  mc.out_channels = 5;
+  mc.dim = 32;
+  mc.depth = 2;
+  mc.heads = 4;
+  mc.ffn_hidden = 64;
+  mc.win_h = 8;
+  mc.win_w = 8;
+  mc.cond_dim = 32;
+  core::AerisModel model(mc, 1);
+  Philox kick(101);
+  for (nn::Param* p : model.params()) {
+    if (p->name.find("head") != std::string::npos ||
+        p->name.find("adaln") != std::string::npos) {
+      kick.fill_normal(p->value, 7, 0);
+      scale_(p->value, 0.1f);
+    }
+  }
+
+  core::TrigFlowConfig tf;
+  core::TrigSamplerConfig sc;
+  sc.steps = 4;
+  core::ParallelEnsembleEngine engine(model, tf, sc, 0);
+
+  Philox rng(9);
+  Tensor init({16, 16, 5});
+  rng.fill_normal(init, 1, 0);
+  const core::ForcingFn forcings = [](std::int64_t s) {
+    Philox frng(10);
+    Tensor f({16, 16, 2});
+    frng.fill_normal(f, 2, static_cast<std::uint64_t>(s));
+    return f;
+  };
+
+  serving::ForecastRequest req;
+  req.init = init;
+  req.forcings_at = forcings;
+  req.members = 6;
+  req.steps = 3;
+  req.seed = 42;
+
+  // The single-process reference: same engine, same request.
+  serving::ForecastResult single;
+  {
+    serving::ForecastServer server(engine, serving::ServerOptions{});
+    single = server.forecast(req);
+  }
+
+  // The elastic cluster: two workers, quorum two, rejoin on. The stacked
+  // plan kills BOTH workers on their first result send — exact-ordinal
+  // kills now fire even into an already-poisoned world, so both deaths
+  // land and membership collapses to zero.
+  serving::ClusterOptions co = serving::ClusterOptions::from_env();
+  co.ranks = 3;
+  co.min_quorum = 2;
+  co.rejoin = true;
+  co.serve.batch = 2;
+  auto plan = std::make_shared<swipe::FaultPlan>();
+  plan->add(swipe::FaultEvent{swipe::FaultKind::kKillRank, 1, 0});
+  plan->add(swipe::FaultEvent{swipe::FaultKind::kKillRank, 2, 0});
+  co.fault_plan = plan;
+  serving::ClusterForecastServer cluster(engine, co);
+
+  std::printf("== elastic cluster drill ==\n");
+
+  // 1. Quorum loss: the in-flight request drains with the typed error.
+  const serving::ForecastResult drained = cluster.forecast(req);
+  const bool drained_typed =
+      drained.status == serving::RequestStatus::kWorkerLost &&
+      drained.error_message.find("quorum") != std::string::npos;
+  std::printf("in-flight request drained typed below quorum: %s\n",
+              drained_typed ? "yes" : "NO");
+
+  // 2. Parked: new admissions are refused with the same typed error.
+  const serving::ForecastResult refused = cluster.forecast(req);
+  const bool refused_typed =
+      refused.status == serving::RequestStatus::kWorkerLost &&
+      cluster.parked();
+  std::printf("parked server refuses admissions typed: %s\n",
+              refused_typed ? "yes" : "NO");
+
+  // 3. A joiner with the wrong registry fingerprint never gets work.
+  cluster.offer_worker(/*announced_fingerprint=*/0xBADC0DEull);
+  const bool fp_rejected = wait_until(
+      [&] { return cluster.stats().registry_fingerprint_rejects == 1; },
+      10000.0) &&
+      cluster.parked() && cluster.alive_workers() == 0;
+  std::printf("mismatched registry fingerprint rejected, still parked: %s\n",
+              fp_rejected ? "yes" : "NO");
+
+  // 4. Two matching joiners restore quorum; the park lifts.
+  cluster.offer_worker();
+  cluster.offer_worker();
+  const bool unparked =
+      wait_until([&] { return !cluster.parked(); }, 10000.0) &&
+      wait_until([&] { return cluster.alive_workers() == 2; }, 10000.0);
+  std::printf("membership recovered, server un-parked: %s\n",
+              unparked ? "yes" : "NO");
+
+  // 5. The resubmitted request completes bitwise vs the single-process
+  //    reference — park, rejoin and un-park left no numerical trace.
+  const serving::ForecastResult got = cluster.forecast(req);
+  const bool bitwise = bitwise_equal(got, single);
+  std::printf(
+      "request completed across park -> rejoin -> un-park bitwise: %s\n",
+      bitwise ? "yes" : "NO");
+
+  const serving::ServerStats st = cluster.stats();
+  std::printf(
+      "workers_lost=%lld quorum_drains=%lld registry_fingerprint_rejects=%lld "
+      "workers_joined=%lld unparks=%lld completed=%lld incarnation=%llu\n",
+      static_cast<long long>(st.workers_lost),
+      static_cast<long long>(st.quorum_drains),
+      static_cast<long long>(st.registry_fingerprint_rejects),
+      static_cast<long long>(st.workers_joined),
+      static_cast<long long>(st.unparks),
+      static_cast<long long>(st.completed),
+      static_cast<unsigned long long>(cluster.incarnation()));
+  const bool counters = st.workers_lost == 2 && st.quorum_drains == 1 &&
+                        st.registry_fingerprint_rejects == 1 &&
+                        st.workers_joined == 2 && st.unparks == 1 &&
+                        st.completed == 1;
+  if (!counters) std::printf("stats do not match the script\n");
+
+  return drained_typed && refused_typed && fp_rejected && unparked &&
+                 bitwise && counters
+             ? 0
+             : 1;
+}

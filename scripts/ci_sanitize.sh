@@ -36,6 +36,12 @@
 # cluster's acceptance test: every request must terminate typed while
 # incarnations collapse and re-form under the sanitizer.
 #
+# Both legs also run the elastic suite: the park/un-park chaos soak races
+# offer_worker against quorum collapse — join handshakes, probation
+# promotion and admission resumption all cross threads, and the
+# membership roster hand-off between the front-end and the manager is the
+# newest place a race or a stale-pointer bug would hide.
+#
 # Usage: scripts/ci_sanitize.sh [tsan_build_dir] [asan_build_dir]
 #   (defaults: <repo>/build-tsan, <repo>/build-asan)
 # Also wired as a CMake target: cmake --build build --target ci_sanitize
@@ -45,7 +51,7 @@ build=${1:-"$repo/build-tsan"}
 asan_build=${2:-"$repo/build-asan"}
 
 cmake -B "$build" -S "$repo" -DAERIS_SANITIZE=thread
-cmake --build "$build" -j --target test_swipe test_core test_serving test_infer_hotpath test_consistency test_multimodel test_cluster
+cmake --build "$build" -j --target test_swipe test_core test_serving test_infer_hotpath test_consistency test_multimodel test_cluster test_elastic
 # TSan aborts the process on the first race (halt_on_error), so a clean
 # exit means a clean suite. The timeout backstops comm deadlocks.
 TSAN_OPTIONS="halt_on_error=1 $TSAN_OPTIONS" \
@@ -70,9 +76,12 @@ echo "TSan multimodel suite (mixed-variant pack purity drill) clean"
 TSAN_OPTIONS="halt_on_error=1 $TSAN_OPTIONS" \
   timeout 600 "$build/tests/test_cluster"
 echo "TSan cluster suite (incl. chaos kill drill) clean"
+TSAN_OPTIONS="halt_on_error=1 $TSAN_OPTIONS" \
+  timeout 600 "$build/tests/test_elastic"
+echo "TSan elastic suite (incl. park/un-park chaos soak) clean"
 
 cmake -B "$asan_build" -S "$repo" -DAERIS_SANITIZE=address
-cmake --build "$asan_build" -j --target test_serving test_infer_hotpath test_consistency test_multimodel test_cluster
+cmake --build "$asan_build" -j --target test_serving test_infer_hotpath test_consistency test_multimodel test_cluster test_elastic
 ASAN_OPTIONS="halt_on_error=1 detect_leaks=1 $ASAN_OPTIONS" \
   timeout 600 "$asan_build/tests/test_serving"
 echo "ASan serving suite clean"
@@ -88,3 +97,6 @@ echo "ASan multimodel suite (mixed-variant pack purity drill) clean"
 ASAN_OPTIONS="halt_on_error=1 detect_leaks=1 $ASAN_OPTIONS" \
   timeout 600 "$asan_build/tests/test_cluster"
 echo "ASan cluster suite (incl. chaos kill drill) clean"
+ASAN_OPTIONS="halt_on_error=1 detect_leaks=1 $ASAN_OPTIONS" \
+  timeout 600 "$asan_build/tests/test_elastic"
+echo "ASan elastic suite (incl. park/un-park chaos soak) clean"

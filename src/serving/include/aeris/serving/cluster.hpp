@@ -2,8 +2,11 @@
 
 #include <atomic>
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <memory>
+#include <mutex>
+#include <set>
 #include <thread>
 #include <vector>
 
@@ -60,15 +63,34 @@ struct ClusterOptions {
   double stall_ms = 0.0;
   /// Escaped-exception drill: these world ranks throw a std::runtime_error
   /// right after receiving their first pack (first incarnation only).
-  /// Unlike a FaultPlan kill — which fires on a *send* and can no longer
-  /// fire once another rank's death has poisoned the world — an escaped
-  /// exception is recorded as an originating failure regardless of
-  /// ordering, so several ranks in this list die in the *same* pack
-  /// window deterministically. Listed ranks rendezvous — each blocks after
-  /// receiving its first pack until every listed rank has one (bounded
-  /// wait), then all throw — so callers must make at least
-  /// die_on_first_pack.size() concurrent packs available.
+  /// Unlike a plain FaultPlan kill — which fires on a *send* ordinal that
+  /// may never be reached once another rank's death has poisoned the
+  /// world — an escaped exception is recorded as an originating failure
+  /// regardless of ordering. (Latched FaultPlan kills, FaultEvent::latch,
+  /// now close that gap on the send path too; this drill remains for
+  /// exercising the escaped-exception classification itself.) Listed
+  /// ranks rendezvous — each blocks after receiving its first pack until
+  /// every listed rank has one (bounded wait), then all throw — so callers
+  /// must make at least die_on_first_pack.size() concurrent packs
+  /// available.
   std::vector<int> die_on_first_pack;
+
+  /// Elastic membership. When true, dead capacity is not forever: callers
+  /// offer replacement workers via offer_worker(), a below-quorum park
+  /// waits for membership to recover instead of refusing admissions until
+  /// process restart, and every incarnation's world carries spare parked
+  /// rank slots joiners activate mid-flight. AERIS_SERVE_REJOIN.
+  bool rejoin = false;
+  /// Joiner probation: an admitted joiner must stay clean (fresh
+  /// heartbeats when heartbeats are on) for this long before the
+  /// front-end leases it work; <= 0 makes admission immediate.
+  /// AERIS_SERVE_PROBATION_MS.
+  double probation_ms = 0.0;
+  /// Upper bound on the world size (front-end + workers) the cluster may
+  /// grow to by admitting fresh ranks; <= 0 means `ranks` (rejoin can
+  /// then only replace dead capacity, not grow past the initial size).
+  /// AERIS_SERVE_MAX_RANKS.
+  int max_ranks = 0;
 
   static ClusterOptions from_env();
 };
@@ -95,6 +117,21 @@ struct ClusterOptions {
 ///   backlog estimate divided by the shrunken capacity.
 /// Below min_quorum the server parks: in-flight requests drain with typed
 /// kWorkerLost errors and future admissions are refused the same way.
+///
+/// Elastic membership (opts.rejoin): membership can also grow back. Each
+/// incarnation's world carries parked spare rank slots; offer_worker()
+/// queues capacity (a recovered rank, or a brand-new one) and the
+/// front-end admits it mid-flight through a join protocol on the
+/// membership lane — invite, fingerprint announce, verdict. A joiner's
+/// announced ModelRegistry fingerprint must match the frozen registry
+/// before the rank is ever leased work (mismatches are refused and
+/// counted); an optional probation window then gates leasing on clean
+/// heartbeats. Every world re-formation bumps the incarnation number, so
+/// recovered capacity always re-admits under a fresh incarnation. A
+/// parked below-quorum server un-parks automatically once admitted
+/// membership reaches quorum again: admissions resume in the ledger,
+/// while requests drained during the outage keep their typed kWorkerLost
+/// errors.
 ///
 /// Determinism: an unstressed request's trajectories are bitwise-identical
 /// to the single-process ForecastServer (and the serial
@@ -135,6 +172,29 @@ class ClusterForecastServer {
     return alive_workers_.load(std::memory_order_relaxed);
   }
 
+  /// Elastic membership: offers one worker's capacity to the cluster — a
+  /// recovered rank rejoining or a brand-new rank. `announced_fingerprint`
+  /// is the ModelRegistry fingerprint the joiner will announce during the
+  /// join handshake (0 = announce the in-process replica's own, which
+  /// always matches; tests pass a skewed value to drive the reject path).
+  /// The front-end validates the announce against the frozen registry
+  /// before the rank is ever leased work. Returns false when elastic
+  /// membership is off, the server is stopping, or the cluster (alive +
+  /// already-offered) is at max_ranks capacity.
+  bool offer_worker(std::uint64_t announced_fingerprint = 0);
+
+  /// Incarnation number of the current world; bumps on every membership
+  /// re-formation (death rebuild or recovery), so joiners always admit
+  /// under a fresh incarnation.
+  std::uint64_t incarnation() const {
+    return incarnation_.load(std::memory_order_relaxed);
+  }
+
+  /// True while the server is parked below quorum (admissions refused,
+  /// waiting for offered capacity). Always false when rejoin is off — the
+  /// legacy park is terminal and the manager has already returned.
+  bool parked() const { return parked_.load(std::memory_order_relaxed); }
+
  private:
   /// A pack leased to a worker: the checked-out items plus the send time
   /// (front-end-side latency feeds the backlog EMA).
@@ -146,6 +206,10 @@ class ClusterForecastServer {
   void manager_loop();
   void frontend_loop(swipe::World& world, bool drill_armed);
   void worker_rank_loop(swipe::World& world, int rank, bool drill_armed);
+  /// A spare rank slot idles here until the front-end invites it on the
+  /// join lane: it announces its registry fingerprint, and on an accept
+  /// verdict becomes a worker (worker_rank_loop); a reject re-parks it.
+  void parked_rank_loop(swipe::World& world, int rank);
   /// Fetches forcings, commits fetch failures locally, encodes and sends
   /// the rest to `worker_rank`, opening a lease. Returns true if anything
   /// was dispatched or committed.
@@ -169,6 +233,31 @@ class ClusterForecastServer {
   /// during an incarnation and by the manager between incarnations —
   /// never concurrently.
   std::map<std::uint64_t, Lease> outstanding_;
+
+  // --- elastic membership state ---
+  /// Upper bound on simultaneously-admitted worker ranks (max_ranks - 1
+  /// once clamped; == ranks - 1 when growth is not enabled).
+  int max_workers_ = 0;
+  std::atomic<std::uint64_t> incarnation_{0};
+  std::atomic<bool> parked_{false};
+  /// Capacity offered via offer_worker() and not yet admitted: the
+  /// fingerprints joiners will announce (0 = compute locally). Guarded by
+  /// join_mu_; consumed by the front-end, re-queued by the manager when an
+  /// incarnation collapses mid-handshake.
+  mutable std::mutex join_mu_;
+  std::deque<std::uint64_t> pending_joins_;
+  /// Membership roster of the current incarnation, written by the manager
+  /// before World::run and by the front-end thread during it, read by the
+  /// manager after the world unwinds (run()'s join orders the accesses —
+  /// same discipline as outstanding_). `leasable` holds world ranks
+  /// serving traffic; `pending` maps a world rank mid-join (invited or on
+  /// probation) to the fingerprint its offer announced.
+  struct Roster {
+    std::set<int> leasable;
+    std::map<int, std::uint64_t> pending;
+  };
+  Roster roster_;
+
   std::thread manager_;
 };
 

@@ -191,6 +191,19 @@ class RequestLedger {
   /// the below-quorum "serving is parked" state.
   void refuse_admissions(RequestStatus status, const std::string& msg);
 
+  /// Lifts refuse_admissions: the cluster un-parked (membership recovered
+  /// to quorum) and new requests are admitted again. Requests drained or
+  /// refused during the outage keep their typed errors — nothing is
+  /// resurrected. No-op while stopping.
+  void resume_admissions();
+
+  /// Records one worker rank admitted by the elastic join protocol.
+  void note_worker_joined();
+  /// Records one below-quorum park lifted after membership recovery.
+  void note_unpark();
+  /// Records one joiner refused for a registry-fingerprint mismatch.
+  void note_fingerprint_reject();
+
   /// Begins shutdown: wakes every waiter; take_pack returns empty and
   /// admissions are refused with kShutdown from now on. Returns false if
   /// already stopping (stop() idempotence).
@@ -238,8 +251,11 @@ class RequestLedger {
   std::string refuse_msg_;
   std::uint64_t next_id_ = 0;
   std::int64_t active_count_ = 0;
-  std::int64_t pending_member_steps_ = 0;
-  double ema_member_step_ms_ = 0.0;
+  /// Backlog accounting keyed by registry variant index (the serving
+  /// variant, post-fallback): one slow variant's queue depth and step-cost
+  /// EMA must not inflate the degradation decisions of a fast one.
+  std::vector<std::int64_t> pending_member_steps_;
+  std::vector<double> ema_member_step_ms_;
   std::vector<std::shared_ptr<detail::ActiveRequest>> actives_;
   ServerStats stats_;
 };

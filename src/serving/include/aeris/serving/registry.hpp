@@ -91,6 +91,16 @@ class ModelRegistry {
 
   std::int64_t default_index() const { return default_; }
 
+  /// Deterministic digest of the frozen registry's serving-visible shape:
+  /// variant names, stable indices (by construction order), skill tiers,
+  /// fallback edges, default variant, and each engine's grid/channel
+  /// geometry and sampler capabilities. Two replicas that would route and
+  /// serve identically produce the same fingerprint; the elastic cluster
+  /// validates a joiner's announced fingerprint against the frozen
+  /// registry before the rank is ever leased work. Never returns 0 (0 is
+  /// the join protocol's "compute locally" sentinel).
+  std::uint64_t fingerprint() const;
+
  private:
   std::vector<ModelVariant> variants_;
   std::int64_t default_ = 0;

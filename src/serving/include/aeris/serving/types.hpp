@@ -233,6 +233,16 @@ struct ServerStats {
   /// surviving ranks from the last committed step.
   std::int64_t requeued_member_steps = 0;
   std::int64_t quorum_drains = 0;  ///< in-flight drains after quorum loss
+  /// Elastic membership: worker ranks admitted by the join protocol
+  /// (recovered capacity and fresh ranks alike; counts every admission to
+  /// leasable membership, so a rank that dies and rejoins counts twice).
+  std::int64_t workers_joined = 0;
+  /// Below-quorum parks lifted after membership recovered (admissions
+  /// resumed in the ledger).
+  std::int64_t unparks = 0;
+  /// Joiners refused admission because the registry fingerprint they
+  /// announced did not match the frozen registry serving traffic.
+  std::int64_t registry_fingerprint_rejects = 0;
 };
 
 }  // namespace aeris::serving

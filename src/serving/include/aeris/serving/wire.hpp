@@ -69,4 +69,40 @@ std::vector<float> encode_result_error(std::uint64_t pack_id,
 
 ResultMsg decode_result(const std::vector<float>& payload);
 
+/// Message kinds of the elastic-membership join lane (front-end <-> parked
+/// spare ranks, kServeJoinTag / kServeAnnounceTag in Traffic::kMembership).
+enum class JoinKind : std::uint32_t {
+  kInvite = 0,    ///< front-end -> spare: wake up and announce yourself
+  kVerdict = 1,   ///< front-end -> spare: admission decision
+  kShutdown = 2,  ///< front-end -> spare: the incarnation is over, exit
+};
+
+/// A decoded join-lane message. An invite carries the incarnation the
+/// joiner would serve under and the fingerprint the offered capacity
+/// claims (0 = compute from the local registry replica); a verdict echoes
+/// the incarnation and carries the admission decision.
+struct JoinMsg {
+  JoinKind kind = JoinKind::kShutdown;
+  std::uint64_t incarnation = 0;
+  std::uint64_t fingerprint = 0;
+  bool accept = false;
+};
+
+/// A decoded announce (spare -> front-end): the joiner's claimed
+/// incarnation and registry fingerprint, validated before any lease.
+struct AnnounceMsg {
+  std::uint64_t incarnation = 0;
+  std::uint64_t fingerprint = 0;
+};
+
+std::vector<float> encode_join_invite(std::uint64_t incarnation,
+                                      std::uint64_t fingerprint);
+std::vector<float> encode_join_verdict(std::uint64_t incarnation, bool accept);
+std::vector<float> encode_join_shutdown();
+JoinMsg decode_join(const std::vector<float>& payload);
+
+std::vector<float> encode_announce(std::uint64_t incarnation,
+                                   std::uint64_t fingerprint);
+AnnounceMsg decode_announce(const std::vector<float>& payload);
+
 }  // namespace aeris::serving::wire

@@ -51,6 +51,9 @@ ClusterOptions ClusterOptions::from_env() {
       "AERIS_SERVE_HEARTBEAT_TIMEOUT_MS",
       o.heartbeat_interval_ms > 0.0 ? 8.0 * o.heartbeat_interval_ms : 0.0);
   o.lease_timeout_ms = env_double("AERIS_SERVE_LEASE_MS", o.lease_timeout_ms);
+  o.rejoin = env_i64("AERIS_SERVE_REJOIN", o.rejoin ? 1 : 0) != 0;
+  o.probation_ms = env_double("AERIS_SERVE_PROBATION_MS", o.probation_ms);
+  o.max_ranks = static_cast<int>(env_i64("AERIS_SERVE_MAX_RANKS", o.max_ranks));
   o.serve = ServerOptions::from_env();
   return o;
 }
@@ -76,6 +79,9 @@ ClusterForecastServer::ClusterForecastServer(const ModelRegistry& registry,
   opts_.min_quorum = std::max(1, opts_.min_quorum);
   opts_.max_outstanding_packs =
       std::max<std::int64_t>(1, opts_.max_outstanding_packs);
+  opts_.max_ranks = opts_.max_ranks <= 0 ? opts_.ranks
+                                         : std::max(opts_.max_ranks, opts_.ranks);
+  max_workers_ = opts_.max_ranks - 1;
   manager_ = std::thread([this] { manager_loop(); });
 }
 
@@ -90,7 +96,23 @@ ClusterForecastServer::ClusterForecastServer(
   opts_.min_quorum = std::max(1, opts_.min_quorum);
   opts_.max_outstanding_packs =
       std::max<std::int64_t>(1, opts_.max_outstanding_packs);
+  opts_.max_ranks = opts_.max_ranks <= 0 ? opts_.ranks
+                                         : std::max(opts_.max_ranks, opts_.ranks);
+  max_workers_ = opts_.max_ranks - 1;
   manager_ = std::thread([this] { manager_loop(); });
+}
+
+bool ClusterForecastServer::offer_worker(std::uint64_t announced_fingerprint) {
+  if (!opts_.rejoin || ledger_.stopping()) return false;
+  std::lock_guard<std::mutex> lock(join_mu_);
+  // Soft capacity guard: offers mid-handshake are briefly uncounted, but
+  // excess offers only ever wait in the queue for a spare slot — the
+  // front-end never activates more than the world's spare ranks.
+  const int committed = alive_workers_.load(std::memory_order_relaxed) +
+                        static_cast<int>(pending_joins_.size());
+  if (committed >= max_workers_) return false;
+  pending_joins_.push_back(announced_fingerprint);
+  return true;
 }
 
 ClusterForecastServer::~ClusterForecastServer() { stop(); }
@@ -123,14 +145,30 @@ void ClusterForecastServer::manager_loop() {
       const std::string msg =
           "cluster below quorum: " + std::to_string(workers) +
           " alive worker rank(s), quorum " + std::to_string(opts_.min_quorum);
-      // Park: refuse first so no admission slips in between the drain and
-      // the refusal, then drain what is in flight with the typed error.
-      ledger_.refuse_admissions(RequestStatus::kWorkerLost, msg);
-      ledger_.drain_all(RequestStatus::kWorkerLost, msg);
-      return;
+      if (!opts_.rejoin) {
+        // Terminal park: refuse first so no admission slips in between the
+        // drain and the refusal, then drain what is in flight with the
+        // typed error.
+        ledger_.refuse_admissions(RequestStatus::kWorkerLost, msg);
+        ledger_.drain_all(RequestStatus::kWorkerLost, msg);
+        return;
+      }
+      // Elastic park: same typed drain/refusal contract, but the manager
+      // stays up — the recovery incarnation below runs with the survivors
+      // (possibly none) plus parked spare slots, and the front-end
+      // un-parks as soon as admitted membership reaches quorum again.
+      if (!parked_.load(std::memory_order_relaxed)) {
+        parked_.store(true, std::memory_order_relaxed);
+        ledger_.refuse_admissions(RequestStatus::kWorkerLost, msg);
+        ledger_.drain_all(RequestStatus::kWorkerLost, msg);
+      }
     }
 
-    swipe::World world(1 + workers);
+    // With elasticity on, every incarnation's world is built at full
+    // max_ranks width: ranks beyond the active set park in an idle join
+    // loop and cost nothing until capacity is offered.
+    const int slots = opts_.rejoin ? max_workers_ : workers;
+    swipe::World world(1 + slots);
     const bool drill_armed = first_incarnation;
     if (drill_armed && opts_.fault_plan != nullptr) {
       world.set_fault_plan(opts_.fault_plan);
@@ -138,14 +176,20 @@ void ClusterForecastServer::manager_loop() {
     first_incarnation = false;
     suspect_dead_.store(-1, std::memory_order_relaxed);
     outstanding_.clear();
+    roster_.leasable.clear();
+    roster_.pending.clear();
+    for (int r = 1; r <= workers; ++r) roster_.leasable.insert(r);
+    incarnation_.fetch_add(1, std::memory_order_relaxed);
 
     bool failed = false;
     try {
       world.run([&](int rank) {
         if (rank == 0) {
           frontend_loop(world, drill_armed);
-        } else {
+        } else if (rank <= workers) {
           worker_rank_loop(world, rank, drill_armed);
+        } else {
+          parked_rank_loop(world, rank);
         }
       });
     } catch (...) {
@@ -163,20 +207,41 @@ void ClusterForecastServer::manager_loop() {
     // Who actually died? Originating (non-secondary) worker failures, plus
     // the front-end's timeout suspect (a hung rank produces only secondary
     // failures: nobody's exception started the collapse, the poison did).
-    std::set<int> dead;
+    // Parked spares and mid-join ranks only ever unwind as secondary
+    // casualties, so intersecting with the leasable roster keeps the alive
+    // count honest: a joiner dying during its handshake or probation never
+    // counted as capacity and is not subtracted.
+    std::set<int> originating;
     for (const swipe::World::RankFailure& f : world.failures()) {
-      if (f.rank > 0 && !f.secondary) dead.insert(f.rank);
+      if (f.rank > 0 && !f.secondary) originating.insert(f.rank);
     }
     const int suspect = suspect_dead_.load(std::memory_order_relaxed);
-    if (suspect > 0) dead.insert(suspect);
-    if (dead.empty() && world.failed_rank() > 0) {
+    if (suspect > 0) originating.insert(suspect);
+    std::set<int> dead;
+    for (const int r : originating) {
+      if (roster_.leasable.count(r) != 0) dead.insert(r);
+    }
+    if (dead.empty() && world.failed_rank() > 0 &&
+        roster_.leasable.count(world.failed_rank()) != 0) {
       dead.insert(world.failed_rank());
     }
-    if (dead.empty()) dead.insert(1);  // conservative: someone died
+    if (dead.empty() && originating.empty() && !roster_.leasable.empty()) {
+      dead.insert(*roster_.leasable.begin());  // conservative: someone died
+    }
 
     ledger_.note_workers_lost(static_cast<int>(dead.size()));
     alive_workers_.fetch_sub(static_cast<int>(dead.size()),
                              std::memory_order_relaxed);
+
+    // Offers consumed mid-handshake survive the collapse: re-queue their
+    // fingerprints so the capacity re-admits under the next incarnation.
+    // A joiner that itself died (originating failure) forfeits its offer.
+    if (!roster_.pending.empty()) {
+      std::lock_guard<std::mutex> lock(join_mu_);
+      for (const auto& [r, fp] : roster_.pending) {
+        if (originating.count(r) == 0) pending_joins_.push_front(fp);
+      }
+    }
 
     // Requeue every leased-but-uncommitted item: the whole incarnation is
     // gone, so even survivors' in-flight packs recompute — bitwise, from
@@ -263,19 +328,58 @@ bool ClusterForecastServer::dispatch_pack(swipe::World& world,
 void ClusterForecastServer::frontend_loop(swipe::World& world,
                                           bool drill_armed) {
   (void)drill_armed;
-  const int nworkers = world.size() - 1;
-  swipe::HeartbeatMonitor monitor(nworkers, opts_.heartbeat_timeout_ms,
+  const int nslots = world.size() - 1;  // active workers + parked spares
+  swipe::HeartbeatMonitor monitor(nslots, opts_.heartbeat_timeout_ms,
                                   opts_.lease_timeout_ms,
                                   swipe::HeartbeatMonitor::Clock::now());
-  std::vector<swipe::PendingMsg> result_rx(
-      static_cast<std::size_t>(nworkers));
-  std::vector<swipe::PendingMsg> beat_rx(static_cast<std::size_t>(nworkers));
-  for (int r = 1; r <= nworkers; ++r) {
+  // The manager seeded roster_.leasable with the incarnation's active
+  // workers; everything above them is a parked spare, exempt from the
+  // liveness detectors until it joins.
+  std::deque<int> spares;
+  std::set<int> joining;    // invited, awaiting a fingerprint announce
+  std::set<int> probation;  // admitted, awaiting a clean probation window
+  for (int r = 1; r <= nslots; ++r) {
+    if (roster_.leasable.count(r) == 0) {
+      monitor.unwatch(r - 1);
+      spares.push_back(r);
+    }
+  }
+  const std::uint64_t inc = incarnation_.load(std::memory_order_relaxed);
+  const std::uint64_t local_fp = opts_.rejoin ? registry_.fingerprint() : 0;
+
+  std::vector<swipe::PendingMsg> result_rx(static_cast<std::size_t>(nslots));
+  std::vector<swipe::PendingMsg> beat_rx(static_cast<std::size_t>(nslots));
+  std::vector<swipe::PendingMsg> announce_rx(
+      static_cast<std::size_t>(nslots));
+  for (int r = 1; r <= nslots; ++r) {
     result_rx[static_cast<std::size_t>(r - 1)] =
         world.irecv(0, r, swipe::kServeResultTag);
     beat_rx[static_cast<std::size_t>(r - 1)] =
         world.irecv(0, r, swipe::kServeHeartbeatTag);
+    announce_rx[static_cast<std::size_t>(r - 1)] =
+        world.irecv(0, r, swipe::kServeAnnounceTag);
   }
+
+  // A joiner becomes leasable capacity: probation served (or none
+  // configured), condemnation cleared, counted alive — and if that lifts
+  // a below-quorum park, admissions resume with the outage's typed drains
+  // left untouched.
+  const auto promote = [&](int r) {
+    const auto now = swipe::HeartbeatMonitor::Clock::now();
+    monitor.clear(r - 1);
+    monitor.watch(r - 1, now);
+    probation.erase(r);
+    roster_.pending.erase(r);
+    roster_.leasable.insert(r);
+    alive_workers_.fetch_add(1, std::memory_order_relaxed);
+    ledger_.note_worker_joined();
+    if (parked_.load(std::memory_order_relaxed) &&
+        alive_workers_.load(std::memory_order_relaxed) >= opts_.min_quorum) {
+      parked_.store(false, std::memory_order_relaxed);
+      ledger_.note_unpark();
+      ledger_.resume_admissions();
+    }
+  };
 
   for (;;) {
     if (world.poisoned()) {
@@ -283,9 +387,16 @@ void ClusterForecastServer::frontend_loop(swipe::World& world,
                                    "serving world poisoned");
     }
     if (ledger_.stopping()) {
-      for (int r = 1; r <= nworkers; ++r) {
-        world.send(0, r, swipe::kServeWorkTag, wire::encode_shutdown(),
-                   swipe::Traffic::kServing);
+      for (int r = 1; r <= nslots; ++r) {
+        if (roster_.leasable.count(r) != 0 || probation.count(r) != 0) {
+          world.send(0, r, swipe::kServeWorkTag, wire::encode_shutdown(),
+                     swipe::Traffic::kServing);
+        } else {
+          // Spares (and mid-handshake joiners, whose verdict will never
+          // come) exit through the join lane.
+          world.send(0, r, swipe::kServeJoinTag, wire::encode_join_shutdown(),
+                     swipe::Traffic::kMembership);
+        }
       }
       return;
     }
@@ -294,7 +405,7 @@ void ClusterForecastServer::frontend_loop(swipe::World& world,
 
     // Drain results. A result is liveness too: it closes the lease and
     // refreshes the sender's heartbeat clock.
-    for (int r = 1; r <= nworkers; ++r) {
+    for (int r = 1; r <= nslots; ++r) {
       swipe::PendingMsg& rx = result_rx[static_cast<std::size_t>(r - 1)];
       while (rx.test()) {
         const std::vector<float> payload = rx.wait();
@@ -322,12 +433,74 @@ void ClusterForecastServer::frontend_loop(swipe::World& world,
     }
 
     // Drain heartbeats.
-    for (int r = 1; r <= nworkers; ++r) {
+    for (int r = 1; r <= nslots; ++r) {
       swipe::PendingMsg& rx = beat_rx[static_cast<std::size_t>(r - 1)];
       while (rx.test()) {
         (void)rx.wait();
         rx = world.irecv(0, r, swipe::kServeHeartbeatTag);
         monitor.beat(r - 1, swipe::HeartbeatMonitor::Clock::now());
+      }
+    }
+
+    // Drain announces: validate the joiner's claimed registry fingerprint
+    // against the frozen registry before it is ever leased work.
+    for (int r = 1; r <= nslots; ++r) {
+      swipe::PendingMsg& rx = announce_rx[static_cast<std::size_t>(r - 1)];
+      while (rx.test()) {
+        const std::vector<float> payload = rx.wait();
+        rx = world.irecv(0, r, swipe::kServeAnnounceTag);
+        if (joining.count(r) == 0) continue;  // stale announce
+        joining.erase(r);
+        const wire::AnnounceMsg ann = wire::decode_announce(payload);
+        const bool ok = ann.fingerprint == local_fp && ann.incarnation == inc;
+        world.send(0, r, swipe::kServeJoinTag,
+                   wire::encode_join_verdict(inc, ok),
+                   swipe::Traffic::kMembership);
+        if (!ok) {
+          // A replica that would route or serve differently must never
+          // hold a lease — refuse, count, and re-park the slot.
+          ledger_.note_fingerprint_reject();
+          roster_.pending.erase(r);
+          spares.push_back(r);
+        } else if (opts_.probation_ms > 0.0) {
+          monitor.begin_probation(
+              r - 1, swipe::HeartbeatMonitor::Clock::now());
+          probation.insert(r);
+        } else {
+          promote(r);
+        }
+        progressed = true;
+      }
+    }
+
+    // Invite offered capacity into spare slots.
+    for (;;) {
+      if (spares.empty()) break;
+      std::uint64_t fp = 0;
+      {
+        std::lock_guard<std::mutex> lock(join_mu_);
+        if (pending_joins_.empty()) break;
+        fp = pending_joins_.front();
+        pending_joins_.pop_front();
+      }
+      const int s = spares.front();
+      spares.pop_front();
+      joining.insert(s);
+      roster_.pending[s] = fp;
+      world.send(0, s, swipe::kServeJoinTag,
+                 wire::encode_join_invite(inc, fp),
+                 swipe::Traffic::kMembership);
+      progressed = true;
+    }
+
+    // Promote probationers whose window elapsed with clean heartbeats.
+    if (!probation.empty()) {
+      int p = -1;
+      while ((p = monitor.probation_cleared(
+                  swipe::HeartbeatMonitor::Clock::now(),
+                  opts_.probation_ms)) >= 0) {
+        promote(p + 1);
+        progressed = true;
       }
     }
 
@@ -342,16 +515,17 @@ void ClusterForecastServer::frontend_loop(swipe::World& world,
           "worker rank " + std::to_string(wr) +
           " declared dead by the serving front-end (lease/heartbeat "
           "timeout)";
+      monitor.condemn(expired, swipe::HeartbeatMonitor::Clock::now());
       suspect_dead_.store(wr, std::memory_order_relaxed);
       world.poison(wr, why);
       throw swipe::PeerFailedError(wr, why);
     }
 
-    // Dispatch to the least-loaded worker with lease headroom.
+    // Dispatch to the least-loaded leasable worker with lease headroom.
     for (;;) {
       int best = -1;
       std::size_t best_load = 0;
-      for (int r = 1; r <= nworkers; ++r) {
+      for (const int r : roster_.leasable) {
         const std::size_t load = monitor.open_leases(r - 1);
         if (load >= static_cast<std::size_t>(opts_.max_outstanding_packs)) {
           continue;
@@ -407,7 +581,22 @@ void ClusterForecastServer::worker_rank_loop(swipe::World& world, int rank,
                  swipe::Traffic::kServing);
       last_beat = Clock::now();
     }
-    if (!work_rx.test()) {
+    bool has_work = false;
+    try {
+      has_work = work_rx.test();
+    } catch (const swipe::PeerFailedError&) {
+      // Poisoned and fully drained. One dying-breath beat gives a latched
+      // FaultPlan kill its chance to fire on this rank's "next send" as an
+      // originating InjectedFault; an unlatched rank's send throws the same
+      // PeerFailedError this test() just did, so classification is
+      // unchanged for everyone else.
+      if (opts_.heartbeat_interval_ms > 0.0) {
+        world.send(rank, 0, swipe::kServeHeartbeatTag, {},
+                   swipe::Traffic::kServing);
+      }
+      throw;
+    }
+    if (!has_work) {
       std::this_thread::sleep_for(std::chrono::microseconds(100));
       continue;
     }
@@ -476,6 +665,50 @@ void ClusterForecastServer::worker_rank_loop(swipe::World& world, int rank,
     world.send(rank, 0, swipe::kServeResultTag, std::move(reply),
                swipe::Traffic::kServing);
     ++packs_done;
+  }
+}
+
+void ClusterForecastServer::parked_rank_loop(swipe::World& world, int rank) {
+  // A parked spare idles on the membership lane until the front-end
+  // invites it: invite -> announce fingerprint -> verdict. Accepted ranks
+  // become workers; rejected ranks park again and wait for another invite.
+  swipe::PendingMsg join_rx = world.irecv(rank, 0, swipe::kServeJoinTag);
+  for (;;) {
+    if (!join_rx.test()) {
+      // test() throws PeerFailedError once the world is poisoned and the
+      // queue is empty, so parked ranks unwind as secondary casualties.
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+      continue;
+    }
+    const std::vector<float> payload = join_rx.wait();
+    join_rx = world.irecv(rank, 0, swipe::kServeJoinTag);
+    const wire::JoinMsg msg = wire::decode_join(payload);
+    if (msg.kind == wire::JoinKind::kShutdown) return;
+    if (msg.kind != wire::JoinKind::kInvite) continue;
+    // Fingerprint 0 means "announce the local replica's own digest" — the
+    // in-process replica always matches. Tests and drills pass a skewed
+    // value through offer_worker to exercise the reject path.
+    const std::uint64_t fp =
+        msg.fingerprint != 0 ? msg.fingerprint : registry_.fingerprint();
+    world.send(rank, 0, swipe::kServeAnnounceTag,
+               wire::encode_announce(msg.incarnation, fp),
+               swipe::Traffic::kMembership);
+    for (bool deciding = true; deciding;) {
+      if (!join_rx.test()) {
+        std::this_thread::sleep_for(std::chrono::microseconds(200));
+        continue;
+      }
+      const std::vector<float> vp = join_rx.wait();
+      join_rx = world.irecv(rank, 0, swipe::kServeJoinTag);
+      const wire::JoinMsg v = wire::decode_join(vp);
+      if (v.kind == wire::JoinKind::kShutdown) return;
+      if (v.kind != wire::JoinKind::kVerdict) continue;
+      if (v.accept) {
+        worker_rank_loop(world, rank, /*drill_armed=*/false);
+        return;
+      }
+      deciding = false;  // rejected: back to parking
+    }
   }
 }
 

@@ -145,6 +145,8 @@ RequestLedger::RequestLedger(const ModelRegistry& registry,
   for (std::int64_t i = 0; i < registry_.size(); ++i) {
     stats_.per_model[registry_.at(i).name];
   }
+  pending_member_steps_.assign(static_cast<std::size_t>(registry_.size()), 0);
+  ema_member_step_ms_.assign(static_cast<std::size_t>(registry_.size()), 0.0);
 }
 
 bool RequestLedger::admit(const ForecastRequest& req, int capacity_divisor,
@@ -223,12 +225,19 @@ bool RequestLedger::admit(const ForecastRequest& req, int capacity_divisor,
     a->admit = now;
 
     // Graceful degradation decided at admission, from the backlog estimate
-    // (admitted-but-uncommitted member steps x EMA step cost / executors).
-    // All rungs read the same estimate; they stack in cost order.
+    // (admitted-but-uncommitted member steps x EMA step cost / executors),
+    // keyed by the variant that would serve: a slow variant's backlog never
+    // degrades a fast variant's admissions. Rungs stack in cost order; the
+    // estimate is re-read against the fallback variant once the zeroth
+    // rung re-routes.
     const DegradePolicy& dp = opts_.degrade;
-    const double est_wait_ms =
-        static_cast<double>(pending_member_steps_) * ema_member_step_ms_ /
-        static_cast<double>(std::max(1, capacity_divisor));
+    const auto est_wait_for = [&](std::int64_t idx) {
+      const auto v = static_cast<std::size_t>(idx);
+      return static_cast<double>(pending_member_steps_[v]) *
+             ema_member_step_ms_[v] /
+             static_cast<double>(std::max(1, capacity_divisor));
+    };
+    double est_wait_ms = est_wait_for(vi);
 
     // Zeroth rung: cross-model fallback. A variant with a declared
     // fallback edge sheds the whole request to the coarse/preview variant
@@ -271,6 +280,7 @@ bool RequestLedger::admit(const ForecastRequest& req, int capacity_divisor,
         a->model_index = static_cast<std::uint32_t>(fbi);
         a->sampler = fb_sampler;
         a->solver_steps = fb.engine->solver_steps(fb_sampler);
+        est_wait_ms = est_wait_for(fbi);
       }
     }
 
@@ -334,7 +344,7 @@ bool RequestLedger::admit(const ForecastRequest& req, int capacity_divisor,
     ++stats_.accepted;
     ++stats_.per_model[a->model_name].admitted;
     ++active_count_;
-    pending_member_steps_ += a->members * a->steps;
+    pending_member_steps_[a->model_index] += a->members * a->steps;
     actives_.push_back(a);
     future = a->promise.get_future();
     for (std::int64_t m = 0; m < a->members; ++m) {
@@ -441,7 +451,7 @@ void RequestLedger::finalize_locked(
     const auto mi = static_cast<std::size_t>(m);
     if (!a->member_done[mi]) {
       const auto completed = static_cast<std::int64_t>(a->traj[mi].size());
-      pending_member_steps_ -= a->steps - completed;
+      pending_member_steps_[a->model_index] -= a->steps - completed;
       a->member_done[mi] = 1;
       a->reports[mi].steps_completed = completed;
       a->reports[mi].ok = false;
@@ -558,12 +568,14 @@ void RequestLedger::sweep_terminal_locked(std::span<const PackItem> items) {
 void RequestLedger::commit_pack(std::vector<PackItem> items, PackOutcome out) {
   std::lock_guard<std::mutex> lock(mu_);
   const Clock::time_point now = Clock::now();
-  if (out.solved_count > 0 && out.solve_error == nullptr) {
+  if (out.solved_count > 0 && out.solve_error == nullptr && !items.empty()) {
+    // Packs never mix variants, so the whole pack's cost feeds exactly one
+    // variant's EMA (the serving variant — items carry the post-fallback
+    // index).
     const double per_member =
         out.pack_ms / static_cast<double>(out.solved_count);
-    ema_member_step_ms_ = ema_member_step_ms_ == 0.0
-                              ? per_member
-                              : 0.8 * ema_member_step_ms_ + 0.2 * per_member;
+    double& ema = ema_member_step_ms_[items.front().a->model_index];
+    ema = ema == 0.0 ? per_member : 0.8 * ema + 0.2 * per_member;
     ++stats_.packs;
   }
 
@@ -612,14 +624,14 @@ void RequestLedger::commit_pack(std::vector<PackItem> items, PackOutcome out) {
         a->member_done[mi] = 1;
         ++a->members_done;
         ++stats_.failed_members;
-        pending_member_steps_ -=
+        pending_member_steps_[a->model_index] -=
             a->steps - static_cast<std::int64_t>(a->traj[mi].size());
       }
       continue;
     }
 
     a->traj[mi].push_back(std::move(result));
-    --pending_member_steps_;
+    --pending_member_steps_[a->model_index];
     ++stats_.member_steps;
     if (static_cast<std::int64_t>(a->traj[mi].size()) == a->steps) {
       a->reports[mi].ok = true;
@@ -689,6 +701,31 @@ void RequestLedger::refuse_admissions(RequestStatus status,
   refusing_ = true;
   refuse_status_ = status;
   refuse_msg_ = msg;
+}
+
+void RequestLedger::resume_admissions() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) return;
+    refusing_ = false;
+    refuse_msg_.clear();
+  }
+  cv_.notify_all();
+}
+
+void RequestLedger::note_worker_joined() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.workers_joined;
+}
+
+void RequestLedger::note_unpark() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.unparks;
+}
+
+void RequestLedger::note_fingerprint_reject() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.registry_fingerprint_rejects;
 }
 
 bool RequestLedger::begin_stop() {

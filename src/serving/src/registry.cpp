@@ -94,6 +94,43 @@ const ModelVariant* ModelRegistry::find(const std::string& name) const {
   return nullptr;
 }
 
+std::uint64_t ModelRegistry::fingerprint() const {
+  // FNV-1a over the serving-visible shape of the registry. Field order is
+  // part of the contract: changing it changes every fingerprint, which is
+  // exactly the fail-loud behaviour a mixed-build fleet should have.
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  const auto mix = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xffull;
+      h *= 0x100000001b3ull;
+    }
+  };
+  const auto mix_str = [&h](const std::string& s) {
+    for (const char c : s) {
+      h ^= static_cast<std::uint8_t>(c);
+      h *= 0x100000001b3ull;
+    }
+    h ^= 0xffull;  // terminator so {"ab","c"} != {"a","bc"}
+    h *= 0x100000001b3ull;
+  };
+  mix(static_cast<std::uint64_t>(variants_.size()));
+  mix(static_cast<std::uint64_t>(default_));
+  for (const ModelVariant& v : variants_) {
+    mix_str(v.name);
+    mix(static_cast<std::uint64_t>(v.skill_tier));
+    mix(static_cast<std::uint64_t>(v.fallback));
+    const core::ModelConfig& c = v.engine->model().config();
+    mix(static_cast<std::uint64_t>(c.h));
+    mix(static_cast<std::uint64_t>(c.w));
+    mix(static_cast<std::uint64_t>(c.out_channels));
+    mix(static_cast<std::uint64_t>(c.in_channels));
+    mix(static_cast<std::uint64_t>(v.engine->sampler_kind()));
+    mix(static_cast<std::uint64_t>(v.engine->has_consistency() ? 1 : 0));
+    mix(static_cast<std::uint64_t>(v.engine->solver_steps()));
+  }
+  return h == 0 ? 1 : h;  // 0 is the "compute locally" sentinel
+}
+
 std::int64_t ModelRegistry::resolve(const std::string& name,
                                     QualityClass quality) const {
   if (variants_.empty()) return -1;

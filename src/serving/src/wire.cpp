@@ -191,4 +191,63 @@ ResultMsg decode_result(const std::vector<float>& payload) {
   return msg;
 }
 
+std::vector<float> encode_join_invite(std::uint64_t incarnation,
+                                      std::uint64_t fingerprint) {
+  std::vector<float> out;
+  out.reserve(6);
+  put_u32(out, static_cast<std::uint32_t>(JoinKind::kInvite));
+  put_u64(out, incarnation);
+  put_u64(out, fingerprint);
+  put_u32(out, 0);
+  return out;
+}
+
+std::vector<float> encode_join_verdict(std::uint64_t incarnation,
+                                       bool accept) {
+  std::vector<float> out;
+  out.reserve(6);
+  put_u32(out, static_cast<std::uint32_t>(JoinKind::kVerdict));
+  put_u64(out, incarnation);
+  put_u64(out, 0);
+  put_u32(out, accept ? 1u : 0u);
+  return out;
+}
+
+std::vector<float> encode_join_shutdown() {
+  std::vector<float> out;
+  out.reserve(6);
+  put_u32(out, static_cast<std::uint32_t>(JoinKind::kShutdown));
+  put_u64(out, 0);
+  put_u64(out, 0);
+  put_u32(out, 0);
+  return out;
+}
+
+JoinMsg decode_join(const std::vector<float>& payload) {
+  std::size_t pos = 0;
+  JoinMsg msg;
+  msg.kind = static_cast<JoinKind>(get_u32(payload, pos));
+  msg.incarnation = get_u64(payload, pos);
+  msg.fingerprint = get_u64(payload, pos);
+  msg.accept = get_u32(payload, pos) != 0;
+  return msg;
+}
+
+std::vector<float> encode_announce(std::uint64_t incarnation,
+                                   std::uint64_t fingerprint) {
+  std::vector<float> out;
+  out.reserve(4);
+  put_u64(out, incarnation);
+  put_u64(out, fingerprint);
+  return out;
+}
+
+AnnounceMsg decode_announce(const std::vector<float>& payload) {
+  std::size_t pos = 0;
+  AnnounceMsg msg;
+  msg.incarnation = get_u64(payload, pos);
+  msg.fingerprint = get_u64(payload, pos);
+  return msg;
+}
+
 }  // namespace aeris::serving::wire

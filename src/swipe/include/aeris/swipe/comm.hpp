@@ -57,6 +57,9 @@ class CommTimeoutError : public std::runtime_error {
 /// never pollute the pipeline-P2P volume model. The serving tier (work
 /// packs, results, heartbeats of the cluster forecast server) gets its own
 /// class so inference traffic never skews the training volume model.
+/// Membership (join invites, fingerprint announces, admission verdicts of
+/// the elastic cluster) is likewise split out: the join lane is control
+/// plane, not serving volume.
 enum class Traffic : int {
   kP2P = 0,
   kAllToAll = 1,
@@ -66,8 +69,9 @@ enum class Traffic : int {
   kReduceScatter = 5,
   kBarrier = 6,
   kServing = 7,
+  kMembership = 8,
 };
-inline constexpr int kTrafficClasses = 8;
+inline constexpr int kTrafficClasses = 9;
 
 class World;
 
@@ -272,6 +276,10 @@ class World {
   std::shared_ptr<const FaultPlan> fault_plan_;  ///< owns; raw ptr below
   std::atomic<const FaultPlan*> fault_{nullptr};
   std::vector<std::atomic<std::uint64_t>> send_seq_;
+  /// One-shot per-rank kill latch: a rank dies at most once per armed
+  /// plan, whether its kill fires at the exact ordinal or via the latched
+  /// post-poison path. Reset when a plan is (re)armed.
+  std::vector<std::atomic<bool>> kill_fired_;
   std::atomic<std::int64_t> timeout_ms_{0};
   std::atomic<bool> poisoned_{false};
   std::atomic<int> failed_rank_{-1};

@@ -27,6 +27,14 @@ struct FaultEvent {
   /// XOR mask applied to the first payload element's bits (corrupt only).
   /// The default flips a mantissa bit, turning 1.0f into 0.5f.
   std::uint32_t corrupt_xor = 0x00800000u;
+  /// Latched kill (kKillRank only): if the world is poisoned before this
+  /// rank reaches `nth_send`, the kill fires on the rank's next send
+  /// anyway — as an *originating* InjectedFault rather than a secondary
+  /// PeerFailedError. This is what makes multi-kill drills stackable: the
+  /// first kill poisons the world, and without latching every later kill
+  /// was unreachable (the doomed rank unwound as a casualty before its
+  /// ordinal came up). Exact-ordinal fires behave as before.
+  bool latch = false;
 
   friend bool operator==(const FaultEvent&, const FaultEvent&) = default;
 };
@@ -59,6 +67,18 @@ class FaultPlan {
   const FaultEvent* match(int rank, std::uint64_t seq) const {
     for (const FaultEvent& ev : events_) {
       if (ev.rank == rank && ev.nth_send == seq) return &ev;
+    }
+    return nullptr;
+  }
+
+  /// The latched kill scheduled for `rank`, if any — consulted by the
+  /// world once it is poisoned so the rank can die its scheduled death
+  /// even though its exact ordinal will never be reached.
+  const FaultEvent* latched_kill(int rank) const {
+    for (const FaultEvent& ev : events_) {
+      if (ev.rank == rank && ev.latch && ev.kind == FaultKind::kKillRank) {
+        return &ev;
+      }
     }
     return nullptr;
   }

@@ -7,15 +7,19 @@
 namespace aeris::swipe {
 
 /// Well-known tags of the serving control plane on a World. The cluster
-/// forecast server speaks three message kinds between its front-end
-/// (world rank 0) and its worker ranks; all three travel in the
-/// Traffic::kServing class. Tags live far above the collective tag
+/// forecast server speaks these message kinds between its front-end
+/// (world rank 0) and its worker ranks; work/result/heartbeat travel in
+/// the Traffic::kServing class, join/announce (the elastic-membership
+/// lane: invites, fingerprint announces, admission verdicts) in
+/// Traffic::kMembership. Tags live far above the collective tag
 /// sub-space ((group_tag << 40) | tag) of any Communicator the serving
-/// tier would build, and packs/results are FIFO per (src, tag), so one tag
-/// per direction suffices — the pack header carries the pack id.
+/// tier would build, and messages are FIFO per (src, tag), so one tag
+/// per lane suffices — headers carry pack/incarnation identity.
 inline constexpr std::uint64_t kServeWorkTag = 0x5E00000000000001ull;
 inline constexpr std::uint64_t kServeResultTag = 0x5E00000000000002ull;
 inline constexpr std::uint64_t kServeHeartbeatTag = 0x5E00000000000003ull;
+inline constexpr std::uint64_t kServeJoinTag = 0x5E00000000000004ull;
+inline constexpr std::uint64_t kServeAnnounceTag = 0x5E00000000000005ull;
 
 /// Liveness bookkeeping for a set of peer ranks: last-heartbeat ages and
 /// outstanding work-lease deadlines. The owner (one thread; typically the
@@ -26,21 +30,105 @@ inline constexpr std::uint64_t kServeHeartbeatTag = 0x5E00000000000003ull;
 /// trigger the requeue/recovery path even when the rank never throws
 /// (hung, not dead). Time is injected by the caller so drills are
 /// deterministic.
+///
+/// Elastic membership adds per-rank states on top of the two detectors:
+/// a rank can be *unwatched* (a parked spare slot — exempt from both
+/// detectors), *condemned* (declared dead; exempt until it re-earns
+/// trust), or *on probation* (a joiner that is watched but not yet
+/// trusted: it must stay clean for a caller-chosen window before
+/// `probation_cleared` names it and `clear()` restores full membership).
+/// A probationary rank that goes silent is condemnable by the heartbeat
+/// detector even when the lease detector is enabled — probationers hold
+/// no leases, and silence during vetting is disqualifying.
 class HeartbeatMonitor {
  public:
   using Clock = std::chrono::steady_clock;
 
   /// `ranks` world ranks are monitored (rank ids are indices into the
   /// caller's alive-rank list, not world ranks — the caller maps).
-  /// A timeout <= 0 disables that detector.
+  /// A timeout <= 0 disables that detector. All ranks start watched.
   HeartbeatMonitor(int ranks, double heartbeat_timeout_ms,
                    double lease_timeout_ms, Clock::time_point now)
       : heartbeat_timeout_ms_(heartbeat_timeout_ms),
         lease_timeout_ms_(lease_timeout_ms),
         last_beat_(static_cast<std::size_t>(ranks), now),
-        leases_(static_cast<std::size_t>(ranks)) {}
+        leases_(static_cast<std::size_t>(ranks)),
+        state_(static_cast<std::size_t>(ranks)) {}
 
   int ranks() const { return static_cast<int>(last_beat_.size()); }
+
+  /// Removes `rank` from both detectors (a parked spare slot: it is not
+  /// expected to heartbeat and must not be condemned for silence).
+  void unwatch(int rank) { state_[static_cast<std::size_t>(rank)].watched = false; }
+
+  /// (Re-)admits `rank` to the detectors, resetting its beat clock so the
+  /// parked silence is not retroactively counted against it.
+  void watch(int rank, Clock::time_point now) {
+    state_[static_cast<std::size_t>(rank)].watched = true;
+    last_beat_[static_cast<std::size_t>(rank)] = now;
+  }
+
+  bool watched(int rank) const {
+    return state_[static_cast<std::size_t>(rank)].watched;
+  }
+
+  /// Declares `rank` dead: unwatched, leases forgotten (the owner requeues
+  /// the leased work elsewhere), and marked condemned until a probation
+  /// window clears it.
+  void condemn(int rank, Clock::time_point /*now*/) {
+    auto& st = state_[static_cast<std::size_t>(rank)];
+    st.watched = false;
+    st.condemned = true;
+    st.on_probation = false;
+    leases_[static_cast<std::size_t>(rank)].clear();
+  }
+
+  bool condemned(int rank) const {
+    return state_[static_cast<std::size_t>(rank)].condemned;
+  }
+
+  /// Starts the probation window for a joiner (fresh capacity, or a
+  /// condemned rank re-earning trust). The rank is watched — silence gets
+  /// it condemned — but the owner must not lease it work until
+  /// `probation_cleared` names it.
+  void begin_probation(int rank, Clock::time_point now) {
+    auto& st = state_[static_cast<std::size_t>(rank)];
+    st.watched = true;
+    st.on_probation = true;
+    st.probation_start = now;
+    last_beat_[static_cast<std::size_t>(rank)] = now;
+  }
+
+  bool on_probation(int rank) const {
+    return state_[static_cast<std::size_t>(rank)].on_probation;
+  }
+
+  /// First probationary rank whose window has elapsed with clean
+  /// heartbeats (fresh beat at evaluation time; a silent probationer is
+  /// instead surfaced by `expired()`). Returns -1 when none qualifies.
+  int probation_cleared(Clock::time_point now, double window_ms) const {
+    for (int r = 0; r < ranks(); ++r) {
+      const auto& st = state_[static_cast<std::size_t>(r)];
+      if (!st.on_probation || !st.watched) continue;
+      if (ms(st.probation_start, now) < window_ms) continue;
+      if (heartbeat_timeout_ms_ > 0.0 &&
+          ms(last_beat_[static_cast<std::size_t>(r)], now) >
+              heartbeat_timeout_ms_) {
+        continue;
+      }
+      return r;
+    }
+    return -1;
+  }
+
+  /// Probation served: the rank is a full member again — condemnation and
+  /// probation flags drop, the rank stays watched.
+  void clear(int rank) {
+    auto& st = state_[static_cast<std::size_t>(rank)];
+    st.condemned = false;
+    st.on_probation = false;
+    st.watched = true;
+  }
 
   /// A heartbeat (or any message — results count as liveness too) arrived
   /// from `rank`.
@@ -78,6 +166,8 @@ class HeartbeatMonitor {
   /// when heartbeats are enabled.
   int expired(Clock::time_point now) const {
     for (int r = 0; r < ranks(); ++r) {
+      const auto& st = state_[static_cast<std::size_t>(r)];
+      if (!st.watched) continue;  // parked spare or already condemned
       const double beat_age_ms = ms(last_beat_[static_cast<std::size_t>(r)],
                                     now);
       const bool beat_stale =
@@ -91,7 +181,7 @@ class HeartbeatMonitor {
         }
       }
       if (beat_stale && heartbeat_timeout_ms_ > 0.0 &&
-          lease_timeout_ms_ <= 0.0) {
+          (lease_timeout_ms_ <= 0.0 || st.on_probation)) {
         return r;
       }
     }
@@ -104,6 +194,13 @@ class HeartbeatMonitor {
     Clock::time_point opened{};
   };
 
+  struct RankState {
+    bool watched = true;
+    bool condemned = false;
+    bool on_probation = false;
+    Clock::time_point probation_start{};
+  };
+
   static double ms(Clock::time_point a, Clock::time_point b) {
     return std::chrono::duration<double, std::milli>(b - a).count();
   }
@@ -112,6 +209,7 @@ class HeartbeatMonitor {
   double lease_timeout_ms_;
   std::vector<Clock::time_point> last_beat_;
   std::vector<std::vector<Lease>> leases_;
+  std::vector<RankState> state_;
 };
 
 }  // namespace aeris::swipe

@@ -68,7 +68,10 @@ std::vector<float> PendingMsg::wait() {
 // ----------------------------------------------------------------- World
 
 World::World(int nranks)
-    : nranks_(nranks), rank_bytes_(nranks), send_seq_(nranks) {
+    : nranks_(nranks),
+      rank_bytes_(nranks),
+      send_seq_(nranks),
+      kill_fired_(nranks) {
   if (nranks <= 0) throw std::invalid_argument("World: nranks must be > 0");
   mailboxes_.reserve(static_cast<std::size_t>(nranks));
   for (int i = 0; i < nranks; ++i) {
@@ -80,6 +83,7 @@ World::World(int nranks)
 
 void World::set_fault_plan(std::shared_ptr<const FaultPlan> plan) {
   for (auto& c : send_seq_) c.store(0, std::memory_order_relaxed);
+  for (auto& f : kill_fired_) f.store(false, std::memory_order_relaxed);
   fault_plan_ = std::move(plan);
   fault_.store(fault_plan_.get(), std::memory_order_release);
 }
@@ -90,13 +94,25 @@ const FaultEvent* World::next_send_fault(int src) {
   const std::uint64_t seq = send_seq_[static_cast<std::size_t>(src)].fetch_add(
       1, std::memory_order_relaxed);
   const FaultEvent* ev = plan->match(src, seq);
+  auto& fired = kill_fired_[static_cast<std::size_t>(src)];
   if (ev && ev->kind == FaultKind::kKillRank) {
+    if (fired.exchange(true, std::memory_order_acq_rel)) return nullptr;
     // The rank is dead to its peers from this instant, even if user code
     // catches the exception below — exactly like a process kill.
     poison(src, "injected kill");
     throw InjectedFault(src, seq);
   }
-  return ev;
+  if (ev) return ev;
+  // Latched kill: the world is already dying and this rank still carries
+  // an unfired kill — it dies its scheduled death on this send (as an
+  // originating failure) instead of unwinding as a secondary casualty
+  // with the event silently skipped. This is what lets multi-kill drills
+  // land every scheduled death in one incarnation.
+  if (poisoned_.load(std::memory_order_acquire) && plan->latched_kill(src) &&
+      !fired.exchange(true, std::memory_order_acq_rel)) {
+    throw InjectedFault(src, seq);
+  }
+  return nullptr;
 }
 
 bool World::apply_send_fault(const FaultEvent& ev, int /*src*/,
@@ -221,8 +237,8 @@ std::string World::deadlock_dump() const {
     }
   }
   static constexpr const char* kClassNames[kTrafficClasses] = {
-      "p2p",       "alltoall",       "allreduce", "broadcast",
-      "allgather", "reduce_scatter", "barrier",   "serving"};
+      "p2p",       "alltoall",       "allreduce", "broadcast",  "allgather",
+      "reduce_scatter", "barrier",   "serving",   "membership"};
   out += "bytes:";
   for (int t = 0; t < kTrafficClasses; ++t) {
     std::snprintf(line, sizeof(line), " %s=%lld", kClassNames[t],
@@ -253,12 +269,16 @@ void World::send(int src, int dst, std::uint64_t tag,
   if (dst < 0 || dst >= nranks_ || src < 0 || src >= nranks_) {
     throw std::invalid_argument("send: rank out of range");
   }
+  // The fault hook runs before the poison check so a scheduled kill still
+  // fires in a dying world (a rank dies its own death, not a secondary
+  // one) — this is what makes multi-kill drills stackable.
+  const FaultEvent* ev = next_send_fault(src);
   // Sends propagate failure too: a poisoned world means the receiving side
   // may never drain, so abort instead of silently stuffing mailboxes.
   if (poisoned_.load(std::memory_order_acquire)) {
     throw_peer_failed("send", src, dst, tag);
   }
-  if (const FaultEvent* ev = next_send_fault(src)) {
+  if (ev) {
     if (ev->kind == FaultKind::kCorruptPayload && !payload.empty()) {
       std::uint32_t bits;
       std::memcpy(&bits, payload.data(), sizeof(bits));
@@ -288,10 +308,11 @@ void World::send_shared(int src, int dst, std::uint64_t tag,
   if (dst < 0 || dst >= nranks_ || src < 0 || src >= nranks_) {
     throw std::invalid_argument("send_shared: rank out of range");
   }
+  const FaultEvent* ev = next_send_fault(src);  // before the poison check
   if (poisoned_.load(std::memory_order_acquire)) {
     throw_peer_failed("send_shared", src, dst, tag);
   }
-  if (const FaultEvent* ev = next_send_fault(src)) {
+  if (ev) {
     if (ev->kind == FaultKind::kCorruptPayload && !payload->empty()) {
       // Sibling receivers of this fan-out share the buffer; corrupt a
       // private clone so only this destination sees the flipped bit.
@@ -403,8 +424,17 @@ void World::reset_counters() {
 void World::run(const std::function<void(int)>& fn) {
   std::vector<std::thread> threads;
   threads.reserve(static_cast<std::size_t>(nranks_));
-  std::exception_ptr root_cause;
-  bool root_is_secondary = false;
+  // Every escaped exception is kept alive until after join(); the root
+  // cause is selected on the joined thread. Releasing a superseded
+  // candidate from inside another rank's catch block would drop its
+  // refcount while the throwing rank may still be reading what() —
+  // synchronized only by the exception refcount internals, which TSan
+  // cannot see through — so no exception_ptr is released mid-run.
+  struct Caught {
+    std::exception_ptr ep;
+    bool secondary;
+  };
+  std::vector<Caught> caught;
   std::mutex error_mutex;
   {
     std::lock_guard<std::mutex> lock(poison_mutex_);
@@ -429,10 +459,7 @@ void World::run(const std::function<void(int)>& fn) {
             dynamic_cast<const InjectedFault*>(&e) == nullptr;
         {
           std::lock_guard<std::mutex> lock(error_mutex);
-          if (!root_cause || (root_is_secondary && !secondary)) {
-            root_cause = std::current_exception();
-            root_is_secondary = secondary;
-          }
+          caught.push_back(Caught{std::current_exception(), secondary});
         }
         std::lock_guard<std::mutex> lock(poison_mutex_);
         failures_.push_back(RankFailure{r, e.what(), secondary});
@@ -440,10 +467,7 @@ void World::run(const std::function<void(int)>& fn) {
         poison(r, "uncaught non-standard exception");
         {
           std::lock_guard<std::mutex> lock(error_mutex);
-          if (!root_cause || root_is_secondary) {
-            root_cause = std::current_exception();
-            root_is_secondary = false;
-          }
+          caught.push_back(Caught{std::current_exception(), false});
         }
         std::lock_guard<std::mutex> lock(poison_mutex_);
         failures_.push_back(RankFailure{r, "(non-standard exception)"});
@@ -451,6 +475,17 @@ void World::run(const std::function<void(int)>& fn) {
     });
   }
   for (auto& t : threads) t.join();
+  // First escaped exception wins, except that an originating failure
+  // supersedes an earlier secondary one — same policy as before, applied
+  // in arrival (push) order.
+  std::exception_ptr root_cause;
+  bool root_is_secondary = false;
+  for (const Caught& c : caught) {
+    if (!root_cause || (root_is_secondary && !c.secondary)) {
+      root_cause = c.ep;
+      root_is_secondary = c.secondary;
+    }
+  }
   if (root_cause) std::rethrow_exception(root_cause);
 }
 

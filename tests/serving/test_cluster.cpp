@@ -190,12 +190,13 @@ TEST(ClusterForecastServer, WorkerDeathRecoversBitwise) {
 // originating failures, the front-end must count both dead, every leased
 // member must be requeued exactly once (members_served * steps committed
 // steps total — no member finishes short, none runs twice), and the
-// request still completes bitwise. A FaultPlan cannot script this
-// deterministically — a kill fires on a *send*, and once the first death
-// poisons the world the second rank's send throws before its own kill
-// event can run — so the drill uses escaped exceptions with a rendezvous:
-// both ranks hold their first pack, then both throw, and a user exception
-// is recorded as originating no matter which unwinding poisoned first.
+// request still completes bitwise. FaultPlan kills can script this too now
+// (the fault hook runs before the poison check, and FaultEvent::latch
+// covers ordinals a doomed rank never reaches — see test_elastic.cpp);
+// this drill keeps the escaped-exception flavor to pin the classification
+// of *user* exceptions as originating: both ranks hold their first pack at
+// a rendezvous, then both throw, and a user exception is recorded as
+// originating no matter which unwinding poisoned first.
 TEST(ClusterForecastServer, TwoConcurrentWorkerDeathsAggregateAndRecover) {
   AerisModel model = make_model(11);
   ParallelEnsembleEngine engine = make_engine(model);
@@ -382,10 +383,11 @@ TEST(ClusterForecastServer, ChaosKillDrillEveryRequestTerminates) {
   EXPECT_EQ(malformed.load(), 0);
   const ServerStats st = cluster.stats();
   EXPECT_EQ(st.accepted + st.rejected, kClients * kRequestsPerClient);
-  // The first kill always fires; the second may be masked (a kill fires on
-  // a send, and a send into the already-poisoned world throws first) and
-  // the plan arms the first incarnation only — so 1 or 2 deaths, never 0,
-  // never more.
+  // The first kill always fires; the second fires only if its rank reaches
+  // the scheduled send ordinal before unwinding (an exact-ordinal kill now
+  // fires even in a poisoned world, but a rank that never sends again has
+  // nothing to fire on), and the plan arms the first incarnation only — so
+  // 1 or 2 deaths, never 0, never more.
   EXPECT_GE(st.workers_lost, 1);
   EXPECT_LE(st.workers_lost, 2);
   EXPECT_GT(st.member_steps, 0);

@@ -688,6 +688,120 @@ TEST(MultiModelLedger, PacksNeverMixVariantsOrSamplerFamilies) {
   ledger.drain_all(RequestStatus::kRejected, "test over");
 }
 
+// ---------------------------------------------------------------------------
+// Per-variant backlog isolation (DegradePolicy wait estimate)
+
+TEST(MultiModelLedger, SlowVariantBacklogNeverDegradesAFastVariant) {
+  // Regression for the scalar backlog estimate: "fine" (with a fallback
+  // edge to "coarse") and an independent "slow" variant share one ledger.
+  // The slow variant is given a huge step-cost EMA and a deep pending
+  // queue; a fine admission must still see its OWN empty backlog and stay
+  // on the fine variant. The rung then must still fire — keyed correctly —
+  // once the fine variant itself accumulates cost and backlog.
+  TwoModelZoo z;
+  AerisModel slow_model = make_model(fine_cfg(), 17);
+  ParallelEnsembleEngine slow_eng{slow_model, z.tf, z.ts, 0};
+  z.registry.add("slow", slow_eng, 1);
+  z.registry.set_fallback("fine", "coarse");
+
+  ServerOptions opts;
+  opts.queue_capacity = 64;
+  opts.degrade.fallback_wait_threshold_ms = 50.0;  // a real threshold
+  RequestLedger ledger(z.registry, opts);
+
+  const auto admit = [&](const char* model, std::int64_t members,
+                         std::int64_t steps, std::uint64_t seed) {
+    ForecastRequest req;
+    req.init = make_init(8, 8, seed);
+    req.forcings_at = fine_forcing;
+    req.members = members;
+    req.steps = steps;
+    req.seed = seed;
+    req.model = model;
+    std::future<ForecastResult> future;
+    ForecastResult refused;
+    EXPECT_FALSE(ledger.admit(req, 1, future, refused))
+        << "admission refused for " << model;
+    return future;
+  };
+  // Checks one pack out and commits it as if the solve took `fine_ms`
+  // (fine packs) or 1 ms (anything else), advancing each member with a
+  // copy of its previous state — the EMA reads only pack_ms/solved_count.
+  const auto pump_one = [&](double fine_ms) -> std::string {
+    std::vector<PackItem> pack = ledger.take_pack(32);
+    if (pack.empty()) return "";
+    const std::string name = pack.front().a->model_name;
+    PackOutcome out;
+    out.pack_ms = name == "fine" ? fine_ms : 1.0;
+    out.solved_count = static_cast<std::int64_t>(pack.size());
+    for (const PackItem& item : pack) out.next.push_back(*item.prev);
+    ledger.commit_pack(std::move(pack), std::move(out));
+    return name;
+  };
+  const auto drain = [&](double fine_ms) {
+    while (!pump_one(fine_ms).empty()) {
+    }
+  };
+
+  // Seed the slow variant's EMA with a monster step cost, then pile a deep
+  // pending queue onto it (4 members x 4 steps, uncommitted).
+  auto f_seed = admit("slow", 2, 1, 70);
+  EXPECT_EQ(pump_one(0.0), "slow");
+  auto f_pile = admit("slow", 4, 4, 71);
+  // Overwrite the 1ms commit above: the EMA must be large when the fine
+  // probe admits. Commit one more slow pack at a huge cost.
+  auto f_pile2 = admit("slow", 2, 1, 76);
+
+  // Force the slow EMA high via a direct huge-cost commit.
+  {
+    std::vector<PackItem> pack = ledger.take_pack(32);
+    ASSERT_FALSE(pack.empty());
+    ASSERT_EQ(pack.front().a->model_name, "slow");
+    PackOutcome out;
+    out.pack_ms = 1.0e6;
+    out.solved_count = static_cast<std::int64_t>(pack.size());
+    for (const PackItem& item : pack) out.next.push_back(*item.prev);
+    ledger.commit_pack(std::move(pack), std::move(out));
+  }
+
+  // The regression claim: a fine admission is routed on the fine variant's
+  // own (empty) backlog — with the old scalar accounting, the slow queue's
+  // huge estimate would have shed it to "coarse" here.
+  auto f_probe = admit("fine", 2, 1, 72);
+
+  // Seed the fine variant's own EMA, then give it backlog of its own.
+  auto f_fine_seed = admit("fine", 2, 1, 73);
+  drain(1.0e6);
+  const ForecastResult probe = f_probe.get();
+  ASSERT_TRUE(probe.ok()) << probe.error_message;
+  EXPECT_EQ(probe.model_served, "fine")
+      << "slow-variant backlog degraded a fine admission";
+  EXPECT_FALSE(probe.degraded);
+  EXPECT_EQ(ledger.stats().degraded_to_fallback_model, 0);
+
+  // Positive control, keyed correctly: with the fine variant's own EMA
+  // seeded and its own queue deep, the next fine admission does fall back.
+  auto f_backlog = admit("fine", 4, 4, 74);
+  auto f_shed = admit("fine", 2, 1, 75);
+  drain(1.0);
+  const ForecastResult shed = f_shed.get();
+  ASSERT_TRUE(shed.ok()) << shed.error_message;
+  EXPECT_EQ(shed.model_served, "coarse");
+  EXPECT_TRUE(shed.degraded);
+
+  const ServerStats stats = ledger.stats();
+  EXPECT_EQ(stats.degraded_to_fallback_model, 1);
+  EXPECT_EQ(stats.per_model.at("fine").degraded_to_fallback_model, 1);
+
+  // Every future terminated kOk on its own variant.
+  for (auto* f : {&f_seed, &f_pile, &f_pile2, &f_fine_seed, &f_backlog}) {
+    const ForecastResult r = f->get();
+    EXPECT_TRUE(r.ok()) << r.error_message;
+  }
+  ledger.begin_stop();
+  ledger.drain_all(RequestStatus::kRejected, "test over");
+}
+
 TEST(MultiModelServer, MixedVariantClientsConcurrentBitwise) {
   // The sanitizer-leg drill: four concurrent clients across variants,
   // sampler families and quality classes hammer one zoo server; each gets

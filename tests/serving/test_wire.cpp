@@ -97,6 +97,44 @@ TEST(Wire, ErrorResultCarriesMessage) {
   EXPECT_TRUE(msg.next.empty());
 }
 
+TEST(Wire, JoinLaneRoundTripsAllKinds) {
+  // Extreme values: incarnations and fingerprints must survive the float
+  // lanes bit-exactly (NaN-pattern payloads included).
+  const std::uint64_t inc = 0xFFFFFFFFFFFFFFFFull;
+  const std::uint64_t fp = 0x7FF8000000000001ull;  // NaN bit pattern
+
+  const JoinMsg invite = decode_join(encode_join_invite(inc, fp));
+  EXPECT_EQ(invite.kind, JoinKind::kInvite);
+  EXPECT_EQ(invite.incarnation, inc);
+  EXPECT_EQ(invite.fingerprint, fp);
+  EXPECT_FALSE(invite.accept);
+
+  const JoinMsg yes = decode_join(encode_join_verdict(inc, true));
+  EXPECT_EQ(yes.kind, JoinKind::kVerdict);
+  EXPECT_EQ(yes.incarnation, inc);
+  EXPECT_TRUE(yes.accept);
+
+  const JoinMsg no = decode_join(encode_join_verdict(3, false));
+  EXPECT_EQ(no.kind, JoinKind::kVerdict);
+  EXPECT_EQ(no.incarnation, 3u);
+  EXPECT_FALSE(no.accept);
+
+  const JoinMsg bye = decode_join(encode_join_shutdown());
+  EXPECT_EQ(bye.kind, JoinKind::kShutdown);
+
+  EXPECT_THROW(decode_join(std::vector<float>(2, 0.0f)),
+               std::runtime_error);
+}
+
+TEST(Wire, AnnounceRoundTripsFingerprint) {
+  const AnnounceMsg ann =
+      decode_announce(encode_announce(42, 0xDEADBEEFCAFEF00Dull));
+  EXPECT_EQ(ann.incarnation, 42u);
+  EXPECT_EQ(ann.fingerprint, 0xDEADBEEFCAFEF00Dull);
+  EXPECT_THROW(decode_announce(std::vector<float>(1, 0.0f)),
+               std::runtime_error);
+}
+
 TEST(Wire, TruncatedPayloadThrowsInsteadOfMisreading) {
   std::vector<Tensor> next{filled({4, 6, 3}, 9)};
   std::vector<float> payload =

@@ -3,7 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 namespace aeris::swipe {
@@ -247,6 +250,99 @@ TEST(Fault, SendIntoPoisonedWorldThrows) {
   World world(2);
   world.poison(1, "test poison");
   EXPECT_THROW(world.send(0, 1, /*tag=*/1, {1.0f}), PeerFailedError);
+}
+
+// The fault hook runs before the poison check, so a second scheduled kill
+// fires at its exact ordinal even after the first death poisoned the
+// world — both deaths are recorded as originating, which is what makes
+// multi-kill FaultPlans stackable without rendezvous helpers.
+TEST(Fault, SecondExactKillFiresInAPoisonedWorld) {
+  World world(3);
+  auto plan = std::make_shared<FaultPlan>();
+  plan->add(FaultEvent{FaultKind::kKillRank, /*rank=*/1, /*nth_send=*/0});
+  plan->add(FaultEvent{FaultKind::kKillRank, /*rank=*/2, /*nth_send=*/0});
+  world.set_fault_plan(plan);
+
+  EXPECT_THROW(world.send(1, 0, /*tag=*/1, {1.0f}), InjectedFault);
+  EXPECT_TRUE(world.poisoned());
+  // Rank 2's send into the poisoned world still dies its scheduled death
+  // (InjectedFault), not a secondary PeerFailedError.
+  EXPECT_THROW(world.send(2, 0, /*tag=*/1, {1.0f}), InjectedFault);
+  // A rank with no scheduled kill gets the ordinary poison semantics.
+  EXPECT_THROW(world.send(0, 1, /*tag=*/1, {1.0f}), PeerFailedError);
+}
+
+// A latched kill at an unreachable ordinal fires on the rank's next send
+// once the world is poisoned, and run() records it as originating.
+TEST(Fault, LatchedKillFiresAfterPoisonAsOriginating) {
+  World world(3);
+  auto plan = std::make_shared<FaultPlan>();
+  plan->add(FaultEvent{FaultKind::kKillRank, /*rank=*/1, /*nth_send=*/1});
+  FaultEvent latched;
+  latched.kind = FaultKind::kKillRank;
+  latched.rank = 2;
+  latched.nth_send = 1000000;  // never reached: only the latch can fire it
+  latched.latch = true;
+  plan->add(latched);
+  world.set_fault_plan(plan);
+
+  EXPECT_THROW(world.run([&](int rank) {
+    if (rank == 1) {
+      world.send(1, 0, /*tag=*/1, {1.0f});  // send 0: clean
+      world.send(1, 0, /*tag=*/1, {2.0f});  // send 1: dies
+      return;
+    }
+    if (rank == 2) {
+      // Keep sending until something throws: the latch turns the first
+      // post-poison send into this rank's scheduled death.
+      for (int i = 0; i < 100000; ++i) {
+        world.send(2, 0, /*tag=*/2, {static_cast<float>(i)});
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+      FAIL() << "latched kill never fired";
+    }
+    // Rank 0 consumes rank 1's clean first message, then blocks on a
+    // message that will never come.
+    (void)world.recv(0, 1, /*tag=*/1);
+    (void)world.recv(0, 1, /*tag=*/3);
+  }),
+               PeerFailedError);
+
+  bool r1_originating = false, r2_originating = false;
+  for (const World::RankFailure& f : world.failures()) {
+    if (f.rank == 1 && !f.secondary) r1_originating = true;
+    if (f.rank == 2 && !f.secondary) r2_originating = true;
+  }
+  EXPECT_TRUE(r1_originating) << "exact kill not recorded as originating";
+  EXPECT_TRUE(r2_originating) << "latched kill not recorded as originating";
+}
+
+// An armed latch on a run that never poisons is inert: the clean path is
+// bitwise-unaffected by merely arming the plan.
+TEST(Fault, ArmedLatchIsInertWithoutPoison) {
+  World world(2);
+  auto plan = std::make_shared<FaultPlan>();
+  FaultEvent latched;
+  latched.kind = FaultKind::kKillRank;
+  latched.rank = 1;
+  latched.nth_send = 1000000;
+  latched.latch = true;
+  plan->add(latched);
+  world.set_fault_plan(plan);
+
+  world.run([&](int rank) {
+    if (rank == 1) {
+      for (int i = 0; i < 8; ++i) {
+        world.send(1, 0, /*tag=*/1, {static_cast<float>(i)});
+      }
+      return;
+    }
+    for (int i = 0; i < 8; ++i) {
+      EXPECT_EQ(world.recv(0, 1, /*tag=*/1),
+                std::vector<float>({static_cast<float>(i)}));
+    }
+  });
+  EXPECT_FALSE(world.poisoned());
 }
 
 // A message that was already queued before the failure is still
